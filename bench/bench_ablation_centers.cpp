@@ -1,0 +1,56 @@
+// Ablation: macromodel accuracy vs the number of Gaussian RBF centers L
+// and the regression order r — the main dials of the paper's Eq. (3)
+// expansion. Validation error is measured out-of-sample on the
+// transistor-level HIGH-state driver port.
+
+#include <cstdio>
+
+#include "core/model_factory.h"
+#include "devices/training.h"
+#include "math/stats.h"
+#include "rbf/identification.h"
+#include "signal/sources.h"
+
+int main() {
+  using namespace fdtdmm;
+  std::puts("=== bench_ablation_centers: accuracy vs RBF centers and order ===");
+
+  const CmosDriverParams device;
+  const double ts = 50e-12;
+
+  // Training and validation excitations (different seeds).
+  MultilevelOptions mo;
+  mo.v_min = -0.6;
+  mo.v_max = 2.4;
+  mo.seed = 2024;
+  const Waveform v_train_f = multilevelRandom(60e-9, ts / 4.0, mo);
+  mo.seed = 5150;
+  const Waveform v_val_f = multilevelRandom(40e-9, ts / 4.0, mo);
+
+  RecordingOptions ro;
+  ro.dt = ts / 8.0;
+  std::puts("# recording transistor-level training/validation data...");
+  const PortRecord train = resampleRecord(
+      recordDriverFixedState(device, true, v_train_f, ro), ts);
+  const PortRecord val = resampleRecord(
+      recordDriverFixedState(device, true, v_val_f, ro), ts);
+
+  std::puts("\norder,centers,train_nrmse,val_nrmse");
+  for (const int order : {1, 2, 3}) {
+    for (const std::size_t centers : {5u, 10u, 20u, 40u, 80u}) {
+      SubmodelFitOptions opt;
+      opt.order = order;
+      opt.centers = centers;
+      const auto model = fitGaussianSubmodel(train.v, train.i, opt);
+      const Waveform i_train = simulateSubmodel(*model, train.v, train.v[0]);
+      const Waveform i_val = simulateSubmodel(*model, val.v, val.v[0]);
+      std::printf("%d,%zu,%.4f,%.4f\n", order, centers,
+                  nrmse(i_train.samples(), train.i.samples()),
+                  nrmse(i_val.samples(), val.i.samples()));
+    }
+  }
+  std::puts("\n# expected shape: error drops steeply to ~L=20-40 then saturates;");
+  std::puts("# order 2 suffices (the device dynamics are ~2nd order), matching");
+  std::puts("# the low-order models the paper's references use.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: 3D FDTD mesh resolution vs accuracy on the paper's validation
+// line. The paper attributes the only visible engine disagreement (Fig. 4)
+// to "numerical dispersion" of the 3D mesh; this bench quantifies that by
+// sweeping the cell size (at fixed physical geometry) and measuring the
+// deviation of the 3D far-end waveform from the dispersionless 1D FDTD
+// reference, plus the measured line delay.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/tline_scenario.h"
+#include "math/stats.h"
+
+namespace {
+
+double nrmseOnWindow(const fdtdmm::Waveform& a, const fdtdmm::Waveform& b,
+                     double t1) {
+  fdtdmm::Vector va, vb;
+  for (double t = 0.0; t <= t1; t += 10e-12) {
+    va.push_back(a.value(t));
+    vb.push_back(b.value(t));
+  }
+  return fdtdmm::nrmse(va, vb);
+}
+
+/// Time of the first 0.9 V upward crossing after 2 ns (the rising edge's
+/// arrival at the far end).
+double arrivalTime(const fdtdmm::Waveform& w) {
+  for (double t = 2.0e-9; t < w.tEnd(); t += w.dt()) {
+    if (w.value(t) >= 0.9) return t;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fdtdmm;
+  std::puts("=== bench_ablation_mesh: 3D dispersion vs cells-per-feature ===");
+  const auto driver = defaultDriverModel();
+  const auto receiver = defaultReceiverModel();
+
+  // Fixed physical line (length such that TD ~ 0.385 ns), meshed at three
+  // resolutions; strip width/gap scale with the mesh so the geometry is
+  // self-similar and Zc stays put.
+  struct Level {
+    const char* name;
+    std::size_t strip_len;
+    double delta;
+    std::size_t width, gap;
+    std::size_t nx, ny, nz;
+  };
+  const Level levels[] = {
+      {"coarse", 40, 2.89e-3, 1, 1, 52, 10, 9},
+      {"medium", 80, 1.446e-3, 2, 2, 98, 14, 12},
+      {"paper", 160, 0.723e-3, 4, 3, 180, 24, 23},
+  };
+
+  std::puts("\nlevel,delta_mm,nrmse_far_vs_1d,nrmse_near_vs_1d,arrival_skew_ps");
+  for (const Level& lv : levels) {
+    TlineScenario cfg;
+    cfg.load = FarEndLoad::kLinearRc;
+    cfg.mesh_nx = lv.nx;
+    cfg.mesh_ny = lv.ny;
+    cfg.mesh_nz = lv.nz;
+    cfg.mesh_delta = lv.delta;
+    cfg.strip_len = lv.strip_len;
+    cfg.strip_width = lv.width;
+    cfg.strip_gap = lv.gap;
+    cfg.td = static_cast<double>(lv.strip_len) * lv.delta / 299792458.0;
+
+    const EngineRun ref = runFdtd1dTline(cfg, driver, receiver);
+    const EngineRun f3d = runFdtd3dTline(cfg, driver, receiver);
+    std::printf("%s,%.3f,%.4f,%.4f,%.1f\n", lv.name, lv.delta * 1e3,
+                nrmseOnWindow(f3d.v_far, ref.v_far, cfg.t_stop),
+                nrmseOnWindow(f3d.v_near, ref.v_near, cfg.t_stop),
+                (arrivalTime(f3d.v_far) - arrivalTime(ref.v_far)) * 1e12);
+  }
+  std::puts("\n# expected shape: deviation shrinks with the cell size; the");
+  std::puts("# paper-resolution mesh shows only the 'marginal deviation'");
+  std::puts("# quoted in Section 4. (Cross-resolution Zc shifts also enter");
+  std::puts("# at the coarsest level, where the strip is one cell wide.)");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: behaviour of resampled models vs the resampling factor
+// tau = dt/Ts, demonstrating why the library enforces Eq. (17) (tau <= 1).
+//
+// Two probes:
+//  1. analytic spectral radii of resampled linear state matrices across a
+//     tau sweep spanning the admissible and forbidden ranges;
+//  2. time-domain simulation of a resampled ARX model at tau values
+//     approaching and exceeding 1 via a manually-built state update (the
+//     library itself refuses tau > 1, which we also verify).
+
+#include <cmath>
+#include <cstdio>
+
+#include "math/rng.h"
+#include "math/spectral.h"
+#include "rbf/resampling.h"
+
+int main() {
+  using namespace fdtdmm;
+  std::puts("=== bench_ablation_tau: stability vs resampling factor ===");
+
+  // --- Probe 1: spectral radius of resampled matrices.
+  Rng rng(17);
+  std::puts("\ntau,max_rho_over_20_random_stable_systems,stable");
+  for (double tau = 0.1; tau <= 1.5001; tau += 0.1) {
+    double max_rho = 0.0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = 2 + trial % 5;
+      Matrix a(n, n);
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+      const double rho0 = spectralRadius(a);
+      if (rho0 <= 0.0) continue;
+      a *= 0.95 / rho0;
+      // Manual resampling map (valid for any tau): A~ = I + tau (A - I).
+      Matrix at = a;
+      at *= tau;
+      for (std::size_t d = 0; d < n; ++d) at(d, d) += 1.0 - tau;
+      max_rho = std::max(max_rho, spectralRadius(at));
+    }
+    std::printf("%.1f,%.4f,%s\n", tau, max_rho, max_rho < 1.0 ? "yes" : "NO");
+  }
+  std::puts("# expected: stable for tau <= 1 (Fig. 2's circle), unstable beyond.");
+
+  // --- Probe 2: time-domain blow-up check on a marginally stable pole.
+  std::puts("\n# time-domain: pole at -0.95, constant input, 2000 steps");
+  std::puts("tau,final_|state|");
+  for (const double tau : {0.5, 0.9, 1.0, 1.05, 1.2}) {
+    // x_{n+1} = (1 + tau(lambda - 1)) x_n + tau u.
+    const double lam_t = 1.0 + tau * (-0.95 - 1.0);
+    double x = 0.0;
+    for (int k = 0; k < 2000; ++k) x = lam_t * x + tau * 1.0;
+    std::printf("%.2f,%.6g\n", tau, std::abs(x));
+  }
+  std::puts("# expected: bounded (~0.5) for tau <= 1, divergent for tau > 1.");
+
+  // --- Probe 3: the library refuses tau > 1 up front.
+  LinearArxParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.a = {0.5, 0.0};
+  p.b = {0.01, 0.0, 0.0};
+  LinearArxSubmodel m(p);
+  bool rejected = false;
+  try {
+    ResampledSubmodelState bad(&m, 60e-12);  // tau = 1.2
+  } catch (const std::invalid_argument&) {
+    rejected = true;
+  }
+  std::printf("\nlibrary rejects tau = 1.2 at prepare(): %s\n",
+              rejected ? "yes (Eq. 17 enforced)" : "NO — BUG");
+  return rejected ? 0 : 1;
+}

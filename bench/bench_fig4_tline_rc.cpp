@@ -1,0 +1,79 @@
+// Reproduces Fig. 4 of the paper: termination voltages for the two-strip
+// transmission line (Zc ~ 131 ohm, Td ~ 0.4 ns) with the switching driver
+// at the near end and a linear RC load (1 pF || 500 ohm) at the far end.
+//
+// Four engines (as in the paper):
+//   spice_tr  — SPICE, ideal line, transistor-level devices  (reference)
+//   spice_rbf — SPICE, ideal line, RBF macromodels
+//   fdtd1d    — 1D FDTD line, RBF macromodels
+//   fdtd3d    — 3D FDTD full-wave (180 x 24 x 23 mesh), RBF macromodels
+//
+// Shape criteria (paper): all curves "very consistent"; only 3D-FDTD shows
+// a marginal numerical-dispersion deviation. We print the waveform table
+// and cross-engine NRMSE values.
+
+#include <cstdio>
+
+#include "core/tline_scenario.h"
+#include "math/stats.h"
+
+namespace {
+
+double nrmseOnWindow(const fdtdmm::Waveform& a, const fdtdmm::Waveform& b,
+                     double t1) {
+  fdtdmm::Vector va, vb;
+  for (double t = 0.0; t <= t1; t += 10e-12) {
+    va.push_back(a.value(t));
+    vb.push_back(b.value(t));
+  }
+  return fdtdmm::nrmse(va, vb);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fdtdmm;
+  std::puts("=== bench_fig4: transmission line with linear RC load, 4 engines ===");
+
+  TlineScenario cfg;  // paper defaults: 180x24x23, delta = 0.723 mm
+  cfg.load = FarEndLoad::kLinearRc;
+
+  std::puts("# identifying macromodels (cached across benches in-process)...");
+  const auto driver = defaultDriverModel();
+  const auto receiver = defaultReceiverModel();
+
+  std::puts("# engine (i): SPICE + transistor-level");
+  const EngineRun e1 = runSpiceTransistorTline(cfg, defaultDriverDevice(),
+                                               defaultReceiverDevice());
+  std::puts("# engine (ii): SPICE + RBF macromodels");
+  const EngineRun e2 = runSpiceRbfTline(cfg, driver, receiver);
+  std::puts("# engine (iii): 1D FDTD + RBF macromodels");
+  const EngineRun e3 = runFdtd1dTline(cfg, driver, receiver);
+  std::puts("# engine (iv): 3D FDTD + RBF macromodels (this takes a while)");
+  const EngineRun e4 = runFdtd3dTline(cfg, driver, receiver);
+
+  std::puts("\nt_ns,near_spice_tr,near_spice_rbf,near_fdtd1d,near_fdtd3d,"
+            "far_spice_tr,far_spice_rbf,far_fdtd1d,far_fdtd3d");
+  for (double t = 0.0; t <= cfg.t_stop; t += 50e-12) {
+    std::printf("%.2f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", t * 1e9,
+                e1.v_near.value(t), e2.v_near.value(t), e3.v_near.value(t),
+                e4.v_near.value(t), e1.v_far.value(t), e2.v_far.value(t),
+                e3.v_far.value(t), e4.v_far.value(t));
+  }
+
+  std::puts("\n# Cross-engine agreement (NRMSE over 0-5 ns, reference = spice_tr)");
+  std::printf("near: spice_rbf %.4f | fdtd1d %.4f | fdtd3d %.4f\n",
+              nrmseOnWindow(e2.v_near, e1.v_near, cfg.t_stop),
+              nrmseOnWindow(e3.v_near, e1.v_near, cfg.t_stop),
+              nrmseOnWindow(e4.v_near, e1.v_near, cfg.t_stop));
+  std::printf("far : spice_rbf %.4f | fdtd1d %.4f | fdtd3d %.4f\n",
+              nrmseOnWindow(e2.v_far, e1.v_far, cfg.t_stop),
+              nrmseOnWindow(e3.v_far, e1.v_far, cfg.t_stop),
+              nrmseOnWindow(e4.v_far, e1.v_far, cfg.t_stop));
+  std::printf("\nwall seconds: spice_tr %.2f | spice_rbf %.2f | fdtd1d %.2f | fdtd3d %.2f\n",
+              e1.wall_seconds, e2.wall_seconds, e3.wall_seconds, e4.wall_seconds);
+  std::printf("max Newton iterations (paper: <= 3): spice_rbf %d | fdtd1d %d | fdtd3d %d\n",
+              e2.max_newton_iterations, e3.max_newton_iterations,
+              e4.max_newton_iterations);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 5 of the paper: the same transmission line as Fig. 4 but
+// with the RBF *receiver* macromodel as the far-end load. The paper plots
+// SPICE (RBF model) vs 3D-FDTD; we additionally print the 1D-FDTD curve.
+
+#include <cstdio>
+
+#include "core/tline_scenario.h"
+#include "math/stats.h"
+
+namespace {
+
+double nrmseOnWindow(const fdtdmm::Waveform& a, const fdtdmm::Waveform& b,
+                     double t1) {
+  fdtdmm::Vector va, vb;
+  for (double t = 0.0; t <= t1; t += 10e-12) {
+    va.push_back(a.value(t));
+    vb.push_back(b.value(t));
+  }
+  return fdtdmm::nrmse(va, vb);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fdtdmm;
+  std::puts("=== bench_fig5: transmission line with RBF receiver load ===");
+
+  TlineScenario cfg;
+  cfg.load = FarEndLoad::kReceiver;
+
+  const auto driver = defaultDriverModel();
+  const auto receiver = defaultReceiverModel();
+
+  std::puts("# engine (ii): SPICE + RBF macromodels");
+  const EngineRun spice = runSpiceRbfTline(cfg, driver, receiver);
+  std::puts("# engine (iii): 1D FDTD + RBF macromodels");
+  const EngineRun f1d = runFdtd1dTline(cfg, driver, receiver);
+  std::puts("# engine (iv): 3D FDTD + RBF macromodels");
+  const EngineRun f3d = runFdtd3dTline(cfg, driver, receiver);
+
+  std::puts("\nt_ns,driver_spice_rbf,driver_fdtd1d,driver_fdtd3d,"
+            "receiver_spice_rbf,receiver_fdtd1d,receiver_fdtd3d");
+  for (double t = 0.0; t <= cfg.t_stop; t += 50e-12) {
+    std::printf("%.2f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", t * 1e9,
+                spice.v_near.value(t), f1d.v_near.value(t), f3d.v_near.value(t),
+                spice.v_far.value(t), f1d.v_far.value(t), f3d.v_far.value(t));
+  }
+
+  std::puts("\n# Agreement (NRMSE, reference = spice_rbf; paper: curves overlap");
+  std::puts("# except a marginal 3D dispersion deviation)");
+  std::printf("driver  : fdtd1d %.4f | fdtd3d %.4f\n",
+              nrmseOnWindow(f1d.v_near, spice.v_near, cfg.t_stop),
+              nrmseOnWindow(f3d.v_near, spice.v_near, cfg.t_stop));
+  std::printf("receiver: fdtd1d %.4f | fdtd3d %.4f\n",
+              nrmseOnWindow(f1d.v_far, spice.v_far, cfg.t_stop),
+              nrmseOnWindow(f3d.v_far, spice.v_far, cfg.t_stop));
+  std::printf("\nmax Newton iterations (paper: <= 3 at tol 1e-9): spice %d | 1d %d | 3d %d\n",
+              spice.max_newton_iterations, f1d.max_newton_iterations,
+              f3d.max_newton_iterations);
+  return 0;
+}

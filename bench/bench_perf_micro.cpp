@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the computational kernels behind
+// the hybrid solver: Yee cell updates, Gaussian RBF evaluation, resampled
+// state commit, the coupled port Newton solve, and the MNA step.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/transient.h"
+#include "fdtd/solver.h"
+#include "math/newton.h"
+#include "rbf/resampling.h"
+#include "rbf/submodel.h"
+#include "signal/linear_ports.h"
+
+namespace {
+
+using namespace fdtdmm;
+
+void BM_FdtdStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  GridSpec s;
+  s.nx = s.ny = s.nz = n;
+  s.dx = s.dy = s.dz = 1e-3;
+  Grid3 g(s);
+  g.pecPlateZ(n / 2, 1, n - 1, 1, n - 1);  // something to scatter off
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  solver.run(2);  // warm up / first-step init
+  for (auto _ : state) {
+    solver.run(1);
+  }
+  const double cells = static_cast<double>(n) * n * n;
+  state.counters["Mcells/s"] = benchmark::Counter(
+      cells * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FdtdStep)->Arg(16)->Arg(32)->Arg(64);
+
+GaussianRbfParams benchRbfParams(std::size_t centers) {
+  GaussianRbfParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.beta = 0.5;
+  p.i_scale = 100.0;
+  p.theta.assign(centers, 0.001);
+  p.c0.assign(centers, 0.0);
+  p.cv.assign(centers, Vector{0.0, 0.0});
+  p.ci.assign(centers, Vector{0.0, 0.0});
+  for (std::size_t l = 0; l < centers; ++l) {
+    p.c0[l] = -0.5 + 2.8 * static_cast<double>(l) / static_cast<double>(centers);
+    p.cv[l] = {p.c0[l], p.c0[l]};
+    p.ci[l] = {0.01 * static_cast<double>(l % 7), 0.0};
+  }
+  return p;
+}
+
+void BM_RbfEval(benchmark::State& state) {
+  GaussianRbfSubmodel m(benchRbfParams(static_cast<std::size_t>(state.range(0))));
+  const Vector xv{0.9, 0.85}, xi{0.002, 0.0015};
+  double v = 0.9;
+  for (auto _ : state) {
+    double didv = 0.0;
+    benchmark::DoNotOptimize(m.eval(v, xv, xi, &didv));
+    v = v < 1.7 ? v + 1e-4 : 0.1;
+  }
+  state.counters["evals/s"] =
+      benchmark::Counter(1, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_RbfEval)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_ResampledCommit(benchmark::State& state) {
+  GaussianRbfSubmodel m(benchRbfParams(40));
+  ResampledSubmodelState st(&m, 1.4e-12);  // FDTD-like tau ~ 0.028
+  st.reset(0.0);
+  double v = 0.0;
+  for (auto _ : state) {
+    st.commit(v);
+    v = v < 1.7 ? v + 1e-5 : 0.0;
+  }
+}
+BENCHMARK(BM_ResampledCommit);
+
+void BM_PortNewtonSolve(benchmark::State& state) {
+  // The scalar Eq. (8) solve with an RBF-like device at realistic alphas.
+  GaussianRbfSubmodel m(benchRbfParams(40));
+  ResampledSubmodelState st(&m, 1.4e-12);
+  st.reset(0.0);
+  const double a0 = 1.0, a3 = 113.0;
+  double v = 0.5;
+  for (auto _ : state) {
+    const double rhs = 0.7;
+    auto f = [&](double vx, double& df) {
+      double didv = 0.0;
+      const double idev = st.eval(vx, didv);
+      df = a0 + a3 * didv;
+      return a0 * vx + a3 * idev - rhs;
+    };
+    NewtonOptions opt;
+    opt.tolerance = 1e-9;
+    newtonScalar(f, v, opt);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PortNewtonSolve);
+
+void BM_MnaTransientStep(benchmark::State& state) {
+  // Cost of one SPICE step on a small nonlinear circuit, amortized.
+  for (auto _ : state) {
+    Circuit c;
+    const int a = c.addNode();
+    const int b = c.addNode();
+    c.addVoltageSource(a, Circuit::kGround, [](double) { return 1.8; });
+    c.addResistor(a, b, 50.0);
+    c.addDiode(b, Circuit::kGround);
+    c.addCapacitor(b, Circuit::kGround, 1e-12);
+    TransientOptions opt;
+    opt.dt = 1e-12;
+    opt.t_stop = 100e-12;
+    benchmark::DoNotOptimize(runTransient(c, opt, {{"v", b, 0}}));
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MnaTransientStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

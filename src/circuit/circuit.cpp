@@ -1,0 +1,88 @@
+#include "circuit/circuit.h"
+
+#include <stdexcept>
+
+namespace fdtdmm {
+
+int Circuit::addNode() { return ++node_count_; }
+
+void Circuit::checkNode(int n) const {
+  if (n < 0 || n > node_count_)
+    throw std::invalid_argument("Circuit: node index out of range");
+}
+
+void Circuit::addResistor(int n1, int n2, double r) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<Resistor>(n1, n2, r));
+}
+
+void Circuit::addCapacitor(int n1, int n2, double c, double v0) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<Capacitor>(n1, n2, c, v0));
+}
+
+void Circuit::addInductor(int n1, int n2, double l, double i0) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<Inductor>(n1, n2, l, i0));
+}
+
+VoltageSource* Circuit::addVoltageSource(int n1, int n2, TimeFn vs) {
+  checkNode(n1);
+  checkNode(n2);
+  auto src = std::make_unique<VoltageSource>(n1, n2, std::move(vs));
+  VoltageSource* handle = src.get();
+  elements_.push_back(std::move(src));
+  return handle;
+}
+
+void Circuit::addCurrentSource(int n1, int n2, TimeFn is) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<CurrentSource>(n1, n2, std::move(is)));
+}
+
+void Circuit::addDiode(int anode, int cathode, const DiodeParams& p) {
+  checkNode(anode);
+  checkNode(cathode);
+  elements_.push_back(std::make_unique<Diode>(anode, cathode, p));
+}
+
+void Circuit::addMosfet(int drain, int gate, int source, const MosfetParams& p) {
+  checkNode(drain);
+  checkNode(gate);
+  checkNode(source);
+  elements_.push_back(std::make_unique<Mosfet>(drain, gate, source, p));
+}
+
+void Circuit::addIdealLine(int p1p, int p1m, int p2p, int p2m, double zc, double td) {
+  checkNode(p1p);
+  checkNode(p1m);
+  checkNode(p2p);
+  checkNode(p2m);
+  elements_.push_back(std::make_unique<IdealLine>(p1p, p1m, p2p, p2m, zc, td));
+}
+
+void Circuit::addBehavioralPort(int n1, int n2, PortModelPtr model) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<BehavioralPort>(n1, n2, std::move(model)));
+}
+
+void Circuit::addElement(std::unique_ptr<Element> e) {
+  if (!e) throw std::invalid_argument("Circuit::addElement: null element");
+  elements_.push_back(std::move(e));
+}
+
+std::size_t Circuit::assignUnknowns() {
+  std::size_t next = static_cast<std::size_t>(node_count_);
+  for (auto& e : elements_) {
+    e->setBranchOffset(next);
+    next += static_cast<std::size_t>(e->branchCount());
+  }
+  return next;
+}
+
+}  // namespace fdtdmm

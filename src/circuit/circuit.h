@@ -1,0 +1,55 @@
+#pragma once
+/// \file circuit.h
+/// Netlist container for the MNA transient engine.
+
+#include <memory>
+#include <vector>
+
+#include "circuit/elements.h"
+
+namespace fdtdmm {
+
+/// A circuit: a set of nodes (0 = ground) and elements. Build the netlist
+/// with the add* methods, then run it with TransientSimulator.
+class Circuit {
+ public:
+  /// Ground node index.
+  static constexpr int kGround = 0;
+
+  /// Allocates a new node and returns its index (>= 1).
+  int addNode();
+
+  /// Number of non-ground nodes.
+  int nodeCount() const { return node_count_; }
+
+  // Element builders. All node arguments must be existing node indices
+  // (0 = ground); violations throw std::invalid_argument.
+  void addResistor(int n1, int n2, double r);
+  void addCapacitor(int n1, int n2, double c, double v0 = 0.0);
+  void addInductor(int n1, int n2, double l, double i0 = 0.0);
+  /// Returns a handle usable to read the source branch current from the
+  /// solution vector after assembly.
+  VoltageSource* addVoltageSource(int n1, int n2, TimeFn vs);
+  void addCurrentSource(int n1, int n2, TimeFn is);
+  void addDiode(int anode, int cathode, const DiodeParams& p = {});
+  void addMosfet(int drain, int gate, int source, const MosfetParams& p = {});
+  void addIdealLine(int p1p, int p1m, int p2p, int p2m, double zc, double td);
+  void addBehavioralPort(int n1, int n2, PortModelPtr model);
+
+  /// Adds a custom element (takes ownership).
+  void addElement(std::unique_ptr<Element> e);
+
+  const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
+
+  /// Assigns branch offsets; returns the total number of unknowns
+  /// (nodes + branches). Called by the simulator.
+  std::size_t assignUnknowns();
+
+ private:
+  void checkNode(int n) const;
+
+  int node_count_ = 0;
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,319 @@
+#include "circuit/elements.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fdtdmm {
+
+void Element::stampConductance(StampSystem& sys, int n1, int n2, double g) {
+  addAnode(sys, n1, n1, g);
+  addAnode(sys, n2, n2, g);
+  addAnode(sys, n1, n2, -g);
+  addAnode(sys, n2, n1, -g);
+}
+
+void Element::stampCurrentSource(StampSystem& sys, int n1, int n2, double i) {
+  // Current i flows out of n1, into n2: subtract at n1, add at n2.
+  if (n1 != 0) sys.b[static_cast<std::size_t>(n1 - 1)] -= i;
+  if (n2 != 0) sys.b[static_cast<std::size_t>(n2 - 1)] += i;
+}
+
+void Element::addA(StampSystem& sys, int row_node, std::size_t col, double v) {
+  if (row_node != 0) sys.a(static_cast<std::size_t>(row_node - 1), col) += v;
+}
+
+void Element::addAnode(StampSystem& sys, int row_node, int col_node, double v) {
+  if (row_node != 0 && col_node != 0)
+    sys.a(static_cast<std::size_t>(row_node - 1), static_cast<std::size_t>(col_node - 1)) += v;
+}
+
+void Element::addArowNode(StampSystem& sys, std::size_t row, int col_node, double v) {
+  if (col_node != 0) sys.a(row, static_cast<std::size_t>(col_node - 1)) += v;
+}
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(int n1, int n2, double r) : n1_(n1), n2_(n2), g_(1.0 / r) {
+  if (r <= 0.0) throw std::invalid_argument("Resistor: R must be > 0");
+}
+
+void Resistor::stamp(StampSystem& sys, const Vector&, double, double) {
+  stampConductance(sys, n1_, n2_, g_);
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(int n1, int n2, double c, double v0)
+    : n1_(n1), n2_(n2), c_(c), v_prev_(v0) {
+  if (c <= 0.0) throw std::invalid_argument("Capacitor: C must be > 0");
+}
+
+namespace {
+// Theta-method integration parameter for reactive companions. Theta = 0.5
+// is the trapezoidal rule, which sustains an undamped +-i oscillation on
+// voltage-forced nodes after a discontinuity (classic trapezoidal ringing);
+// a slight bias damps that parasitic mode by (1-theta)/theta per step while
+// staying near second-order accurate.
+constexpr double kTheta = 0.55;
+constexpr double kThetaFeedback = (1.0 - kTheta) / kTheta;
+}  // namespace
+
+void Capacitor::begin(double dt) {
+  geq_ = c_ / (kTheta * dt);
+  i_prev_ = 0.0;
+}
+
+void Capacitor::stamp(StampSystem& sys, const Vector&, double, double) {
+  // Theta companion: i = geq (v - v_prev) - kThetaFeedback * i_prev.
+  stampConductance(sys, n1_, n2_, geq_);
+  // Equivalent source pushing geq*v_prev + kThetaFeedback*i_prev from n2 to n1.
+  stampCurrentSource(sys, n1_, n2_, -(geq_ * v_prev_ + kThetaFeedback * i_prev_));
+}
+
+void Capacitor::endStep(const Vector& x, double, double) {
+  const double v = nodeV(x, n1_) - nodeV(x, n2_);
+  i_prev_ = geq_ * (v - v_prev_) - kThetaFeedback * i_prev_;
+  v_prev_ = v;
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(int n1, int n2, double l, double i0)
+    : n1_(n1), n2_(n2), l_(l), i_prev_(i0) {
+  if (l <= 0.0) throw std::invalid_argument("Inductor: L must be > 0");
+}
+
+void Inductor::begin(double) { v_prev_ = 0.0; }
+
+void Inductor::stamp(StampSystem& sys, const Vector&, double, double dt) {
+  // Theta method: i_new = i_prev + dt/L (theta v_new + (1-theta) v_prev).
+  const std::size_t ib = branch_offset_;
+  const double h = kTheta * dt / l_;
+  const double hp = (1.0 - kTheta) * dt / l_;
+  // Branch row: i_new - h * v_new = i_prev + hp * v_prev.
+  sys.a(ib, ib) += 1.0;
+  addArowNode(sys, ib, n1_, -h);
+  addArowNode(sys, ib, n2_, +h);
+  sys.b[ib] += i_prev_ + hp * v_prev_;
+  // KCL: branch current flows from n1 to n2 through the inductor.
+  addA(sys, n1_, ib, +1.0);
+  addA(sys, n2_, ib, -1.0);
+}
+
+void Inductor::endStep(const Vector& x, double, double) {
+  v_prev_ = nodeV(x, n1_) - nodeV(x, n2_);
+  i_prev_ = x[branch_offset_];
+}
+
+// ----------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(int n1, int n2, TimeFn vs)
+    : n1_(n1), n2_(n2), vs_(std::move(vs)) {
+  if (!vs_) throw std::invalid_argument("VoltageSource: empty source function");
+}
+
+void VoltageSource::stamp(StampSystem& sys, const Vector&, double t_new, double) {
+  const std::size_t ib = branch_offset_;
+  // Branch row: v(n1) - v(n2) = vs(t).
+  addArowNode(sys, ib, n1_, 1.0);
+  addArowNode(sys, ib, n2_, -1.0);
+  sys.b[ib] += vs_(t_new);
+  // KCL: branch current leaves n1, enters n2 (through the source).
+  addA(sys, n1_, ib, +1.0);
+  addA(sys, n2_, ib, -1.0);
+}
+
+// ----------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(int n1, int n2, TimeFn is)
+    : n1_(n1), n2_(n2), is_(std::move(is)) {
+  if (!is_) throw std::invalid_argument("CurrentSource: empty source function");
+}
+
+void CurrentSource::stamp(StampSystem& sys, const Vector&, double t_new, double) {
+  stampCurrentSource(sys, n2_, n1_, is_(t_new));
+}
+
+// ------------------------------------------------------------------- Diode
+
+Diode::Diode(int anode, int cathode, const DiodeParams& p) : na_(anode), nc_(cathode), p_(p) {}
+
+double Diode::evalCurrent(double v, const DiodeParams& p, double& g) {
+  const double nvt = p.n * p.vt;
+  const double v_lim = 40.0 * nvt;  // linearize above this to bound exp()
+  double i;
+  if (v <= v_lim) {
+    const double e = std::exp(v / nvt);
+    i = p.is * (e - 1.0);
+    g = p.is * e / nvt;
+  } else {
+    const double e = std::exp(v_lim / nvt);
+    const double g_lim = p.is * e / nvt;
+    i = p.is * (e - 1.0) + g_lim * (v - v_lim);
+    g = g_lim;
+  }
+  i += p.gmin * v;
+  g += p.gmin;
+  return i;
+}
+
+void Diode::stamp(StampSystem& sys, const Vector& x, double, double) {
+  const double v = nodeV(x, na_) - nodeV(x, nc_);
+  double g = 0.0;
+  const double i = evalCurrent(v, p_, g);
+  // Linearization: i(v*) ~ i0 + g (v - v0) = g v + (i0 - g v0).
+  stampConductance(sys, na_, nc_, g);
+  stampCurrentSource(sys, na_, nc_, i - g * v);
+}
+
+// ------------------------------------------------------------------ Mosfet
+
+Mosfet::Mosfet(int drain, int gate, int source, const MosfetParams& p)
+    : nd_(drain), ng_(gate), ns_(source), p_(p) {}
+
+double Mosfet::evalIds(double vgs, double vds, const MosfetParams& p,
+                       double& gm, double& gds) {
+  // NMOS square-law with channel-length modulation; C1 continuous.
+  const double vov = vgs - p.vth;
+  double i = 0.0;
+  gm = 0.0;
+  gds = 0.0;
+  if (vov > 0.0) {
+    const double clm = 1.0 + p.lambda * vds;
+    if (vds < vov) {
+      // Triode.
+      i = p.k * (vov * vds - 0.5 * vds * vds) * clm;
+      gm = p.k * vds * clm;
+      gds = p.k * (vov - vds) * clm + p.k * (vov * vds - 0.5 * vds * vds) * p.lambda;
+    } else {
+      // Saturation.
+      i = 0.5 * p.k * vov * vov * clm;
+      gm = p.k * vov * clm;
+      gds = 0.5 * p.k * vov * vov * p.lambda;
+    }
+  }
+  i += p.gmin * vds;
+  gds += p.gmin;
+  return i;
+}
+
+void Mosfet::stamp(StampSystem& sys, const Vector& x, double, double) {
+  // Work in the "effective NMOS" frame; PMOS flips all port voltages and
+  // the current direction. Symmetric drain/source handling: if the
+  // effective vds is negative, swap drain and source.
+  const double sgn = (p_.type == MosfetParams::Type::kNmos) ? 1.0 : -1.0;
+  int d = nd_, s = ns_;
+  double vds = sgn * (nodeV(x, d) - nodeV(x, s));
+  if (vds < 0.0) {
+    std::swap(d, s);
+    vds = -vds;
+  }
+  const double vgs = sgn * (nodeV(x, ng_) - nodeV(x, s));
+
+  double gm = 0.0, gds = 0.0;
+  const double i = evalIds(vgs, vds, p_, gm, gds);
+
+  // Real current into the drain node is I_D = sgn * ids(vgs_eff, vds_eff).
+  // Linearizing and mapping the effective-frame voltages back through sgn:
+  //   I_D = gm (vg - vs) + gds (vd - vs) + sgn * (ids0 - gm vgs - gds vds)
+  // The conductance stamps see sgn twice (voltage map and current map) and
+  // are therefore identical for NMOS and PMOS; the residual source flips.
+  stampConductance(sys, d, s, gds);
+  addAnode(sys, d, ng_, +gm);
+  addAnode(sys, d, s, -gm);
+  addAnode(sys, s, ng_, -gm);
+  addAnode(sys, s, s, +gm);
+  const double ieq = i - gm * vgs - gds * vds;
+  stampCurrentSource(sys, d, s, sgn * ieq);
+}
+
+// --------------------------------------------------------------- IdealLine
+
+IdealLine::IdealLine(int p1p, int p1m, int p2p, int p2m, double zc, double td)
+    : p1p_(p1p), p1m_(p1m), p2p_(p2p), p2m_(p2m), zc_(zc), td_(td) {
+  if (zc <= 0.0) throw std::invalid_argument("IdealLine: Zc must be > 0");
+  if (td <= 0.0) throw std::invalid_argument("IdealLine: Td must be > 0");
+}
+
+void IdealLine::begin(double) {
+  w1_.clear();
+  w2_.clear();
+}
+
+double IdealLine::history(const std::deque<Sample>& h, double t) const {
+  // Before the first recorded sample the line is at rest: w = 0.
+  if (h.empty() || t < h.front().t) return 0.0;
+  if (t >= h.back().t) return h.back().w;
+  // Linear search from the back: t is always within one delay of the end.
+  for (std::size_t k = h.size() - 1; k > 0; --k) {
+    if (h[k - 1].t <= t) {
+      const Sample& a = h[k - 1];
+      const Sample& b = h[k];
+      const double frac = (b.t > a.t) ? (t - a.t) / (b.t - a.t) : 1.0;
+      return a.w + (b.w - a.w) * frac;
+    }
+  }
+  return h.front().w;
+}
+
+void IdealLine::beginStep(double t_new, double) {
+  v1h_ = history(w2_, t_new - td_);
+  v2h_ = history(w1_, t_new - td_);
+}
+
+void IdealLine::stamp(StampSystem& sys, const Vector&, double, double) {
+  const std::size_t i1 = branch_offset_;
+  const std::size_t i2 = branch_offset_ + 1;
+  // Port 1 characteristic: (v1p - v1m) - Zc i1 = v1h.
+  addArowNode(sys, i1, p1p_, 1.0);
+  addArowNode(sys, i1, p1m_, -1.0);
+  sys.a(i1, i1) += -zc_;
+  sys.b[i1] += v1h_;
+  // Port 2 characteristic.
+  addArowNode(sys, i2, p2p_, 1.0);
+  addArowNode(sys, i2, p2m_, -1.0);
+  sys.a(i2, i2) += -zc_;
+  sys.b[i2] += v2h_;
+  // KCL: i1 flows from p1p into the line, returns at p1m.
+  addA(sys, p1p_, i1, +1.0);
+  addA(sys, p1m_, i1, -1.0);
+  addA(sys, p2p_, i2, +1.0);
+  addA(sys, p2m_, i2, -1.0);
+}
+
+void IdealLine::endStep(const Vector& x, double t_new, double) {
+  const double v1 = nodeV(x, p1p_) - nodeV(x, p1m_);
+  const double v2 = nodeV(x, p2p_) - nodeV(x, p2m_);
+  const double i1 = x[branch_offset_];
+  const double i2 = x[branch_offset_ + 1];
+  w1_.push_back({t_new, v1 + zc_ * i1});
+  w2_.push_back({t_new, v2 + zc_ * i2});
+  // Prune history older than one delay plus slack.
+  const double cutoff = t_new - 2.0 * td_;
+  while (w1_.size() > 2 && w1_[1].t < cutoff) w1_.pop_front();
+  while (w2_.size() > 2 && w2_[1].t < cutoff) w2_.pop_front();
+}
+
+// ---------------------------------------------------------- BehavioralPort
+
+BehavioralPort::BehavioralPort(int n1, int n2, PortModelPtr model)
+    : n1_(n1), n2_(n2), model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("BehavioralPort: null model");
+}
+
+void BehavioralPort::begin(double dt) { model_->prepare(dt); }
+
+void BehavioralPort::stamp(StampSystem& sys, const Vector& x, double t_new, double) {
+  const double v = nodeV(x, n1_) - nodeV(x, n2_);
+  double g = 0.0;
+  const double i = model_->current(v, t_new, g);
+  stampConductance(sys, n1_, n2_, g);
+  stampCurrentSource(sys, n1_, n2_, i - g * v);
+}
+
+void BehavioralPort::endStep(const Vector& x, double t_new, double) {
+  model_->commit(nodeV(x, n1_) - nodeV(x, n2_), t_new);
+}
+
+}  // namespace fdtdmm

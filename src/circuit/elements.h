@@ -1,0 +1,252 @@
+#pragma once
+/// \file elements.h
+/// Circuit element hierarchy for the MNA transient engine. Elements stamp
+/// linearized contributions (conductances / equivalent current sources /
+/// branch equations) into a dense MNA system at each Newton iteration,
+/// exactly as a SPICE-class simulator does.
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "math/matrix.h"
+#include "signal/port_model.h"
+
+namespace fdtdmm {
+
+/// Dense MNA system A x = b; unknowns are node voltages (node k > 0 at
+/// index k-1) followed by branch currents.
+struct StampSystem {
+  Matrix a;
+  Vector b;
+};
+
+/// Source waveform type shared with the signal module.
+using TimeFn = std::function<double(double t)>;
+
+/// Base class of all circuit elements.
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Number of extra branch-current unknowns this element adds.
+  virtual int branchCount() const { return 0; }
+
+  /// Assigns the index of this element's first branch unknown.
+  void setBranchOffset(std::size_t off) { branch_offset_ = off; }
+
+  /// Called once when the simulation starts (after dt is known).
+  virtual void begin(double /*dt*/) {}
+
+  /// Called at the start of every time step, before Newton iterations.
+  /// t_new is the time being solved for.
+  virtual void beginStep(double /*t_new*/, double /*dt*/) {}
+
+  /// Stamps the linearization about iterate x into the system.
+  virtual void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) = 0;
+
+  /// Commits the accepted solution of this step.
+  virtual void endStep(const Vector& /*x*/, double /*t_new*/, double /*dt*/) {}
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Voltage of node n in the unknown vector (ground = 0).
+  static double nodeV(const Vector& x, int n) { return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)]; }
+
+  /// Adds conductance g between nodes n1 and n2 (standard 4-point stamp).
+  static void stampConductance(StampSystem& sys, int n1, int n2, double g);
+
+  /// Adds current `i` flowing out of n1 into n2 to the RHS (i.e. a source
+  /// pushing current from n2 to n1 adds +i at n1).
+  static void stampCurrentSource(StampSystem& sys, int n1, int n2, double i);
+
+  /// Matrix entry helpers that ignore the ground node.
+  static void addA(StampSystem& sys, int row_node, std::size_t col, double v);
+  static void addAnode(StampSystem& sys, int row_node, int col_node, double v);
+  static void addArowNode(StampSystem& sys, std::size_t row, int col_node, double v);
+
+  std::size_t branch_offset_ = 0;
+};
+
+/// Linear resistor between n1 and n2.
+class Resistor final : public Element {
+ public:
+  /// \throws std::invalid_argument if r <= 0.
+  Resistor(int n1, int n2, double r);
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "R"; }
+
+ private:
+  int n1_, n2_;
+  double g_;
+};
+
+/// Linear capacitor (trapezoidal companion model).
+class Capacitor final : public Element {
+ public:
+  /// \throws std::invalid_argument if c <= 0.
+  Capacitor(int n1, int n2, double c, double v0 = 0.0);
+  void begin(double dt) override;
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void endStep(const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "C"; }
+
+ private:
+  int n1_, n2_;
+  double c_;
+  double v_prev_;
+  double i_prev_ = 0.0;
+  double geq_ = 0.0;
+};
+
+/// Linear inductor (trapezoidal, one branch unknown).
+class Inductor final : public Element {
+ public:
+  /// \throws std::invalid_argument if l <= 0.
+  Inductor(int n1, int n2, double l, double i0 = 0.0);
+  int branchCount() const override { return 1; }
+  void begin(double dt) override;
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void endStep(const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "L"; }
+
+ private:
+  int n1_, n2_;
+  double l_;
+  double i_prev_;
+  double v_prev_ = 0.0;
+};
+
+/// Ideal voltage source v(n1) - v(n2) = vs(t) (one branch unknown).
+class VoltageSource final : public Element {
+ public:
+  /// \throws std::invalid_argument if vs is empty.
+  VoltageSource(int n1, int n2, TimeFn vs);
+  int branchCount() const override { return 1; }
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "V"; }
+
+  /// Index of the branch-current unknown (valid after assembly).
+  std::size_t branchIndex() const { return branch_offset_; }
+
+ private:
+  int n1_, n2_;
+  TimeFn vs_;
+};
+
+/// Ideal current source injecting is(t) from n2 into n1.
+class CurrentSource final : public Element {
+ public:
+  /// \throws std::invalid_argument if is is empty.
+  CurrentSource(int n1, int n2, TimeFn is);
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "I"; }
+
+ private:
+  int n1_, n2_;
+  TimeFn is_;
+};
+
+/// Junction diode parameters.
+struct DiodeParams {
+  double is = 1e-14;      ///< saturation current [A]
+  double n = 1.0;         ///< emission coefficient
+  double vt = 0.025852;   ///< thermal voltage [V]
+  double gmin = 1e-12;    ///< parallel conductance for conditioning
+};
+
+/// Junction diode from anode to cathode, i = Is (exp(v/nVt) - 1).
+/// Exponential linearly extrapolated above 40 nVt to keep Newton bounded.
+class Diode final : public Element {
+ public:
+  Diode(int anode, int cathode, const DiodeParams& p = {});
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "D"; }
+
+  /// Diode current and conductance at junction voltage v (exposed for tests).
+  static double evalCurrent(double v, const DiodeParams& p, double& g);
+
+ private:
+  int na_, nc_;
+  DiodeParams p_;
+};
+
+/// Level-1 (square-law) MOSFET parameters.
+struct MosfetParams {
+  enum class Type { kNmos, kPmos };
+  Type type = Type::kNmos;
+  double vth = 0.45;    ///< threshold voltage magnitude [V]
+  double k = 8e-3;      ///< transconductance factor K = mu Cox W/L [A/V^2]
+  double lambda = 0.05; ///< channel-length modulation [1/V]
+  double gmin = 1e-12;  ///< drain-source leakage for conditioning
+};
+
+/// Level-1 MOSFET (symmetric in drain/source). Captures the square-law
+/// regions (cutoff / triode / saturation) with C1-continuous boundaries;
+/// this is all the macromodeling pipeline requires from the
+/// transistor-level substitute of the paper's IBM device.
+class Mosfet final : public Element {
+ public:
+  Mosfet(int drain, int gate, int source, const MosfetParams& p = {});
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return p_.type == MosfetParams::Type::kNmos ? "NMOS" : "PMOS"; }
+
+  /// Drain current (NMOS convention: positive into drain when vds > 0) and
+  /// partial derivatives; exposed for unit tests of region boundaries.
+  static double evalIds(double vgs, double vds, const MosfetParams& p,
+                        double& gm, double& gds);
+
+ private:
+  int nd_, ng_, ns_;
+  MosfetParams p_;
+};
+
+/// Lossless ideal transmission line (Branin / method-of-characteristics
+/// model): two ports (p1+, p1-) and (p2+, p2-), characteristic impedance Zc,
+/// one-way delay Td. Adds two branch-current unknowns. History terms are
+/// linearly interpolated, so use dt well below Td.
+class IdealLine final : public Element {
+ public:
+  /// \throws std::invalid_argument if zc <= 0 or td <= 0.
+  IdealLine(int p1p, int p1m, int p2p, int p2m, double zc, double td);
+  int branchCount() const override { return 2; }
+  void begin(double dt) override;
+  void beginStep(double t_new, double dt) override;
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void endStep(const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "TL"; }
+
+ private:
+  struct Sample {
+    double t;
+    double w;  ///< v + Zc i at the far port
+  };
+  double history(const std::deque<Sample>& h, double t) const;
+
+  int p1p_, p1m_, p2p_, p2m_;
+  double zc_, td_;
+  std::deque<Sample> w1_;  ///< v1 + Zc i1 samples
+  std::deque<Sample> w2_;  ///< v2 + Zc i2 samples
+  double v1h_ = 0.0;       ///< incident history for port 1 at t_new
+  double v2h_ = 0.0;
+};
+
+/// Wraps a PortModel (e.g. an RBF macromodel resampled to the circuit time
+/// step) as a two-terminal nonlinear element. This is engine (ii) of the
+/// paper's Fig. 4: "SPICE with RBF models of the devices".
+class BehavioralPort final : public Element {
+ public:
+  /// \throws std::invalid_argument if model is null.
+  BehavioralPort(int n1, int n2, PortModelPtr model);
+  void begin(double dt) override;
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void endStep(const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "PORT(" + model_->name() + ")"; }
+
+ private:
+  int n1_, n2_;
+  PortModelPtr model_;
+};
+
+}  // namespace fdtdmm

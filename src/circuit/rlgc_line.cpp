@@ -1,0 +1,59 @@
+#include "circuit/rlgc_line.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+double rlgcCharacteristicImpedance(const RlgcParams& p) {
+  return std::sqrt(p.l / p.c);
+}
+
+double rlgcDelay(const RlgcParams& p) { return p.length * std::sqrt(p.l * p.c); }
+
+void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
+                   const RlgcParams& p) {
+  if (p.l <= 0.0 || p.c <= 0.0 || p.length <= 0.0)
+    throw std::invalid_argument("buildRlgcLine: l, c, length must be > 0");
+  if (p.r < 0.0 || p.g < 0.0)
+    throw std::invalid_argument("buildRlgcLine: r, g must be >= 0");
+  if (p.segments == 0) throw std::invalid_argument("buildRlgcLine: need >= 1 segment");
+
+  const double dz = p.length / static_cast<double>(p.segments);
+  const double l_seg = p.l * dz;
+  const double c_seg = p.c * dz;
+  const double r_half = 0.5 * p.r * dz;
+  const double g_seg = p.g * dz;
+
+  int prev = n1;
+  for (std::size_t s = 0; s < p.segments; ++s) {
+    // Series branch: R/2 - L - R/2 keeps the ladder symmetric.
+    int a = prev;
+    if (r_half > 0.0) {
+      const int mid_in = circuit.addNode();
+      circuit.addResistor(a, mid_in, r_half);
+      a = mid_in;
+    }
+    const int mid_out = circuit.addNode();
+    circuit.addInductor(a, mid_out, l_seg);
+    int node = mid_out;
+    if (r_half > 0.0) {
+      const int after = (s == p.segments - 1) ? n2 : circuit.addNode();
+      circuit.addResistor(mid_out, after, r_half);
+      node = after;
+    } else if (s == p.segments - 1) {
+      // Tie the last inductor output to n2 through a negligible resistance
+      // (MNA requires distinct inductor branch nodes).
+      circuit.addResistor(mid_out, n2, 1e-6);
+      node = n2;
+    }
+    // Shunt elements at the segment output. Reference: interpolate between
+    // the two reference terminals (they are usually the same ground node).
+    const int ref = (s < p.segments / 2) ? ref1 : ref2;
+    circuit.addCapacitor(node, ref, c_seg);
+    if (g_seg > 0.0) circuit.addResistor(node, ref, 1.0 / g_seg);
+    prev = node;
+  }
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,34 @@
+#pragma once
+/// \file rlgc_line.h
+/// Lossy distributed transmission line as a segmented RLGC ladder for the
+/// MNA engine. The paper's ideal-line engines (i)/(ii) assume lossless
+/// interconnect; this builder extends the circuit substrate to lossy
+/// lines (copper/dielectric loss studies) with a controllable number of
+/// segments. For r = g = 0 and enough segments it converges to the
+/// Branin ideal line.
+
+#include "circuit/circuit.h"
+
+namespace fdtdmm {
+
+/// Per-unit-length parameters and discretization of an RLGC line.
+struct RlgcParams {
+  double r = 0.0;      ///< series resistance [ohm/m]
+  double l = 2.5e-7;   ///< series inductance [H/m]
+  double g = 0.0;      ///< shunt conductance [S/m]
+  double c = 1e-10;    ///< shunt capacitance [F/m]
+  double length = 0.1; ///< physical length [m]
+  std::size_t segments = 32;  ///< LC ladder sections
+};
+
+/// Derived quantities.
+double rlgcCharacteristicImpedance(const RlgcParams& p);  ///< sqrt(L'/C') [ohm]
+double rlgcDelay(const RlgcParams& p);                    ///< length*sqrt(L'C') [s]
+
+/// Builds the ladder between (n1, ref1) and (n2, ref2). Every segment is a
+/// series R/2-L-R/2 branch and a shunt C (+ optional G) at its output node.
+/// \throws std::invalid_argument on non-positive l/c/length or 0 segments.
+void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
+                   const RlgcParams& p);
+
+}  // namespace fdtdmm

@@ -1,0 +1,107 @@
+#include "circuit/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+
+namespace fdtdmm {
+
+namespace {
+
+double nodeVoltage(const Vector& x, int n) {
+  return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+}
+
+}  // namespace
+
+TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
+                             const std::vector<NodeProbe>& probes,
+                             const std::vector<BranchProbe>& branch_probes) {
+  if (opt.dt <= 0.0) throw std::invalid_argument("runTransient: dt must be > 0");
+  if (opt.t_stop <= 0.0) throw std::invalid_argument("runTransient: t_stop must be > 0");
+  if (opt.settle_time < 0.0) throw std::invalid_argument("runTransient: settle_time < 0");
+  for (const auto& p : probes) {
+    if (p.n1 < 0 || p.n1 > circuit.nodeCount() || p.n2 < 0 || p.n2 > circuit.nodeCount())
+      throw std::invalid_argument("runTransient: probe node out of range");
+  }
+  for (const auto& p : branch_probes) {
+    if (p.source == nullptr)
+      throw std::invalid_argument("runTransient: branch probe without source");
+  }
+
+  const std::size_t n_unknowns = circuit.assignUnknowns();
+  auto& elements = circuit.elements();
+  for (auto& e : elements) e->begin(opt.dt);
+
+  TransientResult result;
+  std::vector<Vector> probe_data(probes.size());
+  std::vector<Vector> branch_data(branch_probes.size());
+
+  Vector x(n_unknowns, 0.0);
+  StampSystem sys;
+
+  const auto n_settle = static_cast<long long>(std::ceil(opt.settle_time / opt.dt));
+  const auto n_run = static_cast<long long>(std::ceil(opt.t_stop / opt.dt));
+
+  auto record = [&](const Vector& sol) {
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      probe_data[p].push_back(nodeVoltage(sol, probes[p].n1) -
+                              nodeVoltage(sol, probes[p].n2));
+    }
+    for (std::size_t p = 0; p < branch_probes.size(); ++p) {
+      branch_data[p].push_back(sol[branch_probes[p].source->branchIndex()]);
+    }
+  };
+
+  for (long long step = -n_settle; step <= n_run; ++step) {
+    const double t_new = static_cast<double>(step) * opt.dt;
+    for (auto& e : elements) e->beginStep(t_new, opt.dt);
+
+    // Newton iteration: repeatedly solve the linearized MNA system.
+    int it = 0;
+    bool step_converged = false;
+    for (; it < opt.max_newton_iterations; ++it) {
+      sys.a = Matrix(n_unknowns, n_unknowns);
+      sys.b.assign(n_unknowns, 0.0);
+      for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
+      Vector x_new = solveLinear(sys.a, sys.b);
+
+      double max_dx = 0.0;
+      for (std::size_t k = 0; k < n_unknowns; ++k) {
+        double dxk = x_new[k] - x[k];
+        if (!std::isfinite(dxk))
+          throw std::runtime_error("runTransient: Newton diverged (non-finite update)");
+        if (opt.max_delta_v > 0.0) dxk = std::clamp(dxk, -opt.max_delta_v, opt.max_delta_v);
+        x[k] += dxk;
+        max_dx = std::max(max_dx, std::abs(dxk));
+      }
+      if (max_dx <= opt.v_tolerance) {
+        step_converged = true;
+        ++it;
+        break;
+      }
+    }
+    if (!step_converged) result.converged = false;
+    result.max_newton_iterations = std::max(result.max_newton_iterations, it);
+    result.total_newton_iterations += it;
+
+    for (auto& e : elements) e->endStep(x, t_new, opt.dt);
+    if (step >= 0) {
+      record(x);
+      ++result.steps;
+    }
+  }
+
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    result.probes.emplace(probes[p].label, Waveform(0.0, opt.dt, std::move(probe_data[p])));
+  }
+  for (std::size_t p = 0; p < branch_probes.size(); ++p) {
+    result.probes.emplace(branch_probes[p].label,
+                          Waveform(0.0, opt.dt, std::move(branch_data[p])));
+  }
+  return result;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,62 @@
+#pragma once
+/// \file transient.h
+/// Fixed-step transient analysis of a Circuit: trapezoidal companion
+/// models for reactive elements and Newton-Raphson on the nonlinear MNA
+/// system at every step (the standard SPICE algorithm).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Options for a transient run.
+struct TransientOptions {
+  double dt = 1e-12;        ///< time step [s]; must be > 0
+  double t_stop = 1e-9;     ///< end time [s]; must be > 0
+  double settle_time = 0.0; ///< pre-roll with t < 0 to reach steady state
+  int max_newton_iterations = 100;
+  double v_tolerance = 1e-9;  ///< Newton convergence on max |dx|
+  double max_delta_v = 1.0;   ///< per-iteration voltage damping clamp [V]
+};
+
+/// A named voltage probe between two nodes.
+struct NodeProbe {
+  std::string label;
+  int n1 = 0;  ///< positive node
+  int n2 = 0;  ///< negative node (usually ground)
+};
+
+/// A named branch-current probe on a voltage source. The recorded value is
+/// the current flowing from the source's n1 terminal through the source to
+/// n2. Forcing a device port with a source and probing this current is how
+/// the identification pipeline measures port currents.
+struct BranchProbe {
+  std::string label;
+  const VoltageSource* source = nullptr;
+};
+
+/// Result of a transient run.
+struct TransientResult {
+  std::map<std::string, Waveform> probes;  ///< keyed by probe label
+  std::size_t steps = 0;                   ///< accepted steps (t >= 0)
+  int max_newton_iterations = 0;           ///< worst step
+  long long total_newton_iterations = 0;
+  bool converged = true;  ///< false if any step hit the iteration cap
+
+  /// Access with existence check. \throws std::out_of_range.
+  const Waveform& at(const std::string& label) const { return probes.at(label); }
+};
+
+/// Runs a transient analysis.
+/// \throws std::invalid_argument on bad options or probe nodes.
+/// \throws std::runtime_error if the Newton iteration diverges (non-finite
+///         values); mere non-convergence is reported via `converged`.
+TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
+                             const std::vector<NodeProbe>& probes,
+                             const std::vector<BranchProbe>& branch_probes = {});
+
+}  // namespace fdtdmm

@@ -1,0 +1,119 @@
+#include "core/model_factory.h"
+
+#include <mutex>
+
+#include "devices/training.h"
+#include "rbf/identification.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+
+RbfDriverModel buildDriverMacromodel(const CmosDriverParams& device,
+                                     const DriverIdentOptions& opt) {
+  // --- Fixed-state submodels from multilevel forced-port records.
+  MultilevelOptions mo;
+  mo.v_min = opt.v_min;
+  mo.v_max = opt.v_max;
+  mo.seed = opt.seed;
+  const Waveform v_force = multilevelRandom(opt.excitation_span, opt.ts / 4.0, mo);
+
+  RecordingOptions ro;
+  ro.dt = opt.ts / 8.0;
+  const PortRecord rec_hi =
+      resampleRecord(recordDriverFixedState(device, true, v_force, ro), opt.ts);
+  const PortRecord rec_lo =
+      resampleRecord(recordDriverFixedState(device, false, v_force, ro), opt.ts);
+
+  SubmodelFitOptions so;
+  so.order = opt.order;
+  so.centers = opt.centers;
+  so.seed = opt.seed;
+  auto up = fitGaussianSubmodel(rec_hi.v, rec_hi.i, so);
+  so.seed = opt.seed + 1;
+  auto down = fitGaussianSubmodel(rec_lo.v, rec_lo.i, so);
+
+  // --- Switching weights from two loaded '010' transitions.
+  const BitPattern pattern("010", opt.bit_time);
+  const TimeFn logic = [pattern](double t) {
+    return static_cast<double>(pattern.levelAt(t));
+  };
+  const double t_stop = opt.bit_time * static_cast<double>(pattern.size());
+  const PortRecord sw1 = resampleRecord(
+      recordDriverWithLoad(device, logic, opt.r_load_1, 0.0, t_stop, ro), opt.ts);
+  const PortRecord sw2 = resampleRecord(
+      recordDriverWithLoad(device, logic, opt.r_load_2, device.vdd, t_stop, ro),
+      opt.ts);
+
+  RbfDriverModel model;
+  model.weights = extractSwitchingWeights(*up, *down, sw1.v, sw1.i, sw2.v, sw2.i,
+                                          pattern);
+  model.up = std::move(up);
+  model.down = std::move(down);
+  model.ts = opt.ts;
+  model.vdd = device.vdd;
+  return model;
+}
+
+RbfReceiverModel buildReceiverMacromodel(const CmosReceiverParams& device,
+                                         const ReceiverIdentOptions& opt) {
+  // Linear-range excitation: stays inside [0.1, vdd - 0.1].
+  MultilevelOptions lin;
+  lin.v_min = 0.1;
+  lin.v_max = device.vdd - 0.1;
+  lin.seed = opt.seed;
+  const Waveform v_lin_f = multilevelRandom(opt.excitation_span, opt.ts / 4.0, lin);
+
+  // Full-range excitation: exercises both protection clamps.
+  MultilevelOptions full;
+  full.v_min = -1.0;
+  full.v_max = device.vdd + 1.0;
+  full.seed = opt.seed + 7;
+  const Waveform v_full_f = multilevelRandom(opt.excitation_span, opt.ts / 4.0, full);
+
+  RecordingOptions ro;
+  ro.dt = opt.ts / 8.0;
+  const PortRecord rec_lin = resampleRecord(recordReceiverForced(device, v_lin_f, ro), opt.ts);
+  const PortRecord rec_full = resampleRecord(recordReceiverForced(device, v_full_f, ro), opt.ts);
+
+  ReceiverFitOptions fo;
+  fo.order = opt.order;
+  fo.centers = opt.centers;
+  fo.v_margin = opt.v_margin;
+  fo.seed = opt.seed;
+  return fitReceiverModel(rec_lin.v, rec_lin.i, rec_full.v, rec_full.i, device.vdd, fo);
+}
+
+namespace {
+std::once_flag g_driver_once;
+std::once_flag g_receiver_once;
+std::shared_ptr<const RbfDriverModel> g_driver_model;
+std::shared_ptr<const RbfReceiverModel> g_receiver_model;
+}  // namespace
+
+const CmosDriverParams& defaultDriverDevice() {
+  static const CmosDriverParams params{};
+  return params;
+}
+
+const CmosReceiverParams& defaultReceiverDevice() {
+  static const CmosReceiverParams params{};
+  return params;
+}
+
+std::shared_ptr<const RbfDriverModel> defaultDriverModel() {
+  std::call_once(g_driver_once, [] {
+    g_driver_model = std::make_shared<const RbfDriverModel>(
+        buildDriverMacromodel(defaultDriverDevice()));
+  });
+  return g_driver_model;
+}
+
+std::shared_ptr<const RbfReceiverModel> defaultReceiverModel() {
+  std::call_once(g_receiver_once, [] {
+    g_receiver_model = std::make_shared<const RbfReceiverModel>(
+        buildReceiverMacromodel(defaultReceiverDevice()));
+  });
+  return g_receiver_model;
+}
+
+}  // namespace fdtdmm

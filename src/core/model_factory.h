@@ -1,0 +1,68 @@
+#pragma once
+/// \file model_factory.h
+/// End-to-end macromodel production: runs the transistor-level devices
+/// (src/devices) through the identification pipeline (src/rbf) to produce
+/// ready-to-use RBF driver/receiver macromodels. This is the "parameters
+/// are computed only once through a rigorous identification procedure and
+/// are used for all subsequent simulations" workflow of the paper.
+
+#include <cstdint>
+#include <memory>
+
+#include "devices/cmos_driver.h"
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+
+namespace fdtdmm {
+
+/// Identification configuration for the driver macromodel.
+struct DriverIdentOptions {
+  /// Model sampling time Ts [s]. Chosen against the device's dynamic
+  /// features (pad RC ~ 30 ps, pre-driver ~ 30 ps), per Section 2 of the
+  /// paper.
+  double ts = 25e-12;
+  int order = 2;               ///< regressor depth r
+  std::size_t centers = 45;    ///< Gaussian centers per submodel
+  double excitation_span = 60e-9;  ///< length of the multilevel training signal
+  double v_min = -0.6;         ///< excitation range (beyond the rails, to
+  double v_max = 2.4;          ///<   cover reflections and clamp action)
+  double r_load_1 = 75.0;      ///< switching record load 1 (to ground)
+  double r_load_2 = 150.0;     ///< switching record load 2 (to Vdd)
+  double bit_time = 2e-9;      ///< switching record bit time
+  std::uint64_t seed = 2024;
+};
+
+/// Identifies the two fixed-state submodels and the switching weights of a
+/// driver from transistor-level simulations. Deterministic for fixed
+/// options.
+RbfDriverModel buildDriverMacromodel(const CmosDriverParams& device,
+                                     const DriverIdentOptions& opt = {});
+
+/// Identification configuration for the receiver macromodel.
+struct ReceiverIdentOptions {
+  /// Model sampling time Ts [s]. The receiver input pole (r_series * c_in
+  /// ~ 5 ps) must be resolved, or the discrete model aliases it into a
+  /// Nyquist-rate pole that the Eq. (13) resampling cannot represent.
+  double ts = 10e-12;
+  int order = 2;
+  std::size_t centers = 30;
+  double excitation_span = 60e-9;
+  double v_margin = 0.2;  ///< clamp mask band [V]
+  std::uint64_t seed = 3025;
+};
+
+/// Identifies the Eq. (6) receiver macromodel from transistor-level
+/// simulations.
+RbfReceiverModel buildReceiverMacromodel(const CmosReceiverParams& device,
+                                         const ReceiverIdentOptions& opt = {});
+
+/// Lazily built, cached default models (the identification takes a couple
+/// of seconds; tests and benches share one instance).
+std::shared_ptr<const RbfDriverModel> defaultDriverModel();
+std::shared_ptr<const RbfReceiverModel> defaultReceiverModel();
+
+/// The default transistor-level device parameters behind the cached models.
+const CmosDriverParams& defaultDriverDevice();
+const CmosReceiverParams& defaultReceiverDevice();
+
+}  // namespace fdtdmm

@@ -1,0 +1,73 @@
+#pragma once
+/// \file tline_scenario.h
+/// The paper's validation structure (Section 4, Figs. 3-5): a two-strip
+/// transmission line (Zc ~ 131 ohm, Td ~ 0.4 ns) driven by the macromodeled
+/// CMOS driver forcing a '010' pattern at 2 ns bit time, with either a
+/// linear RC far-end load (1 pF || 500 ohm, Fig. 4) or the macromodeled
+/// receiver (Fig. 5). Four engines produce the same two termination
+/// waveforms:
+///   (i)   SPICE + transistor-level devices + ideal line,
+///   (ii)  SPICE + RBF macromodels + ideal line,
+///   (iii) 1D FDTD line + RBF macromodels,
+///   (iv)  3D FDTD full-wave + RBF macromodels.
+
+#include <memory>
+
+#include "core/model_factory.h"
+#include "signal/bit_pattern.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Far-end termination selector (Fig. 4 vs Fig. 5).
+enum class FarEndLoad { kLinearRc, kReceiver };
+
+/// Scenario parameters; defaults reproduce the paper's setup.
+struct TlineScenario {
+  std::string pattern = "010";
+  double bit_time = 2e-9;    ///< [s]
+  double t_stop = 5e-9;      ///< plot window [s]
+  double zc = 131.0;         ///< line characteristic impedance [ohm]
+  double td = 0.4e-9;        ///< line delay [s]
+  FarEndLoad load = FarEndLoad::kLinearRc;
+  double load_r = 500.0;     ///< Fig. 4 shunt resistor [ohm]
+  double load_c = 1e-12;     ///< Fig. 4 shunt capacitor [F]
+  // 3D mesh parameters (Fig. 3 structure).
+  std::size_t mesh_nx = 180, mesh_ny = 24, mesh_nz = 23;
+  double mesh_delta = 0.723e-3;  ///< uniform cell size [m]
+  std::size_t strip_len = 160;   ///< strip length [cells]
+  std::size_t strip_width = 4;   ///< strip width [cells]
+  std::size_t strip_gap = 3;     ///< vertical separation [cells]
+};
+
+/// Result of one engine run on the scenario.
+struct EngineRun {
+  Waveform v_near;  ///< driver-side termination voltage
+  Waveform v_far;   ///< far-end termination voltage
+  int max_newton_iterations = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Engine (i): transistor-level SPICE reference.
+EngineRun runSpiceTransistorTline(const TlineScenario& cfg,
+                                  const CmosDriverParams& driver,
+                                  const CmosReceiverParams& receiver,
+                                  double dt = 2e-12);
+
+/// Engine (ii): SPICE with RBF macromodels.
+EngineRun runSpiceRbfTline(const TlineScenario& cfg,
+                           std::shared_ptr<const RbfDriverModel> driver,
+                           std::shared_ptr<const RbfReceiverModel> receiver,
+                           double dt = 2e-12);
+
+/// Engine (iii): 1D FDTD with RBF macromodels.
+EngineRun runFdtd1dTline(const TlineScenario& cfg,
+                         std::shared_ptr<const RbfDriverModel> driver,
+                         std::shared_ptr<const RbfReceiverModel> receiver);
+
+/// Engine (iv): 3D FDTD full-wave with RBF macromodels.
+EngineRun runFdtd3dTline(const TlineScenario& cfg,
+                         std::shared_ptr<const RbfDriverModel> driver,
+                         std::shared_ptr<const RbfReceiverModel> receiver);
+
+}  // namespace fdtdmm

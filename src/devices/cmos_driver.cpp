@@ -1,0 +1,115 @@
+#include "devices/cmos_driver.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fdtdmm {
+
+CmosDriverInstance buildCmosDriver(Circuit& circuit, const CmosDriverParams& p,
+                                   TimeFn logic) {
+  if (!logic) throw std::invalid_argument("buildCmosDriver: null logic function");
+
+  CmosDriverInstance inst;
+  inst.vdd = circuit.addNode();
+  inst.pad = circuit.addNode();
+  inst.gate = circuit.addNode();
+  const int pre = circuit.addNode();  // ideal pre-driver output
+
+  const double vdd = p.vdd;
+  circuit.addVoltageSource(inst.vdd, Circuit::kGround, [vdd](double) { return vdd; });
+
+  // Pre-driver: inverting stage modeled as an ideal source with finite edge
+  // time followed by an RC. logic = 1 -> gates low -> PMOS on -> pad HIGH.
+  const double te = p.edge_time;
+  TimeFn gate_drive = [logic = std::move(logic), vdd, te](double t) {
+    // First-order hold of the logic value over the edge time: average the
+    // logic level across [t - te, t] to produce a finite-slope inversion.
+    const int n = 8;
+    double acc = 0.0;
+    for (int k = 0; k < n; ++k) {
+      acc += logic(t - te * (static_cast<double>(k) + 0.5) / n);
+    }
+    const double level = acc / n;
+    return vdd * (1.0 - level);
+  };
+  circuit.addVoltageSource(pre, Circuit::kGround, std::move(gate_drive));
+  // Pre-driver chain: `pre_stages` RC gate stages in cascade. The total
+  // delay is kept independent of the stage count by splitting R and C.
+  const int stages = std::max(1, p.pre_stages);
+  int node = pre;
+  for (int s = 0; s < stages; ++s) {
+    const int next = (s == stages - 1) ? inst.gate : circuit.addNode();
+    circuit.addResistor(node, next, p.r_gate / stages);
+    circuit.addCapacitor(next, Circuit::kGround, p.c_gate / stages);
+    node = next;
+  }
+
+  // Push-pull output stage, split into parallel fingers with identical
+  // total drive strength.
+  const int fingers = std::max(1, p.output_fingers);
+  MosfetParams nmos;
+  nmos.type = MosfetParams::Type::kNmos;
+  nmos.vth = p.vth_n;
+  nmos.k = p.k_n / fingers;
+  nmos.lambda = p.lambda;
+  MosfetParams pmos;
+  pmos.type = MosfetParams::Type::kPmos;
+  pmos.vth = p.vth_p;
+  pmos.k = p.k_p / fingers;
+  pmos.lambda = p.lambda;
+  for (int f = 0; f < fingers; ++f) {
+    // Each finger has a tiny local gate node (contact resistance) so the
+    // netlist grows the way a real multi-finger layout does.
+    int fgate = inst.gate;
+    if (fingers > 1) {
+      fgate = circuit.addNode();
+      circuit.addResistor(inst.gate, fgate, 1.0);
+      circuit.addCapacitor(fgate, Circuit::kGround, 1e-15);
+    }
+    circuit.addMosfet(inst.pad, fgate, Circuit::kGround, nmos);
+    circuit.addMosfet(inst.pad, fgate, inst.vdd, pmos);
+  }
+
+  // Pad parasitics and Miller coupling.
+  circuit.addCapacitor(inst.pad, Circuit::kGround, p.c_pad);
+  circuit.addCapacitor(inst.gate, inst.pad, p.c_gd);
+
+  // ESD clamps: conduct when the pad leaves the [0, vdd] range. Each path
+  // has a series resistance (a bare ideal diode across a forced port would
+  // draw unphysical kiloamp currents one volt past the rails).
+  const int up_a = circuit.addNode();
+  circuit.addResistor(inst.pad, up_a, p.r_clamp);
+  circuit.addDiode(up_a, inst.vdd, p.clamp);  // up protection
+  const int dn_a = circuit.addNode();
+  circuit.addDiode(Circuit::kGround, dn_a, p.clamp);  // down protection
+  circuit.addResistor(dn_a, inst.pad, p.r_clamp);
+
+  return inst;
+}
+
+CmosReceiverInstance buildCmosReceiver(Circuit& circuit, const CmosReceiverParams& p) {
+  CmosReceiverInstance inst;
+  inst.vdd = circuit.addNode();
+  inst.pad = circuit.addNode();
+  const int internal = circuit.addNode();
+
+  const double vdd = p.vdd;
+  circuit.addVoltageSource(inst.vdd, Circuit::kGround, [vdd](double) { return vdd; });
+
+  circuit.addResistor(inst.pad, internal, p.r_series);
+  circuit.addCapacitor(internal, Circuit::kGround, p.c_in);
+  circuit.addResistor(internal, Circuit::kGround, p.r_in);
+
+  // Protection diodes at the pad, each behind its clamp-path resistance.
+  const int up_a = circuit.addNode();
+  circuit.addResistor(inst.pad, up_a, p.r_clamp);
+  circuit.addDiode(up_a, inst.vdd, p.clamp);  // up protection
+  const int dn_a = circuit.addNode();
+  circuit.addDiode(Circuit::kGround, dn_a, p.clamp);  // down protection
+  circuit.addResistor(dn_a, inst.pad, p.r_clamp);
+
+  return inst;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,90 @@
+#include "devices/training.h"
+
+#include <stdexcept>
+
+#include "circuit/transient.h"
+
+namespace fdtdmm {
+
+namespace {
+
+/// Runs `circuit` with a forcing source on `pad` given by v_force, and
+/// returns the port record (voltage, current into the pad).
+PortRecord forceAndRecord(Circuit& circuit, int pad, const Waveform& v_force,
+                          const RecordingOptions& opt) {
+  if (v_force.empty()) throw std::invalid_argument("forceAndRecord: empty forcing waveform");
+  VoltageSource* src = circuit.addVoltageSource(
+      pad, Circuit::kGround, [&v_force](double t) { return v_force.value(t); });
+
+  TransientOptions topt;
+  topt.dt = opt.dt;
+  topt.t_stop = v_force.tEnd();
+  topt.settle_time = opt.settle_time;
+
+  auto res = runTransient(circuit, topt, {{"v", pad, Circuit::kGround}},
+                          {{"i_src", src}});
+
+  // The probed branch current flows from the pad through the source; the
+  // current into the device is its negative.
+  Waveform i = res.at("i_src");
+  for (double& s : i.samples()) s = -s;
+  return {res.at("v"), std::move(i)};
+}
+
+}  // namespace
+
+PortRecord recordDriverFixedState(const CmosDriverParams& params, bool high,
+                                  const Waveform& v_force,
+                                  const RecordingOptions& opt) {
+  Circuit circuit;
+  const double level = high ? 1.0 : 0.0;
+  auto drv = buildCmosDriver(circuit, params, [level](double) { return level; });
+  return forceAndRecord(circuit, drv.pad, v_force, opt);
+}
+
+PortRecord recordDriverWithLoad(const CmosDriverParams& params, TimeFn logic,
+                                double r_load, double v_ref, double t_stop,
+                                const RecordingOptions& opt) {
+  if (r_load <= 0.0) throw std::invalid_argument("recordDriverWithLoad: R must be > 0");
+  if (t_stop <= 0.0) throw std::invalid_argument("recordDriverWithLoad: t_stop must be > 0");
+  Circuit circuit;
+  auto drv = buildCmosDriver(circuit, params, std::move(logic));
+
+  // Resistive load to the reference voltage. The port current *into the
+  // device* equals the current delivered by the load: (v_ref - v_pad)/R.
+  // Measure it through an ideal source so the sign handling matches the
+  // forced-port records.
+  const int ref = circuit.addNode();
+  VoltageSource* src =
+      circuit.addVoltageSource(ref, Circuit::kGround, [v_ref](double) { return v_ref; });
+  circuit.addResistor(drv.pad, ref, r_load);
+
+  TransientOptions topt;
+  topt.dt = opt.dt;
+  topt.t_stop = t_stop;
+  topt.settle_time = opt.settle_time;
+
+  auto res = runTransient(circuit, topt, {{"v", drv.pad, Circuit::kGround}},
+                          {{"i_src", src}});
+
+  // Branch current flows ref -> through source -> ground; current into the
+  // device pad is the current through R from ref to pad, which equals the
+  // current *out of* the source's positive terminal externally = -i_src.
+  Waveform i = res.at("i_src");
+  for (double& s : i.samples()) s = -s;
+  return {res.at("v"), std::move(i)};
+}
+
+PortRecord recordReceiverForced(const CmosReceiverParams& params,
+                                const Waveform& v_force,
+                                const RecordingOptions& opt) {
+  Circuit circuit;
+  auto rcv = buildCmosReceiver(circuit, params);
+  return forceAndRecord(circuit, rcv.pad, v_force, opt);
+}
+
+PortRecord resampleRecord(const PortRecord& rec, double ts) {
+  return {rec.v.resampled(ts), rec.i.resampled(ts)};
+}
+
+}  // namespace fdtdmm

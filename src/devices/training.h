@@ -1,0 +1,53 @@
+#pragma once
+/// \file training.h
+/// Generation of macromodel training/validation records from the
+/// transistor-level devices. A record is a pair of port waveforms
+/// (voltage across the port, current *into* the device pad) sampled at a
+/// uniform step; the identification pipeline consumes records without
+/// knowing where they came from — mirroring the paper's workflow where the
+/// IBM transistor-level model is only ever observed at its port.
+
+#include "devices/cmos_driver.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Port voltage/current record with a common uniform time base.
+struct PortRecord {
+  Waveform v;  ///< port voltage [V]
+  Waveform i;  ///< current into the device pad [A]
+};
+
+/// Simulation fidelity knobs for record generation.
+struct RecordingOptions {
+  double dt = 2e-12;          ///< circuit-engine step [s]
+  double settle_time = 5e-9;  ///< pre-roll before t = 0
+};
+
+/// Forces the driver port with waveform `v_force` while the driver is held
+/// at a fixed logic state (`high`), and records the port current. This is
+/// the excitation used to identify the paper's time-invariant submodels
+/// i_u (HIGH) and i_d (LOW) of Eq. (5).
+PortRecord recordDriverFixedState(const CmosDriverParams& params, bool high,
+                                  const Waveform& v_force,
+                                  const RecordingOptions& opt = {});
+
+/// Lets the driver run a logic waveform into a resistive load R_load
+/// terminated to `v_ref`, recording port voltage and current. Two such
+/// records with different loads feed the two-load switching-weight
+/// extraction for w_u, w_d of Eq. (5).
+PortRecord recordDriverWithLoad(const CmosDriverParams& params, TimeFn logic,
+                                double r_load, double v_ref, double t_stop,
+                                const RecordingOptions& opt = {});
+
+/// Forces the receiver port with `v_force` and records the port current
+/// (identification data for the Eq. (6) receiver model).
+PortRecord recordReceiverForced(const CmosReceiverParams& params,
+                                const Waveform& v_force,
+                                const RecordingOptions& opt = {});
+
+/// Resamples a record to sampling time ts (used to bring fine circuit-step
+/// records to the macromodel sampling time Ts).
+PortRecord resampleRecord(const PortRecord& rec, double ts);
+
+}  // namespace fdtdmm

@@ -1,0 +1,76 @@
+#pragma once
+/// \file cpml.h
+/// Convolutional PML (Roden & Gedney) absorbing boundary for the 3D FDTD
+/// solver — the production-quality alternative to the first-order Mur ABC
+/// (reflections typically 30-50 dB lower). Implemented with kappa = 1 so
+/// the PML enters purely as psi-correction terms added after the standard
+/// curl updates; the memory variables use the standard recursive
+/// convolution
+///   psi^{n} = b psi^{n-1} + c (dF/du),  b = exp(-(sigma/eps0 + a) dt),
+///   c = sigma / (sigma + a) * (b - 1)
+/// with polynomially graded sigma and linearly graded a.
+
+#include <cstddef>
+#include <vector>
+
+#include "fdtd/grid.h"
+
+namespace fdtdmm {
+
+/// CPML configuration.
+struct CpmlOptions {
+  std::size_t thickness = 8;  ///< PML depth [cells] on every face
+  double grading_order = 3.0; ///< polynomial grading exponent m
+  double sigma_factor = 1.0;  ///< sigma_max = factor * 0.8 (m+1)/(eta0 dx)
+  double a_max = 0.05;        ///< CFS alpha at the PML inner edge [S/m-ish]
+};
+
+/// CPML state: attach to a grid, call updateHCorrections() after the H
+/// update and updateECorrections() after the E update of every step.
+/// The outermost tangential E layer must still be held at zero (PEC
+/// backing), which the owner handles by zeroing the boundary planes.
+class CpmlBoundary {
+ public:
+  /// \throws std::invalid_argument on null grid or a thickness that does
+  ///         not leave at least 4 interior cells per axis.
+  CpmlBoundary(Grid3* grid, const CpmlOptions& opt);
+
+  /// Adds the psi corrections to E inside the PML slabs (call after the
+  /// volume E update, before PEC forcing).
+  void updateECorrections();
+
+  /// Adds the psi corrections to H inside the PML slabs (call after the
+  /// volume H update).
+  void updateHCorrections();
+
+  /// Zeroes the tangential E on the outer boundary (PEC backing).
+  void applyPecBacking();
+
+  std::size_t thickness() const { return t_; }
+
+ private:
+  /// Per-axis graded coefficient tables at integer (E/full) and half (H)
+  /// positions; index = node coordinate along the axis.
+  struct AxisCoeffs {
+    std::vector<double> b_full, c_full;  ///< at integer positions
+    std::vector<double> b_half, c_half;  ///< at +1/2 positions
+  };
+  AxisCoeffs buildAxis(std::size_t n_nodes, double d) const;
+
+  Grid3* g_;
+  std::size_t t_;
+  CpmlOptions opt_;
+  AxisCoeffs ax_, ay_, az_;
+
+  // psi memory arrays, full-domain indexed like the field arrays.
+  // E-side: psi_e[c][u] is the correction to E_c from the u-derivative.
+  std::vector<double> psi_exy_, psi_exz_;  ///< Ex: dHz/dy, dHy/dz
+  std::vector<double> psi_eyz_, psi_eyx_;  ///< Ey: dHx/dz, dHz/dx
+  std::vector<double> psi_ezx_, psi_ezy_;  ///< Ez: dHy/dx, dHx/dy
+  // H-side.
+  std::vector<double> psi_hxy_, psi_hxz_;  ///< Hx: dEz/dy, dEy/dz
+  std::vector<double> psi_hyz_, psi_hyx_;  ///< Hy: dEx/dz, dEz/dx
+  std::vector<double> psi_hzx_, psi_hzy_;  ///< Hz: dEy/dx, dEx/dy
+};
+
+}  // namespace fdtdmm

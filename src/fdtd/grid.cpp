@@ -1,0 +1,234 @@
+#include "fdtd/grid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+using namespace constants;
+
+Grid3::Grid3(const GridSpec& spec)
+    : nx_(spec.nx), ny_(spec.ny), nz_(spec.nz),
+      dx_(spec.dx), dy_(spec.dy), dz_(spec.dz) {
+  if (nx_ < 2 || ny_ < 2 || nz_ < 2)
+    throw std::invalid_argument("Grid3: need at least 2 cells per axis");
+  if (dx_ <= 0.0 || dy_ <= 0.0 || dz_ <= 0.0)
+    throw std::invalid_argument("Grid3: cell sizes must be > 0");
+  if (spec.courant <= 0.0 || spec.courant > 1.0)
+    throw std::invalid_argument("Grid3: courant must be in (0, 1]");
+
+  const double inv2 =
+      1.0 / (dx_ * dx_) + 1.0 / (dy_ * dy_) + 1.0 / (dz_ * dz_);
+  dt_ = spec.courant / (kC0 * std::sqrt(inv2));
+
+  const std::size_t n = (nx_ + 1) * (ny_ + 1) * (nz_ + 1);
+  ex_.assign(n, 0.0);
+  ey_.assign(n, 0.0);
+  ez_.assign(n, 0.0);
+  hx_.assign(n, 0.0);
+  hy_.assign(n, 0.0);
+  hz_.assign(n, 0.0);
+  cell_eps_r_.assign(nx_ * ny_ * nz_, 1.0);
+  cell_sigma_.assign(nx_ * ny_ * nz_, 0.0);
+  pec_ex_.assign(n, 0);
+  pec_ey_.assign(n, 0);
+  pec_ez_.assign(n, 0);
+}
+
+void Grid3::checkCellBox(std::size_t i0, std::size_t i1, std::size_t j0,
+                         std::size_t j1, std::size_t k0, std::size_t k1) const {
+  if (i0 >= i1 || j0 >= j1 || k0 >= k1 || i1 > nx_ || j1 > ny_ || k1 > nz_)
+    throw std::invalid_argument("Grid3: invalid cell box");
+}
+
+double Grid3::cellEps(std::size_t i, std::size_t j, std::size_t k) const {
+  return kEps0 * cell_eps_r_[(i * ny_ + j) * nz_ + k];
+}
+
+double Grid3::cellSigma(std::size_t i, std::size_t j, std::size_t k) const {
+  return cell_sigma_[(i * ny_ + j) * nz_ + k];
+}
+
+void Grid3::setDielectricBox(std::size_t i0, std::size_t i1, std::size_t j0,
+                             std::size_t j1, std::size_t k0, std::size_t k1,
+                             double eps_r, double sigma) {
+  if (baked_) throw std::logic_error("Grid3: geometry is frozen after bake()");
+  checkCellBox(i0, i1, j0, j1, k0, k1);
+  if (eps_r < 1.0) throw std::invalid_argument("Grid3: eps_r must be >= 1");
+  if (sigma < 0.0) throw std::invalid_argument("Grid3: sigma must be >= 0");
+  for (std::size_t i = i0; i < i1; ++i)
+    for (std::size_t j = j0; j < j1; ++j)
+      for (std::size_t k = k0; k < k1; ++k) {
+        cell_eps_r_[(i * ny_ + j) * nz_ + k] = eps_r;
+        cell_sigma_[(i * ny_ + j) * nz_ + k] = sigma;
+      }
+}
+
+void Grid3::pecEdge(Axis axis, std::size_t i, std::size_t j, std::size_t k) {
+  if (baked_) throw std::logic_error("Grid3: geometry is frozen after bake()");
+  bool ok = false;
+  switch (axis) {
+    case Axis::kX: ok = i < nx_ && j <= ny_ && k <= nz_; break;
+    case Axis::kY: ok = i <= nx_ && j < ny_ && k <= nz_; break;
+    case Axis::kZ: ok = i <= nx_ && j <= ny_ && k < nz_; break;
+  }
+  if (!ok) throw std::invalid_argument("Grid3::pecEdge: edge out of range");
+  std::vector<char>& flags =
+      axis == Axis::kX ? pec_ex_ : (axis == Axis::kY ? pec_ey_ : pec_ez_);
+  char& f = flags[idx(i, j, k)];
+  if (f == 0) {
+    f = 1;
+    pec_edges_.push_back({axis, i, j, k});
+  }
+}
+
+void Grid3::pecPlateZ(std::size_t k, std::size_t i0, std::size_t i1,
+                      std::size_t j0, std::size_t j1) {
+  if (k > nz_ || i0 >= i1 || j0 >= j1 || i1 > nx_ || j1 > ny_)
+    throw std::invalid_argument("Grid3::pecPlateZ: invalid plate");
+  for (std::size_t i = i0; i < i1; ++i)
+    for (std::size_t j = j0; j <= j1; ++j) pecEdge(Axis::kX, i, j, k);
+  for (std::size_t i = i0; i <= i1; ++i)
+    for (std::size_t j = j0; j < j1; ++j) pecEdge(Axis::kY, i, j, k);
+}
+
+void Grid3::pecPlateX(std::size_t i, std::size_t j0, std::size_t j1,
+                      std::size_t k0, std::size_t k1) {
+  if (i > nx_ || j0 >= j1 || k0 >= k1 || j1 > ny_ || k1 > nz_)
+    throw std::invalid_argument("Grid3::pecPlateX: invalid plate");
+  for (std::size_t j = j0; j < j1; ++j)
+    for (std::size_t k = k0; k <= k1; ++k) pecEdge(Axis::kY, i, j, k);
+  for (std::size_t j = j0; j <= j1; ++j)
+    for (std::size_t k = k0; k < k1; ++k) pecEdge(Axis::kZ, i, j, k);
+}
+
+void Grid3::pecPlateY(std::size_t j, std::size_t i0, std::size_t i1,
+                      std::size_t k0, std::size_t k1) {
+  if (j > ny_ || i0 >= i1 || k0 >= k1 || i1 > nx_ || k1 > nz_)
+    throw std::invalid_argument("Grid3::pecPlateY: invalid plate");
+  for (std::size_t i = i0; i < i1; ++i)
+    for (std::size_t k = k0; k <= k1; ++k) pecEdge(Axis::kX, i, j, k);
+  for (std::size_t i = i0; i <= i1; ++i)
+    for (std::size_t k = k0; k < k1; ++k) pecEdge(Axis::kZ, i, j, k);
+}
+
+void Grid3::pecWireZ(std::size_t i, std::size_t j, std::size_t k0, std::size_t k1) {
+  if (k0 >= k1) throw std::invalid_argument("Grid3::pecWireZ: invalid span");
+  for (std::size_t k = k0; k < k1; ++k) pecEdge(Axis::kZ, i, j, k);
+}
+
+void Grid3::edgeMaterial(Axis axis, std::size_t i, std::size_t j, std::size_t k,
+                         double& eps, double& sigma) const {
+  // Average over the up-to-4 cells sharing the edge; cells outside the
+  // domain are treated as vacuum (consistent with open boundaries).
+  auto cell = [&](long ci, long cj, long ck, double& e, double& s) {
+    if (ci < 0 || cj < 0 || ck < 0 || ci >= static_cast<long>(nx_) ||
+        cj >= static_cast<long>(ny_) || ck >= static_cast<long>(nz_)) {
+      e = kEps0;
+      s = 0.0;
+      return;
+    }
+    e = cellEps(static_cast<std::size_t>(ci), static_cast<std::size_t>(cj),
+                static_cast<std::size_t>(ck));
+    s = cellSigma(static_cast<std::size_t>(ci), static_cast<std::size_t>(cj),
+                  static_cast<std::size_t>(ck));
+  };
+  const long li = static_cast<long>(i);
+  const long lj = static_cast<long>(j);
+  const long lk = static_cast<long>(k);
+  double e[4], s[4];
+  switch (axis) {
+    case Axis::kX:
+      cell(li, lj - 1, lk - 1, e[0], s[0]);
+      cell(li, lj, lk - 1, e[1], s[1]);
+      cell(li, lj - 1, lk, e[2], s[2]);
+      cell(li, lj, lk, e[3], s[3]);
+      break;
+    case Axis::kY:
+      cell(li - 1, lj, lk - 1, e[0], s[0]);
+      cell(li, lj, lk - 1, e[1], s[1]);
+      cell(li - 1, lj, lk, e[2], s[2]);
+      cell(li, lj, lk, e[3], s[3]);
+      break;
+    case Axis::kZ:
+      cell(li - 1, lj - 1, lk, e[0], s[0]);
+      cell(li, lj - 1, lk, e[1], s[1]);
+      cell(li - 1, lj, lk, e[2], s[2]);
+      cell(li, lj, lk, e[3], s[3]);
+      break;
+  }
+  eps = 0.25 * (e[0] + e[1] + e[2] + e[3]);
+  sigma = 0.25 * (s[0] + s[1] + s[2] + s[3]);
+}
+
+void Grid3::bake() {
+  if (baked_) throw std::logic_error("Grid3::bake: already baked");
+  const std::size_t n = (nx_ + 1) * (ny_ + 1) * (nz_ + 1);
+  ca_ex_.assign(n, 0.0);
+  cb_ex_.assign(n, 0.0);
+  ca_ey_.assign(n, 0.0);
+  cb_ey_.assign(n, 0.0);
+  ca_ez_.assign(n, 0.0);
+  cb_ez_.assign(n, 0.0);
+
+  auto bakeComponent = [&](Axis axis, std::vector<double>& ca,
+                           std::vector<double>& cb, const std::vector<char>& pec,
+                           std::size_t imax, std::size_t jmax, std::size_t kmax) {
+    for (std::size_t i = 0; i < imax; ++i)
+      for (std::size_t j = 0; j < jmax; ++j)
+        for (std::size_t k = 0; k < kmax; ++k) {
+          const std::size_t id = idx(i, j, k);
+          if (pec[id] != 0) {
+            ca[id] = 0.0;
+            cb[id] = 0.0;
+            continue;
+          }
+          double eps = kEps0, sigma = 0.0;
+          edgeMaterial(axis, i, j, k, eps, sigma);
+          const double h = sigma * dt_ / (2.0 * eps);
+          ca[id] = (1.0 - h) / (1.0 + h);
+          cb[id] = (dt_ / eps) / (1.0 + h);
+          if (eps != kEps0 || sigma != 0.0) {
+            material_edges_.push_back({axis, i, j, k, eps - kEps0, sigma, cb[id]});
+          }
+        }
+  };
+  bakeComponent(Axis::kX, ca_ex_, cb_ex_, pec_ex_, nx_, ny_ + 1, nz_ + 1);
+  bakeComponent(Axis::kY, ca_ey_, cb_ey_, pec_ey_, nx_ + 1, ny_, nz_ + 1);
+  bakeComponent(Axis::kZ, ca_ez_, cb_ez_, pec_ez_, nx_ + 1, ny_ + 1, nz_);
+  baked_ = true;
+}
+
+double Grid3::edgeEps(Axis axis, std::size_t i, std::size_t j, std::size_t k) const {
+  if (!baked_) throw std::logic_error("Grid3::edgeEps: call bake() first");
+  double eps = kEps0, sigma = 0.0;
+  edgeMaterial(axis, i, j, k, eps, sigma);
+  return eps;
+}
+
+double Grid3::edgeSigma(Axis axis, std::size_t i, std::size_t j, std::size_t k) const {
+  if (!baked_) throw std::logic_error("Grid3::edgeSigma: call bake() first");
+  double eps = kEps0, sigma = 0.0;
+  edgeMaterial(axis, i, j, k, eps, sigma);
+  return sigma;
+}
+
+bool Grid3::isPecEdge(Axis axis, std::size_t i, std::size_t j, std::size_t k) const {
+  const std::vector<char>& flags =
+      axis == Axis::kX ? pec_ex_ : (axis == Axis::kY ? pec_ey_ : pec_ez_);
+  return flags[idx(i, j, k)] != 0;
+}
+
+void Grid3::edgeCenter(Axis axis, std::size_t i, std::size_t j, std::size_t k,
+                       double& x, double& y, double& z) const {
+  x = static_cast<double>(i) * dx_;
+  y = static_cast<double>(j) * dy_;
+  z = static_cast<double>(k) * dz_;
+  switch (axis) {
+    case Axis::kX: x += 0.5 * dx_; break;
+    case Axis::kY: y += 0.5 * dy_; break;
+    case Axis::kZ: z += 0.5 * dz_; break;
+  }
+}
+
+}  // namespace fdtdmm

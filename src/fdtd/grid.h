@@ -1,0 +1,180 @@
+#pragma once
+/// \file grid.h
+/// 3D Yee grid: staggered E/H field storage, per-cell material maps
+/// (relative permittivity and conductivity), PEC structures (volumes,
+/// zero-thickness plates, wires), and the baking step that converts cell
+/// materials into per-edge update coefficients
+///   ca = (1 - s dt/2e) / (1 + s dt/2e),  cb = (dt/e) / (1 + s dt/2e)
+/// exactly matching the alpha coefficients (9)-(12) of the paper at the
+/// lumped cells.
+///
+/// Field components follow the standard Yee arrangement:
+///   Ex(i,j,k) at ((i+1/2)dx, j dy, k dz)      i<nx, j<=ny, k<=nz
+///   Ey(i,j,k) at (i dx, (j+1/2)dy, k dz)      i<=nx, j<ny, k<=nz
+///   Ez(i,j,k) at (i dx, j dy, (k+1/2)dz)      i<=nx, j<=ny, k<nz
+///   Hx(i,j,k) at (i dx, (j+1/2)dy, (k+1/2)dz) etc.
+/// All arrays are allocated with a uniform (nx+1)(ny+1)(nz+1) layout so a
+/// single linear index works for every component.
+
+#include <cstddef>
+#include <vector>
+
+namespace fdtdmm {
+
+/// Physical constants (SI).
+namespace constants {
+inline constexpr double kC0 = 299792458.0;             ///< speed of light [m/s]
+inline constexpr double kMu0 = 1.25663706212e-6;       ///< vacuum permeability
+inline constexpr double kEps0 = 8.8541878128e-12;      ///< vacuum permittivity
+inline constexpr double kEta0 = 376.730313668;         ///< vacuum impedance
+}  // namespace constants
+
+/// Field component / axis tag.
+enum class Axis { kX = 0, kY = 1, kZ = 2 };
+
+/// Grid construction parameters.
+struct GridSpec {
+  std::size_t nx = 10, ny = 10, nz = 10;  ///< cell counts
+  double dx = 1e-3, dy = 1e-3, dz = 1e-3; ///< cell sizes [m]
+  double courant = 0.99;                  ///< fraction of the 3D CFL limit
+};
+
+/// The Yee grid with materials. Build geometry with the set*/pec* methods,
+/// call bake(), then hand it to FdtdSolver.
+class Grid3 {
+ public:
+  /// \throws std::invalid_argument on degenerate dimensions or courant
+  ///         outside (0, 1].
+  explicit Grid3(const GridSpec& spec);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+  double dt() const { return dt_; }
+
+  /// Linear index shared by all component arrays.
+  std::size_t idx(std::size_t i, std::size_t j, std::size_t k) const {
+    return (i * (ny_ + 1) + j) * (nz_ + 1) + k;
+  }
+
+  // Field accessors (no bounds checking in release builds; hot path).
+  double& ex(std::size_t i, std::size_t j, std::size_t k) { return ex_[idx(i, j, k)]; }
+  double& ey(std::size_t i, std::size_t j, std::size_t k) { return ey_[idx(i, j, k)]; }
+  double& ez(std::size_t i, std::size_t j, std::size_t k) { return ez_[idx(i, j, k)]; }
+  double& hx(std::size_t i, std::size_t j, std::size_t k) { return hx_[idx(i, j, k)]; }
+  double& hy(std::size_t i, std::size_t j, std::size_t k) { return hy_[idx(i, j, k)]; }
+  double& hz(std::size_t i, std::size_t j, std::size_t k) { return hz_[idx(i, j, k)]; }
+  double ex(std::size_t i, std::size_t j, std::size_t k) const { return ex_[idx(i, j, k)]; }
+  double ey(std::size_t i, std::size_t j, std::size_t k) const { return ey_[idx(i, j, k)]; }
+  double ez(std::size_t i, std::size_t j, std::size_t k) const { return ez_[idx(i, j, k)]; }
+  double hx(std::size_t i, std::size_t j, std::size_t k) const { return hx_[idx(i, j, k)]; }
+  double hy(std::size_t i, std::size_t j, std::size_t k) const { return hy_[idx(i, j, k)]; }
+  double hz(std::size_t i, std::size_t j, std::size_t k) const { return hz_[idx(i, j, k)]; }
+
+  // ---- Geometry definition (before bake) -------------------------------
+
+  /// Fills the cell box [i0,i1) x [j0,j1) x [k0,k1) with a dielectric.
+  /// \throws std::invalid_argument on out-of-range or inverted boxes,
+  ///         eps_r < 1, or sigma < 0.
+  void setDielectricBox(std::size_t i0, std::size_t i1, std::size_t j0,
+                        std::size_t j1, std::size_t k0, std::size_t k1,
+                        double eps_r, double sigma = 0.0);
+
+  /// Zero-thickness PEC plate normal to z at node plane k, spanning cells
+  /// [i0,i1) x [j0,j1) (tangential Ex/Ey edges on the plane are forced).
+  void pecPlateZ(std::size_t k, std::size_t i0, std::size_t i1, std::size_t j0,
+                 std::size_t j1);
+  /// Zero-thickness PEC plate normal to x at node plane i.
+  void pecPlateX(std::size_t i, std::size_t j0, std::size_t j1, std::size_t k0,
+                 std::size_t k1);
+  /// Zero-thickness PEC plate normal to y at node plane j.
+  void pecPlateY(std::size_t j, std::size_t i0, std::size_t i1, std::size_t k0,
+                 std::size_t k1);
+
+  /// Thin PEC wire along z through node column (i,j), spanning Ez edges
+  /// k0..k1-1 (used for vias and lumped-element lead wires).
+  void pecWireZ(std::size_t i, std::size_t j, std::size_t k0, std::size_t k1);
+
+  /// Marks a single E edge as PEC (used to cut device gaps into wires).
+  void pecEdge(Axis axis, std::size_t i, std::size_t j, std::size_t k);
+
+  /// Computes the per-edge update coefficients from the cell material maps
+  /// and freezes the geometry. Must be called exactly once before
+  /// simulation. \throws std::logic_error if called twice.
+  void bake();
+  bool baked() const { return baked_; }
+
+  // ---- Baked data (used by the solver) ----------------------------------
+
+  const std::vector<double>& caEx() const { return ca_ex_; }
+  const std::vector<double>& cbEx() const { return cb_ex_; }
+  const std::vector<double>& caEy() const { return ca_ey_; }
+  const std::vector<double>& cbEy() const { return cb_ey_; }
+  const std::vector<double>& caEz() const { return ca_ez_; }
+  const std::vector<double>& cbEz() const { return cb_ez_; }
+
+  /// A PEC-forced E edge (tangential field pinned to -E_incident).
+  struct PecEdge {
+    Axis axis;
+    std::size_t i, j, k;
+  };
+  const std::vector<PecEdge>& pecEdges() const { return pec_edges_; }
+
+  /// An edge needing the scattered-field dielectric correction
+  /// (eps_eff != eps0 or sigma_eff != 0); see FdtdSolver.
+  struct MaterialEdge {
+    Axis axis;
+    std::size_t i, j, k;
+    double d_eps;      ///< eps_eff - eps0
+    double sigma;      ///< sigma_eff
+    double cb;         ///< baked cb of this edge
+  };
+  const std::vector<MaterialEdge>& materialEdges() const { return material_edges_; }
+
+  /// Effective permittivity/conductivity at an E edge (cell-averaged);
+  /// used to form the paper's alpha coefficients at lumped cells.
+  /// \throws std::logic_error before bake().
+  double edgeEps(Axis axis, std::size_t i, std::size_t j, std::size_t k) const;
+  double edgeSigma(Axis axis, std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// True if the edge was registered as PEC.
+  bool isPecEdge(Axis axis, std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Physical coordinates of an E-edge midpoint.
+  void edgeCenter(Axis axis, std::size_t i, std::size_t j, std::size_t k,
+                  double& x, double& y, double& z) const;
+
+  // Raw arrays for the solver's hot loops.
+  std::vector<double>& exData() { return ex_; }
+  std::vector<double>& eyData() { return ey_; }
+  std::vector<double>& ezData() { return ez_; }
+  std::vector<double>& hxData() { return hx_; }
+  std::vector<double>& hyData() { return hy_; }
+  std::vector<double>& hzData() { return hz_; }
+
+ private:
+  void checkCellBox(std::size_t i0, std::size_t i1, std::size_t j0, std::size_t j1,
+                    std::size_t k0, std::size_t k1) const;
+  double cellEps(std::size_t i, std::size_t j, std::size_t k) const;
+  double cellSigma(std::size_t i, std::size_t j, std::size_t k) const;
+  /// Averages material over the 4 cells around an edge, clamping at the
+  /// domain boundary.
+  void edgeMaterial(Axis axis, std::size_t i, std::size_t j, std::size_t k,
+                    double& eps, double& sigma) const;
+
+  std::size_t nx_, ny_, nz_;
+  double dx_, dy_, dz_, dt_;
+
+  std::vector<double> ex_, ey_, ez_, hx_, hy_, hz_;
+  std::vector<double> cell_eps_r_, cell_sigma_;  ///< per cell
+  std::vector<double> ca_ex_, cb_ex_, ca_ey_, cb_ey_, ca_ez_, cb_ez_;
+  std::vector<char> pec_ex_, pec_ey_, pec_ez_;
+  std::vector<PecEdge> pec_edges_;
+  std::vector<MaterialEdge> material_edges_;
+  bool baked_ = false;
+};
+
+}  // namespace fdtdmm

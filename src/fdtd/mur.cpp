@@ -1,0 +1,138 @@
+#include "fdtd/mur.h"
+
+#include <stdexcept>
+
+namespace fdtdmm {
+
+using namespace constants;
+
+MurBoundary::MurBoundary(Grid3* grid) : g_(grid) {
+  if (g_ == nullptr) throw std::invalid_argument("MurBoundary: null grid");
+  const double cdt = kC0 * g_->dt();
+  cx_ = (cdt - g_->dx()) / (cdt + g_->dx());
+  cy_ = (cdt - g_->dy()) / (cdt + g_->dy());
+  cz_ = (cdt - g_->dz()) / (cdt + g_->dz());
+
+  const std::size_t nx = g_->nx(), ny = g_->ny(), nz = g_->nz();
+  auto resize = [](FaceStore& f, std::size_t n1, std::size_t n2) {
+    f.t1_l0.assign(n1, 0.0);
+    f.t1_l1.assign(n1, 0.0);
+    f.t2_l0.assign(n2, 0.0);
+    f.t2_l1.assign(n2, 0.0);
+  };
+  // x faces: tangential Ey (ny x (nz+1)) and Ez ((ny+1) x nz).
+  resize(x0_, ny * (nz + 1), (ny + 1) * nz);
+  resize(x1_, ny * (nz + 1), (ny + 1) * nz);
+  // y faces: tangential Ex (nx x (nz+1)) and Ez ((nx+1) x nz).
+  resize(y0_, nx * (nz + 1), (nx + 1) * nz);
+  resize(y1_, nx * (nz + 1), (nx + 1) * nz);
+  // z faces: tangential Ex (nx x (ny+1)) and Ey ((nx+1) x ny).
+  resize(z0_, nx * (ny + 1), (nx + 1) * ny);
+  resize(z1_, nx * (ny + 1), (nx + 1) * ny);
+}
+
+void MurBoundary::snapshot() {
+  Grid3& g = *g_;
+  const std::size_t nx = g.nx(), ny = g.ny(), nz = g.nz();
+
+  std::size_t p = 0;
+  // ---- x = 0 / x = nx faces: Ey and Ez.
+  p = 0;
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t k = 0; k <= nz; ++k, ++p) {
+      x0_.t1_l0[p] = g.ey(0, j, k);
+      x0_.t1_l1[p] = g.ey(1, j, k);
+      x1_.t1_l0[p] = g.ey(nx, j, k);
+      x1_.t1_l1[p] = g.ey(nx - 1, j, k);
+    }
+  p = 0;
+  for (std::size_t j = 0; j <= ny; ++j)
+    for (std::size_t k = 0; k < nz; ++k, ++p) {
+      x0_.t2_l0[p] = g.ez(0, j, k);
+      x0_.t2_l1[p] = g.ez(1, j, k);
+      x1_.t2_l0[p] = g.ez(nx, j, k);
+      x1_.t2_l1[p] = g.ez(nx - 1, j, k);
+    }
+  // ---- y faces: Ex and Ez.
+  p = 0;
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t k = 0; k <= nz; ++k, ++p) {
+      y0_.t1_l0[p] = g.ex(i, 0, k);
+      y0_.t1_l1[p] = g.ex(i, 1, k);
+      y1_.t1_l0[p] = g.ex(i, ny, k);
+      y1_.t1_l1[p] = g.ex(i, ny - 1, k);
+    }
+  p = 0;
+  for (std::size_t i = 0; i <= nx; ++i)
+    for (std::size_t k = 0; k < nz; ++k, ++p) {
+      y0_.t2_l0[p] = g.ez(i, 0, k);
+      y0_.t2_l1[p] = g.ez(i, 1, k);
+      y1_.t2_l0[p] = g.ez(i, ny, k);
+      y1_.t2_l1[p] = g.ez(i, ny - 1, k);
+    }
+  // ---- z faces: Ex and Ey.
+  p = 0;
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j <= ny; ++j, ++p) {
+      z0_.t1_l0[p] = g.ex(i, j, 0);
+      z0_.t1_l1[p] = g.ex(i, j, 1);
+      z1_.t1_l0[p] = g.ex(i, j, nz);
+      z1_.t1_l1[p] = g.ex(i, j, nz - 1);
+    }
+  p = 0;
+  for (std::size_t i = 0; i <= nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j, ++p) {
+      z0_.t2_l0[p] = g.ey(i, j, 0);
+      z0_.t2_l1[p] = g.ey(i, j, 1);
+      z1_.t2_l0[p] = g.ey(i, j, nz);
+      z1_.t2_l1[p] = g.ey(i, j, nz - 1);
+    }
+}
+
+void MurBoundary::apply() {
+  Grid3& g = *g_;
+  const std::size_t nx = g.nx(), ny = g.ny(), nz = g.nz();
+
+  std::size_t p = 0;
+  // x faces.
+  p = 0;
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t k = 0; k <= nz; ++k, ++p) {
+      g.ey(0, j, k) = x0_.t1_l1[p] + cx_ * (g.ey(1, j, k) - x0_.t1_l0[p]);
+      g.ey(nx, j, k) = x1_.t1_l1[p] + cx_ * (g.ey(nx - 1, j, k) - x1_.t1_l0[p]);
+    }
+  p = 0;
+  for (std::size_t j = 0; j <= ny; ++j)
+    for (std::size_t k = 0; k < nz; ++k, ++p) {
+      g.ez(0, j, k) = x0_.t2_l1[p] + cx_ * (g.ez(1, j, k) - x0_.t2_l0[p]);
+      g.ez(nx, j, k) = x1_.t2_l1[p] + cx_ * (g.ez(nx - 1, j, k) - x1_.t2_l0[p]);
+    }
+  // y faces.
+  p = 0;
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t k = 0; k <= nz; ++k, ++p) {
+      g.ex(i, 0, k) = y0_.t1_l1[p] + cy_ * (g.ex(i, 1, k) - y0_.t1_l0[p]);
+      g.ex(i, ny, k) = y1_.t1_l1[p] + cy_ * (g.ex(i, ny - 1, k) - y1_.t1_l0[p]);
+    }
+  p = 0;
+  for (std::size_t i = 0; i <= nx; ++i)
+    for (std::size_t k = 0; k < nz; ++k, ++p) {
+      g.ez(i, 0, k) = y0_.t2_l1[p] + cy_ * (g.ez(i, 1, k) - y0_.t2_l0[p]);
+      g.ez(i, ny, k) = y1_.t2_l1[p] + cy_ * (g.ez(i, ny - 1, k) - y1_.t2_l0[p]);
+    }
+  // z faces.
+  p = 0;
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j <= ny; ++j, ++p) {
+      g.ex(i, j, 0) = z0_.t1_l1[p] + cz_ * (g.ex(i, j, 1) - z0_.t1_l0[p]);
+      g.ex(i, j, nz) = z1_.t1_l1[p] + cz_ * (g.ex(i, j, nz - 1) - z1_.t1_l0[p]);
+    }
+  p = 0;
+  for (std::size_t i = 0; i <= nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j, ++p) {
+      g.ey(i, j, 0) = z0_.t2_l1[p] + cz_ * (g.ey(i, j, 1) - z0_.t2_l0[p]);
+      g.ey(i, j, nz) = z1_.t2_l1[p] + cz_ * (g.ey(i, j, nz - 1) - z1_.t2_l0[p]);
+    }
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,40 @@
+#pragma once
+/// \file mur.h
+/// First-order Mur absorbing boundary condition on all six faces of the
+/// grid, applied to the tangential scattered E components. The paper's
+/// validation domain "is terminated by absorbing boundary conditions";
+/// Mur-1 at vacuum speed is sufficient for the mostly-normal incidence of
+/// the guided-wave scenarios (reflection < ~1-2 %).
+
+#include <vector>
+
+#include "fdtd/grid.h"
+
+namespace fdtdmm {
+
+/// Mur-1 ABC helper: snapshot() must be called with the pre-update fields,
+/// apply() after the volume E update of the same step.
+class MurBoundary {
+ public:
+  /// \throws std::invalid_argument on a null grid.
+  explicit MurBoundary(Grid3* grid);
+
+  /// Captures the boundary-layer field values of the current step.
+  void snapshot();
+
+  /// Writes the boundary E values for the new step (call after updateE).
+  void apply();
+
+ private:
+  Grid3* g_;
+  double cx_, cy_, cz_;  ///< Mur coefficients per axis
+
+  // Old-value storage: for each face, the two tangential components on the
+  // boundary plane (layer 0) and the adjacent plane (layer 1).
+  struct FaceStore {
+    std::vector<double> t1_l0, t1_l1, t2_l0, t2_l1;
+  };
+  FaceStore x0_, x1_, y0_, y1_, z0_, z1_;
+};
+
+}  // namespace fdtdmm

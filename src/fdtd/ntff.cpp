@@ -1,0 +1,168 @@
+#include "fdtd/ntff.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+using namespace constants;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double FarField::intensity() const {
+  return (std::norm(e_theta) + std::norm(e_phi)) / (2.0 * kEta0);
+}
+
+NtffRecorder::NtffRecorder(const Grid3* grid, NtffSpec spec)
+    : g_(grid), spec_(std::move(spec)) {
+  if (g_ == nullptr) throw std::invalid_argument("NtffRecorder: null grid");
+  if (spec_.i0 + 1 >= spec_.i1 || spec_.j0 + 1 >= spec_.j1 || spec_.k0 + 1 >= spec_.k1)
+    throw std::invalid_argument("NtffRecorder: degenerate box");
+  if (spec_.i0 < 1 || spec_.j0 < 1 || spec_.k0 < 1 || spec_.i1 >= g_->nx() ||
+      spec_.j1 >= g_->ny() || spec_.k1 >= g_->nz())
+    throw std::invalid_argument("NtffRecorder: box must be strictly interior");
+  if (spec_.frequencies_hz.empty())
+    throw std::invalid_argument("NtffRecorder: no analysis frequencies");
+
+  const double dx = g_->dx(), dy = g_->dy(), dz = g_->dz();
+  // Enumerate the face-cell centers of the six faces with outward normals.
+  auto addX = [&](std::size_t i, double nx) {
+    for (std::size_t j = spec_.j0; j < spec_.j1; ++j)
+      for (std::size_t k = spec_.k0; k < spec_.k1; ++k)
+        points_.push_back({static_cast<double>(i) * dx,
+                           (static_cast<double>(j) + 0.5) * dy,
+                           (static_cast<double>(k) + 0.5) * dz, nx, 0.0, 0.0,
+                           dy * dz});
+  };
+  auto addY = [&](std::size_t j, double ny) {
+    for (std::size_t i = spec_.i0; i < spec_.i1; ++i)
+      for (std::size_t k = spec_.k0; k < spec_.k1; ++k)
+        points_.push_back({(static_cast<double>(i) + 0.5) * dx,
+                           static_cast<double>(j) * dy,
+                           (static_cast<double>(k) + 0.5) * dz, 0.0, ny, 0.0,
+                           dx * dz});
+  };
+  auto addZ = [&](std::size_t k, double nz) {
+    for (std::size_t i = spec_.i0; i < spec_.i1; ++i)
+      for (std::size_t j = spec_.j0; j < spec_.j1; ++j)
+        points_.push_back({(static_cast<double>(i) + 0.5) * dx,
+                           (static_cast<double>(j) + 0.5) * dy,
+                           static_cast<double>(k) * dz, 0.0, 0.0, nz,
+                           dx * dy});
+  };
+  addX(spec_.i0, -1.0);
+  addX(spec_.i1, +1.0);
+  addY(spec_.j0, -1.0);
+  addY(spec_.j1, +1.0);
+  addZ(spec_.k0, -1.0);
+  addZ(spec_.k1, +1.0);
+
+  js_acc_.assign(spec_.frequencies_hz.size(),
+                 std::vector<std::complex<double>>(points_.size() * 3, {0.0, 0.0}));
+  ms_acc_ = js_acc_;
+}
+
+void NtffRecorder::sampleCurrents(std::size_t p, double js[3], double ms[3]) const {
+  const FacePoint& fp = points_[p];
+  const Grid3& g = *g_;
+  // Grid indices of the face cell (lower corner).
+  const auto i = static_cast<std::size_t>(std::floor(fp.x / g.dx()));
+  const auto j = static_cast<std::size_t>(std::floor(fp.y / g.dy()));
+  const auto k = static_cast<std::size_t>(std::floor(fp.z / g.dz()));
+
+  double e[3] = {0.0, 0.0, 0.0};
+  double h[3] = {0.0, 0.0, 0.0};
+  if (fp.nx != 0.0) {
+    // x-face at node plane i; tangential: Ey, Ez, Hy, Hz.
+    const std::size_t fi = static_cast<std::size_t>(std::lround(fp.x / g.dx()));
+    e[1] = 0.5 * (g.ey(fi, j, k) + g.ey(fi, j, k + 1));
+    e[2] = 0.5 * (g.ez(fi, j, k) + g.ez(fi, j + 1, k));
+    h[1] = 0.25 * (g.hy(fi - 1, j, k) + g.hy(fi, j, k) + g.hy(fi - 1, j + 1, k) +
+                   g.hy(fi, j + 1, k));
+    h[2] = 0.25 * (g.hz(fi - 1, j, k) + g.hz(fi, j, k) + g.hz(fi - 1, j, k + 1) +
+                   g.hz(fi, j, k + 1));
+  } else if (fp.ny != 0.0) {
+    const std::size_t fj = static_cast<std::size_t>(std::lround(fp.y / g.dy()));
+    e[0] = 0.5 * (g.ex(i, fj, k) + g.ex(i, fj, k + 1));
+    e[2] = 0.5 * (g.ez(i, fj, k) + g.ez(i + 1, fj, k));
+    h[0] = 0.25 * (g.hx(i, fj - 1, k) + g.hx(i, fj, k) + g.hx(i + 1, fj - 1, k) +
+                   g.hx(i + 1, fj, k));
+    h[2] = 0.25 * (g.hz(i, fj - 1, k) + g.hz(i, fj, k) + g.hz(i, fj - 1, k + 1) +
+                   g.hz(i, fj, k + 1));
+  } else {
+    const std::size_t fk = static_cast<std::size_t>(std::lround(fp.z / g.dz()));
+    e[0] = 0.5 * (g.ex(i, j, fk) + g.ex(i, j + 1, fk));
+    e[1] = 0.5 * (g.ey(i, j, fk) + g.ey(i + 1, j, fk));
+    h[0] = 0.25 * (g.hx(i, j, fk - 1) + g.hx(i, j, fk) + g.hx(i + 1, j, fk - 1) +
+                   g.hx(i + 1, j, fk));
+    h[1] = 0.25 * (g.hy(i, j, fk - 1) + g.hy(i, j, fk) + g.hy(i, j + 1, fk - 1) +
+                   g.hy(i, j + 1, fk));
+  }
+  // Js = n x H ; Ms = -n x E.
+  js[0] = fp.ny * h[2] - fp.nz * h[1];
+  js[1] = fp.nz * h[0] - fp.nx * h[2];
+  js[2] = fp.nx * h[1] - fp.ny * h[0];
+  ms[0] = -(fp.ny * e[2] - fp.nz * e[1]);
+  ms[1] = -(fp.nz * e[0] - fp.nx * e[2]);
+  ms[2] = -(fp.nx * e[1] - fp.ny * e[0]);
+}
+
+void NtffRecorder::accumulate(double t) {
+  const double dt = g_->dt();
+  for (std::size_t f = 0; f < spec_.frequencies_hz.size(); ++f) {
+    const double omega = 2.0 * kPi * spec_.frequencies_hz[f];
+    const std::complex<double> w(std::cos(omega * t) * dt, -std::sin(omega * t) * dt);
+    auto& js = js_acc_[f];
+    auto& ms = ms_acc_[f];
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+      double jsv[3], msv[3];
+      sampleCurrents(p, jsv, msv);
+      for (int c = 0; c < 3; ++c) {
+        js[3 * p + static_cast<std::size_t>(c)] += jsv[c] * w;
+        ms[3 * p + static_cast<std::size_t>(c)] += msv[c] * w;
+      }
+    }
+  }
+}
+
+FarField NtffRecorder::farField(std::size_t f, double theta, double phi) const {
+  if (f >= spec_.frequencies_hz.size())
+    throw std::out_of_range("NtffRecorder::farField: bad frequency index");
+  const double k0 = 2.0 * kPi * spec_.frequencies_hz[f] / kC0;
+  const double st = std::sin(theta), ct = std::cos(theta);
+  const double sp = std::sin(phi), cp = std::cos(phi);
+  const double rhat[3] = {st * cp, st * sp, ct};
+  const double eth[3] = {ct * cp, ct * sp, -st};
+  const double eph[3] = {-sp, cp, 0.0};
+
+  std::complex<double> n_vec[3] = {{0, 0}, {0, 0}, {0, 0}};
+  std::complex<double> l_vec[3] = {{0, 0}, {0, 0}, {0, 0}};
+  const auto& js = js_acc_[f];
+  const auto& ms = ms_acc_[f];
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    const FacePoint& fp = points_[p];
+    const double phase = k0 * (rhat[0] * fp.x + rhat[1] * fp.y + rhat[2] * fp.z);
+    const std::complex<double> w(std::cos(phase) * fp.area, std::sin(phase) * fp.area);
+    for (int c = 0; c < 3; ++c) {
+      n_vec[c] += js[3 * p + static_cast<std::size_t>(c)] * w;
+      l_vec[c] += ms[3 * p + static_cast<std::size_t>(c)] * w;
+    }
+  }
+  auto project = [&](const std::complex<double> v[3], const double u[3]) {
+    return v[0] * u[0] + v[1] * u[1] + v[2] * u[2];
+  };
+  const std::complex<double> n_th = project(n_vec, eth);
+  const std::complex<double> n_ph = project(n_vec, eph);
+  const std::complex<double> l_th = project(l_vec, eth);
+  const std::complex<double> l_ph = project(l_vec, eph);
+
+  const std::complex<double> jk(0.0, k0 / (4.0 * kPi));
+  FarField out;
+  out.e_theta = -jk * (l_ph + kEta0 * n_th);
+  out.e_phi = jk * (l_th - kEta0 * n_ph);
+  return out;
+}
+
+}  // namespace fdtdmm

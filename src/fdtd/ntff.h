@@ -1,0 +1,78 @@
+#pragma once
+/// \file ntff.h
+/// Near-to-far-field transformation by running DFT of equivalent surface
+/// currents on a Huygens box — the "radiation analysis (through standard
+/// post-processing of transient fields computed during the FDTD
+/// simulation)" the paper names as one of the two EMC outputs of the
+/// hybrid method.
+///
+/// During the run, tangential E and H on the six box faces are accumulated
+/// as phasors at a set of analysis frequencies. Afterwards the radiation
+/// vectors
+///   N(r^) = oint  J_s exp(+j k r^.r') dS',   J_s =  n^ x H
+///   L(r^) = oint  M_s exp(+j k r^.r') dS',   M_s = -n^ x E
+/// give the far field (r-normalized, the exp(-jkr)/r factor dropped):
+///   rE_theta = -j k / (4 pi) (L_phi   + eta0 N_theta)
+///   rE_phi   = +j k / (4 pi) (L_theta - eta0 N_phi)
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "fdtd/grid.h"
+
+namespace fdtdmm {
+
+/// Huygens surface specification (node-index box; must be strictly inside
+/// the grid and enclose all radiating structure).
+struct NtffSpec {
+  std::size_t i0 = 0, i1 = 0;  ///< x node span [i0, i1]
+  std::size_t j0 = 0, j1 = 0;
+  std::size_t k0 = 0, k1 = 0;
+  std::vector<double> frequencies_hz;  ///< analysis frequencies
+};
+
+/// Far-field sample at one frequency and direction.
+struct FarField {
+  std::complex<double> e_theta;  ///< r-normalized [V]
+  std::complex<double> e_phi;    ///< r-normalized [V]
+
+  /// Radiation intensity U = (|rE_theta|^2 + |rE_phi|^2) / (2 eta0) [W/sr].
+  double intensity() const;
+};
+
+/// Accumulates Huygens-surface phasors during a run and evaluates the far
+/// field afterwards. Attach via FdtdSolver::addNtffSurface().
+class NtffRecorder {
+ public:
+  /// \throws std::invalid_argument on a degenerate/out-of-range box or an
+  ///         empty frequency list.
+  NtffRecorder(const Grid3* grid, NtffSpec spec);
+
+  /// Accumulates one time step (fields at time t, weight dt).
+  void accumulate(double t);
+
+  /// Far field at frequency index `f` in direction (theta, phi) [rad].
+  /// \throws std::out_of_range on a bad frequency index.
+  FarField farField(std::size_t f, double theta, double phi) const;
+
+  const NtffSpec& spec() const { return spec_; }
+
+ private:
+  struct FacePoint {
+    double x, y, z;      ///< physical position of the face-cell center
+    double nx, ny, nz;   ///< outward normal
+    double area;
+  };
+  /// Samples tangential E and H at a face point (averaged to the face-cell
+  /// center) and returns Js = n x H, Ms = -n x E.
+  void sampleCurrents(std::size_t p, double js[3], double ms[3]) const;
+
+  const Grid3* g_;
+  NtffSpec spec_;
+  std::vector<FacePoint> points_;
+  /// Phasor accumulators: [freq][point][component 0..2] for Js and Ms.
+  std::vector<std::vector<std::complex<double>>> js_acc_, ms_acc_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,66 @@
+#include "fdtd/snapshot.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+void writeFieldSliceCsv(const Grid3& grid, Axis comp, SlicePlane plane,
+                        std::size_t index, const std::string& path) {
+  auto field = [&](std::size_t i, std::size_t j, std::size_t k) {
+    switch (comp) {
+      case Axis::kX: return grid.ex(i, j, k);
+      case Axis::kY: return grid.ey(i, j, k);
+      case Axis::kZ: return grid.ez(i, j, k);
+    }
+    return 0.0;
+  };
+
+  std::size_t n1 = 0, n2 = 0;
+  double d1 = 0.0, d2 = 0.0;
+  switch (plane) {
+    case SlicePlane::kXY:
+      if (index > grid.nz()) throw std::invalid_argument("writeFieldSliceCsv: bad z index");
+      n1 = grid.nx();
+      n2 = grid.ny();
+      d1 = grid.dx();
+      d2 = grid.dy();
+      break;
+    case SlicePlane::kXZ:
+      if (index > grid.ny()) throw std::invalid_argument("writeFieldSliceCsv: bad y index");
+      n1 = grid.nx();
+      n2 = grid.nz();
+      d1 = grid.dx();
+      d2 = grid.dz();
+      break;
+    case SlicePlane::kYZ:
+      if (index > grid.nx()) throw std::invalid_argument("writeFieldSliceCsv: bad x index");
+      n1 = grid.ny();
+      n2 = grid.nz();
+      d1 = grid.dy();
+      d2 = grid.dz();
+      break;
+  }
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeFieldSliceCsv: cannot open " + path);
+  out << "coord";
+  for (std::size_t c = 0; c <= n2; ++c) out << "," << static_cast<double>(c) * d2;
+  out << "\n";
+  for (std::size_t r = 0; r <= n1; ++r) {
+    out << static_cast<double>(r) * d1;
+    for (std::size_t c = 0; c <= n2; ++c) {
+      double v = 0.0;
+      switch (plane) {
+        case SlicePlane::kXY: v = field(r, c, index); break;
+        case SlicePlane::kXZ: v = field(r, index, c); break;
+        case SlicePlane::kYZ: v = field(index, r, c); break;
+      }
+      out << "," << v;
+    }
+    out << "\n";
+  }
+  if (!out) throw std::runtime_error("writeFieldSliceCsv: write failure to " + path);
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,25 @@
+#pragma once
+/// \file snapshot.h
+/// Field-slice export for visualization: writes one E component over a
+/// plane of the grid as CSV (row = first transverse coordinate, column =
+/// second). Useful for inspecting standing waves, coupling paths, and the
+/// incident-field footprint of the EMC scenarios.
+
+#include <string>
+
+#include "fdtd/grid.h"
+
+namespace fdtdmm {
+
+/// Which plane to slice.
+enum class SlicePlane { kXY, kXZ, kYZ };
+
+/// Writes component `comp` of the (scattered) E field over the plane
+/// `plane` at node index `index` to a CSV file with a header row/column of
+/// physical coordinates [m].
+/// \throws std::invalid_argument on an out-of-range index,
+///         std::runtime_error if the file cannot be written.
+void writeFieldSliceCsv(const Grid3& grid, Axis comp, SlicePlane plane,
+                        std::size_t index, const std::string& path);
+
+}  // namespace fdtdmm

@@ -1,0 +1,103 @@
+#include "fdtd1d/line1d.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/newton.h"
+
+namespace fdtdmm {
+
+Fdtd1dLine::Fdtd1dLine(const Line1dConfig& cfg, PortModelPtr near_end,
+                       PortModelPtr far_end)
+    : cfg_(cfg), near_(std::move(near_end)), far_(std::move(far_end)) {
+  if (cfg.zc <= 0.0 || cfg.td <= 0.0) throw std::invalid_argument("Fdtd1dLine: bad Zc/Td");
+  if (cfg.cells < 2) throw std::invalid_argument("Fdtd1dLine: need >= 2 cells");
+  if (cfg.courant <= 0.0 || cfg.courant > 1.0)
+    throw std::invalid_argument("Fdtd1dLine: courant must be in (0, 1]");
+  if (!near_ || !far_) throw std::invalid_argument("Fdtd1dLine: null termination");
+
+  // Normalize the physical length to 1; only Zc and Td matter.
+  const double length = 1.0;
+  const double vel = length / cfg.td;
+  l_per_ = cfg.zc / vel;
+  c_per_ = 1.0 / (cfg.zc * vel);
+  dz_ = length / static_cast<double>(cfg.cells);
+  dt_ = cfg.courant * dz_ / vel;
+}
+
+double Fdtd1dLine::solveBoundary(PortModel& port, double v_old, double i_line,
+                                 double& i_dev_prev, double t_new,
+                                 Line1dResult& stats) {
+  // Half-cell node equation (semi-implicit device current averaging, the
+  // 1D analogue of Eq. 8):
+  //   C' dz/2 (v_new - v_old)/dt + i_line + (i_dev(v_new) + i_dev_prev)/2 = 0
+  const double chalf = 0.5 * c_per_ * dz_;
+  const double g0 = chalf / dt_;
+  double v = v_old;
+  const double i_prev = i_dev_prev;
+  NewtonOptions nopt;
+  nopt.tolerance = cfg_.newton_tolerance;
+  nopt.max_iterations = cfg_.max_newton_iterations;
+  auto f = [&](double vx, double& df) {
+    double didv = 0.0;
+    const double idev = port.current(vx, t_new, didv);
+    df = g0 + 0.5 * didv;
+    return g0 * (vx - v_old) + i_line + 0.5 * (idev + i_prev);
+  };
+  const NewtonResult nr = newtonScalar(f, v, nopt);
+  if (!nr.converged)
+    throw std::runtime_error("Fdtd1dLine: termination Newton did not converge");
+  stats.max_newton_iterations = std::max(stats.max_newton_iterations, nr.iterations);
+  stats.total_newton_iterations += nr.iterations;
+  double didv = 0.0;
+  i_dev_prev = port.current(v, t_new, didv);
+  port.commit(v, t_new);
+  return v;
+}
+
+Line1dResult Fdtd1dLine::run(double t_stop) {
+  if (t_stop <= 0.0) throw std::invalid_argument("Fdtd1dLine::run: t_stop must be > 0");
+  const std::size_t n = cfg_.cells;
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<double> i(n, 0.0);
+
+  near_->prepare(dt_);
+  far_->prepare(dt_);
+
+  Line1dResult result;
+  Vector rec_near, rec_far;
+  const auto steps = static_cast<std::size_t>(std::ceil(t_stop / dt_));
+  rec_near.reserve(steps + 1);
+  rec_far.reserve(steps + 1);
+  rec_near.push_back(v[0]);
+  rec_far.push_back(v[n]);
+
+  double i_dev_near = 0.0;
+  double i_dev_far = 0.0;
+  const double ci = dt_ / (l_per_ * dz_);
+  const double cv = dt_ / (c_per_ * dz_);
+
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t_new = static_cast<double>(step) * dt_;
+    // Current update (leapfrog half step).
+    for (std::size_t k = 0; k < n; ++k) i[k] -= ci * (v[k + 1] - v[k]);
+    // Interior voltage update.
+    for (std::size_t k = 1; k < n; ++k) v[k] -= cv * (i[k] - i[k - 1]);
+    // Boundary nodes with behavioral terminations. Line current sign:
+    // current i[0] flows from node 0 toward node 1 (out of the near node);
+    // at the far node i[n-1] flows *into* node n.
+    v[0] = solveBoundary(*near_, v[0], i[0], i_dev_near, t_new, result);
+    v[n] = solveBoundary(*far_, v[n], -i[n - 1], i_dev_far, t_new, result);
+
+    rec_near.push_back(v[0]);
+    rec_far.push_back(v[n]);
+    ++result.steps;
+  }
+
+  result.v_near = Waveform(0.0, dt_, std::move(rec_near));
+  result.v_far = Waveform(0.0, dt_, std::move(rec_far));
+  return result;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,68 @@
+#pragma once
+/// \file line1d.h
+/// 1D FDTD solver for a lossless transmission line (telegrapher's
+/// equations) terminated by arbitrary PortModel devices at both ends.
+/// This is engine (iii) of the paper's Fig. 4 validation: "1D-FDTD for the
+/// TL and RBF models of the devices".
+///
+/// Voltage nodes v[0..N] and current branches i[0..N-1] are staggered in
+/// space and time (leapfrog). The boundary nodes carry half-cell
+/// capacitance and the termination device, giving the scalar nonlinear
+/// update solved by Newton-Raphson — the 1D analogue of the paper's
+/// Eq. (8) + Eq. (13) coupling.
+
+#include <cstddef>
+#include <string>
+
+#include "signal/port_model.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Line and discretization parameters.
+struct Line1dConfig {
+  double zc = 131.0;      ///< characteristic impedance [ohm]
+  double td = 0.4e-9;     ///< one-way delay [s]
+  std::size_t cells = 160;  ///< number of spatial cells
+  double courant = 0.999;   ///< fraction of the CFL limit
+  double newton_tolerance = 1e-9;  ///< matches the paper's threshold
+  int max_newton_iterations = 50;
+};
+
+/// Result of a 1D FDTD run.
+struct Line1dResult {
+  Waveform v_near;  ///< voltage at node 0
+  Waveform v_far;   ///< voltage at node N
+  int max_newton_iterations = 0;
+  long long total_newton_iterations = 0;
+  std::size_t steps = 0;
+};
+
+/// 1D FDTD line with behavioral terminations.
+class Fdtd1dLine {
+ public:
+  /// \throws std::invalid_argument on bad config or null terminations.
+  Fdtd1dLine(const Line1dConfig& cfg, PortModelPtr near_end, PortModelPtr far_end);
+
+  /// Time step implied by the CFL condition.
+  double dt() const { return dt_; }
+
+  /// Runs for t_stop seconds (from a zero initial state) and records the
+  /// termination voltages. \throws std::runtime_error if a termination
+  /// Newton solve fails to converge.
+  Line1dResult run(double t_stop);
+
+ private:
+  double solveBoundary(PortModel& port, double v_old, double i_line,
+                       double& i_dev_prev, double t_new, Line1dResult& stats);
+
+  Line1dConfig cfg_;
+  PortModelPtr near_;
+  PortModelPtr far_;
+  double dz_ = 0.0;       ///< nominal spatial step (normalized length 1)
+  double dt_ = 0.0;
+  double l_per_ = 0.0;    ///< inductance per unit length
+  double c_per_ = 0.0;    ///< capacitance per unit length
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,108 @@
+#include "math/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace fdtdmm {
+
+namespace {
+
+double squaredDistance(const Vector& a, const Vector& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult kMeans(const std::vector<Vector>& points, std::size_t k,
+                    const KMeansOptions& opt) {
+  if (points.empty()) throw std::invalid_argument("kMeans: no points");
+  if (k == 0 || k > points.size())
+    throw std::invalid_argument("kMeans: invalid cluster count");
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) throw std::invalid_argument("kMeans: inconsistent dimensions");
+  }
+
+  Rng rng(opt.seed);
+  KMeansResult result;
+  result.centers.reserve(k);
+
+  // k-means++ seeding: first center uniform, the rest proportional to D^2.
+  result.centers.push_back(points[rng.below(points.size())]);
+  std::vector<double> d2(points.size(), std::numeric_limits<double>::max());
+  while (result.centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squaredDistance(points[i], result.centers.back()));
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.below(points.size());
+    }
+    result.centers.push_back(points[chosen]);
+  }
+
+  result.labels.assign(points.size(), 0);
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squaredDistance(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+    }
+    // Update step.
+    std::vector<Vector> sums(k, Vector(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.labels[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] += points[i][j];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        sums[c] = points[rng.below(points.size())];
+        counts[c] = 1;
+      }
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] /= static_cast<double>(counts[c]);
+      movement += squaredDistance(sums[c], result.centers[c]);
+      result.centers[c] = std::move(sums[c]);
+    }
+    if (movement < opt.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += squaredDistance(points[i], result.centers[result.labels[i]]);
+  }
+  return result;
+}
+
+}  // namespace fdtdmm

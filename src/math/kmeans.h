@@ -1,0 +1,35 @@
+#pragma once
+/// \file kmeans.h
+/// Lloyd's k-means with k-means++ seeding. Used to place Gaussian RBF
+/// centers in the regressor space during macromodel identification
+/// (Section 2 of the paper; the identification procedure of refs [6-8]).
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<Vector> centers;       ///< k cluster centers
+  std::vector<std::size_t> labels;   ///< per-point cluster index
+  double inertia = 0.0;              ///< sum of squared distances to centers
+  int iterations = 0;                ///< Lloyd iterations executed
+};
+
+/// Options for kMeans().
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-10;  ///< stop when center movement^2 falls below this
+  std::uint64_t seed = 42;
+};
+
+/// Clusters `points` (all of equal dimension) into k clusters.
+/// \throws std::invalid_argument if points is empty, dimensions differ, or
+///         k == 0 or k > points.size().
+KMeansResult kMeans(const std::vector<Vector>& points, std::size_t k,
+                    const KMeansOptions& opt = {});
+
+}  // namespace fdtdmm

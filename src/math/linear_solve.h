@@ -1,0 +1,44 @@
+#pragma once
+/// \file linear_solve.h
+/// Direct linear solvers: LU with partial pivoting for square systems
+/// (MNA Jacobians) and Householder-QR least squares (RBF weight fitting).
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Factor once, solve many right-hand sides (used by the MNA engine when the
+/// Jacobian sparsity/values are reused across Newton iterations).
+class LuFactorization {
+ public:
+  /// Factors A (square). \throws std::invalid_argument if A is not square,
+  /// std::runtime_error if A is numerically singular.
+  explicit LuFactorization(Matrix a);
+
+  /// Solves A x = b. \throws std::invalid_argument on size mismatch.
+  Vector solve(const Vector& b) const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// |det(A)| growth indicator: product of |U_ii|. Useful for
+  /// conditioning diagnostics in tests.
+  double absDeterminant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Solves the square system A x = b by LU with partial pivoting.
+/// \throws std::runtime_error if A is singular.
+Vector solveLinear(const Matrix& a, const Vector& b);
+
+/// Solves min_x ||A x - b||_2 by Householder QR. Requires rows >= cols.
+/// \param ridge optional Tikhonov regularization: solves the augmented
+///        system [A; sqrt(ridge) I] x = [b; 0]; ridge = 0 disables it.
+/// \throws std::invalid_argument on size mismatch, std::runtime_error if
+///         A is rank-deficient and ridge == 0.
+Vector solveLeastSquares(const Matrix& a, const Vector& b, double ridge = 0.0);
+
+}  // namespace fdtdmm

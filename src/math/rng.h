@@ -1,0 +1,61 @@
+#pragma once
+/// \file rng.h
+/// Deterministic pseudo-random generator (SplitMix64). All stochastic parts
+/// of the library (identification excitations, k-means init, property tests)
+/// use this generator so results are reproducible across platforms.
+
+#include <cmath>
+#include <cstdint>
+
+namespace fdtdmm {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Standard normal variate (Box-Muller; uses two uniforms per pair).
+  double normal();
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+inline double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller with rejection of u == 0.
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  spare_ = r * std::sin(two_pi * v);
+  have_spare_ = true;
+  return r * std::cos(two_pi * v);
+}
+
+}  // namespace fdtdmm

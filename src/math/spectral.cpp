@@ -1,0 +1,53 @@
+#include "math/spectral.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace fdtdmm {
+
+double spectralRadius(const Matrix& a, int iterations, int restarts,
+                      std::uint64_t seed) {
+  if (a.rows() == 0 || a.rows() != a.cols())
+    throw std::invalid_argument("spectralRadius: matrix must be square and non-empty");
+  const std::size_t n = a.rows();
+  Rng rng(seed);
+  double best = 0.0;
+  for (int r = 0; r < restarts; ++r) {
+    Vector x(n);
+    for (double& v : x) v = rng.normal();
+    double nx = norm2(x);
+    if (nx == 0.0) continue;
+    for (double& v : x) v /= nx;
+
+    // Track growth over pairs of steps: for a complex-conjugate dominant
+    // pair the one-step ratio oscillates, but ||A^2 x|| / ||x|| converges
+    // to rho^2.
+    double rho = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+      Vector y = a * x;
+      Vector z = a * y;
+      const double nz = norm2(z);
+      if (nz == 0.0) {
+        rho = 0.0;
+        break;
+      }
+      rho = std::sqrt(nz);  // since ||x|| == 1
+      for (std::size_t i = 0; i < n; ++i) x[i] = z[i] / nz;
+    }
+    best = std::max(best, rho);
+  }
+  return best;
+}
+
+Matrix companionMatrix(const Vector& a_coeffs) {
+  if (a_coeffs.empty()) throw std::invalid_argument("companionMatrix: empty coefficients");
+  const std::size_t r = a_coeffs.size();
+  Matrix c(r, r);
+  for (std::size_t j = 0; j < r; ++j) c(0, j) = a_coeffs[j];
+  for (std::size_t i = 1; i < r; ++i) c(i, i - 1) = 1.0;
+  return c;
+}
+
+}  // namespace fdtdmm

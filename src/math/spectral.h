@@ -1,0 +1,27 @@
+#pragma once
+/// \file spectral.h
+/// Spectral radius estimation for discrete-time stability checks
+/// (Section 3.1 of the paper: the resampled system is stable iff all
+/// eigenvalues of its state update lie inside the unit circle).
+
+#include <cstdint>
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// Estimates the spectral radius rho(A) of a square matrix by normalized
+/// power iteration with several random restarts (handles complex-conjugate
+/// dominant pairs by tracking two-step growth).
+/// \throws std::invalid_argument if A is not square or empty.
+double spectralRadius(const Matrix& a, int iterations = 200,
+                      int restarts = 4, std::uint64_t seed = 1234);
+
+/// Builds the companion (controllable canonical) matrix of the scalar
+/// difference equation y_m = sum_{k=1..r} a_k y_{m-k}; its eigenvalues are
+/// the model poles. Used to verify |lambda| < 1 for identified linear
+/// submodels before resampling (the premise of the paper's Eq. 14).
+/// \throws std::invalid_argument if coefficients are empty.
+Matrix companionMatrix(const Vector& a_coeffs);
+
+}  // namespace fdtdmm

@@ -1,0 +1,53 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+double rms(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double rmsError(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rmsError: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return a.empty() ? 0.0 : std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double nrmse(const Vector& a, const Vector& reference) {
+  const MinMax mm = minMax(reference);
+  const double span = mm.max - mm.min;
+  if (span <= 0.0) throw std::invalid_argument("nrmse: flat reference");
+  return rmsError(a, reference) / span;
+}
+
+double maxAbsError(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("maxAbsError: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+MinMax minMax(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("minMax: empty input");
+  auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return {*lo, *hi};
+}
+
+}  // namespace fdtdmm

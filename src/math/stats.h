@@ -1,0 +1,33 @@
+#pragma once
+/// \file stats.h
+/// Error metrics used to compare waveforms across simulation engines
+/// (Figs. 4, 5 of the paper compare four engines on the same scenario).
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// Root mean square of a sequence. Returns 0 for an empty input.
+double rms(const Vector& v);
+
+/// RMS of (a - b). \throws std::invalid_argument on size mismatch.
+double rmsError(const Vector& a, const Vector& b);
+
+/// Normalized RMS error: rms(a-b) / (max(b) - min(b)).
+/// \throws std::invalid_argument on size mismatch or flat reference.
+double nrmse(const Vector& a, const Vector& reference);
+
+/// Maximum absolute deviation. \throws std::invalid_argument on mismatch.
+double maxAbsError(const Vector& a, const Vector& b);
+
+/// Arithmetic mean (0 for empty input).
+double mean(const Vector& v);
+
+/// Min and max of a sequence. \throws std::invalid_argument if empty.
+struct MinMax {
+  double min;
+  double max;
+};
+MinMax minMax(const Vector& v);
+
+}  // namespace fdtdmm

@@ -1,0 +1,99 @@
+#include "rbf/driver_model.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fdtdmm {
+
+namespace {
+
+/// Looks up a weight template at relative time tr; past the template end
+/// returns the steady value `steady`.
+double templateValue(const Waveform& tmpl, double tr, double steady) {
+  if (tmpl.empty()) return steady;
+  if (tr >= tmpl.tEnd()) return steady;
+  return tmpl.value(tr);
+}
+
+}  // namespace
+
+WeightPair driverWeightsAt(const RbfDriverModel& model, const BitPattern& pattern,
+                           double t) {
+  const auto edges = pattern.edges();
+  // Find the most recent edge at or before t (edges[0] is the initial level).
+  std::size_t last = 0;
+  for (std::size_t k = 1; k < edges.size(); ++k) {
+    if (edges[k].time <= t) last = k;
+  }
+  const int level = edges[last].level;
+  WeightPair steady{level != 0 ? 1.0 : 0.0, level != 0 ? 0.0 : 1.0};
+  if (last == 0) return steady;  // before any transition
+
+  const double tr = t - edges[last].time;
+  if (level != 0) {
+    // LOW -> HIGH edge.
+    return {templateValue(model.weights.wu_up, tr, 1.0),
+            templateValue(model.weights.wd_up, tr, 0.0)};
+  }
+  // HIGH -> LOW edge.
+  return {templateValue(model.weights.wu_down, tr, 0.0),
+          templateValue(model.weights.wd_down, tr, 1.0)};
+}
+
+RbfDriverPort::RbfDriverPort(std::shared_ptr<const RbfDriverModel> model,
+                             BitPattern pattern, double v_initial)
+    : model_(std::move(model)), pattern_(std::move(pattern)), v_initial_(v_initial) {
+  if (!model_ || !model_->up || !model_->down)
+    throw std::invalid_argument("RbfDriverPort: incomplete driver model");
+  edges_ = pattern_.edges();
+}
+
+WeightPair RbfDriverPort::weightsAt(double t) const {
+  // Allocation-free version of driverWeightsAt over the cached edge list
+  // (this sits inside every Newton iteration of every solver step).
+  std::size_t last = 0;
+  for (std::size_t k = 1; k < edges_.size(); ++k) {
+    if (edges_[k].time <= t) last = k;
+  }
+  const int level = edges_[last].level;
+  if (last == 0) return {level != 0 ? 1.0 : 0.0, level != 0 ? 0.0 : 1.0};
+  const double tr = t - edges_[last].time;
+  if (level != 0) {
+    return {templateValue(model_->weights.wu_up, tr, 1.0),
+            templateValue(model_->weights.wd_up, tr, 0.0)};
+  }
+  return {templateValue(model_->weights.wu_down, tr, 0.0),
+          templateValue(model_->weights.wd_down, tr, 1.0)};
+}
+
+void RbfDriverPort::prepare(double dt) {
+  state_up_ = std::make_unique<ResampledSubmodelState>(model_->up.get(), dt);
+  state_down_ = std::make_unique<ResampledSubmodelState>(model_->down.get(), dt);
+  // Initialize both submodels at the initial port voltage. The port
+  // typically starts at the steady level of the pattern's first bit.
+  state_up_->reset(v_initial_);
+  state_down_->reset(v_initial_);
+}
+
+double RbfDriverPort::current(double v, double t, double& didv) {
+  if (!state_up_) throw std::logic_error("RbfDriverPort: prepare() not called");
+  const WeightPair w = weightsAt(t);
+  double du = 0.0, dd = 0.0;
+  const double iu = state_up_->eval(v, du);
+  const double id = state_down_->eval(v, dd);
+  didv = w.wu * du + w.wd * dd;
+  return w.wu * iu + w.wd * id;
+}
+
+void RbfDriverPort::commit(double v, double) {
+  if (!state_up_) throw std::logic_error("RbfDriverPort: prepare() not called");
+  state_up_->commit(v);
+  state_down_->commit(v);
+}
+
+double RbfDriverPort::tau() const {
+  if (!state_up_) throw std::logic_error("RbfDriverPort: prepare() not called");
+  return state_up_->tau();
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,79 @@
+#pragma once
+/// \file driver_model.h
+/// RBF macromodel of a digital output port (driver), Eq. (5) of the paper:
+///   i^m = w_u^m i_u^m + w_d^m i_d^m
+/// Two time-invariant Gaussian RBF submodels describe the port at fixed
+/// logic HIGH / LOW state; time-varying weights w_u, w_d (extracted once
+/// during identification) blend them across logic transitions.
+
+#include <memory>
+
+#include "rbf/resampling.h"
+#include "rbf/submodel.h"
+#include "signal/bit_pattern.h"
+#include "signal/port_model.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Switching weight templates, sampled at the model's Ts, with time
+/// measured from the start of a logic edge. Outside a template the weights
+/// hold their steady values ((w_u, w_d) = (1,0) for HIGH, (0,1) for LOW).
+struct SwitchingWeights {
+  Waveform wu_up;    ///< w_u during a LOW->HIGH transition
+  Waveform wd_up;    ///< w_d during a LOW->HIGH transition
+  Waveform wu_down;  ///< w_u during a HIGH->LOW transition
+  Waveform wd_down;  ///< w_d during a HIGH->LOW transition
+};
+
+/// Complete driver macromodel: the device's "set of parameters" that the
+/// paper proposes storing in component libraries.
+struct RbfDriverModel {
+  std::shared_ptr<const GaussianRbfSubmodel> up;    ///< i_u (HIGH-state submodel)
+  std::shared_ptr<const GaussianRbfSubmodel> down;  ///< i_d (LOW-state submodel)
+  SwitchingWeights weights;
+  double ts = 50e-12;  ///< native sampling time [s]
+  double vdd = 1.8;    ///< supply voltage (steady HIGH port level hint)
+};
+
+/// Weight pair at a given time for a given stimulus pattern.
+struct WeightPair {
+  double wu = 0.0;
+  double wd = 1.0;
+};
+
+/// Evaluates the switching weights at absolute time t for a bit pattern.
+/// Exposed for tests and for plotting weight trajectories.
+WeightPair driverWeightsAt(const RbfDriverModel& model, const BitPattern& pattern,
+                           double t);
+
+/// Runtime adapter: an RbfDriverModel stimulated by a bit pattern, exposed
+/// through the PortModel interface so it can be placed in an FDTD mesh cell
+/// or an MNA netlist. Internally keeps two resampled regressor states (one
+/// per submodel), advanced per Eq. (13).
+class RbfDriverPort final : public PortModel {
+ public:
+  /// \throws std::invalid_argument if model is null or incomplete.
+  RbfDriverPort(std::shared_ptr<const RbfDriverModel> model, BitPattern pattern,
+                double v_initial = 0.0);
+
+  void prepare(double dt) override;
+  double current(double v, double t, double& didv) override;
+  void commit(double v, double t) override;
+  std::string name() const override { return "rbf-driver"; }
+
+  /// Resampling factor tau = dt/Ts after prepare().
+  double tau() const;
+
+ private:
+  WeightPair weightsAt(double t) const;
+
+  std::shared_ptr<const RbfDriverModel> model_;
+  BitPattern pattern_;
+  std::vector<BitPattern::Edge> edges_;  ///< cached pattern transitions
+  double v_initial_;
+  std::unique_ptr<ResampledSubmodelState> state_up_;
+  std::unique_ptr<ResampledSubmodelState> state_down_;
+};
+
+}  // namespace fdtdmm

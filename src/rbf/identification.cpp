@@ -1,0 +1,456 @@
+#include "rbf/identification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "math/kmeans.h"
+#include "math/linear_solve.h"
+#include "math/stats.h"
+
+namespace fdtdmm {
+
+namespace {
+
+void checkRecord(const Waveform& v, const Waveform& i, int order, const char* who) {
+  if (v.size() != i.size())
+    throw std::invalid_argument(std::string(who) + ": v/i length mismatch");
+  if (std::abs(v.dt() - i.dt()) > 1e-18)
+    throw std::invalid_argument(std::string(who) + ": v/i sampling mismatch");
+  if (v.size() < static_cast<std::size_t>(order) + 8)
+    throw std::invalid_argument(std::string(who) + ": record too short for order");
+}
+
+/// Builds the (2r+1)-dimensional regressor point for sample m:
+/// [v_m, v_{m-1}..v_{m-r}, s*i_{m-1}..s*i_{m-r}].
+Vector regressorPoint(const Waveform& v, const Waveform& i, std::size_t m,
+                      int order, double i_scale) {
+  Vector p;
+  p.reserve(2 * static_cast<std::size_t>(order) + 1);
+  p.push_back(v[m]);
+  for (int k = 1; k <= order; ++k) p.push_back(v[m - static_cast<std::size_t>(k)]);
+  for (int k = 1; k <= order; ++k)
+    p.push_back(i_scale * i[m - static_cast<std::size_t>(k)]);
+  return p;
+}
+
+}  // namespace
+
+std::shared_ptr<GaussianRbfSubmodel> fitGaussianSubmodel(
+    const Waveform& v, const Waveform& i, const SubmodelFitOptions& opt,
+    FitReport* report) {
+  if (opt.order < 1) throw std::invalid_argument("fitGaussianSubmodel: order must be >= 1");
+  if (opt.centers < 2) throw std::invalid_argument("fitGaussianSubmodel: need >= 2 centers");
+  checkRecord(v, i, opt.order, "fitGaussianSubmodel");
+
+  const auto r = static_cast<std::size_t>(opt.order);
+  const std::size_t n = v.size();
+  const std::size_t n_rows = n - r;
+
+  // Normalize the current regressors to the voltage span so the paper's
+  // single-beta Euclidean metric treats both equally; i_scale = 0 removes
+  // current feedback entirely (voltage-only alternative form).
+  const MinMax vr = minMax(v.samples());
+  const MinMax ir = minMax(i.samples());
+  const double v_span = std::max(vr.max - vr.min, 1e-9);
+  const double i_span = std::max(ir.max - ir.min, 1e-15);
+  const double i_scale = opt.use_current_regressors ? v_span / i_span : 0.0;
+
+  // Collect regressor points and targets.
+  std::vector<Vector> points;
+  points.reserve(n_rows);
+  Vector targets;
+  targets.reserve(n_rows);
+  for (std::size_t m = r; m < n; ++m) {
+    points.push_back(regressorPoint(v, i, m, opt.order, i_scale));
+    targets.push_back(i[m]);
+  }
+
+  // Center placement by k-means in the joint regressor space.
+  const std::size_t l = std::min(opt.centers, points.size());
+  KMeansOptions ko;
+  ko.seed = opt.seed;
+  const KMeansResult km = kMeans(points, l, ko);
+
+  // Width: beta proportional to the mean nearest-neighbor center spacing.
+  double nn_acc = 0.0;
+  for (std::size_t a = 0; a < l; ++a) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t b = 0; b < l; ++b) {
+      if (a == b) continue;
+      double d2 = 0.0;
+      for (std::size_t kk = 0; kk < km.centers[a].size(); ++kk) {
+        const double d = km.centers[a][kk] - km.centers[b][kk];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+    nn_acc += std::sqrt(best);
+  }
+  double beta = opt.beta_scale * std::max(nn_acc / static_cast<double>(l), 1e-6);
+  // Widen so neighbouring centers overlap well: narrow kernels interpolate
+  // the training points but ripple in between, and a resampled run at
+  // tau << 1 crawls exactly through those gaps.
+  beta *= 2.4;
+
+  // Assemble the model skeleton with zero weights for basis evaluation.
+  GaussianRbfParams p;
+  p.order = opt.order;
+  p.ts = v.dt();
+  p.beta = beta;
+  p.i_scale = i_scale;
+  p.theta.assign(l, 0.0);
+  p.c0.resize(l);
+  p.cv.assign(l, Vector(r, 0.0));
+  p.ci.assign(l, Vector(r, 0.0));
+  for (std::size_t c = 0; c < l; ++c) {
+    const Vector& ctr = km.centers[c];
+    p.c0[c] = ctr[0];
+    for (std::size_t k = 0; k < r; ++k) {
+      p.cv[c][k] = ctr[1 + k];
+      p.ci[c][k] = ctr[1 + r + k];  // already in scaled units
+    }
+  }
+  const std::size_t n_aff = 2 * r + 2;
+  p.affine.assign(n_aff, 0.0);
+  GaussianRbfSubmodel skeleton(p);
+
+  // Extract the static I-V manifold from held segments of the excitation:
+  // samples whose recent voltage history is flat are (approximately) at
+  // equilibrium. These anchor the model's DC behaviour, which a plain
+  // equation-error fit leaves poorly constrained (its current-feedback
+  // loop can acquire near-unity gain and drift in parallel form).
+  struct Bin {
+    double v_sum = 0.0, i_sum = 0.0;
+    std::size_t count = 0;
+  };
+  const std::size_t n_bins = 25;
+  std::vector<Bin> bins(n_bins);
+  const double held_eps = 0.02 * v_span;
+  for (std::size_t m = r + 4; m < n; ++m) {
+    bool held = true;
+    for (std::size_t k = 1; k <= r + 4; ++k) {
+      if (std::abs(v[m - k] - v[m]) > held_eps) {
+        held = false;
+        break;
+      }
+    }
+    if (!held) continue;
+    auto b = static_cast<std::size_t>((v[m] - vr.min) / v_span * (n_bins - 1) + 0.5);
+    b = std::min(b, n_bins - 1);
+    bins[b].v_sum += v[m];
+    bins[b].i_sum += i[m];
+    ++bins[b].count;
+  }
+  std::vector<std::pair<double, double>> anchors;  // (v, i) equilibria
+  for (const Bin& b : bins) {
+    if (b.count >= 3) {
+      anchors.emplace_back(b.v_sum / static_cast<double>(b.count),
+                           b.i_sum / static_cast<double>(b.count));
+    }
+  }
+
+  // Design matrix: L Gaussian columns followed by the affine tail, with
+  // the regular equation-error rows first and the weighted DC-anchor rows
+  // appended. Both groups use scaled regressors, so a single ridge is well
+  // conditioned.
+  const double anchor_weight =
+      std::sqrt(static_cast<double>(n_rows) /
+                std::max<std::size_t>(anchors.size(), 1)) * 4.0;
+  const std::size_t total_rows = n_rows + anchors.size();
+  Matrix design(total_rows, l + n_aff);
+  Vector rhs(total_rows);
+  Vector xv(r), xi(r);
+  for (std::size_t row = 0; row < n_rows; ++row) {
+    const std::size_t m = row + r;
+    for (std::size_t k = 0; k < r; ++k) {
+      xv[k] = v[m - 1 - k];
+      xi[k] = i[m - 1 - k];
+    }
+    const Vector base = skeleton.basis(v[m], xv, xi);
+    for (std::size_t c = 0; c < l; ++c) design(row, c) = base[c];
+    const Vector aff = skeleton.affineRegressor(v[m], xv, xi);
+    for (std::size_t c = 0; c < n_aff; ++c) design(row, l + c) = aff[c];
+    rhs[row] = targets[row];
+  }
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    const std::size_t row = n_rows + a;
+    const auto [va, ia] = anchors[a];
+    xv.assign(r, va);
+    xi.assign(r, ia);
+    const Vector base = skeleton.basis(va, xv, xi);
+    for (std::size_t c = 0; c < l; ++c) design(row, c) = anchor_weight * base[c];
+    const Vector aff = skeleton.affineRegressor(va, xv, xi);
+    for (std::size_t c = 0; c < n_aff; ++c)
+      design(row, l + c) = anchor_weight * aff[c];
+    rhs[row] = anchor_weight * ia;
+  }
+
+  // The equation-error fit is linear, but the model runs in parallel
+  // (output-error) form at simulation time, usually resampled to a host
+  // step far below Ts. A fit that is excellent in equation error can still
+  // misbehave there (feedback drift, inter-center ripple), so validate each
+  // candidate two ways — a parallel run at Ts and a resampled run at
+  // tau = 1/8 crawling between the training points — and escalate the
+  // ridge until both are tame. Keep the best candidate.
+  const Waveform v_fine = v.resampled(v.dt() / 8.0);
+  const double i_span_norm = std::max(i_span, 1e-15);
+  if (report != nullptr) {
+    *report = FitReport{};
+    report->beta = beta;
+    report->i_scale = i_scale;
+    report->anchors = anchors.size();
+  }
+  std::shared_ptr<GaussianRbfSubmodel> best;
+  double best_err = std::numeric_limits<double>::max();
+  double ridge = std::max(opt.ridge, 1e-12);
+  for (int attempt = 0; attempt < 8; ++attempt, ridge *= 30.0) {
+    Vector coeffs;
+    try {
+      coeffs = solveLeastSquares(design, rhs, ridge);
+    } catch (const std::runtime_error&) {
+      continue;  // rank issues at tiny ridge: escalate
+    }
+    GaussianRbfParams cand = p;
+    cand.theta.assign(coeffs.begin(), coeffs.begin() + static_cast<std::ptrdiff_t>(l));
+    cand.affine.assign(coeffs.begin() + static_cast<std::ptrdiff_t>(l), coeffs.end());
+    auto model = std::make_shared<GaussianRbfSubmodel>(std::move(cand));
+    double err_ts = std::numeric_limits<double>::max();
+    double err_rs = std::numeric_limits<double>::max();
+    try {
+      const Waveform i_ts = simulateSubmodel(*model, v, v[0]);
+      const Waveform i_rs = simulateSubmodel(*model, v_fine, v_fine[0]);
+      bool finite = true;
+      for (double x : i_ts.samples()) finite = finite && std::isfinite(x);
+      for (double x : i_rs.samples()) finite = finite && std::isfinite(x);
+      if (finite) {
+        err_ts = rmsError(i_ts.samples(), i.samples()) / i_span_norm;
+        // Compare the fine run against the coarse targets at coincident
+        // sample instants (every 8th fine sample).
+        double acc = 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t m = 0; m < i.size() && 8 * m < i_rs.size(); ++m, ++cnt) {
+          const double d = i_rs[8 * m] - i[m];
+          acc += d * d;
+        }
+        if (cnt > 0) err_rs = std::sqrt(acc / static_cast<double>(cnt)) / i_span_norm;
+      }
+    } catch (const std::exception&) {
+      // keep err = max
+    }
+    const double err = std::max(err_ts, err_rs);
+    if (report != nullptr) {
+      double tmax = 0.0;
+      for (double t : model->params().theta) tmax = std::max(tmax, std::abs(t));
+      report->attempts.push_back({ridge, err_ts, err_rs, tmax});
+    }
+    if (err < best_err) {
+      best_err = err;
+      best = std::move(model);
+    }
+    if (best_err < 0.05) break;  // good enough; stop escalating
+  }
+  if (!best) throw std::runtime_error("fitGaussianSubmodel: all fits failed");
+  if (report != nullptr) report->best_error = best_err;
+  return best;
+}
+
+Waveform simulateSubmodel(const DiscreteSubmodel& model, const Waveform& v,
+                          double v_initial) {
+  if (v.empty()) throw std::invalid_argument("simulateSubmodel: empty input");
+  // Parallel (output-error) form at the waveform's own sampling step: for
+  // v.dt() == Ts this is the original shift register (tau = 1); for finer
+  // waveforms the model is resampled per Eq. (13), as at solver runtime.
+  ResampledSubmodelState state(&model, v.dt());
+  state.reset(v_initial);
+  Vector out;
+  out.reserve(v.size());
+  for (std::size_t m = 0; m < v.size(); ++m) {
+    double didv = 0.0;
+    out.push_back(state.eval(v[m], didv));
+    state.commit(v[m]);
+  }
+  return Waveform(v.t0(), v.dt(), std::move(out));
+}
+
+SwitchingWeights extractSwitchingWeights(
+    const GaussianRbfSubmodel& up, const GaussianRbfSubmodel& down,
+    const Waveform& v1, const Waveform& i1, const Waveform& v2,
+    const Waveform& i2, const BitPattern& pattern,
+    const WeightExtractionOptions& opt) {
+  checkRecord(v1, i1, up.order(), "extractSwitchingWeights(record 1)");
+  checkRecord(v2, i2, up.order(), "extractSwitchingWeights(record 2)");
+  if (v1.size() != v2.size() || std::abs(v1.dt() - v2.dt()) > 1e-18)
+    throw std::invalid_argument("extractSwitchingWeights: records must share a time base");
+
+  const auto edges = pattern.edges();
+  // Expect: initial level + exactly two transitions (e.g. "010").
+  if (edges.size() != 3)
+    throw std::invalid_argument(
+        "extractSwitchingWeights: pattern must contain exactly one rising and "
+        "one falling edge (e.g. '010')");
+
+  // Simulate the fixed-state submodels along each recorded port voltage.
+  const double v_init1 = v1[0];
+  const double v_init2 = v2[0];
+  const Waveform iu1 = simulateSubmodel(up, v1, v_init1);
+  const Waveform id1 = simulateSubmodel(down, v1, v_init1);
+  const Waveform iu2 = simulateSubmodel(up, v2, v_init2);
+  const Waveform id2 = simulateSubmodel(down, v2, v_init2);
+
+  // Scale for the relative ridge.
+  double i_max = 0.0;
+  for (std::size_t m = 0; m < i1.size(); ++m) {
+    i_max = std::max({i_max, std::abs(i1[m]), std::abs(i2[m])});
+  }
+  const double mu = opt.ridge * std::max(i_max * i_max, 1e-20);
+
+  // Per-sample 2x2 ridge solve, regularized toward the previous sample.
+  const int start_level = edges.front().level;
+  Vector wu(v1.size()), wd(v1.size());
+  double wu_prev = start_level != 0 ? 1.0 : 0.0;
+  double wd_prev = 1.0 - wu_prev;
+  for (std::size_t m = 0; m < v1.size(); ++m) {
+    const double a11 = iu1[m], a12 = id1[m];
+    const double a21 = iu2[m], a22 = id2[m];
+    const double b1 = i1[m], b2 = i2[m];
+    // Normal equations (A^T A + mu I) w = A^T b + mu w_prev.
+    const double g11 = a11 * a11 + a21 * a21 + mu;
+    const double g12 = a11 * a12 + a21 * a22;
+    const double g22 = a12 * a12 + a22 * a22 + mu;
+    const double r1 = a11 * b1 + a21 * b2 + mu * wu_prev;
+    const double r2 = a12 * b1 + a22 * b2 + mu * wd_prev;
+    const double det = g11 * g22 - g12 * g12;
+    double wum = wu_prev, wdm = wd_prev;
+    if (std::abs(det) > 1e-30) {
+      wum = (r1 * g22 - g12 * r2) / det;
+      wdm = (g11 * r2 - g12 * r1) / det;
+    }
+    wum = std::clamp(wum, opt.clamp_lo, opt.clamp_hi);
+    wdm = std::clamp(wdm, opt.clamp_lo, opt.clamp_hi);
+    wu[m] = wum;
+    wd[m] = wdm;
+    wu_prev = wum;
+    wd_prev = wdm;
+  }
+
+  // Cut templates around each edge.
+  const double ts = v1.dt();
+  const double span = opt.template_span > 0.0 ? opt.template_span : pattern.bitTime();
+  const auto n_tmpl = static_cast<std::size_t>(span / ts);
+
+  auto cut = [&](double t_edge, double steady_wu, double steady_wd)
+      -> std::pair<Waveform, Waveform> {
+    const auto m0 = static_cast<std::size_t>(std::max(0.0, t_edge / ts));
+    Vector tu, td;
+    tu.reserve(n_tmpl);
+    td.reserve(n_tmpl);
+    for (std::size_t k = 0; k < n_tmpl && m0 + k < wu.size(); ++k) {
+      // Blend the final 10% of the template into the exact steady values so
+      // the runtime hand-off at template end is continuous.
+      const double frac = static_cast<double>(k) / static_cast<double>(n_tmpl);
+      const double blend = frac > 0.9 ? (frac - 0.9) / 0.1 : 0.0;
+      tu.push_back((1.0 - blend) * wu[m0 + k] + blend * steady_wu);
+      td.push_back((1.0 - blend) * wd[m0 + k] + blend * steady_wd);
+    }
+    return {Waveform(0.0, ts, std::move(tu)), Waveform(0.0, ts, std::move(td))};
+  };
+
+  SwitchingWeights result;
+  for (std::size_t e = 1; e < edges.size(); ++e) {
+    if (edges[e].level != 0) {
+      auto [tu, td] = cut(edges[e].time, 1.0, 0.0);
+      result.wu_up = std::move(tu);
+      result.wd_up = std::move(td);
+    } else {
+      auto [tu, td] = cut(edges[e].time, 0.0, 1.0);
+      result.wu_down = std::move(tu);
+      result.wd_down = std::move(td);
+    }
+  }
+  return result;
+}
+
+RbfReceiverModel fitReceiverModel(const Waveform& v_lin, const Waveform& i_lin,
+                                  const Waveform& v_full, const Waveform& i_full,
+                                  double vdd, const ReceiverFitOptions& opt) {
+  if (opt.order < 1) throw std::invalid_argument("fitReceiverModel: order must be >= 1");
+  checkRecord(v_lin, i_lin, opt.order, "fitReceiverModel(linear record)");
+  checkRecord(v_full, i_full, opt.order, "fitReceiverModel(full record)");
+  if (vdd <= 0.0) throw std::invalid_argument("fitReceiverModel: vdd must be > 0");
+
+  const auto r = static_cast<std::size_t>(opt.order);
+  const std::size_t n = v_lin.size();
+
+  // --- Linear ARX fit: i_m = sum a_k i_{m-k} + b_0 v_m + sum b_k v_{m-k}.
+  const std::size_t n_rows = n - r;
+  const std::size_t n_cols = 2 * r + 1;
+  Matrix design(n_rows, n_cols);
+  Vector target(n_rows);
+  for (std::size_t row = 0; row < n_rows; ++row) {
+    const std::size_t m = row + r;
+    std::size_t c = 0;
+    for (std::size_t k = 1; k <= r; ++k) design(row, c++) = i_lin[m - k];
+    design(row, c++) = v_lin[m];
+    for (std::size_t k = 1; k <= r; ++k) design(row, c++) = v_lin[m - k];
+    target[row] = i_lin[m];
+  }
+  const Vector coeffs = solveLeastSquares(design, target, opt.linear_ridge);
+
+  LinearArxParams lp;
+  lp.order = opt.order;
+  lp.ts = v_lin.dt();
+  lp.a.assign(coeffs.begin(), coeffs.begin() + static_cast<std::ptrdiff_t>(r));
+  lp.b.assign(coeffs.begin() + static_cast<std::ptrdiff_t>(r), coeffs.end());
+  auto lin = std::make_shared<LinearArxSubmodel>(lp);
+
+  // Stabilize the feedback polynomial if needed (radial shrink of the
+  // companion spectrum: a_k <- a_k * s^k with s < 1 scales all poles by s).
+  double rho = lin->poleRadius();
+  int guard = 0;
+  while (rho >= 0.999 && guard++ < 40) {
+    const double s = 0.98 * 0.999 / rho;
+    double sk = 1.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      sk *= s;
+      lp.a[k] *= sk;
+    }
+    lin = std::make_shared<LinearArxSubmodel>(lp);
+    rho = lin->poleRadius();
+  }
+
+  // --- Clamp fits on the residual of the full-range record.
+  const Waveform i_lin_sim = simulateSubmodel(*lin, v_full, v_full[0]);
+  const std::size_t nf = v_full.size();
+  Vector resid_up(nf, 0.0), resid_down(nf, 0.0);
+  const double w_band = 0.05;  // mask transition sharpness [V]
+  for (std::size_t m = 0; m < nf; ++m) {
+    const double resid = i_full[m] - i_lin_sim[m];
+    const double mask_up = 1.0 / (1.0 + std::exp(-(v_full[m] - (vdd - opt.v_margin)) / w_band));
+    const double mask_down = 1.0 / (1.0 + std::exp(-((opt.v_margin) - v_full[m]) / w_band));
+    resid_up[m] = resid * mask_up;
+    resid_down[m] = resid * mask_down;
+  }
+
+  SubmodelFitOptions so;
+  so.order = opt.order;
+  so.centers = opt.centers;
+  so.beta_scale = opt.beta_scale;
+  so.ridge = opt.ridge;
+  so.seed = opt.seed;
+  auto up = fitGaussianSubmodel(v_full, Waveform(v_full.t0(), v_full.dt(), resid_up), so);
+  so.seed = opt.seed + 1;
+  auto down = fitGaussianSubmodel(v_full, Waveform(v_full.t0(), v_full.dt(), resid_down), so);
+
+  RbfReceiverModel model;
+  model.lin = std::move(lin);
+  model.up = std::move(up);
+  model.down = std::move(down);
+  model.ts = v_lin.dt();
+  model.vdd = vdd;
+  return model;
+}
+
+}  // namespace fdtdmm

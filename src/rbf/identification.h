@@ -1,0 +1,114 @@
+#pragma once
+/// \file identification.h
+/// Macromodel identification (the "rigorous identification procedure" of
+/// Section 2, following refs [6-8] of the paper). All fits are linear in
+/// the RBF weights theta, so the core operation is a ridge least-squares
+/// solve over a design matrix of Gaussian basis evaluations; centers are
+/// placed by k-means in the normalized regressor space.
+///
+/// Inputs are plain (voltage, current) waveform pairs sampled at the model
+/// sampling time Ts — the pipeline never sees the device internals.
+
+#include <cstdint>
+#include <memory>
+
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+#include "rbf/submodel.h"
+#include "signal/bit_pattern.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Options for fitting one Gaussian RBF submodel.
+struct SubmodelFitOptions {
+  int order = 2;              ///< regressor depth r
+  std::size_t centers = 40;   ///< number of Gaussian centers L
+  double beta_scale = 1.0;    ///< beta = beta_scale * mean NN center spacing
+  double ridge = 1e-8;        ///< Tikhonov weight on theta
+  std::uint64_t seed = 1234;  ///< k-means seed
+  /// Include past *currents* in the regressor (the x_i of Eq. 2). With
+  /// output feedback the parallel-form model can acquire spurious
+  /// equilibria from an equation-error fit; the default is the
+  /// voltage-only alternative form the paper allows ("alternative forms
+  /// can be conceived"), which has a unique equilibrium per voltage and is
+  /// unconditionally stable in parallel form.
+  bool use_current_regressors = false;
+};
+
+/// Diagnostics of a submodel fit (one entry per ridge-escalation attempt).
+struct FitReport {
+  struct Attempt {
+    double ridge = 0.0;
+    double parallel_nrmse = 0.0;   ///< parallel run at Ts vs targets
+    double resampled_nrmse = 0.0;  ///< resampled run at Ts/8 vs targets
+    double theta_max_abs = 0.0;
+  };
+  std::vector<Attempt> attempts;
+  double best_error = 0.0;   ///< max of the two errors for the kept model
+  double beta = 0.0;
+  double i_scale = 0.0;
+  std::size_t anchors = 0;   ///< DC anchor rows used
+};
+
+/// Fits a Gaussian RBF submodel to a (v, i) record sampled at Ts = v.dt().
+/// The equation-error (series-parallel) formulation is used: regressors are
+/// built from *measured* past samples, making the fit linear in theta;
+/// candidates are then validated in parallel form (at Ts and resampled at
+/// Ts/8) with ridge escalation. If `report` is non-null it receives the
+/// per-attempt diagnostics.
+/// \throws std::invalid_argument on mismatched/too-short records.
+std::shared_ptr<GaussianRbfSubmodel> fitGaussianSubmodel(
+    const Waveform& v, const Waveform& i, const SubmodelFitOptions& opt = {},
+    FitReport* report = nullptr);
+
+/// Simulates a submodel in parallel (output-error) form along a given port
+/// voltage waveform: the current regressor is fed back from the model's own
+/// outputs, exactly as at runtime. Returns the current waveform at Ts.
+Waveform simulateSubmodel(const DiscreteSubmodel& model, const Waveform& v,
+                          double v_initial = 0.0);
+
+/// Options for the two-load switching weight extraction.
+struct WeightExtractionOptions {
+  double ridge = 1e-3;          ///< relative ridge toward the previous sample's weights
+  double template_span = 0.0;   ///< template length [s]; 0 = one bit time
+  double clamp_lo = -0.5;       ///< lower clamp on weights
+  double clamp_hi = 1.5;        ///< upper clamp on weights
+};
+
+/// Extracts the switching weight templates w_u, w_d of Eq. (5) from two
+/// switching records obtained under *different* load conditions. For each
+/// record, the fixed-state submodels are simulated along the recorded port
+/// voltage; each time sample then yields a 2x2 linear system for
+/// (w_u, w_d), regularized toward the previous sample.
+/// `pattern` must contain exactly one rising and one falling edge (e.g.
+/// "010"), and both records must cover it.
+/// \throws std::invalid_argument on inconsistent inputs.
+SwitchingWeights extractSwitchingWeights(
+    const GaussianRbfSubmodel& up, const GaussianRbfSubmodel& down,
+    const Waveform& v1, const Waveform& i1, const Waveform& v2,
+    const Waveform& i2, const BitPattern& pattern,
+    const WeightExtractionOptions& opt = {});
+
+/// Options for the receiver fit.
+struct ReceiverFitOptions {
+  int order = 2;
+  std::size_t centers = 25;      ///< per clamp submodel
+  double beta_scale = 1.0;
+  double ridge = 1e-8;
+  double linear_ridge = 1e-10;   ///< ridge for the ARX fit
+  double v_margin = 0.2;         ///< clamp mask transition band [V]
+  std::uint64_t seed = 4321;
+};
+
+/// Fits the Eq. (6) receiver model. (v_lin, i_lin) is an excitation
+/// confined to the supply range (identifies the linear submodel);
+/// (v_full, i_full) spans beyond the rails (identifies the clamps from the
+/// residual current after removing the simulated linear part).
+/// The linear submodel's poles are stabilized by radial shrinking if the
+/// raw fit is unstable, preserving the premise of the paper's Eq. (14).
+RbfReceiverModel fitReceiverModel(const Waveform& v_lin, const Waveform& i_lin,
+                                  const Waveform& v_full, const Waveform& i_full,
+                                  double vdd, const ReceiverFitOptions& opt = {});
+
+}  // namespace fdtdmm

@@ -1,0 +1,193 @@
+#include "rbf/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+namespace {
+
+constexpr const char* kDriverMagic = "fdtdmm-driver-model-v1";
+constexpr const char* kReceiverMagic = "fdtdmm-receiver-model-v1";
+
+void expectToken(std::istream& in, const std::string& expected) {
+  std::string tok;
+  if (!(in >> tok) || tok != expected)
+    throw std::runtime_error("model_io: expected token '" + expected + "', got '" + tok + "'");
+}
+
+void writeWaveform(std::ostream& out, const std::string& tag, const Waveform& w) {
+  out << tag << " " << w.size() << " " << w.t0() << " " << w.dt() << "\n";
+  for (std::size_t k = 0; k < w.size(); ++k) out << w[k] << "\n";
+}
+
+Waveform readWaveform(std::istream& in, const std::string& tag) {
+  expectToken(in, tag);
+  std::size_t n = 0;
+  double t0 = 0.0, dt = 1.0;
+  if (!(in >> n >> t0 >> dt)) throw std::runtime_error("model_io: bad waveform header");
+  Vector s(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!(in >> s[k])) throw std::runtime_error("model_io: truncated waveform");
+  }
+  if (n == 0) return Waveform();
+  return Waveform(t0, dt, std::move(s));
+}
+
+void writeGaussian(std::ostream& out, const std::string& tag,
+                   const GaussianRbfSubmodel& m) {
+  const GaussianRbfParams& p = m.params();
+  out << tag << " " << p.order << " " << p.ts << " " << p.beta << " "
+      << p.i_scale << " " << p.theta.size() << " " << p.affine.size() << "\n";
+  for (double x : p.affine) out << x << " ";
+  if (!p.affine.empty()) out << "\n";
+  for (std::size_t l = 0; l < p.theta.size(); ++l) {
+    out << p.theta[l] << " " << p.c0[l];
+    for (double x : p.cv[l]) out << " " << x;
+    for (double x : p.ci[l]) out << " " << x;
+    out << "\n";
+  }
+}
+
+std::shared_ptr<GaussianRbfSubmodel> readGaussian(std::istream& in,
+                                                  const std::string& tag) {
+  expectToken(in, tag);
+  GaussianRbfParams p;
+  std::size_t l = 0;
+  std::size_t n_aff = 0;
+  if (!(in >> p.order >> p.ts >> p.beta >> p.i_scale >> l >> n_aff))
+    throw std::runtime_error("model_io: bad submodel header");
+  p.affine.resize(n_aff);
+  for (double& x : p.affine) {
+    if (!(in >> x)) throw std::runtime_error("model_io: truncated affine tail");
+  }
+  p.theta.resize(l);
+  p.c0.resize(l);
+  p.cv.assign(l, Vector(static_cast<std::size_t>(p.order)));
+  p.ci.assign(l, Vector(static_cast<std::size_t>(p.order)));
+  for (std::size_t c = 0; c < l; ++c) {
+    if (!(in >> p.theta[c] >> p.c0[c]))
+      throw std::runtime_error("model_io: truncated submodel");
+    for (double& x : p.cv[c]) {
+      if (!(in >> x)) throw std::runtime_error("model_io: truncated submodel");
+    }
+    for (double& x : p.ci[c]) {
+      if (!(in >> x)) throw std::runtime_error("model_io: truncated submodel");
+    }
+  }
+  return std::make_shared<GaussianRbfSubmodel>(std::move(p));
+}
+
+std::ofstream openOut(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("model_io: cannot open for writing: " + path);
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+std::ifstream openIn(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model_io: cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+void writeDriverModel(const RbfDriverModel& model, std::ostream& out) {
+  if (!model.up || !model.down)
+    throw std::runtime_error("writeDriverModel: incomplete model");
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kDriverMagic << "\n";
+  out << "ts " << model.ts << " vdd " << model.vdd << "\n";
+  writeGaussian(out, "submodel_up", *model.up);
+  writeGaussian(out, "submodel_down", *model.down);
+  writeWaveform(out, "wu_up", model.weights.wu_up);
+  writeWaveform(out, "wd_up", model.weights.wd_up);
+  writeWaveform(out, "wu_down", model.weights.wu_down);
+  writeWaveform(out, "wd_down", model.weights.wd_down);
+  if (!out) throw std::runtime_error("writeDriverModel: write failure");
+}
+
+RbfDriverModel readDriverModel(std::istream& in) {
+  expectToken(in, kDriverMagic);
+  RbfDriverModel m;
+  expectToken(in, "ts");
+  if (!(in >> m.ts)) throw std::runtime_error("readDriverModel: bad ts");
+  expectToken(in, "vdd");
+  if (!(in >> m.vdd)) throw std::runtime_error("readDriverModel: bad vdd");
+  m.up = readGaussian(in, "submodel_up");
+  m.down = readGaussian(in, "submodel_down");
+  m.weights.wu_up = readWaveform(in, "wu_up");
+  m.weights.wd_up = readWaveform(in, "wd_up");
+  m.weights.wu_down = readWaveform(in, "wu_down");
+  m.weights.wd_down = readWaveform(in, "wd_down");
+  return m;
+}
+
+void saveDriverModel(const RbfDriverModel& model, const std::string& path) {
+  auto out = openOut(path);
+  writeDriverModel(model, out);
+}
+
+RbfDriverModel loadDriverModel(const std::string& path) {
+  auto in = openIn(path);
+  return readDriverModel(in);
+}
+
+void writeReceiverModel(const RbfReceiverModel& model, std::ostream& out) {
+  if (!model.lin || !model.up || !model.down)
+    throw std::runtime_error("writeReceiverModel: incomplete model");
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kReceiverMagic << "\n";
+  out << "ts " << model.ts << " vdd " << model.vdd << "\n";
+  const LinearArxParams& lp = model.lin->params();
+  out << "linear " << lp.order << " " << lp.ts << "\n";
+  for (double x : lp.a) out << x << " ";
+  out << "\n";
+  for (double x : lp.b) out << x << " ";
+  out << "\n";
+  writeGaussian(out, "clamp_up", *model.up);
+  writeGaussian(out, "clamp_down", *model.down);
+  if (!out) throw std::runtime_error("writeReceiverModel: write failure");
+}
+
+RbfReceiverModel readReceiverModel(std::istream& in) {
+  expectToken(in, kReceiverMagic);
+  RbfReceiverModel m;
+  expectToken(in, "ts");
+  if (!(in >> m.ts)) throw std::runtime_error("readReceiverModel: bad ts");
+  expectToken(in, "vdd");
+  if (!(in >> m.vdd)) throw std::runtime_error("readReceiverModel: bad vdd");
+  expectToken(in, "linear");
+  LinearArxParams lp;
+  if (!(in >> lp.order >> lp.ts)) throw std::runtime_error("readReceiverModel: bad linear header");
+  lp.a.resize(static_cast<std::size_t>(lp.order));
+  lp.b.resize(static_cast<std::size_t>(lp.order) + 1);
+  for (double& x : lp.a) {
+    if (!(in >> x)) throw std::runtime_error("readReceiverModel: truncated linear a");
+  }
+  for (double& x : lp.b) {
+    if (!(in >> x)) throw std::runtime_error("readReceiverModel: truncated linear b");
+  }
+  m.lin = std::make_shared<LinearArxSubmodel>(std::move(lp));
+  m.up = readGaussian(in, "clamp_up");
+  m.down = readGaussian(in, "clamp_down");
+  return m;
+}
+
+void saveReceiverModel(const RbfReceiverModel& model, const std::string& path) {
+  auto out = openOut(path);
+  writeReceiverModel(model, out);
+}
+
+RbfReceiverModel loadReceiverModel(const std::string& path) {
+  auto in = openIn(path);
+  return readReceiverModel(in);
+}
+
+}  // namespace fdtdmm

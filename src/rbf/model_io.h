@@ -1,0 +1,36 @@
+#pragma once
+/// \file model_io.h
+/// Plain-text (de)serialization of driver and receiver macromodels. The
+/// paper notes that "the same computational code can be used for very
+/// different devices simply feeding it with the proper model parameters"
+/// and envisions component libraries; this module is that mechanism.
+///
+/// Format: a line-oriented text file with a versioned magic header; all
+/// floating-point values are written with max_digits10 so round-trips are
+/// bit-faithful.
+
+#include <iosfwd>
+#include <string>
+
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+
+namespace fdtdmm {
+
+/// Writes a driver model. \throws std::runtime_error on I/O failure.
+void saveDriverModel(const RbfDriverModel& model, const std::string& path);
+void writeDriverModel(const RbfDriverModel& model, std::ostream& out);
+
+/// Reads a driver model. \throws std::runtime_error on I/O or format error.
+RbfDriverModel loadDriverModel(const std::string& path);
+RbfDriverModel readDriverModel(std::istream& in);
+
+/// Writes a receiver model. \throws std::runtime_error on I/O failure.
+void saveReceiverModel(const RbfReceiverModel& model, const std::string& path);
+void writeReceiverModel(const RbfReceiverModel& model, std::ostream& out);
+
+/// Reads a receiver model. \throws std::runtime_error on I/O or format error.
+RbfReceiverModel loadReceiverModel(const std::string& path);
+RbfReceiverModel readReceiverModel(std::istream& in);
+
+}  // namespace fdtdmm

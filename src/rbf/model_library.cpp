@@ -1,0 +1,102 @@
+#include "rbf/model_library.h"
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "rbf/model_io.h"
+
+namespace fdtdmm {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kDriverSuffix = ".driver.fdtdmm";
+constexpr const char* kReceiverSuffix = ".receiver.fdtdmm";
+}  // namespace
+
+ModelLibrary::ModelLibrary(std::string directory) : dir_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("ModelLibrary: cannot create directory " + dir_);
+}
+
+void ModelLibrary::validateName(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("ModelLibrary: empty component name");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok)
+      throw std::invalid_argument(
+          "ModelLibrary: component names must be [A-Za-z0-9_-], got '" + name + "'");
+  }
+}
+
+std::string ModelLibrary::driverPath(const std::string& name) const {
+  return dir_ + "/" + name + kDriverSuffix;
+}
+
+std::string ModelLibrary::receiverPath(const std::string& name) const {
+  return dir_ + "/" + name + kReceiverSuffix;
+}
+
+void ModelLibrary::putDriver(const std::string& name, const RbfDriverModel& model) {
+  validateName(name);
+  saveDriverModel(model, driverPath(name));
+  driver_cache_.erase(name);
+}
+
+void ModelLibrary::putReceiver(const std::string& name, const RbfReceiverModel& model) {
+  validateName(name);
+  saveReceiverModel(model, receiverPath(name));
+  receiver_cache_.erase(name);
+}
+
+std::shared_ptr<const RbfDriverModel> ModelLibrary::driver(const std::string& name) {
+  validateName(name);
+  auto it = driver_cache_.find(name);
+  if (it != driver_cache_.end()) return it->second;
+  if (!hasDriver(name))
+    throw std::runtime_error("ModelLibrary: no driver component '" + name + "'");
+  auto model = std::make_shared<const RbfDriverModel>(loadDriverModel(driverPath(name)));
+  driver_cache_.emplace(name, model);
+  return model;
+}
+
+std::shared_ptr<const RbfReceiverModel> ModelLibrary::receiver(const std::string& name) {
+  validateName(name);
+  auto it = receiver_cache_.find(name);
+  if (it != receiver_cache_.end()) return it->second;
+  if (!hasReceiver(name))
+    throw std::runtime_error("ModelLibrary: no receiver component '" + name + "'");
+  auto model =
+      std::make_shared<const RbfReceiverModel>(loadReceiverModel(receiverPath(name)));
+  receiver_cache_.emplace(name, model);
+  return model;
+}
+
+bool ModelLibrary::hasDriver(const std::string& name) const {
+  return fs::exists(driverPath(name));
+}
+
+bool ModelLibrary::hasReceiver(const std::string& name) const {
+  return fs::exists(receiverPath(name));
+}
+
+std::vector<std::string> ModelLibrary::list() const {
+  std::set<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string fname = entry.path().filename().string();
+    for (const char* suffix : {kDriverSuffix, kReceiverSuffix}) {
+      const std::string s(suffix);
+      if (fname.size() > s.size() &&
+          fname.compare(fname.size() - s.size(), s.size(), s) == 0) {
+        names.insert(fname.substr(0, fname.size() - s.size()));
+      }
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace fdtdmm

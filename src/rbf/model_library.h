@@ -1,0 +1,57 @@
+#pragma once
+/// \file model_library.h
+/// Directory-backed library of device macromodels. The paper: "It is also
+/// conceivable to setup libraries of components that can be arbitrarily
+/// selected and included by the user." A ModelLibrary maps component names
+/// to serialized model files (driver or receiver) under one directory and
+/// caches deserialized models so repeated lookups are cheap.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+
+namespace fdtdmm {
+
+/// A named collection of macromodels persisted under a directory.
+/// File layout: `<dir>/<name>.driver.fdtdmm` / `<dir>/<name>.receiver.fdtdmm`.
+class ModelLibrary {
+ public:
+  /// Opens (and creates if needed) a library directory.
+  /// \throws std::runtime_error if the directory cannot be created.
+  explicit ModelLibrary(std::string directory);
+
+  /// Stores a driver model under `name` (overwrites).
+  void putDriver(const std::string& name, const RbfDriverModel& model);
+  /// Stores a receiver model under `name` (overwrites).
+  void putReceiver(const std::string& name, const RbfReceiverModel& model);
+
+  /// Loads (and caches) a driver model. \throws std::runtime_error if the
+  /// component does not exist or fails to parse.
+  std::shared_ptr<const RbfDriverModel> driver(const std::string& name);
+  /// Loads (and caches) a receiver model.
+  std::shared_ptr<const RbfReceiverModel> receiver(const std::string& name);
+
+  /// True if the named driver/receiver exists on disk.
+  bool hasDriver(const std::string& name) const;
+  bool hasReceiver(const std::string& name) const;
+
+  /// Names of all components present (union of drivers and receivers).
+  std::vector<std::string> list() const;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  std::string driverPath(const std::string& name) const;
+  std::string receiverPath(const std::string& name) const;
+  static void validateName(const std::string& name);
+
+  std::string dir_;
+  std::map<std::string, std::shared_ptr<const RbfDriverModel>> driver_cache_;
+  std::map<std::string, std::shared_ptr<const RbfReceiverModel>> receiver_cache_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,46 @@
+#include "rbf/receiver_model.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fdtdmm {
+
+RbfReceiverPort::RbfReceiverPort(std::shared_ptr<const RbfReceiverModel> model,
+                                 double v_initial)
+    : model_(std::move(model)), v_initial_(v_initial) {
+  if (!model_ || !model_->lin || !model_->up || !model_->down)
+    throw std::invalid_argument("RbfReceiverPort: incomplete receiver model");
+}
+
+void RbfReceiverPort::prepare(double dt) {
+  state_lin_ = std::make_unique<ResampledSubmodelState>(model_->lin.get(), dt);
+  state_up_ = std::make_unique<ResampledSubmodelState>(model_->up.get(), dt);
+  state_down_ = std::make_unique<ResampledSubmodelState>(model_->down.get(), dt);
+  state_lin_->reset(v_initial_);
+  state_up_->reset(v_initial_);
+  state_down_->reset(v_initial_);
+}
+
+double RbfReceiverPort::current(double v, double, double& didv) {
+  if (!state_lin_) throw std::logic_error("RbfReceiverPort: prepare() not called");
+  double dl = 0.0, du = 0.0, dd = 0.0;
+  const double il = state_lin_->eval(v, dl);
+  const double iu = state_up_->eval(v, du);
+  const double id = state_down_->eval(v, dd);
+  didv = dl + du + dd;
+  return il + iu + id;
+}
+
+void RbfReceiverPort::commit(double v, double) {
+  if (!state_lin_) throw std::logic_error("RbfReceiverPort: prepare() not called");
+  state_lin_->commit(v);
+  state_up_->commit(v);
+  state_down_->commit(v);
+}
+
+double RbfReceiverPort::tau() const {
+  if (!state_lin_) throw std::logic_error("RbfReceiverPort: prepare() not called");
+  return state_lin_->tau();
+}
+
+}  // namespace fdtdmm

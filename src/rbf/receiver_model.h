@@ -1,0 +1,49 @@
+#pragma once
+/// \file receiver_model.h
+/// RBF macromodel of a digital input port (receiver), Eq. (6) of the paper:
+///   i^m = i_lin^m + i_nl,u^m + i_nl,d^m
+/// A linear parametric submodel captures the mostly-linear behavior within
+/// the supply range; two Gaussian RBF submodels capture the nonlinear
+/// static/dynamic effects of the up and down protection circuits.
+
+#include <memory>
+
+#include "rbf/resampling.h"
+#include "rbf/submodel.h"
+#include "signal/port_model.h"
+
+namespace fdtdmm {
+
+/// Complete receiver macromodel.
+struct RbfReceiverModel {
+  std::shared_ptr<const LinearArxSubmodel> lin;       ///< i_lin
+  std::shared_ptr<const GaussianRbfSubmodel> up;      ///< i_nl,u (to-Vdd clamp)
+  std::shared_ptr<const GaussianRbfSubmodel> down;    ///< i_nl,d (to-ground clamp)
+  double ts = 50e-12;
+  double vdd = 1.8;
+};
+
+/// Runtime adapter exposing the receiver through PortModel; keeps three
+/// resampled regressor states advanced per Eq. (13).
+class RbfReceiverPort final : public PortModel {
+ public:
+  /// \throws std::invalid_argument if the model is incomplete.
+  explicit RbfReceiverPort(std::shared_ptr<const RbfReceiverModel> model,
+                           double v_initial = 0.0);
+
+  void prepare(double dt) override;
+  double current(double v, double t, double& didv) override;
+  void commit(double v, double t) override;
+  std::string name() const override { return "rbf-receiver"; }
+
+  double tau() const;
+
+ private:
+  std::shared_ptr<const RbfReceiverModel> model_;
+  double v_initial_;
+  std::unique_ptr<ResampledSubmodelState> state_lin_;
+  std::unique_ptr<ResampledSubmodelState> state_up_;
+  std::unique_ptr<ResampledSubmodelState> state_down_;
+};
+
+}  // namespace fdtdmm

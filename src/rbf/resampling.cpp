@@ -1,0 +1,117 @@
+#include "rbf/resampling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+std::complex<double> resampleEigenvalue(std::complex<double> lambda, double tau) {
+  return 1.0 + tau * (lambda - 1.0);
+}
+
+std::complex<double> continuousEigenvalue(std::complex<double> lambda, double ts) {
+  if (ts <= 0.0) throw std::invalid_argument("continuousEigenvalue: ts must be > 0");
+  return (lambda - 1.0) / ts;
+}
+
+Matrix buildQMatrix(int r, double tau) {
+  if (r < 1) throw std::invalid_argument("buildQMatrix: order must be >= 1");
+  if (tau <= 0.0 || tau > 1.0)
+    throw std::invalid_argument("buildQMatrix: tau must be in (0, 1] (Eq. 17)");
+  Matrix q(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 1.0 - tau;
+    if (i > 0) q(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1)) = tau;
+  }
+  return q;
+}
+
+Matrix resampleStateMatrix(const Matrix& a, double tau) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("resampleStateMatrix: square matrix required");
+  Matrix out = a;
+  out *= tau;
+  for (std::size_t i = 0; i < a.rows(); ++i) out(i, i) += 1.0 - tau;
+  return out;
+}
+
+ResampledSubmodelState::ResampledSubmodelState(const DiscreteSubmodel* model, double dt)
+    : model_(model) {
+  if (model_ == nullptr)
+    throw std::invalid_argument("ResampledSubmodelState: null submodel");
+  if (dt <= 0.0) throw std::invalid_argument("ResampledSubmodelState: dt must be > 0");
+  tau_ = dt / model_->ts();
+  if (tau_ > 1.0 + 1e-12)
+    throw std::invalid_argument(
+        "ResampledSubmodelState: tau = dt/Ts > 1 violates the stability "
+        "constraint of Eq. (17); refine the model sampling time");
+  tau_ = std::min(tau_, 1.0);
+  const auto r = static_cast<std::size_t>(model_->order());
+  xv_.assign(r, 0.0);
+  xi_.assign(r, 0.0);
+}
+
+void ResampledSubmodelState::reset(double v0) {
+  const auto r = static_cast<std::size_t>(model_->order());
+  xv_.assign(r, v0);
+  // Steady current is the fixed point of g(i0) = F(i0*1, v0, v0*1) - i0 = 0.
+  // Newton with a numerical derivative (robust against the Gaussian
+  // nonlinearity), seeded at the model's open-loop prediction; fall back to
+  // damped fixed-point iteration if Newton stalls.
+  auto g = [&](double i0) {
+    xi_.assign(r, i0);
+    return model_->eval(v0, xv_, xi_, nullptr) - i0;
+  };
+  xi_.assign(r, 0.0);
+  double i0 = model_->eval(v0, xv_, xi_, nullptr);  // open-loop seed
+  bool converged = false;
+  for (int it = 0; it < 60; ++it) {
+    const double f = g(i0);
+    if (std::abs(f) < 1e-15 * (1.0 + std::abs(i0))) {
+      converged = true;
+      break;
+    }
+    const double h = 1e-7 * (1.0 + std::abs(i0));
+    const double df = (g(i0 + h) - g(i0 - h)) / (2.0 * h);
+    if (std::abs(df) < 1e-12) break;
+    const double step = -f / df;
+    i0 += step;
+    if (!std::isfinite(i0)) {
+      i0 = 0.0;
+      break;
+    }
+  }
+  if (!converged) {
+    for (int it = 0; it < 500; ++it) {
+      const double f = g(i0) + i0;  // F itself
+      const double next = 0.5 * i0 + 0.5 * f;
+      if (std::abs(next - i0) < 1e-16 * (1.0 + std::abs(next))) {
+        i0 = next;
+        break;
+      }
+      i0 = next;
+    }
+  }
+  xi_.assign(r, i0);
+}
+
+double ResampledSubmodelState::eval(double v, double& didv) const {
+  return model_->eval(v, xv_, xi_, &didv);
+}
+
+void ResampledSubmodelState::advance(Vector& x, double input) const {
+  // x <- Q x + tau e_1 input, processed in descending index order so each
+  // x[j-1] read is the pre-update value.
+  for (std::size_t j = x.size(); j-- > 1;) {
+    x[j] = (1.0 - tau_) * x[j] + tau_ * x[j - 1];
+  }
+  x[0] = (1.0 - tau_) * x[0] + tau_ * input;
+}
+
+void ResampledSubmodelState::commit(double v) {
+  double unused = 0.0;
+  const double i = model_->eval(v, xv_, xi_, &unused);
+  advance(xi_, i);
+  advance(xv_, v);
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,71 @@
+#pragma once
+/// \file resampling.h
+/// The paper's resampling strategy (Section 3, Eq. 13, and Section 3.1).
+///
+/// A discrete-time model identified at sampling time Ts is converted to
+/// continuous time with a first-order forward difference and resampled at
+/// the FDTD step dt. With tau = dt/Ts, the regressor states advance as
+///     x^{n+1} = Q x^n + tau e_1 u^n,     Q = (1-tau) I + tau S
+/// where S is the down-shift matrix. tau = 1 degenerates to the original
+/// shift register; tau > 1 is extrapolation and is rejected (Eq. 17).
+
+#include <complex>
+#include <memory>
+
+#include "math/matrix.h"
+#include "rbf/submodel.h"
+
+namespace fdtdmm {
+
+/// Eigenvalue map of the full conversion chain applied to the linear test
+/// problem (Eqs. 14-16): lambda (discrete, |lambda|<1) -> eta = (lambda-1)/Ts
+/// (continuous) -> lambda_tilde = 1 + tau (lambda - 1) (resampled).
+std::complex<double> resampleEigenvalue(std::complex<double> lambda, double tau);
+
+/// Continuous-time eigenvalue of the intermediate conversion (Eq. 15).
+std::complex<double> continuousEigenvalue(std::complex<double> lambda, double ts);
+
+/// Builds the Q update matrix of Eq. (13) for a model of order r.
+/// \throws std::invalid_argument if r < 1 or tau not in (0, 1].
+Matrix buildQMatrix(int r, double tau);
+
+/// Applies the resampling map to a full discrete state matrix:
+/// A_tilde = I + tau (A - I). Stability of A (spectral radius < 1) implies
+/// stability of A_tilde for tau <= 1 (Section 3.1).
+Matrix resampleStateMatrix(const Matrix& a, double tau);
+
+/// Resampled regressor state of one submodel (Eq. 13): holds x_v and x_i
+/// and advances them at the host time step. Also owns the "pending" states
+/// used for evaluating the next step's current.
+class ResampledSubmodelState {
+ public:
+  /// Binds to a submodel (non-owning) with host step dt.
+  /// \throws std::invalid_argument if dt <= 0 or tau = dt/Ts > 1 (Eq. 17).
+  ResampledSubmodelState(const DiscreteSubmodel* model, double dt);
+
+  /// Fills the regressors with the steady state consistent with constant
+  /// port voltage v0: x_v = v0 * 1, x_i = i0 * 1 with i0 the fixed point of
+  /// i = F(i 1, v0, v0 1) (found by damped fixed-point iteration).
+  void reset(double v0);
+
+  /// Evaluates the current i^{n+1} = F(x_i^{n+1}, v, x_v^{n+1}) for a trial
+  /// end-of-step voltage v. Pure (does not mutate state).
+  double eval(double v, double& didv) const;
+
+  /// Commits the accepted end-of-step voltage: computes the current and
+  /// advances both regressors per Eq. (13).
+  void commit(double v);
+
+  double tau() const { return tau_; }
+  const Vector& xv() const { return xv_; }
+  const Vector& xi() const { return xi_; }
+
+ private:
+  void advance(Vector& x, double input) const;
+
+  const DiscreteSubmodel* model_;
+  double tau_;
+  Vector xv_, xi_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,126 @@
+#include "rbf/submodel.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "math/spectral.h"
+
+namespace fdtdmm {
+
+GaussianRbfSubmodel::GaussianRbfSubmodel(GaussianRbfParams p) : p_(std::move(p)) {
+  if (p_.order < 1) throw std::invalid_argument("GaussianRbfSubmodel: order must be >= 1");
+  if (p_.ts <= 0.0) throw std::invalid_argument("GaussianRbfSubmodel: ts must be > 0");
+  if (p_.beta <= 0.0) throw std::invalid_argument("GaussianRbfSubmodel: beta must be > 0");
+  if (p_.i_scale < 0.0)
+    throw std::invalid_argument("GaussianRbfSubmodel: i_scale must be >= 0 (0 disables current feedback)");
+  const std::size_t l = p_.theta.size();
+  if (p_.c0.size() != l || p_.cv.size() != l || p_.ci.size() != l)
+    throw std::invalid_argument("GaussianRbfSubmodel: center arrays must match theta size");
+  for (std::size_t k = 0; k < l; ++k) {
+    if (p_.cv[k].size() != static_cast<std::size_t>(p_.order) ||
+        p_.ci[k].size() != static_cast<std::size_t>(p_.order))
+      throw std::invalid_argument("GaussianRbfSubmodel: center dimension != order");
+  }
+  if (!p_.affine.empty() &&
+      p_.affine.size() != 2 * static_cast<std::size_t>(p_.order) + 2)
+    throw std::invalid_argument("GaussianRbfSubmodel: affine tail must have length 2r+2");
+}
+
+double GaussianRbfSubmodel::eval(double v, const Vector& xv, const Vector& xi,
+                                 double* didv) const {
+  if (xv.size() != static_cast<std::size_t>(p_.order) ||
+      xi.size() != static_cast<std::size_t>(p_.order))
+    throw std::invalid_argument("GaussianRbfSubmodel::eval: regressor size != order");
+  const double inv2b2 = 1.0 / (2.0 * p_.beta * p_.beta);
+  double acc = 0.0;
+  double dacc = 0.0;
+  if (!p_.affine.empty()) {
+    // The affine tail acts on the same scaled regressors as the Gaussian
+    // metric (current terms scaled by i_scale) for numerical conditioning.
+    acc += p_.affine[0] + p_.affine[1] * v;
+    dacc += p_.affine[1];
+    for (int k = 0; k < p_.order; ++k) {
+      acc += p_.affine[2 + static_cast<std::size_t>(k)] * xv[static_cast<std::size_t>(k)];
+      acc += p_.affine[2 + static_cast<std::size_t>(p_.order + k)] * p_.i_scale *
+             xi[static_cast<std::size_t>(k)];
+    }
+  }
+  for (std::size_t l = 0; l < p_.theta.size(); ++l) {
+    double d2 = 0.0;
+    for (int k = 0; k < p_.order; ++k) {
+      const double dv = xv[static_cast<std::size_t>(k)] - p_.cv[l][static_cast<std::size_t>(k)];
+      const double di = p_.i_scale * xi[static_cast<std::size_t>(k)] - p_.ci[l][static_cast<std::size_t>(k)];
+      d2 += dv * dv + di * di;
+    }
+    const double dv0 = v - p_.c0[l];
+    const double g = std::exp(-(d2 + dv0 * dv0) * inv2b2);
+    const double term = p_.theta[l] * g;
+    acc += term;
+    dacc += term * (-dv0 * 2.0 * inv2b2);
+  }
+  if (didv != nullptr) *didv = dacc;
+  return acc;
+}
+
+Vector GaussianRbfSubmodel::basis(double v, const Vector& xv, const Vector& xi) const {
+  if (xv.size() != static_cast<std::size_t>(p_.order) ||
+      xi.size() != static_cast<std::size_t>(p_.order))
+    throw std::invalid_argument("GaussianRbfSubmodel::basis: regressor size != order");
+  const double inv2b2 = 1.0 / (2.0 * p_.beta * p_.beta);
+  Vector out(p_.theta.size());
+  for (std::size_t l = 0; l < p_.theta.size(); ++l) {
+    double d2 = 0.0;
+    for (int k = 0; k < p_.order; ++k) {
+      const double dv = xv[static_cast<std::size_t>(k)] - p_.cv[l][static_cast<std::size_t>(k)];
+      const double di = p_.i_scale * xi[static_cast<std::size_t>(k)] - p_.ci[l][static_cast<std::size_t>(k)];
+      d2 += dv * dv + di * di;
+    }
+    const double dv0 = v - p_.c0[l];
+    out[l] = std::exp(-(d2 + dv0 * dv0) * inv2b2);
+  }
+  return out;
+}
+
+Vector GaussianRbfSubmodel::affineRegressor(double v, const Vector& xv,
+                                            const Vector& xi) const {
+  if (xv.size() != static_cast<std::size_t>(p_.order) ||
+      xi.size() != static_cast<std::size_t>(p_.order))
+    throw std::invalid_argument("GaussianRbfSubmodel::affineRegressor: size mismatch");
+  Vector a;
+  a.reserve(2 * static_cast<std::size_t>(p_.order) + 2);
+  a.push_back(1.0);
+  a.push_back(v);
+  for (double x : xv) a.push_back(x);
+  for (double x : xi) a.push_back(p_.i_scale * x);
+  return a;
+}
+
+LinearArxSubmodel::LinearArxSubmodel(LinearArxParams p) : p_(std::move(p)) {
+  if (p_.order < 1) throw std::invalid_argument("LinearArxSubmodel: order must be >= 1");
+  if (p_.ts <= 0.0) throw std::invalid_argument("LinearArxSubmodel: ts must be > 0");
+  if (p_.a.size() != static_cast<std::size_t>(p_.order))
+    throw std::invalid_argument("LinearArxSubmodel: a must have length order");
+  if (p_.b.size() != static_cast<std::size_t>(p_.order) + 1)
+    throw std::invalid_argument("LinearArxSubmodel: b must have length order+1");
+}
+
+double LinearArxSubmodel::eval(double v, const Vector& xv, const Vector& xi,
+                               double* didv) const {
+  if (xv.size() != static_cast<std::size_t>(p_.order) ||
+      xi.size() != static_cast<std::size_t>(p_.order))
+    throw std::invalid_argument("LinearArxSubmodel::eval: regressor size != order");
+  double acc = p_.b[0] * v;
+  for (int k = 0; k < p_.order; ++k) {
+    acc += p_.a[static_cast<std::size_t>(k)] * xi[static_cast<std::size_t>(k)];
+    acc += p_.b[static_cast<std::size_t>(k) + 1] * xv[static_cast<std::size_t>(k)];
+  }
+  if (didv != nullptr) *didv = p_.b[0];
+  return acc;
+}
+
+double LinearArxSubmodel::poleRadius() const {
+  return spectralRadius(companionMatrix(p_.a));
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,120 @@
+#pragma once
+/// \file submodel.h
+/// Discrete-time parametric submodels (Section 2 of the paper).
+///
+/// A submodel maps the present port voltage sample v^m and the regressor
+/// vectors x_v^{m-1}, x_i^{m-1} (the past r voltage and current samples,
+/// Eq. 2) to the present current sample:
+///     i^m = F(Theta; x_i^{m-1}, v^m, x_v^{m-1})        (Eq. 1)
+/// Two concrete representations are provided:
+///  * GaussianRbfSubmodel  — the Gaussian RBF expansion of Eqs. (3)-(4);
+///  * LinearArxSubmodel    — the linear parametric submodel i_lin of Eq. (6).
+
+#include <memory>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// Abstract discrete-time submodel i^m = F(x_i, v^m, x_v).
+class DiscreteSubmodel {
+ public:
+  virtual ~DiscreteSubmodel() = default;
+
+  /// Dynamic order r (number of past samples in each regressor).
+  virtual int order() const = 0;
+
+  /// Native sampling time Ts of the model [s].
+  virtual double ts() const = 0;
+
+  /// Evaluates F. xv and xi must have length order(); xv[0] is the most
+  /// recent past sample. If didv is non-null, stores dF/dv there.
+  virtual double eval(double v, const Vector& xv, const Vector& xi,
+                      double* didv = nullptr) const = 0;
+};
+
+/// Parameters of a Gaussian RBF submodel (Eqs. 3-4).
+struct GaussianRbfParams {
+  int order = 2;       ///< r
+  double ts = 50e-12;  ///< native sampling time [s]
+  double beta = 0.5;   ///< Gaussian width (in normalized regressor units)
+  double i_scale = 1.0;  ///< current-regressor normalization [V/A]
+  Vector theta;             ///< L expansion weights [A]
+  Vector c0;                ///< L centers for the present voltage [V]
+  std::vector<Vector> cv;   ///< L centers for x_v (each length r) [V]
+  std::vector<Vector> ci;   ///< L centers for scaled x_i (each length r)
+  /// Optional affine tail [bias, k_v, k_xv[0..r-1], k_xi[0..r-1]] added to
+  /// the Gaussian expansion (empty = pure Gaussian model of Eq. 3); the
+  /// current entries act on the *scaled* regressors s*xi. The tail
+  /// provides the global port conductance so the model remains well-behaved
+  /// outside the training manifold; without it the pure Gaussian expansion
+  /// has a spurious zero equilibrium that traps the parallel (output-error)
+  /// simulation. Documented in DESIGN.md.
+  Vector affine;
+};
+
+/// Gaussian RBF expansion with an affine tail:
+///   F = A(x) + sum_l theta_l * Psi_l(x) * exp(-(v - c0_l)^2 / (2 beta^2))
+///   Psi_l = exp(-(||s xi - ci_l||^2 + ||xv - cv_l||^2) / (2 beta^2))
+/// where s = i_scale balances the current regressors against the voltage
+/// ones (the paper's single-beta Euclidean norm presumes such scaling) and
+/// A(x) is the optional affine term.
+class GaussianRbfSubmodel final : public DiscreteSubmodel {
+ public:
+  /// \throws std::invalid_argument on inconsistent parameter shapes,
+  ///         non-positive beta/ts, or order < 1.
+  explicit GaussianRbfSubmodel(GaussianRbfParams p);
+
+  int order() const override { return p_.order; }
+  double ts() const override { return p_.ts; }
+  std::size_t centerCount() const { return p_.theta.size(); }
+  const GaussianRbfParams& params() const { return p_; }
+
+  double eval(double v, const Vector& xv, const Vector& xi,
+              double* didv = nullptr) const override;
+
+  /// Per-center basis values Psi_l * phi_l(v) (length L); the Gaussian part
+  /// of the model output is theta . basis. Used by the linear-in-theta
+  /// identification fit.
+  Vector basis(double v, const Vector& xv, const Vector& xi) const;
+
+  /// Affine regressor vector [1, v, xv..., xi...] of length 2*order + 2
+  /// matching the layout of GaussianRbfParams::affine.
+  Vector affineRegressor(double v, const Vector& xv, const Vector& xi) const;
+
+ private:
+  GaussianRbfParams p_;
+};
+
+/// Parameters of the linear ARX submodel (the i_lin term of Eq. 6):
+///   i^m = sum_{k=1..r} a_k i^{m-k} + b_0 v^m + sum_{k=1..r} b_k v^{m-k}
+struct LinearArxParams {
+  int order = 2;
+  double ts = 50e-12;
+  Vector a;  ///< length r (feedback on past currents)
+  Vector b;  ///< length r+1 (b[0] multiplies the present voltage)
+};
+
+/// Linear parametric submodel; same regressor conventions as the RBF one.
+class LinearArxSubmodel final : public DiscreteSubmodel {
+ public:
+  /// \throws std::invalid_argument on inconsistent shapes.
+  explicit LinearArxSubmodel(LinearArxParams p);
+
+  int order() const override { return p_.order; }
+  double ts() const override { return p_.ts; }
+  const LinearArxParams& params() const { return p_; }
+
+  double eval(double v, const Vector& xv, const Vector& xi,
+              double* didv = nullptr) const override;
+
+  /// Spectral radius of the feedback polynomial's companion matrix; the
+  /// model is stable iff this is < 1 (the premise of the paper's Eq. 14).
+  double poleRadius() const;
+
+ private:
+  LinearArxParams p_;
+};
+
+}  // namespace fdtdmm

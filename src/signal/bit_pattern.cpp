@@ -1,0 +1,47 @@
+#include "signal/bit_pattern.h"
+
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace fdtdmm {
+
+BitPattern::BitPattern(const std::string& bits, double bit_time) : bit_time_(bit_time) {
+  if (bits.empty()) throw std::invalid_argument("BitPattern: empty pattern");
+  if (bit_time <= 0.0) throw std::invalid_argument("BitPattern: bit_time must be > 0");
+  bits_.reserve(bits.size());
+  for (char c : bits) {
+    if (c != '0' && c != '1')
+      throw std::invalid_argument("BitPattern: pattern must contain only '0'/'1'");
+    bits_.push_back(c == '1' ? 1 : 0);
+  }
+}
+
+BitPattern BitPattern::random(std::size_t nbits, double bit_time, std::uint64_t seed) {
+  if (nbits == 0) throw std::invalid_argument("BitPattern::random: nbits must be > 0");
+  Rng rng(seed);
+  std::string s;
+  s.reserve(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) s.push_back(rng.uniform() < 0.5 ? '0' : '1');
+  return BitPattern(s, bit_time);
+}
+
+int BitPattern::levelAt(double t) const {
+  if (t <= 0.0) return bits_.front();
+  auto k = static_cast<std::size_t>(t / bit_time_);
+  if (k >= bits_.size()) k = bits_.size() - 1;
+  return bits_[k];
+}
+
+std::vector<BitPattern::Edge> BitPattern::edges() const {
+  std::vector<Edge> e;
+  e.push_back({0.0, bits_.front()});
+  for (std::size_t k = 1; k < bits_.size(); ++k) {
+    if (bits_[k] != bits_[k - 1]) {
+      e.push_back({bit_time_ * static_cast<double>(k), bits_[k]});
+    }
+  }
+  return e;
+}
+
+}  // namespace fdtdmm

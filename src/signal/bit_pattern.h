@@ -1,0 +1,45 @@
+#pragma once
+/// \file bit_pattern.h
+/// Digital bit patterns and their conversion to logic-threshold waveforms.
+/// The paper drives its structures with a '010' pattern at 2 ns bit time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdtdmm {
+
+/// A sequence of logic levels (0/1) with a fixed bit time.
+class BitPattern {
+ public:
+  /// Parses a pattern string of '0'/'1' characters.
+  /// \throws std::invalid_argument on any other character or empty string,
+  ///         or if bit_time <= 0.
+  BitPattern(const std::string& bits, double bit_time);
+
+  /// Pseudo-random bit sequence (PRBS) of given length from an LFSR-free
+  /// deterministic generator.
+  static BitPattern random(std::size_t nbits, double bit_time, std::uint64_t seed);
+
+  double bitTime() const { return bit_time_; }
+  std::size_t size() const { return bits_.size(); }
+  const std::vector<int>& bits() const { return bits_; }
+
+  /// Logic level holding at time t (bit k spans [k*T, (k+1)*T); the last bit
+  /// holds forever).
+  int levelAt(double t) const;
+
+  /// Index of the bit boundary transitions: returns (time, new_level) pairs
+  /// for every change of level, including the initial level at t = 0.
+  struct Edge {
+    double time;
+    int level;
+  };
+  std::vector<Edge> edges() const;
+
+ private:
+  std::vector<int> bits_;
+  double bit_time_ = 0.0;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,60 @@
+#include "signal/eye.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+EyeMetrics measureEye(const Waveform& w, const BitPattern& pattern,
+                      const EyeOptions& opt) {
+  if (w.empty()) throw std::invalid_argument("measureEye: empty waveform");
+  if (pattern.size() < opt.skip_bits + 2)
+    throw std::invalid_argument("measureEye: pattern too short");
+  if (opt.window_start < 0.0 || opt.window_width <= 0.0 ||
+      opt.window_start + opt.window_width > 1.0)
+    throw std::invalid_argument("measureEye: window must lie within one UI");
+
+  const double ui = pattern.bitTime();
+  double min_high = std::numeric_limits<double>::max();
+  double max_high = -std::numeric_limits<double>::max();
+  double min_low = std::numeric_limits<double>::max();
+  double max_low = -std::numeric_limits<double>::max();
+  double sum_high = 0.0, sum_low = 0.0;
+  std::size_t n_high = 0, n_low = 0;
+
+  const double t_step = w.dt();
+  for (std::size_t bit = opt.skip_bits; bit < pattern.size(); ++bit) {
+    const int level = pattern.bits()[bit];
+    const double t0 = (static_cast<double>(bit) + opt.window_start) * ui;
+    const double t1 = t0 + opt.window_width * ui;
+    if (t1 > w.tEnd()) break;
+    for (double t = t0; t <= t1; t += t_step) {
+      const double v = w.value(t);
+      if (level != 0) {
+        min_high = std::min(min_high, v);
+        max_high = std::max(max_high, v);
+        sum_high += v;
+        ++n_high;
+      } else {
+        min_low = std::min(min_low, v);
+        max_low = std::max(max_low, v);
+        sum_low += v;
+        ++n_low;
+      }
+    }
+  }
+  if (n_high == 0 || n_low == 0)
+    throw std::invalid_argument(
+        "measureEye: pattern/waveform must contain both levels after skip_bits");
+
+  EyeMetrics m;
+  m.eye_height = min_high - max_low;
+  m.level_high = sum_high / static_cast<double>(n_high);
+  m.level_low = sum_low / static_cast<double>(n_low);
+  m.window_start = opt.window_start;
+  m.window_width = opt.window_width;
+  m.open = m.eye_height > 0.0;
+  return m;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,39 @@
+#pragma once
+/// \file eye.h
+/// Eye-diagram analysis of data waveforms: fold a waveform on the bit
+/// period and measure the vertical eye opening and timing margins — the
+/// standard signal-integrity acceptance metrics for the driver/line/
+/// receiver channels this library simulates.
+
+#include "signal/bit_pattern.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Eye measurement results.
+struct EyeMetrics {
+  double eye_height = 0.0;    ///< min(HIGH) - max(LOW) inside the window [V]
+  double level_high = 0.0;    ///< mean settled HIGH level [V]
+  double level_low = 0.0;     ///< mean settled LOW level [V]
+  double window_start = 0.0;  ///< sampling window start (fraction of UI)
+  double window_width = 0.0;  ///< sampling window width (fraction of UI)
+  bool open = false;          ///< eye_height > 0
+};
+
+/// Options for eye analysis.
+struct EyeOptions {
+  double window_start = 0.6;  ///< sampling window start, fraction of UI
+  double window_width = 0.3;  ///< window width, fraction of UI
+  std::size_t skip_bits = 1;  ///< leading bits excluded (startup transient)
+};
+
+/// Measures the eye of `w` against the bit sequence that produced it: for
+/// every bit (after `skip_bits`), the waveform inside the sampling window
+/// contributes to the HIGH or LOW statistics according to the transmitted
+/// bit. The eye height is the worst-case separation.
+/// \throws std::invalid_argument on an empty waveform, a pattern shorter
+///         than skip_bits + 2, or a window outside (0, 1].
+EyeMetrics measureEye(const Waveform& w, const BitPattern& pattern,
+                      const EyeOptions& opt = {});
+
+}  // namespace fdtdmm

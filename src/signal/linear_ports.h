@@ -1,0 +1,103 @@
+#pragma once
+/// \file linear_ports.h
+/// Elementary PortModel implementations: resistor, parallel RC (the
+/// paper's Fig. 4 far-end load is 1 pF shunt 500 ohm), series R + voltage
+/// source (Thevenin drive), and open circuit. These let linear loads be
+/// attached to the FDTD lumped-element cells through the same interface as
+/// the RBF macromodels.
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "signal/port_model.h"
+
+namespace fdtdmm {
+
+/// i = v / R.
+class ResistorPort final : public PortModel {
+ public:
+  /// \throws std::invalid_argument if resistance <= 0.
+  explicit ResistorPort(double resistance) : r_(resistance) {
+    if (resistance <= 0.0) throw std::invalid_argument("ResistorPort: R must be > 0");
+  }
+  void prepare(double) override {}
+  double current(double v, double, double& didv) override {
+    didv = 1.0 / r_;
+    return v / r_;
+  }
+  void commit(double, double) override {}
+  std::string name() const override { return "resistor"; }
+
+ private:
+  double r_;
+};
+
+/// Parallel RC load: i = C dv/dt + v/R, backward-Euler discretization
+/// (A-stable and oscillation-free for the forced-voltage protocol of a
+/// PortModel; the host solvers run at steps far below the load's time
+/// constant, so the first-order error is negligible).
+/// Either branch may be absent (R <= 0 disables the resistor, C <= 0 the
+/// capacitor); both absent is rejected.
+class ParallelRcPort final : public PortModel {
+ public:
+  ParallelRcPort(double resistance, double capacitance, double v0 = 0.0)
+      : r_(resistance), c_(capacitance), v_prev_(v0) {
+    if (resistance <= 0.0 && capacitance <= 0.0)
+      throw std::invalid_argument("ParallelRcPort: need R > 0 or C > 0");
+  }
+  void prepare(double dt) override {
+    if (dt <= 0.0) throw std::invalid_argument("ParallelRcPort: dt must be > 0");
+    geq_ = (c_ > 0.0) ? c_ / dt : 0.0;
+  }
+  double current(double v, double, double& didv) override {
+    const double gr = (r_ > 0.0) ? 1.0 / r_ : 0.0;
+    didv = geq_ + gr;
+    return geq_ * (v - v_prev_) + gr * v;
+  }
+  void commit(double v, double) override { v_prev_ = v; }
+  std::string name() const override { return "parallel-rc"; }
+
+ private:
+  double r_;
+  double c_;
+  double v_prev_;
+  double geq_ = 0.0;
+};
+
+/// Thevenin drive: ideal source vs(t) behind series resistance Rs;
+/// i = (v - vs(t)) / Rs (current into the + terminal).
+class TheveninPort final : public PortModel {
+ public:
+  /// \throws std::invalid_argument if rs <= 0 or source is empty.
+  TheveninPort(std::function<double(double)> vs, double rs)
+      : vs_(std::move(vs)), rs_(rs) {
+    if (rs <= 0.0) throw std::invalid_argument("TheveninPort: Rs must be > 0");
+    if (!vs_) throw std::invalid_argument("TheveninPort: empty source");
+  }
+  void prepare(double) override {}
+  double current(double v, double t, double& didv) override {
+    didv = 1.0 / rs_;
+    return (v - vs_(t)) / rs_;
+  }
+  void commit(double, double) override {}
+  std::string name() const override { return "thevenin"; }
+
+ private:
+  std::function<double(double)> vs_;
+  double rs_;
+};
+
+/// Open circuit: i = 0 (useful to probe unloaded FDTD gaps).
+class OpenPort final : public PortModel {
+ public:
+  void prepare(double) override {}
+  double current(double, double, double& didv) override {
+    didv = 0.0;
+    return 0.0;
+  }
+  void commit(double, double) override {}
+  std::string name() const override { return "open"; }
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,49 @@
+#pragma once
+/// \file port_model.h
+/// Discrete-time one-port behavioral device interface. This is the seam
+/// between device models (RBF macromodels, linear loads, sources) and the
+/// three solvers of the library (MNA circuit engine, 1D FDTD line solver,
+/// 3D FDTD field solver). The contract matches the paper's coupling scheme:
+/// at every solver step the port equation needs the device current at the
+/// end-of-step voltage, i^{n+1} = F(v^{n+1}), with an analytic derivative
+/// so the Newton-Raphson solve of Eq. (8)+(13) converges in few iterations.
+
+#include <memory>
+#include <string>
+
+namespace fdtdmm {
+
+/// One-port device advanced in lock-step with a host solver.
+///
+/// Usage protocol (enforced by hosts):
+///   1. prepare(dt) once before time stepping;
+///   2. per step: any number of current(v, t) probes with trial voltages
+///      (Newton iterations) -- these must not mutate observable state;
+///   3. exactly one commit(v, t) with the accepted voltage.
+class PortModel {
+ public:
+  virtual ~PortModel() = default;
+
+  /// Binds the model to the host time step. Called once before stepping;
+  /// implementations must reset internal state and may reject unusable
+  /// steps (e.g. the resampling constraint tau = dt/Ts <= 1 of Eq. (17))
+  /// by throwing std::invalid_argument.
+  virtual void prepare(double dt) = 0;
+
+  /// Device current drawn at the positive terminal if the port voltage at
+  /// the end of the current step equals v. t is the end-of-step time.
+  /// Must store d(i)/d(v) into didv. Must be a pure function of v given the
+  /// state committed so far.
+  virtual double current(double v, double t, double& didv) = 0;
+
+  /// Accepts the step with solved port voltage v at time t and advances
+  /// internal discrete-time state.
+  virtual void commit(double v, double t) = 0;
+
+  /// Diagnostic name.
+  virtual std::string name() const = 0;
+};
+
+using PortModelPtr = std::shared_ptr<PortModel>;
+
+}  // namespace fdtdmm

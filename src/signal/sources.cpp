@@ -1,0 +1,114 @@
+#include "signal/sources.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace fdtdmm {
+
+TimeFunction trapezoidFromPattern(const BitPattern& pattern, double v_low,
+                                  double v_high, double edge_time) {
+  if (edge_time <= 0.0 || edge_time >= pattern.bitTime())
+    throw std::invalid_argument("trapezoidFromPattern: edge_time must be in (0, bit_time)");
+  const auto edges = pattern.edges();
+  return [edges, v_low, v_high, edge_time](double t) {
+    // Level of the pattern before the first edge after t, with a linear
+    // ramp across each transition.
+    double v = (edges.front().level != 0) ? v_high : v_low;
+    for (std::size_t k = 1; k < edges.size(); ++k) {
+      const double te = edges[k].time;
+      const double target = (edges[k].level != 0) ? v_high : v_low;
+      if (t <= te) break;
+      if (t >= te + edge_time) {
+        v = target;
+      } else {
+        const double frac = (t - te) / edge_time;
+        v = v + (target - v) * frac;
+        break;
+      }
+    }
+    return v;
+  };
+}
+
+TimeFunction gaussianPulse(double amplitude, double t0, double sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("gaussianPulse: sigma must be > 0");
+  return [amplitude, t0, sigma](double t) {
+    const double u = (t - t0) / sigma;
+    return amplitude * std::exp(-0.5 * u * u);
+  };
+}
+
+double gaussianSigmaForBandwidth(double bandwidth_hz) {
+  if (bandwidth_hz <= 0.0)
+    throw std::invalid_argument("gaussianSigmaForBandwidth: bandwidth must be > 0");
+  // |G(f)| = exp(-(2 pi f sigma)^2 / 2); half power when (2 pi f sigma)^2/2 = ln(sqrt 2)
+  const double c = std::sqrt(std::log(2.0));  // (2 pi f sigma) = sqrt(2 ln sqrt2) = sqrt(ln 2)
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  return c / (two_pi * bandwidth_hz);
+}
+
+TimeFunction gaussianDerivative(double amplitude, double t0, double sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("gaussianDerivative: sigma must be > 0");
+  return [amplitude, t0, sigma](double t) {
+    const double u = (t - t0) / sigma;
+    // Normalized so the peak magnitude equals `amplitude`.
+    return -amplitude * u * std::exp(0.5 * (1.0 - u * u));
+  };
+}
+
+Waveform multilevelRandom(double duration, double dt, const MultilevelOptions& opt) {
+  if (duration <= 0.0 || dt <= 0.0)
+    throw std::invalid_argument("multilevelRandom: duration and dt must be > 0");
+  if (opt.levels < 2) throw std::invalid_argument("multilevelRandom: levels must be >= 2");
+  if (opt.min_hold <= 0.0 || opt.max_hold < opt.min_hold || opt.edge_time <= 0.0)
+    throw std::invalid_argument("multilevelRandom: inconsistent hold/edge times");
+  if (opt.v_max <= opt.v_min)
+    throw std::invalid_argument("multilevelRandom: v_max must exceed v_min");
+
+  Rng rng(opt.seed);
+  // Build piecewise-linear breakpoints (time, level).
+  struct Bp {
+    double t;
+    double v;
+  };
+  std::vector<Bp> bps;
+  const double dv = (opt.v_max - opt.v_min) / static_cast<double>(opt.levels - 1);
+  double t = 0.0;
+  double v = opt.v_min + dv * static_cast<double>(rng.below(static_cast<std::uint64_t>(opt.levels)));
+  bps.push_back({0.0, v});
+  while (t < duration) {
+    const double hold = rng.uniform(opt.min_hold, opt.max_hold);
+    t += hold;
+    bps.push_back({t, v});
+    double vn = v;
+    while (vn == v) {
+      vn = opt.v_min + dv * static_cast<double>(rng.below(static_cast<std::uint64_t>(opt.levels)));
+    }
+    v = vn;
+    t += opt.edge_time;
+    bps.push_back({t, v});
+  }
+
+  // Sample the piecewise-linear curve.
+  Vector samples;
+  const auto n = static_cast<std::size_t>(duration / dt) + 1;
+  samples.reserve(n);
+  std::size_t seg = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double tk = dt * static_cast<double>(k);
+    while (seg + 1 < bps.size() && bps[seg + 1].t < tk) ++seg;
+    if (seg + 1 >= bps.size()) {
+      samples.push_back(bps.back().v);
+      continue;
+    }
+    const Bp& a = bps[seg];
+    const Bp& b = bps[seg + 1];
+    const double frac = (b.t > a.t) ? (tk - a.t) / (b.t - a.t) : 1.0;
+    samples.push_back(a.v + (b.v - a.v) * std::min(1.0, std::max(0.0, frac)));
+  }
+  return Waveform(0.0, dt, std::move(samples));
+}
+
+}  // namespace fdtdmm

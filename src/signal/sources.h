@@ -1,0 +1,57 @@
+#pragma once
+/// \file sources.h
+/// Analytic excitation functions: trapezoidal logic waveforms, Gaussian
+/// pulses (the paper's incident field is a 2 kV/m Gaussian pulse with
+/// 9.2 GHz bandwidth), and multilevel random signals for macromodel
+/// identification.
+
+#include <cstdint>
+#include <functional>
+
+#include "signal/bit_pattern.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// A time-domain scalar source.
+using TimeFunction = std::function<double(double t)>;
+
+/// Trapezoidal logic waveform following a bit pattern: transitions are
+/// linear ramps of duration `edge_time` starting at each bit boundary.
+/// \throws std::invalid_argument if edge_time <= 0 or >= bit time.
+TimeFunction trapezoidFromPattern(const BitPattern& pattern, double v_low,
+                                  double v_high, double edge_time);
+
+/// Normalized Gaussian pulse g(t) = exp(-((t - t0)/sigma)^2 / 2).
+/// \throws std::invalid_argument if sigma <= 0.
+TimeFunction gaussianPulse(double amplitude, double t0, double sigma);
+
+/// Sigma for a Gaussian with the given -3 dB (half-power) single-sided
+/// bandwidth in Hz: |G(f)| = exp(-(2 pi f sigma)^2 / 2) = 1/sqrt(2) at f_3dB.
+/// \throws std::invalid_argument if bandwidth_hz <= 0.
+double gaussianSigmaForBandwidth(double bandwidth_hz);
+
+/// Derivative-of-Gaussian (monocycle), useful as a zero-mean wideband pulse.
+TimeFunction gaussianDerivative(double amplitude, double t0, double sigma);
+
+/// Options for multilevel pseudo-random identification signals. The device
+/// port is forced with a piecewise-linear signal hopping between random
+/// levels in [v_min, v_max]; hold times are uniform in [min_hold, max_hold],
+/// transitions take `edge_time`. This is the standard excitation design for
+/// parametric macromodel identification (refs [6-8] of the paper).
+struct MultilevelOptions {
+  double v_min = -0.5;
+  double v_max = 2.3;
+  double min_hold = 0.5e-9;
+  double max_hold = 3e-9;
+  double edge_time = 0.3e-9;
+  int levels = 17;  ///< number of quantized levels (>= 2)
+  std::uint64_t seed = 7;
+};
+
+/// Builds a multilevel random waveform of total duration `duration` sampled
+/// at `dt`. \throws std::invalid_argument on nonpositive duration/dt or
+/// inconsistent options.
+Waveform multilevelRandom(double duration, double dt, const MultilevelOptions& opt = {});
+
+}  // namespace fdtdmm

@@ -1,0 +1,48 @@
+#include "signal/spectrum.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+std::complex<double> dftAt(const Waveform& w, double frequency_hz) {
+  if (w.empty()) throw std::invalid_argument("dftAt: empty waveform");
+  if (frequency_hz < 0.0) throw std::invalid_argument("dftAt: negative frequency");
+  const double omega = 2.0 * 3.14159265358979323846 * frequency_hz;
+  // Recurrence for exp(-j w t_k) to avoid one sin/cos pair per sample.
+  const std::complex<double> step(std::cos(omega * w.dt()), -std::sin(omega * w.dt()));
+  std::complex<double> phase(std::cos(omega * w.t0()), -std::sin(omega * w.t0()));
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    acc += w[k] * phase;
+    phase *= step;
+  }
+  return acc * w.dt();
+}
+
+std::vector<std::complex<double>> dftAt(const Waveform& w,
+                                        const std::vector<double>& frequencies_hz) {
+  std::vector<std::complex<double>> out;
+  out.reserve(frequencies_hz.size());
+  for (double f : frequencies_hz) out.push_back(dftAt(w, f));
+  return out;
+}
+
+std::complex<double> transferAt(const Waveform& in, const Waveform& out,
+                                double frequency_hz, double min_input_magnitude) {
+  const std::complex<double> xin = dftAt(in, frequency_hz);
+  if (std::abs(xin) < min_input_magnitude)
+    throw std::invalid_argument("transferAt: input spectrum vanishes at this frequency");
+  return dftAt(out, frequency_hz) / xin;
+}
+
+std::vector<double> frequencyGrid(double f0, double f1, std::size_t n) {
+  if (n < 2 || f1 <= f0 || f0 < 0.0)
+    throw std::invalid_argument("frequencyGrid: need n >= 2 and 0 <= f0 < f1");
+  std::vector<double> f(n);
+  for (std::size_t k = 0; k < n; ++k)
+    f[k] = f0 + (f1 - f0) * static_cast<double>(k) / static_cast<double>(n - 1);
+  return f;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,36 @@
+#pragma once
+/// \file spectrum.h
+/// Frequency-domain helpers on sampled waveforms: single-frequency DFT
+/// (Goertzel-style direct evaluation), spectra on arbitrary frequency
+/// grids, and transfer-function estimation between two waveforms. Used by
+/// the radiation post-processing (running DFT of equivalent currents) and
+/// by impedance-extraction analyses.
+
+#include <complex>
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Complex DFT of a waveform at one frequency:
+///   X(f) = dt * sum_k x_k exp(-j 2 pi f t_k)
+/// (continuous-transform normalization, suitable for ratios and fields).
+/// \throws std::invalid_argument on empty input or negative frequency.
+std::complex<double> dftAt(const Waveform& w, double frequency_hz);
+
+/// DFT sampled on a list of frequencies.
+std::vector<std::complex<double>> dftAt(const Waveform& w,
+                                        const std::vector<double>& frequencies_hz);
+
+/// Transfer function H(f) = DFT(out) / DFT(in) at one frequency.
+/// \throws std::invalid_argument if the input spectrum magnitude at f is
+///         below `min_input_magnitude` (ill-conditioned ratio).
+std::complex<double> transferAt(const Waveform& in, const Waveform& out,
+                                double frequency_hz,
+                                double min_input_magnitude = 1e-30);
+
+/// Uniform frequency grid [f0, f1] with n points (n >= 2).
+std::vector<double> frequencyGrid(double f0, double f1, std::size_t n);
+
+}  // namespace fdtdmm

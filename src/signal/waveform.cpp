@@ -1,0 +1,59 @@
+#include "signal/waveform.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace fdtdmm {
+
+Waveform::Waveform(double t0, double dt, Vector samples)
+    : t0_(t0), dt_(dt), samples_(std::move(samples)) {
+  if (dt <= 0.0) throw std::invalid_argument("Waveform: dt must be > 0");
+}
+
+double Waveform::tEnd() const {
+  return samples_.size() <= 1
+             ? t0_
+             : t0_ + dt_ * static_cast<double>(samples_.size() - 1);
+}
+
+double Waveform::value(double t) const {
+  if (samples_.empty()) return 0.0;
+  const double x = (t - t0_) / dt_;
+  if (x <= 0.0) return samples_.front();
+  const double last = static_cast<double>(samples_.size() - 1);
+  if (x >= last) return samples_.back();
+  const auto k = static_cast<std::size_t>(x);
+  const double frac = x - static_cast<double>(k);
+  return samples_[k] * (1.0 - frac) + samples_[k + 1] * frac;
+}
+
+Waveform Waveform::resampled(double dt_new) const {
+  if (dt_new <= 0.0) throw std::invalid_argument("Waveform::resampled: dt must be > 0");
+  if (samples_.empty()) throw std::invalid_argument("Waveform::resampled: empty waveform");
+  Vector s;
+  const double span = tEnd() - t0_;
+  const auto n = static_cast<std::size_t>(span / dt_new) + 1;
+  s.reserve(n);
+  for (std::size_t k = 0; k < n; ++k)
+    s.push_back(value(t0_ + static_cast<double>(k) * dt_new));
+  return Waveform(t0_, dt_new, std::move(s));
+}
+
+Vector Waveform::times() const {
+  Vector t(samples_.size());
+  for (std::size_t k = 0; k < t.size(); ++k) t[k] = t0_ + dt_ * static_cast<double>(k);
+  return t;
+}
+
+void Waveform::writeCsv(const std::string& path, const std::string& label) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Waveform::writeCsv: cannot open " + path);
+  out << "t," << label << "\n";
+  for (std::size_t k = 0; k < samples_.size(); ++k) {
+    out << (t0_ + dt_ * static_cast<double>(k)) << "," << samples_[k] << "\n";
+  }
+}
+
+}  // namespace fdtdmm

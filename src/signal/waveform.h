@@ -1,0 +1,74 @@
+#pragma once
+/// \file waveform.h
+/// Uniformly sampled time series with linear interpolation. This is the
+/// exchange currency between the circuit engine, the FDTD solvers, the
+/// macromodel identification pipeline, and the benchmark harnesses.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// A uniformly sampled real-valued waveform: samples[k] = value(t0 + k*dt).
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// \throws std::invalid_argument if dt <= 0.
+  Waveform(double t0, double dt, Vector samples);
+
+  double t0() const { return t0_; }
+  double dt() const { return dt_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Last sample time (t0 for an empty/1-sample waveform).
+  double tEnd() const;
+
+  const Vector& samples() const { return samples_; }
+  Vector& samples() { return samples_; }
+
+  double operator[](std::size_t k) const { return samples_[k]; }
+
+  /// Linearly interpolated value at time t; clamps to the end samples
+  /// outside the sampled interval (a causal hold).
+  double value(double t) const;
+
+  /// Appends a sample (time advances by dt).
+  void push(double v) { samples_.push_back(v); }
+
+  /// Returns a resampled copy with sampling step dt_new over the same span.
+  /// \throws std::invalid_argument if dt_new <= 0 or the waveform is empty.
+  Waveform resampled(double dt_new) const;
+
+  /// Time axis as a vector (convenience for dumping tables).
+  Vector times() const;
+
+  /// Writes "t,v" CSV lines (with header) to a file.
+  /// \throws std::runtime_error if the file cannot be opened.
+  void writeCsv(const std::string& path, const std::string& label = "v") const;
+
+ private:
+  double t0_ = 0.0;
+  double dt_ = 1.0;
+  Vector samples_;
+};
+
+/// Samples an arbitrary callable f(t) on [t0, t1] with step dt.
+/// \throws std::invalid_argument if dt <= 0 or t1 < t0.
+template <typename F>
+Waveform sampleFunction(F&& f, double t0, double t1, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("sampleFunction: dt must be > 0");
+  if (t1 < t0) throw std::invalid_argument("sampleFunction: t1 < t0");
+  Vector s;
+  const auto n = static_cast<std::size_t>((t1 - t0) / dt) + 1;
+  s.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) s.push_back(f(t0 + static_cast<double>(k) * dt));
+  return Waveform(t0, dt, std::move(s));
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,54 @@
+// Unit tests for BitPattern.
+#include "signal/bit_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+TEST(BitPattern, ParseAndLevels) {
+  const BitPattern p("0110", 1e-9);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.levelAt(0.0), 0);
+  EXPECT_EQ(p.levelAt(1.5e-9), 1);
+  EXPECT_EQ(p.levelAt(2.5e-9), 1);
+  EXPECT_EQ(p.levelAt(3.5e-9), 0);
+  EXPECT_EQ(p.levelAt(100e-9), 0);  // last bit holds
+}
+
+TEST(BitPattern, Edges) {
+  const BitPattern p("010", 2e-9);
+  const auto e = p.edges();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_DOUBLE_EQ(e[0].time, 0.0);
+  EXPECT_EQ(e[0].level, 0);
+  EXPECT_DOUBLE_EQ(e[1].time, 2e-9);
+  EXPECT_EQ(e[1].level, 1);
+  EXPECT_DOUBLE_EQ(e[2].time, 4e-9);
+  EXPECT_EQ(e[2].level, 0);
+}
+
+TEST(BitPattern, NoEdgesForConstantPattern) {
+  const BitPattern p("1111", 1e-9);
+  EXPECT_EQ(p.edges().size(), 1u);
+}
+
+TEST(BitPattern, Validation) {
+  EXPECT_THROW(BitPattern("", 1e-9), std::invalid_argument);
+  EXPECT_THROW(BitPattern("012", 1e-9), std::invalid_argument);
+  EXPECT_THROW(BitPattern("01", 0.0), std::invalid_argument);
+}
+
+TEST(BitPattern, RandomDeterministic) {
+  const BitPattern a = BitPattern::random(64, 1e-9, 5);
+  const BitPattern b = BitPattern::random(64, 1e-9, 5);
+  EXPECT_EQ(a.bits(), b.bits());
+  const BitPattern c = BitPattern::random(64, 1e-9, 6);
+  EXPECT_NE(a.bits(), c.bits());
+  EXPECT_THROW(BitPattern::random(0, 1e-9, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,99 @@
+// Unit tests for individual circuit elements (device equations).
+#include "circuit/elements.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+TEST(DiodeEval, ShockleyAndLimiting) {
+  DiodeParams p;
+  double g = 0.0;
+  // Reverse bias saturates at -Is.
+  EXPECT_NEAR(Diode::evalCurrent(-1.0, p, g), -p.is - p.gmin, 1e-15);
+  // Forward 0.6 V: exp term dominates.
+  const double i6 = Diode::evalCurrent(0.6, p, g);
+  EXPECT_GT(i6, 1e-5);
+  EXPECT_GT(g, 0.0);
+  // Above the limiting knee the current is linear (no overflow at 10 V).
+  const double i10 = Diode::evalCurrent(10.0, p, g);
+  EXPECT_TRUE(std::isfinite(i10));
+  const double i11 = Diode::evalCurrent(11.0, p, g);
+  EXPECT_NEAR(i11 - i10, g, g * 1e-9);  // constant slope region
+}
+
+TEST(DiodeEval, ContinuousAtKnee) {
+  DiodeParams p;
+  const double v_lim = 40.0 * p.n * p.vt;
+  double g1 = 0.0, g2 = 0.0;
+  const double below = Diode::evalCurrent(v_lim - 1e-9, p, g1);
+  const double above = Diode::evalCurrent(v_lim + 1e-9, p, g2);
+  EXPECT_NEAR(below, above, std::abs(below) * 1e-6);
+  EXPECT_NEAR(g1, g2, g1 * 1e-6);
+}
+
+TEST(MosfetEval, CutoffTriodeSaturation) {
+  MosfetParams p;
+  p.vth = 0.4;
+  p.k = 1e-2;
+  p.lambda = 0.0;
+  double gm = 0.0, gds = 0.0;
+  // Cutoff.
+  EXPECT_NEAR(Mosfet::evalIds(0.2, 1.0, p, gm, gds), p.gmin * 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(gm, 0.0);
+  // Saturation: ids = k/2 vov^2.
+  const double i_sat = Mosfet::evalIds(1.4, 1.8, p, gm, gds);
+  EXPECT_NEAR(i_sat, 0.5 * p.k * 1.0 * 1.0 + p.gmin * 1.8, 1e-12);
+  EXPECT_NEAR(gm, p.k * 1.0, 1e-12);
+  // Triode: ids = k (vov vds - vds^2/2).
+  const double i_tri = Mosfet::evalIds(1.4, 0.5, p, gm, gds);
+  EXPECT_NEAR(i_tri, p.k * (1.0 * 0.5 - 0.125) + p.gmin * 0.5, 1e-12);
+}
+
+TEST(MosfetEval, C1ContinuityAtRegionBoundaries) {
+  MosfetParams p;
+  p.vth = 0.4;
+  p.k = 2e-2;
+  p.lambda = 0.06;
+  double gm1, gds1, gm2, gds2;
+  // At vds = vov (triode/saturation boundary).
+  const double vgs = 1.2, vov = vgs - p.vth;
+  const double i1 = Mosfet::evalIds(vgs, vov - 1e-9, p, gm1, gds1);
+  const double i2 = Mosfet::evalIds(vgs, vov + 1e-9, p, gm2, gds2);
+  EXPECT_NEAR(i1, i2, std::abs(i1) * 1e-6);
+  EXPECT_NEAR(gm1, gm2, std::abs(gm1) * 1e-5);
+  EXPECT_NEAR(gds1, gds2, std::abs(gds1) * 1e-3 + 1e-12);
+  // At vgs = vth (cutoff boundary).
+  double gm3, gds3;
+  const double i3 = Mosfet::evalIds(p.vth + 1e-9, 1.0, p, gm3, gds3);
+  EXPECT_NEAR(i3, p.gmin * 1.0, 1e-12);
+  EXPECT_NEAR(gm3, 0.0, 1e-10);
+}
+
+TEST(MosfetEval, LambdaIncreasesSaturationCurrent) {
+  MosfetParams p0, p1;
+  p0.lambda = 0.0;
+  p1.lambda = 0.1;
+  double gm, gds0, gds1;
+  const double i0 = Mosfet::evalIds(1.4, 1.8, p0, gm, gds0);
+  const double i1 = Mosfet::evalIds(1.4, 1.8, p1, gm, gds1);
+  EXPECT_GT(i1, i0);
+  EXPECT_GT(gds1, gds0);
+}
+
+TEST(Elements, ConstructorValidation) {
+  EXPECT_THROW(Resistor(1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor(1, 0, -1e-12), std::invalid_argument);
+  EXPECT_THROW(Inductor(1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(VoltageSource(1, 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(CurrentSource(1, 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(IdealLine(1, 0, 2, 0, 0.0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(IdealLine(1, 0, 2, 0, 50.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BehavioralPort(1, 0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

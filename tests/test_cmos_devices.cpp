@@ -1,0 +1,144 @@
+// Tests of the transistor-level CMOS driver/receiver substitute devices.
+#include "devices/cmos_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/transient.h"
+#include "devices/training.h"
+#include "math/stats.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(CmosDriver, StaticLevelsIntoLightLoad) {
+  // Driver holding HIGH then LOW into 1 kohm to ground.
+  for (const bool high : {true, false}) {
+    Circuit c;
+    CmosDriverParams p;
+    const double level = high ? 1.0 : 0.0;
+    auto drv = buildCmosDriver(c, p, [level](double) { return level; });
+    c.addResistor(drv.pad, Circuit::kGround, 1000.0);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 0.2e-9;
+    opt.settle_time = 5e-9;
+    const auto res = runTransient(c, opt, {{"v", drv.pad, 0}});
+    const double v = res.at("v").samples().back();
+    if (high) {
+      EXPECT_GT(v, 0.9 * p.vdd);  // small droop from the 1k load
+      EXPECT_LT(v, p.vdd + 1e-6);
+    } else {
+      EXPECT_NEAR(v, 0.0, 0.05);
+    }
+  }
+}
+
+TEST(CmosDriver, OutputImpedanceReasonable) {
+  // HIGH-state output impedance from two load points: should be tens of
+  // ohms (a plausible high-speed driver).
+  auto v_with_load = [](double r_load) {
+    Circuit c;
+    CmosDriverParams p;
+    auto drv = buildCmosDriver(c, p, [](double) { return 1.0; });
+    c.addResistor(drv.pad, Circuit::kGround, r_load);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 0.1e-9;
+    opt.settle_time = 5e-9;
+    return runTransient(c, opt, {{"v", drv.pad, 0}}).at("v").samples().back();
+  };
+  const double v1 = v_with_load(100.0);
+  const double v2 = v_with_load(50.0);
+  const double i1 = v1 / 100.0, i2 = v2 / 50.0;
+  const double r_out = (v1 - v2) / (i2 - i1);
+  EXPECT_GT(r_out, 5.0);
+  EXPECT_LT(r_out, 120.0);
+}
+
+TEST(CmosDriver, SwitchingEdgeIntoResistiveLoad) {
+  Circuit c;
+  CmosDriverParams p;
+  const BitPattern pat("01", 2e-9);
+  auto drv = buildCmosDriver(c, p, [pat](double t) {
+    return static_cast<double>(pat.levelAt(t));
+  });
+  c.addResistor(drv.pad, Circuit::kGround, 100.0);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 4e-9;
+  opt.settle_time = 4e-9;
+  const auto res = runTransient(c, opt, {{"v", drv.pad, 0}});
+  const Waveform& v = res.at("v");
+  EXPECT_NEAR(v.value(1.9e-9), 0.0, 0.05);       // still LOW
+  EXPECT_GT(v.value(3.6e-9), 0.8 * v.samples().back());
+  // Edge duration sane: between 10% and 90% in < 1 ns.
+  const double v_hi = v.samples().back();
+  double t10 = 0.0, t90 = 0.0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    const double t = v.dt() * static_cast<double>(k);
+    if (t10 == 0.0 && v[k] > 0.1 * v_hi && t > 1.9e-9) t10 = t;
+    if (t90 == 0.0 && v[k] > 0.9 * v_hi && t > 1.9e-9) t90 = t;
+  }
+  EXPECT_GT(t90, t10);
+  EXPECT_LT(t90 - t10, 1e-9);
+}
+
+TEST(CmosReceiver, ClampsConductOutsideRails) {
+  CmosReceiverParams p;
+  // Force the pad well below ground and above vdd, read the current.
+  const Waveform v_force = sampleFunction(
+      [&](double t) { return t < 5e-9 ? -1.0 : p.vdd + 1.0; }, 0.0, 10e-9, 10e-12);
+  const PortRecord rec = recordReceiverForced(p, v_force);
+  // Below ground the down clamp sources current *into* the device pad
+  // (negative current into the pad from the device's perspective means the
+  // clamp pulls the pad up): at v = -1 the diode from ground conducts, so
+  // the external source must sink current: i_into_device < 0.
+  EXPECT_LT(rec.i.value(4e-9), -1e-3);
+  // Above vdd the up clamp conducts into the rail: i_into_device > 0.
+  EXPECT_GT(rec.i.value(9e-9), 1e-3);
+}
+
+TEST(CmosReceiver, HighImpedanceInsideRails) {
+  CmosReceiverParams p;
+  const Waveform v_force =
+      sampleFunction([](double) { return 0.9; }, 0.0, 20e-9, 10e-12);
+  const PortRecord rec = recordReceiverForced(p, v_force);
+  // DC input current at mid-rail is tiny (leakage scale).
+  EXPECT_LT(std::abs(rec.i.samples().back()), 1e-4);
+}
+
+TEST(Training, FixedStateRecordShapes) {
+  CmosDriverParams p;
+  MultilevelOptions mo;
+  mo.seed = 5;
+  const Waveform v_force = multilevelRandom(10e-9, 20e-12, mo);
+  const PortRecord rec = recordDriverFixedState(p, true, v_force);
+  EXPECT_EQ(rec.v.size(), rec.i.size());
+  EXPECT_DOUBLE_EQ(rec.v.dt(), rec.i.dt());
+  // The forced port voltage must track the excitation.
+  EXPECT_LT(nrmse(rec.v.samples(), v_force.resampled(rec.v.dt()).samples()), 0.02);
+  // Resampling keeps the pairing.
+  const PortRecord rs = resampleRecord(rec, 50e-12);
+  EXPECT_EQ(rs.v.size(), rs.i.size());
+  EXPECT_DOUBLE_EQ(rs.v.dt(), 50e-12);
+}
+
+TEST(Training, HighAndLowStatesDiffer) {
+  CmosDriverParams p;
+  MultilevelOptions mo;
+  mo.seed = 6;
+  const Waveform v_force = multilevelRandom(10e-9, 20e-12, mo);
+  const PortRecord hi = recordDriverFixedState(p, true, v_force);
+  const PortRecord lo = recordDriverFixedState(p, false, v_force);
+  // Same forcing, very different port currents (pull-up vs pull-down).
+  EXPECT_GT(rmsError(hi.i.samples(), lo.i.samples()), 1e-3);
+}
+
+TEST(CmosDriver, NullLogicThrows) {
+  Circuit c;
+  EXPECT_THROW(buildCmosDriver(c, CmosDriverParams{}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,133 @@
+// Tests for the CPML absorbing boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fdtd/solver.h"
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+/// Radiates a Gaussian pulse from a small dipole (two plates + gap port)
+/// and records Ez near the source. In a big-enough domain no boundary
+/// reflection reaches the probe within the window, giving a reference to
+/// measure the reflection error of each ABC against.
+Waveform dipoleProbeRun(BoundaryKind boundary, std::size_t n) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = n;
+  s.dx = s.dy = s.dz = 1e-3;
+  Grid3 g(s);
+  const std::size_t c = n / 2;
+  g.pecPlateZ(c - 1, c - 2, c + 2, c - 2, c + 2);
+  g.pecPlateZ(c, c - 2, c + 2, c - 2, c + 2);
+  g.bake();
+  FdtdSolverOptions opt;
+  opt.boundary = boundary;
+  FdtdSolver solver(std::move(g), opt);
+  auto vs = [](double t) {
+    const double u = (t - 80e-12) / 25e-12;
+    return std::exp(-0.5 * u * u);
+  };
+  LumpedPortSpec ps;
+  ps.i = c;
+  ps.j = c;
+  ps.k = c - 1;
+  solver.addLumpedPort(ps, std::make_shared<TheveninPort>(vs, 50.0));
+  FieldProbeSpec fp;
+  fp.axis = Axis::kZ;
+  fp.i = c + 3;
+  fp.j = c;
+  fp.k = c;
+  const std::size_t probe = solver.addFieldProbe(fp);
+  solver.runUntil(1.0e-9);
+  return solver.fieldProbe(probe);
+}
+
+TEST(Cpml, AbsorbsFarBetterThanMur) {
+  const Waveform ref = dipoleProbeRun(BoundaryKind::kMur1, 120);  // reflection-free window
+  const Waveform mur = dipoleProbeRun(BoundaryKind::kMur1, 40);
+  const Waveform cpml = dipoleProbeRun(BoundaryKind::kCpml, 40);
+  double peak = 0.0, err_mur = 0.0, err_cpml = 0.0;
+  for (std::size_t k = 0; k < mur.size() && k < ref.size(); ++k) {
+    peak = std::max(peak, std::abs(ref[k]));
+    err_mur = std::max(err_mur, std::abs(mur[k] - ref[k]));
+    err_cpml = std::max(err_cpml, std::abs(cpml[k] - ref[k]));
+  }
+  ASSERT_GT(peak, 0.0);
+  const double db_mur = 20.0 * std::log10(err_mur / peak);
+  const double db_cpml = 20.0 * std::log10(err_cpml / peak);
+  EXPECT_LT(db_mur, -22.0);           // Mur-1 is decent ...
+  EXPECT_LT(db_cpml, -45.0);          // ... CPML is far better ...
+  EXPECT_LT(db_cpml, db_mur - 15.0);  // ... by a clear margin.
+}
+
+TEST(Cpml, QuiescentStaysQuiet) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 24;
+  Grid3 g(s);
+  g.bake();
+  FdtdSolverOptions opt;
+  opt.boundary = BoundaryKind::kCpml;
+  FdtdSolver solver(std::move(g), opt);
+  solver.run(50);
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= 24; ++i)
+    for (std::size_t j = 0; j <= 24; ++j)
+      for (std::size_t k = 0; k <= 24; ++k) acc += std::abs(solver.grid().ez(i, j, k));
+  EXPECT_DOUBLE_EQ(acc, 0.0);
+}
+
+TEST(Cpml, StripLineResultsMatchMur) {
+  // Guided-wave result must be boundary-independent: run the same strip
+  // line with both ABCs and compare the load voltage.
+  auto run = [](BoundaryKind boundary) {
+    GridSpec s;
+    s.nx = 60;
+    s.ny = 24;
+    s.nz = 24;
+    s.dx = s.dy = s.dz = 1e-3;
+    Grid3 g(s);
+    g.pecPlateZ(11, 10, 50, 10, 14);
+    g.pecPlateZ(12, 10, 50, 10, 14);
+    g.bake();
+    FdtdSolverOptions opt;
+    opt.boundary = boundary;
+    FdtdSolver solver(std::move(g), opt);
+    auto vs = [](double t) { return t < 60e-12 ? t / 60e-12 : 1.0; };
+    LumpedPortSpec sp;
+    sp.i = 10;
+    sp.j = 12;
+    sp.k = 11;
+    sp.sign = -1;
+    solver.addLumpedPort(sp, std::make_shared<TheveninPort>(vs, 50.0));
+    LumpedPortSpec lp = sp;
+    lp.i = 50;
+    LumpedPort* load = solver.addLumpedPort(lp, std::make_shared<ResistorPort>(120.0));
+    solver.runUntil(1.2e-9);
+    return load->voltage();
+  };
+  const Waveform mur = run(BoundaryKind::kMur1);
+  const Waveform cpml = run(BoundaryKind::kCpml);
+  ASSERT_EQ(mur.size(), cpml.size());
+  double max_diff = 0.0;
+  for (std::size_t k = 0; k < mur.size(); ++k)
+    max_diff = std::max(max_diff, std::abs(mur[k] - cpml[k]));
+  EXPECT_LT(max_diff, 0.05);
+}
+
+TEST(Cpml, Validation) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 10;
+  Grid3 g(s);
+  g.bake();
+  FdtdSolverOptions opt;
+  opt.boundary = BoundaryKind::kCpml;
+  opt.cpml.thickness = 8;  // 2*8+4 > 10
+  EXPECT_THROW(FdtdSolver(std::move(g), opt), std::invalid_argument);
+  EXPECT_THROW(CpmlBoundary(nullptr, CpmlOptions{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

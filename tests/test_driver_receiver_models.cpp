@@ -1,0 +1,155 @@
+// Tests for the driver/receiver macromodel runtime (weight scheduling and
+// the PortModel protocol).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+
+namespace fdtdmm {
+namespace {
+
+std::shared_ptr<const GaussianRbfSubmodel> constantCurrentSubmodel(double i0,
+                                                                   double ts) {
+  // One very wide Gaussian centered at the operating region approximates a
+  // constant current source i0 over the working voltage range.
+  GaussianRbfParams p;
+  p.order = 2;
+  p.ts = ts;
+  p.beta = 100.0;  // flat over +-volts
+  p.i_scale = 1.0;
+  p.theta = {i0};
+  p.c0 = {0.9};
+  p.cv = {{0.9, 0.9}};
+  p.ci = {{0.0, 0.0}};
+  return std::make_shared<GaussianRbfSubmodel>(p);
+}
+
+RbfDriverModel makeTestDriver(double ts) {
+  RbfDriverModel m;
+  m.up = constantCurrentSubmodel(-0.01, ts);   // sources 10 mA when HIGH
+  m.down = constantCurrentSubmodel(0.02, ts);  // sinks when LOW
+  m.ts = ts;
+  // Linear 4-sample templates.
+  m.weights.wu_up = Waveform(0.0, ts, {0.0, 0.33, 0.67, 1.0});
+  m.weights.wd_up = Waveform(0.0, ts, {1.0, 0.67, 0.33, 0.0});
+  m.weights.wu_down = Waveform(0.0, ts, {1.0, 0.67, 0.33, 0.0});
+  m.weights.wd_down = Waveform(0.0, ts, {0.0, 0.33, 0.67, 1.0});
+  return m;
+}
+
+TEST(DriverWeights, SteadyBeforeFirstEdge) {
+  const auto model = makeTestDriver(50e-12);
+  const BitPattern pat("010", 2e-9);
+  const WeightPair w = driverWeightsAt(model, pat, 1e-9);
+  EXPECT_DOUBLE_EQ(w.wu, 0.0);
+  EXPECT_DOUBLE_EQ(w.wd, 1.0);
+}
+
+TEST(DriverWeights, TemplatePlayedAtEdge) {
+  const auto model = makeTestDriver(50e-12);
+  const BitPattern pat("010", 2e-9);
+  // Halfway through the up template (templates are 4 samples of 50 ps).
+  const WeightPair w = driverWeightsAt(model, pat, 2e-9 + 75e-12);
+  EXPECT_GT(w.wu, 0.3);
+  EXPECT_LT(w.wu, 0.7);
+  // After the template: steady HIGH.
+  const WeightPair w2 = driverWeightsAt(model, pat, 2e-9 + 1e-9);
+  EXPECT_DOUBLE_EQ(w2.wu, 1.0);
+  EXPECT_DOUBLE_EQ(w2.wd, 0.0);
+}
+
+TEST(DriverWeights, DownEdgeUsesDownTemplates) {
+  const auto model = makeTestDriver(50e-12);
+  const BitPattern pat("010", 2e-9);
+  const WeightPair w = driverWeightsAt(model, pat, 4e-9 + 75e-12);
+  EXPECT_GT(w.wd, 0.3);
+  EXPECT_LT(w.wd, 0.7);
+  const WeightPair w2 = driverWeightsAt(model, pat, 5.9e-9);
+  EXPECT_DOUBLE_EQ(w2.wu, 0.0);
+  EXPECT_DOUBLE_EQ(w2.wd, 1.0);
+}
+
+TEST(DriverWeights, EmptyTemplatesFallBackToStep) {
+  auto model = makeTestDriver(50e-12);
+  model.weights = SwitchingWeights{};  // no templates at all
+  const BitPattern pat("01", 2e-9);
+  const WeightPair before = driverWeightsAt(model, pat, 1.99e-9);
+  const WeightPair after = driverWeightsAt(model, pat, 2.01e-9);
+  EXPECT_DOUBLE_EQ(before.wu, 0.0);
+  EXPECT_DOUBLE_EQ(after.wu, 1.0);
+}
+
+TEST(RbfDriverPort, BlendsSubmodelCurrents) {
+  const auto model = std::make_shared<const RbfDriverModel>(makeTestDriver(50e-12));
+  RbfDriverPort port(model, BitPattern("010", 2e-9), 0.9);
+  port.prepare(10e-12);  // tau = 0.2
+  EXPECT_NEAR(port.tau(), 0.2, 1e-12);
+  double didv = 0.0;
+  // Steady LOW: the down submodel's constant current.
+  EXPECT_NEAR(port.current(0.9, 1e-9, didv), 0.02, 1e-6);
+  // Steady HIGH (after the up edge + template).
+  EXPECT_NEAR(port.current(0.9, 3.5e-9, didv), -0.01, 1e-6);
+  // Mid-transition: blend.
+  const double mid = port.current(0.9, 2e-9 + 100e-12, didv);
+  EXPECT_GT(mid, -0.01);
+  EXPECT_LT(mid, 0.02);
+}
+
+TEST(RbfDriverPort, ProtocolEnforced) {
+  const auto model = std::make_shared<const RbfDriverModel>(makeTestDriver(50e-12));
+  RbfDriverPort port(model, BitPattern("01", 2e-9));
+  double didv = 0.0;
+  EXPECT_THROW(port.current(0.0, 0.0, didv), std::logic_error);
+  EXPECT_THROW(port.commit(0.0, 0.0), std::logic_error);
+  EXPECT_THROW(port.tau(), std::logic_error);
+  port.prepare(25e-12);
+  EXPECT_NO_THROW(port.current(0.0, 0.0, didv));
+  EXPECT_NO_THROW(port.commit(0.0, 0.0));
+  // tau > 1 rejected (Eq. 17).
+  RbfDriverPort port2(model, BitPattern("01", 2e-9));
+  EXPECT_THROW(port2.prepare(100e-12), std::invalid_argument);
+}
+
+TEST(RbfDriverPort, NullModelThrows) {
+  EXPECT_THROW(RbfDriverPort(nullptr, BitPattern("0", 1e-9)), std::invalid_argument);
+  auto incomplete = std::make_shared<RbfDriverModel>();
+  EXPECT_THROW(RbfDriverPort(incomplete, BitPattern("0", 1e-9)), std::invalid_argument);
+}
+
+RbfReceiverModel makeTestReceiver(double ts) {
+  RbfReceiverModel m;
+  LinearArxParams lp;
+  lp.order = 2;
+  lp.ts = ts;
+  lp.a = {0.3, 0.0};
+  lp.b = {0.001, 0.0, 0.0};  // i = 0.3 i_prev + 1 mS * v -> dc g ~ 1.43 mS
+  m.lin = std::make_shared<LinearArxSubmodel>(lp);
+  m.up = constantCurrentSubmodel(0.0, ts);
+  m.down = constantCurrentSubmodel(0.0, ts);
+  m.ts = ts;
+  return m;
+}
+
+TEST(RbfReceiverPort, LinearPartDcGain) {
+  const auto model = std::make_shared<const RbfReceiverModel>(makeTestReceiver(50e-12));
+  RbfReceiverPort port(model, 0.0);
+  port.prepare(25e-12);
+  EXPECT_NEAR(port.tau(), 0.5, 1e-12);
+  // March to steady state at 1 V.
+  double i = 0.0, didv = 0.0;
+  for (int k = 0; k < 4000; ++k) {
+    i = port.current(1.0, 0.0, didv);
+    port.commit(1.0, 0.0);
+  }
+  EXPECT_NEAR(i, 0.001 / (1.0 - 0.3), 1e-6);
+}
+
+TEST(RbfReceiverPort, IncompleteModelThrows) {
+  auto m = std::make_shared<RbfReceiverModel>();
+  EXPECT_THROW(RbfReceiverPort{m}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

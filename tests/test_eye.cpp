@@ -1,0 +1,109 @@
+// Tests for eye-diagram analysis, including an end-to-end long-PRBS run of
+// the hybrid channel (the strongest accuracy test of the driver weight
+// scheduling across consecutive transitions).
+#include "signal/eye.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tline_scenario.h"
+#include "math/stats.h"
+#include "math/rng.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(Eye, CleanTrapezoidFullyOpen) {
+  const BitPattern pat("01101001", 2e-9);
+  const auto f = trapezoidFromPattern(pat, 0.0, 1.8, 0.3e-9);
+  const Waveform w = sampleFunction(f, 0.0, 16e-9, 10e-12);
+  const EyeMetrics m = measureEye(w, pat);
+  EXPECT_TRUE(m.open);
+  EXPECT_NEAR(m.eye_height, 1.8, 0.02);
+  EXPECT_NEAR(m.level_high, 1.8, 0.02);
+  EXPECT_NEAR(m.level_low, 0.0, 0.02);
+}
+
+TEST(Eye, NoiseClosesTheEyeProportionally) {
+  const BitPattern pat("0110100110", 2e-9);
+  const auto f = trapezoidFromPattern(pat, 0.0, 1.0, 0.3e-9);
+  Rng rng(5);
+  Waveform w = sampleFunction(
+      [&](double t) { return f(t); }, 0.0, 20e-9, 10e-12);
+  for (double& s : w.samples()) s += 0.15 * (rng.uniform() - 0.5);
+  const EyeMetrics m = measureEye(w, pat);
+  EXPECT_TRUE(m.open);
+  EXPECT_LT(m.eye_height, 1.0 - 0.1);  // noise eats at least its amplitude
+  EXPECT_GT(m.eye_height, 0.7);
+}
+
+TEST(Eye, SlowChannelClosesEye) {
+  // First-order lowpass with tau comparable to the UI: the eye degrades.
+  const BitPattern pat("010101", 1e-9);
+  const auto f = trapezoidFromPattern(pat, 0.0, 1.0, 0.1e-9);
+  const double tau = 0.8e-9;
+  // Discrete RC filter of the trapezoid.
+  const double dt = 5e-12;
+  Vector s;
+  double y = 0.0;
+  for (double t = 0.0; t <= 6e-9; t += dt) {
+    y += dt / tau * (f(t) - y);
+    s.push_back(y);
+  }
+  const Waveform w(0.0, dt, std::move(s));
+  const EyeMetrics m = measureEye(w, pat);
+  EXPECT_LT(m.eye_height, 0.5);  // heavily degraded
+}
+
+TEST(Eye, Validation) {
+  const BitPattern pat("0101", 1e-9);
+  EXPECT_THROW(measureEye(Waveform(), pat), std::invalid_argument);
+  const Waveform w(0.0, 1e-12, Vector(100, 0.0));
+  EyeOptions bad;
+  bad.window_start = 0.9;
+  bad.window_width = 0.3;
+  EXPECT_THROW(measureEye(w, pat, bad), std::invalid_argument);
+  const BitPattern constant("0000", 1e-9);
+  const Waveform w2(0.0, 0.1e-9, Vector(100, 0.0));
+  EXPECT_THROW(measureEye(w2, constant), std::invalid_argument);
+}
+
+TEST(Eye, HybridChannelPrbsEndToEnd) {
+  // 14-bit pseudo-random pattern through the paper's line: the macromodel
+  // channel (1D FDTD) must track the transistor-level SPICE reference and
+  // produce an open far-end eye of comparable height. This exercises the
+  // switching-weight scheduling on back-to-back and isolated transitions.
+  const std::string bits = "01101001100101";
+  TlineScenario cfg;
+  cfg.pattern = bits;
+  cfg.t_stop = 2e-9 * static_cast<double>(bits.size());
+  cfg.load = FarEndLoad::kLinearRc;
+  const auto ref = runSpiceTransistorTline(cfg, defaultDriverDevice(),
+                                           defaultReceiverDevice());
+  const auto hybrid = runFdtd1dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+
+  // Waveform-level agreement across the whole pattern.
+  Vector va, vb;
+  for (double t = 0.0; t <= cfg.t_stop; t += 20e-12) {
+    va.push_back(hybrid.v_far.value(t));
+    vb.push_back(ref.v_far.value(t));
+  }
+  EXPECT_LT(nrmse(va, vb), 0.05);
+
+  // Eye metrics agree.
+  const BitPattern pat(bits, 2e-9);
+  EyeOptions eo;
+  eo.skip_bits = 2;
+  const EyeMetrics m_ref = measureEye(ref.v_far, pat, eo);
+  const EyeMetrics m_hyb = measureEye(hybrid.v_far, pat, eo);
+  EXPECT_TRUE(m_ref.open);
+  EXPECT_TRUE(m_hyb.open);
+  EXPECT_NEAR(m_hyb.eye_height, m_ref.eye_height, 0.2);
+  EXPECT_NEAR(m_hyb.level_high, m_ref.level_high, 0.1);
+  EXPECT_NEAR(m_hyb.level_low, m_ref.level_low, 0.1);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,124 @@
+// Tests for the 1D FDTD transmission-line engine against line theory.
+#include "fdtd1d/line1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+std::function<double(double)> step(double v_final) {
+  return [v_final](double t) { return t >= 0.0 ? v_final : 0.0; };
+}
+
+TEST(Fdtd1d, MatchedLineLaunchAndDelay) {
+  Line1dConfig cfg;
+  cfg.zc = 50.0;
+  cfg.td = 1e-9;
+  cfg.cells = 200;
+  auto near = std::make_shared<TheveninPort>(step(1.0), 50.0);
+  auto far = std::make_shared<ResistorPort>(50.0);
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(4e-9);
+  // Launch 0.5 V; arrival at far end after Td; flat afterwards.
+  EXPECT_NEAR(res.v_near.value(0.5e-9), 0.5, 0.02);
+  EXPECT_NEAR(res.v_far.value(0.7e-9), 0.0, 0.02);
+  EXPECT_NEAR(res.v_far.value(1.5e-9), 0.5, 0.02);
+  EXPECT_NEAR(res.v_near.value(3.5e-9), 0.5, 0.02);
+}
+
+TEST(Fdtd1d, OpenEndReflectionDoubles) {
+  Line1dConfig cfg;
+  cfg.zc = 50.0;
+  cfg.td = 1e-9;
+  cfg.cells = 200;
+  auto near = std::make_shared<TheveninPort>(step(1.0), 50.0);
+  auto far = std::make_shared<OpenPort>();
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(3e-9);
+  EXPECT_NEAR(res.v_far.value(1.8e-9), 1.0, 0.03);
+  // Near end sees the reflection at 2 Td and settles at 1.0.
+  EXPECT_NEAR(res.v_near.value(2.8e-9), 1.0, 0.03);
+}
+
+TEST(Fdtd1d, ShortEndReflectionCancels) {
+  Line1dConfig cfg;
+  cfg.zc = 75.0;
+  cfg.td = 0.5e-9;
+  cfg.cells = 150;
+  auto near = std::make_shared<TheveninPort>(step(1.0), 75.0);
+  auto far = std::make_shared<ResistorPort>(1e-3);
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(2.5e-9);
+  EXPECT_NEAR(res.v_far.value(1.2e-9), 0.0, 0.02);
+  EXPECT_NEAR(res.v_near.value(2.2e-9), 0.0, 0.05);
+}
+
+TEST(Fdtd1d, MismatchReflectionCoefficient) {
+  // RL = 150, Zc = 50 -> rho = 0.5: far end = 0.5 * (1 + 0.5) = 0.75.
+  Line1dConfig cfg;
+  cfg.zc = 50.0;
+  cfg.td = 1e-9;
+  cfg.cells = 200;
+  auto near = std::make_shared<TheveninPort>(step(1.0), 50.0);
+  auto far = std::make_shared<ResistorPort>(150.0);
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(3e-9);
+  EXPECT_NEAR(res.v_far.value(2e-9), 0.75, 0.02);
+}
+
+TEST(Fdtd1d, RcLoadChargesAtFarEnd) {
+  // Fig. 4 load: 1 pF || 500 ohm behind a 131 ohm line. The far-end wave
+  // first overshoots toward the open-like response and settles to the
+  // divider 500/(500+Rs-ish) of the source.
+  Line1dConfig cfg;
+  cfg.zc = 131.0;
+  cfg.td = 0.4e-9;
+  cfg.cells = 160;
+  auto near = std::make_shared<TheveninPort>(step(1.8), 30.0);
+  auto far = std::make_shared<ParallelRcPort>(500.0, 1e-12);
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(6e-9);
+  // DC: v = 1.8 * 500 / 530.
+  EXPECT_NEAR(res.v_far.samples().back(), 1.8 * 500.0 / 530.0, 0.05);
+  EXPECT_EQ(res.v_near.size(), res.v_far.size());
+}
+
+TEST(Fdtd1d, NewtonTerminationsConvergeFast) {
+  Line1dConfig cfg;
+  cfg.zc = 50.0;
+  cfg.td = 0.5e-9;
+  cfg.cells = 100;
+  auto near = std::make_shared<TheveninPort>(step(1.0), 25.0);
+  auto far = std::make_shared<ParallelRcPort>(500.0, 1e-12);
+  Fdtd1dLine line(cfg, near, far);
+  auto res = line.run(3e-9);
+  // Linear terminations: Newton needs at most a couple of iterations at
+  // tol 1e-9 — consistent with the paper's observation.
+  EXPECT_LE(res.max_newton_iterations, 3);
+  EXPECT_GT(res.total_newton_iterations, 0);
+}
+
+TEST(Fdtd1d, Validation) {
+  Line1dConfig bad;
+  bad.zc = 0.0;
+  auto p1 = std::make_shared<OpenPort>();
+  auto p2 = std::make_shared<OpenPort>();
+  EXPECT_THROW(Fdtd1dLine(bad, p1, p2), std::invalid_argument);
+  Line1dConfig bad2;
+  bad2.cells = 1;
+  EXPECT_THROW(Fdtd1dLine(bad2, p1, p2), std::invalid_argument);
+  Line1dConfig ok;
+  EXPECT_THROW(Fdtd1dLine(ok, nullptr, p2), std::invalid_argument);
+  Fdtd1dLine line(ok, p1, p2);
+  EXPECT_THROW(line.run(0.0), std::invalid_argument);
+  EXPECT_GT(line.dt(), 0.0);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,135 @@
+// Unit tests for the Yee grid, materials, and coefficient baking.
+#include "fdtd/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+using namespace constants;
+
+TEST(Grid3, CourantTimeStep) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 10;
+  s.dx = s.dy = s.dz = 1e-3;
+  s.courant = 1.0;
+  Grid3 g(s);
+  const double dt_expect = 1e-3 / (kC0 * std::sqrt(3.0));
+  EXPECT_NEAR(g.dt(), dt_expect, dt_expect * 1e-12);
+}
+
+TEST(Grid3, Validation) {
+  GridSpec s;
+  s.nx = 1;
+  EXPECT_THROW(Grid3{s}, std::invalid_argument);
+  GridSpec s2;
+  s2.dx = 0.0;
+  EXPECT_THROW(Grid3{s2}, std::invalid_argument);
+  GridSpec s3;
+  s3.courant = 1.5;
+  EXPECT_THROW(Grid3{s3}, std::invalid_argument);
+}
+
+TEST(Grid3, VacuumBakeCoefficients) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 6;
+  Grid3 g(s);
+  g.bake();
+  const std::size_t id = g.idx(2, 3, 3);
+  EXPECT_DOUBLE_EQ(g.caEx()[id], 1.0);
+  EXPECT_NEAR(g.cbEx()[id], g.dt() / kEps0, 1e-9);
+  EXPECT_TRUE(g.materialEdges().empty());
+  EXPECT_THROW(g.bake(), std::logic_error);
+}
+
+TEST(Grid3, DielectricEdgeAveraging) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  g.setDielectricBox(0, 8, 0, 8, 0, 4, 4.0);  // lower half eps_r = 4
+  g.bake();
+  // An Ez edge fully inside the dielectric: eps = 4 eps0.
+  EXPECT_NEAR(g.edgeEps(Axis::kZ, 4, 4, 2), 4.0 * kEps0, 1e-22);
+  // An Ex edge on the interface plane k = 4 averages 2 cells of each:
+  // (2*4 + 2*1)/4 = 2.5 eps0.
+  EXPECT_NEAR(g.edgeEps(Axis::kX, 3, 4, 4), 2.5 * kEps0, 1e-22);
+  EXPECT_FALSE(g.materialEdges().empty());
+}
+
+TEST(Grid3, ConductivityEntersCa) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 6;
+  Grid3 g(s);
+  g.setDielectricBox(0, 6, 0, 6, 0, 6, 1.0, 0.01);
+  g.bake();
+  const std::size_t id = g.idx(3, 3, 3);
+  const double h = 0.01 * g.dt() / (2.0 * kEps0);
+  EXPECT_NEAR(g.caEz()[id], (1.0 - h) / (1.0 + h), 1e-12);
+  EXPECT_NEAR(g.edgeSigma(Axis::kZ, 3, 3, 3), 0.01, 1e-15);
+}
+
+TEST(Grid3, PecPlateMarksTangentialEdges) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  g.pecPlateZ(4, 2, 6, 2, 6);
+  g.bake();
+  // Tangential Ex on the plate is PEC.
+  EXPECT_TRUE(g.isPecEdge(Axis::kX, 3, 3, 4));
+  EXPECT_TRUE(g.isPecEdge(Axis::kY, 3, 3, 4));
+  // Normal Ez through the plate is not.
+  EXPECT_FALSE(g.isPecEdge(Axis::kZ, 3, 3, 4));
+  // Outside the plate: untouched.
+  EXPECT_FALSE(g.isPecEdge(Axis::kX, 0, 0, 4));
+  // Baked coefficients are zero on PEC edges.
+  EXPECT_DOUBLE_EQ(g.caEx()[g.idx(3, 3, 4)], 0.0);
+  EXPECT_DOUBLE_EQ(g.cbEx()[g.idx(3, 3, 4)], 0.0);
+}
+
+TEST(Grid3, PecWireAndDedup) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  g.pecWireZ(4, 4, 2, 5);
+  const std::size_t before = g.pecEdges().size();
+  EXPECT_EQ(before, 3u);
+  g.pecWireZ(4, 4, 2, 5);  // idempotent
+  EXPECT_EQ(g.pecEdges().size(), before);
+  EXPECT_TRUE(g.isPecEdge(Axis::kZ, 4, 4, 3));
+}
+
+TEST(Grid3, GeometryValidation) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  EXPECT_THROW(g.setDielectricBox(0, 9, 0, 8, 0, 8, 4.0), std::invalid_argument);
+  EXPECT_THROW(g.setDielectricBox(2, 2, 0, 8, 0, 8, 4.0), std::invalid_argument);
+  EXPECT_THROW(g.setDielectricBox(0, 8, 0, 8, 0, 8, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.pecPlateZ(9, 0, 4, 0, 4), std::invalid_argument);
+  EXPECT_THROW(g.pecEdge(Axis::kZ, 0, 0, 8), std::invalid_argument);
+  g.bake();
+  EXPECT_THROW(g.pecPlateZ(4, 0, 4, 0, 4), std::logic_error);
+  EXPECT_THROW(g.setDielectricBox(0, 4, 0, 4, 0, 4, 2.0), std::logic_error);
+}
+
+TEST(Grid3, EdgeCenterPositions) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 4;
+  s.dx = 1.0;
+  s.dy = 2.0;
+  s.dz = 3.0;
+  Grid3 g(s);
+  double x, y, z;
+  g.edgeCenter(Axis::kX, 1, 2, 3, x, y, z);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_DOUBLE_EQ(y, 4.0);
+  EXPECT_DOUBLE_EQ(z, 9.0);
+  g.edgeCenter(Axis::kZ, 0, 0, 0, x, y, z);
+  EXPECT_DOUBLE_EQ(z, 1.5);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,154 @@
+// Tests for the incident plane wave and the scattered-field coupling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdtd/incident.h"
+#include "fdtd/solver.h"
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+using namespace constants;
+
+TEST(PlaneWave, DirectionAndPolarizationForPaperAngles) {
+  // theta = 90, phi = 180, theta-pol: travels along +x, E along -z.
+  const double deg = M_PI / 180.0;
+  PlaneWave w(90.0 * deg, 180.0 * deg, 2e3, gaussianPulseShape(1e-9, 0.1e-9));
+  EXPECT_NEAR(w.polarization(Axis::kX), 0.0, 1e-12);
+  EXPECT_NEAR(w.polarization(Axis::kY), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(w.polarization(Axis::kZ)), 1.0, 1e-12);
+  // Delay grows along +x (the wave moves toward +x).
+  EXPECT_GT(w.delay(1.0, 0.0, 0.0), w.delay(0.0, 0.0, 0.0));
+  EXPECT_NEAR(w.delay(1.0, 0.0, 0.0) - w.delay(0.0, 0.0, 0.0), 1.0 / kC0, 1e-18);
+  // No variation transverse to propagation.
+  EXPECT_NEAR(w.delay(0.0, 1.0, 0.0), w.delay(0.0, 0.0, 0.0), 1e-18);
+}
+
+TEST(PlaneWave, FieldPeaksAtRetardedTime) {
+  const double deg = M_PI / 180.0;
+  const double t0 = 1e-9, sigma = 0.05e-9;
+  PlaneWave w(90.0 * deg, 180.0 * deg, 2e3, gaussianPulseShape(t0, sigma));
+  // At x: peak when t = t0 + x/c.
+  const double x = 0.03;
+  const double t_peak = t0 + x / kC0;
+  const double e_peak = std::abs(w.field(Axis::kZ, x, 0.0, 0.0, t_peak));
+  EXPECT_NEAR(e_peak, 2e3, 1e-6);
+  EXPECT_LT(std::abs(w.field(Axis::kZ, x, 0.0, 0.0, t_peak - 6.0 * sigma)), 1.0);
+}
+
+TEST(PlaneWave, DerivativeMatchesFiniteDifference) {
+  const double deg = M_PI / 180.0;
+  PlaneWave w(60.0 * deg, 30.0 * deg, 1.0, gaussianPulseShape(1e-9, 0.1e-9), 0.7, 0.3);
+  const double h = 1e-14;
+  for (const double t : {0.8e-9, 1.0e-9, 1.2e-9}) {
+    const double fd = (w.field(Axis::kZ, 0.01, 0.02, 0.0, t + h) -
+                       w.field(Axis::kZ, 0.01, 0.02, 0.0, t - h)) /
+                      (2.0 * h);
+    EXPECT_NEAR(w.fieldDt(Axis::kZ, 0.01, 0.02, 0.0, t), fd,
+                std::abs(fd) * 1e-4 + 1e-3);
+  }
+}
+
+TEST(PlaneWave, Validation) {
+  EXPECT_THROW(gaussianPulseShape(0.0, 0.0), std::invalid_argument);
+  PulseShape incomplete;
+  EXPECT_THROW(PlaneWave(0.0, 0.0, 1.0, incomplete), std::invalid_argument);
+  // phi-pol at theta=0 is fine, but a zero mix must throw.
+  EXPECT_THROW(PlaneWave(0.0, 0.0, 1.0, gaussianPulseShape(1e-9, 1e-10), 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ScatteredField, EmptyVacuumDomainStaysQuiet) {
+  // With no scatterers, the scattered field must remain ~0 even as the
+  // incident pulse sweeps the domain (it is handled analytically).
+  GridSpec s;
+  s.nx = s.ny = s.nz = 12;
+  s.dx = s.dy = s.dz = 1e-3;
+  Grid3 g(s);
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  const double deg = M_PI / 180.0;
+  const double sigma = 20e-12;
+  PlaneWave w(90.0 * deg, 180.0 * deg, 1e3, gaussianPulseShape(6.0 * sigma, sigma));
+  solver.setIncidentWave(w);
+  solver.runUntil(0.4e-9);
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= 12; ++i)
+    for (std::size_t j = 0; j <= 12; ++j)
+      for (std::size_t k = 0; k <= 12; ++k) acc = std::max(acc, std::abs(solver.grid().ez(i, j, k)));
+  EXPECT_NEAR(acc, 0.0, 1e-9);
+}
+
+TEST(ScatteredField, PecPlateScattersIncidentWave) {
+  // A PEC plate normal to the Ez-polarized incident wave produces a
+  // nonzero scattered field and the *total* tangential E on the plate is
+  // forced to zero.
+  GridSpec s;
+  s.nx = 40;
+  s.ny = 20;
+  s.nz = 20;
+  s.dx = s.dy = s.dz = 1e-3;
+  Grid3 g(s);
+  // Plate normal to x at i=20 (tangential: Ey, Ez).
+  g.pecPlateX(20, 5, 15, 5, 15);
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  const double deg = M_PI / 180.0;
+  const double sigma = 15e-12;
+  PlaneWave w(90.0 * deg, 180.0 * deg, 1e3, gaussianPulseShape(6.0 * sigma, sigma));
+  solver.setIncidentWave(w);
+  // Run until the pulse has crossed the plate.
+  solver.runUntil(0.25e-9);
+
+  // The scattered field is active somewhere.
+  double max_es = 0.0;
+  for (std::size_t i = 0; i <= 40; ++i)
+    for (std::size_t j = 0; j <= 20; ++j)
+      for (std::size_t k = 0; k <= 20; ++k)
+        max_es = std::max(max_es, std::abs(solver.grid().ez(i, j, k)));
+  EXPECT_GT(max_es, 10.0);
+
+  // Check E_s = -E_i on a plate edge mid-pulse by stepping to a time when
+  // the incident field at the plate is substantial.
+  double x, y, z;
+  solver.grid().edgeCenter(Axis::kZ, 20, 10, 10, x, y, z);
+  const double t = solver.time();
+  const double ei = w.field(Axis::kZ, x, y, z, t);
+  const double es = solver.grid().ez(20, 10, 10);
+  EXPECT_NEAR(es + ei, 0.0, 1e-9);  // total tangential field vanishes
+}
+
+TEST(ScatteredField, LumpedPortPicksUpIncidentCoupling) {
+  // A 1-cell gap between two plates (a small dipole-like receptor) with a
+  // resistor port: the incident wave must induce a voltage across it.
+  GridSpec s;
+  s.nx = 40;
+  s.ny = 16;
+  s.nz = 16;
+  s.dx = s.dy = s.dz = 1e-3;
+  Grid3 g(s);
+  const std::size_t k0 = 7, k1 = 8;
+  g.pecPlateZ(k0, 10, 30, 6, 10);
+  g.pecPlateZ(k1, 10, 30, 6, 10);
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  const double deg = M_PI / 180.0;
+  const double sigma = 15e-12;
+  PlaneWave w(90.0 * deg, 180.0 * deg, 1e3, gaussianPulseShape(6.0 * sigma, sigma));
+  solver.setIncidentWave(w);
+  LumpedPortSpec ps;
+  ps.i = 20;
+  ps.j = 8;
+  ps.k = k0;
+  ps.label = "receptor";
+  LumpedPort* port = solver.addLumpedPort(ps, std::make_shared<ResistorPort>(100.0));
+  solver.runUntil(0.4e-9);
+  double vmax = 0.0;
+  for (double v : port->voltage().samples()) vmax = std::max(vmax, std::abs(v));
+  EXPECT_GT(vmax, 0.05);  // clear induced voltage
+}
+
+}  // namespace
+}  // namespace fdtdmm

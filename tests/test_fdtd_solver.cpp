@@ -1,0 +1,205 @@
+// Physics tests for the 3D FDTD solver: lumped elements (Eq. 8), guided
+// waves on a parallel-strip line, and absorbing boundaries.
+#include "fdtd/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(FdtdSolver, QuiescentWithoutSources) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  solver.run(20);
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= 8; ++i)
+    for (std::size_t j = 0; j <= 8; ++j)
+      for (std::size_t k = 0; k <= 8; ++k)
+        acc += std::abs(solver.grid().ez(i, j, k)) + std::abs(solver.grid().hx(i, j, k));
+  EXPECT_DOUBLE_EQ(acc, 0.0);
+}
+
+TEST(FdtdSolver, RequiresBakedGrid) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 4;
+  Grid3 g(s);
+  EXPECT_THROW(FdtdSolver{std::move(g)}, std::invalid_argument);
+}
+
+/// Builds a small parallel-strip line along x with a Thevenin source at one
+/// end and a load port at the other; returns the solver ready to run.
+struct StripLineFixture {
+  std::unique_ptr<FdtdSolver> solver;
+  LumpedPort* src = nullptr;
+  LumpedPort* load = nullptr;
+  double dt = 0.0;
+
+  void build(PortModelPtr source_model, PortModelPtr load_model,
+             std::size_t nx = 60, std::size_t gap = 1) {
+    GridSpec s;
+    s.nx = nx;
+    s.ny = 14;
+    s.nz = 12 + gap;
+    s.dx = s.dy = s.dz = 1e-3;
+    Grid3 g(s);
+    const std::size_t x0 = 5, x1 = nx - 5;
+    const std::size_t j0 = 5, j1 = 9;
+    const std::size_t k0 = 5, k1 = k0 + gap;
+    g.pecPlateZ(k0, x0, x1, j0, j1);
+    g.pecPlateZ(k1, x0, x1, j0, j1);
+    const std::size_t jc = 7;
+    if (gap >= 2) {
+      g.pecWireZ(x0, jc, k0, k1 - 1);
+      g.pecWireZ(x1, jc, k0, k1 - 1);
+    }
+    g.bake();
+    solver = std::make_unique<FdtdSolver>(std::move(g));
+    dt = solver->dt();
+
+    LumpedPortSpec sp;
+    sp.i = x0;
+    sp.j = jc;
+    sp.k = k1 - 1;
+    sp.sign = -1;  // + terminal on the upper strip
+    sp.label = "src";
+    src = solver->addLumpedPort(sp, std::move(source_model));
+    LumpedPortSpec lp = sp;
+    lp.i = x1;
+    lp.label = "load";
+    load = solver->addLumpedPort(lp, std::move(load_model));
+  }
+};
+
+TEST(FdtdSolver, StripLinePropagationDelay) {
+  // 50-cell strip separation 1 mm: wave speed is c0 in vacuum. Check the
+  // load sees the step roughly len/c0 after launch.
+  StripLineFixture f;
+  const double rise = 30e-12;
+  auto vs = [rise](double t) { return t < rise ? 1.0 * t / rise : 1.0; };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(150.0));
+  const double len = 50e-3;  // x0=5 .. x1=55 in 1 mm cells... (60-10) cells
+  const double t_fly = len / constants::kC0;  // ~167 ps
+  f.solver->runUntil(3.0 * t_fly);
+  const Waveform& vf = f.load->voltage();
+  // Before arrival: ~0. After: some positive divided voltage.
+  EXPECT_NEAR(vf.value(0.5 * t_fly), 0.0, 0.02);
+  EXPECT_GT(vf.value(2.0 * t_fly), 0.2);
+}
+
+TEST(FdtdSolver, MatchedishLineSettlesToDivider) {
+  // DC settling: source 1 V behind 50 ohm, load 150 ohm -> v_load = 0.75 V
+  // regardless of the line impedance once reflections die out.
+  StripLineFixture f;
+  auto vs = [](double t) { return t < 50e-12 ? t / 50e-12 : 1.0; };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(150.0));
+  f.solver->runUntil(4e-9);
+  EXPECT_NEAR(f.load->voltage().samples().back(), 0.75, 0.05);
+  EXPECT_NEAR(f.src->voltage().samples().back(), 0.75, 0.05);
+}
+
+TEST(FdtdSolver, NewtonCountSmallForLinearPorts) {
+  StripLineFixture f;
+  auto vs = [](double t) { return t < 50e-12 ? t / 50e-12 : 1.0; };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(100.0));
+  f.solver->runUntil(1e-9);
+  EXPECT_LE(f.solver->maxNewtonIterations(), 3);
+  EXPECT_GT(f.src->totalNewtonIterations(), 0);
+}
+
+TEST(FdtdSolver, VoltageProbeMatchesPortVoltage) {
+  StripLineFixture f;
+  auto vs = [](double t) { return t < 50e-12 ? t / 50e-12 : 1.0; };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(100.0));
+  // Probe across the load edge (gap = 1 cell at k=5..6, sign -1 like port).
+  VoltageProbeSpec vp;
+  vp.i = f.load->spec().i;
+  vp.j = f.load->spec().j;
+  vp.k0 = f.load->spec().k;
+  vp.k1 = f.load->spec().k + 1;
+  vp.sign = -1;
+  const std::size_t probe = f.solver->addVoltageProbe(vp);
+  f.solver->runUntil(1.5e-9);
+  const Waveform& via_probe = f.solver->voltageProbe(probe);
+  const Waveform& via_port = f.load->voltage();
+  ASSERT_EQ(via_probe.size(), via_port.size());
+  for (std::size_t k = 0; k < via_port.size(); k += 50) {
+    EXPECT_NEAR(via_probe[k], via_port[k], 1e-9);
+  }
+}
+
+TEST(FdtdSolver, EnergyDecaysWithAbsorbingBoundaries) {
+  // Excite a short pulse and verify the domain energy decays to ~0 after
+  // the wave exits through the Mur boundaries.
+  StripLineFixture f;
+  auto vs = [](double t) {
+    const double u = (t - 100e-12) / 30e-12;
+    return std::exp(-0.5 * u * u);
+  };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(100.0));
+  f.solver->runUntil(5e-9);
+  const Grid3& g = f.solver->grid();
+  double e2 = 0.0;
+  for (std::size_t i = 0; i <= g.nx(); ++i)
+    for (std::size_t j = 0; j <= g.ny(); ++j)
+      for (std::size_t k = 0; k <= g.nz(); ++k)
+        e2 += g.ez(i, j, k) * g.ez(i, j, k);
+  EXPECT_LT(std::sqrt(e2), 2e-2);  // residual Mur-1 ringing only
+}
+
+TEST(FdtdSolver, PortPlacementValidation) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 8;
+  Grid3 g(s);
+  g.pecWireZ(4, 4, 3, 4);
+  g.bake();
+  FdtdSolver solver(std::move(g));
+  LumpedPortSpec bad;
+  bad.i = 0;  // boundary
+  bad.j = 4;
+  bad.k = 3;
+  EXPECT_THROW(solver.addLumpedPort(bad, std::make_shared<OpenPort>()),
+               std::invalid_argument);
+  LumpedPortSpec on_pec;
+  on_pec.i = 4;
+  on_pec.j = 4;
+  on_pec.k = 3;
+  EXPECT_THROW(solver.addLumpedPort(on_pec, std::make_shared<OpenPort>()),
+               std::invalid_argument);
+  LumpedPortSpec ok;
+  ok.i = 3;
+  ok.j = 3;
+  ok.k = 3;
+  EXPECT_NO_THROW(solver.addLumpedPort(ok, std::make_shared<OpenPort>()));
+  EXPECT_THROW(solver.voltageProbe(0), std::out_of_range);
+}
+
+TEST(FdtdSolver, ResistorAcrossGapSatisfiesOhm) {
+  // Drive the line and check the recorded load current against v/R.
+  StripLineFixture f;
+  auto vs = [](double t) { return t < 50e-12 ? t / 50e-12 : 1.0; };
+  f.build(std::make_shared<TheveninPort>(vs, 50.0),
+          std::make_shared<ResistorPort>(100.0));
+  f.solver->runUntil(2e-9);
+  const Waveform& v = f.load->voltage();
+  const Waveform& i = f.load->current();
+  ASSERT_EQ(v.size(), i.size());
+  for (std::size_t k = 0; k < v.size(); k += 100) {
+    EXPECT_NEAR(i[k], v[k] / 100.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fdtdmm

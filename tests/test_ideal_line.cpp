@@ -1,0 +1,100 @@
+// Tests for the Branin ideal transmission line model against transmission
+// line theory (reflection coefficients, delays, matched termination).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.h"
+
+namespace fdtdmm {
+namespace {
+
+struct LineFixture {
+  Circuit c;
+  int src_node = 0, near = 0, far = 0;
+  double zc = 50.0, td = 1e-9;
+
+  // Step source with rs behind it, line, and load r_load.
+  void build(double rs, double r_load) {
+    src_node = c.addNode();
+    near = c.addNode();
+    far = c.addNode();
+    c.addVoltageSource(src_node, Circuit::kGround,
+                       [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+    c.addResistor(src_node, near, rs);
+    c.addIdealLine(near, Circuit::kGround, far, Circuit::kGround, zc, td);
+    c.addResistor(far, Circuit::kGround, r_load);
+  }
+
+  TransientResult run(double t_stop) {
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.t_stop = t_stop;
+    return runTransient(c, opt, {{"near", near, 0}, {"far", far, 0}});
+  }
+};
+
+TEST(IdealLine, MatchedLineNoReflection) {
+  LineFixture f;
+  f.build(50.0, 50.0);
+  const auto res = f.run(5e-9);
+  const Waveform& vn = res.at("near");
+  const Waveform& vf = res.at("far");
+  // Launch = 0.5 V, arrives at far end after Td, no reflections.
+  EXPECT_NEAR(vn.value(0.5e-9), 0.5, 5e-3);
+  EXPECT_NEAR(vf.value(0.5e-9), 0.0, 5e-3);
+  EXPECT_NEAR(vf.value(1.5e-9), 0.5, 5e-3);
+  EXPECT_NEAR(vn.value(4.5e-9), 0.5, 5e-3);
+}
+
+TEST(IdealLine, OpenEndDoublesVoltage) {
+  LineFixture f;
+  f.build(50.0, 1e9);
+  const auto res = f.run(5e-9);
+  const Waveform& vf = res.at("far");
+  // Reflection coefficient +1: far end jumps to 2 * 0.5 = 1.0 at Td.
+  EXPECT_NEAR(vf.value(0.9e-9), 0.0, 1e-2);
+  EXPECT_NEAR(vf.value(1.5e-9), 1.0, 1e-2);
+}
+
+TEST(IdealLine, ShortEndHoldsZeroAndNearDips) {
+  LineFixture f;
+  f.build(50.0, 1e-3);
+  const auto res = f.run(5e-9);
+  EXPECT_NEAR(res.at("far").value(2e-9), 0.0, 1e-2);
+  // Reflected -0.5 arrives at near end at 2 Td: net 0.
+  EXPECT_NEAR(res.at("near").value(2.5e-9), 0.0, 2e-2);
+}
+
+TEST(IdealLine, MismatchedBounceStaircase) {
+  // Rs = 150 (rho_s = 0.5), RL = open (rho_L = 1), Zc = 50:
+  // launch 0.25; far end staircases 0.5, 0.75, 0.875, ... -> 1.0 with one
+  // increment per source round trip (2 Td).
+  LineFixture f;
+  f.build(150.0, 1e9);
+  const auto res = f.run(7e-9);
+  const Waveform& vf = res.at("far");
+  EXPECT_NEAR(vf.value(1.5e-9), 0.5, 1e-2);     // first arrival doubled
+  EXPECT_NEAR(vf.value(3.5e-9), 0.75, 1e-2);    // + 0.5 * 0.5 / 2... = geometric step
+  EXPECT_NEAR(vf.value(5.5e-9), 0.875, 1e-2);   // next bounce
+  EXPECT_NEAR(vf.value(6.9e-9), 0.875, 2e-2);   // holds until the next round trip
+}
+
+TEST(IdealLine, DelayObservedAccurately) {
+  LineFixture f;
+  f.build(50.0, 50.0);
+  const auto res = f.run(3e-9);
+  const Waveform& vf = res.at("far");
+  // Find the 50%-of-final crossing time: should be close to Td.
+  double t_cross = 0.0;
+  for (std::size_t k = 1; k < vf.size(); ++k) {
+    if (vf[k] >= 0.25) {
+      t_cross = vf.dt() * static_cast<double>(k);
+      break;
+    }
+  }
+  EXPECT_NEAR(t_cross, 1e-9, 0.05e-9);
+}
+
+}  // namespace
+}  // namespace fdtdmm

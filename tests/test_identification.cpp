@@ -1,0 +1,268 @@
+// Tests for the macromodel identification pipeline on synthetic devices
+// with known ground truth.
+#include "rbf/identification.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+namespace {
+
+/// Synthetic nonlinear dynamic device for ground-truth tests:
+/// i_m = g(v_m) + c (v_m - v_{m-1}) / Ts with g a tanh-like conductance.
+/// (A static nonlinearity plus a capacitive term: the same structure as a
+/// fixed-state driver port.)
+struct SyntheticDevice {
+  double ts = 50e-12;
+  double c = 1e-12;
+  double g0 = 0.02;
+
+  double staticCurrent(double v) const { return g0 * std::tanh(v - 0.9); }
+
+  std::pair<Waveform, Waveform> respond(const Waveform& v) const {
+    Vector i(v.size());
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      const double v_prev = m > 0 ? v[m - 1] : v[0];
+      i[m] = staticCurrent(v[m]) + c * (v[m] - v_prev) / ts;
+    }
+    return {v, Waveform(v.t0(), v.dt(), std::move(i))};
+  }
+};
+
+Waveform trainingExcitation(double ts, std::uint64_t seed) {
+  MultilevelOptions mo;
+  mo.v_min = -0.5;
+  mo.v_max = 2.3;
+  mo.seed = seed;
+  return multilevelRandom(80e-9, ts, mo);
+}
+
+TEST(FitGaussianSubmodel, LearnsSyntheticDevice) {
+  SyntheticDevice dev;
+  const Waveform v_train = trainingExcitation(dev.ts, 21);
+  auto [vt, it] = dev.respond(v_train);
+
+  SubmodelFitOptions opt;
+  opt.order = 2;
+  opt.centers = 40;
+  const auto model = fitGaussianSubmodel(vt, it, opt);
+
+  // Validate on a *different* excitation, in parallel (output-error) form.
+  const Waveform v_val = trainingExcitation(dev.ts, 77);
+  auto [vv, iv] = dev.respond(v_val);
+  const Waveform i_model = simulateSubmodel(*model, vv, vv[0]);
+  EXPECT_LT(nrmse(i_model.samples(), iv.samples()), 0.08);
+}
+
+TEST(FitGaussianSubmodel, MoreCentersFitBetterInSample) {
+  SyntheticDevice dev;
+  const Waveform v_train = trainingExcitation(dev.ts, 13);
+  auto [vt, it] = dev.respond(v_train);
+
+  double prev_err = 1e9;
+  for (const std::size_t centers : {6u, 20u, 60u}) {
+    SubmodelFitOptions opt;
+    opt.centers = centers;
+    const auto model = fitGaussianSubmodel(vt, it, opt);
+    const Waveform i_model = simulateSubmodel(*model, vt, vt[0]);
+    const double err = nrmse(i_model.samples(), it.samples());
+    EXPECT_LT(err, prev_err * 1.5) << centers;  // no catastrophic regressions
+    prev_err = std::min(prev_err, err);
+  }
+  EXPECT_LT(prev_err, 0.08);
+}
+
+TEST(FitGaussianSubmodel, Validation) {
+  Waveform v(0.0, 1e-10, Vector(100, 0.0));
+  Waveform i_short(0.0, 1e-10, Vector(99, 0.0));
+  EXPECT_THROW(fitGaussianSubmodel(v, i_short), std::invalid_argument);
+  SubmodelFitOptions bad;
+  bad.order = 0;
+  Waveform i(0.0, 1e-10, Vector(100, 0.0));
+  EXPECT_THROW(fitGaussianSubmodel(v, i, bad), std::invalid_argument);
+  Waveform tiny(0.0, 1e-10, Vector(4, 0.0));
+  EXPECT_THROW(fitGaussianSubmodel(tiny, tiny), std::invalid_argument);
+}
+
+TEST(SimulateSubmodel, LinearModelMatchesRecursion) {
+  LinearArxParams p;
+  p.order = 1;
+  p.ts = 1e-10;
+  p.a = {0.5};
+  p.b = {0.1, 0.0};
+  LinearArxSubmodel m(p);
+  const Waveform v(0.0, 1e-10, {0.0, 1.0, 1.0, 1.0, 1.0});
+  const Waveform i = simulateSubmodel(m, v, 0.0);
+  // i_m = 0.5 i_{m-1} + 0.1 v_m: 0, .1, .15, .175, .1875
+  EXPECT_NEAR(i[0], 0.0, 1e-15);
+  EXPECT_NEAR(i[1], 0.1, 1e-15);
+  EXPECT_NEAR(i[2], 0.15, 1e-15);
+  EXPECT_NEAR(i[4], 0.1875, 1e-15);
+}
+
+/// Synthetic switching device with *known* weights: i = w(t) i_hi + (1-w) i_lo,
+/// where i_hi/i_lo are static conductances to the rails and w is a known
+/// raised-cosine transition.
+struct SyntheticSwitcher {
+  double ts = 50e-12;
+  double bit_time = 2e-9;
+  double edge = 0.6e-9;
+
+  double weight(double t) const {
+    // '010' pattern: rise at 2 ns, fall at 4 ns.
+    auto ramp = [&](double tr) {
+      if (tr <= 0.0) return 0.0;
+      if (tr >= edge) return 1.0;
+      return 0.5 * (1.0 - std::cos(M_PI * tr / edge));
+    };
+    return ramp(t - bit_time) * (1.0 - ramp(t - 2.0 * bit_time));
+  }
+  double iHi(double v) const { return 0.03 * (v - 1.8); }
+  double iLo(double v) const { return 0.04 * v; }
+
+  std::pair<Waveform, Waveform> respond(double r_load, double v_ref) const {
+    // Solve the resistive circuit per sample: i_dev(v) + (v - v_ref)/R = 0.
+    const auto n = static_cast<std::size_t>(3.0 * bit_time / ts);
+    Vector v(n), i(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      const double t = ts * static_cast<double>(m);
+      const double w = weight(t);
+      // i_dev = w iHi + (1-w) iLo is linear in v: solve directly.
+      const double g_dev = w * 0.03 + (1.0 - w) * 0.04;
+      const double i0 = w * (-0.03 * 1.8);
+      // g_dev v + i0 + (v - v_ref)/R = 0.
+      v[m] = (v_ref / r_load - i0) / (g_dev + 1.0 / r_load);
+      i[m] = g_dev * v[m] + i0;
+    }
+    return {Waveform(0.0, ts, std::move(v)), Waveform(0.0, ts, std::move(i))};
+  }
+};
+
+TEST(ExtractSwitchingWeights, RecoversKnownTransition) {
+  SyntheticSwitcher dev;
+  // Fit the two fixed-state submodels from a dynamic excitation covering
+  // the regressor space the switching records will visit.
+  MultilevelOptions mo;
+  mo.v_min = -0.5;
+  mo.v_max = 2.5;
+  mo.seed = 404;
+  const Waveform v_train = multilevelRandom(60e-9, dev.ts, mo);
+  Vector ihi(v_train.size()), ilo(v_train.size());
+  for (std::size_t k = 0; k < v_train.size(); ++k) {
+    ihi[k] = dev.iHi(v_train[k]);
+    ilo[k] = dev.iLo(v_train[k]);
+  }
+  SubmodelFitOptions fo;
+  fo.centers = 30;
+  const auto up = fitGaussianSubmodel(v_train, Waveform(0.0, dev.ts, ihi), fo);
+  const auto down = fitGaussianSubmodel(v_train, Waveform(0.0, dev.ts, ilo), fo);
+
+  auto [v1, i1] = dev.respond(75.0, 0.0);
+  auto [v2, i2] = dev.respond(150.0, 1.8);
+  const BitPattern pattern("010", dev.bit_time);
+  const SwitchingWeights w = extractSwitchingWeights(*up, *down, v1, i1, v2, i2, pattern);
+
+  ASSERT_FALSE(w.wu_up.empty());
+  ASSERT_FALSE(w.wu_down.empty());
+  // Compare the extracted up-edge template against the known raised cosine.
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < w.wu_up.size(); ++k) {
+    const double t_rel = w.wu_up.dt() * static_cast<double>(k);
+    const double truth = dev.weight(dev.bit_time + t_rel);
+    max_err = std::max(max_err, std::abs(w.wu_up[k] - truth));
+  }
+  EXPECT_LT(max_err, 0.15);
+  // Complementarity: wu + wd stays near 1 for this synthetic device.
+  for (std::size_t k = 0; k < w.wu_up.size(); ++k) {
+    EXPECT_NEAR(w.wu_up[k] + w.wd_up[k], 1.0, 0.2);
+  }
+  // Steady ends.
+  EXPECT_NEAR(w.wu_up.samples().back(), 1.0, 0.05);
+  EXPECT_NEAR(w.wd_up.samples().back(), 0.0, 0.05);
+}
+
+TEST(ExtractSwitchingWeights, PatternValidation) {
+  SubmodelFitOptions fo;
+  fo.centers = 4;
+  Waveform v(0.0, 50e-12, Vector(200, 1.0));
+  for (std::size_t k = 0; k < 200; ++k) v.samples()[k] = std::sin(0.1 * k);
+  Waveform i = v;
+  const auto m = fitGaussianSubmodel(v, i, fo);
+  EXPECT_THROW(extractSwitchingWeights(*m, *m, v, i, v, i, BitPattern("0", 1e-9)),
+               std::invalid_argument);
+  EXPECT_THROW(extractSwitchingWeights(*m, *m, v, i, v, i, BitPattern("0101", 1e-9)),
+               std::invalid_argument);
+}
+
+/// Synthetic receiver: linear RC inside the rails plus diode-ish clamps.
+struct SyntheticReceiver {
+  double ts = 50e-12;
+  double c = 1.2e-12;
+  double g = 1e-5;
+  double vdd = 1.8;
+
+  std::pair<Waveform, Waveform> respond(const Waveform& v) const {
+    Vector i(v.size());
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      const double v_prev = m > 0 ? v[m - 1] : v[0];
+      double cur = g * v[m] + c * (v[m] - v_prev) / ts;
+      if (v[m] > vdd) cur += 0.05 * (v[m] - vdd);   // up clamp
+      if (v[m] < 0.0) cur += 0.05 * v[m];            // down clamp
+      i[m] = cur;
+    }
+    return {v, Waveform(v.t0(), v.dt(), std::move(i))};
+  }
+};
+
+TEST(FitReceiverModel, LearnsSyntheticReceiver) {
+  SyntheticReceiver dev;
+  MultilevelOptions lin;
+  lin.v_min = 0.1;
+  lin.v_max = 1.7;
+  lin.seed = 31;
+  const Waveform v_lin = multilevelRandom(60e-9, dev.ts, lin);
+  MultilevelOptions full;
+  full.v_min = -1.0;
+  full.v_max = 2.8;
+  full.seed = 32;
+  const Waveform v_full = multilevelRandom(60e-9, dev.ts, full);
+
+  auto [vl, il] = dev.respond(v_lin);
+  auto [vf, i_f] = dev.respond(v_full);
+  const RbfReceiverModel model = fitReceiverModel(vl, il, vf, i_f, dev.vdd);
+
+  ASSERT_TRUE(model.lin && model.up && model.down);
+  EXPECT_LT(model.lin->poleRadius(), 1.0);
+
+  // Validation on a fresh full-range excitation.
+  MultilevelOptions val;
+  val.v_min = -1.0;
+  val.v_max = 2.8;
+  val.seed = 99;
+  const Waveform v_val = multilevelRandom(40e-9, dev.ts, val);
+  auto [vv, iv] = dev.respond(v_val);
+
+  // Simulate the full receiver model (three parallel submodels).
+  ResampledSubmodelState s_lin(model.lin.get(), dev.ts);
+  ResampledSubmodelState s_up(model.up.get(), dev.ts);
+  ResampledSubmodelState s_down(model.down.get(), dev.ts);
+  s_lin.reset(vv[0]);
+  s_up.reset(vv[0]);
+  s_down.reset(vv[0]);
+  Vector i_model(vv.size());
+  for (std::size_t m = 0; m < vv.size(); ++m) {
+    double d = 0.0;
+    i_model[m] = s_lin.eval(vv[m], d) + s_up.eval(vv[m], d) + s_down.eval(vv[m], d);
+    s_lin.commit(vv[m]);
+    s_up.commit(vv[m]);
+    s_down.commit(vv[m]);
+  }
+  EXPECT_LT(nrmse(i_model, iv.samples()), 0.12);
+}
+
+}  // namespace
+}  // namespace fdtdmm

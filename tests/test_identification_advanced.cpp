@@ -1,0 +1,160 @@
+// Deeper identification-pipeline tests: the current-regressor (x_i) path,
+// fit diagnostics, determinism, and static-curve fidelity of the cached
+// default macromodels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.h"
+#include "core/model_factory.h"
+#include "devices/cmos_driver.h"
+#include "math/stats.h"
+#include "rbf/identification.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+namespace {
+
+/// Synthetic device (same structure as a fixed-state port): static tanh
+/// conductance plus a capacitive term.
+struct SyntheticDevice {
+  double ts = 50e-12;
+  double c = 1e-12;
+  double g0 = 0.02;
+  std::pair<Waveform, Waveform> respond(const Waveform& v) const {
+    Vector i(v.size());
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      const double v_prev = m > 0 ? v[m - 1] : v[0];
+      i[m] = g0 * std::tanh(v[m] - 0.9) + c * (v[m] - v_prev) / ts;
+    }
+    return {v, Waveform(v.t0(), v.dt(), std::move(i))};
+  }
+};
+
+Waveform excitation(double ts, std::uint64_t seed) {
+  MultilevelOptions mo;
+  mo.v_min = -0.5;
+  mo.v_max = 2.3;
+  mo.seed = seed;
+  return multilevelRandom(80e-9, ts, mo);
+}
+
+TEST(IdentAdvanced, CurrentRegressorPathValidates) {
+  // The full Eq. (2) regressor (with x_i) must also produce a usable model
+  // when enabled explicitly; the fit-time parallel validation plus DC
+  // anchoring keep the feedback tame on this well-behaved device.
+  SyntheticDevice dev;
+  auto [vt, it] = dev.respond(excitation(dev.ts, 51));
+  SubmodelFitOptions opt;
+  opt.use_current_regressors = true;
+  opt.centers = 40;
+  FitReport report;
+  const auto model = fitGaussianSubmodel(vt, it, opt, &report);
+  EXPECT_GT(model->params().i_scale, 0.0);  // x_i actually participates
+  auto [vv, iv] = dev.respond(excitation(dev.ts, 151));
+  const Waveform i_sim = simulateSubmodel(*model, vv, vv[0]);
+  EXPECT_LT(nrmse(i_sim.samples(), iv.samples()), 0.1);
+  EXPECT_LE(report.best_error, 0.1);
+}
+
+TEST(IdentAdvanced, FitReportPopulated) {
+  SyntheticDevice dev;
+  auto [vt, it] = dev.respond(excitation(dev.ts, 52));
+  SubmodelFitOptions opt;
+  FitReport report;
+  const auto model = fitGaussianSubmodel(vt, it, opt, &report);
+  ASSERT_FALSE(report.attempts.empty());
+  EXPECT_GT(report.beta, 0.0);
+  EXPECT_GT(report.anchors, 0u);  // the multilevel excitation holds levels
+  EXPECT_DOUBLE_EQ(report.i_scale, model->params().i_scale);
+  // best_error is the max of the two validation errors of the kept attempt.
+  const auto& first = report.attempts.front();
+  EXPECT_LE(report.best_error,
+            std::max(first.parallel_nrmse, first.resampled_nrmse) + 1e-12);
+  for (const auto& a : report.attempts) EXPECT_GT(a.ridge, 0.0);
+}
+
+TEST(IdentAdvanced, DeterministicForFixedSeed) {
+  SyntheticDevice dev;
+  auto [vt, it] = dev.respond(excitation(dev.ts, 53));
+  SubmodelFitOptions opt;
+  opt.seed = 99;
+  const auto a = fitGaussianSubmodel(vt, it, opt);
+  const auto b = fitGaussianSubmodel(vt, it, opt);
+  ASSERT_EQ(a->params().theta.size(), b->params().theta.size());
+  for (std::size_t l = 0; l < a->params().theta.size(); ++l) {
+    EXPECT_DOUBLE_EQ(a->params().theta[l], b->params().theta[l]);
+    EXPECT_DOUBLE_EQ(a->params().c0[l], b->params().c0[l]);
+  }
+}
+
+/// DC sweep of the transistor driver port at a fixed logic state.
+double transistorStaticCurrent(bool high, double v) {
+  Circuit c;
+  const double level = high ? 1.0 : 0.0;
+  auto drv = buildCmosDriver(c, defaultDriverDevice(), [level](double) { return level; });
+  VoltageSource* src =
+      c.addVoltageSource(drv.pad, Circuit::kGround, [v](double) { return v; });
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 0.1e-9;
+  opt.settle_time = 6e-9;
+  const auto res = runTransient(c, opt, {}, {{"i", src}});
+  return -res.at("i").samples().back();
+}
+
+TEST(IdentAdvanced, MacromodelStaticCurvesMatchTransistor) {
+  const auto model = defaultDriverModel();
+  for (const bool high : {true, false}) {
+    const auto& sub = high ? model->up : model->down;
+    for (const double v : {-0.3, 0.0, 0.45, 0.9, 1.35, 1.8, 2.1}) {
+      // Steady-state macromodel current at constant v: fixed point of the
+      // submodel with steady regressors.
+      ResampledSubmodelState st(sub.get(), model->ts);
+      st.reset(v);
+      double didv = 0.0;
+      const double i_model = st.eval(v, didv);
+      const double i_ref = transistorStaticCurrent(high, v);
+      // Within a few percent of the full-scale current (~60 mA).
+      EXPECT_NEAR(i_model, i_ref, 4e-3)
+          << (high ? "HIGH" : "LOW") << " v=" << v;
+    }
+  }
+}
+
+TEST(IdentAdvanced, ReceiverClampSignsAtRuntime) {
+  const auto model = defaultReceiverModel();
+  RbfReceiverPort port(model, 0.9);
+  port.prepare(5e-12);
+  // March the port beyond each rail and check the clamp current signs:
+  // above vdd the device sinks (i > 0), below ground it sources (i < 0).
+  double didv = 0.0;
+  double i_hi = 0.0, i_lo = 0.0;
+  for (int k = 0; k < 3000; ++k) {
+    i_hi = port.current(2.6, 0.0, didv);
+    port.commit(2.6, 0.0);
+  }
+  EXPECT_GT(i_hi, 5e-3);
+  for (int k = 0; k < 3000; ++k) {
+    i_lo = port.current(-0.8, 0.0, didv);
+    port.commit(-0.8, 0.0);
+  }
+  EXPECT_LT(i_lo, -5e-3);
+}
+
+TEST(IdentAdvanced, ReceiverNearlyLinearInsideRails) {
+  const auto model = defaultReceiverModel();
+  RbfReceiverPort port(model, 0.9);
+  port.prepare(5e-12);
+  // DC current magnitude inside the rails is leakage-scale.
+  double didv = 0.0;
+  double i_mid = 0.0;
+  for (int k = 0; k < 3000; ++k) {
+    i_mid = port.current(0.9, 0.0, didv);
+    port.commit(0.9, 0.0);
+  }
+  EXPECT_LT(std::abs(i_mid), 5e-4);
+}
+
+}  // namespace
+}  // namespace fdtdmm

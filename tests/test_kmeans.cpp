@@ -1,0 +1,90 @@
+// Unit tests for k-means clustering (RBF center placement).
+#include "math/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace fdtdmm {
+namespace {
+
+std::vector<Vector> threeBlobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> pts;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers) {
+    for (std::size_t k = 0; k < per_blob; ++k) {
+      pts.push_back({c[0] + 0.3 * rng.normal(), c[1] + 0.3 * rng.normal()});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const auto pts = threeBlobs(50, 11);
+  const KMeansResult res = kMeans(pts, 3);
+  ASSERT_EQ(res.centers.size(), 3u);
+  // Every center should be within 1.0 of one of the true blob centers.
+  const double truth[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const Vector& c : res.centers) {
+    double best = 1e9;
+    for (const auto& t : truth) {
+      const double d = std::hypot(c[0] - t[0], c[1] - t[1]);
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  EXPECT_LT(res.inertia / static_cast<double>(pts.size()), 0.5);
+}
+
+TEST(KMeans, LabelsMatchNearestCenter) {
+  const auto pts = threeBlobs(30, 5);
+  const KMeansResult res = kMeans(pts, 3);
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    double d_assigned = 0.0, d_best = 1e18;
+    for (std::size_t c = 0; c < res.centers.size(); ++c) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < pts[p].size(); ++k) {
+        const double u = pts[p][k] - res.centers[c][k];
+        d += u * u;
+      }
+      if (c == res.labels[p]) d_assigned = d;
+      d_best = std::min(d_best, d);
+    }
+    EXPECT_DOUBLE_EQ(d_assigned, d_best);
+  }
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto pts = threeBlobs(20, 3);
+  KMeansOptions opt;
+  opt.seed = 77;
+  const auto a = kMeans(pts, 4, opt);
+  const auto b = kMeans(pts, 4, opt);
+  ASSERT_EQ(a.centers.size(), b.centers.size());
+  for (std::size_t c = 0; c < a.centers.size(); ++c) {
+    for (std::size_t k = 0; k < a.centers[c].size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.centers[c][k], b.centers[c][k]);
+    }
+  }
+}
+
+TEST(KMeans, KEqualsNIsExact) {
+  std::vector<Vector> pts{{0.0}, {1.0}, {2.0}};
+  const auto res = kMeans(pts, 3);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, InvalidInputsThrow) {
+  std::vector<Vector> pts{{0.0}, {1.0}};
+  EXPECT_THROW(kMeans({}, 1), std::invalid_argument);
+  EXPECT_THROW(kMeans(pts, 0), std::invalid_argument);
+  EXPECT_THROW(kMeans(pts, 3), std::invalid_argument);
+  std::vector<Vector> ragged{{0.0}, {1.0, 2.0}};
+  EXPECT_THROW(kMeans(ragged, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,83 @@
+// Unit tests for the elementary PortModel implementations.
+#include "signal/linear_ports.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+TEST(ResistorPort, OhmsLaw) {
+  ResistorPort r(50.0);
+  r.prepare(1e-12);
+  double g = 0.0;
+  EXPECT_DOUBLE_EQ(r.current(2.0, 0.0, g), 0.04);
+  EXPECT_DOUBLE_EQ(g, 0.02);
+  EXPECT_THROW(ResistorPort(0.0), std::invalid_argument);
+}
+
+TEST(ParallelRcPort, DcBehavesAsResistor) {
+  ParallelRcPort rc(500.0, 1e-12);
+  rc.prepare(1e-12);
+  // Hold a constant voltage for many steps: capacitor current decays to 0.
+  double g = 0.0;
+  double i = 0.0;
+  for (int k = 0; k < 2000; ++k) {
+    i = rc.current(1.0, 0.0, g);
+    rc.commit(1.0, 0.0);
+  }
+  EXPECT_NEAR(i, 1.0 / 500.0, 1e-9);
+}
+
+TEST(ParallelRcPort, CapacitorChargeConservation) {
+  // Pure capacitor: integral of i dt over a ramp 0 -> V equals C*V.
+  const double c = 2e-12, dt = 1e-12;
+  ParallelRcPort cap(-1.0, c);
+  cap.prepare(dt);
+  double q = 0.0;
+  const int n = 100;
+  double v_prev = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    const double v = static_cast<double>(k) / n;  // ramp to 1 V
+    double g = 0.0;
+    const double i = cap.current(v, 0.0, g);
+    // Trapezoidal charge accumulation (i is the end-of-step current).
+    q += dt * i;
+    cap.commit(v, 0.0);
+    v_prev = v;
+  }
+  (void)v_prev;
+  EXPECT_NEAR(q, c * 1.0, c * 0.02);
+}
+
+TEST(ParallelRcPort, Validation) {
+  EXPECT_THROW(ParallelRcPort(-1.0, -1.0), std::invalid_argument);
+  ParallelRcPort ok(100.0, -1.0);  // resistor only
+  ok.prepare(1e-12);
+  double g = 0.0;
+  EXPECT_DOUBLE_EQ(ok.current(1.0, 0.0, g), 0.01);
+}
+
+TEST(TheveninPort, SourceAndSlope) {
+  TheveninPort th([](double t) { return t < 1.0 ? 0.0 : 2.0; }, 50.0);
+  th.prepare(1e-12);
+  double g = 0.0;
+  EXPECT_DOUBLE_EQ(th.current(1.0, 0.0, g), 0.02);   // (1 - 0)/50
+  EXPECT_DOUBLE_EQ(th.current(1.0, 2.0, g), -0.02);  // (1 - 2)/50
+  EXPECT_DOUBLE_EQ(g, 0.02);
+  EXPECT_THROW(TheveninPort(nullptr, 50.0), std::invalid_argument);
+  EXPECT_THROW(TheveninPort([](double) { return 0.0; }, 0.0), std::invalid_argument);
+}
+
+TEST(OpenPort, NoCurrent) {
+  OpenPort open;
+  open.prepare(1e-12);
+  double g = 1.0;
+  EXPECT_DOUBLE_EQ(open.current(5.0, 0.0, g), 0.0);
+  EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,130 @@
+// End-to-end identification tests: transistor-level device -> RBF
+// macromodel -> validation under unseen loads (the paper's core accuracy
+// claim: "virtually undistinguishable response under very different
+// loading conditions").
+#include "core/model_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.h"
+#include "math/stats.h"
+#include "rbf/driver_model.h"
+#include "rbf/receiver_model.h"
+
+namespace fdtdmm {
+namespace {
+
+/// Runs the transistor-level driver with pattern '010' into (r_load, v_ref)
+/// and returns the pad voltage.
+Waveform transistorReference(double r_load, double v_ref) {
+  Circuit c;
+  const BitPattern pat("010", 2e-9);
+  auto drv = buildCmosDriver(c, defaultDriverDevice(), [pat](double t) {
+    return static_cast<double>(pat.levelAt(t));
+  });
+  const int ref = c.addNode();
+  c.addVoltageSource(ref, Circuit::kGround, [v_ref](double) { return v_ref; });
+  c.addResistor(drv.pad, ref, r_load);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 6e-9;
+  opt.settle_time = 4e-9;
+  return runTransient(c, opt, {{"v", drv.pad, 0}}).at("v");
+}
+
+/// Runs the RBF driver macromodel into the same load via the MNA engine.
+Waveform macromodelRun(std::shared_ptr<const RbfDriverModel> model, double r_load,
+                       double v_ref) {
+  Circuit c;
+  const BitPattern pat("010", 2e-9);
+  const int pad = c.addNode();
+  const int ref = c.addNode();
+  c.addBehavioralPort(pad, Circuit::kGround,
+                      std::make_shared<RbfDriverPort>(model, pat));
+  c.addVoltageSource(ref, Circuit::kGround, [v_ref](double) { return v_ref; });
+  c.addResistor(pad, ref, r_load);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 6e-9;
+  opt.settle_time = 1e-9;
+  return runTransient(c, opt, {{"v", pad, 0}}).at("v");
+}
+
+TEST(ModelFactory, DriverMacromodelMatchesTransistorUnderUnseenLoads) {
+  const auto model = defaultDriverModel();
+  ASSERT_TRUE(model && model->up && model->down);
+  // Loads deliberately different from the identification loads (75 to gnd,
+  // 150 to vdd): test 55 ohm to ground and 220 ohm to vdd.
+  for (const auto& [r, vref] : {std::pair{55.0, 0.0}, std::pair{220.0, 1.8}}) {
+    const Waveform ref = transistorReference(r, vref);
+    const Waveform mm = macromodelRun(model, r, vref);
+    ASSERT_EQ(ref.size(), mm.size());
+    const double err = nrmse(mm.samples(), ref.samples());
+    EXPECT_LT(err, 0.06) << "R=" << r << " Vref=" << vref;
+  }
+}
+
+TEST(ModelFactory, DriverSteadyLevelsMatch) {
+  const auto model = defaultDriverModel();
+  const Waveform mm = macromodelRun(model, 100.0, 0.0);
+  const Waveform ref = transistorReference(100.0, 0.0);
+  // Steady LOW at t ~ 1.9 ns, steady HIGH at t ~ 3.9 ns.
+  EXPECT_NEAR(mm.value(1.9e-9), ref.value(1.9e-9), 0.05);
+  EXPECT_NEAR(mm.value(3.9e-9), ref.value(3.9e-9), 0.08);
+}
+
+TEST(ModelFactory, WeightsSettleToSteadyValues) {
+  const auto model = defaultDriverModel();
+  ASSERT_FALSE(model->weights.wu_up.empty());
+  EXPECT_NEAR(model->weights.wu_up.samples().back(), 1.0, 0.05);
+  EXPECT_NEAR(model->weights.wd_up.samples().back(), 0.0, 0.05);
+  EXPECT_NEAR(model->weights.wu_down.samples().back(), 0.0, 0.05);
+  EXPECT_NEAR(model->weights.wd_down.samples().back(), 1.0, 0.05);
+}
+
+TEST(ModelFactory, ReceiverMacromodelTracksTransistorReceiver) {
+  const auto model = defaultReceiverModel();
+  ASSERT_TRUE(model && model->lin && model->up && model->down);
+  EXPECT_LT(model->lin->poleRadius(), 1.0);
+
+  // Drive both the transistor receiver and the macromodel from a 50-ohm
+  // source swinging beyond the rails; compare the pad voltages.
+  const TimeFn vs = [](double t) {
+    return 1.5 * std::sin(2.0 * M_PI * 0.4e9 * t) + 0.9;
+  };
+  // Transistor-level.
+  Circuit c1;
+  auto rcv = buildCmosReceiver(c1, defaultReceiverDevice());
+  const int s1 = c1.addNode();
+  c1.addVoltageSource(s1, Circuit::kGround, vs);
+  c1.addResistor(s1, rcv.pad, 50.0);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 6e-9;
+  opt.settle_time = 2e-9;
+  const Waveform ref = runTransient(c1, opt, {{"v", rcv.pad, 0}}).at("v");
+  // Macromodel.
+  Circuit c2;
+  const int pad = c2.addNode();
+  const int s2 = c2.addNode();
+  c2.addBehavioralPort(pad, Circuit::kGround, std::make_shared<RbfReceiverPort>(model));
+  c2.addVoltageSource(s2, Circuit::kGround, vs);
+  c2.addResistor(s2, pad, 50.0);
+  const Waveform mm = runTransient(c2, opt, {{"v", pad, 0}}).at("v");
+
+  EXPECT_LT(nrmse(mm.samples(), ref.samples()), 0.08);
+}
+
+TEST(ModelFactory, DefaultModelsAreCached) {
+  const auto a = defaultDriverModel();
+  const auto b = defaultDriverModel();
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = defaultReceiverModel();
+  const auto d = defaultReceiverModel();
+  EXPECT_EQ(c.get(), d.get());
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,134 @@
+// Round-trip tests for macromodel (de)serialization.
+#include "rbf/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fdtdmm {
+namespace {
+
+GaussianRbfParams someGaussianParams(int seed) {
+  GaussianRbfParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.beta = 0.4 + 0.01 * seed;
+  p.i_scale = 123.456;
+  p.theta = {0.01, -0.02, 0.003};
+  p.c0 = {0.1, 0.9, 1.7};
+  p.cv = {{0.1, 0.2}, {0.9, 1.0}, {1.7, 1.6}};
+  p.ci = {{0.0, 0.1}, {0.2, 0.3}, {-0.1, -0.2}};
+  return p;
+}
+
+RbfDriverModel someDriver() {
+  RbfDriverModel m;
+  m.up = std::make_shared<GaussianRbfSubmodel>(someGaussianParams(1));
+  m.down = std::make_shared<GaussianRbfSubmodel>(someGaussianParams(2));
+  m.ts = 50e-12;
+  m.vdd = 1.8;
+  m.weights.wu_up = Waveform(0.0, 50e-12, {0.0, 0.5, 1.0});
+  m.weights.wd_up = Waveform(0.0, 50e-12, {1.0, 0.5, 0.0});
+  m.weights.wu_down = Waveform(0.0, 50e-12, {1.0, 0.4, 0.0});
+  m.weights.wd_down = Waveform(0.0, 50e-12, {0.0, 0.6, 1.0});
+  return m;
+}
+
+void expectGaussianEq(const GaussianRbfSubmodel& a, const GaussianRbfSubmodel& b) {
+  const auto& pa = a.params();
+  const auto& pb = b.params();
+  EXPECT_EQ(pa.order, pb.order);
+  EXPECT_DOUBLE_EQ(pa.ts, pb.ts);
+  EXPECT_DOUBLE_EQ(pa.beta, pb.beta);
+  EXPECT_DOUBLE_EQ(pa.i_scale, pb.i_scale);
+  ASSERT_EQ(pa.theta.size(), pb.theta.size());
+  for (std::size_t l = 0; l < pa.theta.size(); ++l) {
+    EXPECT_DOUBLE_EQ(pa.theta[l], pb.theta[l]);
+    EXPECT_DOUBLE_EQ(pa.c0[l], pb.c0[l]);
+    for (std::size_t k = 0; k < pa.cv[l].size(); ++k) {
+      EXPECT_DOUBLE_EQ(pa.cv[l][k], pb.cv[l][k]);
+      EXPECT_DOUBLE_EQ(pa.ci[l][k], pb.ci[l][k]);
+    }
+  }
+}
+
+TEST(ModelIo, DriverRoundTripThroughStream) {
+  const RbfDriverModel m = someDriver();
+  std::stringstream ss;
+  writeDriverModel(m, ss);
+  const RbfDriverModel r = readDriverModel(ss);
+  EXPECT_DOUBLE_EQ(r.ts, m.ts);
+  EXPECT_DOUBLE_EQ(r.vdd, m.vdd);
+  expectGaussianEq(*r.up, *m.up);
+  expectGaussianEq(*r.down, *m.down);
+  ASSERT_EQ(r.weights.wu_up.size(), m.weights.wu_up.size());
+  for (std::size_t k = 0; k < m.weights.wu_up.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r.weights.wu_up[k], m.weights.wu_up[k]);
+    EXPECT_DOUBLE_EQ(r.weights.wd_down[k], m.weights.wd_down[k]);
+  }
+}
+
+TEST(ModelIo, DriverRoundTripThroughFile) {
+  const std::string path = testing::TempDir() + "driver_model_test.txt";
+  const RbfDriverModel m = someDriver();
+  saveDriverModel(m, path);
+  const RbfDriverModel r = loadDriverModel(path);
+  expectGaussianEq(*r.up, *m.up);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, ReceiverRoundTrip) {
+  RbfReceiverModel m;
+  LinearArxParams lp;
+  lp.order = 2;
+  lp.ts = 50e-12;
+  lp.a = {0.25, -0.03};
+  lp.b = {0.002, 0.0001, -0.00005};
+  m.lin = std::make_shared<LinearArxSubmodel>(lp);
+  m.up = std::make_shared<GaussianRbfSubmodel>(someGaussianParams(3));
+  m.down = std::make_shared<GaussianRbfSubmodel>(someGaussianParams(4));
+  m.ts = 50e-12;
+  m.vdd = 1.8;
+
+  std::stringstream ss;
+  writeReceiverModel(m, ss);
+  const RbfReceiverModel r = readReceiverModel(ss);
+  EXPECT_DOUBLE_EQ(r.vdd, 1.8);
+  const auto& la = r.lin->params();
+  EXPECT_DOUBLE_EQ(la.a[0], 0.25);
+  EXPECT_DOUBLE_EQ(la.a[1], -0.03);
+  EXPECT_DOUBLE_EQ(la.b[2], -0.00005);
+  expectGaussianEq(*r.up, *m.up);
+  expectGaussianEq(*r.down, *m.down);
+}
+
+TEST(ModelIo, CorruptInputThrows) {
+  std::stringstream ss("not-a-model at all");
+  EXPECT_THROW(readDriverModel(ss), std::runtime_error);
+  std::stringstream ss2("fdtdmm-driver-model-v1\nts 5e-11 vdd 1.8\ngarbage");
+  EXPECT_THROW(readDriverModel(ss2), std::runtime_error);
+  EXPECT_THROW(loadDriverModel("/nonexistent/path/model.txt"), std::runtime_error);
+}
+
+TEST(ModelIo, IncompleteModelRejectedOnWrite) {
+  RbfDriverModel empty;
+  std::stringstream ss;
+  EXPECT_THROW(writeDriverModel(empty, ss), std::runtime_error);
+  RbfReceiverModel empty_r;
+  EXPECT_THROW(writeReceiverModel(empty_r, ss), std::runtime_error);
+}
+
+TEST(ModelIo, SerializedModelEvaluatesIdentically) {
+  const RbfDriverModel m = someDriver();
+  std::stringstream ss;
+  writeDriverModel(m, ss);
+  const RbfDriverModel r = readDriverModel(ss);
+  const Vector xv{0.4, 0.6}, xi{0.001, -0.002};
+  for (double v : {-0.2, 0.5, 1.1, 1.9}) {
+    EXPECT_DOUBLE_EQ(m.up->eval(v, xv, xi), r.up->eval(v, xv, xi));
+    EXPECT_DOUBLE_EQ(m.down->eval(v, xv, xi), r.down->eval(v, xv, xi));
+  }
+}
+
+}  // namespace
+}  // namespace fdtdmm

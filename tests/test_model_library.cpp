@@ -1,0 +1,127 @@
+// Tests for the directory-backed component model library.
+#include "rbf/model_library.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace fdtdmm {
+namespace {
+
+GaussianRbfParams tinyParams() {
+  GaussianRbfParams p;
+  p.order = 1;
+  p.ts = 50e-12;
+  p.beta = 0.5;
+  p.i_scale = 1.0;
+  p.theta = {0.01};
+  p.c0 = {0.9};
+  p.cv = {{0.9}};
+  p.ci = {{0.0}};
+  return p;
+}
+
+RbfDriverModel tinyDriver() {
+  RbfDriverModel m;
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  m.weights.wu_up = Waveform(0.0, 50e-12, {0.0, 1.0});
+  m.weights.wd_up = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wu_down = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wd_down = Waveform(0.0, 50e-12, {0.0, 1.0});
+  return m;
+}
+
+RbfReceiverModel tinyReceiver() {
+  RbfReceiverModel m;
+  LinearArxParams lp;
+  lp.order = 1;
+  lp.ts = 50e-12;
+  lp.a = {0.2};
+  lp.b = {0.001, 0.0};
+  m.lin = std::make_shared<LinearArxSubmodel>(lp);
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  return m;
+}
+
+class ModelLibraryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs cases as parallel processes that must
+    // not share a library directory.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "fdtdmm_lib_" + info->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ModelLibraryTest, PutGetRoundTrip) {
+  ModelLibrary lib(dir_);
+  lib.putDriver("ibm18cmos", tinyDriver());
+  lib.putReceiver("ibm18cmos", tinyReceiver());
+  EXPECT_TRUE(lib.hasDriver("ibm18cmos"));
+  EXPECT_TRUE(lib.hasReceiver("ibm18cmos"));
+  const auto drv = lib.driver("ibm18cmos");
+  ASSERT_TRUE(drv && drv->up);
+  EXPECT_DOUBLE_EQ(drv->up->params().theta[0], 0.01);
+  const auto rcv = lib.receiver("ibm18cmos");
+  ASSERT_TRUE(rcv && rcv->lin);
+  EXPECT_DOUBLE_EQ(rcv->lin->params().a[0], 0.2);
+}
+
+TEST_F(ModelLibraryTest, CacheReturnsSameInstance) {
+  ModelLibrary lib(dir_);
+  lib.putDriver("x", tinyDriver());
+  const auto a = lib.driver("x");
+  const auto b = lib.driver("x");
+  EXPECT_EQ(a.get(), b.get());
+  // Overwriting invalidates the cache.
+  lib.putDriver("x", tinyDriver());
+  const auto c = lib.driver("x");
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(ModelLibraryTest, ListsComponents) {
+  ModelLibrary lib(dir_);
+  EXPECT_TRUE(lib.list().empty());
+  lib.putDriver("alpha", tinyDriver());
+  lib.putReceiver("alpha", tinyReceiver());
+  lib.putReceiver("beta-2", tinyReceiver());
+  const auto names = lib.list();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta-2");
+}
+
+TEST_F(ModelLibraryTest, MissingComponentThrows) {
+  ModelLibrary lib(dir_);
+  EXPECT_FALSE(lib.hasDriver("nope"));
+  EXPECT_THROW(lib.driver("nope"), std::runtime_error);
+  EXPECT_THROW(lib.receiver("nope"), std::runtime_error);
+}
+
+TEST_F(ModelLibraryTest, NameValidation) {
+  ModelLibrary lib(dir_);
+  EXPECT_THROW(lib.putDriver("", tinyDriver()), std::invalid_argument);
+  EXPECT_THROW(lib.putDriver("../evil", tinyDriver()), std::invalid_argument);
+  EXPECT_THROW(lib.driver("a/b"), std::invalid_argument);
+  EXPECT_NO_THROW(lib.putDriver("Good_name-42", tinyDriver()));
+}
+
+TEST_F(ModelLibraryTest, SharedAcrossInstances) {
+  {
+    ModelLibrary lib(dir_);
+    lib.putDriver("persisted", tinyDriver());
+  }
+  ModelLibrary lib2(dir_);
+  EXPECT_TRUE(lib2.hasDriver("persisted"));
+  EXPECT_NO_THROW(lib2.driver("persisted"));
+}
+
+}  // namespace
+}  // namespace fdtdmm

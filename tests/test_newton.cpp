@@ -1,0 +1,124 @@
+// Unit tests for the scalar and vector Newton solvers.
+#include "math/newton.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdtdmm {
+namespace {
+
+TEST(NewtonScalar, SquareRoot) {
+  double x = 1.0;
+  const auto res = newtonScalar(
+      [](double v, double& df) {
+        df = 2.0 * v;
+        return v * v - 2.0;
+      },
+      x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x, std::sqrt(2.0), 1e-8);
+  EXPECT_LE(res.iterations, 10);
+}
+
+TEST(NewtonScalar, QuadraticConvergenceIsFast) {
+  // Starting close, Newton should need very few iterations at tol 1e-9 —
+  // the regime the paper exploits (<= 3 iterations per FDTD step).
+  double x = 1.4;
+  const auto res = newtonScalar(
+      [](double v, double& df) {
+        df = 2.0 * v;
+        return v * v - 2.0;
+      },
+      x, {.max_iterations = 50, .tolerance = 1e-9});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 3);
+}
+
+TEST(NewtonScalar, LinearProblemOneIteration) {
+  double x = 0.0;
+  const auto res = newtonScalar(
+      [](double v, double& df) {
+        df = 3.0;
+        return 3.0 * v - 6.0;
+      },
+      x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_NEAR(x, 2.0, 1e-12);
+}
+
+TEST(NewtonScalar, AlreadyConvergedZeroIterations) {
+  double x = 2.0;
+  const auto res = newtonScalar(
+      [](double v, double& df) {
+        df = 1.0;
+        return v - 2.0;
+      },
+      x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(NewtonScalar, FlatDerivativeFails) {
+  double x = 0.0;
+  const auto res = newtonScalar(
+      [](double, double& df) {
+        df = 0.0;
+        return 1.0;
+      },
+      x);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(NewtonScalar, StepClampDamps) {
+  double x = 0.0;
+  NewtonOptions opt;
+  opt.max_step = 0.1;
+  opt.max_iterations = 200;
+  const auto res = newtonScalar(
+      [](double v, double& df) {
+        df = 1.0;
+        return v - 5.0;
+      },
+      x, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.iterations, 50);  // 5.0 / 0.1 steps
+  EXPECT_NEAR(x, 5.0, 1e-9);
+}
+
+TEST(NewtonVector, Solves2x2Nonlinear) {
+  // x^2 + y^2 = 5, x*y = 2 -> (2, 1) from a nearby start.
+  Vector x{1.8, 1.2};
+  const auto res = newtonVector(
+      [](const Vector& v) {
+        return Vector{v[0] * v[0] + v[1] * v[1] - 5.0, v[0] * v[1] - 2.0};
+      },
+      [](const Vector& v) {
+        return Matrix{{2.0 * v[0], 2.0 * v[1]}, {v[1], v[0]}};
+      },
+      x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+  EXPECT_NEAR(x[1], 1.0, 1e-8);
+}
+
+TEST(NewtonVector, LinearSystemOneIteration) {
+  Vector x{0.0, 0.0};
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto res = newtonVector(
+      [&](const Vector& v) {
+        Vector f = a * v;
+        f[0] -= 5.0;
+        f[1] -= 10.0;
+        return f;
+      },
+      [&](const Vector&) { return a; }, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,115 @@
+// Tests for the near-to-far-field radiation post-processing.
+#include "fdtd/ntff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fdtd/solver.h"
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Builds a short z-directed dipole (3-cell PEC wire with a driven gap)
+/// radiating a sinusoid at f0, records a Huygens box, and returns the
+/// recorder after the run (steady-state periodic regime reached).
+struct DipoleFixture {
+  std::unique_ptr<FdtdSolver> solver;
+  NtffRecorder* ntff = nullptr;
+  double f0 = 5e9;
+
+  void build() {
+    GridSpec s;
+    s.nx = s.ny = s.nz = 50;
+    s.dx = s.dy = s.dz = 1e-3;  // lambda(5 GHz) = 60 mm -> dipole << lambda
+    Grid3 g(s);
+    // Wire along z through the center with a gap at k = 24.
+    g.pecWireZ(25, 25, 22, 24);
+    g.pecWireZ(25, 25, 25, 28);
+    g.bake();
+    FdtdSolverOptions opt;
+    opt.boundary = BoundaryKind::kCpml;
+    solver = std::make_unique<FdtdSolver>(std::move(g), opt);
+    const double f = f0;
+    auto vs = [f](double t) {
+      // Smooth turn-on to avoid a DC transient in the phasors.
+      const double ramp = t < 0.4e-9 ? t / 0.4e-9 : 1.0;
+      return ramp * std::sin(2.0 * kPi * f * t);
+    };
+    LumpedPortSpec ps;
+    ps.i = 25;
+    ps.j = 25;
+    ps.k = 24;
+    solver->addLumpedPort(ps, std::make_shared<TheveninPort>(vs, 50.0));
+    NtffSpec spec;
+    spec.i0 = spec.j0 = spec.k0 = 12;
+    spec.i1 = spec.j1 = spec.k1 = 38;
+    spec.frequencies_hz = {f0};
+    ntff = solver->addNtffSurface(spec);
+    solver->runUntil(2.0e-9);
+  }
+};
+
+TEST(Ntff, DipolePatternHasSinThetaShape) {
+  DipoleFixture fx;
+  fx.build();
+  // Broadside intensity must dominate near-axis intensity strongly
+  // (ideal dipole: sin^2(theta); at 20 deg that is ~12% of broadside).
+  const double u90 = fx.ntff->farField(0, kPi / 2.0, 0.0).intensity();
+  const double u20 = fx.ntff->farField(0, 20.0 * kPi / 180.0, 0.0).intensity();
+  ASSERT_GT(u90, 0.0);
+  EXPECT_LT(u20 / u90, 0.35);
+  // Monotone decrease from broadside toward the axis.
+  const double u60 = fx.ntff->farField(0, 60.0 * kPi / 180.0, 0.0).intensity();
+  EXPECT_GT(u90, u60);
+  EXPECT_GT(u60, u20);
+}
+
+TEST(Ntff, DipolePatternIsPhiSymmetric) {
+  DipoleFixture fx;
+  fx.build();
+  const double u0 = fx.ntff->farField(0, kPi / 2.0, 0.0).intensity();
+  for (const double phi : {0.7, 2.1, 4.0}) {
+    const double up = fx.ntff->farField(0, kPi / 2.0, phi).intensity();
+    EXPECT_NEAR(up / u0, 1.0, 0.25) << phi;
+  }
+}
+
+TEST(Ntff, DipoleIsThetaPolarized) {
+  DipoleFixture fx;
+  fx.build();
+  const FarField ff = fx.ntff->farField(0, kPi / 2.0, 0.8);
+  EXPECT_LT(std::abs(ff.e_phi), 0.1 * std::abs(ff.e_theta));
+}
+
+TEST(Ntff, Validation) {
+  GridSpec s;
+  s.nx = s.ny = s.nz = 20;
+  Grid3 g(s);
+  g.bake();
+  NtffSpec bad;
+  bad.i0 = 0;  // touches the boundary
+  bad.i1 = 10;
+  bad.j0 = 2;
+  bad.j1 = 10;
+  bad.k0 = 2;
+  bad.k1 = 10;
+  bad.frequencies_hz = {1e9};
+  EXPECT_THROW(NtffRecorder(&g, bad), std::invalid_argument);
+  NtffSpec empty;
+  empty.i0 = empty.j0 = empty.k0 = 2;
+  empty.i1 = empty.j1 = empty.k1 = 10;
+  EXPECT_THROW(NtffRecorder(&g, empty), std::invalid_argument);
+  EXPECT_THROW(NtffRecorder(nullptr, empty), std::invalid_argument);
+  NtffSpec ok = empty;
+  ok.frequencies_hz = {1e9};
+  NtffRecorder rec(&g, ok);
+  EXPECT_THROW(rec.farField(1, 0.0, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fdtdmm

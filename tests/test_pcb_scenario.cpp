@@ -1,0 +1,99 @@
+// Integration tests for the Fig. 6/7 PCB field-coupling scenario on a
+// reduced mesh (the full-size run lives in bench_fig7).
+#include "core/pcb_scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+namespace {
+
+PcbScenario smallPcb() {
+  PcbScenario cfg;
+  cfg.board_cells = 48;
+  cfg.strip_len = 34;
+  cfg.margin = 6;
+  cfg.cell = 1e-3;       // coarser mesh, smaller board
+  cfg.t_stop = 4e-9;
+  return cfg;
+}
+
+TEST(PcbScenario, SignalPropagatesDriverToReceiver) {
+  auto cfg = smallPcb();
+  const auto run = runPcbScenario(cfg, defaultDriverModel(), defaultReceiverModel());
+  // Driver launches the '010' pulse; receiver (high-Z) sees a swing of
+  // comparable magnitude after the interconnect delay.
+  double v_near_max = -1e9, v_far_max = -1e9;
+  for (double v : run.v_near.samples()) v_near_max = std::max(v_near_max, v);
+  for (double v : run.v_far.samples()) v_far_max = std::max(v_far_max, v);
+  EXPECT_GT(v_near_max, 0.8);
+  EXPECT_GT(v_far_max, 0.5);
+  // Quiet before the rising edge (2 ns) minus margin.
+  EXPECT_NEAR(run.v_far.value(0.5e-9), 0.0, 0.15);
+}
+
+TEST(PcbScenario, IncidentFieldInducesDisturbance) {
+  auto cfg = smallPcb();
+  // Hold the driver LOW so any termination voltage is pure field coupling.
+  cfg.pattern = "0";
+  cfg.with_incident = true;
+  const auto run = runPcbScenario(cfg, defaultDriverModel(), defaultReceiverModel());
+  double vmax = 0.0;
+  for (double v : run.v_near.samples()) vmax = std::max(vmax, std::abs(v));
+  for (double v : run.v_far.samples()) vmax = std::max(vmax, std::abs(v));
+  EXPECT_GT(vmax, 0.02);  // measurable induced voltage from 2 kV/m
+  EXPECT_LT(vmax, 5.0);   // but bounded
+}
+
+TEST(PcbScenario, SuperpositionShapeWithAndWithoutField) {
+  // Fig. 7's story: the signal with the external field is approximately
+  // the clean signal plus a disturbance. Check the two runs differ.
+  auto clean_cfg = smallPcb();
+  const auto clean = runPcbScenario(clean_cfg, defaultDriverModel(), defaultReceiverModel());
+  auto field_cfg = smallPcb();
+  field_cfg.with_incident = true;
+  const auto with_field =
+      runPcbScenario(field_cfg, defaultDriverModel(), defaultReceiverModel());
+  ASSERT_EQ(clean.v_far.size(), with_field.v_far.size());
+  EXPECT_GT(maxAbsError(with_field.v_far.samples(), clean.v_far.samples()), 0.02);
+}
+
+TEST(PcbScenario, CrosstalkOnVictimNets) {
+  // Driving the inner net induces crosstalk on the two passive neighbours:
+  // nonzero but well below the aggressor swing (coupled-strip SI study).
+  auto cfg = smallPcb();
+  const auto run = runPcbScenario(cfg, defaultDriverModel(), defaultReceiverModel());
+  ASSERT_EQ(run.victims.size(), 4u);
+  double aggressor = 0.0;
+  for (double v : run.v_near.samples()) aggressor = std::max(aggressor, std::abs(v));
+  double xtalk_max = 0.0;
+  for (const Waveform& w : run.victims) {
+    double m = 0.0;
+    for (double v : w.samples()) m = std::max(m, std::abs(v));
+    EXPECT_GT(m, 1e-4) << "victim sees no coupling at all";
+    xtalk_max = std::max(xtalk_max, m);
+  }
+  EXPECT_LT(xtalk_max, 0.5 * aggressor);  // victims stay well below the signal
+}
+
+TEST(PcbScenario, NewtonBudgetHolds) {
+  auto cfg = smallPcb();
+  cfg.with_incident = true;
+  const auto run = runPcbScenario(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LE(run.max_newton_iterations, 4);
+}
+
+TEST(PcbScenario, Validation) {
+  auto cfg = smallPcb();
+  EXPECT_THROW(runPcbScenario(cfg, nullptr, defaultReceiverModel()),
+               std::invalid_argument);
+  cfg.strip_len = cfg.board_cells;  // strips would not fit
+  EXPECT_THROW(runPcbScenario(cfg, defaultDriverModel(), defaultReceiverModel()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

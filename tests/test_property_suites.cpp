@@ -1,0 +1,182 @@
+// Parameterized property-test suites sweeping the key invariants of the
+// library across their parameter spaces (gtest TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+
+#include "circuit/transient.h"
+#include "fdtd1d/line1d.h"
+#include "math/linear_solve.h"
+#include "math/rng.h"
+#include "math/spectral.h"
+#include "rbf/resampling.h"
+#include "signal/linear_ports.h"
+
+namespace fdtdmm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: for every tau in (0, 1], a resampled stable linear model is
+// stable and converges to the same DC gain as the original model.
+class ResamplingTauP : public testing::TestWithParam<double> {};
+
+TEST_P(ResamplingTauP, DcGainPreservedAndBounded) {
+  const double tau = GetParam();
+  LinearArxParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.a = {0.9, -0.25};  // stable complex pair
+  p.b = {0.004, 0.002, -0.001};
+  LinearArxSubmodel m(p);
+  const double dc_gain = (0.004 + 0.002 - 0.001) / (1.0 - 0.9 + 0.25);
+
+  ResampledSubmodelState st(&m, tau * p.ts);
+  st.reset(0.0);
+  double last = 0.0;
+  for (int k = 0; k < 20000; ++k) {
+    double didv = 0.0;
+    last = st.eval(1.0, didv);
+    ASSERT_TRUE(std::isfinite(last)) << "tau=" << tau << " k=" << k;
+    st.commit(1.0);
+  }
+  EXPECT_NEAR(last, dc_gain, std::abs(dc_gain) * 0.02) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, ResamplingTauP,
+                         testing::Values(0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.9, 1.0));
+
+// ---------------------------------------------------------------------
+// Property: the eigenvalue map lambda~ = 1 + tau (lambda - 1) keeps every
+// stable eigenvalue stable for the swept tau (Fig. 2 / Eq. 17).
+TEST_P(ResamplingTauP, EigenvalueMapContractsUnitDisk) {
+  const double tau = GetParam();
+  Rng rng(17 + static_cast<std::uint64_t>(tau * 1000));
+  for (int trial = 0; trial < 200; ++trial) {
+    const double r = std::sqrt(rng.uniform()) * 0.9999;
+    const double th = rng.uniform(0.0, 2.0 * M_PI);
+    const std::complex<double> lam(r * std::cos(th), r * std::sin(th));
+    EXPECT_LT(std::abs(resampleEigenvalue(lam, tau)), 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property: 1D FDTD far-end level follows the reflection coefficient
+// (1 + rho) * launch for a matched-source line, for any resistive load.
+class LineReflectionP : public testing::TestWithParam<double> {};
+
+TEST_P(LineReflectionP, FarEndLevelMatchesTheory) {
+  const double r_load = GetParam();
+  Line1dConfig cfg;
+  cfg.zc = 50.0;
+  cfg.td = 0.8e-9;
+  cfg.cells = 160;
+  auto near = std::make_shared<TheveninPort>(
+      [](double t) { return t >= 0.0 ? 1.0 : 0.0; }, 50.0);
+  auto far = std::make_shared<ResistorPort>(r_load);
+  Fdtd1dLine line(cfg, near, far);
+  const auto res = line.run(2.2e-9);  // after first arrival, before 3 Td
+  const double rho = (r_load - cfg.zc) / (r_load + cfg.zc);
+  EXPECT_NEAR(res.v_far.value(1.8e-9), 0.5 * (1.0 + rho), 0.02) << r_load;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, LineReflectionP,
+                         testing::Values(10.0, 25.0, 50.0, 75.0, 100.0, 200.0,
+                                         500.0, 5000.0));
+
+// ---------------------------------------------------------------------
+// Property: MNA RC step response matches the analytic exponential for a
+// sweep of time constants relative to the solver step.
+struct RcCase {
+  double r;
+  double c;
+};
+class RcChargeP : public testing::TestWithParam<RcCase> {};
+
+TEST_P(RcChargeP, MatchesAnalyticExponential) {
+  const auto [r, c] = GetParam();
+  Circuit cir;
+  const int src = cir.addNode();
+  const int out = cir.addNode();
+  cir.addVoltageSource(src, Circuit::kGround,
+                       [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+  cir.addResistor(src, out, r);
+  cir.addCapacitor(out, Circuit::kGround, c);
+  const double tau = r * c;
+  TransientOptions opt;
+  opt.dt = tau / 200.0;
+  opt.t_stop = 5.0 * tau;
+  const auto res = runTransient(cir, opt, {{"v", out, 0}});
+  for (const double frac : {0.5, 1.0, 2.0, 4.0}) {
+    const double t = frac * tau;
+    EXPECT_NEAR(res.at("v").value(t), 1.0 - std::exp(-frac), 4e-3)
+        << "R=" << r << " C=" << c << " t/tau=" << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RcSweep, RcChargeP,
+                         testing::Values(RcCase{50.0, 1e-12}, RcCase{500.0, 1e-12},
+                                         RcCase{50.0, 10e-12}, RcCase{1000.0, 5e-12},
+                                         RcCase{200.0, 0.2e-12}));
+
+// ---------------------------------------------------------------------
+// Property: LU round-trips random well-conditioned systems of any size.
+class LuSizeP : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizeP, RandomRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    for (std::size_t d = 0; d < n; ++d) a(d, d) += 4.0;
+    Vector x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    const Vector x = solveLinear(a, a * x_true);
+    for (std::size_t k = 0; k < n; ++k) EXPECT_NEAR(x[k], x_true[k], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, LuSizeP,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------
+// Property: the companion matrix of a geometric AR(1)-like model has the
+// prescribed spectral radius for a sweep of pole locations.
+class CompanionPoleP : public testing::TestWithParam<double> {};
+
+TEST_P(CompanionPoleP, SpectralRadiusEqualsPole) {
+  const double pole = GetParam();
+  // Double pole at `pole`: a1 = 2 pole, a2 = -pole^2.
+  const Matrix c = companionMatrix({2.0 * pole, -pole * pole});
+  EXPECT_NEAR(spectralRadius(c), std::abs(pole), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoleSweep, CompanionPoleP,
+                         testing::Values(-0.9, -0.5, -0.1, 0.1, 0.3, 0.6, 0.95));
+
+// ---------------------------------------------------------------------
+// Property: a ParallelRcPort at any (R, C) draws v/R at DC after settling.
+class RcPortDcP : public testing::TestWithParam<RcCase> {};
+
+TEST_P(RcPortDcP, SettlesToResistiveCurrent) {
+  const auto [r, c] = GetParam();
+  ParallelRcPort port(r, c);
+  const double dt = 1e-12;
+  port.prepare(dt);
+  double i = 0.0, g = 0.0;
+  for (int k = 0; k < 5000; ++k) {
+    i = port.current(1.5, 0.0, g);
+    port.commit(1.5, 0.0);
+  }
+  EXPECT_NEAR(i, 1.5 / r, 1e-9) << "R=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(RcPortSweep, RcPortDcP,
+                         testing::Values(RcCase{100.0, 1e-12}, RcCase{500.0, 1e-12},
+                                         RcCase{500.0, 5e-12}, RcCase{2000.0, 0.5e-12}));
+
+}  // namespace
+}  // namespace fdtdmm

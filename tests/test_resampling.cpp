@@ -1,0 +1,187 @@
+// Tests for the paper's resampling strategy (Eq. 13) and its stability
+// analysis (Section 3.1, Fig. 2).
+#include "rbf/resampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "math/rng.h"
+#include "math/spectral.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(ResampleEigenvalue, IdentityAtTauOne) {
+  const std::complex<double> lam(0.3, 0.4);
+  const auto mapped = resampleEigenvalue(lam, 1.0);
+  EXPECT_NEAR(mapped.real(), 0.3, 1e-15);
+  EXPECT_NEAR(mapped.imag(), 0.4, 1e-15);
+}
+
+TEST(ResampleEigenvalue, MapsUnitCircleToTauCircle) {
+  // Fig. 2: |lambda| = 1 maps to the circle centered at (1 - tau) with
+  // radius tau.
+  for (const double tau : {0.1, 0.5, 0.9, 1.0}) {
+    for (int k = 0; k < 16; ++k) {
+      const double th = 2.0 * M_PI * k / 16.0;
+      const std::complex<double> lam(std::cos(th), std::sin(th));
+      const auto mapped = resampleEigenvalue(lam, tau);
+      EXPECT_NEAR(std::abs(mapped - std::complex<double>(1.0 - tau, 0.0)), tau, 1e-12);
+    }
+  }
+}
+
+TEST(ResampleEigenvalue, StableInsideForTauLeqOne) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random stable eigenvalue and admissible tau.
+    const double r = 0.999 * std::sqrt(rng.uniform());
+    const double th = rng.uniform(0.0, 2.0 * M_PI);
+    const std::complex<double> lam(r * std::cos(th), r * std::sin(th));
+    const double tau = rng.uniform(0.01, 1.0);
+    EXPECT_LT(std::abs(resampleEigenvalue(lam, tau)), 1.0)
+        << "lam=" << lam << " tau=" << tau;
+  }
+}
+
+TEST(ResampleEigenvalue, ExtrapolationCanDestabilize) {
+  // Eq. (17): tau > 1 loses the guarantee; lambda = -1 breaks immediately.
+  const auto mapped = resampleEigenvalue(std::complex<double>(-0.95, 0.0), 1.2);
+  EXPECT_GT(std::abs(mapped), 1.0);
+}
+
+TEST(ContinuousEigenvalue, NegativeRealPartForStableLambda) {
+  // Eq. (15): stable discrete eigenvalues map to Re(eta) < 0.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double r = 0.999 * std::sqrt(rng.uniform());
+    const double th = rng.uniform(0.0, 2.0 * M_PI);
+    const std::complex<double> lam(r * std::cos(th), r * std::sin(th));
+    EXPECT_LT(continuousEigenvalue(lam, 50e-12).real(), 0.0);
+  }
+  EXPECT_THROW(continuousEigenvalue({0.5, 0.0}, 0.0), std::invalid_argument);
+}
+
+TEST(QMatrix, StructureMatchesEq13) {
+  const Matrix q = buildQMatrix(3, 0.25);
+  EXPECT_DOUBLE_EQ(q(0, 0), 0.75);
+  EXPECT_DOUBLE_EQ(q(1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(q(1, 1), 0.75);
+  EXPECT_DOUBLE_EQ(q(2, 1), 0.25);
+  EXPECT_DOUBLE_EQ(q(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(q(0, 2), 0.0);
+  EXPECT_THROW(buildQMatrix(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(buildQMatrix(2, 1.5), std::invalid_argument);
+  EXPECT_THROW(buildQMatrix(2, 0.0), std::invalid_argument);
+}
+
+TEST(QMatrix, TauOneIsShiftRegister) {
+  const Matrix q = buildQMatrix(3, 1.0);
+  EXPECT_DOUBLE_EQ(q(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(q(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(q(2, 1), 1.0);
+}
+
+TEST(ResampleStateMatrix, PreservesStabilityPropertyBased) {
+  // Property: for random stable A and tau in (0, 1], the resampled matrix
+  // I + tau (A - I) is stable (Section 3.1's theorem for full systems).
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + trial % 4;
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    // Scale to spectral radius ~0.9.
+    const double rho = spectralRadius(a);
+    if (rho <= 0.0) continue;
+    a *= 0.9 / rho;
+    const double tau = rng.uniform(0.05, 1.0);
+    const Matrix at = resampleStateMatrix(a, tau);
+    EXPECT_LT(spectralRadius(at), 1.0 + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ResampledState, TauOneReproducesShiftRegister) {
+  // With dt = Ts, the resampled model must behave exactly like the
+  // original discrete-time model.
+  LinearArxParams p;
+  p.order = 2;
+  p.ts = 1e-10;
+  p.a = {0.4, -0.05};
+  p.b = {0.02, 0.01, -0.005};
+  LinearArxSubmodel m(p);
+  ResampledSubmodelState st(&m, p.ts);
+  st.reset(0.0);
+  EXPECT_DOUBLE_EQ(st.tau(), 1.0);
+
+  // Reference simulation with explicit shift registers.
+  Vector xi{0.0, 0.0}, xv{0.0, 0.0};
+  const Vector vs{0.1, 0.5, 1.0, 0.7, 0.2, -0.1, 0.0};
+  for (double v : vs) {
+    double didv = 0.0;
+    const double i_model = st.eval(v, didv);
+    const double i_ref = m.eval(v, xv, xi, nullptr);
+    EXPECT_NEAR(i_model, i_ref, 1e-15);
+    st.commit(v);
+    xi = {i_ref, xi[0]};
+    xv = {v, xv[0]};
+  }
+}
+
+TEST(ResampledState, RejectsTauAboveOne) {
+  LinearArxParams p;
+  p.order = 1;
+  p.ts = 1e-11;
+  p.a = {0.5};
+  p.b = {0.01, 0.0};
+  LinearArxSubmodel m(p);
+  EXPECT_THROW(ResampledSubmodelState(&m, 2e-11), std::invalid_argument);
+  EXPECT_THROW(ResampledSubmodelState(nullptr, 1e-12), std::invalid_argument);
+  EXPECT_THROW(ResampledSubmodelState(&m, 0.0), std::invalid_argument);
+}
+
+TEST(ResampledState, ResetFindsSteadyState) {
+  // For the linear model, the fixed point of i = a i + b0 v + b1 v is
+  // i0 = (b0 + b1) v / (1 - a).
+  LinearArxParams p;
+  p.order = 1;
+  p.ts = 1e-10;
+  p.a = {0.6};
+  p.b = {0.03, 0.01};
+  LinearArxSubmodel m(p);
+  ResampledSubmodelState st(&m, 5e-11);
+  st.reset(2.0);
+  const double i0_expect = (0.03 + 0.01) * 2.0 / (1.0 - 0.6);
+  EXPECT_NEAR(st.xi()[0], i0_expect, 1e-9);
+  // Committing the same voltage keeps the state fixed.
+  st.commit(2.0);
+  EXPECT_NEAR(st.xi()[0], i0_expect, 1e-9);
+  EXPECT_NEAR(st.xv()[0], 2.0, 1e-12);
+}
+
+TEST(ResampledState, StableUnderLongConstantInput) {
+  // Resampled linear model driven by a constant for many steps stays
+  // bounded and converges (time-stability in practice).
+  LinearArxParams p;
+  p.order = 2;
+  p.ts = 1e-10;
+  p.a = {1.2, -0.36};  // double pole at 0.6, stable
+  p.b = {0.05, 0.0, 0.0};
+  LinearArxSubmodel m(p);
+  ResampledSubmodelState st(&m, 3e-11);  // tau = 0.3
+  st.reset(0.0);
+  double last = 0.0;
+  for (int k = 0; k < 5000; ++k) {
+    double didv = 0.0;
+    last = st.eval(1.0, didv);
+    ASSERT_TRUE(std::isfinite(last));
+    st.commit(1.0);
+  }
+  const double dc_gain = 0.05 / (1.0 - 1.2 + 0.36);
+  EXPECT_NEAR(last, dc_gain, 1e-3);
+}
+
+}  // namespace
+}  // namespace fdtdmm

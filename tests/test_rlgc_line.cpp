@@ -1,0 +1,130 @@
+// Tests for the segmented RLGC lossy line against transmission-line theory
+// and against the Branin ideal line in the lossless limit.
+#include "circuit/rlgc_line.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(RlgcLine, DerivedQuantities) {
+  RlgcParams p;
+  p.l = 2.5e-7;
+  p.c = 1e-10;
+  p.length = 0.12;
+  EXPECT_NEAR(rlgcCharacteristicImpedance(p), 50.0, 1e-9);
+  EXPECT_NEAR(rlgcDelay(p), 0.12 * std::sqrt(2.5e-17), 1e-20);
+}
+
+TEST(RlgcLine, LosslessConvergesToIdealLine) {
+  // Same Zc/Td, matched source and load: compare the RLGC ladder with the
+  // Branin line on a step response.
+  RlgcParams p;
+  p.l = 2.5e-7;
+  p.c = 1e-10;
+  p.length = 0.2;  // Td = 1 ns
+  p.segments = 64;
+  const double zc = rlgcCharacteristicImpedance(p);
+  const double td = rlgcDelay(p);
+
+  auto run = [&](bool ladder) {
+    Circuit c;
+    const int src = c.addNode();
+    const int near = c.addNode();
+    const int far = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround,
+                       [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+    c.addResistor(src, near, zc);
+    if (ladder) {
+      buildRlgcLine(c, near, Circuit::kGround, far, Circuit::kGround, p);
+    } else {
+      c.addIdealLine(near, Circuit::kGround, far, Circuit::kGround, zc, td);
+    }
+    c.addResistor(far, Circuit::kGround, zc);
+    TransientOptions opt;
+    opt.dt = 4e-12;
+    opt.t_stop = 4e-9;
+    return runTransient(c, opt, {{"far", far, 0}}).at("far");
+  };
+
+  const Waveform ideal = run(false);
+  const Waveform rlgc = run(true);
+  // Compare away from the edge (the ladder disperses the step slightly).
+  EXPECT_NEAR(rlgc.value(0.5e-9), ideal.value(0.5e-9), 0.03);  // pre-arrival
+  EXPECT_NEAR(rlgc.value(2.5e-9), ideal.value(2.5e-9), 0.04);  // settled 0.5
+  EXPECT_NEAR(rlgc.value(3.8e-9), 0.5, 0.03);
+}
+
+TEST(RlgcLine, SeriesLossAttenuatesDc) {
+  // At DC the line is just the series resistance: v_far = RL/(RL + Rs +
+  // R'len).
+  RlgcParams p;
+  p.l = 2.5e-7;
+  p.c = 1e-10;
+  p.length = 0.2;
+  p.r = 250.0;  // 50 ohm total series resistance
+  p.segments = 32;
+  Circuit c;
+  const int src = c.addNode();
+  const int near = c.addNode();
+  const int far = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround, [](double) { return 1.0; });
+  c.addResistor(src, near, 50.0);
+  buildRlgcLine(c, near, Circuit::kGround, far, Circuit::kGround, p);
+  c.addResistor(far, Circuit::kGround, 50.0);
+  TransientOptions opt;
+  opt.dt = 5e-12;
+  opt.t_stop = 20e-9;
+  const auto res = runTransient(c, opt, {{"far", far, 0}});
+  EXPECT_NEAR(res.at("far").samples().back(), 50.0 / (50.0 + 50.0 + 50.0), 5e-3);
+}
+
+TEST(RlgcLine, ShuntLossLoadsDc) {
+  // G' len = 0.02 S distributed: DC transfer drops accordingly (two-port
+  // ladder; verify against a plain resistive reference computed from the
+  // same circuit with L/C removed... here just check it is below lossless).
+  RlgcParams lossless;
+  lossless.length = 0.2;
+  RlgcParams lossy = lossless;
+  lossy.g = 0.1;  // 0.02 S total
+  auto dc = [](const RlgcParams& p) {
+    Circuit c;
+    const int src = c.addNode();
+    const int near = c.addNode();
+    const int far = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround, [](double) { return 1.0; });
+    c.addResistor(src, near, 50.0);
+    buildRlgcLine(c, near, Circuit::kGround, far, Circuit::kGround, p);
+    c.addResistor(far, Circuit::kGround, 50.0);
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.t_stop = 20e-9;
+    return runTransient(c, opt, {{"far", far, 0}}).at("far").samples().back();
+  };
+  const double v_lossless = dc(lossless);
+  const double v_lossy = dc(lossy);
+  EXPECT_NEAR(v_lossless, 0.5, 0.01);
+  EXPECT_LT(v_lossy, v_lossless - 0.05);
+}
+
+TEST(RlgcLine, Validation) {
+  Circuit c;
+  const int a = c.addNode();
+  const int b = c.addNode();
+  RlgcParams bad;
+  bad.l = 0.0;
+  EXPECT_THROW(buildRlgcLine(c, a, 0, b, 0, bad), std::invalid_argument);
+  RlgcParams bad2;
+  bad2.segments = 0;
+  EXPECT_THROW(buildRlgcLine(c, a, 0, b, 0, bad2), std::invalid_argument);
+  RlgcParams bad3;
+  bad3.r = -1.0;
+  EXPECT_THROW(buildRlgcLine(c, a, 0, b, 0, bad3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,96 @@
+// Unit tests for excitation sources.
+#include "signal/sources.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(Trapezoid, FollowsPattern) {
+  const BitPattern p("010", 2e-9);
+  const auto f = trapezoidFromPattern(p, 0.0, 1.8, 0.2e-9);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.9e-9), 0.0);       // just before the rising edge
+  EXPECT_NEAR(f(2.1e-9), 0.9, 1e-9);      // mid-ramp
+  EXPECT_DOUBLE_EQ(f(3.0e-9), 1.8);       // settled HIGH
+  EXPECT_NEAR(f(4.1e-9), 0.9, 1e-9);      // mid falling ramp
+  EXPECT_DOUBLE_EQ(f(5.5e-9), 0.0);       // settled LOW
+}
+
+TEST(Trapezoid, EdgeTimeValidation) {
+  const BitPattern p("01", 1e-9);
+  EXPECT_THROW(trapezoidFromPattern(p, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(trapezoidFromPattern(p, 0.0, 1.0, 1e-9), std::invalid_argument);
+}
+
+TEST(GaussianPulse, PeakAndSymmetry) {
+  const auto g = gaussianPulse(2.0, 1e-9, 0.1e-9);
+  EXPECT_DOUBLE_EQ(g(1e-9), 2.0);
+  EXPECT_NEAR(g(0.9e-9), g(1.1e-9), 1e-12);
+  EXPECT_LT(g(0.5e-9), 1e-5);
+  EXPECT_THROW(gaussianPulse(1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(GaussianPulse, BandwidthRelation) {
+  // At f = f3dB the spectrum magnitude must be 1/sqrt(2): check via the
+  // analytic transform |G(f)| = exp(-(2 pi f sigma)^2 / 2).
+  const double bw = 9.2e9;  // the paper's incident pulse bandwidth
+  const double sigma = gaussianSigmaForBandwidth(bw);
+  constexpr double two_pi = 6.283185307179586;
+  const double mag = std::exp(-0.5 * std::pow(two_pi * bw * sigma, 2.0));
+  EXPECT_NEAR(mag, 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_THROW(gaussianSigmaForBandwidth(0.0), std::invalid_argument);
+}
+
+TEST(GaussianDerivative, ZeroAtCenterPeakNormalized) {
+  const auto g = gaussianDerivative(3.0, 1e-9, 0.2e-9);
+  EXPECT_NEAR(g(1e-9), 0.0, 1e-12);
+  // Peak of the normalized monocycle equals the requested amplitude at
+  // t = t0 - sigma.
+  EXPECT_NEAR(std::abs(g(0.8e-9)), 3.0, 1e-9);
+}
+
+TEST(Multilevel, RangeHoldAndDeterminism) {
+  MultilevelOptions opt;
+  opt.v_min = -0.5;
+  opt.v_max = 2.3;
+  opt.seed = 42;
+  const Waveform a = multilevelRandom(50e-9, 10e-12, opt);
+  const Waveform b = multilevelRandom(50e-9, 10e-12, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a[k], b[k]);
+  const MinMax mm = minMax(a.samples());
+  EXPECT_GE(mm.min, opt.v_min - 1e-12);
+  EXPECT_LE(mm.max, opt.v_max + 1e-12);
+  // The excitation must actually span most of the requested range.
+  EXPECT_LT(mm.min, opt.v_min + 0.5);
+  EXPECT_GT(mm.max, opt.v_max - 0.5);
+}
+
+TEST(Multilevel, Validation) {
+  EXPECT_THROW(multilevelRandom(0.0, 1e-12), std::invalid_argument);
+  EXPECT_THROW(multilevelRandom(1e-9, 0.0), std::invalid_argument);
+  MultilevelOptions bad;
+  bad.levels = 1;
+  EXPECT_THROW(multilevelRandom(1e-9, 1e-12, bad), std::invalid_argument);
+  MultilevelOptions bad2;
+  bad2.v_max = bad2.v_min;
+  EXPECT_THROW(multilevelRandom(1e-9, 1e-12, bad2), std::invalid_argument);
+}
+
+TEST(Multilevel, DifferentSeedsDiffer) {
+  MultilevelOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const Waveform wa = multilevelRandom(20e-9, 20e-12, a);
+  const Waveform wb = multilevelRandom(20e-9, 20e-12, b);
+  EXPECT_GT(rmsError(wa.samples(), wb.samples()), 1e-3);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,91 @@
+// Tests for the frequency-domain helpers.
+#include "signal/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.h"
+#include "signal/sources.h"
+
+namespace fdtdmm {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Spectrum, SineMagnitudeAtItsFrequency) {
+  // x(t) = sin(2 pi f0 t) over N full periods: |X(f0)| = T/2 (continuous
+  // normalization), X(0) ~ 0.
+  const double f0 = 1e9;
+  const double duration = 20.0 / f0;
+  const Waveform w = sampleFunction(
+      [f0](double t) { return std::sin(2.0 * kPi * f0 * t); }, 0.0, duration, 1e-12);
+  const auto x = dftAt(w, f0);
+  EXPECT_NEAR(std::abs(x), duration / 2.0, duration * 0.01);
+  EXPECT_NEAR(std::abs(dftAt(w, 0.0)), 0.0, duration * 0.01);
+  // Orthogonality: a bin far away is tiny.
+  EXPECT_LT(std::abs(dftAt(w, 3.35e9)), duration * 0.02);
+}
+
+TEST(Spectrum, GaussianPulseSpectrumMatchesAnalytic) {
+  // g(t) = exp(-(t-t0)^2 / 2 sigma^2): |G(f)| = sigma sqrt(2 pi)
+  // exp(-(2 pi f sigma)^2/2).
+  const double sigma = 30e-12, t0 = 0.3e-9;
+  const Waveform w = sampleFunction(gaussianPulse(1.0, t0, sigma), 0.0, 1e-9, 0.5e-12);
+  for (const double f : {0.0, 2e9, 5e9, 9.2e9}) {
+    const double expect = sigma * std::sqrt(2.0 * kPi) *
+                          std::exp(-0.5 * std::pow(2.0 * kPi * f * sigma, 2.0));
+    EXPECT_NEAR(std::abs(dftAt(w, f)), expect, expect * 0.01 + 1e-15) << f;
+  }
+}
+
+TEST(Spectrum, RcFilterTransferFunction) {
+  // Drive an RC lowpass with a Gaussian pulse in the MNA engine and verify
+  // H(f) = 1/(1 + j 2 pi f R C) from the two node waveforms.
+  const double r = 200.0, c = 1e-12;  // f_c = 796 MHz
+  Circuit cir;
+  const int in = cir.addNode();
+  const int out = cir.addNode();
+  cir.addVoltageSource(in, Circuit::kGround, gaussianPulse(1.0, 0.5e-9, 50e-12));
+  cir.addResistor(in, out, r);
+  cir.addCapacitor(out, Circuit::kGround, c);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = 6e-9;  // let the response decay fully
+  const auto res = runTransient(cir, opt, {{"in", in, 0}, {"out", out, 0}});
+  for (const double f : {0.2e9, 0.8e9, 2e9}) {
+    const std::complex<double> h = transferAt(res.at("in"), res.at("out"), f);
+    const std::complex<double> h_ref =
+        1.0 / std::complex<double>(1.0, 2.0 * kPi * f * r * c);
+    EXPECT_NEAR(std::abs(h), std::abs(h_ref), 0.02) << f;
+    EXPECT_NEAR(std::arg(h), std::arg(h_ref), 0.05) << f;
+  }
+}
+
+TEST(Spectrum, Validation) {
+  EXPECT_THROW(dftAt(Waveform(), 1e9), std::invalid_argument);
+  const Waveform w(0.0, 1e-12, {1.0, 1.0});
+  EXPECT_THROW(dftAt(w, -1.0), std::invalid_argument);
+  EXPECT_THROW(transferAt(Waveform(0.0, 1e-12, {0.0, 0.0}), w, 1e9),
+               std::invalid_argument);
+  EXPECT_THROW(frequencyGrid(1e9, 0.5e9, 5), std::invalid_argument);
+  EXPECT_THROW(frequencyGrid(0.0, 1e9, 1), std::invalid_argument);
+  const auto grid = frequencyGrid(1e9, 2e9, 3);
+  EXPECT_DOUBLE_EQ(grid[1], 1.5e9);
+}
+
+TEST(Spectrum, VectorOverloadMatchesScalar) {
+  const Waveform w = sampleFunction(
+      [](double t) { return std::cos(2.0 * kPi * 2e9 * t); }, 0.0, 5e-9, 1e-12);
+  const std::vector<double> fs{0.5e9, 2e9, 4e9};
+  const auto xs = dftAt(w, fs);
+  ASSERT_EQ(xs.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto ref = dftAt(w, fs[k]);
+    EXPECT_DOUBLE_EQ(xs[k].real(), ref.real());
+    EXPECT_DOUBLE_EQ(xs[k].imag(), ref.imag());
+  }
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,65 @@
+// Unit tests for error metrics and spectral-radius estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/spectral.h"
+#include "math/stats.h"
+
+namespace fdtdmm {
+namespace {
+
+TEST(Stats, Rms) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0, 0.0, 0.0}), 2.5);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Stats, RmsError) {
+  EXPECT_DOUBLE_EQ(rmsError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(rmsError({1.0, 2.0}, {2.0, 1.0}), 1.0);
+  EXPECT_THROW(rmsError({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, Nrmse) {
+  const Vector ref{0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(nrmse(ref, ref), 0.0);
+  EXPECT_NEAR(nrmse({0.2, 1.2, 2.2}, ref), 0.1, 1e-12);
+  EXPECT_THROW(nrmse({1.0, 1.0}, {2.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, MaxAbsErrorAndMinMax) {
+  EXPECT_DOUBLE_EQ(maxAbsError({1.0, 5.0}, {1.0, 2.0}), 3.0);
+  const MinMax mm = minMax({3.0, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(mm.min, -1.0);
+  EXPECT_DOUBLE_EQ(mm.max, 3.0);
+  EXPECT_THROW(minMax({}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Spectral, DiagonalMatrix) {
+  Matrix a{{0.5, 0.0}, {0.0, -0.9}};
+  EXPECT_NEAR(spectralRadius(a), 0.9, 1e-6);
+}
+
+TEST(Spectral, RotationScalingMatrix) {
+  // Complex-conjugate pair with modulus 0.8: rho must still converge.
+  const double r = 0.8, th = 0.7;
+  Matrix a{{r * std::cos(th), -r * std::sin(th)}, {r * std::sin(th), r * std::cos(th)}};
+  EXPECT_NEAR(spectralRadius(a), 0.8, 1e-6);
+}
+
+TEST(Spectral, CompanionMatrixPoles) {
+  // y_m = 0.5 y_{m-1}: single pole at 0.5.
+  EXPECT_NEAR(spectralRadius(companionMatrix({0.5})), 0.5, 1e-9);
+  // y_m = 1.2 y_{m-1} - 0.36 y_{m-2}: double pole at 0.6.
+  EXPECT_NEAR(spectralRadius(companionMatrix({1.2, -0.36})), 0.6, 5e-3);
+}
+
+TEST(Spectral, InvalidInputsThrow) {
+  EXPECT_THROW(spectralRadius(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(companionMatrix({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

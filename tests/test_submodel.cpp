@@ -1,0 +1,128 @@
+// Unit tests for the Gaussian RBF and linear ARX submodels (Eqs. 1-4, 6).
+#include "rbf/submodel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+GaussianRbfParams singleCenterParams() {
+  GaussianRbfParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.beta = 0.5;
+  p.i_scale = 1.0;
+  p.theta = {2.0};
+  p.c0 = {1.0};
+  p.cv = {{0.5, 0.5}};
+  p.ci = {{0.0, 0.0}};
+  return p;
+}
+
+TEST(GaussianRbf, PeakAtCenter) {
+  GaussianRbfSubmodel m(singleCenterParams());
+  double didv = 1.0;
+  const double at_center = m.eval(1.0, {0.5, 0.5}, {0.0, 0.0}, &didv);
+  EXPECT_DOUBLE_EQ(at_center, 2.0);  // theta * exp(0)
+  EXPECT_NEAR(didv, 0.0, 1e-12);     // derivative vanishes at the peak
+}
+
+TEST(GaussianRbf, AnalyticDerivativeMatchesFiniteDifference) {
+  GaussianRbfParams p = singleCenterParams();
+  p.theta = {2.0, -1.5};
+  p.c0 = {1.0, 0.2};
+  p.cv = {{0.5, 0.5}, {-0.1, 0.3}};
+  p.ci = {{0.0, 0.0}, {0.4, -0.2}};
+  GaussianRbfSubmodel m(p);
+  const Vector xv{0.3, 0.6}, xi{0.1, -0.1};
+  for (double v : {-0.5, 0.0, 0.7, 1.3, 2.2}) {
+    double didv = 0.0;
+    m.eval(v, xv, xi, &didv);
+    const double h = 1e-6;
+    const double fd = (m.eval(v + h, xv, xi) - m.eval(v - h, xv, xi)) / (2.0 * h);
+    EXPECT_NEAR(didv, fd, 1e-6) << "v=" << v;
+  }
+}
+
+TEST(GaussianRbf, DecaysAwayFromCenters) {
+  GaussianRbfSubmodel m(singleCenterParams());
+  EXPECT_LT(std::abs(m.eval(10.0, {0.5, 0.5}, {0.0, 0.0})), 1e-10);
+}
+
+TEST(GaussianRbf, IScaleBalancesCurrentRegressors) {
+  // With i_scale = 1000, a 1 mA regressor excursion has the same metric
+  // weight as a 1 V voltage excursion.
+  GaussianRbfParams p = singleCenterParams();
+  p.i_scale = 1000.0;
+  p.ci = {{0.0, 0.0}};
+  GaussianRbfSubmodel m(p);
+  const double at_zero = m.eval(1.0, {0.5, 0.5}, {0.0, 0.0});
+  const double at_1ma = m.eval(1.0, {0.5, 0.5}, {1e-3, 0.0});
+  const double ratio = at_1ma / at_zero;
+  EXPECT_NEAR(ratio, std::exp(-1.0 / (2.0 * 0.25)), 1e-9);
+}
+
+TEST(GaussianRbf, BasisIsLinearInTheta) {
+  GaussianRbfParams p = singleCenterParams();
+  p.theta = {2.0, -1.0};
+  p.c0 = {1.0, 0.0};
+  p.cv = {{0.5, 0.5}, {0.0, 0.0}};
+  p.ci = {{0.0, 0.0}, {0.1, 0.1}};
+  GaussianRbfSubmodel m(p);
+  const Vector xv{0.2, 0.8}, xi{0.05, -0.02};
+  const Vector b = m.basis(0.6, xv, xi);
+  const double direct = m.eval(0.6, xv, xi);
+  EXPECT_NEAR(direct, p.theta[0] * b[0] + p.theta[1] * b[1], 1e-12);
+}
+
+TEST(GaussianRbf, Validation) {
+  GaussianRbfParams p = singleCenterParams();
+  p.beta = 0.0;
+  EXPECT_THROW(GaussianRbfSubmodel{p}, std::invalid_argument);
+  p = singleCenterParams();
+  p.cv = {{0.5}};  // wrong dimension
+  EXPECT_THROW(GaussianRbfSubmodel{p}, std::invalid_argument);
+  p = singleCenterParams();
+  p.c0 = {1.0, 2.0};  // size mismatch with theta
+  EXPECT_THROW(GaussianRbfSubmodel{p}, std::invalid_argument);
+  GaussianRbfSubmodel ok(singleCenterParams());
+  EXPECT_THROW(ok.eval(0.0, {1.0}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(LinearArx, EvaluatesDifferenceEquation) {
+  LinearArxParams p;
+  p.order = 2;
+  p.ts = 50e-12;
+  p.a = {0.5, -0.1};
+  p.b = {0.01, 0.002, -0.001};
+  LinearArxSubmodel m(p);
+  double didv = 0.0;
+  const double i = m.eval(1.0, {2.0, 3.0}, {0.1, 0.2}, &didv);
+  // 0.5*0.1 - 0.1*0.2 + 0.01*1 + 0.002*2 - 0.001*3 = 0.05 - 0.02 + 0.01 + 0.004 - 0.003
+  EXPECT_NEAR(i, 0.041, 1e-12);
+  EXPECT_DOUBLE_EQ(didv, 0.01);
+}
+
+TEST(LinearArx, PoleRadius) {
+  LinearArxParams p;
+  p.order = 1;
+  p.ts = 1e-9;
+  p.a = {0.8};
+  p.b = {1.0, 0.0};
+  LinearArxSubmodel m(p);
+  EXPECT_NEAR(m.poleRadius(), 0.8, 1e-6);
+}
+
+TEST(LinearArx, Validation) {
+  LinearArxParams p;
+  p.order = 2;
+  p.a = {0.1};  // wrong length
+  p.b = {1.0, 0.0, 0.0};
+  EXPECT_THROW(LinearArxSubmodel{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,110 @@
+// Cross-engine integration tests on the paper's validation structure
+// (Figs. 4-5): the four engines must agree on the termination waveforms.
+#include "core/tline_scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+namespace {
+
+/// Shared scenario with a shorter window and a smaller 3D mesh than the
+/// paper's (tests must stay fast); bench_fig4 runs the full-size version.
+TlineScenario testScenario(FarEndLoad load) {
+  TlineScenario cfg;
+  cfg.load = load;
+  cfg.t_stop = 5e-9;
+  cfg.mesh_nx = 92;
+  cfg.mesh_ny = 16;
+  cfg.mesh_nz = 15;
+  cfg.strip_len = 76;
+  cfg.strip_width = 4;
+  cfg.strip_gap = 3;
+  cfg.mesh_delta = 1.52e-3;  // keeps Td ~ 0.385 ns with 76 cells
+  cfg.td = 76.0 * 1.52e-3 / 299792458.0;
+  return cfg;
+}
+
+double compare(const Waveform& a, const Waveform& b, double t0, double t1) {
+  // Resample both on a common axis and compute NRMSE over [t0, t1].
+  Vector va, vb;
+  const double dt = 10e-12;
+  for (double t = t0; t <= t1; t += dt) {
+    va.push_back(a.value(t));
+    vb.push_back(b.value(t));
+  }
+  return nrmse(va, vb);
+}
+
+TEST(TlineScenario, SpiceRbfMatchesSpiceTransistorRcLoad) {
+  const auto cfg = testScenario(FarEndLoad::kLinearRc);
+  const auto ref = runSpiceTransistorTline(cfg, defaultDriverDevice(),
+                                           defaultReceiverDevice());
+  const auto rbf = runSpiceRbfTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LT(compare(rbf.v_near, ref.v_near, 0.0, cfg.t_stop), 0.05);
+  EXPECT_LT(compare(rbf.v_far, ref.v_far, 0.0, cfg.t_stop), 0.06);
+}
+
+TEST(TlineScenario, Fdtd1dMatchesSpiceRbfRcLoad) {
+  const auto cfg = testScenario(FarEndLoad::kLinearRc);
+  const auto spice = runSpiceRbfTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  const auto f1d = runFdtd1dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LT(compare(f1d.v_near, spice.v_near, 0.0, cfg.t_stop), 0.05);
+  EXPECT_LT(compare(f1d.v_far, spice.v_far, 0.0, cfg.t_stop), 0.05);
+}
+
+TEST(TlineScenario, Fdtd3dMatchesFdtd1dRcLoad) {
+  auto cfg = testScenario(FarEndLoad::kLinearRc);
+  const auto f1d = runFdtd1dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  const auto f3d = runFdtd3dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  // The 3D line's Zc is only approximately 131 ohm and numerical
+  // dispersion adds wiggle (the paper notes "a marginal deviation"), so
+  // the tolerance is looser.
+  EXPECT_LT(compare(f3d.v_near, f1d.v_near, 0.0, cfg.t_stop), 0.12);
+  EXPECT_LT(compare(f3d.v_far, f1d.v_far, 0.0, cfg.t_stop), 0.12);
+}
+
+TEST(TlineScenario, ReceiverLoadEnginesAgree) {
+  const auto cfg = testScenario(FarEndLoad::kReceiver);
+  const auto spice = runSpiceRbfTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  const auto f1d = runFdtd1dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LT(compare(f1d.v_far, spice.v_far, 0.0, cfg.t_stop), 0.06);
+}
+
+TEST(TlineScenario, SignalShapeSanity) {
+  // The far-end RC-loaded waveform must swing HIGH after the driver's
+  // rising edge plus one line delay, with ringing above Vdd (the lightly
+  // loaded 131-ohm line nearly doubles the incident wave).
+  const auto cfg = testScenario(FarEndLoad::kLinearRc);
+  const auto run = runSpiceRbfTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_NEAR(run.v_far.value(1.5e-9), 0.0, 0.15);  // before the edge
+  double vmax = -1e9;
+  for (double v : run.v_far.samples()) vmax = std::max(vmax, v);
+  EXPECT_GT(vmax, 1.8);  // overshoot beyond Vdd
+  EXPECT_LT(vmax, 3.2);  // bounded (Fig. 4's axis tops at ~3 V)
+}
+
+TEST(TlineScenario, NewtonIterationBudget) {
+  // The paper: "the number of Newton-Raphson iterations ... never exceeded
+  // a maximum number of three" at threshold 1e-9.
+  const auto cfg = testScenario(FarEndLoad::kReceiver);
+  const auto f1d = runFdtd1dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LE(f1d.max_newton_iterations, 3);
+  const auto f3d = runFdtd3dTline(cfg, defaultDriverModel(), defaultReceiverModel());
+  EXPECT_LE(f3d.max_newton_iterations, 4);  // small slack for mesh startup
+}
+
+TEST(TlineScenario, NullModelValidation) {
+  const auto cfg = testScenario(FarEndLoad::kLinearRc);
+  EXPECT_THROW(runSpiceRbfTline(cfg, nullptr, nullptr), std::invalid_argument);
+  EXPECT_THROW(runFdtd1dTline(cfg, nullptr, nullptr), std::invalid_argument);
+  EXPECT_THROW(runFdtd3dTline(cfg, nullptr, nullptr), std::invalid_argument);
+  TlineScenario rc_recv = cfg;
+  rc_recv.load = FarEndLoad::kReceiver;
+  EXPECT_THROW(runSpiceRbfTline(rc_recv, defaultDriverModel(), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm

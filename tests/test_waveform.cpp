@@ -1,0 +1,91 @@
+// Unit tests for the Waveform container.
+#include "signal/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+TEST(Waveform, BasicAccessors) {
+  Waveform w(1.0, 0.5, {0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(w.t0(), 1.0);
+  EXPECT_DOUBLE_EQ(w.dt(), 0.5);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.tEnd(), 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 2.0);
+}
+
+TEST(Waveform, BadDtThrows) {
+  EXPECT_THROW(Waveform(0.0, 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform(0.0, -1.0, {1.0}), std::invalid_argument);
+}
+
+TEST(Waveform, LinearInterpolation) {
+  Waveform w(0.0, 1.0, {0.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.75), 3.5);
+}
+
+TEST(Waveform, ClampsOutsideRange) {
+  Waveform w(0.0, 1.0, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(w.value(-3.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(10.0), 7.0);
+}
+
+TEST(Waveform, EmptyValueIsZero) {
+  Waveform w;
+  EXPECT_DOUBLE_EQ(w.value(1.0), 0.0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Waveform, ResampleHalvesStep) {
+  Waveform w(0.0, 1.0, {0.0, 1.0, 2.0});
+  const Waveform r = w.resampled(0.5);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r[1], 0.5);
+  EXPECT_DOUBLE_EQ(r[4], 2.0);
+}
+
+TEST(Waveform, ResampleInvalidThrows) {
+  Waveform w(0.0, 1.0, {0.0, 1.0});
+  EXPECT_THROW(w.resampled(0.0), std::invalid_argument);
+  EXPECT_THROW(Waveform().resampled(0.5), std::invalid_argument);
+}
+
+TEST(Waveform, TimesAxis) {
+  Waveform w(2.0, 0.25, {1.0, 1.0, 1.0});
+  const Vector t = w.times();
+  EXPECT_DOUBLE_EQ(t[0], 2.0);
+  EXPECT_DOUBLE_EQ(t[2], 2.5);
+}
+
+TEST(Waveform, CsvRoundTripThroughFile) {
+  Waveform w(0.0, 1e-9, {0.5, 1.5});
+  const std::string path = testing::TempDir() + "wave_test.csv";
+  w.writeCsv(path, "volts");
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,volts");
+  std::string line1;
+  std::getline(in, line1);
+  EXPECT_NE(line1.find("0.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SampleFunction, SamplesClosure) {
+  const Waveform w = sampleFunction([](double t) { return 2.0 * t; }, 0.0, 1.0, 0.25);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[3], 1.5);
+  EXPECT_THROW(sampleFunction([](double) { return 0.0; }, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(sampleFunction([](double) { return 0.0; }, 1.0, 0.0, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdtdmm
