@@ -1,0 +1,75 @@
+// Measures how the sweep engine scales with worker count: a 16-point
+// t-line parameter sweep (4 Zc corners x 4 far-end RC corners, 1D FDTD
+// engine) run with 1/2/4/8 workers. Two things are reported:
+//   - wall-clock per worker count and speedup vs the 1-worker run (the
+//     tasks are independent CPU-bound simulations, so on an N-core machine
+//     the sweep should approach Nx until workers exceed cores);
+//   - a determinism check: the per-run metrics of every configuration must
+//     be bitwise identical to the 1-worker reference, whatever the
+//     scheduling was.
+// The identified-model cache is built once and shared across all runs, so
+// the timings measure simulation, not identification.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "engine/sweep_runner.h"
+
+int main() {
+  using namespace fdtdmm;
+
+  std::puts("=== bench_sweep_scaling: 16-point t-line sweep vs worker count ===");
+
+  SweepSpec spec;
+  spec.kind = TaskKind::kTline;
+  spec.engine = TlineEngine::kFdtd1d;
+  spec.base_tline.pattern = "01011001";
+  spec.base_tline.bit_time = 2e-9;
+  spec.base_tline.t_stop = 20e-9;
+  spec.zc_values = {90.0, 110.0, 131.0, 150.0};
+  spec.loads = {FarEndLoad::kLinearRc};
+  spec.rc_loads = {{500.0, 1e-12}, {500.0, 5e-12}, {100.0, 1e-12}, {100.0, 5e-12}};
+  std::printf("sweep points: %zu\n", spec.count());
+
+  std::puts("identifying the shared driver macromodel (once)...");
+  auto cache = std::make_shared<ModelCache>();
+  cache->driver("default");  // warm the cache outside the timed region
+
+  std::vector<SweepResult> results;
+  std::puts("\nworkers,wall_s,speedup_vs_1");
+  double t1 = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SweepOptions opt;
+    opt.workers = workers;
+    SweepRunner runner(opt, cache);
+    SweepResult res = runner.run(spec);
+    if (workers == 1) t1 = res.wall_seconds;
+    std::printf("%zu,%.3f,%.2fx\n", workers, res.wall_seconds,
+                t1 / res.wall_seconds);
+    results.push_back(std::move(res));
+  }
+
+  // Determinism: every worker count must reproduce the 1-worker metrics
+  // bit for bit.
+  bool deterministic = true;
+  const SweepResult& ref = results.front();
+  for (const SweepResult& res : results) {
+    for (std::size_t i = 0; i < ref.runs.size(); ++i) {
+      const RunMetrics& a = ref.runs[i].metrics;
+      const RunMetrics& b = res.runs[i].metrics;
+      if (!res.runs[i].ok || res.runs[i].index != ref.runs[i].index ||
+          a.eye.eye_height != b.eye.eye_height || a.v_far_max != b.v_far_max ||
+          a.v_far_min != b.v_far_min || a.overshoot != b.overshoot ||
+          a.settling_time != b.settling_time ||
+          a.far_end_delay != b.far_end_delay ||
+          a.max_newton_iterations != b.max_newton_iterations) {
+        deterministic = false;
+        std::printf("MISMATCH at workers=%zu task=%zu\n", res.workers, i);
+      }
+    }
+  }
+  std::printf("\ndeterminism across worker counts: %s\n",
+              deterministic ? "OK (bitwise identical metrics)" : "FAILED");
+  return deterministic ? 0 : 1;
+}

@@ -12,13 +12,36 @@
 
 namespace fdtdmm {
 
+void validatePcbScenario(const PcbScenario& cfg) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("PcbScenario: " + what);
+  };
+  if (cfg.pattern.empty()) fail("empty bit pattern");
+  if (!(cfg.bit_time > 0.0)) fail("bit_time must be > 0");
+  if (!(cfg.t_stop > 0.0)) fail("t_stop must be > 0");
+  if (!(cfg.cell > 0.0)) fail("cell must be > 0");
+  if (cfg.board_cells == 0 || cfg.strip_len == 0) fail("mesh sizes must be > 0");
+  if (cfg.net_pitch == 0) fail("net_pitch must be > 0");
+  if (!(cfg.eps_r > 0.0)) fail("eps_r must be > 0");
+  if (!(cfg.r_termination > 0.0)) fail("r_termination must be > 0");
+  if (cfg.board_cells < cfg.strip_len + 10) fail("board too small for strips");
+  // The outermost net (n = 2) is offset by 2*net_pitch from the innermost;
+  // its strips must still end on the board, not in the air margin.
+  if ((cfg.board_cells - cfg.strip_len) / 2 + 2 * cfg.net_pitch + cfg.strip_len >
+      cfg.board_cells)
+    fail("net_pitch pushes the outer net past the board edge");
+  if (cfg.with_incident) {
+    if (!(cfg.inc_amplitude > 0.0)) fail("inc_amplitude must be > 0");
+    if (!(cfg.inc_bandwidth > 0.0)) fail("inc_bandwidth must be > 0");
+  }
+}
+
 PcbRun runPcbScenario(const PcbScenario& cfg,
                       std::shared_ptr<const RbfDriverModel> driver,
                       std::shared_ptr<const RbfReceiverModel> receiver) {
+  validatePcbScenario(cfg);
   if (!driver || !receiver)
     throw std::invalid_argument("runPcbScenario: null device model");
-  if (cfg.board_cells < cfg.strip_len + 10)
-    throw std::invalid_argument("runPcbScenario: board too small for strips");
 
   const auto start = std::chrono::steady_clock::now();
   const BitPattern pattern(cfg.pattern, cfg.bit_time);

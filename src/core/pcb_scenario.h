@@ -36,6 +36,13 @@ struct PcbScenario {
   double inc_phi_deg = 180.0;
 };
 
+/// Validates scenario options. runPcbScenario calls this before meshing.
+/// \throws std::invalid_argument if pattern is empty, bit_time/t_stop/cell/
+///         eps_r/r_termination are non-positive, mesh sizes are zero, the
+///         strips do not fit on the board, or (with the incident field on)
+///         inc_amplitude/inc_bandwidth are non-positive.
+void validatePcbScenario(const PcbScenario& cfg);
+
 /// Result: the active-line termination voltages (the series of Fig. 7)
 /// plus the passive-net termination voltages (crosstalk victims).
 struct PcbRun {

@@ -26,10 +26,34 @@ TimeFn logicFromPattern(const TlineScenario& cfg) {
 
 }  // namespace
 
+void validateTlineScenario(const TlineScenario& cfg) {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("TlineScenario: " + what);
+  };
+  if (cfg.pattern.empty()) fail("empty bit pattern");
+  if (!(cfg.bit_time > 0.0)) fail("bit_time must be > 0");
+  if (!(cfg.t_stop > 0.0)) fail("t_stop must be > 0");
+  if (!(cfg.zc > 0.0)) fail("zc must be > 0");
+  if (!(cfg.td > 0.0)) fail("td must be > 0");
+  if (cfg.load == FarEndLoad::kLinearRc) {
+    if (!(cfg.load_r > 0.0)) fail("load_r must be > 0");
+    if (!(cfg.load_c > 0.0)) fail("load_c must be > 0");
+  }
+  if (!(cfg.mesh_delta > 0.0)) fail("mesh_delta must be > 0");
+  if (cfg.mesh_nx == 0 || cfg.mesh_ny == 0 || cfg.mesh_nz == 0)
+    fail("mesh dimensions must be > 0");
+  if (cfg.strip_len == 0 || cfg.strip_width == 0 || cfg.strip_gap == 0)
+    fail("strip sizes must be > 0");
+  if (cfg.strip_len >= cfg.mesh_nx) fail("strip_len must fit inside mesh_nx");
+  if (cfg.strip_width >= cfg.mesh_ny) fail("strip_width must fit inside mesh_ny");
+  if (cfg.strip_gap >= cfg.mesh_nz) fail("strip_gap must fit inside mesh_nz");
+}
+
 EngineRun runSpiceTransistorTline(const TlineScenario& cfg,
                                   const CmosDriverParams& driver,
                                   const CmosReceiverParams& receiver,
                                   double dt) {
+  validateTlineScenario(cfg);
   const auto start = Clock::now();
   Circuit circuit;
   auto drv = buildCmosDriver(circuit, driver, logicFromPattern(cfg));
@@ -65,6 +89,7 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
                            std::shared_ptr<const RbfDriverModel> driver,
                            std::shared_ptr<const RbfReceiverModel> receiver,
                            double dt) {
+  validateTlineScenario(cfg);
   if (!driver) throw std::invalid_argument("runSpiceRbfTline: null driver model");
   const auto start = Clock::now();
   const BitPattern pattern(cfg.pattern, cfg.bit_time);
@@ -102,6 +127,7 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
 EngineRun runFdtd1dTline(const TlineScenario& cfg,
                          std::shared_ptr<const RbfDriverModel> driver,
                          std::shared_ptr<const RbfReceiverModel> receiver) {
+  validateTlineScenario(cfg);
   if (!driver) throw std::invalid_argument("runFdtd1dTline: null driver model");
   const auto start = Clock::now();
   const BitPattern pattern(cfg.pattern, cfg.bit_time);
@@ -133,6 +159,7 @@ EngineRun runFdtd1dTline(const TlineScenario& cfg,
 EngineRun runFdtd3dTline(const TlineScenario& cfg,
                          std::shared_ptr<const RbfDriverModel> driver,
                          std::shared_ptr<const RbfReceiverModel> receiver) {
+  validateTlineScenario(cfg);
   if (!driver) throw std::invalid_argument("runFdtd3dTline: null driver model");
   const auto start = Clock::now();
   const BitPattern pattern(cfg.pattern, cfg.bit_time);

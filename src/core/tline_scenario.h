@@ -40,6 +40,14 @@ struct TlineScenario {
   std::size_t strip_gap = 3;     ///< vertical separation [cells]
 };
 
+/// Validates scenario options. Every engine entry point calls this before
+/// building anything, so bad options fail fast instead of producing NaNs or
+/// hanging in a degenerate mesh.
+/// \throws std::invalid_argument if pattern is empty, bit_time/t_stop/zc/
+///         td/mesh_delta are non-positive, any mesh dimension or strip size
+///         is zero, or the strip does not fit inside the mesh.
+void validateTlineScenario(const TlineScenario& cfg);
+
 /// Result of one engine run on the scenario.
 struct EngineRun {
   Waveform v_near;  ///< driver-side termination voltage

@@ -1,0 +1,78 @@
+#include "engine/model_cache.h"
+
+#include <stdexcept>
+
+#include "core/model_factory.h"
+
+namespace fdtdmm {
+
+ModelCache::ModelCache(std::shared_ptr<ModelLibrary> library)
+    : library_(std::move(library)) {}
+
+std::shared_ptr<const RbfDriverModel> ModelCache::driver(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = drivers_.find(name);
+  if (it != drivers_.end()) return it->second;
+  std::shared_ptr<const RbfDriverModel> model;
+  if (library_ && library_->hasDriver(name)) {
+    model = library_->driver(name);
+  } else if (name == "default") {
+    model = defaultDriverModel();
+  } else {
+    throw std::runtime_error("ModelCache: cannot resolve driver '" + name + "'");
+  }
+  drivers_.emplace(name, model);
+  return model;
+}
+
+std::shared_ptr<const RbfReceiverModel> ModelCache::receiver(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = receivers_.find(name);
+  if (it != receivers_.end()) return it->second;
+  std::shared_ptr<const RbfReceiverModel> model;
+  if (library_ && library_->hasReceiver(name)) {
+    model = library_->receiver(name);
+  } else if (name == "default") {
+    model = defaultReceiverModel();
+  } else {
+    throw std::runtime_error("ModelCache: cannot resolve receiver '" + name + "'");
+  }
+  receivers_.emplace(name, model);
+  return model;
+}
+
+void ModelCache::putDriver(const std::string& name,
+                           std::shared_ptr<const RbfDriverModel> model) {
+  if (!model) throw std::invalid_argument("ModelCache: null driver model");
+  std::lock_guard<std::mutex> lock(mu_);
+  drivers_[name] = std::move(model);
+}
+
+void ModelCache::putReceiver(const std::string& name,
+                             std::shared_ptr<const RbfReceiverModel> model) {
+  if (!model) throw std::invalid_argument("ModelCache: null receiver model");
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_[name] = std::move(model);
+}
+
+void ModelCache::preload(const std::vector<SimulationTask>& tasks) {
+  // Best-effort: an unresolvable name is not an error here — the task that
+  // needs it will fail individually with the real message, and the rest of
+  // the sweep still runs.
+  for (const SimulationTask& task : tasks) {
+    try {
+      driver(task.driver);
+    } catch (const std::exception&) {
+    }
+    // Resolving a receiver the task never touches would force a pointless
+    // identification.
+    if (taskNeedsReceiver(task)) {
+      try {
+        receiver(task.receiver);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+}
+
+}  // namespace fdtdmm

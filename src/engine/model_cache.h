@@ -1,0 +1,61 @@
+#pragma once
+/// \file model_cache.h
+/// Thread-safe, in-memory cache of identified macromodels shared by all
+/// sweep workers. The paper's economics depend on this: "parameters are
+/// computed only once through a rigorous identification procedure and are
+/// used for all subsequent simulations" — so a 16-task sweep must identify
+/// (or deserialize) each device exactly once, not 16 times.
+///
+/// Name resolution order for `driver(name)` / `receiver(name)`:
+///   1. the in-memory cache (previous lookup or explicit put*);
+///   2. the backing ModelLibrary, if one was attached;
+///   3. the built-in identified models for the reserved name "default";
+///   4. otherwise std::runtime_error.
+/// Resolved models are immutable (shared_ptr<const ...>), so workers can
+/// simulate from the same instance concurrently without copies.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sim_task.h"
+#include "rbf/model_library.h"
+
+namespace fdtdmm {
+
+class ModelCache {
+ public:
+  ModelCache() = default;
+
+  /// Cache misses fall through to `library` (may be null).
+  explicit ModelCache(std::shared_ptr<ModelLibrary> library);
+
+  /// Resolves a driver/receiver model by component name (see resolution
+  /// order above). Identification or deserialization runs under the cache
+  /// lock, so concurrent first lookups of the same name do the work once.
+  /// \throws std::runtime_error if the name cannot be resolved.
+  std::shared_ptr<const RbfDriverModel> driver(const std::string& name);
+  std::shared_ptr<const RbfReceiverModel> receiver(const std::string& name);
+
+  /// Registers an already-built model under `name` (overwrites).
+  /// \throws std::invalid_argument on a null model.
+  void putDriver(const std::string& name, std::shared_ptr<const RbfDriverModel> model);
+  void putReceiver(const std::string& name,
+                   std::shared_ptr<const RbfReceiverModel> model);
+
+  /// Resolves every model any of `tasks` will need, serially, before the
+  /// pool starts. Workers then always hit the cache, so no worker stalls
+  /// on a multi-second identification mid-sweep. Best-effort: unresolvable
+  /// names are skipped here and surface as per-task failures at run time.
+  void preload(const std::vector<SimulationTask>& tasks);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const RbfDriverModel>> drivers_;
+  std::map<std::string, std::shared_ptr<const RbfReceiverModel>> receivers_;
+  std::shared_ptr<ModelLibrary> library_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,186 @@
+#include "engine/sweep_result.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// First time `w` crosses `level` going up, by linear interpolation;
+/// negative when it never does.
+double risingCrossing(const Waveform& w, double level) {
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double a = w[k - 1], b = w[k];
+    if (a < level && b >= level) {
+      const double frac = (level - a) / (b - a);
+      return w.t0() + (static_cast<double>(k - 1) + frac) * w.dt();
+    }
+  }
+  return -1.0;
+}
+
+std::string csvQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+RunMetrics computeRunMetrics(const TaskWaveforms& waves, const BitPattern& pattern,
+                             const EyeOptions& eye_opt) {
+  if (waves.v_far.empty())
+    throw std::invalid_argument("computeRunMetrics: empty far-end waveform");
+  RunMetrics m;
+  m.max_newton_iterations = waves.max_newton_iterations;
+
+  const MinMax far_mm = minMax(waves.v_far.samples());
+  m.v_far_max = far_mm.max;
+  m.v_far_min = far_mm.min;
+
+  // The eye is not measurable for every sweep point (short pattern, or a
+  // pattern with only one level after skip_bits — e.g. a quiescent line in
+  // an EMC susceptibility run). Those are "eye not applicable", not task
+  // failures: the remaining metrics must survive.
+  if (pattern.size() >= eye_opt.skip_bits + 2) {
+    try {
+      m.eye = measureEye(waves.v_far, pattern, eye_opt);
+      m.eye_valid = true;
+    } catch (const std::invalid_argument&) {
+      m.eye_valid = false;
+    }
+  }
+
+  // Overshoot against the settled HIGH level: the eye's HIGH estimate when
+  // available, else the final sample (a '...1'-terminated pattern settles
+  // high, a '...0' one makes the metric read the full swing, still useful
+  // as a worst-case bound).
+  const double v_end = waves.v_far[waves.v_far.size() - 1];
+  const double v_high = m.eye_valid ? m.eye.level_high : v_end;
+  m.overshoot = m.v_far_max - v_high;
+
+  // Settling: last excursion of v_far outside 5% of the total swing around
+  // its final value.
+  const double tol = 0.05 * (far_mm.max - far_mm.min);
+  m.settling_time = waves.v_far.t0();
+  for (std::size_t k = waves.v_far.size(); k-- > 0;) {
+    if (std::abs(waves.v_far[k] - v_end) > tol) {
+      m.settling_time = waves.v_far.t0() + static_cast<double>(k) * waves.v_far.dt();
+      break;
+    }
+  }
+
+  // Far-end propagation delay: 50%-swing rising crossings.
+  if (!waves.v_near.empty()) {
+    const MinMax near_mm = minMax(waves.v_near.samples());
+    const double t_near = risingCrossing(waves.v_near, 0.5 * (near_mm.min + near_mm.max));
+    const double t_far = risingCrossing(waves.v_far, 0.5 * (far_mm.min + far_mm.max));
+    if (t_near >= 0.0 && t_far >= 0.0) m.far_end_delay = t_far - t_near;
+  }
+  return m;
+}
+
+std::size_t SweepResult::okCount() const {
+  std::size_t n = 0;
+  for (const SweepRunRecord& r : runs) n += r.ok ? 1 : 0;
+  return n;
+}
+
+void writeSweepCsv(const SweepResult& result, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("writeSweepCsv: cannot open " + path);
+  f << "index,label,ok,error,eye_height,eye_level_high,eye_level_low,eye_open,"
+       "v_far_max,v_far_min,overshoot,settling_time,far_end_delay,"
+       "max_newton_iterations\n";
+  for (const SweepRunRecord& r : result.runs) {
+    f << r.index << ',' << csvQuote(r.label) << ',' << (r.ok ? 1 : 0) << ','
+      << csvQuote(r.error) << ',';
+    if (r.ok && r.metrics.eye_valid) {
+      f << num(r.metrics.eye.eye_height) << ',' << num(r.metrics.eye.level_high)
+        << ',' << num(r.metrics.eye.level_low) << ','
+        << (r.metrics.eye.open ? 1 : 0) << ',';
+    } else {
+      f << ",,,,";
+    }
+    if (r.ok) {
+      f << num(r.metrics.v_far_max) << ',' << num(r.metrics.v_far_min) << ','
+        << num(r.metrics.overshoot) << ',' << num(r.metrics.settling_time) << ','
+        << num(r.metrics.far_end_delay) << ',' << r.metrics.max_newton_iterations;
+    } else {
+      f << ",,,,,";
+    }
+    f << '\n';
+  }
+  if (!f) throw std::runtime_error("writeSweepCsv: write failed for " + path);
+}
+
+void writeSweepJson(const SweepResult& result, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("writeSweepJson: cannot open " + path);
+  f << "{\n  \"workers\": " << result.workers << ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const SweepRunRecord& r = result.runs[i];
+    f << (i ? ",\n" : "\n") << "    {\"index\": " << r.index
+      << ", \"label\": " << jsonQuote(r.label)
+      << ", \"ok\": " << (r.ok ? "true" : "false")
+      << ", \"error\": " << jsonQuote(r.error) << ", \"metrics\": ";
+    if (!r.ok) {
+      f << "null";
+    } else {
+      const RunMetrics& m = r.metrics;
+      f << "{\"eye_height\": " << num(m.eye.eye_height)
+        << ", \"eye_level_high\": " << num(m.eye.level_high)
+        << ", \"eye_level_low\": " << num(m.eye.level_low)
+        << ", \"eye_open\": " << (m.eye.open ? "true" : "false")
+        << ", \"eye_valid\": " << (m.eye_valid ? "true" : "false")
+        << ", \"v_far_max\": " << num(m.v_far_max)
+        << ", \"v_far_min\": " << num(m.v_far_min)
+        << ", \"overshoot\": " << num(m.overshoot)
+        << ", \"settling_time\": " << num(m.settling_time)
+        << ", \"far_end_delay\": " << num(m.far_end_delay)
+        << ", \"max_newton_iterations\": " << m.max_newton_iterations << "}";
+    }
+    f << "}";
+  }
+  f << "\n  ]\n}\n";
+  if (!f) throw std::runtime_error("writeSweepJson: write failed for " + path);
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,97 @@
+#pragma once
+/// \file sweep_result.h
+/// Per-run signal-integrity metrics and structured export for sweeps.
+///
+/// ## CSV schema (writeSweepCsv)
+/// One header line, then one line per task in task-index order:
+///
+///   index,label,ok,error,eye_height,eye_level_high,eye_level_low,eye_open,
+///   v_far_max,v_far_min,overshoot,settling_time,far_end_delay,max_newton_iterations
+///
+///   - index                 task index from the SweepSpec expansion
+///   - label                 quoted task label (embedded quotes doubled)
+///   - ok                    1 if the run completed, 0 if it threw
+///   - error                 quoted exception text ("" when ok)
+///   - eye_height..eye_open  far-end EyeMetrics (empty fields when the eye
+///                           could not be measured, e.g. a pattern shorter
+///                           than skip_bits + 2)
+///   - v_far_max/v_far_min   far-end waveform extrema [V]
+///   - overshoot             v_far_max minus the settled HIGH level [V]
+///   - settling_time         last time |v_far - v_far(end)| exceeds 5% of
+///                           the total swing [s]
+///   - far_end_delay         50%-swing crossing delay, near to far end [s];
+///                           -1 when either waveform never crosses
+///   - max_newton_iterations worst Newton count over the run
+///   Numeric fields use printf %.9g, so exports from the same sweep are
+///   byte-identical regardless of worker count. Wall-clock timings are
+///   deliberately NOT exported (they are in SweepResult for reporting).
+///
+/// ## JSON schema (writeSweepJson)
+/// A single object:
+///
+///   { "workers": N, "runs": [ { "index": 0, "label": "...", "ok": true,
+///       "error": "", "metrics": { "eye_height": ..., "eye_level_high": ...,
+///       "eye_level_low": ..., "eye_open": bool, "eye_valid": bool,
+///       "v_far_max": ..., "v_far_min": ..., "overshoot": ...,
+///       "settling_time": ..., "far_end_delay": ...,
+///       "max_newton_iterations": N } }, ... ] }
+///
+///   Same determinism contract as the CSV; "metrics" is null for failed
+///   runs, and eye_* fields are 0 with "eye_valid": false when the eye
+///   could not be measured.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sim_task.h"
+#include "signal/eye.h"
+
+namespace fdtdmm {
+
+/// Deterministic per-run metrics (no wall-clock content).
+struct RunMetrics {
+  EyeMetrics eye;        ///< far-end eye vs the transmitted pattern
+  bool eye_valid = false;  ///< false when measureEye is not applicable
+  double v_far_max = 0.0;
+  double v_far_min = 0.0;
+  double overshoot = 0.0;       ///< v_far_max - settled HIGH [V]
+  double settling_time = 0.0;   ///< [s], see CSV schema
+  double far_end_delay = -1.0;  ///< [s], -1 when undefined
+  int max_newton_iterations = 0;
+};
+
+/// Computes metrics from a finished task run. Pure function of its inputs.
+/// \throws std::invalid_argument on an empty far-end waveform.
+RunMetrics computeRunMetrics(const TaskWaveforms& waves, const BitPattern& pattern,
+                             const EyeOptions& eye_opt = {});
+
+/// Outcome of one task: either metrics (ok) or the captured error text.
+struct SweepRunRecord {
+  std::size_t index = 0;
+  std::string label;
+  bool ok = false;
+  std::string error;
+  RunMetrics metrics;
+  TaskWaveforms waves;        ///< populated only with SweepOptions::keep_waveforms
+  double wall_seconds = 0.0;  ///< informational; never exported
+};
+
+/// All runs of a sweep, in task-index order independent of thread count.
+struct SweepResult {
+  std::vector<SweepRunRecord> runs;
+  std::size_t workers = 1;
+  double wall_seconds = 0.0;  ///< whole-sweep wall clock (informational)
+
+  std::size_t okCount() const;
+};
+
+/// Writes the CSV table described above. \throws std::runtime_error if the
+/// file cannot be opened.
+void writeSweepCsv(const SweepResult& result, const std::string& path);
+
+/// Writes the JSON document described above. \throws std::runtime_error if
+/// the file cannot be opened.
+void writeSweepJson(const SweepResult& result, const std::string& path);
+
+}  // namespace fdtdmm

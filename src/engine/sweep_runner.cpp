@@ -1,0 +1,73 @@
+#include "engine/sweep_runner.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <thread>
+
+#include "engine/thread_pool.h"
+#include "signal/bit_pattern.h"
+
+namespace fdtdmm {
+
+SweepRunner::SweepRunner(SweepOptions opt, std::shared_ptr<ModelCache> cache)
+    : opt_(opt), cache_(std::move(cache)) {
+  if (!cache_) cache_ = std::make_shared<ModelCache>();
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) { return run(spec.expand()); }
+
+SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t workers = opt_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+
+  // Resolve every model serially up front: identification runs once per
+  // device here instead of stalling (or racing) the workers.
+  cache_->preload(tasks);
+
+  SweepResult result;
+  result.workers = workers;
+  result.runs.resize(tasks.size());
+
+  ThreadPool pool(workers);
+  std::vector<std::future<SweepRunRecord>> futures;
+  futures.reserve(tasks.size());
+  for (const SimulationTask& task : tasks) {
+    futures.push_back(pool.submit([this, &task]() -> SweepRunRecord {
+      SweepRunRecord rec;
+      rec.index = task.index;
+      rec.label = task.label;
+      try {
+        auto driver = cache_->driver(task.driver);
+        auto receiver =
+            taskNeedsReceiver(task) ? cache_->receiver(task.receiver) : nullptr;
+        TaskWaveforms waves = runSimulationTask(task, driver, receiver);
+        const BitPattern pattern(taskPattern(task), taskBitTime(task));
+        rec.metrics = computeRunMetrics(waves, pattern, opt_.eye);
+        rec.wall_seconds = waves.wall_seconds;
+        if (opt_.keep_waveforms) rec.waves = std::move(waves);
+        rec.ok = true;
+      } catch (const std::exception& e) {
+        rec.ok = false;
+        rec.error = e.what();
+      }
+      return rec;
+    }));
+  }
+
+  // Collect each future into its task's slot: result order is the task
+  // order no matter which worker finished first.
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    result.runs[i] = futures[i].get();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,58 @@
+#pragma once
+/// \file sweep_runner.h
+/// Executes a sweep's tasks across a ThreadPool. The contract that makes
+/// parallel sweeps trustworthy:
+///   - results come back in task-index order, independent of worker count
+///     or scheduling (each future is collected into its task's slot);
+///   - every model is resolved once through the shared ModelCache before
+///     the pool starts (ModelCache::preload), so identification cost is
+///     per-device, not per-task;
+///   - a task that throws is recorded as ok=false with the exception text
+///     in its slot — one bad corner never aborts the sweep;
+///   - with identical tasks and models, the exported metrics are
+///     byte-identical for any worker count (see sweep_result.h).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "engine/model_cache.h"
+#include "engine/sweep_result.h"
+#include "engine/sweep_spec.h"
+#include "signal/eye.h"
+
+namespace fdtdmm {
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  std::size_t workers = 0;
+  /// Retain each run's waveforms in its SweepRunRecord (memory-heavy for
+  /// large sweeps; metrics are always computed).
+  bool keep_waveforms = false;
+  /// Eye-measurement window for the per-run metrics.
+  EyeOptions eye;
+};
+
+class SweepRunner {
+ public:
+  /// A null cache gets replaced by a fresh empty ModelCache (which can
+  /// still resolve the built-in "default" models).
+  explicit SweepRunner(SweepOptions opt = {},
+                       std::shared_ptr<ModelCache> cache = nullptr);
+
+  /// Expands the spec and runs every task. \throws std::invalid_argument
+  /// from expansion; per-task failures are captured in the result instead.
+  SweepResult run(const SweepSpec& spec);
+
+  /// Runs already-expanded tasks (kept in the given order; `index` fields
+  /// are used only for reporting).
+  SweepResult run(const std::vector<SimulationTask>& tasks);
+
+  const std::shared_ptr<ModelCache>& cache() const { return cache_; }
+
+ private:
+  SweepOptions opt_;
+  std::shared_ptr<ModelCache> cache_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,151 @@
+#include "engine/sweep_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+void checkAxes(const SweepSpec& spec) {
+  if (spec.kind == TaskKind::kPcb) {
+    if (!spec.zc_values.empty() || !spec.td_values.empty() ||
+        !spec.loads.empty() || !spec.rc_loads.empty())
+      throw std::invalid_argument(
+          "SweepSpec: zc/td/load axes do not apply to a PCB sweep");
+  } else if (!spec.incident_field.empty()) {
+    throw std::invalid_argument(
+        "SweepSpec: incident_field axis does not apply to a t-line sweep");
+  }
+  for (double bt : spec.bit_times)
+    if (!(bt > 0.0)) throw std::invalid_argument("SweepSpec: bit_time must be > 0");
+  for (double zc : spec.zc_values)
+    if (!(zc > 0.0)) throw std::invalid_argument("SweepSpec: zc must be > 0");
+  for (double td : spec.td_values)
+    if (!(td > 0.0)) throw std::invalid_argument("SweepSpec: td must be > 0");
+  for (const RcLoad& rc : spec.rc_loads)
+    if (!(rc.r > 0.0) || !(rc.c > 0.0))
+      throw std::invalid_argument("SweepSpec: rc_loads entries must be > 0");
+  for (const std::string& p : spec.patterns)
+    if (p.empty()) throw std::invalid_argument("SweepSpec: empty pattern");
+}
+
+const char* engineName(TlineEngine e) {
+  switch (e) {
+    case TlineEngine::kSpiceRbf: return "spice-rbf";
+    case TlineEngine::kFdtd1d: return "fdtd1d";
+    case TlineEngine::kFdtd3d: return "fdtd3d";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t SweepSpec::count() const {
+  checkAxes(*this);
+  auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  std::size_t n = dim(patterns.size()) * dim(bit_times.size());
+  if (kind == TaskKind::kPcb) return n * dim(incident_field.size());
+  n *= dim(zc_values.size()) * dim(td_values.size());
+  // The rc axis multiplies linear-RC grid points only.
+  std::size_t load_factor = 0;
+  const std::vector<FarEndLoad> load_axis =
+      loads.empty() ? std::vector<FarEndLoad>{base_tline.load} : loads;
+  for (FarEndLoad l : load_axis)
+    load_factor += l == FarEndLoad::kLinearRc ? dim(rc_loads.size()) : 1;
+  return n * load_factor;
+}
+
+std::vector<SimulationTask> SweepSpec::expand() const {
+  checkAxes(*this);
+
+  // Resolve each axis to a concrete list (base value when empty).
+  const auto pats = patterns.empty()
+                        ? std::vector<std::string>{kind == TaskKind::kTline
+                                                       ? base_tline.pattern
+                                                       : base_pcb.pattern}
+                        : patterns;
+  const auto bts = bit_times.empty()
+                       ? std::vector<double>{kind == TaskKind::kTline
+                                                 ? base_tline.bit_time
+                                                 : base_pcb.bit_time}
+                       : bit_times;
+
+  std::vector<SimulationTask> tasks;
+  tasks.reserve(count());
+
+  auto emit = [&](SimulationTask task, std::string label) {
+    task.index = tasks.size();
+    task.driver = driver;
+    task.receiver = receiver;
+    task.label = std::move(label);
+    validateSimulationTask(task);
+    tasks.push_back(std::move(task));
+  };
+
+  if (kind == TaskKind::kPcb) {
+    const auto incs = incident_field.empty()
+                          ? std::vector<bool>{base_pcb.with_incident}
+                          : incident_field;
+    for (const std::string& pat : pats)
+      for (double bt : bts)
+        for (bool inc : incs) {
+          SimulationTask task;
+          task.kind = TaskKind::kPcb;
+          task.pcb = base_pcb;
+          task.pcb.pattern = pat;
+          task.pcb.bit_time = bt;
+          task.pcb.with_incident = inc;
+          emit(std::move(task), "pcb pattern=" + pat + " bt=" + num(bt) +
+                                    " incident=" + (inc ? "on" : "off"));
+        }
+    return tasks;
+  }
+
+  const auto zcs = zc_values.empty() ? std::vector<double>{base_tline.zc} : zc_values;
+  const auto tds = td_values.empty() ? std::vector<double>{base_tline.td} : td_values;
+  const auto lds = loads.empty() ? std::vector<FarEndLoad>{base_tline.load} : loads;
+  const auto rcs = rc_loads.empty()
+                       ? std::vector<RcLoad>{{base_tline.load_r, base_tline.load_c}}
+                       : rc_loads;
+
+  for (const std::string& pat : pats)
+    for (double bt : bts)
+      for (double zc : zcs)
+        for (double td : tds)
+          for (FarEndLoad load : lds) {
+            // Receiver-loaded points ignore the rc axis (see header).
+            const std::size_t n_rc = load == FarEndLoad::kLinearRc ? rcs.size() : 1;
+            for (std::size_t r = 0; r < n_rc; ++r) {
+              SimulationTask task;
+              task.kind = TaskKind::kTline;
+              task.engine = engine;
+              task.tline = base_tline;
+              task.tline.pattern = pat;
+              task.tline.bit_time = bt;
+              task.tline.zc = zc;
+              task.tline.td = td;
+              task.tline.load = load;
+              std::string label = std::string("tline/") + engineName(engine) +
+                                  " pattern=" + pat + " bt=" + num(bt) +
+                                  " zc=" + num(zc) + " td=" + num(td);
+              if (load == FarEndLoad::kLinearRc) {
+                task.tline.load_r = rcs[r].r;
+                task.tline.load_c = rcs[r].c;
+                label += " load=rc r=" + num(rcs[r].r) + " c=" + num(rcs[r].c);
+              } else {
+                label += " load=receiver";
+              }
+              emit(std::move(task), std::move(label));
+            }
+          }
+  return tasks;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file sweep_spec.h
+/// Declarative parameter sweeps. A SweepSpec is a base scenario plus a set
+/// of axes; expand() takes the cartesian product of the non-empty axes and
+/// emits one fully-specified SimulationTask per grid point. This replaces
+/// the hand-written main() per analysis: a corner sweep, a pattern sweep,
+/// or an EMC susceptibility scan is a few lines of spec.
+///
+/// Expansion rules (all deterministic — no RNG, no iteration-order
+/// surprises):
+///   - An empty axis means "keep the base scenario's value" and contributes
+///     a factor of 1 to the grid size.
+///   - Axis nesting order, outermost to innermost: pattern, bit_time, zc,
+///     td, load, rc_load, incident_field. Task `index` follows that order.
+///   - rc_loads only applies to grid points whose far-end load resolves to
+///     FarEndLoad::kLinearRc; points with the receiver load ignore the axis
+///     (factor 1) instead of emitting duplicate tasks.
+///   - t-line axes (zc, td, loads, rc_loads) must be empty on a PCB sweep
+///     and incident_field must be empty on a t-line sweep; expand() throws.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sim_task.h"
+
+namespace fdtdmm {
+
+/// One far-end linear RC corner (Fig. 4's 500 ohm || 1 pF is {500, 1e-12}).
+struct RcLoad {
+  double r = 500.0;   ///< shunt resistance [ohm]
+  double c = 1e-12;   ///< shunt capacitance [F]
+};
+
+struct SweepSpec {
+  TaskKind kind = TaskKind::kTline;
+  TlineEngine engine = TlineEngine::kFdtd1d;  ///< t-line sweeps only
+  TlineScenario base_tline;  ///< per-point overrides start from this
+  PcbScenario base_pcb;      ///< used when kind == kPcb
+  std::string driver = "default";    ///< model-cache component name
+  std::string receiver = "default";  ///< model-cache component name
+
+  // --- Sweep axes (empty = keep base value). ---
+  std::vector<std::string> patterns;     ///< transmitted bit patterns
+  std::vector<double> bit_times;         ///< [s]
+  std::vector<double> zc_values;         ///< t-line Zc [ohm]
+  std::vector<double> td_values;         ///< t-line delay [s]
+  std::vector<FarEndLoad> loads;         ///< t-line far-end load type
+  std::vector<RcLoad> rc_loads;          ///< t-line RC corners (kLinearRc only)
+  std::vector<bool> incident_field;      ///< PCB plane-wave on/off
+
+  /// Number of tasks expand() will produce.
+  std::size_t count() const;
+
+  /// Expands the grid into concrete, validated tasks with stable indices
+  /// and human-readable labels.
+  /// \throws std::invalid_argument on axes that do not apply to `kind`,
+  ///         non-positive axis values, or base options that fail scenario
+  ///         validation.
+  std::vector<SimulationTask> expand() const;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,53 @@
+#include "engine/thread_pool.h"
+
+namespace fdtdmm {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) throw std::invalid_argument("ThreadPool: workers must be > 0");
+  workers_.reserve(workers);
+  try {
+    for (std::size_t i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { workerLoop(); });
+  } catch (...) {
+    // Thread creation failed partway (e.g. EAGAIN under a pid limit):
+    // destroying joinable threads would std::terminate, so shut down the
+    // ones that did start before rethrowing.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+}  // namespace fdtdmm

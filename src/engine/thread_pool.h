@@ -1,0 +1,67 @@
+#pragma once
+/// \file thread_pool.h
+/// Fixed-size worker pool with a FIFO task queue and std::future results.
+/// This is the execution substrate of the sweep engine: simulation tasks are
+/// CPU-bound and independent, so a plain queue + N workers saturates the
+/// machine without any work stealing. Exceptions thrown by a task are
+/// captured in its future and rethrown at get(), never lost in a worker.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fdtdmm {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads immediately.
+  /// \throws std::invalid_argument if workers == 0.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workerCount() const { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result (or
+  /// rethrows its exception). Tasks start in FIFO order.
+  /// \throws std::runtime_error if the pool is shutting down.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Number of tasks not yet picked up by a worker.
+  std::size_t queued() const;
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fdtdmm

@@ -43,18 +43,23 @@ std::string ModelLibrary::receiverPath(const std::string& name) const {
 
 void ModelLibrary::putDriver(const std::string& name, const RbfDriverModel& model) {
   validateName(name);
+  // The file write happens under the lock: a concurrent lookup of the same
+  // name must never deserialize a partially-written file.
+  std::lock_guard<std::mutex> lock(mu_);
   saveDriverModel(model, driverPath(name));
   driver_cache_.erase(name);
 }
 
 void ModelLibrary::putReceiver(const std::string& name, const RbfReceiverModel& model) {
   validateName(name);
+  std::lock_guard<std::mutex> lock(mu_);
   saveReceiverModel(model, receiverPath(name));
   receiver_cache_.erase(name);
 }
 
 std::shared_ptr<const RbfDriverModel> ModelLibrary::driver(const std::string& name) {
   validateName(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = driver_cache_.find(name);
   if (it != driver_cache_.end()) return it->second;
   if (!hasDriver(name))
@@ -66,6 +71,7 @@ std::shared_ptr<const RbfDriverModel> ModelLibrary::driver(const std::string& na
 
 std::shared_ptr<const RbfReceiverModel> ModelLibrary::receiver(const std::string& name) {
   validateName(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = receiver_cache_.find(name);
   if (it != receiver_cache_.end()) return it->second;
   if (!hasReceiver(name))
@@ -74,6 +80,13 @@ std::shared_ptr<const RbfReceiverModel> ModelLibrary::receiver(const std::string
       std::make_shared<const RbfReceiverModel>(loadReceiverModel(receiverPath(name)));
   receiver_cache_.emplace(name, model);
   return model;
+}
+
+void ModelLibrary::preload() {
+  for (const std::string& name : list()) {
+    if (hasDriver(name)) driver(name);
+    if (hasReceiver(name)) receiver(name);
+  }
 }
 
 bool ModelLibrary::hasDriver(const std::string& name) const {

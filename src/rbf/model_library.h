@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@ namespace fdtdmm {
 
 /// A named collection of macromodels persisted under a directory.
 /// File layout: `<dir>/<name>.driver.fdtdmm` / `<dir>/<name>.receiver.fdtdmm`.
+///
+/// The deserialized-model cache is mutex-guarded, so one ModelLibrary can
+/// be shared by concurrent sweep workers: simultaneous first lookups of a
+/// component deserialize it once, and put* vs lookup races are safe.
+/// (Filesystem contents are still assumed stable while readers run.)
 class ModelLibrary {
  public:
   /// Opens (and creates if needed) a library directory.
@@ -42,6 +48,11 @@ class ModelLibrary {
   /// Names of all components present (union of drivers and receivers).
   std::vector<std::string> list() const;
 
+  /// Deserializes every model on disk into the cache, serially. Call once
+  /// before handing the library to parallel workers so no worker pays (or
+  /// contends on) first-lookup deserialization.
+  void preload();
+
   const std::string& directory() const { return dir_; }
 
  private:
@@ -50,6 +61,7 @@ class ModelLibrary {
   static void validateName(const std::string& name);
 
   std::string dir_;
+  mutable std::mutex mu_;  ///< guards both caches
   std::map<std::string, std::shared_ptr<const RbfDriverModel>> driver_cache_;
   std::map<std::string, std::shared_ptr<const RbfReceiverModel>> receiver_cache_;
 };

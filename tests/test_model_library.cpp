@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 namespace fdtdmm {
 namespace {
@@ -111,6 +113,41 @@ TEST_F(ModelLibraryTest, NameValidation) {
   EXPECT_THROW(lib.putDriver("../evil", tinyDriver()), std::invalid_argument);
   EXPECT_THROW(lib.driver("a/b"), std::invalid_argument);
   EXPECT_NO_THROW(lib.putDriver("Good_name-42", tinyDriver()));
+}
+
+TEST_F(ModelLibraryTest, PreloadFillsTheCache) {
+  {
+    ModelLibrary writer(dir_);
+    writer.putDriver("a", tinyDriver());
+    writer.putReceiver("a", tinyReceiver());
+    writer.putDriver("b", tinyDriver());
+  }
+  ModelLibrary lib(dir_);
+  lib.preload();
+  // Cached: repeated lookups return the instance preload created.
+  const auto first = lib.driver("a");
+  EXPECT_EQ(first.get(), lib.driver("a").get());
+  EXPECT_EQ(lib.receiver("a").get(), lib.receiver("a").get());
+  EXPECT_NO_THROW(lib.driver("b"));
+}
+
+TEST_F(ModelLibraryTest, ConcurrentLookupsAreSafeAndShareOneInstance) {
+  ModelLibrary lib(dir_);
+  lib.putDriver("shared", tinyDriver());
+  lib.putReceiver("shared", tinyReceiver());
+  // Hammer the same component from several threads; every thread must get
+  // the same cached instance and nothing may crash or throw.
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const RbfDriverModel>> seen(8);
+  for (std::size_t t = 0; t < seen.size(); ++t)
+    threads.emplace_back([&lib, &seen, t] {
+      for (int k = 0; k < 50; ++k) {
+        seen[t] = lib.driver("shared");
+        lib.receiver("shared");
+      }
+    });
+  for (auto& th : threads) th.join();
+  for (const auto& model : seen) EXPECT_EQ(model.get(), seen[0].get());
 }
 
 TEST_F(ModelLibraryTest, SharedAcrossInstances) {

@@ -1,0 +1,314 @@
+// Tests for the scenario-sweep engine: grid expansion, deterministic
+// parallel execution (metrics identical to a serial reference run for any
+// worker count), per-task failure capture, and CSV/JSON export.
+#include "engine/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fdtdmm {
+namespace {
+
+// Tiny hand-built macromodels (mirroring test_model_library's): the sweep
+// tests exercise orchestration and determinism, not identification, so they
+// must not pay the multi-second default-model build.
+GaussianRbfParams tinyParams() {
+  GaussianRbfParams p;
+  p.order = 1;
+  p.ts = 50e-12;
+  p.beta = 0.5;
+  p.i_scale = 1.0;
+  p.theta = {0.01};
+  p.c0 = {0.9};
+  p.cv = {{0.9}};
+  p.ci = {{0.0}};
+  return p;
+}
+
+std::shared_ptr<const RbfDriverModel> tinyDriver() {
+  RbfDriverModel m;
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  m.weights.wu_up = Waveform(0.0, 50e-12, {0.0, 1.0});
+  m.weights.wd_up = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wu_down = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wd_down = Waveform(0.0, 50e-12, {0.0, 1.0});
+  return std::make_shared<const RbfDriverModel>(std::move(m));
+}
+
+std::shared_ptr<const RbfReceiverModel> tinyReceiver() {
+  RbfReceiverModel m;
+  LinearArxParams lp;
+  lp.order = 1;
+  lp.ts = 50e-12;
+  lp.a = {0.2};
+  lp.b = {0.001, 0.0};
+  m.lin = std::make_shared<LinearArxSubmodel>(lp);
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  return std::make_shared<const RbfReceiverModel>(std::move(m));
+}
+
+std::shared_ptr<ModelCache> tinyCache() {
+  auto cache = std::make_shared<ModelCache>();
+  cache->putDriver("tinydrv", tinyDriver());
+  cache->putReceiver("tinyrcv", tinyReceiver());
+  return cache;
+}
+
+/// A fast 1D-FDTD sweep: 2 patterns x 2 zc x (2 rc corners + receiver).
+SweepSpec testSpec() {
+  SweepSpec spec;
+  spec.kind = TaskKind::kTline;
+  spec.engine = TlineEngine::kFdtd1d;
+  spec.driver = "tinydrv";
+  spec.receiver = "tinyrcv";
+  spec.base_tline.t_stop = 2e-9;
+  spec.base_tline.strip_len = 24;  // 1D cells: keeps each run tiny
+  spec.patterns = {"010", "0110"};
+  spec.bit_times = {0.5e-9};
+  spec.zc_values = {100.0, 131.0};
+  spec.loads = {FarEndLoad::kLinearRc, FarEndLoad::kReceiver};
+  spec.rc_loads = {{500.0, 1e-12}, {50.0, 2e-12}};
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(SweepSpec, CountsAndExpandsTheGrid) {
+  const auto spec = testSpec();
+  // 2 patterns x 1 bit time x 2 zc x 1 td x (2 rc + 1 receiver) = 12.
+  EXPECT_EQ(spec.count(), 12u);
+  const auto tasks = spec.expand();
+  ASSERT_EQ(tasks.size(), 12u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+    EXPECT_EQ(tasks[i].driver, "tinydrv");
+    EXPECT_FALSE(tasks[i].label.empty());
+  }
+  // Innermost axes vary fastest: first three tasks share pattern/zc and
+  // walk load corners (rc #0, rc #1, receiver).
+  EXPECT_EQ(tasks[0].tline.load_r, 500.0);
+  EXPECT_EQ(tasks[1].tline.load_r, 50.0);
+  EXPECT_EQ(tasks[2].tline.load, FarEndLoad::kReceiver);
+  EXPECT_EQ(tasks[0].tline.zc, 100.0);
+  EXPECT_EQ(tasks[3].tline.zc, 131.0);
+  EXPECT_EQ(tasks[6].tline.pattern, "0110");
+}
+
+TEST(SweepSpec, EmptyAxesKeepBaseValues) {
+  SweepSpec spec;
+  spec.base_tline.t_stop = 1e-9;
+  EXPECT_EQ(spec.count(), 1u);
+  const auto tasks = spec.expand();
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].tline.pattern, spec.base_tline.pattern);
+  EXPECT_EQ(tasks[0].tline.zc, spec.base_tline.zc);
+}
+
+TEST(SweepSpec, RejectsMisappliedAndInvalidAxes) {
+  SweepSpec pcb;
+  pcb.kind = TaskKind::kPcb;
+  pcb.zc_values = {100.0};
+  EXPECT_THROW(pcb.expand(), std::invalid_argument);
+
+  SweepSpec tline;
+  tline.incident_field = {true};
+  EXPECT_THROW(tline.expand(), std::invalid_argument);
+
+  SweepSpec bad_bt;
+  bad_bt.bit_times = {-1.0};
+  EXPECT_THROW(bad_bt.count(), std::invalid_argument);
+
+  SweepSpec bad_base;
+  bad_base.base_tline.t_stop = 0.0;
+  EXPECT_THROW(bad_base.expand(), std::invalid_argument);
+}
+
+TEST(SweepSpec, PcbGridExpands) {
+  SweepSpec spec;
+  spec.kind = TaskKind::kPcb;
+  spec.patterns = {"01", "010"};
+  spec.incident_field = {false, true};
+  const auto tasks = spec.expand();
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_EQ(spec.count(), 4u);
+  EXPECT_FALSE(tasks[0].pcb.with_incident);
+  EXPECT_TRUE(tasks[1].pcb.with_incident);
+  EXPECT_EQ(tasks[2].pcb.pattern, "010");
+}
+
+TEST(SweepRunner, MetricsMatchSerialReferenceForAnyWorkerCount) {
+  const auto spec = testSpec();
+  const auto tasks = spec.expand();
+
+  // Serial reference: run every task by hand with the same tiny models.
+  auto driver = tinyDriver();
+  auto receiver = tinyReceiver();
+  std::vector<RunMetrics> reference;
+  for (const auto& task : tasks) {
+    const auto waves = runSimulationTask(
+        task, driver,
+        task.tline.load == FarEndLoad::kReceiver ? receiver : nullptr);
+    reference.push_back(computeRunMetrics(
+        waves, BitPattern(taskPattern(task), taskBitTime(task))));
+  }
+
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    SweepOptions opt;
+    opt.workers = workers;
+    auto cache = std::make_shared<ModelCache>();
+    cache->putDriver("tinydrv", tinyDriver());
+    cache->putReceiver("tinyrcv", tinyReceiver());
+    SweepRunner runner(opt, cache);
+    const auto result = runner.run(spec);
+    ASSERT_EQ(result.runs.size(), reference.size());
+    EXPECT_EQ(result.workers, workers);
+    EXPECT_EQ(result.okCount(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " task=" + std::to_string(i));
+      const auto& got = result.runs[i].metrics;
+      const auto& want = reference[i];
+      EXPECT_EQ(result.runs[i].index, i);  // ordering independent of threads
+      // Bitwise equality: same code path, same inputs, no reductions.
+      EXPECT_EQ(got.eye.eye_height, want.eye.eye_height);
+      EXPECT_EQ(got.eye.level_high, want.eye.level_high);
+      EXPECT_EQ(got.eye.level_low, want.eye.level_low);
+      EXPECT_EQ(got.v_far_max, want.v_far_max);
+      EXPECT_EQ(got.v_far_min, want.v_far_min);
+      EXPECT_EQ(got.overshoot, want.overshoot);
+      EXPECT_EQ(got.settling_time, want.settling_time);
+      EXPECT_EQ(got.far_end_delay, want.far_end_delay);
+      EXPECT_EQ(got.max_newton_iterations, want.max_newton_iterations);
+    }
+  }
+}
+
+TEST(SweepRunner, ExportsAreByteIdenticalAcrossWorkerCounts) {
+  const auto spec = testSpec();
+  const std::string dir = testing::TempDir();
+  std::string csv1, csv4, json_runs1, json_runs4;
+  for (std::size_t workers : {1u, 4u}) {
+    SweepOptions opt;
+    opt.workers = workers;
+    SweepRunner runner(opt, tinyCache());
+    const auto result = runner.run(spec);
+    const std::string csv_path = dir + "sweep_w" + std::to_string(workers) + ".csv";
+    const std::string json_path = dir + "sweep_w" + std::to_string(workers) + ".json";
+    writeSweepCsv(result, csv_path);
+    writeSweepJson(result, json_path);
+    const std::string csv = slurp(csv_path);
+    const std::string json = slurp(json_path);
+    // The JSON "runs" payload must not depend on the worker count (the
+    // top-level "workers" field legitimately does).
+    const std::string runs = json.substr(json.find("\"runs\""));
+    (workers == 1 ? csv1 : csv4) = csv;
+    (workers == 1 ? json_runs1 : json_runs4) = runs;
+    std::filesystem::remove(csv_path);
+    std::filesystem::remove(json_path);
+  }
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_EQ(json_runs1, json_runs4);
+  // Schema sanity: header + one line per run.
+  EXPECT_NE(csv1.find("index,label,ok,error,eye_height"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv1.begin(), csv1.end(), '\n')),
+            1 + spec.count());
+}
+
+TEST(SweepRunner, CapturesPerTaskFailuresWithoutAbortingTheSweep) {
+  SweepSpec spec = testSpec();
+  spec.receiver = "missing";  // receiver-load tasks will fail to resolve
+  SweepOptions opt;
+  opt.workers = 2;
+  SweepRunner runner(opt, tinyCache());
+  const auto result = runner.run(spec);
+  ASSERT_EQ(result.runs.size(), 12u);
+  EXPECT_EQ(result.okCount(), 8u);  // 4 receiver-load corners fail
+  for (const auto& run : result.runs) {
+    if (run.ok) {
+      EXPECT_TRUE(run.error.empty());
+    } else {
+      EXPECT_NE(run.error.find("missing"), std::string::npos);
+    }
+  }
+  // Failed runs export as ok=0 with empty metric fields, not garbage.
+  const std::string path = testing::TempDir() + "sweep_fail.csv";
+  writeSweepCsv(result, path);
+  EXPECT_NE(slurp(path).find("ModelCache"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SweepRunner, KeepWaveformsRetainsRuns) {
+  SweepSpec spec = testSpec();
+  spec.patterns = {"010"};
+  spec.zc_values = {131.0};
+  spec.loads = {FarEndLoad::kLinearRc};
+  spec.rc_loads = {{500.0, 1e-12}};
+  SweepOptions opt;
+  opt.workers = 2;
+  opt.keep_waveforms = true;
+  SweepRunner runner(opt, tinyCache());
+  const auto result = runner.run(spec);
+  ASSERT_EQ(result.runs.size(), 1u);
+  ASSERT_TRUE(result.runs[0].ok);
+  EXPECT_FALSE(result.runs[0].waves.v_far.empty());
+  EXPECT_FALSE(result.runs[0].waves.v_near.empty());
+}
+
+TEST(RunMetrics, SingleLevelPatternYieldsMetricsWithoutEye) {
+  // A pattern with only one level after skip_bits (e.g. a quiescent line in
+  // an EMC susceptibility run) cannot produce an eye, but the remaining
+  // metrics must still come through instead of failing the task.
+  TaskWaveforms waves;
+  waves.v_far = sampleFunction([](double t) { return t > 0.4e-9 ? 1.0 : 0.0; },
+                               0.0, 1.5e-9, 10e-12);
+  waves.v_near = waves.v_far;
+  const auto m = computeRunMetrics(waves, BitPattern("011", 0.5e-9));
+  EXPECT_FALSE(m.eye_valid);
+  EXPECT_EQ(m.v_far_max, 1.0);
+  EXPECT_EQ(m.v_far_min, 0.0);
+}
+
+TEST(ScenarioValidation, RejectsNonPositiveOptions) {
+  TlineScenario t;
+  t.bit_time = 0.0;
+  EXPECT_THROW(validateTlineScenario(t), std::invalid_argument);
+  t = {};
+  t.t_stop = -1e-9;
+  EXPECT_THROW(validateTlineScenario(t), std::invalid_argument);
+  t = {};
+  t.mesh_nx = 0;
+  EXPECT_THROW(validateTlineScenario(t), std::invalid_argument);
+  t = {};
+  t.strip_len = t.mesh_nx;  // does not fit
+  EXPECT_THROW(validateTlineScenario(t), std::invalid_argument);
+  EXPECT_NO_THROW(validateTlineScenario(TlineScenario{}));
+
+  PcbScenario p;
+  p.bit_time = 0.0;
+  EXPECT_THROW(validatePcbScenario(p), std::invalid_argument);
+  p = {};
+  p.cell = -1.0;
+  EXPECT_THROW(validatePcbScenario(p), std::invalid_argument);
+  p = {};
+  p.with_incident = true;
+  p.inc_amplitude = 0.0;
+  EXPECT_THROW(validatePcbScenario(p), std::invalid_argument);
+  EXPECT_NO_THROW(validatePcbScenario(PcbScenario{}));
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,86 @@
+// Tests for the sweep engine's execution substrate: FIFO submission with
+// futures, exception propagation, and thread-count-independent results.
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fdtdmm {
+namespace {
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workerCount(), 3u);
+}
+
+TEST(ThreadPool, FuturesReturnResultsInSubmissionSlots) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  try {
+    bad.get();
+    FAIL() << "expected the task exception to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  // The same workload collected through futures must give identical
+  // results for any pool size, regardless of execution interleaving.
+  auto runWith = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 40; ++i)
+      futures.push_back(pool.submit([i] {
+        double acc = 0.0;
+        for (int k = 1; k <= 200; ++k) acc += 1.0 / (i + k);
+        return acc;
+      }));
+    std::vector<double> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+  const auto serial = runWith(1);
+  EXPECT_EQ(runWith(2), serial);
+  EXPECT_EQ(runWith(4), serial);
+  EXPECT_EQ(runWith(8), serial);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i)
+      futures.push_back(pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      }));
+  }  // ~ThreadPool must finish everything queued, not drop it
+  EXPECT_EQ(done.load(), 32);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+}  // namespace
+}  // namespace fdtdmm
