@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "circuit/rlgc_line.h"
 #include "circuit/transient.h"
 #include "fdtd/solver.h"
 #include "math/newton.h"
@@ -105,6 +106,10 @@ BENCHMARK(BM_PortNewtonSolve);
 
 void BM_MnaTransientStep(benchmark::State& state) {
   // Cost of one SPICE step on a small nonlinear circuit, amortized.
+  // Arg 0 selects the solver path: 0 = cached-LU stamp split, 1 = legacy
+  // full restamp (the before/after pair of the static/dynamic refactor).
+  const auto mode = state.range(0) == 0 ? TransientSolverMode::kReuseFactorization
+                                        : TransientSolverMode::kFullRestamp;
   for (auto _ : state) {
     Circuit c;
     const int a = c.addNode();
@@ -116,12 +121,42 @@ void BM_MnaTransientStep(benchmark::State& state) {
     TransientOptions opt;
     opt.dt = 1e-12;
     opt.t_stop = 100e-12;
+    opt.solver_mode = mode;
     benchmark::DoNotOptimize(runTransient(c, opt, {{"v", b, 0}}));
   }
   state.counters["steps/s"] =
       benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_MnaTransientStep);
+BENCHMARK(BM_MnaTransientStep)->Arg(0)->Arg(1);
+
+void BM_MnaLinearTlineStep(benchmark::State& state) {
+  // The linear-dominated hot path of the sweep engine: a lossy RLGC ladder
+  // where the stamp split turns every Newton iteration into a pure
+  // forward/back substitution. Arg 0 as in BM_MnaTransientStep.
+  const auto mode = state.range(0) == 0 ? TransientSolverMode::kReuseFactorization
+                                        : TransientSolverMode::kFullRestamp;
+  for (auto _ : state) {
+    Circuit c;
+    const int src = c.addNode();
+    const int in = c.addNode();
+    const int out = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround, [](double t) { return t >= 0.0 ? 1.8 : 0.0; });
+    c.addResistor(src, in, 60.0);
+    RlgcParams p;
+    p.r = 4.0;
+    p.segments = 24;
+    buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+    c.addResistor(out, Circuit::kGround, 500.0);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 200e-12;
+    opt.solver_mode = mode;
+    benchmark::DoNotOptimize(runTransient(c, opt, {{"v", out, 0}}));
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MnaLinearTlineStep)->Arg(0)->Arg(1);
 
 }  // namespace
 

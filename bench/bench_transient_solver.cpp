@@ -1,0 +1,151 @@
+// Before/after benchmark of the transient MNA solver refactor: the
+// static/dynamic stamp split with a cached LU factorization
+// (TransientSolverMode::kReuseFactorization) against the legacy
+// full-restamp-and-refactor path (kFullRestamp), on
+//
+//   1. a linear-dominated lossy t-line transient (RLGC ladder, the paper's
+//      board-level interconnect case) — here the reuse path performs ONE
+//      factorization for the whole run and every Newton iteration is just a
+//      forward/back substitution, and
+//   2. the Fig. 4 transistor-level driver circuit — nonlinear, so the
+//      matrix is re-factored per iteration and the win is limited to the
+//      avoided restamping.
+//
+// Exit status is nonzero if the linear case is slower than 3x or the two
+// paths disagree, so the bench doubles as a smoke check.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/rlgc_line.h"
+#include "circuit/transient.h"
+#include "devices/cmos_driver.h"
+#include "signal/bit_pattern.h"
+
+namespace {
+
+using namespace fdtdmm;
+using Clock = std::chrono::steady_clock;
+
+struct RunStats {
+  TransientResult result;
+  double seconds = 0.0;
+};
+
+template <typename BuildAndRun>
+RunStats timeRun(BuildAndRun&& run, TransientSolverMode mode) {
+  const auto start = Clock::now();
+  RunStats s;
+  s.result = run(mode);
+  s.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return s;
+}
+
+double maxAbsDiff(const Waveform& a, const Waveform& b) {
+  double m = 0.0;
+  for (std::size_t k = 0; k < std::min(a.size(), b.size()); ++k)
+    m = std::max(m, std::abs(a[k] - b[k]));
+  return m;
+}
+
+TransientResult runLinearTline(TransientSolverMode mode) {
+  const BitPattern pattern("01011010", 1e-9);
+  Circuit c;
+  const int src = c.addNode();
+  const int in = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [pattern](double t) { return 1.8 * pattern.levelAt(t); });
+  c.addResistor(src, in, 60.0);
+  RlgcParams p;  // lossy board trace, 48 LC sections -> ~150 unknowns
+  p.r = 4.0;
+  p.g = 1e-4;
+  p.segments = 48;
+  buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+  c.addResistor(out, Circuit::kGround, 500.0);
+  c.addCapacitor(out, Circuit::kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 8e-9;
+  opt.settle_time = 1e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
+}
+
+TransientResult runFig4Driver(TransientSolverMode mode) {
+  const BitPattern pattern("010", 2e-9);
+  Circuit c;
+  auto drv = buildCmosDriver(c, CmosDriverParams{}, [pattern](double t) {
+    return static_cast<double>(pattern.levelAt(t));
+  });
+  const int far = c.addNode();
+  c.addIdealLine(drv.pad, Circuit::kGround, far, Circuit::kGround, 131.0, 0.4e-9);
+  c.addResistor(far, Circuit::kGround, 500.0);
+  c.addCapacitor(far, Circuit::kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 5e-9;
+  opt.settle_time = 3e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"near", drv.pad, 0}, {"far", far, 0}});
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== bench_transient_solver: cached-LU stamp split vs full restamp ===");
+  int failures = 0;
+
+  {
+    std::puts("\n# linear-dominated: 48-section RLGC t-line, 4500 steps");
+    const auto ref = timeRun(runLinearTline, TransientSolverMode::kFullRestamp);
+    const auto fast = timeRun(runLinearTline, TransientSolverMode::kReuseFactorization);
+    const double diff = std::max(maxAbsDiff(fast.result.at("in"), ref.result.at("in")),
+                                 maxAbsDiff(fast.result.at("out"), ref.result.at("out")));
+    const double speedup = ref.seconds / fast.seconds;
+    std::printf("full restamp : %8.3f s  (%lld LU factorizations)\n", ref.seconds,
+                ref.result.lu_factorizations);
+    std::printf("reuse LU     : %8.3f s  (%lld LU factorizations)\n", fast.seconds,
+                fast.result.lu_factorizations);
+    std::printf("speedup      : %8.2fx   max |dv| = %.3g V\n", speedup, diff);
+    if (fast.result.lu_factorizations != 1) {
+      std::puts("FAIL: linear run should factor exactly once");
+      ++failures;
+    }
+#ifdef NDEBUG
+    if (speedup < 3.0) {
+      std::puts("FAIL: expected >= 3x on the linear-dominated transient");
+      ++failures;
+    }
+#else
+    // Debug/sanitizer builds skew wall-clock ratios; report only.
+    std::puts("(non-optimized build: speedup reported, not gated)");
+#endif
+    if (diff != 0.0) {
+      std::puts("FAIL: linear waveforms must match bitwise");
+      ++failures;
+    }
+  }
+
+  {
+    std::puts("\n# nonlinear: Fig. 4 transistor-level CMOS driver + ideal line + RC");
+    const auto ref = timeRun(runFig4Driver, TransientSolverMode::kFullRestamp);
+    const auto fast = timeRun(runFig4Driver, TransientSolverMode::kReuseFactorization);
+    const double diff = std::max(maxAbsDiff(fast.result.at("near"), ref.result.at("near")),
+                                 maxAbsDiff(fast.result.at("far"), ref.result.at("far")));
+    std::printf("full restamp : %8.3f s  (%lld LU factorizations)\n", ref.seconds,
+                ref.result.lu_factorizations);
+    std::printf("reuse LU     : %8.3f s  (%lld LU factorizations)\n", fast.seconds,
+                fast.result.lu_factorizations);
+    std::printf("speedup      : %8.2fx   max |dv| = %.3g V\n", ref.seconds / fast.seconds,
+                diff);
+    if (diff > 1e-12) {
+      std::puts("FAIL: nonlinear waveforms must agree to <= 1e-12");
+      ++failures;
+    }
+  }
+
+  if (failures == 0) std::puts("\nall checks passed");
+  return failures == 0 ? 0 : 1;
+}

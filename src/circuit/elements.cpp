@@ -20,16 +20,24 @@ void Element::stampCurrentSource(StampSystem& sys, int n1, int n2, double i) {
 }
 
 void Element::addA(StampSystem& sys, int row_node, std::size_t col, double v) {
-  if (row_node != 0) sys.a(static_cast<std::size_t>(row_node - 1), col) += v;
+  if (row_node != 0) {
+    sys.a(static_cast<std::size_t>(row_node - 1), col) += v;
+    sys.matrix_dirty = true;
+  }
 }
 
 void Element::addAnode(StampSystem& sys, int row_node, int col_node, double v) {
-  if (row_node != 0 && col_node != 0)
+  if (row_node != 0 && col_node != 0) {
     sys.a(static_cast<std::size_t>(row_node - 1), static_cast<std::size_t>(col_node - 1)) += v;
+    sys.matrix_dirty = true;
+  }
 }
 
 void Element::addArowNode(StampSystem& sys, std::size_t row, int col_node, double v) {
-  if (col_node != 0) sys.a(row, static_cast<std::size_t>(col_node - 1)) += v;
+  if (col_node != 0) {
+    sys.a(row, static_cast<std::size_t>(col_node - 1)) += v;
+    sys.matrix_dirty = true;
+  }
 }
 
 // ---------------------------------------------------------------- Resistor
@@ -38,7 +46,7 @@ Resistor::Resistor(int n1, int n2, double r) : n1_(n1), n2_(n2), g_(1.0 / r) {
   if (r <= 0.0) throw std::invalid_argument("Resistor: R must be > 0");
 }
 
-void Resistor::stamp(StampSystem& sys, const Vector&, double, double) {
+void Resistor::stampStatic(StampSystem& sys, double) {
   stampConductance(sys, n1_, n2_, g_);
 }
 
@@ -64,9 +72,12 @@ void Capacitor::begin(double dt) {
   i_prev_ = 0.0;
 }
 
-void Capacitor::stamp(StampSystem& sys, const Vector&, double, double) {
+void Capacitor::stampStatic(StampSystem& sys, double) {
   // Theta companion: i = geq (v - v_prev) - kThetaFeedback * i_prev.
   stampConductance(sys, n1_, n2_, geq_);
+}
+
+void Capacitor::stampDynamic(StampSystem& sys, const Vector&, double, double) {
   // Equivalent source pushing geq*v_prev + kThetaFeedback*i_prev from n2 to n1.
   stampCurrentSource(sys, n1_, n2_, -(geq_ * v_prev_ + kThetaFeedback * i_prev_));
 }
@@ -86,19 +97,22 @@ Inductor::Inductor(int n1, int n2, double l, double i0)
 
 void Inductor::begin(double) { v_prev_ = 0.0; }
 
-void Inductor::stamp(StampSystem& sys, const Vector&, double, double dt) {
+void Inductor::stampStatic(StampSystem& sys, double dt) {
   // Theta method: i_new = i_prev + dt/L (theta v_new + (1-theta) v_prev).
   const std::size_t ib = branch_offset_;
   const double h = kTheta * dt / l_;
-  const double hp = (1.0 - kTheta) * dt / l_;
   // Branch row: i_new - h * v_new = i_prev + hp * v_prev.
   sys.a(ib, ib) += 1.0;
   addArowNode(sys, ib, n1_, -h);
   addArowNode(sys, ib, n2_, +h);
-  sys.b[ib] += i_prev_ + hp * v_prev_;
   // KCL: branch current flows from n1 to n2 through the inductor.
   addA(sys, n1_, ib, +1.0);
   addA(sys, n2_, ib, -1.0);
+}
+
+void Inductor::stampDynamic(StampSystem& sys, const Vector&, double, double dt) {
+  const double hp = (1.0 - kTheta) * dt / l_;
+  sys.b[branch_offset_] += i_prev_ + hp * v_prev_;
 }
 
 void Inductor::endStep(const Vector& x, double, double) {
@@ -113,15 +127,18 @@ VoltageSource::VoltageSource(int n1, int n2, TimeFn vs)
   if (!vs_) throw std::invalid_argument("VoltageSource: empty source function");
 }
 
-void VoltageSource::stamp(StampSystem& sys, const Vector&, double t_new, double) {
+void VoltageSource::stampStatic(StampSystem& sys, double) {
   const std::size_t ib = branch_offset_;
   // Branch row: v(n1) - v(n2) = vs(t).
   addArowNode(sys, ib, n1_, 1.0);
   addArowNode(sys, ib, n2_, -1.0);
-  sys.b[ib] += vs_(t_new);
   // KCL: branch current leaves n1, enters n2 (through the source).
   addA(sys, n1_, ib, +1.0);
   addA(sys, n2_, ib, -1.0);
+}
+
+void VoltageSource::stampDynamic(StampSystem& sys, const Vector&, double t_new, double) {
+  sys.b[branch_offset_] += vs_(t_new);
 }
 
 // ----------------------------------------------------------- CurrentSource
@@ -131,7 +148,7 @@ CurrentSource::CurrentSource(int n1, int n2, TimeFn is)
   if (!is_) throw std::invalid_argument("CurrentSource: empty source function");
 }
 
-void CurrentSource::stamp(StampSystem& sys, const Vector&, double t_new, double) {
+void CurrentSource::stampDynamic(StampSystem& sys, const Vector&, double t_new, double) {
   stampCurrentSource(sys, n2_, n1_, is_(t_new));
 }
 
@@ -158,7 +175,7 @@ double Diode::evalCurrent(double v, const DiodeParams& p, double& g) {
   return i;
 }
 
-void Diode::stamp(StampSystem& sys, const Vector& x, double, double) {
+void Diode::stampDynamic(StampSystem& sys, const Vector& x, double, double) {
   const double v = nodeV(x, na_) - nodeV(x, nc_);
   double g = 0.0;
   const double i = evalCurrent(v, p_, g);
@@ -198,7 +215,7 @@ double Mosfet::evalIds(double vgs, double vds, const MosfetParams& p,
   return i;
 }
 
-void Mosfet::stamp(StampSystem& sys, const Vector& x, double, double) {
+void Mosfet::stampDynamic(StampSystem& sys, const Vector& x, double, double) {
   // Work in the "effective NMOS" frame; PMOS flips all port voltages and
   // the current direction. Symmetric drain/source handling: if the
   // effective vds is negative, swap drain and source.
@@ -262,24 +279,27 @@ void IdealLine::beginStep(double t_new, double) {
   v2h_ = history(w1_, t_new - td_);
 }
 
-void IdealLine::stamp(StampSystem& sys, const Vector&, double, double) {
+void IdealLine::stampStatic(StampSystem& sys, double) {
   const std::size_t i1 = branch_offset_;
   const std::size_t i2 = branch_offset_ + 1;
   // Port 1 characteristic: (v1p - v1m) - Zc i1 = v1h.
   addArowNode(sys, i1, p1p_, 1.0);
   addArowNode(sys, i1, p1m_, -1.0);
   sys.a(i1, i1) += -zc_;
-  sys.b[i1] += v1h_;
   // Port 2 characteristic.
   addArowNode(sys, i2, p2p_, 1.0);
   addArowNode(sys, i2, p2m_, -1.0);
   sys.a(i2, i2) += -zc_;
-  sys.b[i2] += v2h_;
   // KCL: i1 flows from p1p into the line, returns at p1m.
   addA(sys, p1p_, i1, +1.0);
   addA(sys, p1m_, i1, -1.0);
   addA(sys, p2p_, i2, +1.0);
   addA(sys, p2m_, i2, -1.0);
+}
+
+void IdealLine::stampDynamic(StampSystem& sys, const Vector&, double, double) {
+  sys.b[branch_offset_] += v1h_;
+  sys.b[branch_offset_ + 1] += v2h_;
 }
 
 void IdealLine::endStep(const Vector& x, double t_new, double) {
@@ -304,7 +324,7 @@ BehavioralPort::BehavioralPort(int n1, int n2, PortModelPtr model)
 
 void BehavioralPort::begin(double dt) { model_->prepare(dt); }
 
-void BehavioralPort::stamp(StampSystem& sys, const Vector& x, double t_new, double) {
+void BehavioralPort::stampDynamic(StampSystem& sys, const Vector& x, double t_new, double) {
   const double v = nodeV(x, n1_) - nodeV(x, n2_);
   double g = 0.0;
   const double i = model_->current(v, t_new, g);

@@ -1,9 +1,15 @@
 #pragma once
 /// \file elements.h
-/// Circuit element hierarchy for the MNA transient engine. Elements stamp
-/// linearized contributions (conductances / equivalent current sources /
-/// branch equations) into a dense MNA system at each Newton iteration,
-/// exactly as a SPICE-class simulator does.
+/// Circuit element hierarchy for the MNA transient engine. Each element
+/// splits its linearized MNA contribution into a *static* part (matrix
+/// entries that depend only on topology and the fixed time step: R/C/L
+/// companion conductances, source/branch incidence rows, line
+/// characteristic rows) and a *dynamic* part (everything that changes per
+/// Newton iteration: RHS history/source terms and the Jacobian entries of
+/// nonlinear devices). The transient engine assembles the static part once
+/// per run, factors it once, and re-stamps only the dynamic part inside the
+/// Newton loop — re-factoring only when a dynamic stamp actually touched
+/// the matrix.
 
 #include <deque>
 #include <functional>
@@ -19,6 +25,12 @@ namespace fdtdmm {
 struct StampSystem {
   Matrix a;
   Vector b;
+  /// Set by the matrix stamp helpers whenever an entry of `a` is written.
+  /// The engine clears it before the dynamic stamping pass of each Newton
+  /// iteration and re-factors only if it comes back dirty; custom elements
+  /// whose stampDynamic writes to `a` without the Element helpers must set
+  /// it themselves.
+  bool matrix_dirty = false;
 };
 
 /// Source waveform type shared with the signal module.
@@ -42,8 +54,30 @@ class Element {
   /// t_new is the time being solved for.
   virtual void beginStep(double /*t_new*/, double /*dt*/) {}
 
-  /// Stamps the linearization about iterate x into the system.
-  virtual void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) = 0;
+  /// Stamps the time-invariant matrix entries. Called once per run, after
+  /// begin(). Contract: may only write to sys.a — the RHS is rebuilt from
+  /// zero every Newton iteration, so static contributions to sys.b would be
+  /// silently lost (the engine rejects them with std::logic_error).
+  virtual void stampStatic(StampSystem& /*sys*/, double /*dt*/) {}
+
+  /// Stamps the per-iteration contributions about iterate x: RHS source and
+  /// companion-history terms, plus — for nonlinear devices — the Jacobian
+  /// matrix entries of the linearization. Matrix writes must go through the
+  /// stamp helpers (or set sys.matrix_dirty), so the engine knows the cached
+  /// factorization of the static matrix is stale.
+  virtual void stampDynamic(StampSystem& /*sys*/, const Vector& /*x*/,
+                            double /*t_new*/, double /*dt*/) {}
+
+  /// Full linearized stamp about iterate x: static + dynamic parts. This is
+  /// what the pre-split engine assembled at every Newton iteration; the
+  /// full-restamp reference path (and element unit tests) still use it.
+  /// NOT virtual: subclasses contribute by overriding stampStatic /
+  /// stampDynamic. Declaring a `stamp` with this signature in a subclass
+  /// only hides this wrapper — the engine will never call it.
+  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) {
+    stampStatic(sys, dt);
+    stampDynamic(sys, x, t_new, dt);
+  }
 
   /// Commits the accepted solution of this step.
   virtual void endStep(const Vector& /*x*/, double /*t_new*/, double /*dt*/) {}
@@ -74,7 +108,7 @@ class Resistor final : public Element {
  public:
   /// \throws std::invalid_argument if r <= 0.
   Resistor(int n1, int n2, double r);
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
   std::string name() const override { return "R"; }
 
  private:
@@ -88,7 +122,8 @@ class Capacitor final : public Element {
   /// \throws std::invalid_argument if c <= 0.
   Capacitor(int n1, int n2, double c, double v0 = 0.0);
   void begin(double dt) override;
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "C"; }
 
@@ -107,7 +142,8 @@ class Inductor final : public Element {
   Inductor(int n1, int n2, double l, double i0 = 0.0);
   int branchCount() const override { return 1; }
   void begin(double dt) override;
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "L"; }
 
@@ -124,7 +160,8 @@ class VoltageSource final : public Element {
   /// \throws std::invalid_argument if vs is empty.
   VoltageSource(int n1, int n2, TimeFn vs);
   int branchCount() const override { return 1; }
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "V"; }
 
   /// Index of the branch-current unknown (valid after assembly).
@@ -140,7 +177,7 @@ class CurrentSource final : public Element {
  public:
   /// \throws std::invalid_argument if is is empty.
   CurrentSource(int n1, int n2, TimeFn is);
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "I"; }
 
  private:
@@ -161,7 +198,7 @@ struct DiodeParams {
 class Diode final : public Element {
  public:
   Diode(int anode, int cathode, const DiodeParams& p = {});
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "D"; }
 
   /// Diode current and conductance at junction voltage v (exposed for tests).
@@ -189,7 +226,7 @@ struct MosfetParams {
 class Mosfet final : public Element {
  public:
   Mosfet(int drain, int gate, int source, const MosfetParams& p = {});
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   std::string name() const override { return p_.type == MosfetParams::Type::kNmos ? "NMOS" : "PMOS"; }
 
   /// Drain current (NMOS convention: positive into drain when vds > 0) and
@@ -213,7 +250,8 @@ class IdealLine final : public Element {
   int branchCount() const override { return 2; }
   void begin(double dt) override;
   void beginStep(double t_new, double dt) override;
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "TL"; }
 
@@ -240,7 +278,7 @@ class BehavioralPort final : public Element {
   /// \throws std::invalid_argument if model is null.
   BehavioralPort(int n1, int n2, PortModelPtr model);
   void begin(double dt) override;
-  void stamp(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
   std::string name() const override { return "PORT(" + model_->name() + ")"; }
 

@@ -6,6 +6,11 @@
 /// lines (copper/dielectric loss studies) with a controllable number of
 /// segments. For r = g = 0 and enough segments it converges to the
 /// Branin ideal line.
+///
+/// Every element of the ladder (R, L, C) stamps its MNA matrix entries
+/// statically, so a transient run over an RLGC line — however many
+/// segments — performs a single LU factorization (see transient.h); this
+/// is the linear-dominated hot path that bench_transient_solver measures.
 
 #include "circuit/circuit.h"
 

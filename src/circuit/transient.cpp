@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 
 #include "math/linear_solve.h"
@@ -30,6 +31,19 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
     if (p.source == nullptr)
       throw std::invalid_argument("runTransient: branch probe without source");
   }
+  // Probe labels key the result map; a collision (including a branch probe
+  // shadowing a node probe) would silently drop a waveform.
+  {
+    std::set<std::string> labels;
+    for (const auto& p : probes) {
+      if (!labels.insert(p.label).second)
+        throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
+    }
+    for (const auto& p : branch_probes) {
+      if (!labels.insert(p.label).second)
+        throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
+    }
+  }
 
   const std::size_t n_unknowns = circuit.assignUnknowns();
   auto& elements = circuit.elements();
@@ -39,8 +53,44 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   std::vector<Vector> probe_data(probes.size());
   std::vector<Vector> branch_data(branch_probes.size());
 
+  const bool reuse = opt.solver_mode == TransientSolverMode::kReuseFactorization;
+
+  // One-time assembly of the static (topology + dt) part of the MNA matrix.
+  StampSystem base;
+  if (reuse) {
+    base.a = Matrix(n_unknowns, n_unknowns);
+    base.b.assign(n_unknowns, 0.0);
+    for (auto& e : elements) e->stampStatic(base, opt.dt);
+    for (double v : base.b) {
+      if (v != 0.0)
+        throw std::logic_error(
+            "runTransient: stampStatic wrote to the RHS; move that "
+            "contribution into stampDynamic");
+    }
+  }
+
+  // All per-iteration state is allocated here, once; the Newton loop below
+  // only reuses this storage (matrix copy-assign, vector assign/resize).
   Vector x(n_unknowns, 0.0);
+  Vector x_new(n_unknowns, 0.0);
   StampSystem sys;
+  sys.b.assign(n_unknowns, 0.0);
+  if (reuse) {
+    sys.a = base.a;
+  } else {
+    sys.a = Matrix(n_unknowns, n_unknowns);
+  }
+  // base_lu: factorization of the untouched static matrix, created lazily on
+  // the first Newton iteration whose dynamic stamps leave the matrix clean
+  // (lazily so circuits whose base matrix alone is singular — e.g. a node
+  // held up only by a nonlinear device — still work). work_lu: refactored in
+  // place on every iteration that dirties the matrix.
+  LuFactorization base_lu;
+  LuFactorization work_lu;
+  bool base_factored = false;
+  // Once any iteration dirties the matrix, sys.a must be restored from the
+  // clean base before each dynamic stamping pass.
+  bool matrix_was_dirtied = false;
 
   const auto n_settle = static_cast<long long>(std::ceil(opt.settle_time / opt.dt));
   const auto n_run = static_cast<long long>(std::ceil(opt.t_stop / opt.dt));
@@ -63,10 +113,33 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
     int it = 0;
     bool step_converged = false;
     for (; it < opt.max_newton_iterations; ++it) {
-      sys.a = Matrix(n_unknowns, n_unknowns);
-      sys.b.assign(n_unknowns, 0.0);
-      for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
-      Vector x_new = solveLinear(sys.a, sys.b);
+      if (reuse) {
+        if (matrix_was_dirtied) sys.a = base.a;
+        sys.b.assign(n_unknowns, 0.0);
+        sys.matrix_dirty = false;
+        for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        if (sys.matrix_dirty) {
+          matrix_was_dirtied = true;
+          work_lu.factor(sys.a);
+          ++result.lu_factorizations;
+          work_lu.solve(sys.b, x_new);
+        } else {
+          if (!base_factored) {
+            // sys.a is still the untouched base matrix here.
+            base_lu.factor(sys.a);
+            ++result.lu_factorizations;
+            base_factored = true;
+          }
+          base_lu.solve(sys.b, x_new);
+        }
+      } else {
+        std::fill_n(sys.a.data(), n_unknowns * n_unknowns, 0.0);
+        sys.b.assign(n_unknowns, 0.0);
+        for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
+        work_lu.factor(sys.a);
+        ++result.lu_factorizations;
+        work_lu.solve(sys.b, x_new);
+      }
 
       double max_dx = 0.0;
       for (std::size_t k = 0; k < n_unknowns; ++k) {

@@ -1,8 +1,33 @@
 #pragma once
 /// \file transient.h
-/// Fixed-step transient analysis of a Circuit: trapezoidal companion
+/// Fixed-step transient analysis of a Circuit: theta-method companion
 /// models for reactive elements and Newton-Raphson on the nonlinear MNA
 /// system at every step (the standard SPICE algorithm).
+///
+/// Static/dynamic stamp contract
+/// -----------------------------
+/// The engine exploits the Element::stampStatic / stampDynamic split:
+///
+///  1. After Element::begin(dt), every element's stampStatic is assembled
+///     exactly once into a *base matrix* (R/C/L companion conductances,
+///     source and line incidence rows). Static stamps may only write to
+///     sys.a; a static RHS contribution would be lost when the RHS is
+///     rebuilt each iteration, so the engine rejects it (std::logic_error).
+///  2. The base matrix is LU-factored once. Inside the Newton loop only
+///     stampDynamic runs: it rebuilds the RHS (sources, companion
+///     histories, line reflections) and, for nonlinear devices, adds
+///     Jacobian entries on top of a fresh copy of the base matrix.
+///  3. A dirty-pattern check (StampSystem::matrix_dirty, set by the matrix
+///     stamp helpers) decides whether the cached base factorization is
+///     still valid. A purely linear circuit therefore performs exactly ONE
+///     LU factorization for the entire run — every Newton iteration is a
+///     forward/back substitution — while circuits with nonlinear devices
+///     re-factor only on iterations whose dynamic stamps touched the
+///     matrix. No Matrix/Vector allocations happen inside the loop.
+///
+/// TransientOptions::solver_mode selects between this path and the legacy
+/// full-restamp path (rebuild + refactor the complete system every
+/// iteration), kept as the bit-for-bit reference for equivalence tests.
 
 #include <map>
 #include <string>
@@ -13,6 +38,16 @@
 
 namespace fdtdmm {
 
+/// Linear-solver strategy of the transient engine.
+enum class TransientSolverMode {
+  /// Assemble static stamps once, cache the LU factorization of the base
+  /// matrix, re-factor only when a dynamic stamp dirties the matrix.
+  kReuseFactorization,
+  /// Legacy reference path: restamp the full system and factor it at every
+  /// Newton iteration. Slower; used by equivalence tests and benchmarks.
+  kFullRestamp,
+};
+
 /// Options for a transient run.
 struct TransientOptions {
   double dt = 1e-12;        ///< time step [s]; must be > 0
@@ -21,6 +56,7 @@ struct TransientOptions {
   int max_newton_iterations = 100;
   double v_tolerance = 1e-9;  ///< Newton convergence on max |dx|
   double max_delta_v = 1.0;   ///< per-iteration voltage damping clamp [V]
+  TransientSolverMode solver_mode = TransientSolverMode::kReuseFactorization;
 };
 
 /// A named voltage probe between two nodes.
@@ -45,6 +81,10 @@ struct TransientResult {
   std::size_t steps = 0;                   ///< accepted steps (t >= 0)
   int max_newton_iterations = 0;           ///< worst step
   long long total_newton_iterations = 0;
+  /// LU factorizations performed. Exactly 1 in kReuseFactorization mode
+  /// when no dynamic stamp touches the matrix (purely linear circuits);
+  /// equals total_newton_iterations (+1 for the base) otherwise.
+  long long lu_factorizations = 0;
   bool converged = true;  ///< false if any step hit the iteration cap
 
   /// Access with existence check. \throws std::out_of_range.
@@ -52,7 +92,10 @@ struct TransientResult {
 };
 
 /// Runs a transient analysis.
-/// \throws std::invalid_argument on bad options or probe nodes.
+/// \throws std::invalid_argument on bad options, probe nodes out of range,
+///         or duplicate probe labels (across node and branch probes alike —
+///         a duplicate would silently shadow another probe's waveform).
+/// \throws std::logic_error if an element's stampStatic writes to the RHS.
 /// \throws std::runtime_error if the Newton iteration diverges (non-finite
 ///         values); mere non-convergence is reported via `converged`.
 TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,

@@ -10,6 +10,25 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   if (lu_.rows() != lu_.cols()) {
     throw std::invalid_argument("LuFactorization: matrix must be square");
   }
+  factorInPlace();
+}
+
+void LuFactorization::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  lu_ = a;  // vector copy assignment: reuses storage at an unchanged dim
+  try {
+    factorInPlace();
+  } catch (...) {
+    lu_ = Matrix();
+    perm_.clear();
+    factored_ = false;
+    throw;
+  }
+}
+
+void LuFactorization::factorInPlace() {
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -38,12 +57,20 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
+  factored_ = true;
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve(b, x);
+  return x;
+}
+
+void LuFactorization::solve(const Vector& b, Vector& x) const {
+  if (!factored()) throw std::logic_error("LuFactorization::solve: not factored");
   const std::size_t n = lu_.rows();
   if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
-  Vector x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   // Forward substitution (unit lower triangular).
   for (std::size_t i = 1; i < n; ++i) {
@@ -57,7 +84,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
-  return x;
 }
 
 double LuFactorization::absDeterminant() const {

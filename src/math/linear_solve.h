@@ -8,16 +8,35 @@
 namespace fdtdmm {
 
 /// LU factorization with partial pivoting of a square matrix.
-/// Factor once, solve many right-hand sides (used by the MNA engine when the
-/// Jacobian sparsity/values are reused across Newton iterations).
+/// Factor once, solve many right-hand sides. The transient MNA engine keeps
+/// two of these alive across the whole run (base matrix + dirtied working
+/// matrix) and re-factors in place, so `factor` and the two-argument `solve`
+/// reuse their internal storage and perform no allocations after the first
+/// call at a given dimension.
 class LuFactorization {
  public:
+  /// Creates an empty factorization; call factor() before solve().
+  LuFactorization() = default;
+
   /// Factors A (square). \throws std::invalid_argument if A is not square,
   /// std::runtime_error if A is numerically singular.
   explicit LuFactorization(Matrix a);
 
-  /// Solves A x = b. \throws std::invalid_argument on size mismatch.
+  /// Re-factors from A, reusing internal storage when the dimension is
+  /// unchanged. Same error behavior as the constructor. On a singularity
+  /// error the factorization is left empty.
+  void factor(const Matrix& a);
+
+  /// True once factor() (or the factoring constructor) has succeeded.
+  bool factored() const { return factored_; }
+
+  /// Solves A x = b. \throws std::invalid_argument on size mismatch,
+  /// std::logic_error if nothing has been factored yet.
   Vector solve(const Vector& b) const;
+
+  /// Allocation-free variant: solves A x = b into `x` (resized as needed;
+  /// `x` may not alias `b`). Same error behavior as solve(b).
+  void solve(const Vector& b, Vector& x) const;
 
   std::size_t dim() const { return lu_.rows(); }
 
@@ -26,8 +45,11 @@ class LuFactorization {
   double absDeterminant() const;
 
  private:
+  void factorInPlace();
+
   Matrix lu_;
   std::vector<std::size_t> perm_;
+  bool factored_ = false;
 };
 
 /// Solves the square system A x = b by LU with partial pivoting.

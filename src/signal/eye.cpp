@@ -1,5 +1,7 @@
 #include "signal/eye.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -22,26 +24,47 @@ EyeMetrics measureEye(const Waveform& w, const BitPattern& pattern,
   double sum_high = 0.0, sum_low = 0.0;
   std::size_t n_high = 0, n_low = 0;
 
+  const auto accumulate = [&](int level, double v) {
+    if (level != 0) {
+      min_high = std::min(min_high, v);
+      max_high = std::max(max_high, v);
+      sum_high += v;
+      ++n_high;
+    } else {
+      min_low = std::min(min_low, v);
+      max_low = std::max(max_low, v);
+      sum_low += v;
+      ++n_low;
+    }
+  };
+
   const double t_step = w.dt();
   for (std::size_t bit = opt.skip_bits; bit < pattern.size(); ++bit) {
     const int level = pattern.bits()[bit];
     const double t0 = (static_cast<double>(bit) + opt.window_start) * ui;
     const double t1 = t0 + opt.window_width * ui;
     if (t1 > w.tEnd()) break;
-    for (double t = t0; t <= t1; t += t_step) {
-      const double v = w.value(t);
-      if (level != 0) {
-        min_high = std::min(min_high, v);
-        max_high = std::max(max_high, v);
-        sum_high += v;
-        ++n_high;
-      } else {
-        min_low = std::min(min_low, v);
-        max_low = std::max(max_low, v);
-        sum_low += v;
-        ++n_low;
-      }
+    // Integer indexing over the waveform's own sample grid. Accumulating
+    // `t += t_step` instead would drift by rounding error, making per-bit
+    // sample counts inconsistent and occasionally skipping the window-end
+    // sample. The edge tolerance (absolute + relative, as in
+    // Waveform::resampled) keeps on-grid window edges included even at
+    // large sample indices, where the division's rounding error grows.
+    const double i0 = (t0 - w.t0()) / t_step;
+    const double i1 = (t1 - w.t0()) / t_step;
+    const double k0f = std::ceil(i0 - 1e-9 - std::abs(i0) * 1e-12);
+    const double k1f = std::floor(i1 + 1e-9 + std::abs(i1) * 1e-12);
+    if (k1f < 0.0 || k1f < k0f) {
+      // Window narrower than the sample grid: no grid point falls inside.
+      // Contribute one interpolated sample at the window center so coarse
+      // waveforms still measure instead of dropping the bit.
+      accumulate(level, w.value(0.5 * (t0 + t1)));
+      continue;
     }
+    const std::size_t k0 = k0f <= 0.0 ? 0 : static_cast<std::size_t>(k0f);
+    const std::size_t k1 =
+        std::min(static_cast<std::size_t>(k1f), w.size() - 1);
+    for (std::size_t k = k0; k <= k1; ++k) accumulate(level, w[k]);
   }
   if (n_high == 0 || n_low == 0)
     throw std::invalid_argument(

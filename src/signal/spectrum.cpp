@@ -9,11 +9,19 @@ std::complex<double> dftAt(const Waveform& w, double frequency_hz) {
   if (w.empty()) throw std::invalid_argument("dftAt: empty waveform");
   if (frequency_hz < 0.0) throw std::invalid_argument("dftAt: negative frequency");
   const double omega = 2.0 * 3.14159265358979323846 * frequency_hz;
-  // Recurrence for exp(-j w t_k) to avoid one sin/cos pair per sample.
+  // Recurrence for exp(-j w t_k) to avoid one sin/cos pair per sample. Each
+  // multiply perturbs |phase| by ~1 ulp, which compounds into a visible
+  // magnitude/phase drift over long waveforms, so the phasor is re-seeded
+  // from sin/cos every kRenormInterval samples.
+  constexpr std::size_t kRenormInterval = 1024;
   const std::complex<double> step(std::cos(omega * w.dt()), -std::sin(omega * w.dt()));
-  std::complex<double> phase(std::cos(omega * w.t0()), -std::sin(omega * w.t0()));
+  std::complex<double> phase(0.0, 0.0);
   std::complex<double> acc(0.0, 0.0);
   for (std::size_t k = 0; k < w.size(); ++k) {
+    if (k % kRenormInterval == 0) {
+      const double theta = omega * (w.t0() + static_cast<double>(k) * w.dt());
+      phase = std::complex<double>(std::cos(theta), -std::sin(theta));
+    }
     acc += w[k] * phase;
     phase *= step;
   }

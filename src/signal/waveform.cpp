@@ -33,8 +33,9 @@ Waveform Waveform::resampled(double dt_new) const {
   if (dt_new <= 0.0) throw std::invalid_argument("Waveform::resampled: dt must be > 0");
   if (samples_.empty()) throw std::invalid_argument("Waveform::resampled: empty waveform");
   Vector s;
-  const double span = tEnd() - t0_;
-  const auto n = static_cast<std::size_t>(span / dt_new) + 1;
+  // Tolerance-rounded count: plain truncation of span/dt_new drops the
+  // final sample whenever an exact division lands just below an integer.
+  const std::size_t n = sampleCountForSpan(tEnd() - t0_, dt_new);
   s.reserve(n);
   for (std::size_t k = 0; k < n; ++k)
     s.push_back(value(t0_ + static_cast<double>(k) * dt_new));

@@ -58,6 +58,15 @@ class Waveform {
   Vector samples_;
 };
 
+/// Number of samples covering [0, span] at step dt, rounded with an
+/// absolute + relative tolerance so an exact division doesn't lose its
+/// final sample to floating-point truncation. Shared by Waveform::resampled
+/// and sampleFunction so the two grids stay in lockstep.
+inline std::size_t sampleCountForSpan(double span, double dt) {
+  const double n_intervals = span / dt;
+  return static_cast<std::size_t>(n_intervals + 1e-9 + n_intervals * 1e-12) + 1;
+}
+
 /// Samples an arbitrary callable f(t) on [t0, t1] with step dt.
 /// \throws std::invalid_argument if dt <= 0 or t1 < t0.
 template <typename F>
@@ -65,7 +74,7 @@ Waveform sampleFunction(F&& f, double t0, double t1, double dt) {
   if (dt <= 0.0) throw std::invalid_argument("sampleFunction: dt must be > 0");
   if (t1 < t0) throw std::invalid_argument("sampleFunction: t1 < t0");
   Vector s;
-  const auto n = static_cast<std::size_t>((t1 - t0) / dt) + 1;
+  const std::size_t n = sampleCountForSpan(t1 - t0, dt);
   s.reserve(n);
   for (std::size_t k = 0; k < n; ++k) s.push_back(f(t0 + static_cast<double>(k) * dt));
   return Waveform(t0, dt, std::move(s));

@@ -148,6 +148,62 @@ TEST(Transient, SettleReachesDcBeforeRecording) {
   EXPECT_NEAR(res.at("v")[0], 3.0, 1e-3);
 }
 
+TEST(Transient, DuplicateProbeLabelsThrow) {
+  // A branch probe whose label collides with a node probe used to be
+  // silently dropped (map emplace is a no-op on duplicate keys); both kinds
+  // of collision must be rejected up front.
+  Circuit c;
+  const int n = c.addNode();
+  VoltageSource* vs = c.addVoltageSource(n, Circuit::kGround, [](double) { return 1.0; });
+  c.addResistor(n, Circuit::kGround, 100.0);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = 2e-12;
+  EXPECT_THROW(runTransient(c, opt, {{"v", n, 0}}, {{"v", vs}}), std::invalid_argument);
+  EXPECT_THROW(runTransient(c, opt, {{"v", n, 0}, {"v", n, 0}}), std::invalid_argument);
+  EXPECT_THROW(runTransient(c, opt, {}, {{"i", vs}, {"i", vs}}), std::invalid_argument);
+  // Distinct labels record both waveforms.
+  const auto res = runTransient(c, opt, {{"v", n, 0}}, {{"i", vs}});
+  EXPECT_EQ(res.probes.size(), 2u);
+  EXPECT_NO_THROW(res.at("v"));
+  EXPECT_NO_THROW(res.at("i"));
+}
+
+TEST(Transient, LinearCircuitFactorsOnce) {
+  // Purely linear circuit: the reuse-factorization engine must perform
+  // exactly one LU factorization for the whole run, settle phase included.
+  Circuit c;
+  const int src = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround, [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+  c.addResistor(src, out, 1000.0);
+  c.addCapacitor(out, Circuit::kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = 2e-9;
+  opt.settle_time = 1e-9;
+  const auto res = runTransient(c, opt, {{"v", out, 0}});
+  EXPECT_EQ(res.lu_factorizations, 1);
+  EXPECT_GT(res.total_newton_iterations, res.lu_factorizations);
+}
+
+TEST(Transient, NonlinearCircuitRefactorsPerIteration) {
+  Circuit c;
+  const int src = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [](double t) { return 2.0 * std::sin(2e9 * M_PI * t); });
+  c.addDiode(src, out);
+  c.addResistor(out, Circuit::kGround, 1000.0);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = 1e-9;
+  const auto res = runTransient(c, opt, {{"v", out, 0}});
+  // The diode dirties the matrix at every Newton iteration, so each one
+  // factors (and the lazily-created base factorization is never needed).
+  EXPECT_EQ(res.lu_factorizations, res.total_newton_iterations);
+}
+
 TEST(Transient, OptionValidation) {
   Circuit c;
   const int n = c.addNode();

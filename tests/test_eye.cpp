@@ -57,6 +57,54 @@ TEST(Eye, SlowChannelClosesEye) {
   EXPECT_LT(m.eye_height, 0.5);  // heavily degraded
 }
 
+TEST(Eye, WindowSamplingIsGridExactPerBit) {
+  // Window [bit + 0.5, bit + 0.7] UI on a dt = UI/10 grid covers exactly
+  // the three samples 10*bit + {5, 6, 7} of every bit. The old
+  // `t += t_step` accumulation drifted, so late bits gained/lost samples
+  // and the window-end sample could be skipped. Encode the check in the
+  // mean levels: every high-bit window holds {2, 2, 3} (mean 7/3), every
+  // low-bit window {0, 0, -1} (mean -1/3); any drift moves the means.
+  const std::size_t n_bits = 64;
+  std::string bits;
+  for (std::size_t b = 0; b < n_bits; ++b) bits += (b % 2 == 0) ? '0' : '1';
+  const double ui = 1e-9;
+  const double dt = ui / 10.0;
+  const BitPattern pat(bits, ui);
+
+  Vector s(n_bits * 10 + 1, 0.0);
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    const bool high = b % 2 != 0;
+    for (std::size_t j = 0; j < 10; ++j) s[b * 10 + j] = high ? 2.0 : 0.0;
+    s[b * 10 + 7] = high ? 3.0 : -1.0;  // sentinel at the window-end sample
+  }
+  const Waveform w(0.0, dt, std::move(s));
+
+  EyeOptions opt;
+  opt.skip_bits = 2;
+  opt.window_start = 0.5;
+  opt.window_width = 0.2;
+  const EyeMetrics m = measureEye(w, pat, opt);
+  EXPECT_NEAR(m.level_high, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.level_low, -1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.eye_height, 2.0);  // min(HIGH) = 2, max(LOW) = 0
+}
+
+TEST(Eye, CoarseWaveformNarrowWindowStillMeasures) {
+  // Window (0.15 UI) narrower than the sample step (0.4 UI): no grid sample
+  // falls inside any bit's window, so each bit contributes one interpolated
+  // sample at the window center instead of being dropped.
+  const BitPattern pat("0101", 1e-9);
+  const Waveform w(0.0, 0.4e-9, {0.0, 0.0, 0.5, 1.0, 1.0, 0.5, 0.0, 0.0, 0.5, 1.0, 1.0});
+  EyeOptions opt;
+  opt.skip_bits = 1;
+  opt.window_start = 0.1;
+  opt.window_width = 0.15;
+  const EyeMetrics m = measureEye(w, pat, opt);
+  EXPECT_TRUE(std::isfinite(m.level_high));
+  EXPECT_TRUE(std::isfinite(m.level_low));
+  EXPECT_GT(m.level_high, m.level_low);
+}
+
 TEST(Eye, Validation) {
   const BitPattern pat("0101", 1e-9);
   EXPECT_THROW(measureEye(Waveform(), pat), std::invalid_argument);

@@ -60,6 +60,35 @@ TEST(LuFactorization, ReuseForMultipleRhs) {
   EXPECT_GT(lu.absDeterminant(), 0.0);
 }
 
+TEST(LuFactorization, InPlaceRefactorAndSolve) {
+  // The transient engine's usage pattern: default-construct, factor, solve
+  // into a reused output vector, re-factor from a different matrix.
+  LuFactorization lu;
+  EXPECT_FALSE(lu.factored());
+  EXPECT_THROW(lu.solve(Vector{1.0}), std::logic_error);
+
+  lu.factor(Matrix{{2.0, 0.0}, {0.0, 4.0}});
+  EXPECT_TRUE(lu.factored());
+  Vector x;
+  lu.solve(Vector{2.0, 8.0}, x);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+
+  lu.factor(Matrix{{0.0, 1.0}, {1.0, 0.0}});  // needs pivoting
+  lu.solve(Vector{2.0, 3.0}, x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuFactorization, FailedRefactorLeavesEmptyState) {
+  LuFactorization lu;
+  lu.factor(Matrix{{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_THROW(lu.factor(Matrix{{1.0, 2.0}, {2.0, 4.0}}), std::runtime_error);
+  EXPECT_FALSE(lu.factored());
+  EXPECT_THROW(lu.solve(Vector{1.0, 1.0}), std::logic_error);
+}
+
 TEST(LeastSquares, ExactFitWhenSquare) {
   Matrix a{{1.0, 0.0}, {0.0, 2.0}};
   const Vector x = solveLeastSquares(a, Vector{3.0, 4.0});

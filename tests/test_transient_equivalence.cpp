@@ -1,0 +1,193 @@
+// Transient-solver equivalence suite: the static/dynamic-split engine with
+// cached LU factorizations (TransientSolverMode::kReuseFactorization) must
+// reproduce the legacy full-restamp path (kFullRestamp) on the paper's
+// Fig. 4/5 t-line scenarios and on nonlinear driver+receiver circuits —
+// bitwise on purely linear circuits, to <= 1e-12 otherwise (static and
+// dynamic matrix contributions are summed in a different order, which can
+// perturb shared Jacobian entries by an ulp).
+#include "circuit/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/rlgc_line.h"
+#include "devices/cmos_driver.h"
+#include "signal/bit_pattern.h"
+
+namespace fdtdmm {
+namespace {
+
+// Each mode builds its own circuit instance: elements carry per-run state
+// (companion histories, line delay buffers), so circuits are single-use.
+double maxAbsDiff(const Waveform& a, const Waveform& b) {
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.dt(), b.dt());
+  double m = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k) m = std::max(m, std::abs(a[k] - b[k]));
+  return m;
+}
+
+// ------------------------------------------------------------------ linear
+
+// Fig. 4 topology with a Thevenin drive instead of the CMOS driver: ideal
+// line (Zc = 131 ohm, Td = 0.4 ns) into the 1 pF || 500 ohm far-end load.
+// Purely linear, so the two paths must agree bitwise and the reuse path
+// must factor exactly once.
+TransientResult runLinearTline(TransientSolverMode mode) {
+  const BitPattern pattern("010", 2e-9);
+  Circuit c;
+  const int src = c.addNode();
+  const int near = c.addNode();
+  const int far = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [pattern](double t) { return 1.8 * pattern.levelAt(t); });
+  c.addResistor(src, near, 60.0);
+  c.addIdealLine(near, Circuit::kGround, far, Circuit::kGround, 131.0, 0.4e-9);
+  c.addResistor(far, Circuit::kGround, 500.0);
+  c.addCapacitor(far, Circuit::kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 5e-9;
+  opt.settle_time = 1e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"near", near, 0}, {"far", far, 0}});
+}
+
+TEST(TransientEquivalence, LinearTlineBitwiseAndSingleFactorization) {
+  const auto fast = runLinearTline(TransientSolverMode::kReuseFactorization);
+  const auto ref = runLinearTline(TransientSolverMode::kFullRestamp);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_TRUE(ref.converged);
+  EXPECT_EQ(fast.total_newton_iterations, ref.total_newton_iterations);
+  EXPECT_EQ(maxAbsDiff(fast.at("near"), ref.at("near")), 0.0);
+  EXPECT_EQ(maxAbsDiff(fast.at("far"), ref.at("far")), 0.0);
+  // No nonlinear element ever touches the matrix: one factorization total.
+  EXPECT_EQ(fast.lu_factorizations, 1);
+  // The reference path factors at every Newton iteration.
+  EXPECT_EQ(ref.lu_factorizations, ref.total_newton_iterations);
+}
+
+TEST(TransientEquivalence, RlgcLadderBitwiseAndSingleFactorization) {
+  auto run = [](TransientSolverMode mode) {
+    Circuit c;
+    const int src = c.addNode();
+    const int in = c.addNode();
+    const int out = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround,
+                       [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+    c.addResistor(src, in, 50.0);
+    RlgcParams p;
+    p.r = 2.0;
+    p.g = 1e-4;
+    p.segments = 16;
+    buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+    c.addResistor(out, Circuit::kGround, 120.0);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 2e-9;
+    opt.solver_mode = mode;
+    return runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
+  };
+  const auto fast = run(TransientSolverMode::kReuseFactorization);
+  const auto ref = run(TransientSolverMode::kFullRestamp);
+  EXPECT_EQ(maxAbsDiff(fast.at("in"), ref.at("in")), 0.0);
+  EXPECT_EQ(maxAbsDiff(fast.at("out"), ref.at("out")), 0.0);
+  EXPECT_EQ(fast.lu_factorizations, 1);
+}
+
+// --------------------------------------------------------------- nonlinear
+
+// Fig. 4 proper: transistor-level CMOS driver, ideal line, linear RC load.
+TransientResult runFig4(TransientSolverMode mode) {
+  const BitPattern pattern("010", 2e-9);
+  Circuit c;
+  auto drv = buildCmosDriver(c, CmosDriverParams{}, [pattern](double t) {
+    return static_cast<double>(pattern.levelAt(t));
+  });
+  const int far = c.addNode();
+  c.addIdealLine(drv.pad, Circuit::kGround, far, Circuit::kGround, 131.0, 0.4e-9);
+  c.addResistor(far, Circuit::kGround, 500.0);
+  c.addCapacitor(far, Circuit::kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 5e-9;
+  opt.settle_time = 3e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"near", drv.pad, 0}, {"far", far, 0}});
+}
+
+// Fig. 5: same line, far end terminated by the transistor-level receiver.
+TransientResult runFig5(TransientSolverMode mode) {
+  const BitPattern pattern("010", 2e-9);
+  Circuit c;
+  auto drv = buildCmosDriver(c, CmosDriverParams{}, [pattern](double t) {
+    return static_cast<double>(pattern.levelAt(t));
+  });
+  const int far = c.addNode();
+  c.addIdealLine(drv.pad, Circuit::kGround, far, Circuit::kGround, 131.0, 0.4e-9);
+  auto rcv = buildCmosReceiver(c, CmosReceiverParams{});
+  c.addResistor(far, rcv.pad, 1e-3);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 5e-9;
+  opt.settle_time = 3e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"near", drv.pad, 0}, {"far", far, 0}});
+}
+
+TEST(TransientEquivalence, Fig4TlineRcLoad) {
+  const auto fast = runFig4(TransientSolverMode::kReuseFactorization);
+  const auto ref = runFig4(TransientSolverMode::kFullRestamp);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_LE(maxAbsDiff(fast.at("near"), ref.at("near")), 1e-12);
+  EXPECT_LE(maxAbsDiff(fast.at("far"), ref.at("far")), 1e-12);
+}
+
+TEST(TransientEquivalence, Fig5TlineReceiver) {
+  const auto fast = runFig5(TransientSolverMode::kReuseFactorization);
+  const auto ref = runFig5(TransientSolverMode::kFullRestamp);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_LE(maxAbsDiff(fast.at("near"), ref.at("near")), 1e-12);
+  EXPECT_LE(maxAbsDiff(fast.at("far"), ref.at("far")), 1e-12);
+}
+
+TEST(TransientEquivalence, MixedDiodeMosfetCircuit) {
+  // Nonlinear driver+receiver-style circuit mixing every nonlinear element
+  // kind with linear companions, so static and dynamic stamps overlap on
+  // shared matrix entries.
+  auto run = [](TransientSolverMode mode) {
+    Circuit c;
+    const int vdd = c.addNode();
+    const int gate = c.addNode();
+    const int out = c.addNode();
+    c.addVoltageSource(vdd, Circuit::kGround, [](double) { return 1.8; });
+    c.addVoltageSource(gate, Circuit::kGround, [](double t) {
+      return 0.9 + 0.9 * std::sin(2.0 * M_PI * 5e8 * t);
+    });
+    MosfetParams nmos;
+    c.addMosfet(out, gate, Circuit::kGround, nmos);
+    MosfetParams pmos;
+    pmos.type = MosfetParams::Type::kPmos;
+    c.addMosfet(out, gate, vdd, pmos);
+    c.addDiode(Circuit::kGround, out);  // clamp below ground
+    c.addDiode(out, vdd);               // clamp above the rail
+    c.addResistor(out, Circuit::kGround, 10e3);
+    c.addCapacitor(out, Circuit::kGround, 0.5e-12);
+    TransientOptions opt;
+    opt.dt = 1e-12;
+    opt.t_stop = 4e-9;
+    opt.solver_mode = mode;
+    return runTransient(c, opt, {{"out", out, 0}});
+  };
+  const auto fast = run(TransientSolverMode::kReuseFactorization);
+  const auto ref = run(TransientSolverMode::kFullRestamp);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_LE(maxAbsDiff(fast.at("out"), ref.at("out")), 1e-12);
+  // Every iteration dirties the matrix, so the counts match the reference.
+  EXPECT_EQ(fast.lu_factorizations, ref.lu_factorizations);
+}
+
+}  // namespace
+}  // namespace fdtdmm

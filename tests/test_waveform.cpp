@@ -50,6 +50,21 @@ TEST(Waveform, ResampleHalvesStep) {
   EXPECT_DOUBLE_EQ(r[4], 2.0);
 }
 
+TEST(Waveform, ResampleExactDivisionKeepsFinalSample) {
+  // span / dt_new can land just below an integer (e.g. 3e-9 / 1e-10 =
+  // 29.999999...); truncation used to drop the final sample.
+  Waveform w(0.0, 1e-9, {0.0, 1.0, 2.0, 3.0});  // span 3 ns
+  const Waveform r = w.resampled(1e-10);
+  ASSERT_EQ(r.size(), 31u);
+  EXPECT_DOUBLE_EQ(r.samples().back(), 3.0);
+  EXPECT_NEAR(r.tEnd(), w.tEnd(), 1e-18);
+
+  // Same-step resampling must be the identity in sample count.
+  const Waveform same = w.resampled(1e-9);
+  ASSERT_EQ(same.size(), 4u);
+  EXPECT_DOUBLE_EQ(same.samples().back(), 3.0);
+}
+
 TEST(Waveform, ResampleInvalidThrows) {
   Waveform w(0.0, 1.0, {0.0, 1.0});
   EXPECT_THROW(w.resampled(0.0), std::invalid_argument);
