@@ -15,21 +15,22 @@
 #include <vector>
 
 #include "engine/sweep_runner.h"
+#include "engine/typed_axes.h"
 
 int main() {
   using namespace fdtdmm;
 
   std::puts("=== bench_sweep_scaling: 16-point t-line sweep vs worker count ===");
 
-  SweepSpec spec;
-  spec.kind = TaskKind::kTline;
-  spec.engine = TlineEngine::kFdtd1d;
-  spec.base_tline.pattern = "01011001";
-  spec.base_tline.bit_time = 2e-9;
-  spec.base_tline.t_stop = 20e-9;
-  spec.zc_values = {90.0, 110.0, 131.0, 150.0};
-  spec.loads = {FarEndLoad::kLinearRc};
-  spec.rc_loads = {{500.0, 1e-12}, {500.0, 5e-12}, {100.0, 1e-12}, {100.0, 5e-12}};
+  TlineScenario base;
+  base.pattern = "01011001";
+  base.bit_time = 2e-9;
+  base.t_stop = 20e-9;
+  SweepSpec spec = makeTlineSweep(base, TlineEngine::kFdtd1d);
+  addZcAxis(spec, {90.0, 110.0, 131.0, 150.0});
+  addLoadAxis(spec, {FarEndLoad::kLinearRc});
+  addRcLoadAxis(spec,
+                {{500.0, 1e-12}, {500.0, 5e-12}, {100.0, 1e-12}, {100.0, 5e-12}});
   std::printf("sweep points: %zu\n", spec.count());
 
   std::puts("identifying the shared driver macromodel (once)...");

@@ -1,8 +1,10 @@
 // Scenario-sweep quick-start: what used to be "write a new main() per
-// analysis" is now a declarative spec. This example sweeps the paper's
-// validation line over impedance corners and far-end loads on the 1D FDTD
-// engine, runs everything across a thread pool with one shared macromodel
-// cache, and exports the per-corner signal-integrity metrics.
+// analysis" is now a scenario name plus declarative axes. This example
+// sweeps the paper's validation line over impedance corners and far-end
+// loads on the 1D FDTD engine, runs everything across a thread pool with
+// one shared macromodel cache, and exports the per-corner signal-integrity
+// metrics. The "tline" family comes from ScenarioRegistry::global(); any
+// family registered there sweeps the same way.
 //
 // Build & run:  ./example_scenario_sweep
 // Outputs:      sweep_results.csv, sweep_results.json (schema documented in
@@ -11,21 +13,25 @@
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
+#include "engine/typed_axes.h"
 
 int main() {
   using namespace fdtdmm;
 
   std::puts("# scenario sweep: Zc x far-end-load corner analysis (1D FDTD)");
 
+  // Generic form: a registry name, base overrides, and axes. The typed
+  // helpers in engine/typed_axes.h build the same thing from the old
+  // structs (makeTlineSweep / addZcAxis / addRcLoadAxis / ...).
   SweepSpec spec;
-  spec.kind = TaskKind::kTline;
-  spec.engine = TlineEngine::kFdtd1d;
-  spec.base_tline.pattern = "010";
-  spec.base_tline.bit_time = 2e-9;
-  spec.base_tline.t_stop = 8e-9;
-  spec.zc_values = {90.0, 110.0, 131.0, 150.0};
-  spec.loads = {FarEndLoad::kLinearRc, FarEndLoad::kReceiver};
-  spec.rc_loads = {{500.0, 1e-12}, {100.0, 5e-12}, {50.0, 10e-12}};
+  spec.scenario = "tline";
+  spec.set("engine", std::string("fdtd1d"));
+  spec.set("pattern", std::string("010"));
+  spec.set("bit_time", 2e-9);
+  spec.set("t_stop", 8e-9);
+  spec.axis("zc", {90.0, 110.0, 131.0, 150.0});
+  addLoadAxis(spec, {FarEndLoad::kLinearRc, FarEndLoad::kReceiver});
+  addRcLoadAxis(spec, {{500.0, 1e-12}, {100.0, 5e-12}, {50.0, 10e-12}});
   std::printf("# grid: %zu simulation tasks\n", spec.count());
 
   std::puts("# identifying macromodels once (shared by every task)...");

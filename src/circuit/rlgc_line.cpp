@@ -13,6 +13,11 @@ double rlgcDelay(const RlgcParams& p) { return p.length * std::sqrt(p.l * p.c); 
 
 void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
                    const RlgcParams& p) {
+  buildRlgcLineSegments(circuit, n1, ref1, n2, ref2, p);
+}
+
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p) {
   if (p.l <= 0.0 || p.c <= 0.0 || p.length <= 0.0)
     throw std::invalid_argument("buildRlgcLine: l, c, length must be > 0");
   if (p.r < 0.0 || p.g < 0.0)
@@ -25,6 +30,8 @@ void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
   const double r_half = 0.5 * p.r * dz;
   const double g_seg = p.g * dz;
 
+  std::vector<int> segment_nodes;
+  segment_nodes.reserve(p.segments);
   int prev = n1;
   for (std::size_t s = 0; s < p.segments; ++s) {
     // Series branch: R/2 - L - R/2 keeps the ladder symmetric.
@@ -52,8 +59,25 @@ void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
     const int ref = (s < p.segments / 2) ? ref1 : ref2;
     circuit.addCapacitor(node, ref, c_seg);
     if (g_seg > 0.0) circuit.addResistor(node, ref, 1.0 / g_seg);
+    segment_nodes.push_back(node);
     prev = node;
   }
+  return segment_nodes;
+}
+
+void buildCoupledRlgcLines(Circuit& circuit, int a1, int a2, int v1, int v2,
+                           const CoupledRlgcParams& p) {
+  if (p.cm < 0.0)
+    throw std::invalid_argument("buildCoupledRlgcLines: cm must be >= 0");
+  const std::vector<int> agg = buildRlgcLineSegments(
+      circuit, a1, Circuit::kGround, a2, Circuit::kGround, p.line);
+  const std::vector<int> vic = buildRlgcLineSegments(
+      circuit, v1, Circuit::kGround, v2, Circuit::kGround, p.line);
+  if (p.cm == 0.0) return;
+  const double cm_seg =
+      p.cm * p.line.length / static_cast<double>(p.line.segments);
+  for (std::size_t s = 0; s < agg.size(); ++s)
+    circuit.addCapacitor(agg[s], vic[s], cm_seg);
 }
 
 }  // namespace fdtdmm

@@ -36,4 +36,26 @@ double rlgcDelay(const RlgcParams& p);                    ///< length*sqrt(L'C')
 void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
                    const RlgcParams& p);
 
+/// As buildRlgcLine, but also returns the segment-output nodes (the nodes
+/// carrying the shunt elements), near end first; the last entry is n2.
+/// Coupled-line builders attach mutual elements to these.
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p);
+
+/// Two identical RLGC ladders with segment-wise capacitive coupling: the
+/// crosstalk substrate of the "crosstalk" scenario family. `line.c` is each
+/// line's shunt capacitance to ground; `cm` adds a line-to-line capacitance
+/// per unit length between corresponding segment nodes, which is what
+/// induces near-/far-end crosstalk on the victim.
+struct CoupledRlgcParams {
+  RlgcParams line;  ///< per-line self parameters (both lines identical)
+  double cm = 0.0;  ///< line-to-line mutual capacitance [F/m], >= 0
+};
+
+/// Builds the aggressor ladder between (a1, a2) and the victim ladder
+/// between (v1, v2), both referenced to ground, with cm coupling.
+/// \throws std::invalid_argument on invalid line parameters or cm < 0.
+void buildCoupledRlgcLines(Circuit& circuit, int a1, int a2, int v1, int v2,
+                           const CoupledRlgcParams& p);
+
 }  // namespace fdtdmm

@@ -1,0 +1,210 @@
+#include "core/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/crosstalk_scenario.h"
+#include "core/pcb_family.h"
+#include "core/tline_family.h"
+
+namespace fdtdmm {
+
+const char* paramKindName(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kBool: return "bool";
+    case ParamKind::kInt: return "int";
+    case ParamKind::kDouble: return "double";
+    case ParamKind::kString: return "string";
+  }
+  return "?";
+}
+
+std::string formatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string formatParamValue(const ParamValue& value) {
+  if (std::holds_alternative<bool>(value))
+    return std::get<bool>(value) ? "true" : "false";
+  if (std::holds_alternative<double>(value))
+    return formatDouble(std::get<double>(value));
+  return std::get<std::string>(value);
+}
+
+ParamDescriptor boolParam(std::string name, std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.kind = ParamKind::kBool;
+  d.doc = std::move(doc);
+  return d;
+}
+
+ParamDescriptor intParam(std::string name, double min_value, std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.kind = ParamKind::kInt;
+  d.min_value = min_value;
+  // Keep every accepted value exactly representable and safely castable to
+  // the integer config fields (static_cast from a double above the target
+  // range would be undefined behavior).
+  d.max_value = 9007199254740992.0;  // 2^53
+  d.doc = std::move(doc);
+  return d;
+}
+
+ParamDescriptor positiveParam(std::string name, std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.min_value = 0.0;
+  d.min_exclusive = true;
+  d.doc = std::move(doc);
+  return d;
+}
+
+ParamDescriptor nonNegativeParam(std::string name, std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.min_value = 0.0;
+  d.doc = std::move(doc);
+  return d;
+}
+
+ParamDescriptor unboundedParam(std::string name, std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.doc = std::move(doc);
+  return d;
+}
+
+ParamDescriptor stringParam(std::string name, std::vector<std::string> choices,
+                            std::string doc) {
+  ParamDescriptor d;
+  d.name = std::move(name);
+  d.kind = ParamKind::kString;
+  d.choices = std::move(choices);
+  d.doc = std::move(doc);
+  return d;
+}
+
+void checkParamValue(const std::string& scenario, const ParamDescriptor& desc,
+                     const ParamValue& value) {
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("scenario '" + scenario + "': parameter '" +
+                                desc.name + "' " + what);
+  };
+  switch (desc.kind) {
+    case ParamKind::kBool:
+      if (!std::holds_alternative<bool>(value)) fail("expects a bool value");
+      return;
+    case ParamKind::kString: {
+      if (!std::holds_alternative<std::string>(value))
+        fail("expects a string value");
+      const std::string& s = std::get<std::string>(value);
+      if (desc.choices.empty()) {
+        if (s.empty()) fail("must not be empty");
+        return;
+      }
+      for (const std::string& c : desc.choices)
+        if (c == s) return;
+      std::string allowed;
+      for (const std::string& c : desc.choices)
+        allowed += (allowed.empty() ? "" : ", ") + c;
+      fail("must be one of {" + allowed + "} (got '" + s + "')");
+      return;
+    }
+    case ParamKind::kInt:
+    case ParamKind::kDouble: {
+      if (!std::holds_alternative<double>(value)) fail("expects a numeric value");
+      const double v = std::get<double>(value);
+      if (!std::isfinite(v)) fail("must be finite");
+      if (desc.kind == ParamKind::kInt && v != std::floor(v))
+        fail("must be an integer (got " + formatParamValue(value) + ")");
+      const bool below =
+          desc.min_exclusive ? !(v > desc.min_value) : !(v >= desc.min_value);
+      if (below)
+        fail(std::string("must be ") + (desc.min_exclusive ? "> " : ">= ") +
+             formatParamValue(ParamValue{desc.min_value}) + " (got " +
+             formatParamValue(value) + ")");
+      if (!(v <= desc.max_value))
+        fail("must be <= " + formatParamValue(ParamValue{desc.max_value}) +
+             " (got " + formatParamValue(value) + ")");
+      return;
+    }
+  }
+}
+
+const ParamDescriptor* Scenario::findParam(const std::string& name) const {
+  for (const ParamDescriptor& d : descriptors())
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+void Scenario::apply(const std::vector<ParamBinding>& bindings) {
+  for (const ParamBinding& b : bindings) set(b.param, b.value);
+}
+
+void throwUnknownParam(const std::string& scenario, const std::string& param) {
+  throw std::invalid_argument("scenario '" + scenario + "' has no parameter '" +
+                              param + "'");
+}
+
+void ScenarioRegistry::add(const std::string& name, Factory factory) {
+  if (name.empty())
+    throw std::invalid_argument("ScenarioRegistry: empty family name");
+  if (!factory)
+    throw std::invalid_argument("ScenarioRegistry: null factory for '" + name + "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!factories_.emplace(name, std::move(factory)).second)
+    throw std::invalid_argument("ScenarioRegistry: family '" + name +
+                                "' is already registered");
+}
+
+bool ScenarioRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Scenario> ScenarioRegistry::create(const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [n, f] : factories_)
+        known += (known.empty() ? "" : ", ") + n;
+      throw std::invalid_argument("ScenarioRegistry: unknown scenario '" + name +
+                                  "' (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  auto scenario = factory();
+  if (!scenario)
+    throw std::runtime_error("ScenarioRegistry: factory for '" + name +
+                             "' returned null");
+  return scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* instance = [] {
+    auto* r = new ScenarioRegistry();
+    r->add("tline", [] { return std::make_unique<TlineFamily>(); });
+    r->add("pcb", [] { return std::make_unique<PcbFamily>(); });
+    r->add("crosstalk", [] { return std::make_unique<CrosstalkFamily>(); });
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace fdtdmm

@@ -4,60 +4,12 @@
 
 namespace fdtdmm {
 
-const std::string& taskPattern(const SimulationTask& task) {
-  return task.kind == TaskKind::kTline ? task.tline.pattern : task.pcb.pattern;
-}
-
-double taskBitTime(const SimulationTask& task) {
-  return task.kind == TaskKind::kTline ? task.tline.bit_time : task.pcb.bit_time;
-}
-
-double taskTStop(const SimulationTask& task) {
-  return task.kind == TaskKind::kTline ? task.tline.t_stop : task.pcb.t_stop;
-}
-
-bool taskNeedsReceiver(const SimulationTask& task) {
-  return task.kind == TaskKind::kPcb || task.tline.load == FarEndLoad::kReceiver;
-}
-
-void validateSimulationTask(const SimulationTask& task) {
-  if (task.kind == TaskKind::kTline) {
-    validateTlineScenario(task.tline);
-  } else {
-    validatePcbScenario(task.pcb);
-  }
-}
-
 TaskWaveforms runSimulationTask(const SimulationTask& task,
                                 std::shared_ptr<const RbfDriverModel> driver,
                                 std::shared_ptr<const RbfReceiverModel> receiver) {
-  TaskWaveforms out;
-  if (task.kind == TaskKind::kTline) {
-    EngineRun run;
-    switch (task.engine) {
-      case TlineEngine::kSpiceRbf:
-        run = runSpiceRbfTline(task.tline, driver, receiver);
-        break;
-      case TlineEngine::kFdtd1d:
-        run = runFdtd1dTline(task.tline, driver, receiver);
-        break;
-      case TlineEngine::kFdtd3d:
-        run = runFdtd3dTline(task.tline, driver, receiver);
-        break;
-    }
-    out.v_near = std::move(run.v_near);
-    out.v_far = std::move(run.v_far);
-    out.max_newton_iterations = run.max_newton_iterations;
-    out.wall_seconds = run.wall_seconds;
-  } else {
-    PcbRun run = runPcbScenario(task.pcb, driver, receiver);
-    out.v_near = std::move(run.v_near);
-    out.v_far = std::move(run.v_far);
-    out.victims = std::move(run.victims);
-    out.max_newton_iterations = run.max_newton_iterations;
-    out.wall_seconds = run.wall_seconds;
-  }
-  return out;
+  if (!task.scenario)
+    throw std::invalid_argument("runSimulationTask: task has no scenario");
+  return task.scenario->run(std::move(driver), std::move(receiver));
 }
 
 }  // namespace fdtdmm

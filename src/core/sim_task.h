@@ -1,71 +1,38 @@
 #pragma once
 /// \file sim_task.h
-/// Uniform run()-able task adapter over the hand-written scenarios. A
-/// SimulationTask freezes one concrete scenario (t-line or PCB) plus the
-/// engine that should run it and the names of the macromodels it needs, so
-/// higher layers (the sweep engine in src/engine) can treat every workload
-/// as "resolve models, call runSimulationTask, collect waveforms" without
-/// knowing which main() used to hand-code it.
+/// Uniform run()-able task over the open scenario API. A SimulationTask
+/// freezes one fully-configured Scenario (any registered family) plus the
+/// names of the macromodels it needs, so higher layers (the sweep engine in
+/// src/engine) can treat every workload as "resolve models, run the
+/// scenario, collect waveforms" without knowing which family it is. Sweep
+/// expansion builds tasks from (scenario name, parameter bindings); nothing
+/// above this line dispatches on a closed list of families.
 
 #include <cstddef>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "core/pcb_scenario.h"
-#include "core/tline_scenario.h"
+#include "core/scenario.h"
 
 namespace fdtdmm {
-
-/// Which scenario family a task runs.
-enum class TaskKind { kTline, kPcb };
-
-/// Which engine runs a t-line task (PCB tasks always use the 3D solver).
-/// The transistor-level reference engine is deliberately absent: tasks are
-/// the macromodel-side workload the paper batches.
-enum class TlineEngine { kSpiceRbf, kFdtd1d, kFdtd3d };
 
 /// One concrete, self-contained simulation job.
 struct SimulationTask {
   std::size_t index = 0;   ///< position in the sweep (stable result order)
   std::string label;       ///< human-readable parameter summary
-  TaskKind kind = TaskKind::kTline;
-  TlineEngine engine = TlineEngine::kFdtd1d;
-  TlineScenario tline;     ///< used when kind == kTline
-  PcbScenario pcb;         ///< used when kind == kPcb
+  /// The frozen, validated workload. Immutable and shareable: run() is
+  /// const and deterministic, so copies of a task are interchangeable.
+  std::shared_ptr<const Scenario> scenario;
   std::string driver = "default";    ///< model-cache component name
   std::string receiver = "default";  ///< model-cache component name
 };
 
-/// Uniform result shape across scenario families.
-struct TaskWaveforms {
-  Waveform v_near;  ///< driver-side termination voltage
-  Waveform v_far;   ///< far-end termination voltage
-  std::vector<Waveform> victims;  ///< PCB passive-net terminations (empty for t-line)
-  int max_newton_iterations = 0;
-  double wall_seconds = 0.0;
-};
-
-/// The bit pattern string / bit time / stop time the task transmits,
-/// regardless of scenario family (metric layers need these).
-const std::string& taskPattern(const SimulationTask& task);
-double taskBitTime(const SimulationTask& task);
-double taskTStop(const SimulationTask& task);
-
-/// Whether running the task touches its receiver model (a t-line with a
-/// linear RC far end never does). Model resolution and preloading must
-/// agree on this, so it lives here, next to the task.
-bool taskNeedsReceiver(const SimulationTask& task);
-
-/// Validates the task's scenario options without running anything.
-/// \throws std::invalid_argument on non-positive times/impedances/mesh sizes.
-void validateSimulationTask(const SimulationTask& task);
-
-/// Runs the task on its configured engine with already-resolved models.
-/// Deterministic for fixed inputs (wall_seconds aside): the same task with
-/// the same models produces bit-identical waveforms on every call, which is
-/// what lets the sweep engine promise thread-count-independent results.
-/// \throws std::invalid_argument on null models or invalid scenario options.
+/// Runs the task's scenario with already-resolved models. Deterministic for
+/// fixed inputs (wall_seconds aside): the same task with the same models
+/// produces bit-identical waveforms on every call, which is what lets the
+/// sweep engine promise thread-count-independent results.
+/// \throws std::invalid_argument on a task without a scenario, null
+///         required models, or invalid scenario options.
 TaskWaveforms runSimulationTask(const SimulationTask& task,
                                 std::shared_ptr<const RbfDriverModel> driver,
                                 std::shared_ptr<const RbfReceiverModel> receiver);

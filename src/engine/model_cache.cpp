@@ -60,13 +60,16 @@ void ModelCache::preload(const std::vector<SimulationTask>& tasks) {
   // needs it will fail individually with the real message, and the rest of
   // the sweep still runs.
   for (const SimulationTask& task : tasks) {
-    try {
-      driver(task.driver);
-    } catch (const std::exception&) {
+    if (!task.scenario) continue;  // surfaces as a per-task failure later
+    if (task.scenario->needsDriver()) {
+      try {
+        driver(task.driver);
+      } catch (const std::exception&) {
+      }
     }
     // Resolving a receiver the task never touches would force a pointless
     // identification.
-    if (taskNeedsReceiver(task)) {
+    if (task.scenario->needsReceiver()) {
       try {
         receiver(task.receiver);
       } catch (const std::exception&) {

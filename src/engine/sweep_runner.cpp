@@ -3,6 +3,8 @@
 #include <chrono>
 #include <exception>
 #include <future>
+#include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "engine/thread_pool.h"
@@ -19,6 +21,19 @@ SweepResult SweepRunner::run(const SweepSpec& spec) { return run(spec.expand());
 
 SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   const auto start = std::chrono::steady_clock::now();
+
+  // CSV/JSON rows are keyed by `index`; a duplicate would make the export
+  // ambiguous, so reject the batch up front instead of exporting garbage.
+  std::set<std::size_t> seen;
+  for (const SimulationTask& task : tasks) {
+    if (!task.scenario)
+      throw std::invalid_argument("SweepRunner: task " +
+                                  std::to_string(task.index) + " has no scenario");
+    if (!seen.insert(task.index).second)
+      throw std::invalid_argument("SweepRunner: duplicate task index " +
+                                  std::to_string(task.index));
+  }
+
   std::size_t workers = opt_.workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -42,11 +57,14 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
       rec.index = task.index;
       rec.label = task.label;
       try {
-        auto driver = cache_->driver(task.driver);
-        auto receiver =
-            taskNeedsReceiver(task) ? cache_->receiver(task.receiver) : nullptr;
+        auto driver =
+            task.scenario->needsDriver() ? cache_->driver(task.driver) : nullptr;
+        auto receiver = task.scenario->needsReceiver()
+                            ? cache_->receiver(task.receiver)
+                            : nullptr;
         TaskWaveforms waves = runSimulationTask(task, driver, receiver);
-        const BitPattern pattern(taskPattern(task), taskBitTime(task));
+        const BitPattern pattern(task.scenario->pattern(),
+                                 task.scenario->bitTime());
         rec.metrics = computeRunMetrics(waves, pattern, opt_.eye);
         rec.wall_seconds = waves.wall_seconds;
         if (opt_.keep_waveforms) rec.waves = std::move(waves);

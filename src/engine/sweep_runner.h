@@ -45,7 +45,9 @@ class SweepRunner {
   SweepResult run(const SweepSpec& spec);
 
   /// Runs already-expanded tasks (kept in the given order; `index` fields
-  /// are used only for reporting).
+  /// key the exported CSV/JSON rows). \throws std::invalid_argument on a
+  /// task without a scenario or a duplicate index — rows keyed by index
+  /// must be unambiguous.
   SweepResult run(const std::vector<SimulationTask>& tasks);
 
   const std::shared_ptr<ModelCache>& cache() const { return cache_; }

@@ -1,150 +1,227 @@
 #include "engine/sweep_spec.h"
 
-#include <cstdio>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 namespace fdtdmm {
 
 namespace {
 
-std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%g", v);
-  return buf;
+/// Validates every axis against the family's descriptor table and the
+/// conditional-axis ordering rule. Catches unknown parameters, kind
+/// mismatches, and out-of-range values before any task runs.
+void checkAxes(const Scenario& proto, const std::vector<ParamAxis>& axes) {
+  const std::string& family = proto.family();
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const ParamAxis& axis = axes[i];
+    const std::string axis_name =
+        axis.name.empty() ? "#" + std::to_string(i) : axis.name;
+    for (const AxisPoint& point : axis.points) {
+      if (point.bindings.empty())
+        throw std::invalid_argument("SweepSpec: axis '" + axis_name +
+                                    "' has a point with no bindings");
+      for (const ParamBinding& b : point.bindings) {
+        const ParamDescriptor* desc = proto.findParam(b.param);
+        if (!desc) throwUnknownParam(family, b.param);
+        checkParamValue(family, *desc, b.value);
+      }
+    }
+    if (!axis.only_when_param.empty()) {
+      const ParamDescriptor* cond = proto.findParam(axis.only_when_param);
+      if (!cond) throwUnknownParam(family, axis.only_when_param);
+      // A kind-mismatched or out-of-range condition value could never
+      // match and would silently erase the axis from every grid point.
+      checkParamValue(family, *cond, axis.only_when_value);
+      // The condition must be resolved by the time this axis nests: its
+      // parameter may only be bound by an *earlier* (outer) axis.
+      for (std::size_t j = i; j < axes.size(); ++j)
+        for (const AxisPoint& point : axes[j].points)
+          for (const ParamBinding& b : point.bindings)
+            if (b.param == axis.only_when_param)
+              throw std::invalid_argument(
+                  "SweepSpec: conditional axis '" + axis_name + "' depends on '" +
+                  axis.only_when_param +
+                  "', which is bound by a later (inner) axis — declare the "
+                  "condition's axis first");
+    }
+  }
+
+  // A parameter bound by two axes that can both apply would make the inner
+  // binding silently overwrite the outer one at every grid point — a
+  // multiplied grid of duplicate tasks. Only conditional axes with
+  // pairwise-distinct conditions (mutually exclusive by construction for a
+  // single condition parameter) may share a parameter.
+  std::map<std::string, std::vector<std::size_t>> binders;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    std::set<std::string> params;
+    for (const AxisPoint& point : axes[i].points)
+      for (const ParamBinding& b : point.bindings) params.insert(b.param);
+    for (const std::string& p : params) binders[p].push_back(i);
+  }
+  for (const auto& [param, idx] : binders) {
+    for (std::size_t a = 0; a < idx.size(); ++a)
+      for (std::size_t b = a + 1; b < idx.size(); ++b) {
+        const ParamAxis& first = axes[idx[a]];
+        const ParamAxis& second = axes[idx[b]];
+        const bool exclusive = !first.only_when_param.empty() &&
+                               !second.only_when_param.empty() &&
+                               first.only_when_param == second.only_when_param &&
+                               !(first.only_when_value == second.only_when_value);
+        if (!exclusive)
+          throw std::invalid_argument(
+              "SweepSpec: parameter '" + param +
+              "' is bound by more than one axis; the inner axis would "
+              "overwrite the outer one at every grid point (use conditional "
+              "axes with mutually exclusive conditions instead)");
+      }
+  }
 }
 
-void checkAxes(const SweepSpec& spec) {
-  if (spec.kind == TaskKind::kPcb) {
-    if (!spec.zc_values.empty() || !spec.td_values.empty() ||
-        !spec.loads.empty() || !spec.rc_loads.empty())
-      throw std::invalid_argument(
-          "SweepSpec: zc/td/load axes do not apply to a PCB sweep");
-  } else if (!spec.incident_field.empty()) {
-    throw std::invalid_argument(
-        "SweepSpec: incident_field axis does not apply to a t-line sweep");
-  }
-  for (double bt : spec.bit_times)
-    if (!(bt > 0.0)) throw std::invalid_argument("SweepSpec: bit_time must be > 0");
-  for (double zc : spec.zc_values)
-    if (!(zc > 0.0)) throw std::invalid_argument("SweepSpec: zc must be > 0");
-  for (double td : spec.td_values)
-    if (!(td > 0.0)) throw std::invalid_argument("SweepSpec: td must be > 0");
-  for (const RcLoad& rc : spec.rc_loads)
-    if (!(rc.r > 0.0) || !(rc.c > 0.0))
-      throw std::invalid_argument("SweepSpec: rc_loads entries must be > 0");
-  for (const std::string& p : spec.patterns)
-    if (p.empty()) throw std::invalid_argument("SweepSpec: empty pattern");
+/// The one grid-shape walker count() and expand() share. Walks the axes in
+/// declaration order (outermost first), resolving conditional axes against
+/// the values assigned so far (falling back to the base-configured
+/// prototype), and calls `emit` once per grid point with the axis bindings
+/// that apply there, outermost first.
+void forEachGridPoint(
+    const Scenario& proto, const std::vector<ParamAxis>& axes,
+    const std::function<void(const std::vector<const ParamBinding*>&)>& emit) {
+  std::vector<const ParamBinding*> applied;
+  std::map<std::string, const ParamValue*> bound;  // axis-assigned so far
+
+  std::function<void(std::size_t)> walk = [&](std::size_t i) {
+    if (i == axes.size()) {
+      emit(applied);
+      return;
+    }
+    const ParamAxis& axis = axes[i];
+    bool skip = axis.points.empty();
+    if (!skip && !axis.only_when_param.empty()) {
+      auto it = bound.find(axis.only_when_param);
+      const ParamValue resolved =
+          it != bound.end() ? *it->second : proto.get(axis.only_when_param);
+      skip = !(resolved == axis.only_when_value);
+    }
+    if (skip) {  // factor 1: keep the base value
+      walk(i + 1);
+      return;
+    }
+    for (const AxisPoint& point : axis.points) {
+      const std::size_t applied_mark = applied.size();
+      std::vector<std::pair<std::string, const ParamValue*>> shadowed;
+      for (const ParamBinding& b : point.bindings) {
+        applied.push_back(&b);
+        auto [it, inserted] = bound.emplace(b.param, &b.value);
+        shadowed.emplace_back(b.param, inserted ? nullptr : it->second);
+        it->second = &b.value;
+      }
+      walk(i + 1);
+      for (auto rit = shadowed.rbegin(); rit != shadowed.rend(); ++rit) {
+        if (rit->second)
+          bound[rit->first] = rit->second;
+        else
+          bound.erase(rit->first);
+      }
+      applied.resize(applied_mark);
+    }
+  };
+  walk(0);
 }
 
-const char* engineName(TlineEngine e) {
-  switch (e) {
-    case TlineEngine::kSpiceRbf: return "spice-rbf";
-    case TlineEngine::kFdtd1d: return "fdtd1d";
-    case TlineEngine::kFdtd3d: return "fdtd3d";
-  }
-  return "?";
+std::unique_ptr<Scenario> makePrototype(const SweepSpec& spec) {
+  auto proto = ScenarioRegistry::global().create(spec.scenario);
+  proto->apply(spec.base);  // throws on unknown names / out-of-range values
+  return proto;
 }
 
 }  // namespace
 
+SweepSpec& SweepSpec::set(const std::string& param, ParamValue value) {
+  base.push_back({param, std::move(value)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::axisValues(const std::string& param,
+                                 std::vector<ParamValue> values) {
+  ParamAxis a;
+  a.name = param;
+  a.points.reserve(values.size());
+  for (ParamValue& v : values) a.points.push_back({{{param, std::move(v)}}});
+  axes.push_back(std::move(a));
+  return *this;
+}
+
+SweepSpec& SweepSpec::axis(const std::string& param, const std::vector<double>& values) {
+  std::vector<ParamValue> vs;
+  vs.reserve(values.size());
+  for (double v : values) vs.emplace_back(v);
+  return axisValues(param, std::move(vs));
+}
+
+SweepSpec& SweepSpec::axisStrings(const std::string& param,
+                                  const std::vector<std::string>& values) {
+  std::vector<ParamValue> vs;
+  vs.reserve(values.size());
+  for (const std::string& v : values) vs.emplace_back(v);
+  return axisValues(param, std::move(vs));
+}
+
+SweepSpec& SweepSpec::axisBool(const std::string& param, const std::vector<bool>& values) {
+  std::vector<ParamValue> vs;
+  vs.reserve(values.size());
+  for (bool v : values) vs.emplace_back(v);
+  return axisValues(param, std::move(vs));
+}
+
+SweepSpec& SweepSpec::axis(ParamAxis a) {
+  axes.push_back(std::move(a));
+  return *this;
+}
+
 std::size_t SweepSpec::count() const {
-  checkAxes(*this);
-  auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
-  std::size_t n = dim(patterns.size()) * dim(bit_times.size());
-  if (kind == TaskKind::kPcb) return n * dim(incident_field.size());
-  n *= dim(zc_values.size()) * dim(td_values.size());
-  // The rc axis multiplies linear-RC grid points only.
-  std::size_t load_factor = 0;
-  const std::vector<FarEndLoad> load_axis =
-      loads.empty() ? std::vector<FarEndLoad>{base_tline.load} : loads;
-  for (FarEndLoad l : load_axis)
-    load_factor += l == FarEndLoad::kLinearRc ? dim(rc_loads.size()) : 1;
-  return n * load_factor;
+  const auto proto = makePrototype(*this);
+  checkAxes(*proto, axes);
+  std::size_t n = 0;
+  forEachGridPoint(*proto, axes,
+                   [&](const std::vector<const ParamBinding*>&) { ++n; });
+  return n;
 }
 
 std::vector<SimulationTask> SweepSpec::expand() const {
-  checkAxes(*this);
-
-  // Resolve each axis to a concrete list (base value when empty).
-  const auto pats = patterns.empty()
-                        ? std::vector<std::string>{kind == TaskKind::kTline
-                                                       ? base_tline.pattern
-                                                       : base_pcb.pattern}
-                        : patterns;
-  const auto bts = bit_times.empty()
-                       ? std::vector<double>{kind == TaskKind::kTline
-                                                 ? base_tline.bit_time
-                                                 : base_pcb.bit_time}
-                       : bit_times;
+  const auto proto = makePrototype(*this);
+  checkAxes(*proto, axes);
 
   std::vector<SimulationTask> tasks;
-  tasks.reserve(count());
+  std::vector<std::string> point_summaries;  // axis bindings per grid point
+  forEachGridPoint(*proto, axes, [&](const std::vector<const ParamBinding*>& point) {
+    auto scenario = proto->clone();
+    std::string summary;
+    for (const ParamBinding* b : point) {
+      scenario->set(b->param, b->value);
+      summary += (summary.empty() ? "" : " ") + b->param + "=" +
+                 formatParamValue(b->value);
+    }
+    scenario->validate();
 
-  auto emit = [&](SimulationTask task, std::string label) {
+    SimulationTask task;
     task.index = tasks.size();
+    task.label = scenario->label();
+    task.scenario = std::shared_ptr<const Scenario>(std::move(scenario));
     task.driver = driver;
     task.receiver = receiver;
-    task.label = std::move(label);
-    validateSimulationTask(task);
     tasks.push_back(std::move(task));
-  };
+    point_summaries.push_back(std::move(summary));
+  });
 
-  if (kind == TaskKind::kPcb) {
-    const auto incs = incident_field.empty()
-                          ? std::vector<bool>{base_pcb.with_incident}
-                          : incident_field;
-    for (const std::string& pat : pats)
-      for (double bt : bts)
-        for (bool inc : incs) {
-          SimulationTask task;
-          task.kind = TaskKind::kPcb;
-          task.pcb = base_pcb;
-          task.pcb.pattern = pat;
-          task.pcb.bit_time = bt;
-          task.pcb.with_incident = inc;
-          emit(std::move(task), "pcb pattern=" + pat + " bt=" + num(bt) +
-                                    " incident=" + (inc ? "on" : "off"));
-        }
-    return tasks;
-  }
-
-  const auto zcs = zc_values.empty() ? std::vector<double>{base_tline.zc} : zc_values;
-  const auto tds = td_values.empty() ? std::vector<double>{base_tline.td} : td_values;
-  const auto lds = loads.empty() ? std::vector<FarEndLoad>{base_tline.load} : loads;
-  const auto rcs = rc_loads.empty()
-                       ? std::vector<RcLoad>{{base_tline.load_r, base_tline.load_c}}
-                       : rc_loads;
-
-  for (const std::string& pat : pats)
-    for (double bt : bts)
-      for (double zc : zcs)
-        for (double td : tds)
-          for (FarEndLoad load : lds) {
-            // Receiver-loaded points ignore the rc axis (see header).
-            const std::size_t n_rc = load == FarEndLoad::kLinearRc ? rcs.size() : 1;
-            for (std::size_t r = 0; r < n_rc; ++r) {
-              SimulationTask task;
-              task.kind = TaskKind::kTline;
-              task.engine = engine;
-              task.tline = base_tline;
-              task.tline.pattern = pat;
-              task.tline.bit_time = bt;
-              task.tline.zc = zc;
-              task.tline.td = td;
-              task.tline.load = load;
-              std::string label = std::string("tline/") + engineName(engine) +
-                                  " pattern=" + pat + " bt=" + num(bt) +
-                                  " zc=" + num(zc) + " td=" + num(td);
-              if (load == FarEndLoad::kLinearRc) {
-                task.tline.load_r = rcs[r].r;
-                task.tline.load_c = rcs[r].c;
-                label += " load=rc r=" + num(rcs[r].r) + " c=" + num(rcs[r].c);
-              } else {
-                label += " load=receiver";
-              }
-              emit(std::move(task), std::move(label));
-            }
-          }
+  // An axis over a parameter the family label omits would export identical
+  // labels for distinct corners; disambiguate colliding labels with the
+  // grid point's axis bindings. Sweeps whose labels are already unique
+  // (every pre-redesign sweep) are untouched.
+  std::map<std::string, std::size_t> label_count;
+  for (const SimulationTask& task : tasks) ++label_count[task.label];
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (label_count.at(tasks[i].label) > 1 && !point_summaries[i].empty())
+      tasks[i].label += " | " + point_summaries[i];
   return tasks;
 }
 

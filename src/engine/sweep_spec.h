@@ -1,22 +1,39 @@
 #pragma once
 /// \file sweep_spec.h
-/// Declarative parameter sweeps. A SweepSpec is a base scenario plus a set
-/// of axes; expand() takes the cartesian product of the non-empty axes and
-/// emits one fully-specified SimulationTask per grid point. This replaces
-/// the hand-written main() per analysis: a corner sweep, a pattern sweep,
-/// or an EMC susceptibility scan is a few lines of spec.
+/// Declarative parameter sweeps over the open scenario API. A SweepSpec
+/// names a scenario family from the ScenarioRegistry, overrides its base
+/// parameters, and declares generic axes; expand() takes the cartesian
+/// product of the non-empty axes and emits one fully-specified
+/// SimulationTask per grid point. Any registered family — built-in or
+/// user-added — is sweepable with no engine changes.
 ///
 /// Expansion rules (all deterministic — no RNG, no iteration-order
 /// surprises):
-///   - An empty axis means "keep the base scenario's value" and contributes
+///   - Axis nesting order is the axis *declaration order*, outermost to
+///     innermost. Task `index` follows that order.
+///   - An axis with no points means "keep the base value" and contributes
 ///     a factor of 1 to the grid size.
-///   - Axis nesting order, outermost to innermost: pattern, bit_time, zc,
-///     td, load, rc_load, incident_field. Task `index` follows that order.
-///   - rc_loads only applies to grid points whose far-end load resolves to
-///     FarEndLoad::kLinearRc; points with the receiver load ignore the axis
-///     (factor 1) instead of emitting duplicate tasks.
-///   - t-line axes (zc, td, loads, rc_loads) must be empty on a PCB sweep
-///     and incident_field must be empty on a t-line sweep; expand() throws.
+///   - Each axis point may bind several parameters at once (a "corner",
+///     e.g. an RC load binding load_r and load_c together).
+///   - A conditional axis (only_when_param set) applies only to grid
+///     points where that parameter — resolved from outer axes, the base
+///     overrides, or the family default — equals only_when_value; other
+///     points ignore the axis (factor 1) instead of emitting duplicates.
+///     The condition parameter's own axis, if any, must be declared
+///     earlier (outer); expand() throws otherwise.
+///   - Axes are checked against the target family's descriptors before
+///     anything runs: an unknown parameter name, a kind mismatch, or an
+///     out-of-range value fails at count()/expand() time, not mid-sweep.
+///   - A parameter may be bound by at most one axis (the inner axis would
+///     silently overwrite the outer at every grid point); conditional axes
+///     with mutually exclusive conditions are the one exception.
+///   - When an axis sweeps a parameter the family label omits, expand()
+///     appends the grid point's axis bindings to colliding labels so
+///     exported rows stay humanly distinguishable; sweeps whose labels are
+///     already unique are untouched.
+///
+/// The pre-redesign typed axes (patterns, zc_values, rc_loads, ...) live
+/// on as thin convenience helpers in engine/typed_axes.h.
 
 #include <cstddef>
 #include <string>
@@ -26,37 +43,58 @@
 
 namespace fdtdmm {
 
-/// One far-end linear RC corner (Fig. 4's 500 ohm || 1 pF is {500, 1e-12}).
-struct RcLoad {
-  double r = 500.0;   ///< shunt resistance [ohm]
-  double c = 1e-12;   ///< shunt capacitance [F]
+/// One grid point of an axis: the parameter assignments applied together.
+struct AxisPoint {
+  std::vector<ParamBinding> bindings;
+};
+
+/// One sweep axis: an ordered list of points, optionally conditional on
+/// another parameter's resolved value.
+struct ParamAxis {
+  std::string name;               ///< diagnostic name (defaults to the bound parameter)
+  std::vector<AxisPoint> points;  ///< empty = keep base value (factor 1)
+  std::string only_when_param;    ///< empty = unconditional
+  ParamValue only_when_value{};   ///< compared with the resolved value
 };
 
 struct SweepSpec {
-  TaskKind kind = TaskKind::kTline;
-  TlineEngine engine = TlineEngine::kFdtd1d;  ///< t-line sweeps only
-  TlineScenario base_tline;  ///< per-point overrides start from this
-  PcbScenario base_pcb;      ///< used when kind == kPcb
+  /// ScenarioRegistry::global() family name ("tline", "pcb", "crosstalk",
+  /// or anything registered by the application).
+  std::string scenario = "tline";
+  /// Base parameter overrides, applied in order to the family's defaults
+  /// before any axis; per-point overrides start from this.
+  std::vector<ParamBinding> base;
+  /// Sweep axes, outermost first.
+  std::vector<ParamAxis> axes;
   std::string driver = "default";    ///< model-cache component name
   std::string receiver = "default";  ///< model-cache component name
 
-  // --- Sweep axes (empty = keep base value). ---
-  std::vector<std::string> patterns;     ///< transmitted bit patterns
-  std::vector<double> bit_times;         ///< [s]
-  std::vector<double> zc_values;         ///< t-line Zc [ohm]
-  std::vector<double> td_values;         ///< t-line delay [s]
-  std::vector<FarEndLoad> loads;         ///< t-line far-end load type
-  std::vector<RcLoad> rc_loads;          ///< t-line RC corners (kLinearRc only)
-  std::vector<bool> incident_field;      ///< PCB plane-wave on/off
+  /// Fluent base override. Note: wrap string literals in std::string() —
+  /// a bare char pointer would pick ParamValue's bool alternative on some
+  /// standard libraries.
+  SweepSpec& set(const std::string& param, ParamValue value);
 
-  /// Number of tasks expand() will produce.
+  /// Fluent single-parameter axis (one point per value, declaration order
+  /// = nesting order). One spelling per value kind keeps brace-list call
+  /// sites unambiguous; axisValues is the any-kind spelling.
+  SweepSpec& axis(const std::string& param, const std::vector<double>& values);
+  SweepSpec& axisStrings(const std::string& param, const std::vector<std::string>& values);
+  SweepSpec& axisBool(const std::string& param, const std::vector<bool>& values);
+  SweepSpec& axisValues(const std::string& param, std::vector<ParamValue> values);
+
+  /// Fluent multi-parameter / conditional axis.
+  SweepSpec& axis(ParamAxis a);
+
+  /// Number of tasks expand() will produce. count() and expand() walk the
+  /// same grid-shape helper, so they cannot disagree.
   std::size_t count() const;
 
   /// Expands the grid into concrete, validated tasks with stable indices
-  /// and human-readable labels.
-  /// \throws std::invalid_argument on axes that do not apply to `kind`,
-  ///         non-positive axis values, or base options that fail scenario
-  ///         validation.
+  /// and the family's human-readable labels.
+  /// \throws std::invalid_argument on an unknown scenario name, axes that
+  ///         fail the family's descriptor checks, a conditional axis whose
+  ///         condition parameter is declared later, or configurations that
+  ///         fail scenario validation.
   std::vector<SimulationTask> expand() const;
 };
 

@@ -1,0 +1,57 @@
+#include "engine/typed_axes.h"
+
+namespace fdtdmm {
+
+SweepSpec makeTlineSweep(const TlineScenario& base, TlineEngine engine) {
+  SweepSpec spec;
+  spec.scenario = "tline";
+  spec.base = tlineParams(base, engine);
+  return spec;
+}
+
+SweepSpec makePcbSweep(const PcbScenario& base) {
+  SweepSpec spec;
+  spec.scenario = "pcb";
+  spec.base = pcbParams(base);
+  return spec;
+}
+
+void addPatternAxis(SweepSpec& spec, const std::vector<std::string>& patterns) {
+  spec.axisStrings("pattern", patterns);
+}
+
+void addBitTimeAxis(SweepSpec& spec, const std::vector<double>& bit_times) {
+  spec.axis("bit_time", bit_times);
+}
+
+void addZcAxis(SweepSpec& spec, const std::vector<double>& zc_values) {
+  spec.axis("zc", zc_values);
+}
+
+void addTdAxis(SweepSpec& spec, const std::vector<double>& td_values) {
+  spec.axis("td", td_values);
+}
+
+void addLoadAxis(SweepSpec& spec, const std::vector<FarEndLoad>& loads) {
+  std::vector<std::string> names;
+  names.reserve(loads.size());
+  for (FarEndLoad l : loads) names.emplace_back(farEndLoadName(l));
+  spec.axisStrings("load", names);
+}
+
+void addRcLoadAxis(SweepSpec& spec, const std::vector<RcLoad>& rc_loads) {
+  ParamAxis axis;
+  axis.name = "rc_load";
+  axis.only_when_param = "load";
+  axis.only_when_value = std::string("rc");
+  axis.points.reserve(rc_loads.size());
+  for (const RcLoad& rc : rc_loads)
+    axis.points.push_back({{{"load_r", rc.r}, {"load_c", rc.c}}});
+  spec.axis(std::move(axis));
+}
+
+void addIncidentFieldAxis(SweepSpec& spec, const std::vector<bool>& incident) {
+  spec.axisBool("with_incident", incident);
+}
+
+}  // namespace fdtdmm

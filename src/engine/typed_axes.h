@@ -1,0 +1,55 @@
+#pragma once
+/// \file typed_axes.h
+/// Migration shims: the pre-redesign typed sweep API (TaskKind + per-family
+/// axis vectors) expressed as thin convenience constructors over the
+/// generic SweepSpec. Each helper appends one generic ParamAxis; nothing
+/// here is load-bearing for the engine, which only sees parameter names.
+///
+/// To reproduce a pre-redesign sweep exactly (labels, task ordering, CSV/
+/// JSON bytes), declare the axes in the old fixed nesting order:
+///   patterns, bit_times, zc/td/loads/rc_loads (t-line) or incident_field
+///   (PCB) — outermost to innermost. The old rc_loads rule ("applies only
+///   to grid points whose far-end load resolves to the linear RC") is the
+///   generic conditional axis with only_when load == "rc".
+///
+/// Old typed API -> new parameter-map API:
+///   spec.kind = TaskKind::kTline          -> spec = makeTlineSweep(base, engine)
+///   spec.kind = TaskKind::kPcb            -> spec = makePcbSweep(base)
+///   spec.patterns = {...}                 -> addPatternAxis(spec, {...})
+///   spec.zc_values = {...}                -> addZcAxis(spec, {...})
+///   spec.loads = {...}                    -> addLoadAxis(spec, {...})
+///   spec.rc_loads = {{r, c}, ...}         -> addRcLoadAxis(spec, {{r, c}, ...})
+///   spec.incident_field = {...}           -> addIncidentFieldAxis(spec, {...})
+
+#include "core/pcb_family.h"
+#include "core/tline_family.h"
+#include "engine/sweep_spec.h"
+
+namespace fdtdmm {
+
+/// One far-end linear RC corner (Fig. 4's 500 ohm || 1 pF is {500, 1e-12}).
+struct RcLoad {
+  double r = 500.0;   ///< shunt resistance [ohm]
+  double c = 1e-12;   ///< shunt capacitance [F]
+};
+
+/// A "tline" sweep whose base is the given typed config (every field of
+/// `base`, plus the engine, becomes a base parameter binding).
+SweepSpec makeTlineSweep(const TlineScenario& base = {},
+                         TlineEngine engine = TlineEngine::kFdtd1d);
+
+/// A "pcb" sweep whose base is the given typed config.
+SweepSpec makePcbSweep(const PcbScenario& base = {});
+
+// Typed axis helpers (names match the old SweepSpec fields).
+void addPatternAxis(SweepSpec& spec, const std::vector<std::string>& patterns);
+void addBitTimeAxis(SweepSpec& spec, const std::vector<double>& bit_times);
+void addZcAxis(SweepSpec& spec, const std::vector<double>& zc_values);
+void addTdAxis(SweepSpec& spec, const std::vector<double>& td_values);
+void addLoadAxis(SweepSpec& spec, const std::vector<FarEndLoad>& loads);
+/// The RC-corner axis: each point binds load_r and load_c together, and the
+/// axis only applies where the far-end load resolves to "rc".
+void addRcLoadAxis(SweepSpec& spec, const std::vector<RcLoad>& rc_loads);
+void addIncidentFieldAxis(SweepSpec& spec, const std::vector<bool>& incident);
+
+}  // namespace fdtdmm

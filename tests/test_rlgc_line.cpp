@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuit/transient.h"
@@ -109,6 +110,82 @@ TEST(RlgcLine, ShuntLossLoadsDc) {
   const double v_lossy = dc(lossy);
   EXPECT_NEAR(v_lossless, 0.5, 0.01);
   EXPECT_LT(v_lossy, v_lossless - 0.05);
+}
+
+TEST(RlgcLine, SegmentsVariantExposesLadderNodes) {
+  Circuit c;
+  const int a = c.addNode();
+  const int b = c.addNode();
+  RlgcParams p;
+  p.segments = 8;
+  const auto nodes = buildRlgcLineSegments(c, a, 0, b, 0, p);
+  ASSERT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes.back(), b);  // last segment output is the far port
+  for (int n : nodes) {
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, c.nodeCount());
+  }
+}
+
+TEST(RlgcLine, CoupledPairUncoupledBehavesLikeTwoLines) {
+  // cm = 0: the victim of the coupled builder must match an isolated line
+  // bit for bit (same element order, same stamps), and a driven victim
+  // port sees nothing from the aggressor.
+  RlgcParams p;
+  p.length = 0.1;
+  p.segments = 16;
+  const double zc = rlgcCharacteristicImpedance(p);
+
+  auto drive = [&](bool coupled, double cm) {
+    Circuit c;
+    const int src = c.addNode();
+    const int a1 = c.addNode();
+    const int a2 = c.addNode();
+    c.addVoltageSource(src, 0, [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+    c.addResistor(src, a1, zc);
+    if (coupled) {
+      const int v1 = c.addNode();
+      const int v2 = c.addNode();
+      CoupledRlgcParams cp;
+      cp.line = p;
+      cp.cm = cm;
+      buildCoupledRlgcLines(c, a1, a2, v1, v2, cp);
+      c.addResistor(v1, 0, zc);
+      c.addResistor(v2, 0, zc);
+    } else {
+      buildRlgcLine(c, a1, 0, a2, 0, p);
+    }
+    c.addResistor(a2, 0, zc);
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.t_stop = 2e-9;
+    return runTransient(c, opt, {{"far", a2, 0}}).at("far");
+  };
+
+  const Waveform lone = drive(false, 0.0);
+  const Waveform uncoupled = drive(true, 0.0);
+  ASSERT_EQ(lone.size(), uncoupled.size());
+  for (std::size_t k = 0; k < lone.size(); ++k)
+    EXPECT_NEAR(lone[k], uncoupled[k], 1e-12);
+
+  // With cm > 0 the aggressor far end changes (energy leaks to the victim).
+  const Waveform coupled = drive(true, 0.3 * p.c);
+  double max_delta = 0.0;
+  for (std::size_t k = 0; k < lone.size(); ++k)
+    max_delta = std::max(max_delta, std::abs(coupled[k] - lone[k]));
+  EXPECT_GT(max_delta, 1e-3);
+}
+
+TEST(RlgcLine, CoupledPairValidation) {
+  Circuit c;
+  const int a = c.addNode(), b = c.addNode(), v1 = c.addNode(), v2 = c.addNode();
+  CoupledRlgcParams bad;
+  bad.cm = -1e-12;
+  EXPECT_THROW(buildCoupledRlgcLines(c, a, b, v1, v2, bad), std::invalid_argument);
+  CoupledRlgcParams bad_line;
+  bad_line.line.segments = 0;
+  EXPECT_THROW(buildCoupledRlgcLines(c, a, b, v1, v2, bad_line),
+               std::invalid_argument);
 }
 
 TEST(RlgcLine, Validation) {

@@ -1,6 +1,8 @@
-// Tests for the scenario-sweep engine: grid expansion, deterministic
+// Tests for the scenario-sweep engine over the open scenario API: generic
+// grid expansion, the count()/expand() shape contract, deterministic
 // parallel execution (metrics identical to a serial reference run for any
-// worker count), per-task failure capture, and CSV/JSON export.
+// worker count), per-task failure capture, duplicate-index rejection, and
+// CSV/JSON export.
 #include "engine/sweep_runner.h"
 
 #include <gtest/gtest.h>
@@ -10,85 +12,41 @@
 #include <fstream>
 #include <sstream>
 
+#include "engine/typed_axes.h"
+#include "tiny_models.h"
+
 namespace fdtdmm {
 namespace {
 
-// Tiny hand-built macromodels (mirroring test_model_library's): the sweep
-// tests exercise orchestration and determinism, not identification, so they
-// must not pay the multi-second default-model build.
-GaussianRbfParams tinyParams() {
-  GaussianRbfParams p;
-  p.order = 1;
-  p.ts = 50e-12;
-  p.beta = 0.5;
-  p.i_scale = 1.0;
-  p.theta = {0.01};
-  p.c0 = {0.9};
-  p.cv = {{0.9}};
-  p.ci = {{0.0}};
-  return p;
-}
-
-std::shared_ptr<const RbfDriverModel> tinyDriver() {
-  RbfDriverModel m;
-  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
-  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
-  m.ts = 50e-12;
-  m.weights.wu_up = Waveform(0.0, 50e-12, {0.0, 1.0});
-  m.weights.wd_up = Waveform(0.0, 50e-12, {1.0, 0.0});
-  m.weights.wu_down = Waveform(0.0, 50e-12, {1.0, 0.0});
-  m.weights.wd_down = Waveform(0.0, 50e-12, {0.0, 1.0});
-  return std::make_shared<const RbfDriverModel>(std::move(m));
-}
-
-std::shared_ptr<const RbfReceiverModel> tinyReceiver() {
-  RbfReceiverModel m;
-  LinearArxParams lp;
-  lp.order = 1;
-  lp.ts = 50e-12;
-  lp.a = {0.2};
-  lp.b = {0.001, 0.0};
-  m.lin = std::make_shared<LinearArxSubmodel>(lp);
-  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
-  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
-  m.ts = 50e-12;
-  return std::make_shared<const RbfReceiverModel>(std::move(m));
-}
-
-std::shared_ptr<ModelCache> tinyCache() {
-  auto cache = std::make_shared<ModelCache>();
-  cache->putDriver("tinydrv", tinyDriver());
-  cache->putReceiver("tinyrcv", tinyReceiver());
-  return cache;
-}
+using testmodels::tinyCache;
+using testmodels::tinyDriver;
+using testmodels::tinyReceiver;
 
 /// A fast 1D-FDTD sweep: 2 patterns x 2 zc x (2 rc corners + receiver).
 SweepSpec testSpec() {
-  SweepSpec spec;
-  spec.kind = TaskKind::kTline;
-  spec.engine = TlineEngine::kFdtd1d;
+  TlineScenario base;
+  base.t_stop = 2e-9;
+  base.strip_len = 24;  // 1D cells: keeps each run tiny
+  SweepSpec spec = makeTlineSweep(base, TlineEngine::kFdtd1d);
   spec.driver = "tinydrv";
   spec.receiver = "tinyrcv";
-  spec.base_tline.t_stop = 2e-9;
-  spec.base_tline.strip_len = 24;  // 1D cells: keeps each run tiny
-  spec.patterns = {"010", "0110"};
-  spec.bit_times = {0.5e-9};
-  spec.zc_values = {100.0, 131.0};
-  spec.loads = {FarEndLoad::kLinearRc, FarEndLoad::kReceiver};
-  spec.rc_loads = {{500.0, 1e-12}, {50.0, 2e-12}};
+  addPatternAxis(spec, {"010", "0110"});
+  addBitTimeAxis(spec, {0.5e-9});
+  addZcAxis(spec, {100.0, 131.0});
+  addLoadAxis(spec, {FarEndLoad::kLinearRc, FarEndLoad::kReceiver});
+  addRcLoadAxis(spec, {{500.0, 1e-12}, {50.0, 2e-12}});
   return spec;
 }
 
-std::string slurp(const std::string& path) {
-  std::ifstream f(path);
-  std::stringstream ss;
-  ss << f.rdbuf();
-  return ss.str();
+const TlineFamily& asTline(const SimulationTask& task) {
+  const auto* t = dynamic_cast<const TlineFamily*>(task.scenario.get());
+  if (!t) throw std::runtime_error("task is not a tline scenario");
+  return *t;
 }
 
 TEST(SweepSpec, CountsAndExpandsTheGrid) {
   const auto spec = testSpec();
-  // 2 patterns x 1 bit time x 2 zc x 1 td x (2 rc + 1 receiver) = 12.
+  // 2 patterns x 1 bit time x 2 zc x (2 rc + 1 receiver) = 12.
   EXPECT_EQ(spec.count(), 12u);
   const auto tasks = spec.expand();
   ASSERT_EQ(tasks.size(), 12u);
@@ -96,57 +54,104 @@ TEST(SweepSpec, CountsAndExpandsTheGrid) {
     EXPECT_EQ(tasks[i].index, i);
     EXPECT_EQ(tasks[i].driver, "tinydrv");
     EXPECT_FALSE(tasks[i].label.empty());
+    EXPECT_EQ(tasks[i].scenario->family(), "tline");
   }
   // Innermost axes vary fastest: first three tasks share pattern/zc and
   // walk load corners (rc #0, rc #1, receiver).
-  EXPECT_EQ(tasks[0].tline.load_r, 500.0);
-  EXPECT_EQ(tasks[1].tline.load_r, 50.0);
-  EXPECT_EQ(tasks[2].tline.load, FarEndLoad::kReceiver);
-  EXPECT_EQ(tasks[0].tline.zc, 100.0);
-  EXPECT_EQ(tasks[3].tline.zc, 131.0);
-  EXPECT_EQ(tasks[6].tline.pattern, "0110");
+  EXPECT_EQ(asTline(tasks[0]).config().load_r, 500.0);
+  EXPECT_EQ(asTline(tasks[1]).config().load_r, 50.0);
+  EXPECT_EQ(asTline(tasks[2]).config().load, FarEndLoad::kReceiver);
+  EXPECT_EQ(asTline(tasks[0]).config().zc, 100.0);
+  EXPECT_EQ(asTline(tasks[3]).config().zc, 131.0);
+  EXPECT_EQ(asTline(tasks[6]).config().pattern, "0110");
 }
 
 TEST(SweepSpec, EmptyAxesKeepBaseValues) {
-  SweepSpec spec;
-  spec.base_tline.t_stop = 1e-9;
+  TlineScenario base;
+  base.t_stop = 1e-9;
+  SweepSpec spec = makeTlineSweep(base);
   EXPECT_EQ(spec.count(), 1u);
   const auto tasks = spec.expand();
   ASSERT_EQ(tasks.size(), 1u);
-  EXPECT_EQ(tasks[0].tline.pattern, spec.base_tline.pattern);
-  EXPECT_EQ(tasks[0].tline.zc, spec.base_tline.zc);
+  EXPECT_EQ(asTline(tasks[0]).config().pattern, base.pattern);
+  EXPECT_EQ(asTline(tasks[0]).config().zc, base.zc);
+  // An axis with no points also contributes a factor of 1.
+  SweepSpec with_empty = makeTlineSweep(base);
+  addZcAxis(with_empty, {});
+  EXPECT_EQ(with_empty.count(), 1u);
+  EXPECT_EQ(with_empty.expand().size(), 1u);
 }
 
 TEST(SweepSpec, RejectsMisappliedAndInvalidAxes) {
-  SweepSpec pcb;
-  pcb.kind = TaskKind::kPcb;
-  pcb.zc_values = {100.0};
+  // A t-line-only parameter on a PCB sweep is simply unknown to the family.
+  SweepSpec pcb = makePcbSweep();
+  addZcAxis(pcb, {100.0});
   EXPECT_THROW(pcb.expand(), std::invalid_argument);
 
-  SweepSpec tline;
-  tline.incident_field = {true};
+  SweepSpec tline = makeTlineSweep();
+  addIncidentFieldAxis(tline, {true});
   EXPECT_THROW(tline.expand(), std::invalid_argument);
 
-  SweepSpec bad_bt;
-  bad_bt.bit_times = {-1.0};
+  SweepSpec bad_bt = makeTlineSweep();
+  addBitTimeAxis(bad_bt, {-1.0});
   EXPECT_THROW(bad_bt.count(), std::invalid_argument);
 
   SweepSpec bad_base;
-  bad_base.base_tline.t_stop = 0.0;
+  bad_base.scenario = "tline";
+  bad_base.set("t_stop", 0.0);
   EXPECT_THROW(bad_base.expand(), std::invalid_argument);
 }
 
 TEST(SweepSpec, PcbGridExpands) {
-  SweepSpec spec;
-  spec.kind = TaskKind::kPcb;
-  spec.patterns = {"01", "010"};
-  spec.incident_field = {false, true};
+  SweepSpec spec = makePcbSweep();
+  addPatternAxis(spec, {"01", "010"});
+  addIncidentFieldAxis(spec, {false, true});
   const auto tasks = spec.expand();
   ASSERT_EQ(tasks.size(), 4u);
   EXPECT_EQ(spec.count(), 4u);
-  EXPECT_FALSE(tasks[0].pcb.with_incident);
-  EXPECT_TRUE(tasks[1].pcb.with_incident);
-  EXPECT_EQ(tasks[2].pcb.pattern, "010");
+  auto pcb = [&](std::size_t i) {
+    const auto* p = dynamic_cast<const PcbFamily*>(tasks[i].scenario.get());
+    if (!p) throw std::runtime_error("task is not a pcb scenario");
+    return p->config();
+  };
+  EXPECT_FALSE(pcb(0).with_incident);
+  EXPECT_TRUE(pcb(1).with_incident);
+  EXPECT_EQ(pcb(2).pattern, "010");
+  EXPECT_TRUE(tasks[0].scenario->needsReceiver());
+}
+
+// The count()/expand() shape contract: both derive from one grid walker,
+// and this property test pins the equality across axis-presence
+// combinations — including the conditional rc_load corner, which only
+// multiplies grid points whose far-end load resolves to the linear RC.
+TEST(SweepSpec, CountMatchesExpandAcrossAxisCombinations) {
+  const std::vector<std::string> pattern_axis = {"010", "0110", "01"};
+  const std::vector<double> bt_axis = {0.5e-9, 1e-9};
+  const std::vector<double> zc_axis = {90.0, 131.0};
+  const std::vector<std::vector<FarEndLoad>> load_axes = {
+      {},  // keep base (kLinearRc): rc axis applies everywhere
+      {FarEndLoad::kReceiver},  // rc axis applies nowhere
+      {FarEndLoad::kLinearRc, FarEndLoad::kReceiver},
+  };
+  const std::vector<RcLoad> rc_axis = {{500.0, 1e-12}, {50.0, 2e-12}};
+
+  TlineScenario base;
+  base.t_stop = 1e-9;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    for (std::size_t li = 0; li < load_axes.size(); ++li) {
+      SweepSpec spec = makeTlineSweep(base);
+      if (mask & 1) addPatternAxis(spec, pattern_axis);
+      if (mask & 2) addBitTimeAxis(spec, bt_axis);
+      if (mask & 4) addZcAxis(spec, zc_axis);
+      addLoadAxis(spec, load_axes[li]);
+      if (mask & 8) addRcLoadAxis(spec, rc_axis);
+      SCOPED_TRACE("mask=" + std::to_string(mask) + " loads=" + std::to_string(li));
+      const auto tasks = spec.expand();
+      EXPECT_EQ(spec.count(), tasks.size());
+      for (std::size_t i = 0; i < tasks.size(); ++i)
+        EXPECT_EQ(tasks[i].index, i);
+    }
+  }
 }
 
 TEST(SweepRunner, MetricsMatchSerialReferenceForAnyWorkerCount) {
@@ -159,19 +164,15 @@ TEST(SweepRunner, MetricsMatchSerialReferenceForAnyWorkerCount) {
   std::vector<RunMetrics> reference;
   for (const auto& task : tasks) {
     const auto waves = runSimulationTask(
-        task, driver,
-        task.tline.load == FarEndLoad::kReceiver ? receiver : nullptr);
+        task, driver, task.scenario->needsReceiver() ? receiver : nullptr);
     reference.push_back(computeRunMetrics(
-        waves, BitPattern(taskPattern(task), taskBitTime(task))));
+        waves, BitPattern(task.scenario->pattern(), task.scenario->bitTime())));
   }
 
   for (std::size_t workers : {1u, 2u, 4u}) {
     SweepOptions opt;
     opt.workers = workers;
-    auto cache = std::make_shared<ModelCache>();
-    cache->putDriver("tinydrv", tinyDriver());
-    cache->putReceiver("tinyrcv", tinyReceiver());
-    SweepRunner runner(opt, cache);
+    SweepRunner runner(opt, tinyCache());
     const auto result = runner.run(spec);
     ASSERT_EQ(result.runs.size(), reference.size());
     EXPECT_EQ(result.workers, workers);
@@ -209,8 +210,8 @@ TEST(SweepRunner, ExportsAreByteIdenticalAcrossWorkerCounts) {
     const std::string json_path = dir + "sweep_w" + std::to_string(workers) + ".json";
     writeSweepCsv(result, csv_path);
     writeSweepJson(result, json_path);
-    const std::string csv = slurp(csv_path);
-    const std::string json = slurp(json_path);
+    const std::string csv = testmodels::slurp(csv_path);
+    const std::string json = testmodels::slurp(json_path);
     // The JSON "runs" payload must not depend on the worker count (the
     // top-level "workers" field legitimately does).
     const std::string runs = json.substr(json.find("\"runs\""));
@@ -247,16 +248,29 @@ TEST(SweepRunner, CapturesPerTaskFailuresWithoutAbortingTheSweep) {
   // Failed runs export as ok=0 with empty metric fields, not garbage.
   const std::string path = testing::TempDir() + "sweep_fail.csv";
   writeSweepCsv(result, path);
-  EXPECT_NE(slurp(path).find("ModelCache"), std::string::npos);
+  EXPECT_NE(testmodels::slurp(path).find("ModelCache"), std::string::npos);
   std::filesystem::remove(path);
 }
 
-TEST(SweepRunner, KeepWaveformsRetainsRuns) {
+TEST(SweepRunner, RejectsDuplicateTaskIndices) {
   SweepSpec spec = testSpec();
-  spec.patterns = {"010"};
-  spec.zc_values = {131.0};
-  spec.loads = {FarEndLoad::kLinearRc};
-  spec.rc_loads = {{500.0, 1e-12}};
+  auto tasks = spec.expand();
+  tasks[3].index = tasks[7].index;  // now two rows would share a CSV key
+  SweepRunner runner({}, tinyCache());
+  EXPECT_THROW(runner.run(tasks), std::invalid_argument);
+
+  SimulationTask empty;  // no scenario attached
+  EXPECT_THROW(runner.run({empty}), std::invalid_argument);
+}
+
+TEST(SweepRunner, KeepWaveformsRetainsRuns) {
+  TlineScenario base;
+  base.t_stop = 2e-9;
+  base.strip_len = 24;
+  SweepSpec spec = makeTlineSweep(base);
+  spec.driver = "tinydrv";
+  spec.receiver = "tinyrcv";
+  addRcLoadAxis(spec, {{500.0, 1e-12}});
   SweepOptions opt;
   opt.workers = 2;
   opt.keep_waveforms = true;

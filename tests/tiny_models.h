@@ -1,0 +1,74 @@
+#pragma once
+// Tiny hand-built macromodels shared by the sweep/scenario test suites
+// (mirroring test_model_library's): these suites exercise orchestration
+// and determinism, not identification, so they must not pay the
+// multi-second default-model build. The migration goldens in
+// test_sweep_migration.cpp are only valid for exactly these constants —
+// changing them invalidates the pinned pre-redesign CSV/JSON bytes.
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "engine/model_cache.h"
+
+namespace fdtdmm {
+namespace testmodels {
+
+inline GaussianRbfParams tinyParams() {
+  GaussianRbfParams p;
+  p.order = 1;
+  p.ts = 50e-12;
+  p.beta = 0.5;
+  p.i_scale = 1.0;
+  p.theta = {0.01};
+  p.c0 = {0.9};
+  p.cv = {{0.9}};
+  p.ci = {{0.0}};
+  return p;
+}
+
+inline std::shared_ptr<const RbfDriverModel> tinyDriver() {
+  RbfDriverModel m;
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  m.weights.wu_up = Waveform(0.0, 50e-12, {0.0, 1.0});
+  m.weights.wd_up = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wu_down = Waveform(0.0, 50e-12, {1.0, 0.0});
+  m.weights.wd_down = Waveform(0.0, 50e-12, {0.0, 1.0});
+  return std::make_shared<const RbfDriverModel>(std::move(m));
+}
+
+inline std::shared_ptr<const RbfReceiverModel> tinyReceiver() {
+  RbfReceiverModel m;
+  LinearArxParams lp;
+  lp.order = 1;
+  lp.ts = 50e-12;
+  lp.a = {0.2};
+  lp.b = {0.001, 0.0};
+  m.lin = std::make_shared<LinearArxSubmodel>(lp);
+  m.up = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.down = std::make_shared<GaussianRbfSubmodel>(tinyParams());
+  m.ts = 50e-12;
+  return std::make_shared<const RbfReceiverModel>(std::move(m));
+}
+
+/// A ModelCache preloaded with the tiny models as "tinydrv" / "tinyrcv".
+inline std::shared_ptr<ModelCache> tinyCache() {
+  auto cache = std::make_shared<ModelCache>();
+  cache->putDriver("tinydrv", tinyDriver());
+  cache->putReceiver("tinyrcv", tinyReceiver());
+  return cache;
+}
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace testmodels
+}  // namespace fdtdmm
