@@ -1,0 +1,63 @@
+#pragma once
+// Shared helpers for the solver benches' machine-readable output: the CI
+// bench job parses/archives the BENCH_*.json files these produce and gates
+// on the benches' exit status, so thresholds must be overridable per runner
+// (shared CI machines are noisy) without editing code. Precedence:
+// --min-speedup=<x> flag, then the given env var, then the built-in floor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace benchutil {
+
+/// Threshold from `--min-speedup=<x>` argv, env var, or fallback.
+inline double minSpeedup(int argc, char** argv, const char* env_name,
+                         double fallback) {
+  double value = fallback;
+  if (const char* env = std::getenv(env_name)) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) value = v;
+  }
+  const char* prefix = "--min-speedup=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      char* end = nullptr;
+      const double v = std::strtod(argv[i] + std::strlen(prefix), &end);
+      if (end != argv[i] + std::strlen(prefix) && v > 0.0) value = v;
+    }
+  }
+  return value;
+}
+
+/// Compact JSON number formatting: 9 significant digits, plenty for the
+/// wall-clock measurements these files carry (not full round-tripping).
+inline std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Writes `content` to `path`; returns false (with a message) on failure.
+inline bool writeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+inline const char* buildKind() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace benchutil

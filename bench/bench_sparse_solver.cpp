@@ -1,0 +1,146 @@
+// Scaling benchmark of the sparse MNA path (TransientSolverMode::kSparse:
+// CSR assembly + RCM-ordered banded LU) against the dense cached-LU path
+// (kReuseFactorization) on the workload the sparse solver exists for:
+// segmented RLGC board traces whose unknown count grows with the segment
+// count. The dense path pays O(n^3) for its one factorization and O(n^2)
+// per Newton substitution; the sparse path is O(n) in both because the
+// RCM-permuted ladder has constant bandwidth — so the measured speedup
+// must GROW superlinearly with the segment count.
+//
+// Exit status is nonzero (Release builds) if any case at >= `gate_segments`
+// falls below the minimum speedup (default 5x at >= 200 segments; override
+// with --min-speedup=<x> / FDTDMM_BENCH_MIN_SPARSE_SPEEDUP so shared CI
+// runners can pin a conservative floor), if waveforms disagree beyond
+// tolerance, or if either linear run factors more than once. Writes the
+// scaling curve to BENCH_sparse.json for the CI bench job's artifact trail.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "circuit/rlgc_line.h"
+#include "circuit/transient.h"
+#include "signal/bit_pattern.h"
+
+namespace {
+
+using namespace fdtdmm;
+using Clock = std::chrono::steady_clock;
+
+// Sparse permuted elimination is not bitwise vs dense; rounding accumulates
+// with system size, so the bench (up to 1603 unknowns) is looser than the
+// equivalence tests' small fixtures.
+constexpr double kWaveformTol = 1e-7;
+
+struct RunStats {
+  TransientResult result;
+  double seconds = 0.0;
+  std::size_t unknowns = 0;
+};
+
+RunStats runLadder(std::size_t segments, TransientSolverMode mode) {
+  const BitPattern pattern("0101", 1e-9);
+  Circuit c;
+  const int src = c.addNode();
+  const int in = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [pattern](double t) { return 1.8 * pattern.levelAt(t); });
+  c.addResistor(src, in, 60.0);
+  RlgcParams p;  // lossy board trace; 4 unknowns per segment
+  p.r = 4.0;
+  p.g = 1e-4;
+  p.segments = segments;
+  buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+  c.addResistor(out, Circuit::kGround, 500.0);
+  c.addCapacitor(out, Circuit::kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.dt = 5e-12;
+  opt.t_stop = 4e-9;
+  opt.solver_mode = mode;
+
+  RunStats s;
+  const auto start = Clock::now();
+  s.result = runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
+  s.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  s.unknowns = c.assignUnknowns();
+  return s;
+}
+
+double maxAbsDiff(const Waveform& a, const Waveform& b) {
+  double m = 0.0;
+  for (std::size_t k = 0; k < std::min(a.size(), b.size()); ++k)
+    m = std::max(m, std::abs(a[k] - b[k]));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("=== bench_sparse_solver: sparse CSR+banded-LU vs dense cached LU ===");
+  const double min_speedup =
+      benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_SPARSE_SPEEDUP", 5.0);
+  const std::size_t gate_segments = 200;
+  int failures = 0;
+
+  const std::vector<std::size_t> sizes = {16, 48, 100, 200, 400};
+  std::string cases;
+  std::printf("%10s %9s %12s %12s %9s %9s\n", "segments", "unknowns",
+              "dense [s]", "sparse [s]", "speedup", "max|dv|");
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const std::size_t segments = sizes[k];
+    const auto dense = runLadder(segments, TransientSolverMode::kReuseFactorization);
+    const auto sparse = runLadder(segments, TransientSolverMode::kSparse);
+    const double diff = std::max(maxAbsDiff(sparse.result.at("in"), dense.result.at("in")),
+                                 maxAbsDiff(sparse.result.at("out"), dense.result.at("out")));
+    const double speedup = dense.seconds / sparse.seconds;
+    std::printf("%10zu %9zu %12.4f %12.4f %8.2fx %9.2g\n", segments, dense.unknowns,
+                dense.seconds, sparse.seconds, speedup, diff);
+
+    if (dense.result.lu_factorizations != 1 || sparse.result.lu_factorizations != 1) {
+      std::puts("FAIL: linear ladder must factor exactly once in both modes");
+      ++failures;
+    }
+    if (diff > kWaveformTol) {
+      std::printf("FAIL: waveforms disagree beyond %g V\n", kWaveformTol);
+      ++failures;
+    }
+#ifdef NDEBUG
+    if (segments >= gate_segments && speedup < min_speedup) {
+      std::printf("FAIL: expected >= %.2fx at %zu segments\n", min_speedup, segments);
+      ++failures;
+    }
+#endif
+    if (k > 0) cases += ",\n";
+    using benchutil::num;
+    cases += "    {\"segments\": " + std::to_string(segments) +
+             ", \"unknowns\": " + std::to_string(dense.unknowns) +
+             ", \"dense_seconds\": " + num(dense.seconds) +
+             ", \"sparse_seconds\": " + num(sparse.seconds) +
+             ", \"speedup\": " + num(speedup) +
+             ", \"dense_lu\": " + std::to_string(dense.result.lu_factorizations) +
+             ", \"sparse_lu\": " + std::to_string(sparse.result.lu_factorizations) +
+             ", \"max_dv\": " + num(diff) + "}";
+  }
+#ifndef NDEBUG
+  std::puts("(non-optimized build: speedups reported, not gated)");
+#endif
+
+  const bool pass = failures == 0;
+  const std::string json = std::string("{\n") +
+      "  \"bench\": \"sparse_solver\",\n" +
+      "  \"build\": \"" + benchutil::buildKind() + "\",\n" +
+      "  \"min_speedup\": " + benchutil::num(min_speedup) + ",\n" +
+      "  \"gate_segments\": " + std::to_string(gate_segments) + ",\n" +
+      "  \"cases\": [\n" + cases + "\n  ],\n" +
+      "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
+  if (!benchutil::writeFile("BENCH_sparse.json", json)) ++failures;
+  std::puts("\nwrote BENCH_sparse.json");
+
+  if (failures == 0) std::puts("all checks passed");
+  return failures == 0 ? 0 : 1;
+}

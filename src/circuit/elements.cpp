@@ -21,22 +21,19 @@ void Element::stampCurrentSource(StampSystem& sys, int n1, int n2, double i) {
 
 void Element::addA(StampSystem& sys, int row_node, std::size_t col, double v) {
   if (row_node != 0) {
-    sys.a(static_cast<std::size_t>(row_node - 1), col) += v;
-    sys.matrix_dirty = true;
+    sys.add(static_cast<std::size_t>(row_node - 1), col, v);
   }
 }
 
 void Element::addAnode(StampSystem& sys, int row_node, int col_node, double v) {
   if (row_node != 0 && col_node != 0) {
-    sys.a(static_cast<std::size_t>(row_node - 1), static_cast<std::size_t>(col_node - 1)) += v;
-    sys.matrix_dirty = true;
+    sys.add(static_cast<std::size_t>(row_node - 1), static_cast<std::size_t>(col_node - 1), v);
   }
 }
 
 void Element::addArowNode(StampSystem& sys, std::size_t row, int col_node, double v) {
   if (col_node != 0) {
-    sys.a(row, static_cast<std::size_t>(col_node - 1)) += v;
-    sys.matrix_dirty = true;
+    sys.add(row, static_cast<std::size_t>(col_node - 1), v);
   }
 }
 
@@ -102,7 +99,7 @@ void Inductor::stampStatic(StampSystem& sys, double dt) {
   const std::size_t ib = branch_offset_;
   const double h = kTheta * dt / l_;
   // Branch row: i_new - h * v_new = i_prev + hp * v_prev.
-  sys.a(ib, ib) += 1.0;
+  sys.add(ib, ib, 1.0);
   addArowNode(sys, ib, n1_, -h);
   addArowNode(sys, ib, n2_, +h);
   // KCL: branch current flows from n1 to n2 through the inductor.
@@ -285,11 +282,11 @@ void IdealLine::stampStatic(StampSystem& sys, double) {
   // Port 1 characteristic: (v1p - v1m) - Zc i1 = v1h.
   addArowNode(sys, i1, p1p_, 1.0);
   addArowNode(sys, i1, p1m_, -1.0);
-  sys.a(i1, i1) += -zc_;
+  sys.add(i1, i1, -zc_);
   // Port 2 characteristic.
   addArowNode(sys, i2, p2p_, 1.0);
   addArowNode(sys, i2, p2m_, -1.0);
-  sys.a(i2, i2) += -zc_;
+  sys.add(i2, i2, -zc_);
   // KCL: i1 flows from p1p into the line, returns at p1m.
   addA(sys, p1p_, i1, +1.0);
   addA(sys, p1m_, i1, -1.0);

@@ -16,21 +16,37 @@
 #include <string>
 
 #include "math/matrix.h"
+#include "math/sparse_matrix.h"
 #include "signal/port_model.h"
 
 namespace fdtdmm {
 
-/// Dense MNA system A x = b; unknowns are node voltages (node k > 0 at
-/// index k-1) followed by branch currents.
+/// MNA system A x = b; unknowns are node voltages (node k > 0 at index
+/// k-1) followed by branch currents. The matrix is an *abstract stamp
+/// target*: writes go through add(), which routes to either the dense
+/// matrix `a` (default) or, when the engine points `sparse` at a
+/// SparseMatrix, to that CSR target — so every element stamps dense and
+/// sparse systems through one code path.
 struct StampSystem {
-  Matrix a;
+  Matrix a;  ///< dense target, active while `sparse` is null
   Vector b;
-  /// Set by the matrix stamp helpers whenever an entry of `a` is written.
-  /// The engine clears it before the dynamic stamping pass of each Newton
-  /// iteration and re-factors only if it comes back dirty; custom elements
-  /// whose stampDynamic writes to `a` without the Element helpers must set
-  /// it themselves.
+  SparseMatrix* sparse = nullptr;  ///< CSR target set by the sparse engine
+  /// Set by add() whenever a matrix entry is written. The engine clears it
+  /// before the dynamic stamping pass of each Newton iteration and
+  /// re-factors only if it comes back dirty; custom elements must route
+  /// all matrix writes through add() (directly or via the Element stamp
+  /// helpers) so the dirty check — and the sparse target — see them.
   bool matrix_dirty = false;
+
+  /// Adds v to matrix entry (row, col) of the active target.
+  void add(std::size_t row, std::size_t col, double v) {
+    if (sparse != nullptr) {
+      sparse->add(row, col, v);
+    } else {
+      a(row, col) += v;
+    }
+    matrix_dirty = true;
+  }
 };
 
 /// Source waveform type shared with the signal module.

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "math/linear_solve.h"
+#include "math/sparse_lu.h"
+#include "math/sparse_matrix.h"
 
 namespace fdtdmm {
 
@@ -16,6 +18,30 @@ double nodeVoltage(const Vector& x, int n) {
 }
 
 }  // namespace
+
+const char* transientSolverModeName(TransientSolverMode mode) {
+  switch (mode) {
+    case TransientSolverMode::kReuseFactorization:
+      return "reuse_lu";
+    case TransientSolverMode::kFullRestamp:
+      return "full_restamp";
+    case TransientSolverMode::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+TransientSolverMode transientSolverModeFromName(const std::string& name) {
+  if (name == "reuse_lu") return TransientSolverMode::kReuseFactorization;
+  if (name == "full_restamp") return TransientSolverMode::kFullRestamp;
+  if (name == "sparse") return TransientSolverMode::kSparse;
+  throw std::invalid_argument("unknown transient solver mode '" + name +
+                              "' (valid: reuse_lu, full_restamp, sparse)");
+}
+
+std::vector<std::string> transientSolverModeNames() {
+  return {"reuse_lu", "full_restamp", "sparse"};
+}
 
 TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
                              const std::vector<NodeProbe>& probes,
@@ -54,19 +80,36 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   std::vector<Vector> branch_data(branch_probes.size());
 
   const bool reuse = opt.solver_mode == TransientSolverMode::kReuseFactorization;
+  const bool sparse = opt.solver_mode == TransientSolverMode::kSparse;
 
-  // One-time assembly of the static (topology + dt) part of the MNA matrix.
-  StampSystem base;
-  if (reuse) {
-    base.a = Matrix(n_unknowns, n_unknowns);
-    base.b.assign(n_unknowns, 0.0);
-    for (auto& e : elements) e->stampStatic(base, opt.dt);
-    for (double v : base.b) {
+  auto rejectStaticRhs = [](const Vector& b) {
+    for (double v : b) {
       if (v != 0.0)
         throw std::logic_error(
             "runTransient: stampStatic wrote to the RHS; move that "
             "contribution into stampDynamic");
     }
+  };
+
+  // One-time assembly of the static (topology + dt) part of the MNA matrix
+  // into the mode's target: a dense base matrix or a CSR base whose
+  // finalize() fixes the symbolic pattern.
+  StampSystem base;
+  SparseMatrix base_sp;
+  SparseMatrix work_sp;
+  if (reuse) {
+    base.a = Matrix(n_unknowns, n_unknowns);
+    base.b.assign(n_unknowns, 0.0);
+    for (auto& e : elements) e->stampStatic(base, opt.dt);
+    rejectStaticRhs(base.b);
+  } else if (sparse) {
+    base_sp.reset(n_unknowns);
+    base.sparse = &base_sp;
+    base.b.assign(n_unknowns, 0.0);
+    for (auto& e : elements) e->stampStatic(base, opt.dt);
+    rejectStaticRhs(base.b);
+    base_sp.finalize();
+    work_sp = base_sp;
   }
 
   // All per-iteration state is allocated here, once; the Newton loop below
@@ -77,6 +120,8 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   sys.b.assign(n_unknowns, 0.0);
   if (reuse) {
     sys.a = base.a;
+  } else if (sparse) {
+    sys.sparse = &work_sp;
   } else {
     sys.a = Matrix(n_unknowns, n_unknowns);
   }
@@ -84,12 +129,15 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   // the first Newton iteration whose dynamic stamps leave the matrix clean
   // (lazily so circuits whose base matrix alone is singular — e.g. a node
   // held up only by a nonlinear device — still work). work_lu: refactored in
-  // place on every iteration that dirties the matrix.
+  // place on every iteration that dirties the matrix. The sparse mode keeps
+  // the same pair as SparseLu factorizations.
   LuFactorization base_lu;
   LuFactorization work_lu;
+  SparseLu base_slu;
+  SparseLu work_slu;
   bool base_factored = false;
-  // Once any iteration dirties the matrix, sys.a must be restored from the
-  // clean base before each dynamic stamping pass.
+  // Once any iteration dirties the matrix, the working matrix must be
+  // restored from the clean base before each dynamic stamping pass.
   bool matrix_was_dirtied = false;
 
   const auto n_settle = static_cast<long long>(std::ceil(opt.settle_time / opt.dt));
@@ -131,6 +179,33 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
             base_factored = true;
           }
           base_lu.solve(sys.b, x_new);
+        }
+      } else if (sparse) {
+        if (matrix_was_dirtied) work_sp.setValuesFrom(base_sp);
+        sys.b.assign(n_unknowns, 0.0);
+        sys.matrix_dirty = false;
+        for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        if (work_sp.patternGrown()) {
+          // A dynamic stamp hit a structurally-new entry: widen the working
+          // pattern once and keep the cached base aligned so the in-place
+          // value refresh above stays a straight copy. The base
+          // factorization remains numerically valid (new entries are zero).
+          work_sp.mergeOverflow();
+          base_sp.adoptPatternOf(work_sp);
+        }
+        if (sys.matrix_dirty) {
+          matrix_was_dirtied = true;
+          work_slu.factor(work_sp);
+          ++result.lu_factorizations;
+          work_slu.solve(sys.b, x_new);
+        } else {
+          if (!base_factored) {
+            // work_sp still holds the untouched base values here.
+            base_slu.factor(work_sp);
+            ++result.lu_factorizations;
+            base_factored = true;
+          }
+          base_slu.solve(sys.b, x_new);
         }
       } else {
         std::fill_n(sys.a.data(), n_unknowns * n_unknowns, 0.0);

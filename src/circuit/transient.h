@@ -25,7 +25,24 @@
 ///     re-factor only on iterations whose dynamic stamps touched the
 ///     matrix. No Matrix/Vector allocations happen inside the loop.
 ///
-/// TransientOptions::solver_mode selects between this path and the legacy
+/// Sparse path (TransientSolverMode::kSparse)
+/// ------------------------------------------
+/// The same static/dynamic contract drives a compressed-sparse-row
+/// assembly: the *symbolic pattern* is built once from the static stamps
+/// (StampSystem routes element writes into a SparseMatrix target), numeric
+/// values are refreshed in place each iteration, and the factorization is a
+/// SparseLu — reverse Cuthill-McKee fill-reducing ordering plus banded LU
+/// with partial pivoting. Segmented RLGC board models are chain-structured,
+/// so the permuted bandwidth stays O(1) in the segment count and the run
+/// scales O(n) instead of the dense path's O(n^3) factor + O(n^2) solves.
+/// Dynamic stamps that touch entries outside the static pattern (e.g. a
+/// MOSFET whose drain/source orientation swaps) are buffered as pattern
+/// overflow; the engine then widens the cached pattern once and continues —
+/// pattern growth costs one recompile per new position set, not one per
+/// iteration. A purely linear circuit still performs exactly ONE (sparse)
+/// factorization for the entire run.
+///
+/// TransientOptions::solver_mode selects between these paths and the legacy
 /// full-restamp path (rebuild + refactor the complete system every
 /// iteration), kept as the bit-for-bit reference for equivalence tests.
 
@@ -46,7 +63,23 @@ enum class TransientSolverMode {
   /// Legacy reference path: restamp the full system and factor it at every
   /// Newton iteration. Slower; used by equivalence tests and benchmarks.
   kFullRestamp,
+  /// Sparse CSR assembly + banded-LU-with-RCM factorization (see the file
+  /// comment). Same caching discipline as kReuseFactorization; orders of
+  /// magnitude faster on large segmented RLGC systems.
+  kSparse,
 };
+
+/// Stable names for the solver modes ("reuse_lu", "full_restamp",
+/// "sparse") — the currency of scenario parameters and bench flags, so
+/// sweeps can put an axis on the solver mode.
+const char* transientSolverModeName(TransientSolverMode mode);
+
+/// Parses a solver-mode name. \throws std::invalid_argument on an unknown
+/// name (the message lists the valid ones).
+TransientSolverMode transientSolverModeFromName(const std::string& name);
+
+/// All mode names, in enum order (descriptor choice lists).
+std::vector<std::string> transientSolverModeNames();
 
 /// Options for a transient run.
 struct TransientOptions {
@@ -81,9 +114,10 @@ struct TransientResult {
   std::size_t steps = 0;                   ///< accepted steps (t >= 0)
   int max_newton_iterations = 0;           ///< worst step
   long long total_newton_iterations = 0;
-  /// LU factorizations performed. Exactly 1 in kReuseFactorization mode
-  /// when no dynamic stamp touches the matrix (purely linear circuits);
-  /// equals total_newton_iterations (+1 for the base) otherwise.
+  /// LU factorizations performed (dense or sparse). Exactly 1 in the
+  /// kReuseFactorization and kSparse modes when no dynamic stamp touches
+  /// the matrix (purely linear circuits); equals total_newton_iterations
+  /// (+1 for the base) otherwise.
   long long lu_factorizations = 0;
   bool converged = true;  ///< false if any step hit the iteration cap
 

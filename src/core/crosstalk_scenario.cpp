@@ -33,6 +33,7 @@ void validateCrosstalkScenario(const CrosstalkScenario& cfg) {
     fail("victim terminations must be > 0");
   if (!(cfg.agg_load_r > 0.0)) fail("agg_load_r must be > 0");
   if (!(cfg.agg_load_c > 0.0)) fail("agg_load_c must be > 0");
+  transientSolverModeFromName(cfg.solver);  // throws on an unknown name
 }
 
 TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
@@ -66,6 +67,7 @@ TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
   topt.dt = cfg.dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 1e-9;
+  topt.solver_mode = transientSolverModeFromName(cfg.solver);
   auto res = runTransient(circuit, topt,
                           {{"agg_near", agg_near, Circuit::kGround},
                            {"agg_far", agg_far, Circuit::kGround},
@@ -139,6 +141,10 @@ const ParamTable<CrosstalkFamily>& CrosstalkFamily::table() {
           {positiveParam("agg_load_c", "aggressor far-end shunt C [F]"),
            [](const T& s) { return ParamValue{s.cfg_.agg_load_c}; },
            [](T& s, const ParamValue& v) { s.cfg_.agg_load_c = asNum(v); }},
+          {stringParam("solver", transientSolverModeNames(),
+                       "transient solver mode (reuse_lu | full_restamp | sparse)"),
+           [](const T& s) { return ParamValue{s.cfg_.solver}; },
+           [](T& s, const ParamValue& v) { s.cfg_.solver = std::get<std::string>(v); }},
       });
   return t;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/transient.h"
+
 namespace fdtdmm {
 
 namespace {
@@ -91,6 +93,10 @@ const ParamTable<TlineFamily>& TlineFamily::table() {
           {intParam("strip_gap", 1.0, "strip vertical separation [cells]"),
            [](const T& s) { return ParamValue{static_cast<double>(s.cfg_.strip_gap)}; },
            [](T& s, const ParamValue& v) { s.cfg_.strip_gap = static_cast<std::size_t>(asNum(v)); }},
+          {stringParam("solver", transientSolverModeNames(),
+                       "MNA solver mode for the SPICE engines (FDTD engines ignore it)"),
+           [](const T& s) { return ParamValue{s.cfg_.solver}; },
+           [](T& s, const ParamValue& v) { s.cfg_.solver = asStr(v); }},
       });
   return t;
 }

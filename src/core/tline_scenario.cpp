@@ -47,6 +47,7 @@ void validateTlineScenario(const TlineScenario& cfg) {
   if (cfg.strip_len >= cfg.mesh_nx) fail("strip_len must fit inside mesh_nx");
   if (cfg.strip_width >= cfg.mesh_ny) fail("strip_width must fit inside mesh_ny");
   if (cfg.strip_gap >= cfg.mesh_nz) fail("strip_gap must fit inside mesh_nz");
+  transientSolverModeFromName(cfg.solver);  // throws on an unknown name
 }
 
 EngineRun runSpiceTransistorTline(const TlineScenario& cfg,
@@ -74,6 +75,7 @@ EngineRun runSpiceTransistorTline(const TlineScenario& cfg,
   topt.dt = dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 3e-9;
+  topt.solver_mode = transientSolverModeFromName(cfg.solver);
   auto res = runTransient(circuit, topt,
                           {{"near", drv.pad, Circuit::kGround},
                            {"far", far, Circuit::kGround}});
@@ -113,6 +115,7 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
   topt.dt = dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 1e-9;
+  topt.solver_mode = transientSolverModeFromName(cfg.solver);
   auto res = runTransient(circuit, topt,
                           {{"near", near, Circuit::kGround},
                            {"far", far, Circuit::kGround}});

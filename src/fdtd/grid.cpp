@@ -136,7 +136,10 @@ void Grid3::edgeMaterial(Axis axis, std::size_t i, std::size_t j, std::size_t k,
   const long li = static_cast<long>(i);
   const long lj = static_cast<long>(j);
   const long lk = static_cast<long>(k);
-  double e[4], s[4];
+  // Vacuum defaults double as the provably-initialized fallback for the
+  // (unreachable) case of an out-of-enum axis value.
+  double e[4] = {kEps0, kEps0, kEps0, kEps0};
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
   switch (axis) {
     case Axis::kX:
       cell(li, lj - 1, lk - 1, e[0], s[0]);

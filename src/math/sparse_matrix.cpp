@@ -1,0 +1,160 @@
+#include "math/sparse_matrix.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+std::uint64_t SparseMatrix::nextVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+void SparseMatrix::reset(std::size_t n) {
+  n_ = n;
+  finalized_ = false;
+  version_ = 0;
+  building_.clear();
+  overflow_.clear();
+  row_ptr_.clear();
+  col_idx_.clear();
+  values_.clear();
+}
+
+void SparseMatrix::add(std::size_t r, std::size_t c, double v) {
+  if (r >= n_ || c >= n_)
+    throw std::out_of_range("SparseMatrix::add: index out of range");
+  if (!finalized_) {
+    building_.push_back({r, c, v});
+    return;
+  }
+  const std::size_t k = find(r, c);
+  if (k != kNpos) {
+    values_[k] += v;
+  } else {
+    overflow_.push_back({r, c, v});
+  }
+}
+
+std::size_t SparseMatrix::find(std::size_t r, std::size_t c) const {
+  const auto first = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return kNpos;
+  return static_cast<std::size_t>(it - col_idx_.begin());
+}
+
+void SparseMatrix::compile(std::vector<Triplet>& entries) {
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.r != b.r ? a.r < b.r : a.c < b.c;
+  });
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (std::size_t k = 0; k < entries.size();) {
+    const std::size_t r = entries[k].r;
+    const std::size_t c = entries[k].c;
+    double sum = 0.0;
+    for (; k < entries.size() && entries[k].r == r && entries[k].c == c; ++k)
+      sum += entries[k].v;
+    row_ptr_[r + 1] += 1;
+    col_idx_.push_back(c);
+    values_.push_back(sum);
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  version_ = nextVersion();
+}
+
+void SparseMatrix::finalize() {
+  if (finalized_) throw std::logic_error("SparseMatrix::finalize: already finalized");
+  compile(building_);
+  building_.clear();
+  building_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void SparseMatrix::mergeOverflow() {
+  if (overflow_.empty()) return;
+  std::vector<Triplet> entries;
+  entries.reserve(nonZeros() + overflow_.size());
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      entries.push_back({r, col_idx_[k], values_[k]});
+  entries.insert(entries.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  compile(entries);
+}
+
+void SparseMatrix::adoptPatternOf(const SparseMatrix& other) {
+  if (!finalized_ || !other.finalized_)
+    throw std::logic_error("SparseMatrix::adoptPatternOf: both matrices must be finalized");
+  if (n_ != other.n_)
+    throw std::invalid_argument("SparseMatrix::adoptPatternOf: dimension mismatch");
+  if (version_ == other.version_) return;  // identical pattern already
+  std::vector<double> new_values(other.nonZeros(), 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t j = other.find(r, col_idx_[k]);
+      if (j == kNpos)
+        throw std::invalid_argument(
+            "SparseMatrix::adoptPatternOf: other pattern does not cover this one");
+      new_values[j] = values_[k];
+    }
+  }
+  row_ptr_ = other.row_ptr_;
+  col_idx_ = other.col_idx_;
+  values_ = std::move(new_values);
+  version_ = other.version_;
+}
+
+void SparseMatrix::setValuesFrom(const SparseMatrix& base) {
+  if (!finalized_ || version_ != base.version_)
+    throw std::logic_error("SparseMatrix::setValuesFrom: pattern mismatch");
+  std::copy(base.values_.begin(), base.values_.end(), values_.begin());
+}
+
+void SparseMatrix::clearValues() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+  overflow_.clear();
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  if (!finalized_) throw std::logic_error("SparseMatrix::at: not finalized");
+  if (r >= n_ || c >= n_)
+    throw std::out_of_range("SparseMatrix::at: index out of range");
+  const std::size_t k = find(r, c);
+  return k == kNpos ? 0.0 : values_[k];
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  if (!finalized_) throw std::logic_error("SparseMatrix::multiply: not finalized");
+  if (x.size() != n_)
+    throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
+  Vector y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += values_[k] * x[col_idx_[k]];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::toDense() const {
+  if (!finalized_) throw std::logic_error("SparseMatrix::toDense: not finalized");
+  Matrix m(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) += values_[k];
+  return m;
+}
+
+}  // namespace fdtdmm

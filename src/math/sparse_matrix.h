@@ -1,0 +1,122 @@
+#pragma once
+/// \file sparse_matrix.h
+/// Compressed-sparse-row stamp target for the MNA transient engine.
+///
+/// Lifecycle (two-phase, mirroring the engine's static/dynamic stamp split):
+///
+///  1. *Building*: after reset(n), add(r, c, v) accumulates coordinate
+///     triplets. finalize() compiles them into CSR form — sorted column
+///     indices per row, duplicates summed — fixing the *symbolic pattern*.
+///  2. *Finalized*: add(r, c, v) scatters into the existing pattern by
+///     binary search, refreshing numeric values in place with no
+///     allocation. An add outside the pattern (a nonlinear stamp touching
+///     a structurally-new entry, e.g. a MOSFET swapping drain/source) is
+///     buffered in an overflow list and flagged via patternGrown(); the
+///     engine then calls mergeOverflow() to extend the pattern once and
+///     re-align the cached base matrix with adoptPatternOf(). Pattern
+///     growth therefore costs one recompile per new position set, after
+///     which every iteration is allocation-free again.
+///
+/// Pattern identity is tracked by a process-unique version stamp: two
+/// matrices with equal patternVersion() are guaranteed to share the same
+/// pattern (copies inherit the stamp; any pattern change takes a fresh
+/// one), which is what lets setValuesFrom() be a plain memcpy.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+/// Square sparse matrix in CSR form with a COO building phase.
+class SparseMatrix {
+ public:
+  /// Creates an empty (dimension-0, building) matrix; call reset().
+  SparseMatrix() = default;
+
+  /// Starts a building phase for an n x n matrix (previous content
+  /// discarded).
+  explicit SparseMatrix(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n);
+
+  std::size_t dim() const { return n_; }
+  bool finalized() const { return finalized_; }
+
+  /// Building: appends a coordinate triplet. Finalized: adds v to the
+  /// pattern entry (r, c), or buffers it as overflow when (r, c) is not in
+  /// the pattern. \throws std::out_of_range if r or c >= dim().
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// Compiles the accumulated triplets to CSR and fixes the pattern.
+  /// \throws std::logic_error if already finalized.
+  void finalize();
+
+  /// True when finalized add()s have been buffered outside the pattern.
+  bool patternGrown() const { return !overflow_.empty(); }
+
+  /// Folds the buffered overflow entries into the pattern (new version
+  /// stamp). No-op when patternGrown() is false.
+  void mergeOverflow();
+
+  /// Re-aligns this matrix's pattern with `other` (which must contain every
+  /// entry of the current pattern — the engine grows work/base patterns in
+  /// lockstep). Existing values are preserved; new entries are zero. After
+  /// the call both matrices carry the same version stamp.
+  /// \throws std::invalid_argument on dimension mismatch or if `other` is
+  ///         missing an entry of this pattern.
+  void adoptPatternOf(const SparseMatrix& other);
+
+  /// Copies numeric values from `base`, which must share this matrix's
+  /// pattern (equal patternVersion()). Allocation-free.
+  /// \throws std::logic_error on a pattern mismatch.
+  void setValuesFrom(const SparseMatrix& base);
+
+  /// Zeroes the numeric values, keeping the pattern.
+  void clearValues();
+
+  /// Pattern identity stamp (see file comment). 0 while building.
+  std::uint64_t patternVersion() const { return version_; }
+
+  /// Number of stored entries (pattern size; finalized only).
+  std::size_t nonZeros() const { return col_idx_.size(); }
+
+  // CSR access (finalized only; row r spans [row_ptr[r], row_ptr[r+1])).
+  const std::vector<std::size_t>& rowPtr() const { return row_ptr_; }
+  const std::vector<std::size_t>& colIdx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Entry lookup; 0.0 for positions outside the pattern (finalized only).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// y = A x (finalized only). \throws std::invalid_argument on size
+  /// mismatch.
+  Vector multiply(const Vector& x) const;
+
+  /// Dense copy, for tests and diagnostics (finalized only).
+  Matrix toDense() const;
+
+ private:
+  struct Triplet {
+    std::size_t r, c;
+    double v;
+  };
+
+  static std::uint64_t nextVersion();
+  void compile(std::vector<Triplet>& entries);
+  /// Index into values_ for (r, c), or npos when absent.
+  std::size_t find(std::size_t r, std::size_t c) const;
+
+  std::size_t n_ = 0;
+  bool finalized_ = false;
+  std::uint64_t version_ = 0;
+  std::vector<Triplet> building_;  ///< COO accumulator (building phase)
+  std::vector<Triplet> overflow_;  ///< out-of-pattern adds (finalized phase)
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace fdtdmm

@@ -1,0 +1,177 @@
+#include "math/sparse_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+#include "math/rng.h"
+
+namespace fdtdmm {
+namespace {
+
+// Solves with SparseLu and with the dense reference, returns max |dx|.
+double solveGap(const SparseMatrix& a, const Vector& b) {
+  SparseLu slu;
+  slu.factor(a);
+  Vector xs;
+  slu.solve(b, xs);
+  const Vector xd = solveLinear(a.toDense(), b);
+  double gap = 0.0;
+  for (std::size_t k = 0; k < xd.size(); ++k) gap = std::max(gap, std::abs(xs[k] - xd[k]));
+  return gap;
+}
+
+TEST(SparseLu, MatchesDenseOnTridiagonalSystem) {
+  const std::size_t n = 50;
+  SparseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.5);
+  }
+  a.finalize();
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(static_cast<double>(i));
+  EXPECT_LT(solveGap(a, b), 1e-12);
+}
+
+TEST(SparseLu, MatchesDenseOnMnaLikeSystemWithZeroDiagonal) {
+  // MNA shape: conductance block plus a voltage-source branch row/column
+  // with a structurally zero diagonal — unpivoted elimination would die
+  // here; partial pivoting inside the band must not.
+  //   nodes 0..2 in a resistive chain, branch unknown 3 forcing node 0.
+  SparseMatrix a(4);
+  a.add(0, 0, 1.0 / 10.0);
+  a.add(0, 1, -1.0 / 10.0);
+  a.add(1, 0, -1.0 / 10.0);
+  a.add(1, 1, 1.0 / 10.0 + 1.0 / 20.0);
+  a.add(1, 2, -1.0 / 20.0);
+  a.add(2, 1, -1.0 / 20.0);
+  a.add(2, 2, 1.0 / 20.0 + 1.0 / 50.0);
+  a.add(0, 3, 1.0);  // branch current into node 0
+  a.add(3, 0, 1.0);  // branch row: v0 = vs
+  a.finalize();
+  ASSERT_DOUBLE_EQ(a.at(3, 3), 0.0);
+  const Vector b = {0.0, 0.0, 0.0, 5.0};
+  SparseLu slu;
+  slu.factor(a);
+  Vector x;
+  slu.solve(b, x);
+  EXPECT_NEAR(x[0], 5.0, 1e-12);          // forced node
+  EXPECT_LT(solveGap(a, b), 1e-12);
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSparseSystem) {
+  Rng rng(42);
+  const std::size_t n = 60;
+  SparseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 5.0 + rng.uniform());  // diagonally dominant-ish
+    for (int k = 0; k < 3; ++k) {
+      const auto j = static_cast<std::size_t>(rng.uniform() * static_cast<double>(n));
+      if (j < n && j != i) a.add(i, j, rng.uniform() - 0.5);
+    }
+  }
+  a.finalize();
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform() - 0.5;
+  EXPECT_LT(solveGap(a, b), 1e-10);
+}
+
+TEST(SparseLu, RcmShrinksLadderWithTrailingBranchesToNarrowBand) {
+  // Chain of n nodes where node i also couples to a trailing "branch"
+  // unknown n+i (the RLGC inductor layout): natural ordering has bandwidth
+  // ~n, RCM must bring it down to a small constant.
+  const std::size_t n = 40;
+  SparseMatrix a(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 3.0);
+    if (i > 0) {
+      a.add(i, i - 1, -1.0);
+      a.add(i - 1, i, -1.0);
+    }
+    const std::size_t br = n + i;
+    a.add(br, br, 1.0);
+    a.add(br, i, -0.5);
+    a.add(i, br, 1.0);
+  }
+  a.finalize();
+  SparseLu slu;
+  slu.factor(a);
+  EXPECT_LE(slu.lowerBandwidth(), 4u);
+  EXPECT_LE(slu.upperBandwidth(), 4u);
+  Vector b(2 * n, 1.0);
+  EXPECT_LT(solveGap(a, b), 1e-12);
+}
+
+TEST(SparseLu, RefactorReusesAnalysisAndTracksValueChanges) {
+  SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 2, 4.0);
+  a.add(0, 1, -1.0);
+  a.add(1, 0, -1.0);
+  a.finalize();
+  SparseLu slu;
+  slu.factor(a);
+  Vector x;
+  slu.solve({1.0, 0.0, 0.0}, x);
+  const double x0 = x[0];
+  a.add(0, 0, 3.0);  // value-only change, same pattern
+  slu.factor(a);
+  slu.solve({1.0, 0.0, 0.0}, x);
+  EXPECT_LT(x[0], x0);  // stiffer matrix, smaller response
+  EXPECT_LT(solveGap(a, {1.0, 0.0, 0.0}), 1e-13);
+}
+
+TEST(SparseLu, SingularMatrixThrows) {
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.finalize();
+  SparseLu slu;
+  EXPECT_THROW(slu.factor(a), std::runtime_error);
+  EXPECT_FALSE(slu.factored());
+  Vector x;
+  EXPECT_THROW(slu.solve({1.0, 1.0}, x), std::logic_error);
+}
+
+TEST(SparseLu, ErrorsOnUnfinalizedOrEmptyOrMismatch) {
+  SparseMatrix building(2);
+  building.add(0, 0, 1.0);
+  SparseLu slu;
+  EXPECT_THROW(slu.factor(building), std::invalid_argument);
+  SparseMatrix empty(0);
+  empty.finalize();
+  EXPECT_THROW(slu.factor(empty), std::invalid_argument);
+
+  SparseMatrix ok(2);
+  ok.add(0, 0, 1.0);
+  ok.add(1, 1, 1.0);
+  ok.finalize();
+  slu.factor(ok);
+  Vector x;
+  EXPECT_THROW(slu.solve(Vector(3, 0.0), x), std::invalid_argument);
+}
+
+TEST(ReverseCuthillMcKee, ProducesAPermutation) {
+  SparseMatrix a(5);
+  for (std::size_t i = 0; i < 5; ++i) a.add(i, i, 1.0);
+  a.add(0, 4, 1.0);
+  a.finalize();
+  const auto order = reverseCuthillMcKee(a);
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<bool> seen(5, false);
+  for (std::size_t v : order) {
+    ASSERT_LT(v, 5u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,131 @@
+#include "math/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace {
+
+TEST(SparseMatrix, BuildFinalizeDedupesAndSorts) {
+  SparseMatrix m(3);
+  EXPECT_FALSE(m.finalized());
+  m.add(0, 2, 1.0);
+  m.add(0, 0, 2.0);
+  m.add(0, 2, 0.5);  // duplicate position: summed at finalize
+  m.add(2, 1, -3.0);
+  m.finalize();
+  EXPECT_TRUE(m.finalized());
+  EXPECT_EQ(m.nonZeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), -3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);  // outside pattern
+  // Column indices sorted per row.
+  ASSERT_EQ(m.rowPtr().size(), 4u);
+  EXPECT_EQ(m.colIdx()[0], 0u);
+  EXPECT_EQ(m.colIdx()[1], 2u);
+  EXPECT_GT(m.patternVersion(), 0u);
+}
+
+TEST(SparseMatrix, FinalizeTwiceAndRangeChecksThrow) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.finalize();
+  EXPECT_THROW(m.finalize(), std::logic_error);
+  EXPECT_THROW(m.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 5), std::out_of_range);
+}
+
+TEST(SparseMatrix, FinalizedAddScattersInPlace) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.finalize();
+  m.add(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_FALSE(m.patternGrown());
+}
+
+TEST(SparseMatrix, OverflowAndMergeGrowPattern) {
+  SparseMatrix m(3);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.add(2, 2, 1.0);
+  m.finalize();
+  const auto v0 = m.patternVersion();
+  m.add(0, 1, 4.0);  // outside the pattern
+  m.add(0, 1, 0.5);
+  EXPECT_TRUE(m.patternGrown());
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // buffered, not yet merged
+  m.mergeOverflow();
+  EXPECT_FALSE(m.patternGrown());
+  EXPECT_EQ(m.nonZeros(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);  // old values preserved
+  EXPECT_NE(m.patternVersion(), v0);  // pattern change took a fresh stamp
+}
+
+TEST(SparseMatrix, AdoptPatternAndSetValuesFrom) {
+  SparseMatrix base(3);
+  base.add(0, 0, 1.0);
+  base.add(1, 1, 2.0);
+  base.add(2, 2, 3.0);
+  base.finalize();
+
+  SparseMatrix work = base;  // copies pattern + version
+  EXPECT_EQ(work.patternVersion(), base.patternVersion());
+  work.add(1, 1, 10.0);
+  work.setValuesFrom(base);  // memcpy path restores base values
+  EXPECT_DOUBLE_EQ(work.at(1, 1), 2.0);
+
+  // Pattern growth on work, then re-align base.
+  work.add(2, 0, -5.0);
+  work.mergeOverflow();
+  EXPECT_THROW(work.setValuesFrom(base), std::logic_error);  // versions differ
+  base.adoptPatternOf(work);
+  EXPECT_EQ(base.patternVersion(), work.patternVersion());
+  EXPECT_DOUBLE_EQ(base.at(2, 0), 0.0);  // new entry is explicit zero
+  EXPECT_DOUBLE_EQ(base.at(2, 2), 3.0);  // old values preserved
+  work.setValuesFrom(base);
+  EXPECT_DOUBLE_EQ(work.at(2, 0), 0.0);
+
+  // adopt requires a superset pattern.
+  SparseMatrix narrow(3);
+  narrow.add(0, 0, 1.0);
+  narrow.finalize();
+  EXPECT_THROW(base.adoptPatternOf(narrow), std::invalid_argument);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  SparseMatrix m(4);
+  m.add(0, 0, 2.0);
+  m.add(0, 3, -1.0);
+  m.add(1, 1, 1.5);
+  m.add(2, 1, 0.5);
+  m.add(2, 2, 4.0);
+  m.add(3, 0, 1.0);
+  m.add(3, 3, 1.0);
+  m.finalize();
+  const Vector x = {1.0, 2.0, 3.0, 4.0};
+  const Vector y = m.multiply(x);
+  const Vector yd = m.toDense() * x;
+  ASSERT_EQ(y.size(), yd.size());
+  for (std::size_t k = 0; k < y.size(); ++k) EXPECT_DOUBLE_EQ(y[k], yd[k]);
+  EXPECT_THROW(m.multiply(Vector(3, 0.0)), std::invalid_argument);
+}
+
+TEST(SparseMatrix, ClearValuesKeepsPattern) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 0, 2.0);
+  m.finalize();
+  const auto v = m.patternVersion();
+  m.clearValues();
+  EXPECT_EQ(m.nonZeros(), 2u);
+  EXPECT_EQ(m.patternVersion(), v);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -5,6 +5,12 @@
 // bitwise on purely linear circuits, to <= 1e-12 otherwise (static and
 // dynamic matrix contributions are summed in a different order, which can
 // perturb shared Jacobian entries by an ulp).
+//
+// The sparse path (kSparse: CSR assembly + RCM-ordered banded LU) runs the
+// same fixtures against the cached-LU reference. It eliminates in a
+// permuted order, so equivalence is to a tolerance rather than bitwise:
+// kSparseTol bounds the accumulated rounding gap over thousands of steps.
+// Linear circuits must still perform exactly ONE (sparse) factorization.
 #include "circuit/transient.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +23,10 @@
 
 namespace fdtdmm {
 namespace {
+
+// Acceptable sparse-vs-dense waveform gap on volt-scale signals (see file
+// comment). Observed gaps are orders of magnitude below this.
+constexpr double kSparseTol = 1e-8;
 
 // Each mode builds its own circuit instance: elements carry per-run state
 // (companion histories, line delay buffers), so circuits are single-use.
@@ -69,32 +79,70 @@ TEST(TransientEquivalence, LinearTlineBitwiseAndSingleFactorization) {
   EXPECT_EQ(ref.lu_factorizations, ref.total_newton_iterations);
 }
 
+TransientResult runRlgcLadder(TransientSolverMode mode) {
+  Circuit c;
+  const int src = c.addNode();
+  const int in = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+  c.addResistor(src, in, 50.0);
+  RlgcParams p;
+  p.r = 2.0;
+  p.g = 1e-4;
+  p.segments = 16;
+  buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+  c.addResistor(out, Circuit::kGround, 120.0);
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 2e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
+}
+
 TEST(TransientEquivalence, RlgcLadderBitwiseAndSingleFactorization) {
-  auto run = [](TransientSolverMode mode) {
-    Circuit c;
-    const int src = c.addNode();
-    const int in = c.addNode();
-    const int out = c.addNode();
-    c.addVoltageSource(src, Circuit::kGround,
-                       [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
-    c.addResistor(src, in, 50.0);
-    RlgcParams p;
-    p.r = 2.0;
-    p.g = 1e-4;
-    p.segments = 16;
-    buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
-    c.addResistor(out, Circuit::kGround, 120.0);
-    TransientOptions opt;
-    opt.dt = 2e-12;
-    opt.t_stop = 2e-9;
-    opt.solver_mode = mode;
-    return runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
-  };
-  const auto fast = run(TransientSolverMode::kReuseFactorization);
-  const auto ref = run(TransientSolverMode::kFullRestamp);
+  const auto fast = runRlgcLadder(TransientSolverMode::kReuseFactorization);
+  const auto ref = runRlgcLadder(TransientSolverMode::kFullRestamp);
   EXPECT_EQ(maxAbsDiff(fast.at("in"), ref.at("in")), 0.0);
   EXPECT_EQ(maxAbsDiff(fast.at("out"), ref.at("out")), 0.0);
   EXPECT_EQ(fast.lu_factorizations, 1);
+}
+
+// Coupled-line crosstalk substrate (the "crosstalk" family's netlist):
+// Thevenin-driven aggressor, capacitively coupled victim, resistive
+// terminations. Purely linear unless `clamp_diodes` adds the victim-side
+// clamps, which makes the dynamic stamps dirty the matrix every iteration.
+TransientResult runCrosstalkCoupled(TransientSolverMode mode, bool clamp_diodes) {
+  const BitPattern pattern("0110", 1e-9);
+  Circuit c;
+  const int src = c.addNode();
+  const int agg_near = c.addNode();
+  const int agg_far = c.addNode();
+  const int vic_near = c.addNode();
+  const int vic_far = c.addNode();
+  c.addVoltageSource(src, Circuit::kGround,
+                     [pattern](double t) { return 1.8 * pattern.levelAt(t); });
+  c.addResistor(src, agg_near, 50.0);
+  CoupledRlgcParams cp;
+  cp.line.r = 2.0;
+  cp.line.g = 1e-4;
+  cp.line.segments = 12;
+  cp.cm = 0.25 * cp.line.c;
+  buildCoupledRlgcLines(c, agg_near, agg_far, vic_near, vic_far, cp);
+  c.addResistor(agg_far, Circuit::kGround, 75.0);
+  c.addResistor(vic_near, Circuit::kGround, 50.0);
+  c.addResistor(vic_far, Circuit::kGround, 50.0);
+  if (clamp_diodes) {
+    c.addDiode(Circuit::kGround, vic_far);  // clamp below ground
+    c.addDiode(vic_far, src);               // clamp above the rail node
+  }
+  TransientOptions opt;
+  opt.dt = 5e-12;
+  opt.t_stop = 4e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt,
+                      {{"agg_far", agg_far, 0}, {"vic_near", vic_near, 0},
+                       {"vic_far", vic_far, 0}});
 }
 
 // --------------------------------------------------------------- nonlinear
@@ -153,40 +201,104 @@ TEST(TransientEquivalence, Fig5TlineReceiver) {
   EXPECT_LE(maxAbsDiff(fast.at("far"), ref.at("far")), 1e-12);
 }
 
+// Nonlinear driver+receiver-style circuit mixing every nonlinear element
+// kind with linear companions, so static and dynamic stamps overlap on
+// shared matrix entries. The MOSFETs swap drain/source orientation as vds
+// changes sign, which exercises the sparse path's pattern-growth handling.
+TransientResult runMixedNonlinear(TransientSolverMode mode) {
+  Circuit c;
+  const int vdd = c.addNode();
+  const int gate = c.addNode();
+  const int out = c.addNode();
+  c.addVoltageSource(vdd, Circuit::kGround, [](double) { return 1.8; });
+  c.addVoltageSource(gate, Circuit::kGround, [](double t) {
+    return 0.9 + 0.9 * std::sin(2.0 * M_PI * 5e8 * t);
+  });
+  MosfetParams nmos;
+  c.addMosfet(out, gate, Circuit::kGround, nmos);
+  MosfetParams pmos;
+  pmos.type = MosfetParams::Type::kPmos;
+  c.addMosfet(out, gate, vdd, pmos);
+  c.addDiode(Circuit::kGround, out);  // clamp below ground
+  c.addDiode(out, vdd);               // clamp above the rail
+  c.addResistor(out, Circuit::kGround, 10e3);
+  c.addCapacitor(out, Circuit::kGround, 0.5e-12);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = 4e-9;
+  opt.solver_mode = mode;
+  return runTransient(c, opt, {{"out", out, 0}});
+}
+
 TEST(TransientEquivalence, MixedDiodeMosfetCircuit) {
-  // Nonlinear driver+receiver-style circuit mixing every nonlinear element
-  // kind with linear companions, so static and dynamic stamps overlap on
-  // shared matrix entries.
-  auto run = [](TransientSolverMode mode) {
-    Circuit c;
-    const int vdd = c.addNode();
-    const int gate = c.addNode();
-    const int out = c.addNode();
-    c.addVoltageSource(vdd, Circuit::kGround, [](double) { return 1.8; });
-    c.addVoltageSource(gate, Circuit::kGround, [](double t) {
-      return 0.9 + 0.9 * std::sin(2.0 * M_PI * 5e8 * t);
-    });
-    MosfetParams nmos;
-    c.addMosfet(out, gate, Circuit::kGround, nmos);
-    MosfetParams pmos;
-    pmos.type = MosfetParams::Type::kPmos;
-    c.addMosfet(out, gate, vdd, pmos);
-    c.addDiode(Circuit::kGround, out);  // clamp below ground
-    c.addDiode(out, vdd);               // clamp above the rail
-    c.addResistor(out, Circuit::kGround, 10e3);
-    c.addCapacitor(out, Circuit::kGround, 0.5e-12);
-    TransientOptions opt;
-    opt.dt = 1e-12;
-    opt.t_stop = 4e-9;
-    opt.solver_mode = mode;
-    return runTransient(c, opt, {{"out", out, 0}});
-  };
-  const auto fast = run(TransientSolverMode::kReuseFactorization);
-  const auto ref = run(TransientSolverMode::kFullRestamp);
+  const auto fast = runMixedNonlinear(TransientSolverMode::kReuseFactorization);
+  const auto ref = runMixedNonlinear(TransientSolverMode::kFullRestamp);
   EXPECT_TRUE(fast.converged);
   EXPECT_LE(maxAbsDiff(fast.at("out"), ref.at("out")), 1e-12);
   // Every iteration dirties the matrix, so the counts match the reference.
   EXPECT_EQ(fast.lu_factorizations, ref.lu_factorizations);
+}
+
+// ------------------------------------------------------------------ sparse
+
+TEST(TransientEquivalence, SparseLinearTlineSingleFactorization) {
+  const auto sp = runLinearTline(TransientSolverMode::kSparse);
+  const auto ref = runLinearTline(TransientSolverMode::kReuseFactorization);
+  EXPECT_TRUE(sp.converged);
+  EXPECT_LE(maxAbsDiff(sp.at("near"), ref.at("near")), kSparseTol);
+  EXPECT_LE(maxAbsDiff(sp.at("far"), ref.at("far")), kSparseTol);
+  // Purely linear: the sparse engine must also factor exactly once.
+  EXPECT_EQ(sp.lu_factorizations, 1);
+}
+
+TEST(TransientEquivalence, SparseRlgcLadderSingleFactorization) {
+  const auto sp = runRlgcLadder(TransientSolverMode::kSparse);
+  const auto ref = runRlgcLadder(TransientSolverMode::kReuseFactorization);
+  EXPECT_TRUE(sp.converged);
+  EXPECT_LE(maxAbsDiff(sp.at("in"), ref.at("in")), kSparseTol);
+  EXPECT_LE(maxAbsDiff(sp.at("out"), ref.at("out")), kSparseTol);
+  EXPECT_EQ(sp.lu_factorizations, 1);
+}
+
+TEST(TransientEquivalence, SparseFig4TlineRcLoad) {
+  const auto sp = runFig4(TransientSolverMode::kSparse);
+  const auto ref = runFig4(TransientSolverMode::kReuseFactorization);
+  EXPECT_TRUE(sp.converged);
+  EXPECT_LE(maxAbsDiff(sp.at("near"), ref.at("near")), kSparseTol);
+  EXPECT_LE(maxAbsDiff(sp.at("far"), ref.at("far")), kSparseTol);
+}
+
+TEST(TransientEquivalence, SparseFig5TlineReceiver) {
+  const auto sp = runFig5(TransientSolverMode::kSparse);
+  const auto ref = runFig5(TransientSolverMode::kReuseFactorization);
+  EXPECT_TRUE(sp.converged);
+  EXPECT_LE(maxAbsDiff(sp.at("near"), ref.at("near")), kSparseTol);
+  EXPECT_LE(maxAbsDiff(sp.at("far"), ref.at("far")), kSparseTol);
+}
+
+TEST(TransientEquivalence, SparseMixedDiodeMosfetCircuit) {
+  const auto sp = runMixedNonlinear(TransientSolverMode::kSparse);
+  const auto ref = runMixedNonlinear(TransientSolverMode::kReuseFactorization);
+  EXPECT_TRUE(sp.converged);
+  EXPECT_LE(maxAbsDiff(sp.at("out"), ref.at("out")), kSparseTol);
+}
+
+TEST(TransientEquivalence, SparseCrosstalkCoupledLinesSingleFactorization) {
+  const auto sp = runCrosstalkCoupled(TransientSolverMode::kSparse, false);
+  const auto ref = runCrosstalkCoupled(TransientSolverMode::kReuseFactorization, false);
+  EXPECT_TRUE(sp.converged);
+  for (const char* probe : {"agg_far", "vic_near", "vic_far"})
+    EXPECT_LE(maxAbsDiff(sp.at(probe), ref.at(probe)), kSparseTol) << probe;
+  EXPECT_EQ(sp.lu_factorizations, 1);
+  EXPECT_EQ(ref.lu_factorizations, 1);
+}
+
+TEST(TransientEquivalence, SparseCrosstalkWithClampDiodes) {
+  const auto sp = runCrosstalkCoupled(TransientSolverMode::kSparse, true);
+  const auto ref = runCrosstalkCoupled(TransientSolverMode::kReuseFactorization, true);
+  EXPECT_TRUE(sp.converged);
+  for (const char* probe : {"agg_far", "vic_near", "vic_far"})
+    EXPECT_LE(maxAbsDiff(sp.at(probe), ref.at(probe)), kSparseTol) << probe;
 }
 
 }  // namespace
