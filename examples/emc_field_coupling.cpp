@@ -1,42 +1,71 @@
-// EMC susceptibility study: the Fig. 6/7 PCB with an impinging plane-wave
-// pulse. Runs a reduced-size board with and without the incident field and
-// prints both termination waveforms — the paper's "complex task of
-// predicting incident-field coupling effects on interconnected networks
-// loaded by real-world components."
+// EMC susceptibility study on the circuit path: the paper's "complex task
+// of predicting incident-field coupling effects on interconnects loaded by
+// real-world components", expressed as one registered scenario family.
+// The clean/disturbed pair that used to be two hand-rolled 3D FDTD board
+// runs is now a 2-point amplitude axis of the "emc" family: the RBF driver
+// macromodel drives a routed trace, a plane-wave pulse couples in through
+// the Taylor/Agrawal distributed sources, and the susceptibility metrics
+// (peak induced noise, noise-margin violations, eye degradation) fall out
+// of differencing the pair. The 3D FDTD PcbScenario incident path remains
+// available as the cross-validation reference (tests/test_emc_fdtd_xval).
 //
-// Build & run:  ./emc_field_coupling
+// Build & run:  ./example_emc_field_coupling
 
 #include <cstdio>
 
-#include "core/pcb_scenario.h"
+#include "emc/susceptibility.h"
+#include "engine/sweep_runner.h"
 
 int main() {
   using namespace fdtdmm;
 
-  std::puts("# emc_field_coupling: PCB with driver/receiver + incident pulse");
-  const auto driver = defaultDriverModel();
-  const auto receiver = defaultReceiverModel();
+  std::puts("# emc_field_coupling: driven trace +/- incident pulse (MNA engine)");
 
-  PcbScenario cfg;
-  cfg.board_cells = 60;   // reduced board (full-size run: bench_fig7)
-  cfg.strip_len = 44;
-  cfg.margin = 8;
-  cfg.cell = 0.8e-3;
-  cfg.t_stop = 5e-9;
+  const double t_stop = 10e-9;
+  SweepSpec spec;
+  spec.scenario = "emc";
+  spec.set("pattern", std::string("0101"));
+  spec.set("bit_time", 2e-9);
+  spec.set("t_stop", t_stop);
+  spec.set("segments", 32.0);
+  spec.set("pulse_t0", 5e-9);
+  // Clean run and the paper's Fig. 7 illumination as one amplitude axis.
+  spec.axis("amplitude", {0.0, 2e3});
 
-  std::puts("# running without incident field...");
-  const PcbRun clean = runPcbScenario(cfg, driver, receiver);
-  std::puts("# running with 2 kV/m Gaussian plane wave (9.2 GHz bandwidth)...");
-  cfg.with_incident = true;
-  const PcbRun field = runPcbScenario(cfg, driver, receiver);
+  std::puts("# identifying the driver macromodel once...");
+  SweepOptions opt;
+  opt.workers = 0;
+  opt.keep_waveforms = true;  // the pair is differenced below
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(spec);
+  if (result.okCount() != 2) {
+    for (const SweepRunRecord& run : result.runs)
+      if (!run.ok) std::printf("# FAILED %zu: %s\n", run.index, run.error.c_str());
+    return 1;
+  }
 
-  std::printf("# wall: clean %.1fs, with field %.1fs; max Newton iters %d/%d\n",
-              clean.wall_seconds, field.wall_seconds,
-              clean.max_newton_iterations, field.max_newton_iterations);
-  std::puts("t_ns,v_near_clean,v_far_clean,v_near_field,v_far_field");
-  for (double t = 0.0; t <= cfg.t_stop; t += 25e-12) {
-    std::printf("%.3f,%.4f,%.4f,%.4f,%.4f\n", t * 1e9, clean.v_near.value(t),
-                clean.v_far.value(t), field.v_near.value(t), field.v_far.value(t));
+  const TaskWaveforms& clean = result.runs[0].waves;
+  const TaskWaveforms& field = result.runs[1].waves;
+
+  const BitPattern pattern("0101", 2e-9);
+  SusceptibilityOptions sopt;
+  sopt.noise_margin = 0.2;
+  const SusceptibilityMetrics m =
+      computeSusceptibility(clean.v_far, field.v_far, pattern, sopt);
+  std::printf("# peak induced noise at the receiver pad: %.1f mV\n",
+              1e3 * m.peak_noise);
+  std::printf("# time above the %.0f mV noise margin:   %.2f ns\n",
+              1e3 * sopt.noise_margin, 1e9 * m.violation_duration);
+  if (m.eye_valid)
+    std::printf("# eye height clean %.3f V -> disturbed %.3f V (degradation %.1f mV)\n",
+                m.eye_height_clean, m.eye_height_disturbed,
+                1e3 * m.eye_degradation);
+
+  std::puts("t_ns,v_far_clean,v_far_field,noise");
+  for (double t = 0.0; t <= t_stop; t += 25e-12) {
+    const double vc = clean.v_far.value(t);
+    const double vf = field.v_far.value(t);
+    std::printf("%.3f,%.4f,%.4f,%.4f\n", t * 1e9, vc, vf, vf - vc);
   }
   return 0;
 }

@@ -29,6 +29,21 @@ void Circuit::addInductor(int n1, int n2, double l, double i0) {
   elements_.push_back(std::make_unique<Inductor>(n1, n2, l, i0));
 }
 
+void Circuit::addSeriesEmfInductor(int n1, int n2, double l, TimeFn emf) {
+  checkNode(n1);
+  checkNode(n2);
+  elements_.push_back(std::make_unique<Inductor>(n1, n2, l, std::move(emf)));
+}
+
+void Circuit::addCoupledInductors(int a1, int b1, int a2, int b2, double l1,
+                                  double l2, double m) {
+  checkNode(a1);
+  checkNode(b1);
+  checkNode(a2);
+  checkNode(b2);
+  elements_.push_back(std::make_unique<CoupledInductors>(a1, b1, a2, b2, l1, l2, m));
+}
+
 VoltageSource* Circuit::addVoltageSource(int n1, int n2, TimeFn vs) {
   checkNode(n1);
   checkNode(n2);

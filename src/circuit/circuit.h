@@ -27,6 +27,12 @@ class Circuit {
   void addResistor(int n1, int n2, double r);
   void addCapacitor(int n1, int n2, double c, double v0 = 0.0);
   void addInductor(int n1, int n2, double l, double i0 = 0.0);
+  /// Inductor with a series EMF e(t): v(n1) - v(n2) + e(t) = L di/dt (the
+  /// EMF raises the n2-side potential). RHS-only excitation — see Inductor.
+  void addSeriesEmfInductor(int n1, int n2, double l, TimeFn emf);
+  /// Mutually coupled inductor pair (a1,b1) / (a2,b2); see CoupledInductors.
+  void addCoupledInductors(int a1, int b1, int a2, int b2, double l1, double l2,
+                           double m);
   /// Returns a handle usable to read the source branch current from the
   /// solution vector after assembly.
   VoltageSource* addVoltageSource(int n1, int n2, TimeFn vs);

@@ -92,13 +92,21 @@ Inductor::Inductor(int n1, int n2, double l, double i0)
   if (l <= 0.0) throw std::invalid_argument("Inductor: L must be > 0");
 }
 
+Inductor::Inductor(int n1, int n2, double l, TimeFn emf, double i0)
+    : Inductor(n1, n2, l, i0) {
+  if (!emf) throw std::invalid_argument("Inductor: empty series EMF");
+  emf_ = std::move(emf);
+}
+
 void Inductor::begin(double) { v_prev_ = 0.0; }
 
 void Inductor::stampStatic(StampSystem& sys, double dt) {
-  // Theta method: i_new = i_prev + dt/L (theta v_new + (1-theta) v_prev).
+  // Theta method: i_new = i_prev + dt/L (theta v_new + (1-theta) v_prev),
+  // where v is the branch voltage including the series EMF.
   const std::size_t ib = branch_offset_;
   const double h = kTheta * dt / l_;
-  // Branch row: i_new - h * v_new = i_prev + hp * v_prev.
+  // Branch row: i_new - h * vd_new = i_prev + h * e_new + hp * v_prev
+  // (vd is the node-voltage part; the EMF contribution moves to the RHS).
   sys.add(ib, ib, 1.0);
   addArowNode(sys, ib, n1_, -h);
   addArowNode(sys, ib, n2_, +h);
@@ -107,14 +115,74 @@ void Inductor::stampStatic(StampSystem& sys, double dt) {
   addA(sys, n2_, ib, -1.0);
 }
 
-void Inductor::stampDynamic(StampSystem& sys, const Vector&, double, double dt) {
+void Inductor::stampDynamic(StampSystem& sys, const Vector&, double t_new, double dt) {
   const double hp = (1.0 - kTheta) * dt / l_;
-  sys.b[branch_offset_] += i_prev_ + hp * v_prev_;
+  double rhs = i_prev_ + hp * v_prev_;
+  if (emf_) rhs += kTheta * dt / l_ * emf_(t_new);
+  sys.b[branch_offset_] += rhs;
 }
 
-void Inductor::endStep(const Vector& x, double, double) {
+void Inductor::endStep(const Vector& x, double t_new, double) {
   v_prev_ = nodeV(x, n1_) - nodeV(x, n2_);
+  if (emf_) v_prev_ += emf_(t_new);
   i_prev_ = x[branch_offset_];
+}
+
+// --------------------------------------------------------- CoupledInductors
+
+CoupledInductors::CoupledInductors(int a1, int b1, int a2, int b2, double l1,
+                                   double l2, double m)
+    : a1_(a1), b1_(b1), a2_(a2), b2_(b2) {
+  if (l1 <= 0.0 || l2 <= 0.0)
+    throw std::invalid_argument("CoupledInductors: L1, L2 must be > 0");
+  const double det = l1 * l2 - m * m;
+  if (det <= 0.0)
+    throw std::invalid_argument("CoupledInductors: need M^2 < L1*L2");
+  g11_ = l2 / det;
+  g12_ = -m / det;
+  g22_ = l1 / det;
+}
+
+void CoupledInductors::begin(double) {
+  v1_prev_ = v2_prev_ = 0.0;
+  i1_prev_ = i2_prev_ = 0.0;
+}
+
+void CoupledInductors::stampStatic(StampSystem& sys, double dt) {
+  // Theta method on the vector equation i_new = i_prev +
+  // dt * Gamma (theta v_new + (1-theta) v_prev), Gamma = L^-1.
+  const std::size_t ib1 = branch_offset_;
+  const std::size_t ib2 = branch_offset_ + 1;
+  const double h = kTheta * dt;
+  sys.add(ib1, ib1, 1.0);
+  addArowNode(sys, ib1, a1_, -h * g11_);
+  addArowNode(sys, ib1, b1_, +h * g11_);
+  addArowNode(sys, ib1, a2_, -h * g12_);
+  addArowNode(sys, ib1, b2_, +h * g12_);
+  sys.add(ib2, ib2, 1.0);
+  addArowNode(sys, ib2, a1_, -h * g12_);
+  addArowNode(sys, ib2, b1_, +h * g12_);
+  addArowNode(sys, ib2, a2_, -h * g22_);
+  addArowNode(sys, ib2, b2_, +h * g22_);
+  // KCL: i1 flows a1 -> b1, i2 flows a2 -> b2.
+  addA(sys, a1_, ib1, +1.0);
+  addA(sys, b1_, ib1, -1.0);
+  addA(sys, a2_, ib2, +1.0);
+  addA(sys, b2_, ib2, -1.0);
+}
+
+void CoupledInductors::stampDynamic(StampSystem& sys, const Vector&, double,
+                                    double dt) {
+  const double hp = (1.0 - kTheta) * dt;
+  sys.b[branch_offset_] += i1_prev_ + hp * (g11_ * v1_prev_ + g12_ * v2_prev_);
+  sys.b[branch_offset_ + 1] += i2_prev_ + hp * (g12_ * v1_prev_ + g22_ * v2_prev_);
+}
+
+void CoupledInductors::endStep(const Vector& x, double, double) {
+  v1_prev_ = nodeV(x, a1_) - nodeV(x, b1_);
+  v2_prev_ = nodeV(x, a2_) - nodeV(x, b2_);
+  i1_prev_ = x[branch_offset_];
+  i2_prev_ = x[branch_offset_ + 1];
 }
 
 // ----------------------------------------------------------- VoltageSource

@@ -151,11 +151,20 @@ class Capacitor final : public Element {
   double geq_ = 0.0;
 };
 
-/// Linear inductor (trapezoidal, one branch unknown).
+/// Linear inductor (trapezoidal, one branch unknown), optionally with a
+/// time-varying EMF e(t) in series: v(n1) - v(n2) + e(t) = L di/dt, i.e.
+/// the EMF raises the n2-side potential. The EMF enters only the RHS of
+/// the branch row (stampDynamic), so a field-excited ladder keeps the
+/// one-factorization-per-linear-run guarantee of the cached-LU and sparse
+/// solver paths — this is the circuit substrate of the Taylor/Agrawal
+/// distributed-source EMC coupling in src/emc/.
 class Inductor final : public Element {
  public:
   /// \throws std::invalid_argument if l <= 0.
   Inductor(int n1, int n2, double l, double i0 = 0.0);
+  /// With a series EMF. \throws std::invalid_argument if l <= 0 or emf is
+  /// empty.
+  Inductor(int n1, int n2, double l, TimeFn emf, double i0 = 0.0);
   int branchCount() const override { return 1; }
   void begin(double dt) override;
   void stampStatic(StampSystem& sys, double dt) override;
@@ -166,8 +175,34 @@ class Inductor final : public Element {
  private:
   int n1_, n2_;
   double l_;
+  TimeFn emf_;     ///< optional series EMF (may be empty)
   double i_prev_;
-  double v_prev_ = 0.0;
+  double v_prev_ = 0.0;  ///< previous branch voltage *including* the EMF
+};
+
+/// A pair of mutually coupled inductors (linear transformer):
+///   v1 = L1 di1/dt + M di2/dt,   v2 = M di1/dt + L2 di2/dt,
+/// with v1 = v(a1) - v(b1), i1 flowing a1 -> b1 (analogously port 2).
+/// Theta-method companion like Inductor, two branch unknowns. This is the
+/// K-coupled element behind inductive line-to-line coupling in
+/// buildCoupledRlgcLines (the Lm/L crosstalk axis).
+class CoupledInductors final : public Element {
+ public:
+  /// \throws std::invalid_argument if l1/l2 <= 0 or m^2 >= l1*l2 (the
+  ///         coupling coefficient |k| must be < 1 for a passive pair).
+  CoupledInductors(int a1, int b1, int a2, int b2, double l1, double l2, double m);
+  int branchCount() const override { return 2; }
+  void begin(double dt) override;
+  void stampStatic(StampSystem& sys, double dt) override;
+  void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void endStep(const Vector& x, double t_new, double dt) override;
+  std::string name() const override { return "K"; }
+
+ private:
+  int a1_, b1_, a2_, b2_;
+  double g11_, g12_, g22_;  ///< inverse inductance matrix [1/H]
+  double i1_prev_ = 0.0, i2_prev_ = 0.0;
+  double v1_prev_ = 0.0, v2_prev_ = 0.0;
 };
 
 /// Ideal voltage source v(n1) - v(n2) = vs(t) (one branch unknown).

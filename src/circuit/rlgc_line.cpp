@@ -16,8 +16,19 @@ void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
   buildRlgcLineSegments(circuit, n1, ref1, n2, ref2, p);
 }
 
-std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
-                                       int n2, int ref2, const RlgcParams& p) {
+namespace {
+
+/// Adds the series reactive branch of segment `seg` between nodes a and b
+/// (so coupled builders can substitute mutually coupled inductors, and the
+/// field-coupled builder can embed per-segment EMFs).
+using SeriesBranchFn =
+    std::function<void(std::size_t seg, int a, int b)>;
+
+/// Shared ladder walker behind the public builders: R/2 - <series> - R/2
+/// per segment plus shunt C (+ optional G) at the segment output.
+std::vector<int> buildLadder(Circuit& circuit, int n1, int ref1, int n2,
+                             int ref2, const RlgcParams& p,
+                             const SeriesBranchFn& series) {
   if (p.l <= 0.0 || p.c <= 0.0 || p.length <= 0.0)
     throw std::invalid_argument("buildRlgcLine: l, c, length must be > 0");
   if (p.r < 0.0 || p.g < 0.0)
@@ -25,7 +36,6 @@ std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
   if (p.segments == 0) throw std::invalid_argument("buildRlgcLine: need >= 1 segment");
 
   const double dz = p.length / static_cast<double>(p.segments);
-  const double l_seg = p.l * dz;
   const double c_seg = p.c * dz;
   const double r_half = 0.5 * p.r * dz;
   const double g_seg = p.g * dz;
@@ -42,7 +52,7 @@ std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
       a = mid_in;
     }
     const int mid_out = circuit.addNode();
-    circuit.addInductor(a, mid_out, l_seg);
+    series(s, a, mid_out);
     int node = mid_out;
     if (r_half > 0.0) {
       const int after = (s == p.segments - 1) ? n2 : circuit.addNode();
@@ -65,14 +75,68 @@ std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
   return segment_nodes;
 }
 
+}  // namespace
+
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p) {
+  return buildRlgcLineSegments(circuit, n1, ref1, n2, ref2, p, {});
+}
+
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p,
+                                       const std::vector<TimeFn>& segment_emf) {
+  if (!segment_emf.empty() && segment_emf.size() != p.segments)
+    throw std::invalid_argument(
+        "buildRlgcLine: segment_emf size must equal the segment count");
+  const double l_seg =
+      p.l * p.length / static_cast<double>(p.segments == 0 ? 1 : p.segments);
+  return buildLadder(circuit, n1, ref1, n2, ref2, p,
+                     [&](std::size_t s, int a, int b) {
+                       if (segment_emf.empty()) {
+                         circuit.addInductor(a, b, l_seg);
+                       } else {
+                         circuit.addSeriesEmfInductor(a, b, l_seg,
+                                                      segment_emf[s]);
+                       }
+                     });
+}
+
 void buildCoupledRlgcLines(Circuit& circuit, int a1, int a2, int v1, int v2,
                            const CoupledRlgcParams& p) {
   if (p.cm < 0.0)
     throw std::invalid_argument("buildCoupledRlgcLines: cm must be >= 0");
-  const std::vector<int> agg = buildRlgcLineSegments(
-      circuit, a1, Circuit::kGround, a2, Circuit::kGround, p.line);
-  const std::vector<int> vic = buildRlgcLineSegments(
-      circuit, v1, Circuit::kGround, v2, Circuit::kGround, p.line);
+  if (p.lm < 0.0 || (p.line.l > 0.0 && p.lm >= p.line.l))
+    throw std::invalid_argument(
+        "buildCoupledRlgcLines: lm must be in [0, line.l)");
+
+  std::vector<int> agg, vic;
+  if (p.lm == 0.0) {
+    agg = buildRlgcLineSegments(circuit, a1, Circuit::kGround, a2,
+                                Circuit::kGround, p.line);
+    vic = buildRlgcLineSegments(circuit, v1, Circuit::kGround, v2,
+                                Circuit::kGround, p.line);
+  } else {
+    // Inductive coupling replaces each pair of per-segment inductors with
+    // one CoupledInductors element, so the series branches are collected
+    // from both ladders first and the K elements added pairwise after.
+    const double dz = p.line.length / static_cast<double>(p.line.segments);
+    const double l_seg = p.line.l * dz;
+    const double lm_seg = p.lm * dz;
+    struct Branch {
+      int a, b;
+    };
+    std::vector<Branch> agg_l, vic_l;
+    agg = buildLadder(circuit, a1, Circuit::kGround, a2, Circuit::kGround,
+                      p.line,
+                      [&](std::size_t, int a, int b) { agg_l.push_back({a, b}); });
+    vic = buildLadder(circuit, v1, Circuit::kGround, v2, Circuit::kGround,
+                      p.line,
+                      [&](std::size_t, int a, int b) { vic_l.push_back({a, b}); });
+    for (std::size_t s = 0; s < agg_l.size(); ++s)
+      circuit.addCoupledInductors(agg_l[s].a, agg_l[s].b, vic_l[s].a,
+                                  vic_l[s].b, l_seg, l_seg, lm_seg);
+  }
+
   if (p.cm == 0.0) return;
   const double cm_seg =
       p.cm * p.line.length / static_cast<double>(p.line.segments);

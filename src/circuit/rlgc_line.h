@@ -42,19 +42,37 @@ void buildRlgcLine(Circuit& circuit, int n1, int ref1, int n2, int ref2,
 std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
                                        int n2, int ref2, const RlgcParams& p);
 
-/// Two identical RLGC ladders with segment-wise capacitive coupling: the
-/// crosstalk substrate of the "crosstalk" scenario family. `line.c` is each
-/// line's shunt capacitance to ground; `cm` adds a line-to-line capacitance
-/// per unit length between corresponding segment nodes, which is what
-/// induces near-/far-end crosstalk on the victim.
+/// As buildRlgcLineSegments, with a per-segment series EMF embedded in each
+/// segment's inductor (oriented so a positive EMF raises the potential
+/// toward n2). This is the Taylor/Agrawal distributed-source form of
+/// incident-field coupling: `segment_emf[s]` is the induced series voltage
+/// of segment s in volts (field integrated over the segment length). EMFs
+/// enter only the RHS, so the cached-LU / sparse one-factorization
+/// guarantee of linear runs is preserved.
+/// \throws std::invalid_argument if segment_emf is non-empty and its size
+///         differs from p.segments, or any entry is empty.
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p,
+                                       const std::vector<TimeFn>& segment_emf);
+
+/// Two identical RLGC ladders with segment-wise capacitive and inductive
+/// coupling: the crosstalk substrate of the "crosstalk" scenario family.
+/// `line.c` is each line's shunt capacitance to ground; `cm` adds a
+/// line-to-line capacitance per unit length between corresponding segment
+/// nodes, and `lm` a mutual inductance per unit length between
+/// corresponding series inductors (CoupledInductors element) — together
+/// they capture the capacitive and inductive components of near-/far-end
+/// crosstalk.
 struct CoupledRlgcParams {
   RlgcParams line;  ///< per-line self parameters (both lines identical)
   double cm = 0.0;  ///< line-to-line mutual capacitance [F/m], >= 0
+  double lm = 0.0;  ///< line-to-line mutual inductance [H/m], in [0, line.l)
 };
 
 /// Builds the aggressor ladder between (a1, a2) and the victim ladder
-/// between (v1, v2), both referenced to ground, with cm coupling.
-/// \throws std::invalid_argument on invalid line parameters or cm < 0.
+/// between (v1, v2), both referenced to ground, with cm/lm coupling.
+/// \throws std::invalid_argument on invalid line parameters, cm < 0, or lm
+///         outside [0, line.l).
 void buildCoupledRlgcLines(Circuit& circuit, int a1, int a2, int v1, int v2,
                            const CoupledRlgcParams& p);
 

@@ -29,6 +29,8 @@ void validateCrosstalkScenario(const CrosstalkScenario& cfg) {
   if (cfg.line.segments == 0) fail("line needs >= 1 segment");
   if (!(cfg.coupling >= 0.0) || !(cfg.coupling <= 1.0))
     fail("coupling must be in [0, 1]");
+  if (!(cfg.coupling_l >= 0.0) || cfg.coupling_l >= 1.0)
+    fail("coupling_l must be in [0, 1)");
   if (!(cfg.victim_r_near > 0.0) || !(cfg.victim_r_far > 0.0))
     fail("victim terminations must be > 0");
   if (!(cfg.agg_load_r > 0.0)) fail("agg_load_r must be > 0");
@@ -56,6 +58,7 @@ TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
   CoupledRlgcParams cp;
   cp.line = cfg.line;
   cp.cm = cfg.coupling * cfg.line.c;
+  cp.lm = cfg.coupling_l * cfg.line.l;
   buildCoupledRlgcLines(circuit, agg_near, agg_far, vic_near, vic_far, cp);
 
   circuit.addResistor(agg_far, Circuit::kGround, cfg.agg_load_r);
@@ -129,6 +132,17 @@ const ParamTable<CrosstalkFamily>& CrosstalkFamily::table() {
            }(),
            [](const T& s) { return ParamValue{s.cfg_.coupling}; },
            [](T& s, const ParamValue& v) { s.cfg_.coupling = asNum(v); }},
+          {[] {
+             ParamDescriptor d = nonNegativeParam(
+                 "coupling_l", "mutual inductance fraction lm / line_l");
+             // lm = line_l would be a degenerate k = 1 inductor pair, so the
+             // descriptor range matches the validator: [0, 1).
+             d.max_value = 1.0;
+             d.max_exclusive = true;
+             return d;
+           }(),
+           [](const T& s) { return ParamValue{s.cfg_.coupling_l}; },
+           [](T& s, const ParamValue& v) { s.cfg_.coupling_l = asNum(v); }},
           {positiveParam("victim_r_near", "victim near-end termination [ohm]"),
            [](const T& s) { return ParamValue{s.cfg_.victim_r_near}; },
            [](T& s, const ParamValue& v) { s.cfg_.victim_r_near = asNum(v); }},
@@ -170,7 +184,8 @@ void CrosstalkFamily::validate() const { validateCrosstalkScenario(cfg_); }
 
 std::string CrosstalkFamily::label() const {
   return "crosstalk pattern=" + cfg_.pattern + " bt=" + formatDouble(cfg_.bit_time) +
-         " k=" + formatDouble(cfg_.coupling) + " rvn=" + formatDouble(cfg_.victim_r_near) +
+         " k=" + formatDouble(cfg_.coupling) + " kl=" + formatDouble(cfg_.coupling_l) +
+         " rvn=" + formatDouble(cfg_.victim_r_near) +
          " rvf=" + formatDouble(cfg_.victim_r_far);
 }
 

@@ -3,8 +3,10 @@
 /// The "crosstalk" scenario family: a coupled two-line crosstalk workload
 /// the closed pre-registry API could not express. An RBF driver macromodel
 /// drives the aggressor of two identical RLGC lines coupled segment-wise by
-/// a mutual capacitance (buildCoupledRlgcLines); the victim line is
-/// resistively terminated at both ends. The whole structure runs on the MNA
+/// a mutual capacitance and, optionally, a mutual inductance
+/// (buildCoupledRlgcLines; the coupling_l axis sweeps Lm/L through the
+/// CoupledInductors element); the victim line is resistively terminated at
+/// both ends. The whole structure runs on the MNA
 /// transient engine, so it inherits the static/dynamic stamp split: the two
 /// ladders and the four terminations are assembled and LU-factored once,
 /// and only the nonlinear driver port restamps per Newton iteration.
@@ -33,6 +35,7 @@ struct CrosstalkScenario {
   double dt = 5e-12;          ///< MNA time step [s]
   RlgcParams line;            ///< per-line self parameters (both lines)
   double coupling = 0.2;      ///< mutual capacitance fraction: cm = coupling * line.c
+  double coupling_l = 0.0;    ///< mutual inductance fraction: lm = coupling_l * line.l
   double victim_r_near = 50.0;  ///< victim near-end termination [ohm]
   double victim_r_far = 50.0;   ///< victim far-end termination [ohm]
   double agg_load_r = 50.0;     ///< aggressor far-end shunt resistance [ohm]
@@ -47,7 +50,7 @@ struct CrosstalkScenario {
 /// Validates scenario options (fail fast before building the netlist).
 /// \throws std::invalid_argument on an empty pattern, non-positive times /
 ///         terminations / line l/c/length, negative line r/g, zero
-///         segments, or coupling outside [0, 1].
+///         segments, coupling outside [0, 1], or coupling_l outside [0, 1).
 void validateCrosstalkScenario(const CrosstalkScenario& cfg);
 
 /// Runs the coupled-line structure on the MNA transient engine with the
@@ -59,7 +62,7 @@ TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
 
 /// Registry adapter ("crosstalk"). Parameters: pattern, bit_time, t_stop,
 /// dt, line_r, line_l, line_g, line_c, line_length, segments, coupling,
-/// victim_r_near, victim_r_far, agg_load_r, agg_load_c, solver.
+/// coupling_l, victim_r_near, victim_r_far, agg_load_r, agg_load_c, solver.
 class CrosstalkFamily final : public Scenario {
  public:
   CrosstalkFamily() = default;

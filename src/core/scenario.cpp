@@ -7,6 +7,7 @@
 #include "core/crosstalk_scenario.h"
 #include "core/pcb_family.h"
 #include "core/tline_family.h"
+#include "emc/emc_scenario.h"
 
 namespace fdtdmm {
 
@@ -128,9 +129,12 @@ void checkParamValue(const std::string& scenario, const ParamDescriptor& desc,
         fail(std::string("must be ") + (desc.min_exclusive ? "> " : ">= ") +
              formatParamValue(ParamValue{desc.min_value}) + " (got " +
              formatParamValue(value) + ")");
-      if (!(v <= desc.max_value))
-        fail("must be <= " + formatParamValue(ParamValue{desc.max_value}) +
-             " (got " + formatParamValue(value) + ")");
+      const bool above =
+          desc.max_exclusive ? !(v < desc.max_value) : !(v <= desc.max_value);
+      if (above)
+        fail(std::string("must be ") + (desc.max_exclusive ? "< " : "<= ") +
+             formatParamValue(ParamValue{desc.max_value}) + " (got " +
+             formatParamValue(value) + ")");
       return;
     }
   }
@@ -202,6 +206,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r->add("tline", [] { return std::make_unique<TlineFamily>(); });
     r->add("pcb", [] { return std::make_unique<PcbFamily>(); });
     r->add("crosstalk", [] { return std::make_unique<CrosstalkFamily>(); });
+    r->add("emc", [] { return std::make_unique<EmcFamily>(); });
     return r;
   }();
   return *instance;

@@ -68,6 +68,7 @@ struct ParamDescriptor {
   double min_value = -std::numeric_limits<double>::infinity();
   double max_value = std::numeric_limits<double>::infinity();
   bool min_exclusive = false;
+  bool max_exclusive = false;
   /// kString: allowed values; empty means any non-empty string.
   std::vector<std::string> choices;
   std::string doc;
@@ -226,8 +227,8 @@ const typename ParamTable<Config>::Entry& ParamTable<Config>::find(
 
 /// Thread-safe name -> factory map of scenario families. The process-wide
 /// instance (global()) comes with the built-in families ("tline", "pcb",
-/// "crosstalk") pre-registered; extensions add factories under new names at
-/// startup and are immediately sweepable.
+/// "crosstalk", "emc") pre-registered; extensions add factories under new
+/// names at startup and are immediately sweepable.
 class ScenarioRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Scenario>()>;

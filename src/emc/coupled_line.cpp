@@ -1,0 +1,37 @@
+#include "emc/coupled_line.h"
+
+#include <stdexcept>
+
+namespace fdtdmm {
+
+void buildFieldCoupledRlgcLine(Circuit& circuit, int t_near, int t_far,
+                               const RlgcParams& p,
+                               std::shared_ptr<const AgrawalSources> src) {
+  if (!src)
+    throw std::invalid_argument("buildFieldCoupledRlgcLine: null sources");
+  if (src->segments() != p.segments)
+    throw std::invalid_argument(
+        "buildFieldCoupledRlgcLine: source segment count mismatch");
+
+  // Scattered-voltage end nodes of the ladder.
+  const int s_near = circuit.addNode();
+  const int s_far = circuit.addNode();
+
+  // Terminal condition V = Vs + Vi at each end, realized as a series
+  // source: v(s_near) - v(t_near) = -Vi(near)  =>  v(t_near) = Vs + Vi.
+  circuit.addVoltageSource(s_near, t_near, [src](double t) {
+    return -src->incidentVoltageNear(t);
+  });
+  circuit.addVoltageSource(t_far, s_far, [src](double t) {
+    return src->incidentVoltageFar(t);
+  });
+
+  std::vector<TimeFn> emf;
+  emf.reserve(p.segments);
+  for (std::size_t s = 0; s < p.segments; ++s)
+    emf.push_back([src, s](double t) { return src->segmentEmf(s, t); });
+  buildRlgcLineSegments(circuit, s_near, Circuit::kGround, s_far,
+                        Circuit::kGround, p, emf);
+}
+
+}  // namespace fdtdmm

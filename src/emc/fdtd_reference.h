@@ -1,0 +1,63 @@
+#pragma once
+/// \file fdtd_reference.h
+/// Full-wave cross-validation reference for the circuit-path EMC
+/// subsystem: a straight PEC trace over a PEC ground plane in vacuum,
+/// illuminated by the same analytic plane wave through the 3D FDTD
+/// solver's incident path (the machinery behind PcbScenario's
+/// with_incident mode), with resistive terminations at both trace ends.
+/// This is the geometry the Agrawal circuit model describes exactly —
+/// unlike the PCB's L-shaped nets, which are shielded between two
+/// metallization planes — so the induced terminal waveforms of the two
+/// paths can be compared quantitatively (and their wall clocks benched
+/// against each other in bench_emc_sweep).
+
+#include "emc/emc_scenario.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+/// Reference geometry/excitation, all in grid cells where noted. The
+/// matched circuit model is derived by matchedEmcScenario below.
+struct EmcFdtdReference {
+  std::size_t trace_cells = 24;   ///< trace length [cells]
+  std::size_t height_cells = 2;   ///< wire height over the plane [cells]
+  double cell = 2.5e-3;           ///< uniform cell size [m]
+  std::size_t plate_pad = 5;      ///< extra trace-to-boundary spacing [cells]
+  std::size_t margin = 10;        ///< air margin (includes the 6-cell CPML)
+  double r_near = 200.0;          ///< near termination [ohm] (~ wire Zc)
+  double r_far = 200.0;           ///< far termination [ohm]
+  double amplitude = 2e3;         ///< incident amplitude [V/m]
+  double bandwidth = 2e9;         ///< Gaussian -3 dB bandwidth [Hz]
+  double theta_deg = 40.0;        ///< arrival direction
+  double phi_deg = 180.0;
+  double pol_theta = 1.0;
+  double pol_phi = 0.0;
+  double t_stop = 3e-9;           ///< simulated window [s]
+};
+
+/// \throws std::invalid_argument on degenerate sizes or non-positive
+///         physical parameters.
+void validateEmcFdtdReference(const EmcFdtdReference& cfg);
+
+/// Gaussian pulse center used by both paths: late enough that the wave is
+/// negligible everywhere in the domain (and its ground image) at t = 0.
+double emcReferencePulseT0(const EmcFdtdReference& cfg);
+
+struct EmcFdtdReferenceRun {
+  Waveform v_near;  ///< near-termination voltage (wire positive)
+  Waveform v_far;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the 3D FDTD reference. \throws std::invalid_argument on an invalid
+/// configuration.
+EmcFdtdReferenceRun runEmcFdtdReference(const EmcFdtdReference& cfg);
+
+/// The circuit-path scenario modelling the same trace: quiescent drive
+/// (drive = "none"), identical terminations and incident wave, per-unit-
+/// length L/C from the wire-over-ground closed form with the Yee thin-wire
+/// effective radius (~0.135 cells). Share the frame: the wave origin is
+/// the FDTD grid origin.
+EmcScenario matchedEmcScenario(const EmcFdtdReference& cfg);
+
+}  // namespace fdtdmm

@@ -1,0 +1,42 @@
+#include "emc/susceptibility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+SusceptibilityMetrics computeSusceptibility(const Waveform& clean,
+                                            const Waveform& disturbed,
+                                            const BitPattern& pattern,
+                                            const SusceptibilityOptions& opt) {
+  if (clean.empty() || disturbed.empty())
+    throw std::invalid_argument("computeSusceptibility: empty waveform");
+
+  SusceptibilityMetrics m;
+  std::size_t violations = 0;
+  for (std::size_t k = 0; k < disturbed.size(); ++k) {
+    const double t = disturbed.t0() + static_cast<double>(k) * disturbed.dt();
+    const double noise = std::abs(disturbed[k] - clean.value(t));
+    m.peak_noise = std::max(m.peak_noise, noise);
+    if (noise > opt.noise_margin) ++violations;
+  }
+  m.violation_duration = static_cast<double>(violations) * disturbed.dt();
+
+  if (opt.measure_eye) {
+    try {
+      m.eye_height_clean = measureEye(clean, pattern, opt.eye).eye_height;
+      m.eye_height_disturbed =
+          measureEye(disturbed, pattern, opt.eye).eye_height;
+      m.eye_degradation = m.eye_height_clean - m.eye_height_disturbed;
+      m.eye_valid = true;
+    } catch (const std::invalid_argument&) {
+      // Pattern too short / waveform unusable for an eye: report the noise
+      // metrics alone.
+      m.eye_height_clean = m.eye_height_disturbed = m.eye_degradation = 0.0;
+      m.eye_valid = false;
+    }
+  }
+  return m;
+}
+
+}  // namespace fdtdmm

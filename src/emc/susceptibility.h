@@ -1,0 +1,42 @@
+#pragma once
+/// \file susceptibility.h
+/// EMC susceptibility metrics: given a clean (no-field) and a disturbed
+/// (field-coupled) run of the same victim observable, quantify how much
+/// the incident field degrades the link. The sweep layer produces the
+/// clean/disturbed pair naturally as a 2-point (or denser) amplitude axis;
+/// these helpers difference the pair into immunity numbers.
+
+#include "signal/bit_pattern.h"
+#include "signal/eye.h"
+#include "signal/waveform.h"
+
+namespace fdtdmm {
+
+struct SusceptibilityOptions {
+  /// |disturbed - clean| threshold counted as a noise-margin violation [V].
+  double noise_margin = 0.2;
+  /// Measure clean/disturbed eyes (requires a pattern usable by
+  /// measureEye; when the eye cannot be measured, eye_valid is false and
+  /// the eye fields are 0 instead of throwing).
+  bool measure_eye = true;
+  EyeOptions eye;
+};
+
+struct SusceptibilityMetrics {
+  double peak_noise = 0.0;          ///< max |disturbed - clean| [V]
+  double violation_duration = 0.0;  ///< total time above noise_margin [s]
+  double eye_height_clean = 0.0;    ///< [V]
+  double eye_height_disturbed = 0.0;///< [V]
+  double eye_degradation = 0.0;     ///< clean - disturbed eye height [V]
+  bool eye_valid = false;
+};
+
+/// Computes the metrics on the disturbed waveform's time grid (the clean
+/// waveform is interpolated). Pure function of its inputs.
+/// \throws std::invalid_argument on an empty clean or disturbed waveform.
+SusceptibilityMetrics computeSusceptibility(const Waveform& clean,
+                                            const Waveform& disturbed,
+                                            const BitPattern& pattern,
+                                            const SusceptibilityOptions& opt = {});
+
+}  // namespace fdtdmm

@@ -1,0 +1,68 @@
+#include "emc/trace_geometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+void validateTraceGeometry(const TraceGeometry& geom) {
+  if (geom.route.size() < 2)
+    throw std::invalid_argument("TraceGeometry: route needs >= 2 vertices");
+  if (!(geom.height > 0.0))
+    throw std::invalid_argument("TraceGeometry: height must be > 0");
+  for (std::size_t k = 1; k < geom.route.size(); ++k) {
+    const double dx = geom.route[k].x - geom.route[k - 1].x;
+    const double dy = geom.route[k].y - geom.route[k - 1].y;
+    if (!(std::hypot(dx, dy) > 0.0))
+      throw std::invalid_argument("TraceGeometry: zero-length route segment");
+  }
+}
+
+double traceLength(const TraceGeometry& geom) {
+  double total = 0.0;
+  for (std::size_t k = 1; k < geom.route.size(); ++k)
+    total += std::hypot(geom.route[k].x - geom.route[k - 1].x,
+                        geom.route[k].y - geom.route[k - 1].y);
+  return total;
+}
+
+TraceSample sampleTrace(const TraceGeometry& geom, double s) {
+  validateTraceGeometry(geom);
+  TraceSample out;
+  out.z = geom.z_ground + geom.height;
+  double remaining = s;
+  for (std::size_t k = 1; k < geom.route.size(); ++k) {
+    const double dx = geom.route[k].x - geom.route[k - 1].x;
+    const double dy = geom.route[k].y - geom.route[k - 1].y;
+    const double len = std::hypot(dx, dy);
+    const bool last = (k == geom.route.size() - 1);
+    if (remaining <= len || last) {
+      const double frac =
+          std::min(1.0, std::max(0.0, remaining / len));
+      out.x = geom.route[k - 1].x + frac * dx;
+      out.y = geom.route[k - 1].y + frac * dy;
+      out.ux = dx / len;
+      out.uy = dy / len;
+      return out;
+    }
+    remaining -= len;
+  }
+  return out;  // unreachable (last arm above always returns)
+}
+
+TraceGeometry straightTrace(double x0, double y0, double azimuth_deg,
+                            double length, double height, double z_ground) {
+  if (!(length > 0.0))
+    throw std::invalid_argument("straightTrace: length must be > 0");
+  constexpr double kDeg = 3.14159265358979323846 / 180.0;
+  TraceGeometry geom;
+  geom.route = {{x0, y0},
+                {x0 + length * std::cos(azimuth_deg * kDeg),
+                 y0 + length * std::sin(azimuth_deg * kDeg)}};
+  geom.height = height;
+  geom.z_ground = z_ground;
+  validateTraceGeometry(geom);
+  return geom;
+}
+
+}  // namespace fdtdmm

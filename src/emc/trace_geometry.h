@@ -1,0 +1,55 @@
+#pragma once
+/// \file trace_geometry.h
+/// Routed-trace geometry for the circuit-path EMC subsystem: where a
+/// transmission line physically sits over its ground plane, so the
+/// incident-field machinery (field_source.h) can evaluate the analytic
+/// plane wave along it. A trace is a planar polyline at constant height
+/// over a ground plane; arc-length sampling maps RLGC ladder segments to
+/// 3D positions and tangent directions.
+
+#include <cstddef>
+#include <vector>
+
+namespace fdtdmm {
+
+/// One polyline vertex in the wire plane [m].
+struct TraceVertex {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A routed trace: polyline route at height `height` above the ground
+/// plane, which sits at elevation `z_ground`. The wire itself lies at
+/// z = z_ground + height; all coordinates share the frame of the incident
+/// PlaneWave (its origin/delay reference).
+struct TraceGeometry {
+  std::vector<TraceVertex> route;  ///< >= 2 vertices, consecutive distinct
+  double height = 1e-3;            ///< wire height over the plane [m], > 0
+  double z_ground = 0.0;           ///< ground-plane elevation [m]
+};
+
+/// \throws std::invalid_argument on fewer than 2 vertices, a non-positive
+///         height, or a zero-length polyline segment.
+void validateTraceGeometry(const TraceGeometry& geom);
+
+/// Total polyline length [m].
+double traceLength(const TraceGeometry& geom);
+
+/// A sampled point on the trace: wire position and in-plane unit tangent.
+struct TraceSample {
+  double x = 0.0, y = 0.0, z = 0.0;  ///< wire position (z = z_ground + height)
+  double ux = 0.0, uy = 0.0;         ///< unit tangent, near -> far orientation
+};
+
+/// Position/tangent at arc length s from the route start, clamped to
+/// [0, traceLength]. \throws std::invalid_argument on invalid geometry.
+TraceSample sampleTrace(const TraceGeometry& geom, double s);
+
+/// Convenience: a straight trace starting at (x0, y0), heading
+/// `azimuth_deg` from the +x axis, of the given length.
+/// \throws std::invalid_argument on non-positive length or height.
+TraceGeometry straightTrace(double x0, double y0, double azimuth_deg,
+                            double length, double height,
+                            double z_ground = 0.0);
+
+}  // namespace fdtdmm

@@ -1,10 +1,14 @@
-// Unit tests for individual circuit elements (device equations).
+// Unit tests for individual circuit elements (device equations and the
+// coupled-inductor / series-EMF transient behavior).
 #include "circuit/elements.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <stdexcept>
+
+#include "circuit/circuit.h"
+#include "circuit/transient.h"
 
 namespace fdtdmm {
 namespace {
@@ -88,11 +92,90 @@ TEST(Elements, ConstructorValidation) {
   EXPECT_THROW(Resistor(1, 0, 0.0), std::invalid_argument);
   EXPECT_THROW(Capacitor(1, 0, -1e-12), std::invalid_argument);
   EXPECT_THROW(Inductor(1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Inductor(1, 0, 1e-9, TimeFn{}), std::invalid_argument);
   EXPECT_THROW(VoltageSource(1, 0, nullptr), std::invalid_argument);
   EXPECT_THROW(CurrentSource(1, 0, nullptr), std::invalid_argument);
   EXPECT_THROW(IdealLine(1, 0, 2, 0, 0.0, 1e-9), std::invalid_argument);
   EXPECT_THROW(IdealLine(1, 0, 2, 0, 50.0, 0.0), std::invalid_argument);
   EXPECT_THROW(BehavioralPort(1, 0, nullptr), std::invalid_argument);
+  // Coupled inductors: positive self inductances, |k| < 1.
+  EXPECT_THROW(CoupledInductors(1, 0, 2, 0, 0.0, 1e-6, 0.0), std::invalid_argument);
+  EXPECT_THROW(CoupledInductors(1, 0, 2, 0, 1e-6, 1e-6, 1e-6), std::invalid_argument);
+  EXPECT_THROW(CoupledInductors(1, 0, 2, 0, 1e-6, 1e-6, 2e-6), std::invalid_argument);
+  EXPECT_NO_THROW(CoupledInductors(1, 0, 2, 0, 1e-6, 1e-6, 0.99e-6));
+}
+
+TEST(CoupledInductors, TransformerVoltageRatioOnOpenSecondary) {
+  // Step-driven primary through R, lightly loaded secondary: with i2 ~ 0,
+  // v2 = M di1/dt = (M / L1) v1.
+  Circuit c;
+  const int src = c.addNode();
+  const int n1 = c.addNode();
+  const int n2 = c.addNode();
+  c.addVoltageSource(src, 0, [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+  c.addResistor(src, n1, 50.0);
+  c.addCoupledInductors(n1, 0, n2, 0, 1e-6, 1e-6, 0.5e-6);
+  c.addResistor(n2, 0, 1e6);
+
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 1e-9;  // << L/R = 20 ns, so di1/dt is still ~ v1/L1
+  const auto res = runTransient(c, opt, {{"v1", n1, 0}, {"v2", n2, 0}});
+  const double v1 = res.at("v1").value(0.5e-9);
+  const double v2 = res.at("v2").value(0.5e-9);
+  ASSERT_GT(v1, 0.9);  // early in the L/R transient the full step is on L1
+  EXPECT_NEAR(v2, 0.5 * v1, 0.01 * v1);
+  EXPECT_EQ(res.lu_factorizations, 1);  // the K element is fully static
+}
+
+TEST(CoupledInductors, ZeroMutualMatchesIndependentInductors) {
+  auto run = [](bool coupled) {
+    Circuit c;
+    const int src = c.addNode();
+    const int n1 = c.addNode();
+    const int n2 = c.addNode();
+    c.addVoltageSource(src, 0, [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+    c.addResistor(src, n1, 50.0);
+    c.addResistor(src, n2, 75.0);
+    if (coupled) {
+      c.addCoupledInductors(n1, 0, n2, 0, 1e-6, 2e-6, 0.0);
+    } else {
+      c.addInductor(n1, 0, 1e-6);
+      c.addInductor(n2, 0, 2e-6);
+    }
+    TransientOptions opt;
+    opt.dt = 20e-12;
+    opt.t_stop = 4e-9;
+    return runTransient(c, opt, {{"v1", n1, 0}, {"v2", n2, 0}});
+  };
+  const auto a = run(false);
+  const auto b = run(true);
+  ASSERT_EQ(a.at("v1").size(), b.at("v1").size());
+  for (std::size_t k = 0; k < a.at("v1").size(); ++k) {
+    EXPECT_NEAR(a.at("v1")[k], b.at("v1")[k], 1e-14);
+    EXPECT_NEAR(a.at("v2")[k], b.at("v2")[k], 1e-14);
+  }
+}
+
+TEST(SeriesEmfInductor, EmfActsAsSeriesSourceAcrossRLoop) {
+  // A static loop: EMF e(t) in the inductor branch drives a resistor
+  // divider once the L/R transient settles; at DC, i = e / (R1 + R2)
+  // and the EMF raises the n2-side potential.
+  Circuit c;
+  const int n1 = c.addNode();
+  const int n2 = c.addNode();
+  c.addResistor(n1, 0, 25.0);
+  c.addSeriesEmfInductor(n1, n2, 1e-9, [](double t) { return t >= 0.0 ? 1.0 : 0.0; });
+  c.addResistor(n2, 0, 75.0);
+
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 5e-9;  // >> L/(R1+R2) = 10 ps
+  const auto res = runTransient(c, opt, {{"v1", n1, 0}, {"v2", n2, 0}});
+  // Loop current 10 mA: v1 = -0.25 V (current pulled out of n1), v2 = +0.75 V.
+  EXPECT_NEAR(res.at("v1").value(4e-9), -0.25, 1e-3);
+  EXPECT_NEAR(res.at("v2").value(4e-9), +0.75, 1e-3);
+  EXPECT_EQ(res.lu_factorizations, 1);  // EMF is RHS-only
 }
 
 }  // namespace

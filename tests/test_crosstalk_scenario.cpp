@@ -172,6 +172,53 @@ TEST(CrosstalkFamily, SweepsOverCouplingAndTerminationDeterministically) {
   for (std::size_t i = 0; i < 6; ++i) EXPECT_GT(peak(i), 0.0);
 }
 
+// The ROADMAP's mutual-inductance follow-up: the crosstalk family sweeps
+// Lm/L through the coupling_l parameter (K-coupled inductors per segment).
+// Inductive coupling changes the far-end crosstalk, and matching the
+// capacitive fraction cancels it to first order.
+TEST(CrosstalkFamily, SweepsOverInductiveCouplingFraction) {
+  SweepSpec spec;
+  spec.scenario = "crosstalk";
+  spec.driver = "tinydrv";
+  spec.set("pattern", std::string("010"));
+  spec.set("bit_time", 0.5e-9);
+  spec.set("t_stop", 2e-9);
+  spec.set("dt", 10e-12);
+  spec.set("segments", 8.0);
+  spec.set("line_length", 0.05);
+  spec.set("coupling", 0.2);
+  spec.axis("coupling_l", {0.0, 0.2, 0.5});
+  EXPECT_EQ(spec.count(), 3u);
+
+  auto cache = std::make_shared<ModelCache>();
+  cache->putDriver("tinydrv", tinyDriver());
+  SweepOptions opt;
+  opt.workers = 1;
+  SweepRunner runner(opt, cache);
+  const auto result = runner.run(spec);
+  ASSERT_EQ(result.okCount(), 3u);
+  EXPECT_NE(result.runs[1].label.find("kl=0.2"), std::string::npos);
+
+  const auto peak = [&](std::size_t i) {
+    return std::max(std::abs(result.runs[i].metrics.v_far_max),
+                    std::abs(result.runs[i].metrics.v_far_min));
+  };
+  // Matched fractions (kl = k = 0.2) cancel the forward-coupled component
+  // of the far-end crosstalk; the residual (NEXT-type coupling of the
+  // aggressor's load reflection, which adds as Cm/C + Lm/L) keeps the
+  // metric nonzero, so only the ordering is asserted: matched < capacitive-
+  // only, and overcompensating (kl = 0.5) brings the peak back up.
+  EXPECT_LT(peak(1), peak(0));
+  EXPECT_GT(peak(2), peak(1));
+
+  // coupling_l = 1 would be a degenerate k = 1 pair: the descriptor range
+  // is [0, 1) exclusive, so a bad axis value fails at set/expand time with
+  // the range error instead of aborting a sweep mid-expansion.
+  auto s = ScenarioRegistry::global().create("crosstalk");
+  EXPECT_THROW(s->set("coupling_l", 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(s->set("coupling_l", 0.999));
+}
+
 // Solver-mode plumbing: a sweep axis on the "solver" parameter runs the
 // same corner through the cached-LU, full-restamp, and sparse transient
 // engines — picking the solver per task with no engine-layer special

@@ -1,0 +1,89 @@
+// Cross-validation of the circuit-path EMC subsystem against the 3D FDTD
+// incident-field reference: a straight trace over a ground plane in
+// vacuum, illuminated by the same plane wave, terminated by the same
+// resistors — solved (a) by the full-wave solver's incident path (the
+// machinery behind PcbScenario's with_incident mode) and (b) by the
+// Taylor/Agrawal MNA model. The two engines share no code beyond the
+// analytic PlaneWave, so agreement is a genuine validation of the
+// distributed-source formulation.
+//
+// Documented tolerance: at the reference incidence (theta = 40 deg) the
+// peak induced voltages agree to ~3-6% (measured ratios 0.97 near / 0.94
+// far; gated at 25%), peak timing to under the FDTD time step (gated at
+// 150 ps), and the far-end waveform to NRMSE ~0.5 (gated at 0.7; the RMS
+// number is dominated by sub-sample timing shifts of the bipolar pulse,
+// not amplitude error). The residual model error comes from the Yee
+// thin-wire effective radius (~0.135 cells) and port-cell discretization.
+// Near-grazing incidence is the known weak spot of the quasi-TEM coupling
+// model: at theta = 60 deg the near-end ratio drifts to ~1.2, so the gate
+// runs at the reference angle.
+#include "emc/fdtd_reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdtdmm {
+namespace {
+
+struct Peak {
+  double value = 0.0;  ///< max |v|
+  double time = 0.0;   ///< time of the max
+};
+
+Peak findPeak(const Waveform& w) {
+  Peak p;
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    const double v = std::abs(w[k]);
+    if (v > p.value) {
+      p.value = v;
+      p.time = w.t0() + static_cast<double>(k) * w.dt();
+    }
+  }
+  return p;
+}
+
+TEST(EmcFdtdCrossValidation, InducedWaveformsMatchWithinTolerance) {
+  EmcFdtdReference ref;  // defaults: 24-cell trace, 2 cells high, 2.5 mm cells
+  const EmcFdtdReferenceRun fdtd = runEmcFdtdReference(ref);
+  const EmcScenario matched = matchedEmcScenario(ref);
+  const TaskWaveforms mna = runEmcScenario(matched, nullptr, nullptr);
+
+  ASSERT_FALSE(fdtd.v_far.empty());
+  ASSERT_FALSE(mna.v_far.empty());
+
+  const Peak fdtd_far = findPeak(fdtd.v_far);
+  const Peak mna_far = findPeak(mna.v_far);
+  const Peak fdtd_near = findPeak(fdtd.v_near);
+  const Peak mna_near = findPeak(mna.v_near);
+
+  // Both engines see a real induced disturbance (2 kV/m over a 6 cm trace).
+  EXPECT_GT(fdtd_far.value, 0.05);
+  EXPECT_GT(mna_far.value, 0.05);
+
+  // Peak induced voltage agrees within the documented 25% bound at both
+  // terminations (measured deviation ~3-6%, see file comment).
+  EXPECT_NEAR(mna_far.value, fdtd_far.value, 0.25 * fdtd_far.value);
+  EXPECT_NEAR(mna_near.value, fdtd_near.value, 0.25 * fdtd_near.value);
+
+  // Peak arrival agrees to well under the pulse width (sigma ~ 66 ps at
+  // 2 GHz; allow 150 ps).
+  EXPECT_NEAR(mna_far.time, fdtd_far.time, 150e-12);
+  EXPECT_NEAR(mna_near.time, fdtd_near.time, 150e-12);
+
+  // Shape agreement: normalized RMS error of the circuit-path waveform
+  // against the FDTD reference (interpolated onto the MNA grid).
+  double acc = 0.0, norm = 0.0;
+  for (std::size_t k = 0; k < mna.v_far.size(); ++k) {
+    const double t = mna.v_far.t0() + static_cast<double>(k) * mna.v_far.dt();
+    const double d = mna.v_far[k] - fdtd.v_far.value(t);
+    const double r = fdtd.v_far.value(t);
+    acc += d * d;
+    norm += r * r;
+  }
+  ASSERT_GT(norm, 0.0);
+  EXPECT_LT(std::sqrt(acc / norm), 0.7);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -186,6 +186,67 @@ TEST(RlgcLine, CoupledPairValidation) {
   bad_line.line.segments = 0;
   EXPECT_THROW(buildCoupledRlgcLines(c, a, b, v1, v2, bad_line),
                std::invalid_argument);
+  CoupledRlgcParams bad_lm;
+  bad_lm.lm = -1e-9;
+  EXPECT_THROW(buildCoupledRlgcLines(c, a, b, v1, v2, bad_lm),
+               std::invalid_argument);
+  bad_lm.lm = bad_lm.line.l;  // M = L is a degenerate (k = 1) pair
+  EXPECT_THROW(buildCoupledRlgcLines(c, a, b, v1, v2, bad_lm),
+               std::invalid_argument);
+}
+
+// Inductive (K-element) coupling: the victim responds, and the far-end
+// crosstalk polarity is opposite to the capacitive case — the classic
+// far-end cancellation physics (FEXT ~ Cm/C - Lm/L) the Lm/L sweep axis
+// exists to explore.
+TEST(RlgcLine, InductiveCouplingPolarityOpposesCapacitive) {
+  RlgcParams p;
+  p.length = 0.1;
+  p.segments = 24;
+  const double zc = rlgcCharacteristicImpedance(p);
+  const double td = rlgcDelay(p);
+
+  auto victimFarEnd = [&](double cm, double lm) {
+    Circuit c;
+    const int src = c.addNode();
+    const int a1 = c.addNode();
+    const int a2 = c.addNode();
+    const int v1 = c.addNode();
+    const int v2 = c.addNode();
+    // Smooth rising edge on the aggressor.
+    c.addVoltageSource(src, 0, [](double t) {
+      const double tr = 0.2e-9;
+      return t <= 0.0 ? 0.0 : (t >= tr ? 1.0 : t / tr);
+    });
+    c.addResistor(src, a1, zc);
+    CoupledRlgcParams cp;
+    cp.line = p;
+    cp.cm = cm;
+    cp.lm = lm;
+    buildCoupledRlgcLines(c, a1, a2, v1, v2, cp);
+    for (int n : {a2, v1, v2}) c.addResistor(n, 0, zc);
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.t_stop = 2e-9;
+    return runTransient(c, opt, {{"vfar", v2, 0}}).at("vfar");
+  };
+
+  const Waveform cap_only = victimFarEnd(0.2 * p.c, 0.0);
+  const Waveform ind_only = victimFarEnd(0.0, 0.2 * p.l);
+  // Sample the forward-crosstalk pulse as the aggressor edge arrives.
+  const double t_probe = td + 0.1e-9;
+  EXPECT_GT(cap_only.value(t_probe), 1e-3);   // capacitive FEXT is positive
+  EXPECT_LT(ind_only.value(t_probe), -1e-3);  // inductive FEXT is negative
+
+  // Matched fractions cancel to first order: the far-end peak collapses
+  // well below either single-mechanism peak.
+  const Waveform both = victimFarEnd(0.2 * p.c, 0.2 * p.l);
+  double peak_cap = 0.0, peak_both = 0.0;
+  for (std::size_t k = 0; k < cap_only.size(); ++k) {
+    peak_cap = std::max(peak_cap, std::abs(cap_only[k]));
+    peak_both = std::max(peak_both, std::abs(both[k]));
+  }
+  EXPECT_LT(peak_both, 0.35 * peak_cap);
 }
 
 TEST(RlgcLine, Validation) {
