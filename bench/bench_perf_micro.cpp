@@ -10,6 +10,8 @@
 #include "circuit/transient.h"
 #include "fdtd/solver.h"
 #include "math/newton.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rbf/resampling.h"
 #include "rbf/submodel.h"
 #include "signal/linear_ports.h"
@@ -157,6 +159,49 @@ void BM_MnaLinearTlineStep(benchmark::State& state) {
       benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_MnaLinearTlineStep)->Arg(0)->Arg(1);
+
+void BM_MnaTelemetryOverhead(benchmark::State& state) {
+  // The observability overhead claim, measured: the same linear ladder as
+  // BM_MnaLinearTlineStep with telemetry collection off (Arg 0) vs on
+  // (Arg 1). Off leaves every phase timer a dead branch; the two variants
+  // must stay within a few percent of each other (tracing stays disabled
+  // in both — no writer is installed).
+  const bool collect = state.range(0) != 0;
+  obs::RunTelemetry tel;
+  for (auto _ : state) {
+    Circuit c;
+    const int src = c.addNode();
+    const int in = c.addNode();
+    const int out = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround, [](double t) { return t >= 0.0 ? 1.8 : 0.0; });
+    c.addResistor(src, in, 60.0);
+    RlgcParams p;
+    p.r = 4.0;
+    p.segments = 24;
+    buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+    c.addResistor(out, Circuit::kGround, 500.0);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 200e-12;
+    opt.solver_mode = TransientSolverMode::kReuseFactorization;
+    opt.telemetry = collect ? &tel : nullptr;
+    benchmark::DoNotOptimize(runTransient(c, opt, {{"v", out, 0}}));
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MnaTelemetryOverhead)->Arg(0)->Arg(1);
+
+void BM_DisabledTraceSpan(benchmark::State& state) {
+  // Cost of a TraceSpan in the no-writer case: one atomic load and a
+  // branch at each end. This is what every instrumented hot path pays
+  // when tracing is off.
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "obs");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_DisabledTraceSpan);
 
 }  // namespace
 

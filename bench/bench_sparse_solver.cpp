@@ -23,6 +23,7 @@
 #include "bench_json.h"
 #include "circuit/rlgc_line.h"
 #include "circuit/transient.h"
+#include "obs/trace.h"
 #include "signal/bit_pattern.h"
 
 namespace {
@@ -39,6 +40,7 @@ struct RunStats {
   TransientResult result;
   double seconds = 0.0;
   std::size_t unknowns = 0;
+  obs::RunTelemetry telemetry;
 };
 
 RunStats runLadder(std::size_t segments, TransientSolverMode mode) {
@@ -58,12 +60,13 @@ RunStats runLadder(std::size_t segments, TransientSolverMode mode) {
   c.addResistor(out, Circuit::kGround, 500.0);
   c.addCapacitor(out, Circuit::kGround, 1e-12);
 
+  RunStats s;
   TransientOptions opt;
   opt.dt = 5e-12;
   opt.t_stop = 4e-9;
   opt.solver_mode = mode;
+  opt.telemetry = &s.telemetry;
 
-  RunStats s;
   const auto start = Clock::now();
   s.result = runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
   s.seconds = std::chrono::duration<double>(Clock::now() - start).count();
@@ -82,6 +85,7 @@ double maxAbsDiff(const Waveform& a, const Waveform& b) {
 
 int main(int argc, char** argv) {
   std::puts("=== bench_sparse_solver: sparse CSR+banded-LU vs dense cached LU ===");
+  obs::initTraceFromArgs(argc, argv);
   const double min_speedup =
       benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_SPARSE_SPEEDUP", 5.0);
   const std::size_t gate_segments = 200;
@@ -124,7 +128,10 @@ int main(int argc, char** argv) {
              ", \"speedup\": " + num(speedup) +
              ", \"dense_lu\": " + std::to_string(dense.result.lu_factorizations) +
              ", \"sparse_lu\": " + std::to_string(sparse.result.lu_factorizations) +
-             ", \"max_dv\": " + num(diff) + "}";
+             ", \"max_dv\": " + num(diff) +
+             ", \"dense_telemetry\": " + benchutil::telemetryJson(dense.telemetry) +
+             ", \"sparse_telemetry\": " + benchutil::telemetryJson(sparse.telemetry) +
+             "}";
   }
 #ifndef NDEBUG
   std::puts("(non-optimized build: speedups reported, not gated)");
@@ -140,6 +147,7 @@ int main(int argc, char** argv) {
       "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
   if (!benchutil::writeFile("BENCH_sparse.json", json)) ++failures;
   std::puts("\nwrote BENCH_sparse.json");
+  obs::shutdownTrace();
 
   if (failures == 0) std::puts("all checks passed");
   return failures == 0 ? 0 : 1;

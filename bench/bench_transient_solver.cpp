@@ -27,6 +27,7 @@
 #include "circuit/rlgc_line.h"
 #include "circuit/transient.h"
 #include "devices/cmos_driver.h"
+#include "obs/trace.h"
 #include "signal/bit_pattern.h"
 
 namespace {
@@ -37,13 +38,14 @@ using Clock = std::chrono::steady_clock;
 struct RunStats {
   TransientResult result;
   double seconds = 0.0;
+  obs::RunTelemetry telemetry;
 };
 
 template <typename BuildAndRun>
 RunStats timeRun(BuildAndRun&& run, TransientSolverMode mode) {
-  const auto start = Clock::now();
   RunStats s;
-  s.result = run(mode);
+  const auto start = Clock::now();
+  s.result = run(mode, &s.telemetry);
   s.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return s;
 }
@@ -55,7 +57,7 @@ double maxAbsDiff(const Waveform& a, const Waveform& b) {
   return m;
 }
 
-TransientResult runLinearTline(TransientSolverMode mode) {
+TransientResult runLinearTline(TransientSolverMode mode, obs::RunTelemetry* tel) {
   const BitPattern pattern("01011010", 1e-9);
   Circuit c;
   const int src = c.addNode();
@@ -76,10 +78,11 @@ TransientResult runLinearTline(TransientSolverMode mode) {
   opt.t_stop = 8e-9;
   opt.settle_time = 1e-9;
   opt.solver_mode = mode;
+  opt.telemetry = tel;
   return runTransient(c, opt, {{"in", in, 0}, {"out", out, 0}});
 }
 
-TransientResult runFig4Driver(TransientSolverMode mode) {
+TransientResult runFig4Driver(TransientSolverMode mode, obs::RunTelemetry* tel) {
   const BitPattern pattern("010", 2e-9);
   Circuit c;
   auto drv = buildCmosDriver(c, CmosDriverParams{}, [pattern](double t) {
@@ -94,6 +97,7 @@ TransientResult runFig4Driver(TransientSolverMode mode) {
   opt.t_stop = 5e-9;
   opt.settle_time = 3e-9;
   opt.solver_mode = mode;
+  opt.telemetry = tel;
   return runTransient(c, opt, {{"near", drv.pad, 0}, {"far", far, 0}});
 }
 
@@ -106,13 +110,16 @@ std::string caseJson(const char* name, const RunStats& ref, const RunStats& fast
          ", \"speedup\": " + num(ref.seconds / fast.seconds) +
          ", \"ref_lu\": " + std::to_string(ref.result.lu_factorizations) +
          ", \"fast_lu\": " + std::to_string(fast.result.lu_factorizations) +
-         ", \"max_dv\": " + num(diff) + "}";
+         ", \"max_dv\": " + num(diff) +
+         ", \"ref_telemetry\": " + benchutil::telemetryJson(ref.telemetry) +
+         ", \"fast_telemetry\": " + benchutil::telemetryJson(fast.telemetry) + "}";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::puts("=== bench_transient_solver: cached-LU stamp split vs full restamp ===");
+  obs::initTraceFromArgs(argc, argv);
   const double min_speedup =
       benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_SPEEDUP", 3.0);
   int failures = 0;
@@ -180,6 +187,7 @@ int main(int argc, char** argv) {
       "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
   if (!benchutil::writeFile("BENCH_transient.json", json)) ++failures;
   std::puts("\nwrote BENCH_transient.json");
+  obs::shutdownTrace();
 
   if (failures == 0) std::puts("all checks passed");
   return failures == 0 ? 0 : 1;

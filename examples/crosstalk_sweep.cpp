@@ -6,16 +6,23 @@
 // far-end crosstalk peak, far_end_delay the coupling delay) through the
 // standard SweepResult CSV/JSON path.
 //
-// Build & run:  ./example_crosstalk_sweep
-// Outputs:      crosstalk_results.csv, crosstalk_results.json
+// Build & run:  ./example_crosstalk_sweep [--trace=trace.json]
+// Outputs:      crosstalk_results.csv, crosstalk_results.json,
+//               crosstalk_telemetry.json (+ optional Chrome trace)
 
 #include <cmath>
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
+#include "engine/sweep_telemetry.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fdtdmm;
+
+  const std::string trace_path = obs::initTraceFromArgs(argc, argv);
+  if (!trace_path.empty())
+    std::printf("# tracing to %s\n", trace_path.c_str());
 
   std::puts("# crosstalk sweep: coupling x victim termination (MNA engine)");
 
@@ -51,6 +58,11 @@ int main() {
 
   writeSweepCsv(result, "crosstalk_results.csv");
   writeSweepJson(result, "crosstalk_results.json");
-  std::puts("# wrote crosstalk_results.csv and crosstalk_results.json");
+  writeSweepTelemetryJson(result, "crosstalk_telemetry.json");
+  std::puts(
+      "# wrote crosstalk_results.csv, crosstalk_results.json, "
+      "crosstalk_telemetry.json");
+  if (!obs::shutdownTrace().empty())
+    std::printf("# wrote trace %s\n", trace_path.c_str());
   return 0;
 }

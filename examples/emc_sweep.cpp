@@ -5,16 +5,23 @@
 // grid at MNA speed (a quiescent victim trace needs no macromodels at
 // all, so every corner is a pure field-coupled transient).
 //
-// Build & run:  ./example_emc_sweep
-// Outputs:      emc_results.csv, emc_results.json
+// Build & run:  ./example_emc_sweep [--trace=trace.json]
+// Outputs:      emc_results.csv, emc_results.json, emc_telemetry.json
+//               (+ optional Chrome trace)
 
 #include <cmath>
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
+#include "engine/sweep_telemetry.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fdtdmm;
+
+  const std::string trace_path = obs::initTraceFromArgs(argc, argv);
+  if (!trace_path.empty())
+    std::printf("# tracing to %s\n", trace_path.c_str());
 
   std::puts("# emc sweep: incidence angle x amplitude (quiescent victim trace)");
 
@@ -47,8 +54,27 @@ int main() {
     std::printf("%zu,%.2f,\"%s\"\n", run.index, peak, run.label.c_str());
   }
 
+  // Where the solver time went, per corner: assemble is static + dynamic
+  // stamping, factor the LU work, solve the substitutions. The reuse_lu
+  // and sparse corners of the same grid point should show one LU each
+  // (these are linear runs) with factor a fraction of solve.
+  std::puts("# per-corner solver phases");
+  std::puts("index,assemble_ms,factor_ms,solve_ms,lu,steps,label");
+  for (const SweepRunRecord& run : result.runs) {
+    if (!run.ok) continue;
+    const obs::TransientPhases& p = run.telemetry.phases;
+    std::printf("%zu,%.3f,%.3f,%.3f,%lld,%lld,\"%s\"\n", run.index,
+                1e3 * (p.stamp_static_seconds + p.rhs_stamp_seconds),
+                1e3 * p.factor_seconds, 1e3 * p.solve_seconds,
+                run.telemetry.lu_factorizations, run.telemetry.steps,
+                run.label.c_str());
+  }
+
   writeSweepCsv(result, "emc_results.csv");
   writeSweepJson(result, "emc_results.json");
-  std::puts("# wrote emc_results.csv and emc_results.json");
+  writeSweepTelemetryJson(result, "emc_telemetry.json");
+  std::puts("# wrote emc_results.csv, emc_results.json, emc_telemetry.json");
+  if (!obs::shutdownTrace().empty())
+    std::printf("# wrote trace %s\n", trace_path.c_str());
   return 0;
 }

@@ -6,17 +6,25 @@
 // metrics. The "tline" family comes from ScenarioRegistry::global(); any
 // family registered there sweeps the same way.
 //
-// Build & run:  ./example_scenario_sweep
+// Build & run:  ./example_scenario_sweep [--trace=trace.json]
 // Outputs:      sweep_results.csv, sweep_results.json (schema documented in
-//               src/engine/sweep_result.h)
+//               src/engine/sweep_result.h), sweep_telemetry.json (schema in
+//               src/engine/sweep_telemetry.h), and — with --trace= or
+//               FDTDMM_TRACE set — a Chrome trace loadable in Perfetto.
 
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
+#include "engine/sweep_telemetry.h"
 #include "engine/typed_axes.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fdtdmm;
+
+  const std::string trace_path = obs::initTraceFromArgs(argc, argv);
+  if (!trace_path.empty())
+    std::printf("# tracing to %s\n", trace_path.c_str());
 
   std::puts("# scenario sweep: Zc x far-end-load corner analysis (1D FDTD)");
 
@@ -55,6 +63,10 @@ int main() {
 
   writeSweepCsv(result, "sweep_results.csv");
   writeSweepJson(result, "sweep_results.json");
-  std::puts("# wrote sweep_results.csv and sweep_results.json");
+  writeSweepTelemetryJson(result, "sweep_telemetry.json");
+  std::puts(
+      "# wrote sweep_results.csv, sweep_results.json, sweep_telemetry.json");
+  if (!obs::shutdownTrace().empty())
+    std::printf("# wrote trace %s\n", trace_path.c_str());
   return 0;
 }

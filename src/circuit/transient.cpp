@@ -1,6 +1,7 @@
 #include "circuit/transient.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -8,6 +9,8 @@
 #include "math/linear_solve.h"
 #include "math/sparse_lu.h"
 #include "math/sparse_matrix.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace fdtdmm {
 
@@ -75,6 +78,18 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   auto& elements = circuit.elements();
   for (auto& e : elements) e->begin(opt.dt);
 
+  // Telemetry sinks: null pointers when no sink is attached, so every
+  // ScopedTimer below degenerates to a single branch (the disabled-span
+  // contract of obs/counters.h). The trace span brackets the whole run and
+  // is independently gated on an active TraceWriter.
+  obs::RunTelemetry* const tel = opt.telemetry;
+  double* const t_static = tel ? &tel->phases.stamp_static_seconds : nullptr;
+  double* const t_factor = tel ? &tel->phases.factor_seconds : nullptr;
+  double* const t_rhs = tel ? &tel->phases.rhs_stamp_seconds : nullptr;
+  double* const t_solve = tel ? &tel->phases.solve_seconds : nullptr;
+  double* const t_newton = tel ? &tel->phases.newton_seconds : nullptr;
+  obs::TraceSpan run_span("transient", "solver");
+
   TransientResult result;
   std::vector<Vector> probe_data(probes.size());
   std::vector<Vector> branch_data(branch_probes.size());
@@ -97,19 +112,22 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
   StampSystem base;
   SparseMatrix base_sp;
   SparseMatrix work_sp;
-  if (reuse) {
-    base.a = Matrix(n_unknowns, n_unknowns);
-    base.b.assign(n_unknowns, 0.0);
-    for (auto& e : elements) e->stampStatic(base, opt.dt);
-    rejectStaticRhs(base.b);
-  } else if (sparse) {
-    base_sp.reset(n_unknowns);
-    base.sparse = &base_sp;
-    base.b.assign(n_unknowns, 0.0);
-    for (auto& e : elements) e->stampStatic(base, opt.dt);
-    rejectStaticRhs(base.b);
-    base_sp.finalize();
-    work_sp = base_sp;
+  {
+    obs::ScopedTimer stamp_static_timer(t_static);
+    if (reuse) {
+      base.a = Matrix(n_unknowns, n_unknowns);
+      base.b.assign(n_unknowns, 0.0);
+      for (auto& e : elements) e->stampStatic(base, opt.dt);
+      rejectStaticRhs(base.b);
+    } else if (sparse) {
+      base_sp.reset(n_unknowns);
+      base.sparse = &base_sp;
+      base.b.assign(n_unknowns, 0.0);
+      for (auto& e : elements) e->stampStatic(base, opt.dt);
+      rejectStaticRhs(base.b);
+      base_sp.finalize();
+      work_sp = base_sp;
+    }
   }
 
   // All per-iteration state is allocated here, once; the Newton loop below
@@ -157,34 +175,50 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
     const double t_new = static_cast<double>(step) * opt.dt;
     for (auto& e : elements) e->beginStep(t_new, opt.dt);
 
-    // Newton iteration: repeatedly solve the linearized MNA system.
+    // Newton iteration: repeatedly solve the linearized MNA system. The
+    // newton phase times the loop only (endStep/probe recording is the
+    // run's residual time, not part of any phase).
     int it = 0;
     bool step_converged = false;
+    const auto newton_begin =
+        t_newton ? obs::ScopedTimer::Clock::now() : obs::ScopedTimer::Clock::time_point{};
     for (; it < opt.max_newton_iterations; ++it) {
       if (reuse) {
-        if (matrix_was_dirtied) sys.a = base.a;
-        sys.b.assign(n_unknowns, 0.0);
-        sys.matrix_dirty = false;
-        for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          if (matrix_was_dirtied) sys.a = base.a;
+          sys.b.assign(n_unknowns, 0.0);
+          sys.matrix_dirty = false;
+          for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        }
         if (sys.matrix_dirty) {
           matrix_was_dirtied = true;
-          work_lu.factor(sys.a);
+          {
+            obs::ScopedTimer factor_timer(t_factor);
+            work_lu.factor(sys.a);
+          }
           ++result.lu_factorizations;
+          obs::ScopedTimer solve_timer(t_solve);
           work_lu.solve(sys.b, x_new);
         } else {
           if (!base_factored) {
             // sys.a is still the untouched base matrix here.
+            obs::ScopedTimer factor_timer(t_factor);
             base_lu.factor(sys.a);
             ++result.lu_factorizations;
             base_factored = true;
           }
+          obs::ScopedTimer solve_timer(t_solve);
           base_lu.solve(sys.b, x_new);
         }
       } else if (sparse) {
-        if (matrix_was_dirtied) work_sp.setValuesFrom(base_sp);
-        sys.b.assign(n_unknowns, 0.0);
-        sys.matrix_dirty = false;
-        for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          if (matrix_was_dirtied) work_sp.setValuesFrom(base_sp);
+          sys.b.assign(n_unknowns, 0.0);
+          sys.matrix_dirty = false;
+          for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
+        }
         if (work_sp.patternGrown()) {
           // A dynamic stamp hit a structurally-new entry: widen the working
           // pattern once and keep the cached base aligned so the in-place
@@ -192,27 +226,42 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
           // factorization remains numerically valid (new entries are zero).
           work_sp.mergeOverflow();
           base_sp.adoptPatternOf(work_sp);
+          if (tel) ++tel->pattern_realignments;
+          obs::traceInstant("sparse_pattern_realign", "solver");
         }
         if (sys.matrix_dirty) {
           matrix_was_dirtied = true;
-          work_slu.factor(work_sp);
+          {
+            obs::ScopedTimer factor_timer(t_factor);
+            work_slu.factor(work_sp);
+          }
           ++result.lu_factorizations;
+          obs::ScopedTimer solve_timer(t_solve);
           work_slu.solve(sys.b, x_new);
         } else {
           if (!base_factored) {
             // work_sp still holds the untouched base values here.
+            obs::ScopedTimer factor_timer(t_factor);
             base_slu.factor(work_sp);
             ++result.lu_factorizations;
             base_factored = true;
           }
+          obs::ScopedTimer solve_timer(t_solve);
           base_slu.solve(sys.b, x_new);
         }
       } else {
-        std::fill_n(sys.a.data(), n_unknowns * n_unknowns, 0.0);
-        sys.b.assign(n_unknowns, 0.0);
-        for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
-        work_lu.factor(sys.a);
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          std::fill_n(sys.a.data(), n_unknowns * n_unknowns, 0.0);
+          sys.b.assign(n_unknowns, 0.0);
+          for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
+        }
+        {
+          obs::ScopedTimer factor_timer(t_factor);
+          work_lu.factor(sys.a);
+        }
         ++result.lu_factorizations;
+        obs::ScopedTimer solve_timer(t_solve);
         work_lu.solve(sys.b, x_new);
       }
 
@@ -230,6 +279,11 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
         ++it;
         break;
       }
+    }
+    if (t_newton) {
+      *t_newton += std::chrono::duration<double>(obs::ScopedTimer::Clock::now() -
+                                                 newton_begin)
+                       .count();
     }
     if (!step_converged) result.converged = false;
     result.max_newton_iterations = std::max(result.max_newton_iterations, it);
@@ -249,6 +303,20 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
     result.probes.emplace(branch_probes[p].label,
                           Waveform(0.0, opt.dt, std::move(branch_data[p])));
   }
+
+  if (tel) {
+    tel->lu_factorizations += result.lu_factorizations;
+    tel->newton_iterations += result.total_newton_iterations;
+    tel->max_newton_iterations =
+        std::max(tel->max_newton_iterations, result.max_newton_iterations);
+    tel->steps += static_cast<long long>(result.steps);
+    ++tel->transient_runs;
+  }
+  run_span.setArgs("\"mode\": \"" + std::string(transientSolverModeName(opt.solver_mode)) +
+                   "\", \"unknowns\": " + std::to_string(n_unknowns) +
+                   ", \"steps\": " + std::to_string(result.steps) +
+                   ", \"lu_factorizations\": " + std::to_string(result.lu_factorizations) +
+                   ", \"newton_iterations\": " + std::to_string(result.total_newton_iterations));
   return result;
 }
 

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "obs/telemetry.h"
 #include "signal/waveform.h"
 
 namespace fdtdmm {
@@ -90,6 +91,14 @@ struct TransientOptions {
   double v_tolerance = 1e-9;  ///< Newton convergence on max |dx|
   double max_delta_v = 1.0;   ///< per-iteration voltage damping clamp [V]
   TransientSolverMode solver_mode = TransientSolverMode::kReuseFactorization;
+  /// Optional telemetry sink: when non-null the run *accumulates* its
+  /// phase wall times (static stamp, factor, RHS stamp, solve, Newton
+  /// loop) and solver counters into it (+=, so one sink can aggregate
+  /// several runs — see obs/telemetry.h for the schema). Null keeps the
+  /// Newton loop clock-free: every instrumentation point then costs one
+  /// branch. Timings never influence results — waveforms are bit-identical
+  /// with telemetry on or off.
+  obs::RunTelemetry* telemetry = nullptr;
 };
 
 /// A named voltage probe between two nodes.

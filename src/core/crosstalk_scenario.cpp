@@ -66,18 +66,19 @@ TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
   circuit.addResistor(vic_near, Circuit::kGround, cfg.victim_r_near);
   circuit.addResistor(vic_far, Circuit::kGround, cfg.victim_r_far);
 
+  TaskWaveforms out;
   TransientOptions topt;
   topt.dt = cfg.dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
+  topt.telemetry = &out.telemetry;
   auto res = runTransient(circuit, topt,
                           {{"agg_near", agg_near, Circuit::kGround},
                            {"agg_far", agg_far, Circuit::kGround},
                            {"vic_near", vic_near, Circuit::kGround},
                            {"vic_far", vic_far, Circuit::kGround}});
 
-  TaskWaveforms out;
   out.v_near = std::move(res.probes.at("agg_near"));
   out.v_far = std::move(res.probes.at("vic_far"));
   out.victims.push_back(std::move(res.probes.at("vic_near")));

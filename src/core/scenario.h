@@ -28,6 +28,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "signal/waveform.h"
 
 namespace fdtdmm {
@@ -108,6 +109,12 @@ struct TaskWaveforms {
   std::vector<Waveform> victims;  ///< family-specific extra observables
   int max_newton_iterations = 0;
   double wall_seconds = 0.0;
+  /// Solver telemetry aggregated over every transient this run performed
+  /// (phase timings, LU/Newton counts — see obs/telemetry.h). Families
+  /// running on non-MNA engines (e.g. the 1D/3D FDTD paths) leave the
+  /// phases at zero. Purely informational: never part of the metric
+  /// determinism contract.
+  obs::RunTelemetry telemetry;
 };
 
 /// One configurable simulation workload family. See the file comment for

@@ -156,6 +156,7 @@ TaskWaveforms TlineFamily::run(std::shared_ptr<const RbfDriverModel> driver,
   out.v_far = std::move(er.v_far);
   out.max_newton_iterations = er.max_newton_iterations;
   out.wall_seconds = er.wall_seconds;
+  out.telemetry = er.telemetry;
   return out;
 }
 

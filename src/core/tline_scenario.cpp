@@ -71,15 +71,16 @@ EngineRun runSpiceTransistorTline(const TlineScenario& cfg,
     circuit.addResistor(far, rcv.pad, 1e-3);
   }
 
+  EngineRun run;
   TransientOptions topt;
   topt.dt = dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 3e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
+  topt.telemetry = &run.telemetry;
   auto res = runTransient(circuit, topt,
                           {{"near", drv.pad, Circuit::kGround},
                            {"far", far, Circuit::kGround}});
-  EngineRun run;
   run.v_near = res.at("near");
   run.v_far = res.at("far");
   run.max_newton_iterations = res.max_newton_iterations;
@@ -111,15 +112,16 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
                               std::make_shared<RbfReceiverPort>(receiver));
   }
 
+  EngineRun run;
   TransientOptions topt;
   topt.dt = dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
+  topt.telemetry = &run.telemetry;
   auto res = runTransient(circuit, topt,
                           {{"near", near, Circuit::kGround},
                            {"far", far, Circuit::kGround}});
-  EngineRun run;
   run.v_near = res.at("near");
   run.v_far = res.at("far");
   run.max_newton_iterations = res.max_newton_iterations;

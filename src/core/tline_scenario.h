@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/model_factory.h"
+#include "obs/telemetry.h"
 #include "signal/bit_pattern.h"
 #include "signal/waveform.h"
 
@@ -58,6 +59,10 @@ struct EngineRun {
   Waveform v_far;   ///< far-end termination voltage
   int max_newton_iterations = 0;
   double wall_seconds = 0.0;
+  /// Solver telemetry for this run (obs/telemetry.h). The MNA engines
+  /// (i)/(ii) fill the phase timings; the FDTD engines (iii)/(iv) leave
+  /// them at zero.
+  obs::RunTelemetry telemetry;
 };
 
 /// Engine (i): transistor-level SPICE reference.

@@ -104,16 +104,17 @@ TaskWaveforms runEmcScenario(const EmcScenario& cfg,
     if (cfg.c_far > 0.0) circuit.addCapacitor(t_far, Circuit::kGround, cfg.c_far);
   }
 
+  TaskWaveforms out;
   TransientOptions topt;
   topt.dt = cfg.dt;
   topt.t_stop = cfg.t_stop;
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
+  topt.telemetry = &out.telemetry;
   auto res = runTransient(circuit, topt,
                           {{"near", t_near, Circuit::kGround},
                            {"far", t_far, Circuit::kGround}});
 
-  TaskWaveforms out;
   out.v_near = std::move(res.probes.at("near"));
   out.v_far = std::move(res.probes.at("far"));
   out.max_newton_iterations = res.max_newton_iterations;

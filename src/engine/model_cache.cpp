@@ -1,8 +1,10 @@
 #include "engine/model_cache.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "core/model_factory.h"
+#include "obs/trace.h"
 
 namespace fdtdmm {
 
@@ -12,7 +14,12 @@ ModelCache::ModelCache(std::shared_ptr<ModelLibrary> library)
 std::shared_ptr<const RbfDriverModel> ModelCache::driver(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = drivers_.find(name);
-  if (it != drivers_.end()) return it->second;
+  if (it != drivers_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  obs::TraceSpan span("model_resolve:driver:" + name, "model");
   std::shared_ptr<const RbfDriverModel> model;
   if (library_ && library_->hasDriver(name)) {
     model = library_->driver(name);
@@ -22,13 +29,19 @@ std::shared_ptr<const RbfDriverModel> ModelCache::driver(const std::string& name
     throw std::runtime_error("ModelCache: cannot resolve driver '" + name + "'");
   }
   drivers_.emplace(name, model);
+  ++stats_.inserts;
   return model;
 }
 
 std::shared_ptr<const RbfReceiverModel> ModelCache::receiver(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = receivers_.find(name);
-  if (it != receivers_.end()) return it->second;
+  if (it != receivers_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  obs::TraceSpan span("model_resolve:receiver:" + name, "model");
   std::shared_ptr<const RbfReceiverModel> model;
   if (library_ && library_->hasReceiver(name)) {
     model = library_->receiver(name);
@@ -38,6 +51,7 @@ std::shared_ptr<const RbfReceiverModel> ModelCache::receiver(const std::string& 
     throw std::runtime_error("ModelCache: cannot resolve receiver '" + name + "'");
   }
   receivers_.emplace(name, model);
+  ++stats_.inserts;
   return model;
 }
 
@@ -46,6 +60,7 @@ void ModelCache::putDriver(const std::string& name,
   if (!model) throw std::invalid_argument("ModelCache: null driver model");
   std::lock_guard<std::mutex> lock(mu_);
   drivers_[name] = std::move(model);
+  ++stats_.inserts;
 }
 
 void ModelCache::putReceiver(const std::string& name,
@@ -53,9 +68,12 @@ void ModelCache::putReceiver(const std::string& name,
   if (!model) throw std::invalid_argument("ModelCache: null receiver model");
   std::lock_guard<std::mutex> lock(mu_);
   receivers_[name] = std::move(model);
+  ++stats_.inserts;
 }
 
 void ModelCache::preload(const std::vector<SimulationTask>& tasks) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::TraceSpan span("model_preload", "model");
   // Best-effort: an unresolvable name is not an error here — the task that
   // needs it will fail individually with the real message, and the rest of
   // the sweep still runs.
@@ -76,6 +94,17 @@ void ModelCache::preload(const std::vector<SimulationTask>& tasks) {
       }
     }
   }
+  // driver()/receiver() above take mu_, so the timing update locks last.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.preload_seconds += elapsed;
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace fdtdmm

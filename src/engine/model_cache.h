@@ -25,6 +25,16 @@
 
 namespace fdtdmm {
 
+/// Effectiveness counters of a ModelCache (see stats()). Cumulative over
+/// the cache's lifetime — a cache shared across sweeps keeps counting, so
+/// per-sweep deltas come from snapshotting before and after.
+struct ModelCacheStats {
+  long long hits = 0;     ///< lookups answered from the in-memory map
+  long long misses = 0;   ///< lookups that had to identify/deserialize (or threw)
+  long long inserts = 0;  ///< models added (resolved misses + put* calls)
+  double preload_seconds = 0.0;  ///< total wall time spent inside preload()
+};
+
 class ModelCache {
  public:
   ModelCache() = default;
@@ -51,11 +61,17 @@ class ModelCache {
   /// names are skipped here and surface as per-task failures at run time.
   void preload(const std::vector<SimulationTask>& tasks);
 
+  /// Snapshot of the hit/miss/insert counters and cumulative preload time.
+  /// Cache effectiveness used to be invisible; the sweep telemetry export
+  /// publishes this per sweep.
+  ModelCacheStats stats() const;
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const RbfDriverModel>> drivers_;
   std::map<std::string, std::shared_ptr<const RbfReceiverModel>> receivers_;
   std::shared_ptr<ModelLibrary> library_;
+  ModelCacheStats stats_;  // guarded by mu_
 };
 
 }  // namespace fdtdmm

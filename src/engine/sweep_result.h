@@ -39,12 +39,20 @@
 ///   Same determinism contract as the CSV; "metrics" is null for failed
 ///   runs, and eye_* fields are 0 with "eye_valid": false when the eye
 ///   could not be measured.
+///
+/// Wall-clock data (per-run wall_seconds, solver telemetry, pool/cache
+/// stats) deliberately stays out of both exports — it goes to the separate
+/// telemetry document (engine/sweep_telemetry.h, writeSweepTelemetryJson),
+/// so these two files stay byte-identical across worker counts and
+/// machines.
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/sim_task.h"
+#include "engine/model_cache.h"
+#include "engine/thread_pool.h"
 #include "signal/eye.h"
 
 namespace fdtdmm {
@@ -74,7 +82,12 @@ struct SweepRunRecord {
   std::string error;
   RunMetrics metrics;
   TaskWaveforms waves;        ///< populated only with SweepOptions::keep_waveforms
-  double wall_seconds = 0.0;  ///< informational; never exported
+  double wall_seconds = 0.0;  ///< exported only by writeSweepTelemetryJson
+  /// Per-corner solver telemetry (phase timings, LU/Newton counters);
+  /// aggregated from the scenario run, exported only by
+  /// writeSweepTelemetryJson. Always populated, even without
+  /// keep_waveforms.
+  obs::RunTelemetry telemetry;
 };
 
 /// All runs of a sweep, in task-index order independent of thread count.
@@ -82,6 +95,13 @@ struct SweepResult {
   std::vector<SweepRunRecord> runs;
   std::size_t workers = 1;
   double wall_seconds = 0.0;  ///< whole-sweep wall clock (informational)
+  /// Pool utilization over this sweep's task batch (queue high-water,
+  /// per-worker counts, queue wait). Zero-initialized when the sweep did
+  /// not run through runSweep.
+  ThreadPoolStats pool;
+  /// ModelCache effectiveness delta over this sweep (hits/misses/inserts
+  /// attributable to it, including preload).
+  ModelCacheStats model_cache;
 
   std::size_t okCount() const;
 };

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "engine/thread_pool.h"
+#include "obs/trace.h"
 #include "signal/bit_pattern.h"
 
 namespace fdtdmm {
@@ -41,7 +42,10 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   }
 
   // Resolve every model serially up front: identification runs once per
-  // device here instead of stalling (or racing) the workers.
+  // device here instead of stalling (or racing) the workers. Cache counters
+  // are cumulative over the cache's lifetime, so snapshot before/after to
+  // attribute only this sweep's activity to its telemetry.
+  const ModelCacheStats cache_before = cache_->stats();
   cache_->preload(tasks);
 
   SweepResult result;
@@ -53,6 +57,9 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   futures.reserve(tasks.size());
   for (const SimulationTask& task : tasks) {
     futures.push_back(pool.submit([this, &task]() -> SweepRunRecord {
+      // One span per corner, on the worker's thread: in the trace viewer
+      // the per-thread tracks show exactly how the pool packed the sweep.
+      obs::TraceSpan task_span(std::string("task:") + task.label, "sweep");
       SweepRunRecord rec;
       rec.index = task.index;
       rec.label = task.label;
@@ -67,6 +74,9 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
                                  task.scenario->bitTime());
         rec.metrics = computeRunMetrics(waves, pattern, opt_.eye);
         rec.wall_seconds = waves.wall_seconds;
+        rec.telemetry = waves.telemetry;
+        // The engine layer owns the corner wall clock (telemetry.h).
+        rec.telemetry.wall_seconds = waves.wall_seconds;
         if (opt_.keep_waveforms) rec.waves = std::move(waves);
         rec.ok = true;
       } catch (const std::exception& e) {
@@ -82,9 +92,29 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   for (std::size_t i = 0; i < futures.size(); ++i)
     result.runs[i] = futures[i].get();
 
+  // Every future has been collected, so the pool counters are final for
+  // this batch even though the pool itself is still alive.
+  result.pool = pool.stats();
+  const ModelCacheStats cache_after = cache_->stats();
+  result.model_cache.hits = cache_after.hits - cache_before.hits;
+  result.model_cache.misses = cache_after.misses - cache_before.misses;
+  result.model_cache.inserts = cache_after.inserts - cache_before.inserts;
+  result.model_cache.preload_seconds =
+      cache_after.preload_seconds - cache_before.preload_seconds;
+
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // Persist whatever trace events the sweep produced even if the process
+  // later exits without shutdownTrace(). Best effort: an unwritable trace
+  // file must not discard the computed sweep results.
+  if (obs::TraceWriter* tw = obs::TraceWriter::active()) {
+    try {
+      tw->flush();
+    } catch (const std::exception&) {
+    }
+  }
   return result;
 }
 

@@ -1,0 +1,109 @@
+#include "engine/sweep_telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace fdtdmm {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// The RunTelemetry body shared by "totals" and each corner (brace-less;
+/// the caller supplies the enclosing object and any extra keys).
+std::string telemetryBody(const obs::RunTelemetry& t) {
+  const obs::TransientPhases& p = t.phases;
+  std::string out;
+  out += "\"phases\": {\"stamp_static_seconds\": " + num(p.stamp_static_seconds);
+  out += ", \"factor_seconds\": " + num(p.factor_seconds);
+  out += ", \"rhs_stamp_seconds\": " + num(p.rhs_stamp_seconds);
+  out += ", \"solve_seconds\": " + num(p.solve_seconds);
+  out += ", \"newton_seconds\": " + num(p.newton_seconds) + "}";
+  out += ", \"lu_factorizations\": " + std::to_string(t.lu_factorizations);
+  out += ", \"newton_iterations\": " + std::to_string(t.newton_iterations);
+  out += ", \"max_newton_iterations\": " + std::to_string(t.max_newton_iterations);
+  out += ", \"steps\": " + std::to_string(t.steps);
+  out += ", \"transient_runs\": " + std::to_string(t.transient_runs);
+  out += ", \"pattern_realignments\": " + std::to_string(t.pattern_realignments);
+  return out;
+}
+
+}  // namespace
+
+std::string sweepTelemetryJson(const SweepResult& result) {
+  obs::RunTelemetry totals;
+  for (const SweepRunRecord& r : result.runs) totals.merge(r.telemetry);
+
+  std::string out = "{\n";
+  out += "  \"workers\": " + std::to_string(result.workers) + ",\n";
+  out += "  \"wall_seconds\": " + num(result.wall_seconds) + ",\n";
+
+  const ThreadPoolStats& pool = result.pool;
+  out += "  \"pool\": {\"queue_high_water\": " +
+         std::to_string(pool.queue_high_water);
+  out += ", \"submitted\": " + std::to_string(pool.submitted);
+  out += ", \"tasks_per_worker\": [";
+  for (std::size_t i = 0; i < pool.tasks_per_worker.size(); ++i)
+    out += (i ? ", " : "") + std::to_string(pool.tasks_per_worker[i]);
+  out += "], \"queue_wait_seconds\": " + num(pool.queue_wait_seconds) + "},\n";
+
+  const ModelCacheStats& mc = result.model_cache;
+  out += "  \"model_cache\": {\"hits\": " + std::to_string(mc.hits);
+  out += ", \"misses\": " + std::to_string(mc.misses);
+  out += ", \"inserts\": " + std::to_string(mc.inserts);
+  out += ", \"preload_seconds\": " + num(mc.preload_seconds) + "},\n";
+
+  out += "  \"totals\": {" + telemetryBody(totals) +
+         ", \"wall_seconds\": " + num(totals.wall_seconds) + "},\n";
+
+  out += "  \"corners\": [";
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const SweepRunRecord& r = result.runs[i];
+    out += (i ? ",\n" : "\n");
+    out += "    {\"index\": " + std::to_string(r.index);
+    out += ", \"label\": " + jsonQuote(r.label);
+    out += std::string(", \"ok\": ") + (r.ok ? "true" : "false");
+    out += ", \"wall_seconds\": " + num(r.telemetry.wall_seconds);
+    out += ", " + telemetryBody(r.telemetry) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void writeSweepTelemetryJson(const SweepResult& result, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("writeSweepTelemetryJson: cannot open " + path);
+  f << sweepTelemetryJson(result);
+  if (!f)
+    throw std::runtime_error("writeSweepTelemetryJson: write failed for " + path);
+}
+
+}  // namespace fdtdmm

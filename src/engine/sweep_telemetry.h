@@ -1,0 +1,51 @@
+#pragma once
+/// \file sweep_telemetry.h
+/// The sweep engine's observability export: everything wall-clock-shaped
+/// that writeSweepCsv/writeSweepJson deliberately leave out, in its own
+/// JSON document. Keeping it separate is the point — the metric exports
+/// stay byte-identical across worker counts and machines while this file
+/// answers "where did the time go" per corner.
+///
+/// ## JSON schema (writeSweepTelemetryJson)
+/// A single object:
+///
+///   { "workers": N,
+///     "wall_seconds": <whole-sweep wall clock>,
+///     "pool": { "queue_high_water": N, "submitted": N,
+///               "tasks_per_worker": [N, ...],
+///               "queue_wait_seconds": ... },
+///     "model_cache": { "hits": N, "misses": N, "inserts": N,
+///                      "preload_seconds": ... },
+///     "totals": { <RunTelemetry object: all corners merged> },
+///     "corners": [
+///       { "index": 0, "label": "...", "ok": true,
+///         "wall_seconds": ...,
+///         "phases": { "stamp_static_seconds": ..., "factor_seconds": ...,
+///                     "rhs_stamp_seconds": ..., "solve_seconds": ...,
+///                     "newton_seconds": ... },
+///         "lu_factorizations": N, "newton_iterations": N,
+///         "max_newton_iterations": N, "steps": N, "transient_runs": N,
+///         "pattern_realignments": N },
+///       ... ] }
+///
+///   - corners appear in task-index order, failed runs included (ok false,
+///     zeroed counters);
+///   - field meanings are documented once, in obs/telemetry.h (corners),
+///     engine/thread_pool.h (pool) and engine/model_cache.h (model_cache);
+///   - numbers use printf %.9g like the metric exports, but no determinism
+///     is promised: every timing here is wall clock by design.
+
+#include <string>
+
+#include "engine/sweep_result.h"
+
+namespace fdtdmm {
+
+/// Serializes the telemetry document described above.
+std::string sweepTelemetryJson(const SweepResult& result);
+
+/// Writes sweepTelemetryJson(result) to `path`. \throws std::runtime_error
+/// if the file cannot be opened or written.
+void writeSweepTelemetryJson(const SweepResult& result, const std::string& path);
+
+}  // namespace fdtdmm

@@ -4,10 +4,11 @@ namespace fdtdmm {
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) throw std::invalid_argument("ThreadPool: workers must be > 0");
+  stats_.tasks_per_worker.assign(workers, 0);
   workers_.reserve(workers);
   try {
     for (std::size_t i = 0; i < workers; ++i)
-      workers_.emplace_back([this] { workerLoop(); });
+      workers_.emplace_back([this, i] { workerLoop(i); });
   } catch (...) {
     // Thread creation failed partway (e.g. EAGAIN under a pid limit):
     // destroying joinable threads would std::terminate, so shut down the
@@ -36,15 +37,29 @@ std::size_t ThreadPool::queued() const {
   return queue_.size();
 }
 
-void ThreadPool::workerLoop() {
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ThreadPool::workerLoop(std::size_t worker_id) {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      QueuedTask qt = std::move(queue_.front());
       queue_.pop();
+      // Stats update under the lock we already hold: queue-wait is the
+      // time this task spent parked, attributed at dequeue; the completed
+      // count is per worker (the task body runs outside the lock, so
+      // "completed" means "dispatched to this worker" — equal once the
+      // future is collected).
+      stats_.queue_wait_seconds +=
+          std::chrono::duration<double>(Clock::now() - qt.enqueued).count();
+      ++stats_.tasks_per_worker[worker_id];
+      task = std::move(qt.fn);
     }
     task();  // packaged_task: exceptions land in the future
   }

@@ -5,7 +5,15 @@
 /// CPU-bound and independent, so a plain queue + N workers saturates the
 /// machine without any work stealing. Exceptions thrown by a task are
 /// captured in its future and rethrown at get(), never lost in a worker.
+///
+/// The pool is self-reporting (stats()): queue-depth high-water mark,
+/// per-worker completed-task counts, and the summed enqueue->dequeue wait —
+/// the utilization numbers the sweep telemetry export publishes per sweep
+/// (is the pool starved? is one worker hogging? how deep does the backlog
+/// get?). Bookkeeping happens under the queue mutex the pool already takes,
+/// so the instrumentation adds no new synchronization.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -19,6 +27,21 @@
 #include <vector>
 
 namespace fdtdmm {
+
+/// Utilization snapshot of a ThreadPool (see stats()).
+struct ThreadPoolStats {
+  /// Deepest the queue has ever been, sampled right after each enqueue
+  /// (i.e. the worst backlog any submitted task ever joined).
+  std::size_t queue_high_water = 0;
+  /// Total tasks accepted by submit().
+  long long submitted = 0;
+  /// Completed tasks per worker, indexed by worker id [0, workerCount()).
+  /// Sums to `submitted` once every future has been collected.
+  std::vector<long long> tasks_per_worker;
+  /// Sum over dequeued tasks of (dequeue time - enqueue time): total time
+  /// tasks spent waiting behind the queue rather than running.
+  double queue_wait_seconds = 0.0;
+};
 
 class ThreadPool {
  public:
@@ -36,6 +59,15 @@ class ThreadPool {
 
   /// Enqueues a callable; the returned future yields its result (or
   /// rethrows its exception). Tasks start in FIFO order.
+  ///
+  /// Notify-under-lock discipline: the notify_one happens while mu_ is
+  /// still held. With the predicate re-checked under the same mutex a
+  /// post-unlock notify cannot *lose* a wakeup, but it can outlive the
+  /// pool: a worker could dequeue the task, the pool be destroyed by
+  /// another thread, and the late notify then touch a dead
+  /// condition_variable. Keeping the notify inside the critical section
+  /// makes enqueue+wake atomic with respect to shutdown and is the
+  /// documented invariant here — do not move it out as an "optimization".
   /// \throws std::runtime_error if the pool is shutting down.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
@@ -45,23 +77,37 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(QueuedTask{[task] { (*task)(); }, Clock::now()});
+      ++stats_.submitted;
+      if (queue_.size() > stats_.queue_high_water)
+        stats_.queue_high_water = queue_.size();
+      cv_.notify_one();  // under the lock — see the discipline note above
     }
-    cv_.notify_one();
     return fut;
   }
 
   /// Number of tasks not yet picked up by a worker.
   std::size_t queued() const;
 
+  /// Snapshot of the utilization counters; safe to call at any time
+  /// (values of in-flight tasks keep moving underneath).
+  ThreadPoolStats stats() const;
+
  private:
-  void workerLoop();
+  using Clock = std::chrono::steady_clock;
+  struct QueuedTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
+  void workerLoop(std::size_t worker_id);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  ThreadPoolStats stats_;  // guarded by mu_
 };
 
 }  // namespace fdtdmm

@@ -1,0 +1,61 @@
+#include "obs/counters.h"
+
+namespace fdtdmm {
+namespace obs {
+
+Counters& Counters::operator=(const Counters& other) {
+  if (this == &other) return *this;
+  auto snap = other.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = std::move(snap);
+  return *this;
+}
+
+void Counters::add(const std::string& name, long long delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_[name].count += delta;
+}
+
+void Counters::addSeconds(const std::string& name, double s, long long count_delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric& m = metrics_[name];
+  m.seconds += s;
+  m.count += count_delta;
+}
+
+long long Counters::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0 : it->second.count;
+}
+
+double Counters::seconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.seconds;
+}
+
+std::map<std::string, Metric> Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+void Counters::merge(const Counters& other) {
+  // Snapshot first: locking both registries at once could deadlock if two
+  // threads merge in opposite directions.
+  auto snap = other.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : snap) {
+    Metric& mine = metrics_[name];
+    mine.count += m.count;
+    mine.seconds += m.seconds;
+  }
+}
+
+void Counters::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+}  // namespace obs
+}  // namespace fdtdmm

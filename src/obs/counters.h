@@ -1,0 +1,105 @@
+#pragma once
+/// \file counters.h
+/// Thread-safe counter/timer registry for the observability subsystem.
+///
+/// Two pieces:
+///   - Counters: a named registry of Metric{count, seconds} slots. Safe to
+///     hammer from any number of threads (one mutex; increments are cheap
+///     relative to the simulation work they annotate). Used for the
+///     extensible "everything else" bucket of telemetry — the engine's hot
+///     paths accumulate into plain struct fields (see obs/telemetry.h) and
+///     fold into a Counters only at aggregation time.
+///   - ScopedTimer: RAII span that adds its elapsed wall time to a sink on
+///     destruction. The sink is a plain `double*` (the hot-path form — no
+///     lock, the caller owns the accumulator) or a (Counters*, name) pair.
+///     A *disabled* span (null sink) costs exactly one branch at
+///     construction and one at destruction: no clock call, no allocation.
+///     This is the contract that lets instrumentation stay compiled into
+///     the solver loops permanently and be switched off at runtime.
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fdtdmm {
+namespace obs {
+
+/// One registry slot: an event count and an accumulated duration. Pure
+/// counters leave `seconds` at 0; pure timers usually bump both.
+struct Metric {
+  long long count = 0;
+  double seconds = 0.0;
+};
+
+/// Named metric registry. All methods are thread-safe; reads return
+/// snapshots (values keep moving underneath).
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters& other) : metrics_(other.snapshot()) {}
+  Counters& operator=(const Counters& other);
+
+  /// Adds `delta` to the named count (creates the slot on first use).
+  void add(const std::string& name, long long delta = 1);
+
+  /// Adds elapsed seconds (and `count_delta` events) to the named slot.
+  void addSeconds(const std::string& name, double s, long long count_delta = 1);
+
+  /// Current count / seconds of a slot; 0 when the slot does not exist.
+  long long count(const std::string& name) const;
+  double seconds(const std::string& name) const;
+
+  /// Copy of every slot, for export and merging.
+  std::map<std::string, Metric> snapshot() const;
+
+  /// Adds every slot of `other` into this registry.
+  void merge(const Counters& other);
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Metric> metrics_;
+};
+
+/// RAII wall-time span. See the file comment for the disabled-cost
+/// contract. Not copyable; intended for block scope only.
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Accumulates into `*accum` (seconds). Null = disabled (one branch).
+  explicit ScopedTimer(double* accum) : accum_(accum) {
+    if (accum_ != nullptr) start_ = Clock::now();
+  }
+
+  /// Accumulates into `counters->addSeconds(name, ...)`. Null = disabled.
+  /// `name` must outlive the span (string literals in practice).
+  ScopedTimer(Counters* counters, const char* name)
+      : counters_(counters), name_(name) {
+    if (counters_ != nullptr) start_ = Clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (accum_ != nullptr) {
+      *accum_ += std::chrono::duration<double>(Clock::now() - start_).count();
+    } else if (counters_ != nullptr) {
+      counters_->addSeconds(
+          name_, std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+  }
+
+ private:
+  double* accum_ = nullptr;
+  Counters* counters_ = nullptr;
+  const char* name_ = nullptr;
+  Clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace fdtdmm

@@ -1,0 +1,20 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+namespace fdtdmm {
+namespace obs {
+
+void RunTelemetry::merge(const RunTelemetry& o) {
+  phases += o.phases;
+  lu_factorizations += o.lu_factorizations;
+  newton_iterations += o.newton_iterations;
+  max_newton_iterations = std::max(max_newton_iterations, o.max_newton_iterations);
+  steps += o.steps;
+  transient_runs += o.transient_runs;
+  pattern_realignments += o.pattern_realignments;
+  wall_seconds += o.wall_seconds;
+}
+
+}  // namespace obs
+}  // namespace fdtdmm

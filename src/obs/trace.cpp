@@ -1,0 +1,221 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceWriter*> g_active{nullptr};
+std::atomic<std::uint64_t> g_next_writer_id{1};
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::string path)
+    : id_(g_next_writer_id.fetch_add(1)),
+      epoch_(Clock::now()),
+      path_(std::move(path)) {}
+
+TraceWriter::~TraceWriter() {
+  // Never leave a dangling active pointer behind; spans resolve active()
+  // once at construction, so the writer must be deactivated before (or at)
+  // destruction. This covers the "forgot to reset" case.
+  TraceWriter* self = this;
+  g_active.compare_exchange_strong(self, nullptr);
+}
+
+TraceWriter* TraceWriter::active() { return g_active.load(std::memory_order_acquire); }
+
+void TraceWriter::setActive(TraceWriter* writer) {
+  g_active.store(writer, std::memory_order_release);
+}
+
+TraceWriter::ThreadBuf& TraceWriter::threadBuf() {
+  // Per-thread cache of (writer id -> buffer). Writer ids are process-
+  // unique and never reused, so a stale cache entry for a destroyed writer
+  // can never be confused with a new writer at the same address.
+  struct CacheEntry {
+    std::uint64_t writer_id;
+    ThreadBuf* buf;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.writer_id == id_) return *e.buf;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* buf = bufs_.back().get();
+  buf->tid = static_cast<std::uint32_t>(bufs_.size());
+  cache.push_back({id_, buf});
+  return *buf;
+}
+
+void TraceWriter::push(ThreadBuf& buf, Event e) {
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(e));
+}
+
+void TraceWriter::completeEvent(const std::string& name, const char* cat,
+                                Clock::time_point begin, Clock::time_point end,
+                                std::string args_json) {
+  ThreadBuf& buf = threadBuf();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_us = toUs(begin);
+  e.dur_us = std::max(0.0, toUs(end) - e.ts_us);
+  e.tid = buf.tid;
+  e.args = std::move(args_json);
+  push(buf, std::move(e));
+}
+
+void TraceWriter::instantEvent(const std::string& name, const char* cat,
+                               std::string args_json) {
+  ThreadBuf& buf = threadBuf();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = toUs(Clock::now());
+  e.dur_us = 0.0;
+  e.tid = buf.tid;
+  e.args = std::move(args_json);
+  push(buf, std::move(e));
+}
+
+void TraceWriter::counterEvent(const std::string& name, const char* series,
+                               double value) {
+  ThreadBuf& buf = threadBuf();
+  Event e;
+  e.name = name;
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_us = toUs(Clock::now());
+  e.dur_us = 0.0;
+  e.tid = buf.tid;
+  e.args = jsonQuote(series) + ": " + num(value);
+  push(buf, std::move(e));
+}
+
+std::string TraceWriter::toJson() const {
+  // Merge every thread's buffer under the registration lock (new threads
+  // may still be appearing) and sort by timestamp so the file is stable
+  // and diff-friendly; viewers accept either order.
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    out += (i ? ",\n" : "\n");
+    out += "    {\"name\": " + jsonQuote(e.name) + ", \"cat\": \"" + e.cat +
+           "\", \"ph\": \"" + e.ph + "\", \"ts\": " + num(e.ts_us);
+    if (e.ph == 'X') out += ", \"dur\": " + num(e.dur_us);
+    if (e.ph == 'i') out += ", \"s\": \"t\"";
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    if (!e.args.empty()) out += ", \"args\": {" + e.args + "}";
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void TraceWriter::flush() {
+  if (path_.empty()) return;
+  std::ofstream f(path_);
+  if (!f) throw std::runtime_error("TraceWriter: cannot open " + path_);
+  f << toJson();
+  if (!f) throw std::runtime_error("TraceWriter: write failed for " + path_);
+}
+
+std::size_t TraceWriter::eventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void traceInstant(const char* name, const char* cat, std::string args_json) {
+  if (TraceWriter* w = TraceWriter::active())
+    w->instantEvent(name, cat, std::move(args_json));
+}
+
+namespace {
+// The writer installed by initTraceFromArgs; owned here so examples and
+// benches share one enable/flush pair without globals of their own.
+std::unique_ptr<TraceWriter> g_cli_writer;
+}  // namespace
+
+std::string initTraceFromArgs(int argc, char** argv) {
+  if (g_cli_writer) return g_cli_writer->path();
+  std::string path;
+  if (const char* env = std::getenv("FDTDMM_TRACE")) path = env;
+  const char* prefix = "--trace=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0)
+      path = argv[i] + std::strlen(prefix);
+  }
+  if (path.empty()) return {};
+  g_cli_writer = std::make_unique<TraceWriter>(path);
+  TraceWriter::setActive(g_cli_writer.get());
+  return path;
+}
+
+std::string shutdownTrace() {
+  if (!g_cli_writer) return {};
+  TraceWriter::setActive(nullptr);
+  std::string path = g_cli_writer->path();
+  g_cli_writer->flush();
+  g_cli_writer.reset();
+  return path;
+}
+
+}  // namespace obs
+}  // namespace fdtdmm

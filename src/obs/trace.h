@@ -1,0 +1,176 @@
+#pragma once
+/// \file trace.h
+/// Chrome trace-event writer: spans, instants, and counter samples that
+/// load directly in chrome://tracing or https://ui.perfetto.dev.
+///
+/// ## Output schema (Trace Event Format, "JSON object" flavor)
+///
+///   { "displayTimeUnit": "ms",
+///     "traceEvents": [
+///       {"name": "...", "cat": "...", "ph": "X", "ts": <us>, "dur": <us>,
+///        "pid": 1, "tid": <n>, "args": {...}},        // complete span
+///       {"name": "...", "cat": "...", "ph": "i", "s": "t", "ts": <us>,
+///        "pid": 1, "tid": <n>, "args": {...}},        // instant marker
+///       {"name": "...", "ph": "C", "ts": <us>, "pid": 1, "tid": <n>,
+///        "args": {"<series>": <value>}},              // counter sample
+///       ... ] }
+///
+///   - ts is microseconds since the writer's construction (steady clock);
+///   - tid is a small per-writer id assigned to each logging thread in
+///     first-use order (sweep workers show up as parallel lanes);
+///   - args carries the event's key/value annotations (solver counters,
+///     task labels, ...).
+///
+/// ## Concurrency and cost model
+/// Each thread appends to its own buffer (registered with the writer on
+/// first use), so recording never contends across workers; flush() merges
+/// the buffers, sorts by timestamp, and (re)writes the whole file — the
+/// sweep engine calls it at sweep end. When no writer is active,
+/// TraceSpan/instant/counter helpers cost one atomic load and one branch:
+/// tracing stays compiled into the hot paths and is enabled per process
+/// run (--trace=<file> flag or the FDTDMM_TRACE env var, see
+/// initTraceFromArgs).
+///
+/// Lifetime: the writer must outlive every thread that logs to it. The
+/// engine guarantees this by joining its pools before sweep end; the
+/// process-global writer lives until shutdownTrace()/exit.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fdtdmm {
+namespace obs {
+
+class TraceWriter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `path` is where flush() writes; may be empty for in-memory use
+  /// (tests), in which case flush() is a no-op and toJson() reads back.
+  explicit TraceWriter(std::string path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Records a completed span [begin, end). `args_json` is a brace-less
+  /// JSON fragment, e.g. "\"steps\": 4500, \"lu\": 1" (may be empty).
+  void completeEvent(const std::string& name, const char* cat,
+                     Clock::time_point begin, Clock::time_point end,
+                     std::string args_json = {});
+
+  /// Records a thread-scoped instant marker at "now".
+  void instantEvent(const std::string& name, const char* cat,
+                    std::string args_json = {});
+
+  /// Records one sample of a named counter track at "now".
+  void counterEvent(const std::string& name, const char* series, double value);
+
+  /// Merged, ts-sorted trace document (see the file comment's schema).
+  std::string toJson() const;
+
+  /// Writes toJson() to the constructor path (whole-file rewrite, so it is
+  /// safe to call after every sweep). \throws std::runtime_error if the
+  /// file cannot be written.
+  void flush();
+
+  std::size_t eventCount() const;
+  const std::string& path() const { return path_; }
+
+  /// Process-global active writer; null when tracing is disabled. All
+  /// library-internal instrumentation goes through this.
+  static TraceWriter* active();
+  static void setActive(TraceWriter* writer);
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat;
+    char ph;  // 'X' complete, 'i' instant, 'C' counter
+    double ts_us;
+    double dur_us;
+    std::uint32_t tid;
+    std::string args;
+  };
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::mutex mu;  // uncontended except against a concurrent flush
+    std::vector<Event> events;
+  };
+
+  ThreadBuf& threadBuf();
+  double toUs(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+  void push(ThreadBuf& buf, Event e);
+
+  const std::uint64_t id_;  // process-unique, guards thread_local caches
+  const Clock::time_point epoch_;
+  const std::string path_;
+  mutable std::mutex mu_;  // guards bufs_ registration and merging
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/// RAII complete-span against the *active* writer (resolved once at
+/// construction). Disabled cost: one atomic load + branch per end.
+class TraceSpan {
+ public:
+  /// `name`/`cat` must outlive the span (string literals in hot paths).
+  explicit TraceSpan(const char* name, const char* cat = "sim")
+      : writer_(TraceWriter::active()), name_(name), cat_(cat) {
+    if (writer_ != nullptr) begin_ = TraceWriter::Clock::now();
+  }
+
+  /// Dynamic-name form (task labels). The string is copied up front, so
+  /// prefer the literal form inside per-iteration loops.
+  TraceSpan(std::string name, const char* cat)
+      : writer_(TraceWriter::active()), dyn_name_(std::move(name)), cat_(cat) {
+    if (writer_ != nullptr) begin_ = TraceWriter::Clock::now();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a brace-less JSON args fragment to the event (last call
+  /// wins); typically invoked just before scope exit with final counters.
+  void setArgs(std::string args_json) {
+    if (writer_ != nullptr) args_ = std::move(args_json);
+  }
+
+  ~TraceSpan() {
+    if (writer_ != nullptr) {
+      writer_->completeEvent(name_ != nullptr ? std::string(name_) : dyn_name_,
+                             cat_, begin_, TraceWriter::Clock::now(),
+                             std::move(args_));
+    }
+  }
+
+ private:
+  TraceWriter* writer_;
+  const char* name_ = nullptr;
+  std::string dyn_name_;
+  const char* cat_;
+  std::string args_;
+  TraceWriter::Clock::time_point begin_;
+};
+
+/// Instant marker against the active writer (no-op when disabled).
+void traceInstant(const char* name, const char* cat,
+                  std::string args_json = {});
+
+/// Enables process-global tracing if `--trace=<file>` appears in argv or
+/// the FDTDMM_TRACE env var names a file (flag wins). Returns the trace
+/// path, or "" when tracing stays disabled. Idempotent per process.
+std::string initTraceFromArgs(int argc, char** argv);
+
+/// Flushes and tears down the writer installed by initTraceFromArgs.
+/// Returns the path written, or "" if tracing was not enabled.
+std::string shutdownTrace();
+
+}  // namespace obs
+}  // namespace fdtdmm

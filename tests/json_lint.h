@@ -1,0 +1,210 @@
+#pragma once
+// Minimal recursive-descent JSON well-formedness checker for tests: the
+// telemetry/trace exports promise "parses as JSON", and the tests should
+// verify that without a third-party parser. Validates the full document
+// grammar (objects, arrays, strings with escapes, numbers, literals);
+// it checks syntax only, not semantic limits (duplicate keys pass).
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace jsonlint {
+
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : s_(text) {}
+
+  bool run(std::string* error) {
+    skipWs();
+    bool ok = value();
+    if (ok) {
+      skipWs();
+      if (pos_ != s_.size()) {
+        err_ = "trailing content";
+        ok = false;
+      }
+    }
+    if (!ok && error != nullptr)
+      *error = err_ + " at offset " + std::to_string(pos_);
+    return ok;
+  }
+
+ private:
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) != 0) {
+      err_ = "bad literal";
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      err_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        err_ = "unescaped control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + k]))) {
+              err_ = "bad \\u escape";
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          err_ = "bad escape";
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    err_ = "unterminated string";
+    return false;
+  }
+
+  bool number() {
+    const std::size_t begin = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      err_ = "expected digit";
+      return false;
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        err_ = "expected fraction digits";
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        err_ = "expected exponent digits";
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return pos_ > begin;
+  }
+
+  bool object() {
+    ++pos_;  // consume '{'
+    skipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        err_ = "expected ':'";
+        return false;
+      }
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      err_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // consume '['
+    skipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      err_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool value() {
+    if (pos_ >= s_.size()) {
+      err_ = "unexpected end of input";
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+/// True when `text` is one complete well-formed JSON document.
+inline bool valid(const std::string& text, std::string* error = nullptr) {
+  return Checker(text).run(error);
+}
+
+}  // namespace jsonlint

@@ -1,0 +1,135 @@
+// Tests for the Chrome trace-event writer: well-formed JSON output, the
+// three event shapes, per-thread buffers under concurrency, the
+// active-writer gating of TraceSpan/traceInstant, and file flushing.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_lint.h"
+
+namespace fdtdmm {
+namespace obs {
+namespace {
+
+// Every test must leave the process-global writer unset.
+struct ActiveWriterGuard {
+  explicit ActiveWriterGuard(TraceWriter* w) { TraceWriter::setActive(w); }
+  ~ActiveWriterGuard() { TraceWriter::setActive(nullptr); }
+};
+
+TEST(TraceWriter, EmptyTraceIsValidJson) {
+  TraceWriter tw("");
+  const std::string json = tw.toJson();
+  std::string err;
+  EXPECT_TRUE(jsonlint::valid(json, &err)) << err;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(tw.eventCount(), 0u);
+}
+
+TEST(TraceWriter, RecordsAllThreeEventShapes) {
+  TraceWriter tw("");
+  const auto t0 = TraceWriter::Clock::now();
+  tw.completeEvent("span", "cat1", t0, TraceWriter::Clock::now(),
+                   "\"steps\": 42");
+  tw.instantEvent("marker", "cat2");
+  tw.counterEvent("queue", "depth", 3.0);
+  EXPECT_EQ(tw.eventCount(), 3u);
+
+  const std::string json = tw.toJson();
+  std::string err;
+  ASSERT_TRUE(jsonlint::valid(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 3"), std::string::npos);
+}
+
+TEST(TraceWriter, ConcurrentThreadsGetDistinctTids) {
+  TraceWriter tw("");
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tw] {
+      for (int i = 0; i < kEvents; ++i) tw.instantEvent("e", "load");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tw.eventCount(), static_cast<std::size_t>(kThreads) * kEvents);
+  std::string err;
+  EXPECT_TRUE(jsonlint::valid(tw.toJson(), &err)) << err;
+}
+
+TEST(TraceSpan, NoOpWithoutActiveWriter) {
+  ASSERT_EQ(TraceWriter::active(), nullptr);
+  {
+    TraceSpan span("unused", "cat");
+    span.setArgs("\"k\": 1");
+    traceInstant("unused", "cat");
+  }  // nothing to observe, but must not crash or leak
+}
+
+TEST(TraceSpan, RecordsAgainstActiveWriter) {
+  TraceWriter tw("");
+  ActiveWriterGuard guard(&tw);
+  {
+    TraceSpan literal_span("literal", "cat");
+    TraceSpan dyn_span(std::string("dyn:") + "label", "cat");
+    dyn_span.setArgs("\"mode\": \"sparse\"");
+    traceInstant("tick", "cat");
+  }
+  EXPECT_EQ(tw.eventCount(), 3u);
+  const std::string json = tw.toJson();
+  EXPECT_NE(json.find("\"literal\""), std::string::npos);
+  EXPECT_NE(json.find("\"dyn:label\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"sparse\""), std::string::npos);
+  std::string err;
+  EXPECT_TRUE(jsonlint::valid(json, &err)) << err;
+}
+
+TEST(TraceSpan, ResolvesWriterAtConstruction) {
+  TraceWriter tw("");
+  std::unique_ptr<TraceSpan> span;
+  {
+    ActiveWriterGuard guard(&tw);
+    span = std::make_unique<TraceSpan>("held", "cat");
+  }  // writer deactivated while the span is open
+  span.reset();  // must still record into the writer it resolved
+  EXPECT_EQ(tw.eventCount(), 1u);
+}
+
+TEST(TraceWriter, FlushWritesLoadableFile) {
+  const std::string path = "test_trace_flush.json";
+  {
+    TraceWriter tw(path);
+    ActiveWriterGuard guard(&tw);
+    { TraceSpan span("work", "cat"); }
+    tw.flush();
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string err;
+  EXPECT_TRUE(jsonlint::valid(ss.str(), &err)) << err;
+  EXPECT_NE(ss.str().find("\"work\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, JsonEscapesEventNames) {
+  TraceWriter tw("");
+  tw.instantEvent("quote\"back\\slash\nnewline", "cat");
+  std::string err;
+  EXPECT_TRUE(jsonlint::valid(tw.toJson(), &err)) << err;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fdtdmm

@@ -1,0 +1,227 @@
+// Tests for the sweep telemetry export and the observability determinism
+// contract: enabling telemetry/tracing must not perturb a single exported
+// metric byte, while the separate telemetry JSON reports real per-corner
+// phase timings, solver counters, cache effectiveness, and pool stats.
+#include "engine/sweep_telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/sweep_runner.h"
+#include "json_lint.h"
+#include "obs/trace.h"
+
+namespace fdtdmm {
+namespace {
+
+SweepSpec smallCrosstalkSpec() {
+  SweepSpec spec;
+  spec.scenario = "crosstalk";
+  spec.set("pattern", std::string("010"));
+  spec.set("bit_time", 1e-9);
+  spec.set("t_stop", 3e-9);
+  spec.set("segments", 8.0);
+  spec.axis("coupling", {0.05, 0.2});
+  spec.axis("victim_r_far", {25.0, 100.0});
+  return spec;
+}
+
+SweepSpec smallEmcSpec() {
+  SweepSpec spec;
+  spec.scenario = "emc";
+  spec.set("drive", std::string("none"));
+  spec.set("t_stop", 3e-9);
+  spec.set("segments", 8.0);
+  spec.set("pulse_t0", 1e-9);
+  spec.axis("amplitude", {500.0, 1000.0});
+  spec.axisStrings("solver", {"reuse_lu", "sparse"});
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct Exports {
+  std::string csv;
+  std::string json;
+};
+
+Exports exportMetrics(const SweepResult& result) {
+  const std::string csv_path = "test_sweep_tel.csv";
+  const std::string json_path = "test_sweep_tel.json";
+  writeSweepCsv(result, csv_path);
+  writeSweepJson(result, json_path);
+  Exports e{slurp(csv_path), slurp(json_path)};
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+  return e;
+}
+
+TEST(SweepTelemetry, MetricsBytesIdenticalAcrossWorkersAndTracing) {
+  const SweepSpec spec = smallCrosstalkSpec();
+
+  auto runWith = [&](std::size_t workers, bool traced) {
+    SweepOptions opt;
+    opt.workers = workers;
+    SweepRunner runner(opt);
+    if (!traced) return exportMetrics(runner.run(spec));
+    obs::TraceWriter tw("");  // in-memory: exercise the spans, no file
+    obs::TraceWriter::setActive(&tw);
+    const SweepResult result = runner.run(spec);
+    obs::TraceWriter::setActive(nullptr);
+    EXPECT_GT(tw.eventCount(), 0u);
+    return exportMetrics(result);
+  };
+
+  // The JSON header records the worker count by design; everything after
+  // it (the runs array) must be byte-identical.
+  auto stripHeader = [](const std::string& json) {
+    const std::size_t runs = json.find("\"runs\"");
+    EXPECT_NE(runs, std::string::npos);
+    return json.substr(runs);
+  };
+
+  const Exports base = runWith(1, false);
+  EXPECT_FALSE(base.csv.empty());
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (bool traced : {false, true}) {
+      const Exports e = runWith(workers, traced);
+      EXPECT_EQ(e.csv, base.csv) << "workers=" << workers << " traced=" << traced;
+      EXPECT_EQ(stripHeader(e.json), stripHeader(base.json))
+          << "workers=" << workers << " traced=" << traced;
+    }
+  }
+}
+
+TEST(SweepTelemetry, WaveformsBitIdenticalWithTelemetryAttached) {
+  // The solver records waveforms identically whether or not the phase
+  // timers run; compare a traced against an untraced sweep sample-level.
+  const SweepSpec spec = smallCrosstalkSpec();
+  SweepOptions opt;
+  opt.workers = 1;
+  opt.keep_waveforms = true;
+
+  SweepRunner plain(opt);
+  const SweepResult a = plain.run(spec);
+
+  obs::TraceWriter tw("");
+  obs::TraceWriter::setActive(&tw);
+  SweepRunner traced(opt);
+  const SweepResult b = traced.run(spec);
+  obs::TraceWriter::setActive(nullptr);
+
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    ASSERT_TRUE(a.runs[i].ok) << a.runs[i].error;
+    const Waveform& wa = a.runs[i].waves.v_far;
+    const Waveform& wb = b.runs[i].waves.v_far;
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t k = 0; k < wa.size(); ++k) EXPECT_EQ(wa[k], wb[k]);
+  }
+}
+
+TEST(SweepTelemetry, CrosstalkCornersReportSolverCounters) {
+  SweepOptions opt;
+  opt.workers = 2;
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(smallCrosstalkSpec());
+  ASSERT_EQ(result.okCount(), result.runs.size());
+
+  for (const SweepRunRecord& r : result.runs) {
+    // Crosstalk corners are nonlinear (RBF driver port), so the matrix is
+    // refactored per Newton iteration: at least one LU, bounded by the
+    // iteration count. The one-LU-per-linear-run guarantee is asserted on
+    // the quiescent EMC corners below.
+    EXPECT_GE(r.telemetry.lu_factorizations, 1) << r.label;
+    EXPECT_LE(r.telemetry.lu_factorizations, r.telemetry.newton_iterations + 1)
+        << r.label;
+    EXPECT_GT(r.telemetry.phases.factor_seconds, 0.0) << r.label;
+    EXPECT_EQ(r.telemetry.transient_runs, 1) << r.label;
+    EXPECT_GT(r.telemetry.steps, 0) << r.label;
+    EXPECT_GT(r.telemetry.newton_iterations, 0) << r.label;
+    EXPECT_EQ(r.telemetry.pattern_realignments, 0) << r.label;
+    EXPECT_GT(r.telemetry.wall_seconds, 0.0) << r.label;
+    const obs::TransientPhases& p = r.telemetry.phases;
+    EXPECT_GT(p.stamp_static_seconds, 0.0) << r.label;
+    EXPECT_GT(p.rhs_stamp_seconds, 0.0) << r.label;
+    EXPECT_GT(p.solve_seconds, 0.0) << r.label;
+    EXPECT_GT(p.newton_seconds, 0.0) << r.label;
+    // The Newton loop contains the per-iteration phases.
+    EXPECT_GE(p.newton_seconds, p.solve_seconds) << r.label;
+  }
+
+  // Pool and cache stats describe this sweep's batch.
+  EXPECT_EQ(result.pool.submitted,
+            static_cast<long long>(result.runs.size()));
+  EXPECT_EQ(result.pool.tasks_per_worker.size(), result.workers);
+  long long dispatched = 0;
+  for (long long n : result.pool.tasks_per_worker) dispatched += n;
+  EXPECT_EQ(dispatched, result.pool.submitted);
+  // One driver model resolved once at preload, then hit by every corner.
+  EXPECT_EQ(result.model_cache.misses, 1);
+  EXPECT_EQ(result.model_cache.inserts, 1);
+  EXPECT_GE(result.model_cache.hits,
+            static_cast<long long>(result.runs.size()));
+  EXPECT_GT(result.model_cache.preload_seconds, 0.0);
+}
+
+TEST(SweepTelemetry, EmcSweepTelemetryAndJsonExport) {
+  SweepOptions opt;
+  opt.workers = 2;
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(smallEmcSpec());
+  ASSERT_EQ(result.okCount(), result.runs.size());
+
+  obs::RunTelemetry totals;
+  for (const SweepRunRecord& r : result.runs) {
+    EXPECT_EQ(r.telemetry.lu_factorizations, 1) << r.label;
+    EXPECT_GT(r.telemetry.steps, 0) << r.label;
+    totals.merge(r.telemetry);
+  }
+  // Quiescent EMC corners need no macromodels at all.
+  EXPECT_EQ(result.model_cache.misses, 0);
+  EXPECT_EQ(result.model_cache.hits, 0);
+
+  const std::string json = sweepTelemetryJson(result);
+  std::string err;
+  ASSERT_TRUE(jsonlint::valid(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"corners\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"model_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps\": " + std::to_string(totals.steps)),
+            std::string::npos);
+
+  const std::string path = "test_emc_telemetry.json";
+  writeSweepTelemetryJson(result, path);
+  EXPECT_EQ(slurp(path), json);
+  std::remove(path.c_str());
+}
+
+TEST(SweepTelemetry, FailedCornerGetsZeroedTelemetry) {
+  SweepResult result;
+  result.workers = 1;
+  SweepRunRecord bad;
+  bad.index = 0;
+  bad.label = "broken \"corner\"";
+  bad.ok = false;
+  bad.error = "boom";
+  result.runs.push_back(bad);
+  const std::string json = sweepTelemetryJson(result);
+  std::string err;
+  ASSERT_TRUE(jsonlint::valid(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdtdmm

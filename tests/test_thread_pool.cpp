@@ -67,6 +67,48 @@ TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
   EXPECT_EQ(runWith(8), serial);
 }
 
+TEST(ThreadPool, StatsTrackSubmissionsQueueDepthAndPerWorkerCounts) {
+  ThreadPool pool(3);
+
+  // Park every worker behind a gate, then pile up a backlog: the
+  // high-water mark must see the whole backlog and the queue-wait must be
+  // strictly positive once it drains.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::vector<std::future<void>> blockers;
+  for (int i = 0; i < 3; ++i)
+    blockers.push_back(pool.submit([open] { open.wait(); }));
+  while (pool.queued() != 0) std::this_thread::yield();  // blockers dequeued
+
+  std::vector<std::future<int>> work;
+  for (int i = 0; i < 10; ++i) work.push_back(pool.submit([i] { return i; }));
+  EXPECT_GE(pool.stats().queue_high_water, 10u);
+
+  gate.set_value();
+  for (auto& f : blockers) f.get();
+  for (std::size_t i = 0; i < work.size(); ++i)
+    EXPECT_EQ(work[i].get(), static_cast<int>(i));
+
+  const ThreadPoolStats st = pool.stats();
+  EXPECT_EQ(st.submitted, 13);
+  ASSERT_EQ(st.tasks_per_worker.size(), 3u);
+  long long dispatched = 0;
+  for (long long n : st.tasks_per_worker) dispatched += n;
+  EXPECT_EQ(dispatched, st.submitted);
+  EXPECT_GT(st.queue_wait_seconds, 0.0);  // the backlog sat behind the gate
+}
+
+TEST(ThreadPool, StatsAreZeroInitialized) {
+  ThreadPool pool(2);
+  const ThreadPoolStats st = pool.stats();
+  EXPECT_EQ(st.queue_high_water, 0u);
+  EXPECT_EQ(st.submitted, 0);
+  ASSERT_EQ(st.tasks_per_worker.size(), 2u);
+  EXPECT_EQ(st.tasks_per_worker[0], 0);
+  EXPECT_EQ(st.tasks_per_worker[1], 0);
+  EXPECT_EQ(st.queue_wait_seconds, 0.0);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> done{0};
   std::vector<std::future<void>> futures;
