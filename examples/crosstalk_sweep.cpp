@@ -14,15 +14,12 @@
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
-#include "engine/sweep_telemetry.h"
-#include "obs/trace.h"
+#include "sweep_cli.h"
 
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = obs::initTraceFromArgs(argc, argv);
-  if (!trace_path.empty())
-    std::printf("# tracing to %s\n", trace_path.c_str());
+  const std::string trace_path = sweepcli::initTracing(argc, argv);
 
   std::puts("# crosstalk sweep: coupling x victim termination (MNA engine)");
 
@@ -56,13 +53,6 @@ int main(int argc, char** argv) {
                 run.metrics.far_end_delay * 1e9, run.label.c_str());
   }
 
-  writeSweepCsv(result, "crosstalk_results.csv");
-  writeSweepJson(result, "crosstalk_results.json");
-  writeSweepTelemetryJson(result, "crosstalk_telemetry.json");
-  std::puts(
-      "# wrote crosstalk_results.csv, crosstalk_results.json, "
-      "crosstalk_telemetry.json");
-  if (!obs::shutdownTrace().empty())
-    std::printf("# wrote trace %s\n", trace_path.c_str());
+  sweepcli::exportAndFinish(result, "crosstalk", trace_path);
   return 0;
 }

@@ -15,16 +15,13 @@
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
-#include "engine/sweep_telemetry.h"
 #include "engine/typed_axes.h"
-#include "obs/trace.h"
+#include "sweep_cli.h"
 
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = obs::initTraceFromArgs(argc, argv);
-  if (!trace_path.empty())
-    std::printf("# tracing to %s\n", trace_path.c_str());
+  const std::string trace_path = sweepcli::initTracing(argc, argv);
 
   std::puts("# scenario sweep: Zc x far-end-load corner analysis (1D FDTD)");
 
@@ -61,12 +58,6 @@ int main(int argc, char** argv) {
                 run.metrics.far_end_delay * 1e9, run.label.c_str());
   }
 
-  writeSweepCsv(result, "sweep_results.csv");
-  writeSweepJson(result, "sweep_results.json");
-  writeSweepTelemetryJson(result, "sweep_telemetry.json");
-  std::puts(
-      "# wrote sweep_results.csv, sweep_results.json, sweep_telemetry.json");
-  if (!obs::shutdownTrace().empty())
-    std::printf("# wrote trace %s\n", trace_path.c_str());
+  sweepcli::exportAndFinish(result, "sweep", trace_path);
   return 0;
 }

@@ -1,0 +1,45 @@
+#pragma once
+// Shared CLI plumbing for the sweep example programs (scenario_sweep,
+// crosstalk_sweep, emc_sweep). Every sweep example speaks the same
+// protocol — an optional --trace=PATH flag, three export files named
+// <prefix>_results.csv / <prefix>_results.json / <prefix>_telemetry.json,
+// and "# wrote ..." announcements the CI smoke steps grep for — so the
+// protocol lives here once instead of being copy-pasted per example.
+
+#include <cstdio>
+#include <string>
+
+#include "engine/sweep_result.h"
+#include "engine/sweep_telemetry.h"
+#include "obs/trace.h"
+
+namespace sweepcli {
+
+// Parses --trace=PATH from argv, activates Chrome-trace capture when
+// present, and announces it. Returns the trace path ("" when tracing is
+// off) for the matching exportAndFinish call.
+inline std::string initTracing(int argc, char** argv) {
+  const std::string trace_path = fdtdmm::obs::initTraceFromArgs(argc, argv);
+  if (!trace_path.empty())
+    std::printf("# tracing to %s\n", trace_path.c_str());
+  return trace_path;
+}
+
+// Writes the three standard export files for `prefix`, announces them, and
+// finalizes the optional trace started by initTracing.
+inline void exportAndFinish(const fdtdmm::SweepResult& result,
+                            const std::string& prefix,
+                            const std::string& trace_path) {
+  const std::string csv = prefix + "_results.csv";
+  const std::string json = prefix + "_results.json";
+  const std::string telemetry = prefix + "_telemetry.json";
+  fdtdmm::writeSweepCsv(result, csv);
+  fdtdmm::writeSweepJson(result, json);
+  fdtdmm::writeSweepTelemetryJson(result, telemetry);
+  std::printf("# wrote %s, %s, %s\n", csv.c_str(), json.c_str(),
+              telemetry.c_str());
+  if (!fdtdmm::obs::shutdownTrace().empty())
+    std::printf("# wrote trace %s\n", trace_path.c_str());
+}
+
+}  // namespace sweepcli

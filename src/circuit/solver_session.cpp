@@ -1,0 +1,394 @@
+#include "circuit/solver_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace fdtdmm {
+
+namespace {
+
+double nodeVoltage(const Vector& x, int n) {
+  return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+}
+
+void rejectStaticRhs(const Vector& b) {
+  for (double v : b) {
+    if (v != 0.0)
+      throw std::logic_error(
+          "runTransient: stampStatic wrote to the RHS; move that "
+          "contribution into stampDynamic");
+  }
+}
+
+}  // namespace
+
+SolverSession::SolverSession(Circuit& circuit, const TransientOptions& opt)
+    : circuit_(circuit), opt_(opt) {
+  if (opt_.dt <= 0.0) throw std::invalid_argument("runTransient: dt must be > 0");
+  if (opt_.t_stop <= 0.0) throw std::invalid_argument("runTransient: t_stop must be > 0");
+  if (opt_.settle_time < 0.0) throw std::invalid_argument("runTransient: settle_time < 0");
+  reuse_ = opt_.solver_mode == TransientSolverMode::kReuseFactorization;
+  sparse_ = opt_.solver_mode == TransientSolverMode::kSparse;
+}
+
+void SolverSession::validateProbes(const std::vector<NodeProbe>& probes,
+                                   const std::vector<BranchProbe>& branch_probes) const {
+  for (const auto& p : probes) {
+    if (p.n1 < 0 || p.n1 > circuit_.nodeCount() || p.n2 < 0 || p.n2 > circuit_.nodeCount())
+      throw std::invalid_argument("runTransient: probe node out of range");
+  }
+  for (const auto& p : branch_probes) {
+    if (p.source == nullptr)
+      throw std::invalid_argument("runTransient: branch probe without source");
+  }
+  // Probe labels key the result map; a collision (including a branch probe
+  // shadowing a node probe) would silently drop a waveform.
+  std::set<std::string> labels;
+  for (const auto& p : probes) {
+    if (!labels.insert(p.label).second)
+      throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
+  }
+  for (const auto& p : branch_probes) {
+    if (!labels.insert(p.label).second)
+      throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
+  }
+}
+
+void SolverSession::assembleStatic(double* t_static, obs::RunTelemetry* tel) {
+  // One-time assembly of the static (topology + dt) part of the MNA matrix
+  // into the mode's target: a dense base matrix or a CSR base whose
+  // finalize() fixes the symbolic pattern.
+  obs::ScopedTimer stamp_static_timer(t_static);
+  auto& elements = circuit_.elements();
+  if (reuse_) {
+    base_.a = Matrix(n_unknowns_, n_unknowns_);
+    base_.b.assign(n_unknowns_, 0.0);
+    for (auto& e : elements) e->stampStatic(base_, opt_.dt);
+    rejectStaticRhs(base_.b);
+  } else if (sparse_) {
+    base_sp_.reset(n_unknowns_);
+    base_.sparse = &base_sp_;
+    base_.b.assign(n_unknowns_, 0.0);
+    for (auto& e : elements) e->stampStatic(base_, opt_.dt);
+    rejectStaticRhs(base_.b);
+    base_sp_.finalize();
+
+    // Resolve the shared symbolic state for this structure class: the
+    // first run computes the pattern's RCM ordering and publishes it,
+    // every other run checks it out and skips its own RCM analysis. The
+    // ordering is a pure function of the (bit-identical-within-class)
+    // pattern, so the resulting factorizations are bit-identical either
+    // way.
+    if (opt_.sharing.shareSymbolic()) {
+      bool built = false;
+      auto sym = opt_.sharing.provider->symbolic(opt_.sharing.structure_key, [&] {
+        auto s = std::make_shared<SolverSymbolic>();
+        s->n = n_unknowns_;
+        s->rcm_order = reverseCuthillMcKee(base_sp_);
+        built = true;
+        return s;
+      });
+      // A mismatched checkout means the structure key lied (or collided);
+      // ignoring it degrades to private analysis, never to wrong results.
+      if (sym && sym->n == n_unknowns_ && sym->rcm_order.size() == n_unknowns_) {
+        shared_symbolic_ = std::move(sym);
+        if (tel) built ? ++tel->shared_symbolic_builds : ++tel->shared_symbolic_reuses;
+        if (!built) {
+          reused_shared_symbolic_ = true;
+          obs::traceInstant("shared_symbolic_reuse", "solver");
+        }
+      }
+    }
+  }
+}
+
+void SolverSession::allocateWorkspace() {
+  // All per-iteration state is allocated here, once; the Newton loop below
+  // only reuses this storage (matrix copy-assign, vector assign/resize).
+  x_.assign(n_unknowns_, 0.0);
+  x_new_.assign(n_unknowns_, 0.0);
+  sys_.b.assign(n_unknowns_, 0.0);
+  if (reuse_) {
+    sys_.a = base_.a;
+  } else if (sparse_) {
+    work_sp_ = base_sp_;
+    sys_.sparse = &work_sp_;
+  } else {
+    sys_.a = Matrix(n_unknowns_, n_unknowns_);
+  }
+}
+
+bool SolverSession::ensureBaseFactoredDense(double* t_factor, obs::RunTelemetry* tel) {
+  // sys_.a is still the untouched base matrix here (either never dirtied,
+  // or restored from base_.a at the top of this iteration), so the
+  // factorization below — by whichever session of the class performs it —
+  // is a pure function of the class's static stamps.
+  if (opt_.sharing.shareNumericBase()) {
+    bool built = false;
+    auto nb = opt_.sharing.provider->numericBase(opt_.sharing.numeric_base_key, [&] {
+      auto b = std::make_shared<SolverNumericBase>();
+      b->is_sparse = false;
+      obs::ScopedTimer factor_timer(t_factor);
+      b->dense.factor(sys_.a);
+      built = true;
+      return b;
+    });
+    if (nb && !nb->is_sparse && nb->dim() == n_unknowns_) {
+      shared_base_ = std::move(nb);
+      base_factored_ = true;
+      if (tel) built ? ++tel->shared_base_builds : ++tel->shared_base_reuses;
+      if (!built) {
+        reused_shared_base_ = true;
+        obs::traceInstant("shared_base_reuse", "solver");
+      }
+      return built;
+    }
+    // Key collision (wrong mode or dimension): fall through to a private
+    // factorization rather than solving with someone else's matrix.
+  }
+  obs::ScopedTimer factor_timer(t_factor);
+  base_lu_.factor(sys_.a);
+  base_factored_ = true;
+  return true;
+}
+
+bool SolverSession::ensureBaseFactoredSparse(double* t_factor, obs::RunTelemetry* tel) {
+  // work_sp_ still holds the untouched base values here. Sharing is only
+  // sound while the pattern is the one the class key describes: if a
+  // dynamic stamp grew the pattern before the first clean iteration, a
+  // sharing-disabled run would factor (and RCM-order) the *grown* pattern,
+  // so to stay bit-identical with it we fall back to private state.
+  const bool pattern_unchanged =
+      work_sp_.patternVersion() == assembled_pattern_version_;
+  if (opt_.sharing.shareNumericBase() && pattern_unchanged) {
+    bool built = false;
+    auto nb = opt_.sharing.provider->numericBase(opt_.sharing.numeric_base_key, [&] {
+      auto b = std::make_shared<SolverNumericBase>();
+      b->is_sparse = true;
+      obs::ScopedTimer factor_timer(t_factor);
+      if (shared_symbolic_)
+        b->sparse.factorWithOrder(work_sp_, shared_symbolic_->rcm_order);
+      else
+        b->sparse.factor(work_sp_);
+      built = true;
+      return b;
+    });
+    if (nb && nb->is_sparse && nb->dim() == n_unknowns_) {
+      shared_base_ = std::move(nb);
+      base_factored_ = true;
+      if (tel) built ? ++tel->shared_base_builds : ++tel->shared_base_reuses;
+      if (!built) {
+        reused_shared_base_ = true;
+        obs::traceInstant("shared_base_reuse", "solver");
+      }
+      return built;
+    }
+  }
+  obs::ScopedTimer factor_timer(t_factor);
+  if (shared_symbolic_ && pattern_unchanged)
+    base_slu_.factorWithOrder(work_sp_, shared_symbolic_->rcm_order);
+  else
+    base_slu_.factor(work_sp_);
+  base_factored_ = true;
+  return true;
+}
+
+TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
+                                   const std::vector<BranchProbe>& branch_probes) {
+  validateProbes(probes, branch_probes);
+
+  n_unknowns_ = circuit_.assignUnknowns();
+  auto& elements = circuit_.elements();
+  for (auto& e : elements) e->begin(opt_.dt);
+
+  // Telemetry sinks: null pointers when no sink is attached, so every
+  // ScopedTimer below degenerates to a single branch (the disabled-span
+  // contract of obs/counters.h). The trace span brackets the whole run and
+  // is independently gated on an active TraceWriter.
+  obs::RunTelemetry* const tel = opt_.telemetry;
+  double* const t_static = tel ? &tel->phases.stamp_static_seconds : nullptr;
+  double* const t_factor = tel ? &tel->phases.factor_seconds : nullptr;
+  double* const t_rhs = tel ? &tel->phases.rhs_stamp_seconds : nullptr;
+  double* const t_solve = tel ? &tel->phases.solve_seconds : nullptr;
+  double* const t_newton = tel ? &tel->phases.newton_seconds : nullptr;
+  obs::TraceSpan run_span("transient", "solver");
+
+  TransientResult result;
+  std::vector<Vector> probe_data(probes.size());
+  std::vector<Vector> branch_data(branch_probes.size());
+
+  assembleStatic(t_static, tel);
+  allocateWorkspace();
+  if (sparse_) assembled_pattern_version_ = work_sp_.patternVersion();
+
+  // base factorization: the untouched static matrix, created lazily on the
+  // first Newton iteration whose dynamic stamps leave the matrix clean
+  // (lazily so circuits whose base matrix alone is singular — e.g. a node
+  // held up only by a nonlinear device — still work); with sharing active
+  // it is checked out of the provider instead (ensureBaseFactored*).
+  // work_lu_/work_slu_: refactored in place on every iteration that
+  // dirties the matrix — always private.
+
+  const auto n_settle = static_cast<long long>(std::ceil(opt_.settle_time / opt_.dt));
+  const auto n_run = static_cast<long long>(std::ceil(opt_.t_stop / opt_.dt));
+
+  auto record = [&](const Vector& sol) {
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      probe_data[p].push_back(nodeVoltage(sol, probes[p].n1) -
+                              nodeVoltage(sol, probes[p].n2));
+    }
+    for (std::size_t p = 0; p < branch_probes.size(); ++p) {
+      branch_data[p].push_back(sol[branch_probes[p].source->branchIndex()]);
+    }
+  };
+
+  for (long long step = -n_settle; step <= n_run; ++step) {
+    const double t_new = static_cast<double>(step) * opt_.dt;
+    for (auto& e : elements) e->beginStep(t_new, opt_.dt);
+
+    // Newton iteration: repeatedly solve the linearized MNA system. The
+    // newton phase times the loop only (endStep/probe recording is the
+    // run's residual time, not part of any phase).
+    int it = 0;
+    bool step_converged = false;
+    const auto newton_begin =
+        t_newton ? obs::ScopedTimer::Clock::now() : obs::ScopedTimer::Clock::time_point{};
+    for (; it < opt_.max_newton_iterations; ++it) {
+      if (reuse_) {
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          if (matrix_was_dirtied_) sys_.a = base_.a;
+          sys_.b.assign(n_unknowns_, 0.0);
+          sys_.matrix_dirty = false;
+          for (auto& e : elements) e->stampDynamic(sys_, x_, t_new, opt_.dt);
+        }
+        if (sys_.matrix_dirty) {
+          matrix_was_dirtied_ = true;
+          {
+            obs::ScopedTimer factor_timer(t_factor);
+            work_lu_.factor(sys_.a);
+          }
+          ++result.lu_factorizations;
+          obs::ScopedTimer solve_timer(t_solve);
+          work_lu_.solve(sys_.b, x_new_);
+        } else {
+          if (!base_factored_) {
+            if (ensureBaseFactoredDense(t_factor, tel)) ++result.lu_factorizations;
+          }
+          obs::ScopedTimer solve_timer(t_solve);
+          baseLu().solve(sys_.b, x_new_);
+        }
+      } else if (sparse_) {
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          if (matrix_was_dirtied_) work_sp_.setValuesFrom(base_sp_);
+          sys_.b.assign(n_unknowns_, 0.0);
+          sys_.matrix_dirty = false;
+          for (auto& e : elements) e->stampDynamic(sys_, x_, t_new, opt_.dt);
+        }
+        if (work_sp_.patternGrown()) {
+          // A dynamic stamp hit a structurally-new entry: widen the working
+          // pattern once and keep the cached base aligned so the in-place
+          // value refresh above stays a straight copy. The base
+          // factorization remains numerically valid (new entries are zero).
+          work_sp_.mergeOverflow();
+          base_sp_.adoptPatternOf(work_sp_);
+          if (tel) ++tel->pattern_realignments;
+          obs::traceInstant("sparse_pattern_realign", "solver");
+        }
+        if (sys_.matrix_dirty) {
+          matrix_was_dirtied_ = true;
+          {
+            obs::ScopedTimer factor_timer(t_factor);
+            work_slu_.factor(work_sp_);
+          }
+          ++result.lu_factorizations;
+          obs::ScopedTimer solve_timer(t_solve);
+          work_slu_.solve(sys_.b, x_new_);
+        } else {
+          if (!base_factored_) {
+            if (ensureBaseFactoredSparse(t_factor, tel)) ++result.lu_factorizations;
+          }
+          obs::ScopedTimer solve_timer(t_solve);
+          // Caller-workspace solve: the factorization may be shared with
+          // concurrently solving sessions (identical numerics either way).
+          baseSlu().solve(sys_.b, x_new_, slu_scratch_);
+        }
+      } else {
+        {
+          obs::ScopedTimer rhs_timer(t_rhs);
+          std::fill_n(sys_.a.data(), n_unknowns_ * n_unknowns_, 0.0);
+          sys_.b.assign(n_unknowns_, 0.0);
+          for (auto& e : elements) e->stamp(sys_, x_, t_new, opt_.dt);
+        }
+        {
+          obs::ScopedTimer factor_timer(t_factor);
+          work_lu_.factor(sys_.a);
+        }
+        ++result.lu_factorizations;
+        obs::ScopedTimer solve_timer(t_solve);
+        work_lu_.solve(sys_.b, x_new_);
+      }
+
+      double max_dx = 0.0;
+      for (std::size_t k = 0; k < n_unknowns_; ++k) {
+        double dxk = x_new_[k] - x_[k];
+        if (!std::isfinite(dxk))
+          throw std::runtime_error("runTransient: Newton diverged (non-finite update)");
+        if (opt_.max_delta_v > 0.0) dxk = std::clamp(dxk, -opt_.max_delta_v, opt_.max_delta_v);
+        x_[k] += dxk;
+        max_dx = std::max(max_dx, std::abs(dxk));
+      }
+      if (max_dx <= opt_.v_tolerance) {
+        step_converged = true;
+        ++it;
+        break;
+      }
+    }
+    if (t_newton) {
+      *t_newton += std::chrono::duration<double>(obs::ScopedTimer::Clock::now() -
+                                                 newton_begin)
+                       .count();
+    }
+    if (!step_converged) result.converged = false;
+    result.max_newton_iterations = std::max(result.max_newton_iterations, it);
+    result.total_newton_iterations += it;
+
+    for (auto& e : elements) e->endStep(x_, t_new, opt_.dt);
+    if (step >= 0) {
+      record(x_);
+      ++result.steps;
+    }
+  }
+
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    result.probes.emplace(probes[p].label, Waveform(0.0, opt_.dt, std::move(probe_data[p])));
+  }
+  for (std::size_t p = 0; p < branch_probes.size(); ++p) {
+    result.probes.emplace(branch_probes[p].label,
+                          Waveform(0.0, opt_.dt, std::move(branch_data[p])));
+  }
+
+  if (tel) {
+    tel->lu_factorizations += result.lu_factorizations;
+    tel->newton_iterations += result.total_newton_iterations;
+    tel->max_newton_iterations =
+        std::max(tel->max_newton_iterations, result.max_newton_iterations);
+    tel->steps += static_cast<long long>(result.steps);
+    ++tel->transient_runs;
+  }
+  run_span.setArgs("\"mode\": \"" + std::string(transientSolverModeName(opt_.solver_mode)) +
+                   "\", \"unknowns\": " + std::to_string(n_unknowns_) +
+                   ", \"steps\": " + std::to_string(result.steps) +
+                   ", \"lu_factorizations\": " + std::to_string(result.lu_factorizations) +
+                   ", \"newton_iterations\": " + std::to_string(result.total_newton_iterations));
+  return result;
+}
+
+}  // namespace fdtdmm

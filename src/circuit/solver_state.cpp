@@ -1,0 +1,9 @@
+#include "circuit/solver_state.h"
+
+namespace fdtdmm {
+
+// Out-of-line destructor anchors the provider's vtable in the circuit
+// library (implementations live in the engine layer).
+SolverStateProvider::~SolverStateProvider() = default;
+
+}  // namespace fdtdmm

@@ -1,0 +1,112 @@
+#pragma once
+/// \file solver_state.h
+/// Shareable solver state for cross-run factorization reuse.
+///
+/// The transient engine's solver state has three separable lifetimes (see
+/// circuit/solver_session.h):
+///
+///   1. *symbolic* state — the sparse pattern's fill-reducing RCM ordering.
+///      A pure function of the matrix pattern, so every run whose circuit
+///      has the same structure computes the identical ordering.
+///   2. *numeric base* state — the LU factorization of the static base
+///      matrix. A pure function of the assembled base values, so runs that
+///      differ only in their right-hand side (sources, field drive,
+///      companion histories) factor the identical matrix.
+///   3. per-run Newton/RHS workspaces — never shareable.
+///
+/// This header defines the immutable shared forms of (1) and (2) plus the
+/// SolverStateProvider interface through which a session checks them out.
+/// The provider contract is exactly-once: for a given key, the builder
+/// callback runs in exactly one session and every other session (on any
+/// thread) receives the published object. The engine layer implements it
+/// with a keyed cache (engine/solver_state_cache.h); the circuit layer only
+/// sees this interface, so the dependency arrow keeps pointing upward.
+///
+/// Correctness rests on the keys, not on the cache: a key must only be
+/// shared between runs whose corresponding state is bit-identical (same
+/// pattern for a structure key, same base matrix bytes for a numeric-base
+/// key). Scenario families derive keys from exactly the parameters that
+/// feed the static assembly (core/scenario.h, structureKey /
+/// numericBaseKey); an empty key opts out of sharing. Because shared state
+/// is built by an ordinary run from its own inputs, checking it out never
+/// changes results — waveforms and metrics are byte-identical with sharing
+/// on or off.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/linear_solve.h"
+#include "math/sparse_lu.h"
+
+namespace fdtdmm {
+
+/// Immutable shared symbolic state of one structure class: the RCM
+/// ordering of the static base pattern (order[new] = old). Dense-mode
+/// classes have no symbolic state and never publish one.
+struct SolverSymbolic {
+  std::size_t n = 0;                   ///< matrix dimension the order permutes
+  std::vector<std::size_t> rcm_order;  ///< reverseCuthillMcKee(base pattern)
+};
+
+/// Immutable shared numeric base state of one numeric-base class: the
+/// factorization of the static base matrix, dense or sparse according to
+/// the class's solver mode. Solving against it is const and thread-safe
+/// (the sparse form requires the caller-workspace SparseLu::solve).
+struct SolverNumericBase {
+  bool is_sparse = false;
+  LuFactorization dense;
+  SparseLu sparse;
+
+  std::size_t dim() const { return is_sparse ? sparse.dim() : dense.dim(); }
+};
+
+/// Exactly-once provider of shared solver state, keyed by the scenario
+/// layer's structure / numeric-base keys. Implementations must guarantee
+/// that for each key the builder runs exactly once even under concurrent
+/// lookups, and that a builder that throws publishes nothing (the next
+/// lookup retries). Returned objects are immutable and safe to use from
+/// any thread.
+class SolverStateProvider {
+ public:
+  virtual ~SolverStateProvider();
+
+  using SymbolicBuilder = std::function<std::shared_ptr<const SolverSymbolic>()>;
+  using NumericBuilder = std::function<std::shared_ptr<const SolverNumericBase>()>;
+
+  virtual std::shared_ptr<const SolverSymbolic> symbolic(
+      const std::string& key, const SymbolicBuilder& build) = 0;
+  virtual std::shared_ptr<const SolverNumericBase> numericBase(
+      const std::string& key, const NumericBuilder& build) = 0;
+};
+
+/// Sharing handles a run carries into the solver (TransientOptions).
+/// Default-constructed = no sharing; either key may be empty independently
+/// to opt out of that level.
+struct SolverSharing {
+  /// Provider the session checks state out of (not owned; must outlive the
+  /// run). Null disables sharing entirely.
+  SolverStateProvider* provider = nullptr;
+  std::string structure_key;     ///< symbolic-state class; "" = don't share
+  std::string numeric_base_key;  ///< base-factorization class; "" = don't share
+
+  bool shareSymbolic() const { return provider != nullptr && !structure_key.empty(); }
+  bool shareNumericBase() const {
+    return provider != nullptr && !numeric_base_key.empty();
+  }
+};
+
+/// Round-trip-exact double formatting for sharing keys. Keys gate the reuse
+/// of factorizations between runs, so two different values must never
+/// collapse to one key: %g's 6 significant digits would merge e.g. 50.0 and
+/// 50.0000001 (silently sharing a wrong factorization); %.17g round-trips
+/// every double.
+inline std::string solverKeyNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace fdtdmm

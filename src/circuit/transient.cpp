@@ -1,26 +1,10 @@
 #include "circuit/transient.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <set>
 #include <stdexcept>
 
-#include "math/linear_solve.h"
-#include "math/sparse_lu.h"
-#include "math/sparse_matrix.h"
-#include "obs/counters.h"
-#include "obs/trace.h"
+#include "circuit/solver_session.h"
 
 namespace fdtdmm {
-
-namespace {
-
-double nodeVoltage(const Vector& x, int n) {
-  return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)];
-}
-
-}  // namespace
 
 const char* transientSolverModeName(TransientSolverMode mode) {
   switch (mode) {
@@ -35,289 +19,39 @@ const char* transientSolverModeName(TransientSolverMode mode) {
 }
 
 TransientSolverMode transientSolverModeFromName(const std::string& name) {
-  if (name == "reuse_lu") return TransientSolverMode::kReuseFactorization;
-  if (name == "full_restamp") return TransientSolverMode::kFullRestamp;
-  if (name == "sparse") return TransientSolverMode::kSparse;
+  for (const auto& known : transientSolverModeNames()) {
+    if (name == known) {
+      if (known == "reuse_lu") return TransientSolverMode::kReuseFactorization;
+      if (known == "full_restamp") return TransientSolverMode::kFullRestamp;
+      return TransientSolverMode::kSparse;
+    }
+  }
+  // Build the valid list from transientSolverModeNames() so a new mode can
+  // never be forgotten in this message.
+  std::string valid;
+  for (const auto& known : transientSolverModeNames()) {
+    if (!valid.empty()) valid += ", ";
+    valid += known;
+  }
   throw std::invalid_argument("unknown transient solver mode '" + name +
-                              "' (valid: reuse_lu, full_restamp, sparse)");
+                              "' (valid: " + valid + ")");
 }
 
 std::vector<std::string> transientSolverModeNames() {
   return {"reuse_lu", "full_restamp", "sparse"};
 }
 
+// The transient engine proper lives in SolverSession (circuit/
+// solver_session.h), which splits the solver state into symbolic /
+// numeric-base / per-run pieces so the engine layer can share the first
+// two across sweep corners. This wrapper preserves the original one-shot
+// API — and, with default TransientOptions::sharing, the original
+// behavior bit for bit.
 TransientResult runTransient(Circuit& circuit, const TransientOptions& opt,
                              const std::vector<NodeProbe>& probes,
                              const std::vector<BranchProbe>& branch_probes) {
-  if (opt.dt <= 0.0) throw std::invalid_argument("runTransient: dt must be > 0");
-  if (opt.t_stop <= 0.0) throw std::invalid_argument("runTransient: t_stop must be > 0");
-  if (opt.settle_time < 0.0) throw std::invalid_argument("runTransient: settle_time < 0");
-  for (const auto& p : probes) {
-    if (p.n1 < 0 || p.n1 > circuit.nodeCount() || p.n2 < 0 || p.n2 > circuit.nodeCount())
-      throw std::invalid_argument("runTransient: probe node out of range");
-  }
-  for (const auto& p : branch_probes) {
-    if (p.source == nullptr)
-      throw std::invalid_argument("runTransient: branch probe without source");
-  }
-  // Probe labels key the result map; a collision (including a branch probe
-  // shadowing a node probe) would silently drop a waveform.
-  {
-    std::set<std::string> labels;
-    for (const auto& p : probes) {
-      if (!labels.insert(p.label).second)
-        throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
-    }
-    for (const auto& p : branch_probes) {
-      if (!labels.insert(p.label).second)
-        throw std::invalid_argument("runTransient: duplicate probe label '" + p.label + "'");
-    }
-  }
-
-  const std::size_t n_unknowns = circuit.assignUnknowns();
-  auto& elements = circuit.elements();
-  for (auto& e : elements) e->begin(opt.dt);
-
-  // Telemetry sinks: null pointers when no sink is attached, so every
-  // ScopedTimer below degenerates to a single branch (the disabled-span
-  // contract of obs/counters.h). The trace span brackets the whole run and
-  // is independently gated on an active TraceWriter.
-  obs::RunTelemetry* const tel = opt.telemetry;
-  double* const t_static = tel ? &tel->phases.stamp_static_seconds : nullptr;
-  double* const t_factor = tel ? &tel->phases.factor_seconds : nullptr;
-  double* const t_rhs = tel ? &tel->phases.rhs_stamp_seconds : nullptr;
-  double* const t_solve = tel ? &tel->phases.solve_seconds : nullptr;
-  double* const t_newton = tel ? &tel->phases.newton_seconds : nullptr;
-  obs::TraceSpan run_span("transient", "solver");
-
-  TransientResult result;
-  std::vector<Vector> probe_data(probes.size());
-  std::vector<Vector> branch_data(branch_probes.size());
-
-  const bool reuse = opt.solver_mode == TransientSolverMode::kReuseFactorization;
-  const bool sparse = opt.solver_mode == TransientSolverMode::kSparse;
-
-  auto rejectStaticRhs = [](const Vector& b) {
-    for (double v : b) {
-      if (v != 0.0)
-        throw std::logic_error(
-            "runTransient: stampStatic wrote to the RHS; move that "
-            "contribution into stampDynamic");
-    }
-  };
-
-  // One-time assembly of the static (topology + dt) part of the MNA matrix
-  // into the mode's target: a dense base matrix or a CSR base whose
-  // finalize() fixes the symbolic pattern.
-  StampSystem base;
-  SparseMatrix base_sp;
-  SparseMatrix work_sp;
-  {
-    obs::ScopedTimer stamp_static_timer(t_static);
-    if (reuse) {
-      base.a = Matrix(n_unknowns, n_unknowns);
-      base.b.assign(n_unknowns, 0.0);
-      for (auto& e : elements) e->stampStatic(base, opt.dt);
-      rejectStaticRhs(base.b);
-    } else if (sparse) {
-      base_sp.reset(n_unknowns);
-      base.sparse = &base_sp;
-      base.b.assign(n_unknowns, 0.0);
-      for (auto& e : elements) e->stampStatic(base, opt.dt);
-      rejectStaticRhs(base.b);
-      base_sp.finalize();
-      work_sp = base_sp;
-    }
-  }
-
-  // All per-iteration state is allocated here, once; the Newton loop below
-  // only reuses this storage (matrix copy-assign, vector assign/resize).
-  Vector x(n_unknowns, 0.0);
-  Vector x_new(n_unknowns, 0.0);
-  StampSystem sys;
-  sys.b.assign(n_unknowns, 0.0);
-  if (reuse) {
-    sys.a = base.a;
-  } else if (sparse) {
-    sys.sparse = &work_sp;
-  } else {
-    sys.a = Matrix(n_unknowns, n_unknowns);
-  }
-  // base_lu: factorization of the untouched static matrix, created lazily on
-  // the first Newton iteration whose dynamic stamps leave the matrix clean
-  // (lazily so circuits whose base matrix alone is singular — e.g. a node
-  // held up only by a nonlinear device — still work). work_lu: refactored in
-  // place on every iteration that dirties the matrix. The sparse mode keeps
-  // the same pair as SparseLu factorizations.
-  LuFactorization base_lu;
-  LuFactorization work_lu;
-  SparseLu base_slu;
-  SparseLu work_slu;
-  bool base_factored = false;
-  // Once any iteration dirties the matrix, the working matrix must be
-  // restored from the clean base before each dynamic stamping pass.
-  bool matrix_was_dirtied = false;
-
-  const auto n_settle = static_cast<long long>(std::ceil(opt.settle_time / opt.dt));
-  const auto n_run = static_cast<long long>(std::ceil(opt.t_stop / opt.dt));
-
-  auto record = [&](const Vector& sol) {
-    for (std::size_t p = 0; p < probes.size(); ++p) {
-      probe_data[p].push_back(nodeVoltage(sol, probes[p].n1) -
-                              nodeVoltage(sol, probes[p].n2));
-    }
-    for (std::size_t p = 0; p < branch_probes.size(); ++p) {
-      branch_data[p].push_back(sol[branch_probes[p].source->branchIndex()]);
-    }
-  };
-
-  for (long long step = -n_settle; step <= n_run; ++step) {
-    const double t_new = static_cast<double>(step) * opt.dt;
-    for (auto& e : elements) e->beginStep(t_new, opt.dt);
-
-    // Newton iteration: repeatedly solve the linearized MNA system. The
-    // newton phase times the loop only (endStep/probe recording is the
-    // run's residual time, not part of any phase).
-    int it = 0;
-    bool step_converged = false;
-    const auto newton_begin =
-        t_newton ? obs::ScopedTimer::Clock::now() : obs::ScopedTimer::Clock::time_point{};
-    for (; it < opt.max_newton_iterations; ++it) {
-      if (reuse) {
-        {
-          obs::ScopedTimer rhs_timer(t_rhs);
-          if (matrix_was_dirtied) sys.a = base.a;
-          sys.b.assign(n_unknowns, 0.0);
-          sys.matrix_dirty = false;
-          for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
-        }
-        if (sys.matrix_dirty) {
-          matrix_was_dirtied = true;
-          {
-            obs::ScopedTimer factor_timer(t_factor);
-            work_lu.factor(sys.a);
-          }
-          ++result.lu_factorizations;
-          obs::ScopedTimer solve_timer(t_solve);
-          work_lu.solve(sys.b, x_new);
-        } else {
-          if (!base_factored) {
-            // sys.a is still the untouched base matrix here.
-            obs::ScopedTimer factor_timer(t_factor);
-            base_lu.factor(sys.a);
-            ++result.lu_factorizations;
-            base_factored = true;
-          }
-          obs::ScopedTimer solve_timer(t_solve);
-          base_lu.solve(sys.b, x_new);
-        }
-      } else if (sparse) {
-        {
-          obs::ScopedTimer rhs_timer(t_rhs);
-          if (matrix_was_dirtied) work_sp.setValuesFrom(base_sp);
-          sys.b.assign(n_unknowns, 0.0);
-          sys.matrix_dirty = false;
-          for (auto& e : elements) e->stampDynamic(sys, x, t_new, opt.dt);
-        }
-        if (work_sp.patternGrown()) {
-          // A dynamic stamp hit a structurally-new entry: widen the working
-          // pattern once and keep the cached base aligned so the in-place
-          // value refresh above stays a straight copy. The base
-          // factorization remains numerically valid (new entries are zero).
-          work_sp.mergeOverflow();
-          base_sp.adoptPatternOf(work_sp);
-          if (tel) ++tel->pattern_realignments;
-          obs::traceInstant("sparse_pattern_realign", "solver");
-        }
-        if (sys.matrix_dirty) {
-          matrix_was_dirtied = true;
-          {
-            obs::ScopedTimer factor_timer(t_factor);
-            work_slu.factor(work_sp);
-          }
-          ++result.lu_factorizations;
-          obs::ScopedTimer solve_timer(t_solve);
-          work_slu.solve(sys.b, x_new);
-        } else {
-          if (!base_factored) {
-            // work_sp still holds the untouched base values here.
-            obs::ScopedTimer factor_timer(t_factor);
-            base_slu.factor(work_sp);
-            ++result.lu_factorizations;
-            base_factored = true;
-          }
-          obs::ScopedTimer solve_timer(t_solve);
-          base_slu.solve(sys.b, x_new);
-        }
-      } else {
-        {
-          obs::ScopedTimer rhs_timer(t_rhs);
-          std::fill_n(sys.a.data(), n_unknowns * n_unknowns, 0.0);
-          sys.b.assign(n_unknowns, 0.0);
-          for (auto& e : elements) e->stamp(sys, x, t_new, opt.dt);
-        }
-        {
-          obs::ScopedTimer factor_timer(t_factor);
-          work_lu.factor(sys.a);
-        }
-        ++result.lu_factorizations;
-        obs::ScopedTimer solve_timer(t_solve);
-        work_lu.solve(sys.b, x_new);
-      }
-
-      double max_dx = 0.0;
-      for (std::size_t k = 0; k < n_unknowns; ++k) {
-        double dxk = x_new[k] - x[k];
-        if (!std::isfinite(dxk))
-          throw std::runtime_error("runTransient: Newton diverged (non-finite update)");
-        if (opt.max_delta_v > 0.0) dxk = std::clamp(dxk, -opt.max_delta_v, opt.max_delta_v);
-        x[k] += dxk;
-        max_dx = std::max(max_dx, std::abs(dxk));
-      }
-      if (max_dx <= opt.v_tolerance) {
-        step_converged = true;
-        ++it;
-        break;
-      }
-    }
-    if (t_newton) {
-      *t_newton += std::chrono::duration<double>(obs::ScopedTimer::Clock::now() -
-                                                 newton_begin)
-                       .count();
-    }
-    if (!step_converged) result.converged = false;
-    result.max_newton_iterations = std::max(result.max_newton_iterations, it);
-    result.total_newton_iterations += it;
-
-    for (auto& e : elements) e->endStep(x, t_new, opt.dt);
-    if (step >= 0) {
-      record(x);
-      ++result.steps;
-    }
-  }
-
-  for (std::size_t p = 0; p < probes.size(); ++p) {
-    result.probes.emplace(probes[p].label, Waveform(0.0, opt.dt, std::move(probe_data[p])));
-  }
-  for (std::size_t p = 0; p < branch_probes.size(); ++p) {
-    result.probes.emplace(branch_probes[p].label,
-                          Waveform(0.0, opt.dt, std::move(branch_data[p])));
-  }
-
-  if (tel) {
-    tel->lu_factorizations += result.lu_factorizations;
-    tel->newton_iterations += result.total_newton_iterations;
-    tel->max_newton_iterations =
-        std::max(tel->max_newton_iterations, result.max_newton_iterations);
-    tel->steps += static_cast<long long>(result.steps);
-    ++tel->transient_runs;
-  }
-  run_span.setArgs("\"mode\": \"" + std::string(transientSolverModeName(opt.solver_mode)) +
-                   "\", \"unknowns\": " + std::to_string(n_unknowns) +
-                   ", \"steps\": " + std::to_string(result.steps) +
-                   ", \"lu_factorizations\": " + std::to_string(result.lu_factorizations) +
-                   ", \"newton_iterations\": " + std::to_string(result.total_newton_iterations));
-  return result;
+  SolverSession session(circuit, opt);
+  return session.run(probes, branch_probes);
 }
 
 }  // namespace fdtdmm

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/solver_state.h"
 #include "obs/telemetry.h"
 #include "signal/waveform.h"
 
@@ -99,6 +100,14 @@ struct TransientOptions {
   /// branch. Timings never influence results — waveforms are bit-identical
   /// with telemetry on or off.
   obs::RunTelemetry* telemetry = nullptr;
+  /// Optional cross-run solver-state sharing (see circuit/solver_state.h).
+  /// Default-constructed (null provider) = no sharing, the historical
+  /// behavior. With a provider and non-empty keys, the run checks its
+  /// symbolic analysis and/or base factorization out of the provider
+  /// instead of computing private copies — results are guaranteed
+  /// bit-identical either way *provided the keys are honest* (equal keys
+  /// only for runs whose shared pieces are bit-identical).
+  SolverSharing sharing;
 };
 
 /// A named voltage probe between two nodes.

@@ -40,6 +40,12 @@ void validateCrosstalkScenario(const CrosstalkScenario& cfg) {
 
 TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
                                    std::shared_ptr<const RbfDriverModel> driver) {
+  return runCrosstalkScenario(cfg, std::move(driver), SolverSharing{});
+}
+
+TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
+                                   std::shared_ptr<const RbfDriverModel> driver,
+                                   const SolverSharing& sharing) {
   validateCrosstalkScenario(cfg);
   if (!driver)
     throw std::invalid_argument("runCrosstalkScenario: null driver model");
@@ -73,6 +79,7 @@ TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
   topt.telemetry = &out.telemetry;
+  topt.sharing = sharing;
   auto res = runTransient(circuit, topt,
                           {{"agg_near", agg_near, Circuit::kGround},
                            {"agg_far", agg_far, Circuit::kGround},
@@ -198,6 +205,35 @@ TaskWaveforms CrosstalkFamily::run(
     std::shared_ptr<const RbfDriverModel> driver,
     std::shared_ptr<const RbfReceiverModel> /*receiver*/) const {
   return runCrosstalkScenario(cfg_, std::move(driver));
+}
+
+TaskWaveforms CrosstalkFamily::run(std::shared_ptr<const RbfDriverModel> driver,
+                                   std::shared_ptr<const RbfReceiverModel> /*receiver*/,
+                                   const SolverSharing& sharing) const {
+  return runCrosstalkScenario(cfg_, std::move(driver), sharing);
+}
+
+// pattern/bit_time/t_stop stay out of both keys (RHS/run-length only); the
+// coupling>0 flags are structural because zero-coupling configurations
+// stamp no mutual elements at all (buildCoupledRlgcLines skips them).
+std::string CrosstalkFamily::structureKey() const {
+  return "crosstalk|solver=" + cfg_.solver +
+         "|segments=" + std::to_string(cfg_.line.segments) +
+         "|cm=" + (cfg_.coupling > 0.0 ? "1" : "0") +
+         "|lm=" + (cfg_.coupling_l > 0.0 ? "1" : "0");
+}
+
+std::string CrosstalkFamily::numericBaseKey() const {
+  return structureKey() + "|dt=" + solverKeyNum(cfg_.dt) +
+         "|r=" + solverKeyNum(cfg_.line.r) + "|l=" + solverKeyNum(cfg_.line.l) +
+         "|g=" + solverKeyNum(cfg_.line.g) + "|c=" + solverKeyNum(cfg_.line.c) +
+         "|len=" + solverKeyNum(cfg_.line.length) +
+         "|k=" + solverKeyNum(cfg_.coupling) +
+         "|kl=" + solverKeyNum(cfg_.coupling_l) +
+         "|rvn=" + solverKeyNum(cfg_.victim_r_near) +
+         "|rvf=" + solverKeyNum(cfg_.victim_r_far) +
+         "|ralr=" + solverKeyNum(cfg_.agg_load_r) +
+         "|ralc=" + solverKeyNum(cfg_.agg_load_c);
 }
 
 }  // namespace fdtdmm

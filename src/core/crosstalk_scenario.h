@@ -60,6 +60,13 @@ void validateCrosstalkScenario(const CrosstalkScenario& cfg);
 TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
                                    std::shared_ptr<const RbfDriverModel> driver);
 
+/// Sharing-aware variant: threads `sharing` into the TransientOptions (see
+/// circuit/solver_state.h). Bit-identical waveforms either way for honest
+/// keys.
+TaskWaveforms runCrosstalkScenario(const CrosstalkScenario& cfg,
+                                   std::shared_ptr<const RbfDriverModel> driver,
+                                   const SolverSharing& sharing);
+
 /// Registry adapter ("crosstalk"). Parameters: pattern, bit_time, t_stop,
 /// dt, line_r, line_l, line_g, line_c, line_length, segments, coupling,
 /// coupling_l, victim_r_near, victim_r_far, agg_load_r, agg_load_c, solver.
@@ -78,9 +85,19 @@ class CrosstalkFamily final : public Scenario {
   double bitTime() const override { return cfg_.bit_time; }
   double tStop() const override { return cfg_.t_stop; }
   bool needsReceiver() const override { return false; }
+  /// Sharing keys: the nonlinear driver port dirties the matrix every
+  /// Newton iteration, so the shared base LU is rarely exercised here —
+  /// but pattern/bit_time/t_stop corners still share the symbolic RCM
+  /// analysis, and the keys stay honest for configurations whose driver
+  /// settles to linearity.
+  std::string structureKey() const override;
+  std::string numericBaseKey() const override;
   std::unique_ptr<Scenario> clone() const override;
   TaskWaveforms run(std::shared_ptr<const RbfDriverModel> driver,
                     std::shared_ptr<const RbfReceiverModel> receiver) const override;
+  TaskWaveforms run(std::shared_ptr<const RbfDriverModel> driver,
+                    std::shared_ptr<const RbfReceiverModel> receiver,
+                    const SolverSharing& sharing) const override;
 
   const CrosstalkScenario& config() const { return cfg_; }
 

@@ -37,4 +37,13 @@ TaskWaveforms runSimulationTask(const SimulationTask& task,
                                 std::shared_ptr<const RbfDriverModel> driver,
                                 std::shared_ptr<const RbfReceiverModel> receiver);
 
+/// Sharing-aware variant: forwards `sharing` to the scenario's three-arg
+/// run() so the transient engine can check solver state out of a
+/// SolverStateProvider. Same determinism contract — for honest keys the
+/// waveforms are bit-identical with the two-arg overload.
+TaskWaveforms runSimulationTask(const SimulationTask& task,
+                                std::shared_ptr<const RbfDriverModel> driver,
+                                std::shared_ptr<const RbfReceiverModel> receiver,
+                                const SolverSharing& sharing);
+
 }  // namespace fdtdmm

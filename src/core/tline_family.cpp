@@ -26,7 +26,8 @@ TlineEngine tlineEngineFromName(const std::string& name) {
   if (name == "spice-rbf") return TlineEngine::kSpiceRbf;
   if (name == "fdtd1d") return TlineEngine::kFdtd1d;
   if (name == "fdtd3d") return TlineEngine::kFdtd3d;
-  throw std::invalid_argument("unknown t-line engine '" + name + "'");
+  throw std::invalid_argument("unknown t-line engine '" + name +
+                              "' (valid: spice-rbf, fdtd1d, fdtd3d)");
 }
 
 const char* farEndLoadName(FarEndLoad load) {
@@ -36,7 +37,8 @@ const char* farEndLoadName(FarEndLoad load) {
 FarEndLoad farEndLoadFromName(const std::string& name) {
   if (name == "rc") return FarEndLoad::kLinearRc;
   if (name == "receiver") return FarEndLoad::kReceiver;
-  throw std::invalid_argument("unknown far-end load '" + name + "'");
+  throw std::invalid_argument("unknown far-end load '" + name +
+                              "' (valid: rc, receiver)");
 }
 
 const ParamTable<TlineFamily>& TlineFamily::table() {
@@ -139,10 +141,19 @@ std::unique_ptr<Scenario> TlineFamily::clone() const {
 
 TaskWaveforms TlineFamily::run(std::shared_ptr<const RbfDriverModel> driver,
                                std::shared_ptr<const RbfReceiverModel> receiver) const {
+  return run(std::move(driver), std::move(receiver), SolverSharing{});
+}
+
+TaskWaveforms TlineFamily::run(std::shared_ptr<const RbfDriverModel> driver,
+                               std::shared_ptr<const RbfReceiverModel> receiver,
+                               const SolverSharing& sharing) const {
   EngineRun er;
   switch (engine_) {
     case TlineEngine::kSpiceRbf:
-      er = runSpiceRbfTline(cfg_, std::move(driver), std::move(receiver));
+      // 2e-12 is the engine's fixed default step (runSpiceRbfTline's dt
+      // parameter); it is baked into numericBaseKey() below.
+      er = runSpiceRbfTline(cfg_, std::move(driver), std::move(receiver), 2e-12,
+                            sharing);
       break;
     case TlineEngine::kFdtd1d:
       er = runFdtd1dTline(cfg_, std::move(driver), std::move(receiver));
@@ -158,6 +169,26 @@ TaskWaveforms TlineFamily::run(std::shared_ptr<const RbfDriverModel> driver,
   out.wall_seconds = er.wall_seconds;
   out.telemetry = er.telemetry;
   return out;
+}
+
+// pattern/bit_time/t_stop are RHS/run-length only; zc/td/load values reach
+// the static base stamps, so they live in the numeric key. The fixed dt
+// (2e-12, see run() above) is included literally so a future sweepable dt
+// cannot silently collide classes.
+std::string TlineFamily::structureKey() const {
+  if (engine_ != TlineEngine::kSpiceRbf) return {};
+  return std::string("tline|engine=spice-rbf|solver=") + cfg_.solver +
+         "|load=" + farEndLoadName(cfg_.load);
+}
+
+std::string TlineFamily::numericBaseKey() const {
+  if (engine_ != TlineEngine::kSpiceRbf) return {};
+  std::string key = structureKey() + "|dt=" + solverKeyNum(2e-12) +
+                    "|zc=" + solverKeyNum(cfg_.zc) + "|td=" + solverKeyNum(cfg_.td);
+  if (cfg_.load == FarEndLoad::kLinearRc) {
+    key += "|lr=" + solverKeyNum(cfg_.load_r) + "|lc=" + solverKeyNum(cfg_.load_c);
+  }
+  return key;
 }
 
 std::vector<ParamBinding> tlineParams(const TlineScenario& cfg, TlineEngine engine) {

@@ -92,6 +92,14 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
                            std::shared_ptr<const RbfDriverModel> driver,
                            std::shared_ptr<const RbfReceiverModel> receiver,
                            double dt) {
+  return runSpiceRbfTline(cfg, std::move(driver), std::move(receiver), dt,
+                          SolverSharing{});
+}
+
+EngineRun runSpiceRbfTline(const TlineScenario& cfg,
+                           std::shared_ptr<const RbfDriverModel> driver,
+                           std::shared_ptr<const RbfReceiverModel> receiver,
+                           double dt, const SolverSharing& sharing) {
   validateTlineScenario(cfg);
   if (!driver) throw std::invalid_argument("runSpiceRbfTline: null driver model");
   const auto start = Clock::now();
@@ -119,6 +127,7 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
   topt.telemetry = &run.telemetry;
+  topt.sharing = sharing;
   auto res = runTransient(circuit, topt,
                           {{"near", near, Circuit::kGround},
                            {"far", far, Circuit::kGround}});

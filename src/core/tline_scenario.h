@@ -20,6 +20,8 @@
 
 namespace fdtdmm {
 
+struct SolverSharing;
+
 /// Far-end termination selector (Fig. 4 vs Fig. 5).
 enum class FarEndLoad { kLinearRc, kReceiver };
 
@@ -76,6 +78,14 @@ EngineRun runSpiceRbfTline(const TlineScenario& cfg,
                            std::shared_ptr<const RbfDriverModel> driver,
                            std::shared_ptr<const RbfReceiverModel> receiver,
                            double dt = 2e-12);
+
+/// Sharing-aware variant of engine (ii): threads `sharing` into the
+/// TransientOptions (see circuit/solver_state.h). Bit-identical waveforms
+/// either way for honest keys.
+EngineRun runSpiceRbfTline(const TlineScenario& cfg,
+                           std::shared_ptr<const RbfDriverModel> driver,
+                           std::shared_ptr<const RbfReceiverModel> receiver,
+                           double dt, const SolverSharing& sharing);
 
 /// Engine (iii): 1D FDTD with RBF macromodels.
 EngineRun runFdtd1dTline(const TlineScenario& cfg,

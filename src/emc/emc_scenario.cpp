@@ -62,6 +62,13 @@ TraceGeometry emcTraceGeometry(const EmcScenario& cfg) {
 TaskWaveforms runEmcScenario(const EmcScenario& cfg,
                              std::shared_ptr<const RbfDriverModel> driver,
                              std::shared_ptr<const RbfReceiverModel> receiver) {
+  return runEmcScenario(cfg, std::move(driver), std::move(receiver), SolverSharing{});
+}
+
+TaskWaveforms runEmcScenario(const EmcScenario& cfg,
+                             std::shared_ptr<const RbfDriverModel> driver,
+                             std::shared_ptr<const RbfReceiverModel> receiver,
+                             const SolverSharing& sharing) {
   validateEmcScenario(cfg);
   if (cfg.drive == "driver" && !driver)
     throw std::invalid_argument("runEmcScenario: null driver model");
@@ -111,6 +118,7 @@ TaskWaveforms runEmcScenario(const EmcScenario& cfg,
   topt.settle_time = 1e-9;
   topt.solver_mode = transientSolverModeFromName(cfg.solver);
   topt.telemetry = &out.telemetry;
+  topt.sharing = sharing;
   auto res = runTransient(circuit, topt,
                           {{"near", t_near, Circuit::kGround},
                            {"far", t_far, Circuit::kGround}});
@@ -262,6 +270,42 @@ TaskWaveforms EmcFamily::run(
     std::shared_ptr<const RbfDriverModel> driver,
     std::shared_ptr<const RbfReceiverModel> receiver) const {
   return runEmcScenario(cfg_, std::move(driver), std::move(receiver));
+}
+
+TaskWaveforms EmcFamily::run(std::shared_ptr<const RbfDriverModel> driver,
+                             std::shared_ptr<const RbfReceiverModel> receiver,
+                             const SolverSharing& sharing) const {
+  return runEmcScenario(cfg_, std::move(driver), std::move(receiver), sharing);
+}
+
+// What stays OUT of these keys is the point: amplitude, arrival angles,
+// polarization, bandwidth, pulse_t0, ground_reflection, trace geometry,
+// bit pattern, bit_time, and t_stop all reach the transient only through
+// RHS sources or run length, never through a static matrix stamp (the
+// field-coupled ladder uses the same Inductor/Capacitor static stamps as
+// the plain one; RBF ports stamp no static entries). The amp>0 flag is
+// still kept — structurally conservative, and it costs one extra class.
+std::string EmcFamily::structureKey() const {
+  return "emc|solver=" + cfg_.solver +
+         "|segments=" + std::to_string(cfg_.line.segments) +
+         "|drive=" + cfg_.drive + "|term=" + cfg_.termination +
+         "|cfar=" + (cfg_.c_far > 0.0 ? "1" : "0") +
+         "|field=" + (cfg_.amplitude > 0.0 ? "1" : "0");
+}
+
+std::string EmcFamily::numericBaseKey() const {
+  std::string key = structureKey() + "|dt=" + solverKeyNum(cfg_.dt) +
+                    "|r=" + solverKeyNum(cfg_.line.r) +
+                    "|l=" + solverKeyNum(cfg_.line.l) +
+                    "|g=" + solverKeyNum(cfg_.line.g) +
+                    "|c=" + solverKeyNum(cfg_.line.c) +
+                    "|len=" + solverKeyNum(cfg_.line.length);
+  if (cfg_.drive == "none") key += "|rnear=" + solverKeyNum(cfg_.r_near);
+  if (cfg_.termination == "resistive") {
+    key += "|rfar=" + solverKeyNum(cfg_.r_far);
+    if (cfg_.c_far > 0.0) key += "|cfarv=" + solverKeyNum(cfg_.c_far);
+  }
+  return key;
 }
 
 }  // namespace fdtdmm

@@ -84,6 +84,14 @@ TaskWaveforms runEmcScenario(const EmcScenario& cfg,
                              std::shared_ptr<const RbfDriverModel> driver,
                              std::shared_ptr<const RbfReceiverModel> receiver);
 
+/// Sharing-aware variant: threads `sharing` into the TransientOptions (see
+/// circuit/solver_state.h). Bit-identical waveforms either way for honest
+/// keys.
+TaskWaveforms runEmcScenario(const EmcScenario& cfg,
+                             std::shared_ptr<const RbfDriverModel> driver,
+                             std::shared_ptr<const RbfReceiverModel> receiver,
+                             const SolverSharing& sharing);
+
 /// The trace geometry a configuration routes (exposed so the FDTD
 /// cross-validation reference meshes the same physical trace).
 TraceGeometry emcTraceGeometry(const EmcScenario& cfg);
@@ -109,9 +117,19 @@ class EmcFamily final : public Scenario {
   double tStop() const override { return cfg_.t_stop; }
   bool needsDriver() const override { return cfg_.drive == "driver"; }
   bool needsReceiver() const override { return cfg_.termination == "receiver"; }
+  /// Sharing keys: the incident field enters the transient purely through
+  /// RHS sources (Agrawal EMF terms) and the RBF ports never stamp the
+  /// static base, so amplitude/angle/polarization/bandwidth/geometry/
+  /// pattern corners of one link share a single base factorization — the
+  /// family's numericBaseKey() deliberately excludes all of them.
+  std::string structureKey() const override;
+  std::string numericBaseKey() const override;
   std::unique_ptr<Scenario> clone() const override;
   TaskWaveforms run(std::shared_ptr<const RbfDriverModel> driver,
                     std::shared_ptr<const RbfReceiverModel> receiver) const override;
+  TaskWaveforms run(std::shared_ptr<const RbfDriverModel> driver,
+                    std::shared_ptr<const RbfReceiverModel> receiver,
+                    const SolverSharing& sharing) const override;
 
   const EmcScenario& config() const { return cfg_; }
 

@@ -1,0 +1,78 @@
+#include "engine/result_cache.h"
+
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "engine/sweep_result.h"
+
+namespace fdtdmm {
+
+namespace {
+
+// Round-trip-exact number format (the solverKeyNum convention): %g would
+// collapse distinct doubles into one key and replay the wrong corner.
+std::string keyNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string keyValue(const ParamValue& value) {
+  if (std::holds_alternative<bool>(value))
+    return std::get<bool>(value) ? "true" : "false";
+  if (std::holds_alternative<double>(value)) return keyNum(std::get<double>(value));
+  return std::get<std::string>(value);
+}
+
+}  // namespace
+
+std::string resultCacheKey(const SimulationTask& task, const EyeOptions& eye) {
+  std::string key = task.scenario->family();
+  key += "|drv=" + task.driver + "|rcv=" + task.receiver;
+  // Descriptor order is stable family API, so equal configurations always
+  // serialize identically.
+  for (const ParamDescriptor& d : task.scenario->descriptors())
+    key += "|" + d.name + "=" + keyValue(task.scenario->get(d.name));
+  key += "|eye=" + keyNum(eye.window_start) + "," + keyNum(eye.window_width) + "," +
+         std::to_string(eye.skip_bits);
+  return key;
+}
+
+std::shared_ptr<const SweepRunRecord> ResultCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ResultCache::put(const std::string& key, const SweepRunRecord& record) {
+  if (!record.ok) return;
+  auto stored = std::make_shared<SweepRunRecord>(record);
+  stored->waves = TaskWaveforms{};  // strip memory-heavy waveforms
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = records_[key];
+  if (slot) return;  // first wins; equal keys are interchangeable
+  slot = std::move(stored);
+  ++stats_.inserts;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace fdtdmm

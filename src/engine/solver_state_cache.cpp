@@ -1,0 +1,89 @@
+#include "engine/solver_state_cache.h"
+
+namespace fdtdmm {
+
+template <typename T, typename Builder>
+std::shared_ptr<const T> SolverStateCache::resolve(
+    std::map<std::string, std::shared_ptr<Entry<T>>>& map, const std::string& key,
+    const Builder& build, long long SolverStateCacheStats::*hits,
+    long long SolverStateCacheStats::*misses) {
+  std::shared_ptr<Entry<T>> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = map[key];
+    if (!slot) slot = std::make_shared<Entry<T>>();
+    entry = slot;
+    if (entry->value) {
+      ++(stats_.*hits);
+      return entry->value;
+    }
+  }
+  // Build outside the cache lock but inside the entry lock: one builder
+  // per key at a time, other keys fully concurrent. Re-check after
+  // acquiring — a concurrent caller may have published while we waited.
+  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->value) {
+      ++(stats_.*hits);
+      return entry->value;
+    }
+    ++(stats_.*misses);
+  }
+  std::shared_ptr<const T> value = build();  // may throw: nothing published
+  std::lock_guard<std::mutex> lock(mu_);
+  if (value) {
+    entry->value = value;
+    ++stats_.inserts;
+  }
+  return value;
+}
+
+std::shared_ptr<const SolverSymbolic> SolverStateCache::symbolic(
+    const std::string& key, const SymbolicBuilder& build) {
+  return resolve(symbolic_, key, build, &SolverStateCacheStats::symbolic_hits,
+                 &SolverStateCacheStats::symbolic_misses);
+}
+
+std::shared_ptr<const SolverNumericBase> SolverStateCache::numericBase(
+    const std::string& key, const NumericBuilder& build) {
+  return resolve(numeric_, key, build, &SolverStateCacheStats::numeric_hits,
+                 &SolverStateCacheStats::numeric_misses);
+}
+
+SolverStateCacheStats SolverStateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+namespace {
+
+// Count only published values: a key whose builder threw (or is still
+// running) is not a resolved class.
+template <typename Map>
+std::size_t resolvedCount(const Map& map) {
+  std::size_t n = 0;
+  for (const auto& kv : map)
+    if (kv.second && kv.second->value) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::size_t SolverStateCache::structureClassCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolvedCount(symbolic_);
+}
+
+std::size_t SolverStateCache::numericClassCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolvedCount(numeric_);
+}
+
+void SolverStateCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  symbolic_.clear();
+  numeric_.clear();
+}
+
+}  // namespace fdtdmm

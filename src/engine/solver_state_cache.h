@@ -1,0 +1,82 @@
+#pragma once
+/// \file solver_state_cache.h
+/// Thread-safe SolverStateProvider shared by all sweep workers: the
+/// ModelCache economics (identify once, simulate everywhere) applied to
+/// the solver itself. Corners whose scenarios report the same
+/// structureKey() share one symbolic analysis (sparse pattern RCM
+/// ordering); corners with the same numericBaseKey() share one base LU
+/// factorization. On an N-corner RHS-only sweep that turns N base
+/// factorizations into one per numeric-base class, regardless of worker
+/// count.
+///
+/// Exactly-once contract (per key): the first caller runs the builder
+/// under that key's entry mutex; concurrent callers with the same key
+/// block on the entry mutex — NOT on the whole cache — and receive the
+/// published value. Different keys build concurrently. A builder that
+/// throws publishes nothing; the next caller retries. Values are immutable
+/// (shared_ptr<const ...>), so workers solve against the same
+/// factorization concurrently without copies.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "circuit/solver_state.h"
+
+namespace fdtdmm {
+
+/// Effectiveness counters of a SolverStateCache (see stats()). Cumulative
+/// over the cache's lifetime; per-sweep deltas come from snapshotting
+/// before and after (the ModelCacheStats convention).
+struct SolverStateCacheStats {
+  long long symbolic_hits = 0;    ///< symbolic() calls answered from the map
+  long long symbolic_misses = 0;  ///< symbolic() calls that ran the builder
+  long long numeric_hits = 0;     ///< numericBase() calls answered from the map
+  long long numeric_misses = 0;   ///< numericBase() calls that ran the builder
+  long long inserts = 0;          ///< values published (successful builds)
+};
+
+class SolverStateCache final : public SolverStateProvider {
+ public:
+  SolverStateCache() = default;
+
+  std::shared_ptr<const SolverSymbolic> symbolic(const std::string& key,
+                                                 const SymbolicBuilder& build) override;
+  std::shared_ptr<const SolverNumericBase> numericBase(
+      const std::string& key, const NumericBuilder& build) override;
+
+  /// Snapshot of the hit/miss/insert counters.
+  SolverStateCacheStats stats() const;
+
+  /// Distinct structure / numeric-base classes resolved so far. On a
+  /// purely linear sweep, total base factorizations == numericClassCount()
+  /// — the invariant the sharing tests pin.
+  std::size_t structureClassCount() const;
+  std::size_t numericClassCount() const;
+
+  /// Drops every cached value (stats keep counting). Entries being built
+  /// concurrently publish into the post-clear maps.
+  void clear();
+
+ private:
+  /// One key's slot: value plus the mutex that serializes its build.
+  template <typename T>
+  struct Entry {
+    std::mutex build_mu;
+    std::shared_ptr<const T> value;  // guarded by the outer mu_ for reads
+  };
+
+  template <typename T, typename Builder>
+  std::shared_ptr<const T> resolve(std::map<std::string, std::shared_ptr<Entry<T>>>& map,
+                                   const std::string& key, const Builder& build,
+                                   long long SolverStateCacheStats::*hits,
+                                   long long SolverStateCacheStats::*misses);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry<SolverSymbolic>>> symbolic_;
+  std::map<std::string, std::shared_ptr<Entry<SolverNumericBase>>> numeric_;
+  SolverStateCacheStats stats_;  // guarded by mu_
+};
+
+}  // namespace fdtdmm

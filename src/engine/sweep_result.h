@@ -52,6 +52,8 @@
 
 #include "core/sim_task.h"
 #include "engine/model_cache.h"
+#include "engine/result_cache.h"
+#include "engine/solver_state_cache.h"
 #include "engine/thread_pool.h"
 #include "signal/eye.h"
 
@@ -102,6 +104,15 @@ struct SweepResult {
   /// ModelCache effectiveness delta over this sweep (hits/misses/inserts
   /// attributable to it, including preload).
   ModelCacheStats model_cache;
+  /// SolverStateCache effectiveness delta over this sweep (symbolic and
+  /// numeric-base sharing; zero when sharing is disabled or no family
+  /// opted in). numeric_misses is the number of numeric-base classes this
+  /// sweep factored — on a purely linear sweep it equals the total LU
+  /// count across all corners.
+  SolverStateCacheStats solver_cache;
+  /// ResultCache effectiveness delta over this sweep (zero when result
+  /// reuse is disabled or waveforms were requested).
+  ResultCacheStats result_cache;
 
   std::size_t okCount() const;
 };

@@ -1,5 +1,6 @@
 #include "engine/sweep_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <future>
@@ -13,9 +14,16 @@
 
 namespace fdtdmm {
 
-SweepRunner::SweepRunner(SweepOptions opt, std::shared_ptr<ModelCache> cache)
-    : opt_(opt), cache_(std::move(cache)) {
+SweepRunner::SweepRunner(SweepOptions opt, std::shared_ptr<ModelCache> cache,
+                         std::shared_ptr<SolverStateCache> solver_cache,
+                         std::shared_ptr<ResultCache> result_cache)
+    : opt_(opt),
+      cache_(std::move(cache)),
+      solver_cache_(std::move(solver_cache)),
+      result_cache_(std::move(result_cache)) {
   if (!cache_) cache_ = std::make_shared<ModelCache>();
+  if (!solver_cache_) solver_cache_ = std::make_shared<SolverStateCache>();
+  if (!result_cache_) result_cache_ = std::make_shared<ResultCache>();
 }
 
 SweepResult SweepRunner::run(const SweepSpec& spec) { return run(spec.expand()); }
@@ -46,17 +54,93 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   // are cumulative over the cache's lifetime, so snapshot before/after to
   // attribute only this sweep's activity to its telemetry.
   const ModelCacheStats cache_before = cache_->stats();
+  const SolverStateCacheStats solver_before = solver_cache_->stats();
+  const ResultCacheStats results_before = result_cache_->stats();
   cache_->preload(tasks);
 
   SweepResult result;
   result.workers = workers;
   result.runs.resize(tasks.size());
 
+  // Per-task execution plan: the final sharing keys (scenario key + the
+  // model names the runner resolved — conservative: model identity can
+  // never silently collide two classes) and the result-cache key.
+  struct TaskPlan {
+    std::size_t slot = 0;  ///< index into tasks / result.runs
+    SolverSharing sharing;
+    std::string result_key;
+    bool done = false;  ///< answered by the result cache pre-pass
+  };
+  const bool use_results =
+      opt_.reuse_results && !opt_.keep_waveforms;  // cached records carry no waves
+  std::vector<TaskPlan> plans(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const SimulationTask& task = tasks[i];
+    TaskPlan& plan = plans[i];
+    plan.slot = i;
+    if (opt_.share_solver_state) {
+      std::string structure = task.scenario->structureKey();
+      std::string numeric = task.scenario->numericBaseKey();
+      if (!structure.empty() || !numeric.empty()) {
+        std::string models;
+        if (task.scenario->needsDriver()) models += "|drv=" + task.driver;
+        if (task.scenario->needsReceiver()) models += "|rcv=" + task.receiver;
+        plan.sharing.provider = solver_cache_.get();
+        if (!structure.empty()) plan.sharing.structure_key = structure + models;
+        if (!numeric.empty()) plan.sharing.numeric_base_key = numeric + models;
+      }
+    }
+    if (use_results) plan.result_key = resultCacheKey(task, opt_.eye);
+  }
+
+  // Result-cache pre-pass, serial: a corner already computed (this sweep
+  // has a content-identical predecessor, or a shared cache across sweeps)
+  // is replayed under the asking task's index without touching the pool.
+  if (use_results) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (auto hit = result_cache_->find(plans[i].result_key)) {
+        SweepRunRecord rec = *hit;
+        rec.index = tasks[i].index;
+        rec.label = tasks[i].label;
+        // A replayed corner did no solver work in THIS sweep: zero its
+        // telemetry/wall clock so the sweep totals (LU counts, phase
+        // times) describe only work actually performed. The replay itself
+        // is visible as a result_cache hit.
+        rec.telemetry = obs::RunTelemetry{};
+        rec.wall_seconds = 0.0;
+        result.runs[i] = std::move(rec);
+        plans[i].done = true;
+      }
+    }
+  }
+
+  // Submission order groups structurally identical corners together
+  // (original order otherwise, shareable corners first): the class's
+  // builder then runs while its siblings are near the front of the queue,
+  // so they block briefly on the in-flight build instead of much later.
+  // Collection below is by slot, so this permutation never reaches the
+  // exported order.
+  std::vector<std::size_t> order;
+  order.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (!plans[i].done) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const SolverSharing& sa = plans[a].sharing;
+    const SolverSharing& sb = plans[b].sharing;
+    const bool ea = sa.provider == nullptr;
+    const bool eb = sb.provider == nullptr;
+    if (ea != eb) return eb;  // shareable corners first
+    if (sa.structure_key != sb.structure_key) return sa.structure_key < sb.structure_key;
+    return sa.numeric_base_key < sb.numeric_base_key;
+  });
+
   ThreadPool pool(workers);
   std::vector<std::future<SweepRunRecord>> futures;
-  futures.reserve(tasks.size());
-  for (const SimulationTask& task : tasks) {
-    futures.push_back(pool.submit([this, &task]() -> SweepRunRecord {
+  futures.reserve(order.size());
+  for (std::size_t slot : order) {
+    const SimulationTask& task = tasks[slot];
+    const SolverSharing& sharing = plans[slot].sharing;
+    futures.push_back(pool.submit([this, &task, &sharing]() -> SweepRunRecord {
       // One span per corner, on the worker's thread: in the trace viewer
       // the per-thread tracks show exactly how the pool packed the sweep.
       obs::TraceSpan task_span(std::string("task:") + task.label, "sweep");
@@ -69,7 +153,7 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
         auto receiver = task.scenario->needsReceiver()
                             ? cache_->receiver(task.receiver)
                             : nullptr;
-        TaskWaveforms waves = runSimulationTask(task, driver, receiver);
+        TaskWaveforms waves = runSimulationTask(task, driver, receiver, sharing);
         const BitPattern pattern(task.scenario->pattern(),
                                  task.scenario->bitTime());
         rec.metrics = computeRunMetrics(waves, pattern, opt_.eye);
@@ -88,9 +172,16 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   }
 
   // Collect each future into its task's slot: result order is the task
-  // order no matter which worker finished first.
-  for (std::size_t i = 0; i < futures.size(); ++i)
-    result.runs[i] = futures[i].get();
+  // order no matter which worker finished first or how submission was
+  // grouped.
+  for (std::size_t k = 0; k < futures.size(); ++k)
+    result.runs[order[k]] = futures[k].get();
+
+  // Publish freshly computed records for later content-identical corners.
+  if (use_results) {
+    for (std::size_t slot : order)
+      result_cache_->put(plans[slot].result_key, result.runs[slot]);
+  }
 
   // Every future has been collected, so the pool counters are final for
   // this batch even though the pool itself is still alive.
@@ -101,6 +192,18 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   result.model_cache.inserts = cache_after.inserts - cache_before.inserts;
   result.model_cache.preload_seconds =
       cache_after.preload_seconds - cache_before.preload_seconds;
+  const SolverStateCacheStats solver_after = solver_cache_->stats();
+  result.solver_cache.symbolic_hits = solver_after.symbolic_hits - solver_before.symbolic_hits;
+  result.solver_cache.symbolic_misses =
+      solver_after.symbolic_misses - solver_before.symbolic_misses;
+  result.solver_cache.numeric_hits = solver_after.numeric_hits - solver_before.numeric_hits;
+  result.solver_cache.numeric_misses =
+      solver_after.numeric_misses - solver_before.numeric_misses;
+  result.solver_cache.inserts = solver_after.inserts - solver_before.inserts;
+  const ResultCacheStats results_after = result_cache_->stats();
+  result.result_cache.hits = results_after.hits - results_before.hits;
+  result.result_cache.misses = results_after.misses - results_before.misses;
+  result.result_cache.inserts = results_after.inserts - results_before.inserts;
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "engine/model_cache.h"
+#include "engine/result_cache.h"
+#include "engine/solver_state_cache.h"
 #include "engine/sweep_result.h"
 #include "engine/sweep_spec.h"
 #include "signal/eye.h"
@@ -29,6 +31,17 @@ struct SweepOptions {
   /// Retain each run's waveforms in its SweepRunRecord (memory-heavy for
   /// large sweeps; metrics are always computed).
   bool keep_waveforms = false;
+  /// Share solver state (symbolic analysis + base LU factorization) across
+  /// corners with equal scenario sharing keys, through the runner's
+  /// SolverStateCache. Exported metrics are byte-identical on or off (the
+  /// keys guarantee bit-identical shared pieces); off = every corner
+  /// factors privately, the pre-SolverSession behavior.
+  bool share_solver_state = true;
+  /// Replay previously computed records for content-identical tasks from
+  /// the runner's ResultCache instead of re-running them. Automatically
+  /// bypassed when keep_waveforms is set (cached records carry no
+  /// waveforms). Metrics are byte-identical on or off.
+  bool reuse_results = true;
   /// Eye-measurement window for the per-run metrics.
   EyeOptions eye;
 };
@@ -36,9 +49,14 @@ struct SweepOptions {
 class SweepRunner {
  public:
   /// A null cache gets replaced by a fresh empty ModelCache (which can
-  /// still resolve the built-in "default" models).
+  /// still resolve the built-in "default" models); null solver/result
+  /// caches get fresh instances likewise. Passing shared instances lets
+  /// several sweeps (e.g. the amplitude sweep and its clean-reference
+  /// sweep) reuse each other's factorizations and finished corners.
   explicit SweepRunner(SweepOptions opt = {},
-                       std::shared_ptr<ModelCache> cache = nullptr);
+                       std::shared_ptr<ModelCache> cache = nullptr,
+                       std::shared_ptr<SolverStateCache> solver_cache = nullptr,
+                       std::shared_ptr<ResultCache> result_cache = nullptr);
 
   /// Expands the spec and runs every task. \throws std::invalid_argument
   /// from expansion; per-task failures are captured in the result instead.
@@ -51,10 +69,14 @@ class SweepRunner {
   SweepResult run(const std::vector<SimulationTask>& tasks);
 
   const std::shared_ptr<ModelCache>& cache() const { return cache_; }
+  const std::shared_ptr<SolverStateCache>& solverCache() const { return solver_cache_; }
+  const std::shared_ptr<ResultCache>& resultCache() const { return result_cache_; }
 
  private:
   SweepOptions opt_;
   std::shared_ptr<ModelCache> cache_;
+  std::shared_ptr<SolverStateCache> solver_cache_;
+  std::shared_ptr<ResultCache> result_cache_;
 };
 
 }  // namespace fdtdmm

@@ -53,6 +53,10 @@ std::string telemetryBody(const obs::RunTelemetry& t) {
   out += ", \"steps\": " + std::to_string(t.steps);
   out += ", \"transient_runs\": " + std::to_string(t.transient_runs);
   out += ", \"pattern_realignments\": " + std::to_string(t.pattern_realignments);
+  out += ", \"shared_base_builds\": " + std::to_string(t.shared_base_builds);
+  out += ", \"shared_base_reuses\": " + std::to_string(t.shared_base_reuses);
+  out += ", \"shared_symbolic_builds\": " + std::to_string(t.shared_symbolic_builds);
+  out += ", \"shared_symbolic_reuses\": " + std::to_string(t.shared_symbolic_reuses);
   return out;
 }
 
@@ -80,6 +84,18 @@ std::string sweepTelemetryJson(const SweepResult& result) {
   out += ", \"misses\": " + std::to_string(mc.misses);
   out += ", \"inserts\": " + std::to_string(mc.inserts);
   out += ", \"preload_seconds\": " + num(mc.preload_seconds) + "},\n";
+
+  const SolverStateCacheStats& sc = result.solver_cache;
+  out += "  \"solver_cache\": {\"symbolic_hits\": " + std::to_string(sc.symbolic_hits);
+  out += ", \"symbolic_misses\": " + std::to_string(sc.symbolic_misses);
+  out += ", \"numeric_hits\": " + std::to_string(sc.numeric_hits);
+  out += ", \"numeric_misses\": " + std::to_string(sc.numeric_misses);
+  out += ", \"inserts\": " + std::to_string(sc.inserts) + "},\n";
+
+  const ResultCacheStats& rc = result.result_cache;
+  out += "  \"result_cache\": {\"hits\": " + std::to_string(rc.hits);
+  out += ", \"misses\": " + std::to_string(rc.misses);
+  out += ", \"inserts\": " + std::to_string(rc.inserts) + "},\n";
 
   out += "  \"totals\": {" + telemetryBody(totals) +
          ", \"wall_seconds\": " + num(totals.wall_seconds) + "},\n";

@@ -16,6 +16,10 @@
 ///               "queue_wait_seconds": ... },
 ///     "model_cache": { "hits": N, "misses": N, "inserts": N,
 ///                      "preload_seconds": ... },
+///     "solver_cache": { "symbolic_hits": N, "symbolic_misses": N,
+///                       "numeric_hits": N, "numeric_misses": N,
+///                       "inserts": N },
+///     "result_cache": { "hits": N, "misses": N, "inserts": N },
 ///     "totals": { <RunTelemetry object: all corners merged> },
 ///     "corners": [
 ///       { "index": 0, "label": "...", "ok": true,
@@ -25,13 +29,17 @@
 ///                     "newton_seconds": ... },
 ///         "lu_factorizations": N, "newton_iterations": N,
 ///         "max_newton_iterations": N, "steps": N, "transient_runs": N,
-///         "pattern_realignments": N },
+///         "pattern_realignments": N, "shared_base_builds": N,
+///         "shared_base_reuses": N, "shared_symbolic_builds": N,
+///         "shared_symbolic_reuses": N },
 ///       ... ] }
 ///
 ///   - corners appear in task-index order, failed runs included (ok false,
 ///     zeroed counters);
 ///   - field meanings are documented once, in obs/telemetry.h (corners),
-///     engine/thread_pool.h (pool) and engine/model_cache.h (model_cache);
+///     engine/thread_pool.h (pool), engine/model_cache.h (model_cache),
+///     engine/solver_state_cache.h (solver_cache) and
+///     engine/result_cache.h (result_cache);
 ///   - numbers use printf %.9g like the metric exports, but no determinism
 ///     is promised: every timing here is wall clock by design.
 

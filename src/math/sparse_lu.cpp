@@ -64,8 +64,12 @@ std::vector<std::size_t> reverseCuthillMcKee(const SparseMatrix& a) {
 }
 
 void SparseLu::analyze(const SparseMatrix& a) {
+  analyzeWithOrder(a, reverseCuthillMcKee(a));
+}
+
+void SparseLu::analyzeWithOrder(const SparseMatrix& a, std::vector<std::size_t> order) {
   n_ = a.dim();
-  order_ = reverseCuthillMcKee(a);
+  order_ = std::move(order);
   pos_.assign(n_, 0);
   for (std::size_t k = 0; k < n_; ++k) pos_[order_[k]] = k;
 
@@ -92,7 +96,22 @@ void SparseLu::factor(const SparseMatrix& a) {
   if (a.dim() == 0) throw std::invalid_argument("SparseLu::factor: empty matrix");
   factored_ = false;
   if (a.dim() != n_ || a.patternVersion() != analyzed_version_) analyze(a);
+  factorNumeric(a);
+}
 
+void SparseLu::factorWithOrder(const SparseMatrix& a,
+                               const std::vector<std::size_t>& order) {
+  if (!a.finalized()) throw std::invalid_argument("SparseLu::factor: matrix not finalized");
+  if (a.dim() == 0) throw std::invalid_argument("SparseLu::factor: empty matrix");
+  if (order.size() != a.dim())
+    throw std::invalid_argument("SparseLu::factorWithOrder: ordering size mismatch");
+  factored_ = false;
+  if (a.dim() != n_ || a.patternVersion() != analyzed_version_ || order_ != order)
+    analyzeWithOrder(a, order);
+  factorNumeric(a);
+}
+
+void SparseLu::factorNumeric(const SparseMatrix& a) {
   // Scatter the permuted matrix into band storage.
   std::fill(ab_.begin(), ab_.end(), 0.0);
   const auto& row_ptr = a.rowPtr();
@@ -136,29 +155,31 @@ void SparseLu::factor(const SparseMatrix& a) {
   factored_ = true;
 }
 
-void SparseLu::solve(const Vector& b, Vector& x) const {
+void SparseLu::solve(const Vector& b, Vector& x) const { solve(b, x, work_); }
+
+void SparseLu::solve(const Vector& b, Vector& x, Vector& work) const {
   if (!factored_) throw std::logic_error("SparseLu::solve: not factored");
   if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: size mismatch");
-  work_.resize(n_);
-  for (std::size_t k = 0; k < n_; ++k) work_[k] = b[order_[k]];
+  work.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) work[k] = b[order_[k]];
   // Forward: apply pivots interleaved with the L columns (gbtrs order).
   for (std::size_t j = 0; j < n_; ++j) {
-    if (piv_[j] != j) std::swap(work_[j], work_[piv_[j]]);
-    const double yj = work_[j];
+    if (piv_[j] != j) std::swap(work[j], work[piv_[j]]);
+    const double yj = work[j];
     if (yj == 0.0) continue;
     const std::size_t i_max = std::min(n_ - 1, j + kl_);
-    for (std::size_t i = j + 1; i <= i_max; ++i) work_[i] -= atc(i, j) * yj;
+    for (std::size_t i = j + 1; i <= i_max; ++i) work[i] -= atc(i, j) * yj;
   }
   // Backward: U has bandwidth ku + kl after pivot growth.
   for (std::size_t j = n_; j-- > 0;) {
-    const double yj = work_[j] / atc(j, j);
-    work_[j] = yj;
+    const double yj = work[j] / atc(j, j);
+    work[j] = yj;
     if (yj == 0.0) continue;
     const std::size_t i_min = j > kl_ + ku_ ? j - kl_ - ku_ : 0;
-    for (std::size_t i = i_min; i < j; ++i) work_[i] -= atc(i, j) * yj;
+    for (std::size_t i = i_min; i < j; ++i) work[i] -= atc(i, j) * yj;
   }
   x.resize(n_);
-  for (std::size_t k = 0; k < n_; ++k) x[order_[k]] = work_[k];
+  for (std::size_t k = 0; k < n_; ++k) x[order_[k]] = work[k];
 }
 
 Vector SparseLu::solve(const Vector& b) const {

@@ -43,6 +43,21 @@ class SparseLu {
   /// numerically singular (the factorization is left empty).
   void factor(const SparseMatrix& a);
 
+  /// Factors A like factor(), but seeds the symbolic stage with a
+  /// precomputed fill-reducing ordering (order[new] = old) instead of
+  /// recomputing RCM — the cross-run symbolic-sharing hook: an ordering
+  /// computed from an identical pattern yields a bit-identical
+  /// factorization, so runs of one structure class pay for RCM once.
+  /// \throws std::invalid_argument if `order` is not dim()-sized (on top of
+  ///         factor()'s errors). An ordering from a *different* pattern is
+  ///         still a valid permutation (the result stays correct, merely
+  ///         not band-optimal), but then the sharing key was wrong.
+  void factorWithOrder(const SparseMatrix& a, const std::vector<std::size_t>& order);
+
+  /// Ordering of the last symbolic analysis (order[new] = old; empty until
+  /// the first factor). Publishable to other instances via factorWithOrder.
+  const std::vector<std::size_t>& ordering() const { return order_; }
+
   bool factored() const { return factored_; }
   std::size_t dim() const { return n_; }
 
@@ -51,16 +66,27 @@ class SparseLu {
   std::size_t upperBandwidth() const { return ku_; }
 
   /// Solves A x = b into x (resized; must not alias b). Allocation-free
-  /// after the first call at a given dimension.
+  /// after the first call at a given dimension. NOT safe for concurrent
+  /// calls on one instance (uses an internal scratch vector); concurrent
+  /// sharers use the caller-workspace overload below.
   /// \throws std::invalid_argument on size mismatch, std::logic_error if
   ///         nothing has been factored.
   void solve(const Vector& b, Vector& x) const;
+
+  /// Thread-safe solve into caller storage: identical numerics to
+  /// solve(b, x), but the permutation/substitution scratch lives in `work`
+  /// (resized; must alias neither b nor x), so any number of threads can
+  /// solve against one shared factorization concurrently — the enabling
+  /// detail of cross-run numeric-base sharing.
+  void solve(const Vector& b, Vector& x, Vector& work) const;
 
   /// Convenience allocating overload.
   Vector solve(const Vector& b) const;
 
  private:
   void analyze(const SparseMatrix& a);
+  void analyzeWithOrder(const SparseMatrix& a, std::vector<std::size_t> order);
+  void factorNumeric(const SparseMatrix& a);
 
   double& at(std::size_t i, std::size_t j) { return ab_[j * ldab_ + (i + shift_ - j)]; }
   double atc(std::size_t i, std::size_t j) const { return ab_[j * ldab_ + (i + shift_ - j)]; }

@@ -13,6 +13,10 @@ void RunTelemetry::merge(const RunTelemetry& o) {
   steps += o.steps;
   transient_runs += o.transient_runs;
   pattern_realignments += o.pattern_realignments;
+  shared_base_builds += o.shared_base_builds;
+  shared_base_reuses += o.shared_base_reuses;
+  shared_symbolic_builds += o.shared_symbolic_builds;
+  shared_symbolic_reuses += o.shared_symbolic_reuses;
   wall_seconds += o.wall_seconds;
 }
 

@@ -36,6 +36,15 @@
 ///   - pattern_realignments     sparse-pattern overflow recompiles (a
 ///                              dynamic stamp hit a structurally-new
 ///                              entry; see circuit/transient.h)
+///   - shared_base_builds       base factorizations this run performed AND
+///                              published to a SolverStateProvider (the
+///                              one build of a numeric-base class)
+///   - shared_base_reuses       base factorizations this run *skipped* by
+///                              checking a shared one out instead (each is
+///                              an LU that did not happen; see
+///                              circuit/solver_state.h)
+///   - shared_symbolic_builds   RCM orderings built and published
+///   - shared_symbolic_reuses   RCM orderings checked out instead of built
 ///   - wall_seconds             scenario wall clock (set by the engine
 ///                              layer; the deliberately-unexported
 ///                              wall_seconds of sweep_result.h lands here)
@@ -75,6 +84,10 @@ struct RunTelemetry {
   long long steps = 0;
   long long transient_runs = 0;
   long long pattern_realignments = 0;
+  long long shared_base_builds = 0;
+  long long shared_base_reuses = 0;
+  long long shared_symbolic_builds = 0;
+  long long shared_symbolic_reuses = 0;
   double wall_seconds = 0.0;
 
   /// Field-wise aggregation (wall_seconds adds too: it is "time spent",
