@@ -1,0 +1,171 @@
+// Benchmark of the AC engine's symbolic-reuse economy on the workload it
+// exists for: a frequency sweep of one large terminated RLGC ladder. All
+// frequency points share the complex MNA pattern — only the values depend
+// on omega — so one AcSession pays pattern assembly + RCM analysis once
+// and every further solveAt() is restamp + banded factor + substitution.
+// The cold baseline tears the session down per point, re-paying CSR
+// construction and the symbolic analysis at every frequency.
+//
+// Exit status is nonzero (Release builds) if the session-reuse sweep is
+// not at least `min_speedup` faster (default 2x; override with
+// --min-speedup=<x> / FDTDMM_BENCH_MIN_AC_SPEEDUP for noisy runners).
+// Always enforced, any build: both paths must produce identical transfer
+// functions (max relative |H| difference < 1e-12) and the shared session
+// must factor exactly once per frequency. Writes BENCH_ac.json.
+
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "circuit/rlgc_line.h"
+#include "freq/ac_engine.h"
+
+namespace {
+
+using namespace fdtdmm;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kSegments = 1200;
+constexpr int kFreqPoints = 40;
+
+// The 2-port fixture of freq/ac_family.h at bench scale: matched lossless
+// 50-ohm ladder, ~2400 unknowns, driven from port 1.
+struct Fixture {
+  Circuit circuit;
+  int p2 = 0;
+
+  Fixture() {
+    const int p1 = circuit.addNode();
+    p2 = circuit.addNode();
+    const int s1 = circuit.addNode();
+    TimeFn dark = [](double) { return 0.0; };
+    VoltageSource* src = circuit.addVoltageSource(s1, Circuit::kGround, dark);
+    src->setAcValue(Complex(1.0, 0.0));
+    circuit.addResistor(s1, p1, 50.0);
+    circuit.addResistor(p2, Circuit::kGround, 50.0);
+    RlgcParams line;
+    line.l = 2.5e-7;  // sqrt(l/c) = 50 ohm, td = 0.5 ns over 10 cm
+    line.c = 1e-10;
+    line.length = 0.1;
+    line.segments = kSegments;
+    buildRlgcLineSegments(circuit, p1, Circuit::kGround, p2, Circuit::kGround,
+                          line);
+  }
+};
+
+std::vector<double> logFrequencies() {
+  std::vector<double> f(kFreqPoints);
+  for (int k = 0; k < kFreqPoints; ++k)
+    f[k] = 1e6 * std::pow(1e3, static_cast<double>(k) / (kFreqPoints - 1));
+  return f;
+}
+
+struct AcTiming {
+  double seconds = 0.0;
+  std::size_t factorizations = 0;
+  std::vector<Complex> h;  ///< V(p2) per frequency
+};
+
+// One session across all points: symbolic work amortized over the sweep.
+AcTiming runShared(Fixture& fx, const std::vector<double>& freqs) {
+  AcTiming t;
+  const auto start = Clock::now();
+  AcSession session(fx.circuit, AcOptions{});
+  for (double f : freqs)
+    t.h.push_back(acNodeV(session.solveAt(f), fx.p2));
+  t.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  t.factorizations = session.factorizations();
+  return t;
+}
+
+// Fresh session per point: CSR assembly + RCM analysis re-paid every time.
+AcTiming runCold(Fixture& fx, const std::vector<double>& freqs) {
+  AcTiming t;
+  const auto start = Clock::now();
+  for (double f : freqs) {
+    AcSession session(fx.circuit, AcOptions{});
+    t.h.push_back(acNodeV(session.solveAt(f), fx.p2));
+    t.factorizations += session.factorizations();
+  }
+  t.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return t;
+}
+
+double maxRelDiff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(std::abs(a[i]), 1e-300);
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("=== bench_ac_sweep: shared vs per-frequency AC symbolic analysis ===");
+  const double min_speedup =
+      benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_AC_SPEEDUP", 2.0);
+  int failures = 0;
+
+  Fixture fx;
+  const std::vector<double> freqs = logFrequencies();
+  std::printf("  ladder: %zu segments, %d frequency points (1 MHz .. 1 GHz)\n",
+              kSegments, kFreqPoints);
+
+  const AcTiming cold = runCold(fx, freqs);
+  const AcTiming shared = runShared(fx, freqs);
+  const double speedup = cold.seconds / shared.seconds;
+  const double h_diff = maxRelDiff(shared.h, cold.h);
+
+  std::printf("%10s %9s %12s\n", "session", "factors", "wall [s]");
+  std::printf("%10s %9zu %12.4f\n", "cold", cold.factorizations, cold.seconds);
+  std::printf("%10s %9zu %12.4f\n", "shared", shared.factorizations,
+              shared.seconds);
+  std::printf("  speedup: %.2fx (gate: >= %.2fx, release builds)\n", speedup,
+              min_speedup);
+  std::printf("  max relative |H| difference: %.3g\n", h_diff);
+
+  // Correctness invariants, any build: symbolic reuse must not change a
+  // single transfer value, and neither path may skip or add factorizations.
+  if (h_diff >= 1e-12) {
+    std::puts("FAIL: shared and cold sessions disagree on H(jw)");
+    ++failures;
+  }
+  if (shared.factorizations != freqs.size() ||
+      cold.factorizations != freqs.size()) {
+    std::puts("FAIL: expected exactly one complex factorization per point");
+    ++failures;
+  }
+#ifdef NDEBUG
+  if (speedup < min_speedup) {
+    std::printf("FAIL: expected >= %.2fx from AC symbolic reuse\n", min_speedup);
+    ++failures;
+  }
+#else
+  std::puts("(non-optimized build: speedup reported, not gated)");
+#endif
+
+  const bool pass = failures == 0;
+  using benchutil::num;
+  const std::string json = std::string("{\n") +
+      "  \"bench\": \"ac_sweep\",\n" +
+      "  \"build\": \"" + benchutil::buildKind() + "\",\n" +
+      "  \"min_speedup\": " + num(min_speedup) + ",\n" +
+      "  \"segments\": " + std::to_string(kSegments) + ",\n" +
+      "  \"frequency_points\": " + std::to_string(kFreqPoints) + ",\n" +
+      "  \"seconds_shared\": " + num(shared.seconds) + ",\n" +
+      "  \"seconds_cold\": " + num(cold.seconds) + ",\n" +
+      "  \"speedup\": " + num(speedup) + ",\n" +
+      "  \"max_rel_h_diff\": " + num(h_diff) + ",\n" +
+      "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
+  if (!benchutil::writeFile("BENCH_ac.json", json)) ++failures;
+  std::puts("\nwrote BENCH_ac.json");
+
+  if (failures == 0) std::puts("all checks passed");
+  return failures == 0 ? 0 : 1;
+}

@@ -25,8 +25,30 @@ inline std::string initTracing(int argc, char** argv) {
   return trace_path;
 }
 
-// Writes the three standard export files for `prefix`, announces them, and
-// finalizes the optional trace started by initTracing.
+// Human-readable cache/pool effectiveness footer: the headline numbers a
+// user scans after a sweep without opening the telemetry JSON. Stats are
+// the per-sweep deltas SweepRunner already computed.
+inline void printStatsFooter(const fdtdmm::SweepResult& result) {
+  const fdtdmm::SolverStateCacheStats& sc = result.solver_cache;
+  const fdtdmm::ResultCacheStats& rc = result.result_cache;
+  const fdtdmm::ThreadPoolStats& pool = result.pool;
+  std::printf("# solver_cache: symbolic %lld hit / %lld miss, numeric %lld hit / %lld miss",
+              sc.symbolic_hits, sc.symbolic_misses, sc.numeric_hits, sc.numeric_misses);
+  if (sc.refused_inserts) std::printf(", %lld refused", sc.refused_inserts);
+  std::printf("\n");
+  std::printf("# result_cache: %lld hit / %lld miss, %lld stored", rc.hits,
+              rc.misses, rc.inserts);
+  if (rc.refused_inserts) std::printf(", %lld refused", rc.refused_inserts);
+  std::printf("\n");
+  std::printf("# pool: %zu workers, %lld tasks, queue high-water %zu, "
+              "%.3f s queued, %.3f s wall\n",
+              result.workers, pool.submitted, pool.queue_high_water,
+              pool.queue_wait_seconds, result.wall_seconds);
+}
+
+// Writes the three standard export files for `prefix`, announces them,
+// prints the stats footer, and finalizes the optional trace started by
+// initTracing.
 inline void exportAndFinish(const fdtdmm::SweepResult& result,
                             const std::string& prefix,
                             const std::string& trace_path) {
@@ -38,6 +60,7 @@ inline void exportAndFinish(const fdtdmm::SweepResult& result,
   fdtdmm::writeSweepTelemetryJson(result, telemetry);
   std::printf("# wrote %s, %s, %s\n", csv.c_str(), json.c_str(),
               telemetry.c_str());
+  printStatsFooter(result);
   if (!fdtdmm::obs::shutdownTrace().empty())
     std::printf("# wrote trace %s\n", trace_path.c_str());
 }

@@ -37,6 +37,47 @@ void Element::addArowNode(StampSystem& sys, std::size_t row, int col_node, doubl
   }
 }
 
+void Element::stampAc(AcStampSystem&, double, const Vector&) const {
+  throw std::logic_error(name() + ": AC analysis not supported");
+}
+
+void Element::stampAcAdmittance(AcStampSystem& sys, int n1, int n2,
+                                std::complex<double> y) {
+  acAddAnode(sys, n1, n1, y);
+  acAddAnode(sys, n2, n2, y);
+  acAddAnode(sys, n1, n2, -y);
+  acAddAnode(sys, n2, n1, -y);
+}
+
+void Element::stampAcCurrentSource(AcStampSystem& sys, int n1, int n2,
+                                   std::complex<double> i) {
+  // Current i flows out of n1, into n2: subtract at n1, add at n2.
+  if (n1 != 0) sys.b[static_cast<std::size_t>(n1 - 1)] -= i;
+  if (n2 != 0) sys.b[static_cast<std::size_t>(n2 - 1)] += i;
+}
+
+void Element::acAddA(AcStampSystem& sys, int row_node, std::size_t col,
+                     std::complex<double> v) {
+  if (row_node != 0) {
+    sys.add(static_cast<std::size_t>(row_node - 1), col, v);
+  }
+}
+
+void Element::acAddAnode(AcStampSystem& sys, int row_node, int col_node,
+                         std::complex<double> v) {
+  if (row_node != 0 && col_node != 0) {
+    sys.add(static_cast<std::size_t>(row_node - 1),
+            static_cast<std::size_t>(col_node - 1), v);
+  }
+}
+
+void Element::acAddArowNode(AcStampSystem& sys, std::size_t row, int col_node,
+                            std::complex<double> v) {
+  if (col_node != 0) {
+    sys.add(row, static_cast<std::size_t>(col_node - 1), v);
+  }
+}
+
 // ---------------------------------------------------------------- Resistor
 
 Resistor::Resistor(int n1, int n2, double r) : n1_(n1), n2_(n2), g_(1.0 / r) {
@@ -45,6 +86,10 @@ Resistor::Resistor(int n1, int n2, double r) : n1_(n1), n2_(n2), g_(1.0 / r) {
 
 void Resistor::stampStatic(StampSystem& sys, double) {
   stampConductance(sys, n1_, n2_, g_);
+}
+
+void Resistor::stampAc(AcStampSystem& sys, double, const Vector&) const {
+  stampAcAdmittance(sys, n1_, n2_, {g_, 0.0});
 }
 
 // --------------------------------------------------------------- Capacitor
@@ -83,6 +128,10 @@ void Capacitor::endStep(const Vector& x, double, double) {
   const double v = nodeV(x, n1_) - nodeV(x, n2_);
   i_prev_ = geq_ * (v - v_prev_) - kThetaFeedback * i_prev_;
   v_prev_ = v;
+}
+
+void Capacitor::stampAc(AcStampSystem& sys, double omega, const Vector&) const {
+  stampAcAdmittance(sys, n1_, n2_, {0.0, omega * c_});
 }
 
 // ---------------------------------------------------------------- Inductor
@@ -128,11 +177,22 @@ void Inductor::endStep(const Vector& x, double t_new, double) {
   i_prev_ = x[branch_offset_];
 }
 
+void Inductor::stampAc(AcStampSystem& sys, double omega, const Vector&) const {
+  // Branch row: v(n1) - v(n2) - j*omega*L * i = 0. The optional transient
+  // EMF is a time-domain excitation and contributes nothing at AC.
+  const std::size_t ib = branch_offset_;
+  acAddArowNode(sys, ib, n1_, {1.0, 0.0});
+  acAddArowNode(sys, ib, n2_, {-1.0, 0.0});
+  sys.add(ib, ib, {0.0, -omega * l_});
+  acAddA(sys, n1_, ib, {1.0, 0.0});
+  acAddA(sys, n2_, ib, {-1.0, 0.0});
+}
+
 // --------------------------------------------------------- CoupledInductors
 
 CoupledInductors::CoupledInductors(int a1, int b1, int a2, int b2, double l1,
                                    double l2, double m)
-    : a1_(a1), b1_(b1), a2_(a2), b2_(b2) {
+    : a1_(a1), b1_(b1), a2_(a2), b2_(b2), l1_(l1), l2_(l2), m_(m) {
   if (l1 <= 0.0 || l2 <= 0.0)
     throw std::invalid_argument("CoupledInductors: L1, L2 must be > 0");
   const double det = l1 * l2 - m * m;
@@ -185,6 +245,25 @@ void CoupledInductors::endStep(const Vector& x, double, double) {
   i2_prev_ = x[branch_offset_ + 1];
 }
 
+void CoupledInductors::stampAc(AcStampSystem& sys, double omega,
+                               const Vector&) const {
+  // v1 = j*omega*(L1 i1 + M i2), v2 = j*omega*(M i1 + L2 i2).
+  const std::size_t ib1 = branch_offset_;
+  const std::size_t ib2 = branch_offset_ + 1;
+  acAddArowNode(sys, ib1, a1_, {1.0, 0.0});
+  acAddArowNode(sys, ib1, b1_, {-1.0, 0.0});
+  sys.add(ib1, ib1, {0.0, -omega * l1_});
+  sys.add(ib1, ib2, {0.0, -omega * m_});
+  acAddArowNode(sys, ib2, a2_, {1.0, 0.0});
+  acAddArowNode(sys, ib2, b2_, {-1.0, 0.0});
+  sys.add(ib2, ib1, {0.0, -omega * m_});
+  sys.add(ib2, ib2, {0.0, -omega * l2_});
+  acAddA(sys, a1_, ib1, {1.0, 0.0});
+  acAddA(sys, b1_, ib1, {-1.0, 0.0});
+  acAddA(sys, a2_, ib2, {1.0, 0.0});
+  acAddA(sys, b2_, ib2, {-1.0, 0.0});
+}
+
 // ----------------------------------------------------------- VoltageSource
 
 VoltageSource::VoltageSource(int n1, int n2, TimeFn vs)
@@ -206,6 +285,16 @@ void VoltageSource::stampDynamic(StampSystem& sys, const Vector&, double t_new, 
   sys.b[branch_offset_] += vs_(t_new);
 }
 
+void VoltageSource::stampAc(AcStampSystem& sys, double, const Vector&) const {
+  const std::size_t ib = branch_offset_;
+  // Branch row: v(n1) - v(n2) = ac phasor (0 = AC short).
+  acAddArowNode(sys, ib, n1_, {1.0, 0.0});
+  acAddArowNode(sys, ib, n2_, {-1.0, 0.0});
+  acAddA(sys, n1_, ib, {1.0, 0.0});
+  acAddA(sys, n2_, ib, {-1.0, 0.0});
+  sys.b[ib] += ac_;
+}
+
 // ----------------------------------------------------------- CurrentSource
 
 CurrentSource::CurrentSource(int n1, int n2, TimeFn is)
@@ -215,6 +304,10 @@ CurrentSource::CurrentSource(int n1, int n2, TimeFn is)
 
 void CurrentSource::stampDynamic(StampSystem& sys, const Vector&, double t_new, double) {
   stampCurrentSource(sys, n2_, n1_, is_(t_new));
+}
+
+void CurrentSource::stampAc(AcStampSystem& sys, double, const Vector&) const {
+  stampAcCurrentSource(sys, n2_, n1_, ac_);
 }
 
 // ------------------------------------------------------------------- Diode
@@ -247,6 +340,14 @@ void Diode::stampDynamic(StampSystem& sys, const Vector& x, double, double) {
   // Linearization: i(v*) ~ i0 + g (v - v0) = g v + (i0 - g v0).
   stampConductance(sys, na_, nc_, g);
   stampCurrentSource(sys, na_, nc_, i - g * v);
+}
+
+void Diode::stampAc(AcStampSystem& sys, double, const Vector& x_dc) const {
+  // Small-signal: only the junction conductance at the DC point survives.
+  const double v = dcNodeV(x_dc, na_) - dcNodeV(x_dc, nc_);
+  double g = 0.0;
+  (void)evalCurrent(v, p_, g);
+  stampAcAdmittance(sys, na_, nc_, {g, 0.0});
 }
 
 // ------------------------------------------------------------------ Mosfet
@@ -310,6 +411,28 @@ void Mosfet::stampDynamic(StampSystem& sys, const Vector& x, double, double) {
   stampCurrentSource(sys, d, s, sgn * ieq);
 }
 
+void Mosfet::stampAc(AcStampSystem& sys, double, const Vector& x_dc) const {
+  // Same effective-NMOS frame as stampDynamic, but only the small-signal
+  // conductances survive (no residual source at AC).
+  const double sgn = (p_.type == MosfetParams::Type::kNmos) ? 1.0 : -1.0;
+  int d = nd_, s = ns_;
+  double vds = sgn * (dcNodeV(x_dc, d) - dcNodeV(x_dc, s));
+  if (vds < 0.0) {
+    std::swap(d, s);
+    vds = -vds;
+  }
+  const double vgs = sgn * (dcNodeV(x_dc, ng_) - dcNodeV(x_dc, s));
+
+  double gm = 0.0, gds = 0.0;
+  (void)evalIds(vgs, vds, p_, gm, gds);
+
+  stampAcAdmittance(sys, d, s, {gds, 0.0});
+  acAddAnode(sys, d, ng_, {gm, 0.0});
+  acAddAnode(sys, d, s, {-gm, 0.0});
+  acAddAnode(sys, s, ng_, {-gm, 0.0});
+  acAddAnode(sys, s, s, {gm, 0.0});
+}
+
 // --------------------------------------------------------------- IdealLine
 
 IdealLine::IdealLine(int p1p, int p1m, int p2p, int p2m, double zc, double td)
@@ -365,6 +488,33 @@ void IdealLine::stampStatic(StampSystem& sys, double) {
 void IdealLine::stampDynamic(StampSystem& sys, const Vector&, double, double) {
   sys.b[branch_offset_] += v1h_;
   sys.b[branch_offset_ + 1] += v2h_;
+}
+
+void IdealLine::stampAc(AcStampSystem& sys, double omega, const Vector&) const {
+  // Exact frequency-domain Branin equations: the transient history term
+  // v1h = w2(t - Td) becomes e^{-j omega Td} (V2 + Zc I2), so
+  //   (V1 - Zc I1) - e (V2 + Zc I2) = 0  and symmetrically for port 2.
+  // Note the matrix is NOT of the G + j*omega*B form here — this is why
+  // the AC engine re-stamps values at every frequency point.
+  const std::size_t i1 = branch_offset_;
+  const std::size_t i2 = branch_offset_ + 1;
+  const std::complex<double> e = std::exp(std::complex<double>(0.0, -omega * td_));
+  acAddArowNode(sys, i1, p1p_, {1.0, 0.0});
+  acAddArowNode(sys, i1, p1m_, {-1.0, 0.0});
+  sys.add(i1, i1, {-zc_, 0.0});
+  acAddArowNode(sys, i1, p2p_, -e);
+  acAddArowNode(sys, i1, p2m_, e);
+  sys.add(i1, i2, -e * zc_);
+  acAddArowNode(sys, i2, p2p_, {1.0, 0.0});
+  acAddArowNode(sys, i2, p2m_, {-1.0, 0.0});
+  sys.add(i2, i2, {-zc_, 0.0});
+  acAddArowNode(sys, i2, p1p_, -e);
+  acAddArowNode(sys, i2, p1m_, e);
+  sys.add(i2, i1, -e * zc_);
+  acAddA(sys, p1p_, i1, {1.0, 0.0});
+  acAddA(sys, p1m_, i1, {-1.0, 0.0});
+  acAddA(sys, p2p_, i2, {1.0, 0.0});
+  acAddA(sys, p2m_, i2, {-1.0, 0.0});
 }
 
 void IdealLine::endStep(const Vector& x, double t_new, double) {

@@ -11,9 +11,11 @@
 /// Newton loop — re-factoring only when a dynamic stamp actually touched
 /// the matrix.
 
+#include <complex>
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "math/matrix.h"
 #include "math/sparse_matrix.h"
@@ -46,6 +48,28 @@ struct StampSystem {
       a(row, col) += v;
     }
     matrix_dirty = true;
+  }
+};
+
+/// Complex MNA system A(omega) x = b for the frequency-domain path,
+/// A = G + j*omega*B (plus frequency-dependent terms like the ideal line's
+/// e^{-j omega Td}). Assembled as TWO real StampSystem targets — `re` for
+/// the real part and `im` for the imaginary part — so the existing
+/// dense/sparse routing of StampSystem::add is reused verbatim and both
+/// targets end up with byte-identical CSR patterns (add() always writes
+/// both, even when one part is zero), the precondition of
+/// ComplexSparseLu's shared-pattern factorization. The right-hand side is
+/// natively complex.
+struct AcStampSystem {
+  StampSystem re;  ///< real part of A (b unused; the complex RHS is below)
+  StampSystem im;  ///< imaginary part of A (same pattern as `re`)
+  std::vector<std::complex<double>> b;
+
+  /// Adds v to complex matrix entry (row, col) — both parts, always, so
+  /// the two patterns stay identical.
+  void add(std::size_t row, std::size_t col, std::complex<double> v) {
+    re.add(row, col, v.real());
+    im.add(row, col, v.imag());
   }
 };
 
@@ -98,6 +122,39 @@ class Element {
   /// Commits the accepted solution of this step.
   virtual void endStep(const Vector& /*x*/, double /*t_new*/, double /*dt*/) {}
 
+  /// Stamps this element's small-signal frequency-domain contribution at
+  /// angular frequency `omega` into the complex system A(omega) x = b.
+  ///
+  /// Contract (the AC analogue of stampStatic/stampDynamic, collapsed into
+  /// one pass because the engine re-stamps values at every frequency):
+  ///  - Reactive elements stamp admittance/impedance at s = j*omega
+  ///    (capacitor j*omega*C, inductor branch row with -j*omega*L).
+  ///  - Nonlinear devices stamp the Jacobian of their DC linearization
+  ///    about `x_dc` (the operating point from freq::dcOperatingPoint; an
+  ///    EMPTY vector means "all unknowns zero"). No residual current
+  ///    sources: AC analysis is small-signal, only derivatives survive.
+  ///  - Time-domain excitations are dark at AC. Sources contribute their
+  ///    complex AC phasor (setAcValue on VoltageSource/CurrentSource;
+  ///    default 0 makes an un-phasored voltage source an AC short and an
+  ///    un-phasored current source an AC open). The inductor's series EMC
+  ///    EMF likewise contributes nothing.
+  ///  - All matrix writes go through AcStampSystem::add (or the stampAc*
+  ///    helpers), which writes BOTH real and imaginary targets on every
+  ///    add so the two sparse patterns stay identical; RHS writes go to
+  ///    sys.b (complex, sized to the unknown count by the engine).
+  ///  - Branch unknowns reuse the transient branch_offset_ assignment, so
+  ///    an AC system has exactly the unknown layout of the transient one.
+  ///  - May be called many times per assembly (once per frequency point);
+  ///    must be state-free (const) and must not depend on begin()/
+  ///    beginStep() having run.
+  ///
+  /// The default throws std::logic_error: elements without a defined
+  /// small-signal model (e.g. BehavioralPort, whose PortModel interface is
+  /// time-domain-only) refuse AC analysis loudly instead of silently
+  /// vanishing from the matrix.
+  virtual void stampAc(AcStampSystem& /*sys*/, double /*omega*/,
+                       const Vector& /*x_dc*/) const;
+
   virtual std::string name() const = 0;
 
  protected:
@@ -116,6 +173,26 @@ class Element {
   static void addAnode(StampSystem& sys, int row_node, int col_node, double v);
   static void addArowNode(StampSystem& sys, std::size_t row, int col_node, double v);
 
+  /// AC counterparts of the stamp helpers above: complex 4-point admittance
+  /// stamp, complex RHS injection (current y flowing out of n1 into n2),
+  /// and ground-skipping complex matrix writes.
+  static void stampAcAdmittance(AcStampSystem& sys, int n1, int n2,
+                                std::complex<double> y);
+  static void stampAcCurrentSource(AcStampSystem& sys, int n1, int n2,
+                                   std::complex<double> i);
+  static void acAddA(AcStampSystem& sys, int row_node, std::size_t col,
+                     std::complex<double> v);
+  static void acAddAnode(AcStampSystem& sys, int row_node, int col_node,
+                         std::complex<double> v);
+  static void acAddArowNode(AcStampSystem& sys, std::size_t row, int col_node,
+                            std::complex<double> v);
+
+  /// Voltage of node n in a DC operating-point vector where an empty
+  /// vector means "all zeros" (the stampAc convention for x_dc).
+  static double dcNodeV(const Vector& x, int n) {
+    return (n == 0 || x.empty()) ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+  }
+
   std::size_t branch_offset_ = 0;
 };
 
@@ -125,6 +202,7 @@ class Resistor final : public Element {
   /// \throws std::invalid_argument if r <= 0.
   Resistor(int n1, int n2, double r);
   void stampStatic(StampSystem& sys, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "R"; }
 
  private:
@@ -141,6 +219,7 @@ class Capacitor final : public Element {
   void stampStatic(StampSystem& sys, double dt) override;
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "C"; }
 
  private:
@@ -170,6 +249,7 @@ class Inductor final : public Element {
   void stampStatic(StampSystem& sys, double dt) override;
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "L"; }
 
  private:
@@ -196,10 +276,12 @@ class CoupledInductors final : public Element {
   void stampStatic(StampSystem& sys, double dt) override;
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "K"; }
 
  private:
   int a1_, b1_, a2_, b2_;
+  double l1_, l2_, m_;      ///< inductance matrix [H] (for the AC stamp)
   double g11_, g12_, g22_;  ///< inverse inductance matrix [1/H]
   double i1_prev_ = 0.0, i2_prev_ = 0.0;
   double v1_prev_ = 0.0, v2_prev_ = 0.0;
@@ -213,14 +295,24 @@ class VoltageSource final : public Element {
   int branchCount() const override { return 1; }
   void stampStatic(StampSystem& sys, double dt) override;
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "V"; }
 
   /// Index of the branch-current unknown (valid after assembly).
   std::size_t branchIndex() const { return branch_offset_; }
 
+  /// AC phasor of this source: v(n1) - v(n2) = ac at every frequency. The
+  /// default 0 makes the source an AC short (its internal impedance),
+  /// which is what termination/bias sources want. Mutable between
+  /// AcSession::run calls — the S-parameter extraction re-runs one
+  /// assembled system with forward/reverse port excitations.
+  void setAcValue(std::complex<double> ac) { ac_ = ac; }
+  std::complex<double> acValue() const { return ac_; }
+
  private:
   int n1_, n2_;
   TimeFn vs_;
+  std::complex<double> ac_{0.0, 0.0};
 };
 
 /// Ideal current source injecting is(t) from n2 into n1.
@@ -229,11 +321,17 @@ class CurrentSource final : public Element {
   /// \throws std::invalid_argument if is is empty.
   CurrentSource(int n1, int n2, TimeFn is);
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "I"; }
+
+  /// AC phasor injected from n2 into n1 (default 0: an AC open).
+  void setAcValue(std::complex<double> ac) { ac_ = ac; }
+  std::complex<double> acValue() const { return ac_; }
 
  private:
   int n1_, n2_;
   TimeFn is_;
+  std::complex<double> ac_{0.0, 0.0};
 };
 
 /// Junction diode parameters.
@@ -250,6 +348,7 @@ class Diode final : public Element {
  public:
   Diode(int anode, int cathode, const DiodeParams& p = {});
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "D"; }
 
   /// Diode current and conductance at junction voltage v (exposed for tests).
@@ -278,6 +377,7 @@ class Mosfet final : public Element {
  public:
   Mosfet(int drain, int gate, int source, const MosfetParams& p = {});
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return p_.type == MosfetParams::Type::kNmos ? "NMOS" : "PMOS"; }
 
   /// Drain current (NMOS convention: positive into drain when vds > 0) and
@@ -304,6 +404,7 @@ class IdealLine final : public Element {
   void stampStatic(StampSystem& sys, double dt) override;
   void stampDynamic(StampSystem& sys, const Vector& x, double t_new, double dt) override;
   void endStep(const Vector& x, double t_new, double dt) override;
+  void stampAc(AcStampSystem& sys, double omega, const Vector& x_dc) const override;
   std::string name() const override { return "TL"; }
 
  private:

@@ -79,7 +79,8 @@ std::vector<int> buildLadder(Circuit& circuit, int n1, int ref1, int n2,
 
 std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
                                        int n2, int ref2, const RlgcParams& p) {
-  return buildRlgcLineSegments(circuit, n1, ref1, n2, ref2, p, {});
+  return buildRlgcLineSegments(circuit, n1, ref1, n2, ref2, p,
+                               std::vector<TimeFn>{});
 }
 
 std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
@@ -98,6 +99,31 @@ std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
                          circuit.addSeriesEmfInductor(a, b, l_seg,
                                                       segment_emf[s]);
                        }
+                     });
+}
+
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p,
+                                       const std::vector<SeriesRlBranch>& skin_branches) {
+  for (const SeriesRlBranch& br : skin_branches)
+    if (br.r < 0.0 || br.l < 0.0)
+      throw std::invalid_argument(
+          "buildRlgcLine: skin branch values must be >= 0");
+  if (p.segments == 0) throw std::invalid_argument("buildRlgcLine: need >= 1 segment");
+  const double dz = p.length / static_cast<double>(p.segments);
+  const double l_seg = p.l * dz;
+  return buildLadder(circuit, n1, ref1, n2, ref2, p,
+                     [&](std::size_t, int a, int b) {
+                       // Chain the R-parallel-L steps ahead of the main
+                       // inductor; degenerate branches are exact shorts.
+                       for (const SeriesRlBranch& br : skin_branches) {
+                         if (br.r <= 0.0 || br.l <= 0.0) continue;
+                         const int m = circuit.addNode();
+                         circuit.addResistor(a, m, br.r * dz);
+                         circuit.addInductor(a, m, br.l * dz);
+                         a = m;
+                       }
+                       circuit.addInductor(a, b, l_seg);
                      });
 }
 

@@ -55,6 +55,27 @@ std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
                                        int n2, int ref2, const RlgcParams& p,
                                        const std::vector<TimeFn>& segment_emf);
 
+/// One series R-parallel-L branch per unit length, synthesized from a
+/// skin-effect rational fit (freq/rational_fit.h): below its corner
+/// frequency R/L the branch is an inductive short, above it the current is
+/// forced through R — the resistance "steps on", which is how a chain of
+/// these makes the ladder's series resistance rise like sqrt(f).
+struct SeriesRlBranch {
+  double r = 0.0;  ///< branch resistance [ohm/m]
+  double l = 0.0;  ///< branch inductance [H/m]
+};
+
+/// As buildRlgcLineSegments, with `skin_branches` chained in series with
+/// each segment's inductor (each branch's R and L scaled by the segment
+/// length; entries with r == 0 or l == 0 are degenerate shorts and are
+/// skipped). The caller keeps the line's low-frequency inductance budget:
+/// the branches add skinFitInductance() below their corners, so reduce
+/// p.l by that amount before calling (p.l must stay > 0).
+/// All branch values must be >= 0.
+std::vector<int> buildRlgcLineSegments(Circuit& circuit, int n1, int ref1,
+                                       int n2, int ref2, const RlgcParams& p,
+                                       const std::vector<SeriesRlBranch>& skin_branches);
+
 /// Two identical RLGC ladders with segment-wise capacitive and inductive
 /// coupling: the crosstalk substrate of the "crosstalk" scenario family.
 /// `line.c` is each line's shunt capacitance to ground; `cm` adds a

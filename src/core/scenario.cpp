@@ -8,6 +8,7 @@
 #include "core/pcb_family.h"
 #include "core/tline_family.h"
 #include "emc/emc_scenario.h"
+#include "freq/ac_family.h"
 
 namespace fdtdmm {
 
@@ -207,6 +208,7 @@ ScenarioRegistry& ScenarioRegistry::global() {
     r->add("pcb", [] { return std::make_unique<PcbFamily>(); });
     r->add("crosstalk", [] { return std::make_unique<CrosstalkFamily>(); });
     r->add("emc", [] { return std::make_unique<EmcFamily>(); });
+    r->add("ac", [] { return std::make_unique<AcFamily>(); });
     return r;
   }();
   return *instance;

@@ -54,10 +54,24 @@ void ResultCache::put(const std::string& key, const SweepRunRecord& record) {
   auto stored = std::make_shared<SweepRunRecord>(record);
   stored->waves = TaskWaveforms{};  // strip memory-heavy waveforms
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = records_[key];
-  if (slot) return;  // first wins; equal keys are interchangeable
-  slot = std::move(stored);
+  auto it = records_.find(key);
+  if (it != records_.end()) return;  // first wins; equal keys are interchangeable
+  if (max_entries_ != 0 && records_.size() >= max_entries_) {
+    ++stats_.refused_inserts;  // at capacity: new keys are refused, not evicted
+    return;
+  }
+  records_.emplace(key, std::move(stored));
   ++stats_.inserts;
+}
+
+void ResultCache::setMaxEntries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+}
+
+std::size_t ResultCache::maxEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
 }
 
 ResultCacheStats ResultCache::stats() const {

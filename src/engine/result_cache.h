@@ -38,6 +38,10 @@ struct ResultCacheStats {
   long long hits = 0;     ///< find() calls that returned a record
   long long misses = 0;   ///< find() calls that returned null
   long long inserts = 0;  ///< records stored
+  /// put() calls for a NEW key refused because the cache sits at its
+  /// max_entries() bound (a nonzero value here on a long-lived cache
+  /// means later sweeps run uncached — raise the bound or clear()).
+  long long refused_inserts = 0;
 };
 
 /// The full-content key of a task (+ eye options). Deterministic: equal
@@ -46,7 +50,17 @@ std::string resultCacheKey(const SimulationTask& task, const EyeOptions& eye);
 
 class ResultCache {
  public:
-  ResultCache() = default;
+  /// `max_entries` bounds the record count: once full, put() refuses NEW
+  /// keys (counted in stats().refused_inserts) instead of growing — a
+  /// long-lived cache (the future sweep-server deployment) must not grow
+  /// without bound. 0 = unbounded. Lookups and re-puts of cached keys are
+  /// unaffected by the bound.
+  explicit ResultCache(std::size_t max_entries = 0) : max_entries_(max_entries) {}
+
+  /// Adjusts the bound. Shrinking below size() evicts nothing — existing
+  /// records stay; only new inserts are refused.
+  void setMaxEntries(std::size_t max_entries);
+  std::size_t maxEntries() const;
 
   /// Returns the cached record for `key`, or null (counting a hit/miss).
   std::shared_ptr<const SweepRunRecord> find(const std::string& key);
@@ -65,7 +79,8 @@ class ResultCache {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const SweepRunRecord>> records_;
-  ResultCacheStats stats_;  // guarded by mu_
+  ResultCacheStats stats_;      // guarded by mu_
+  std::size_t max_entries_ = 0;  // guarded by mu_; 0 = unbounded
 };
 
 }  // namespace fdtdmm

@@ -10,14 +10,28 @@ std::shared_ptr<const T> SolverStateCache::resolve(
   std::shared_ptr<Entry<T>> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto& slot = map[key];
-    if (!slot) slot = std::make_shared<Entry<T>>();
-    entry = slot;
-    if (entry->value) {
+    auto it = map.find(key);
+    if (it == map.end()) {
+      // Capacity check BEFORE slot creation: a refused key must not grow
+      // the map even transiently. The caller still gets a correct value —
+      // its builder runs below, privately and unpublished.
+      if (max_entries_ != 0 && map.size() >= max_entries_) {
+        ++(stats_.*misses);
+        ++stats_.refused_inserts;
+        entry = nullptr;
+      } else {
+        it = map.emplace(key, std::make_shared<Entry<T>>()).first;
+        entry = it->second;
+      }
+    } else {
+      entry = it->second;
+    }
+    if (entry && entry->value) {
       ++(stats_.*hits);
       return entry->value;
     }
   }
+  if (!entry) return build();  // refused: private unpublished build
   // Build outside the cache lock but inside the entry lock: one builder
   // per key at a time, other keys fully concurrent. Re-check after
   // acquiring — a concurrent caller may have published while we waited.
@@ -54,6 +68,16 @@ std::shared_ptr<const SolverNumericBase> SolverStateCache::numericBase(
 SolverStateCacheStats SolverStateCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void SolverStateCache::setMaxEntries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+}
+
+std::size_t SolverStateCache::maxEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
 }
 
 namespace {

@@ -35,11 +35,28 @@ struct SolverStateCacheStats {
   long long numeric_hits = 0;     ///< numericBase() calls answered from the map
   long long numeric_misses = 0;   ///< numericBase() calls that ran the builder
   long long inserts = 0;          ///< values published (successful builds)
+  /// Lookups of a NEW key refused because the class map sits at its
+  /// max_entries() bound. A refused lookup still runs the builder for its
+  /// caller (correctness is never capacity-dependent) — it just publishes
+  /// nothing, so the sharing economy degrades instead of the memory
+  /// growing without bound.
+  long long refused_inserts = 0;
 };
 
 class SolverStateCache final : public SolverStateProvider {
  public:
-  SolverStateCache() = default;
+  /// `max_entries` bounds EACH of the two class maps (symbolic and
+  /// numeric-base) separately: at capacity a lookup of a new key counts a
+  /// miss + refused insert and runs the builder privately for the caller
+  /// without publishing — the exactly-once economy is lost for that key
+  /// but results stay bit-identical (shared state is always rebuilt from
+  /// the caller's own inputs). 0 = unbounded.
+  explicit SolverStateCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  /// Adjusts the bound; never evicts (shrinking only refuses new keys).
+  void setMaxEntries(std::size_t max_entries);
+  std::size_t maxEntries() const;
 
   std::shared_ptr<const SolverSymbolic> symbolic(const std::string& key,
                                                  const SymbolicBuilder& build) override;
@@ -77,6 +94,7 @@ class SolverStateCache final : public SolverStateProvider {
   std::map<std::string, std::shared_ptr<Entry<SolverSymbolic>>> symbolic_;
   std::map<std::string, std::shared_ptr<Entry<SolverNumericBase>>> numeric_;
   SolverStateCacheStats stats_;  // guarded by mu_
+  std::size_t max_entries_ = 0;  // guarded by mu_; 0 = unbounded
 };
 
 }  // namespace fdtdmm

@@ -200,10 +200,14 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   result.solver_cache.numeric_misses =
       solver_after.numeric_misses - solver_before.numeric_misses;
   result.solver_cache.inserts = solver_after.inserts - solver_before.inserts;
+  result.solver_cache.refused_inserts =
+      solver_after.refused_inserts - solver_before.refused_inserts;
   const ResultCacheStats results_after = result_cache_->stats();
   result.result_cache.hits = results_after.hits - results_before.hits;
   result.result_cache.misses = results_after.misses - results_before.misses;
   result.result_cache.inserts = results_after.inserts - results_before.inserts;
+  result.result_cache.refused_inserts =
+      results_after.refused_inserts - results_before.refused_inserts;
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

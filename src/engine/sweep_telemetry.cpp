@@ -90,12 +90,14 @@ std::string sweepTelemetryJson(const SweepResult& result) {
   out += ", \"symbolic_misses\": " + std::to_string(sc.symbolic_misses);
   out += ", \"numeric_hits\": " + std::to_string(sc.numeric_hits);
   out += ", \"numeric_misses\": " + std::to_string(sc.numeric_misses);
-  out += ", \"inserts\": " + std::to_string(sc.inserts) + "},\n";
+  out += ", \"inserts\": " + std::to_string(sc.inserts);
+  out += ", \"refused_inserts\": " + std::to_string(sc.refused_inserts) + "},\n";
 
   const ResultCacheStats& rc = result.result_cache;
   out += "  \"result_cache\": {\"hits\": " + std::to_string(rc.hits);
   out += ", \"misses\": " + std::to_string(rc.misses);
-  out += ", \"inserts\": " + std::to_string(rc.inserts) + "},\n";
+  out += ", \"inserts\": " + std::to_string(rc.inserts);
+  out += ", \"refused_inserts\": " + std::to_string(rc.refused_inserts) + "},\n";
 
   out += "  \"totals\": {" + telemetryBody(totals) +
          ", \"wall_seconds\": " + num(totals.wall_seconds) + "},\n";

@@ -54,4 +54,8 @@ void addIncidentFieldAxis(SweepSpec& spec, const std::vector<bool>& incident) {
   spec.axisBool("with_incident", incident);
 }
 
+void addFrequencyAxis(SweepSpec& spec, const std::vector<double>& frequencies_hz) {
+  spec.axis("frequency", frequencies_hz);
+}
+
 }  // namespace fdtdmm

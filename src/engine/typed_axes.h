@@ -51,5 +51,9 @@ void addLoadAxis(SweepSpec& spec, const std::vector<FarEndLoad>& loads);
 /// axis only applies where the far-end load resolves to "rc".
 void addRcLoadAxis(SweepSpec& spec, const std::vector<RcLoad>& rc_loads);
 void addIncidentFieldAxis(SweepSpec& spec, const std::vector<bool>& incident);
+/// The frequency axis of an "ac" sweep (a generic one-parameter axis over
+/// the family's `frequency` descriptor; helper for symmetry with the
+/// other named axes).
+void addFrequencyAxis(SweepSpec& spec, const std::vector<double>& frequencies_hz);
 
 }  // namespace fdtdmm

@@ -1,0 +1,134 @@
+#include "freq/ac_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+#include "math/sparse_lu.h"
+
+namespace fdtdmm {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+AcSession::AcSession(Circuit& circuit, AcOptions opt)
+    : circuit_(circuit), opt_(std::move(opt)) {
+  n_ = circuit_.assignUnknowns();
+  if (n_ == 0) throw std::invalid_argument("AcSession: circuit has no unknowns");
+  sparse_ = opt_.solver == AcOptions::Solver::kSparse;
+  if (!opt_.x_dc.empty() && opt_.x_dc.size() != n_)
+    throw std::invalid_argument("AcSession: x_dc size does not match unknown count");
+}
+
+void AcSession::assemblePattern(double omega) {
+  if (sparse_) {
+    // Build both CSR patterns with one stamping pass. The entry *positions*
+    // an element writes are frequency-independent (only values depend on
+    // omega — see the stampAc contract), so the pattern assembled here is
+    // valid for every later frequency; restampValues() scatters into it
+    // allocation-free.
+    sp_re_.reset(n_);
+    sp_im_.reset(n_);
+    sys_.re.sparse = &sp_re_;
+    sys_.im.sparse = &sp_im_;
+    sys_.b.assign(n_, Complex(0.0, 0.0));
+    for (const auto& e : circuit_.elements()) e->stampAc(sys_, omega, opt_.x_dc);
+    sp_re_.finalize();
+    sp_im_.finalize();
+
+    // Resolve the shared symbolic state (checkout or build-and-publish).
+    // The ordering is a pure function of the pattern, so any session of
+    // the same structure class computes the identical one — which is what
+    // makes the exactly-once provider contract safe here.
+    if (opt_.sharing.shareSymbolic()) {
+      bool built = false;
+      auto sym = opt_.sharing.provider->symbolic(
+          opt_.sharing.structure_key, [&]() {
+            built = true;
+            auto s = std::make_shared<SolverSymbolic>();
+            s->n = n_;
+            s->rcm_order = reverseCuthillMcKee(sp_re_);
+            return s;
+          });
+      // A key collision across different structures would hand us an
+      // ordering of the wrong dimension; fall back to private analysis
+      // rather than corrupt the factorization.
+      if (sym && sym->n == n_) {
+        shared_symbolic_ = std::move(sym);
+        reused_shared_symbolic_ = !built;
+      }
+    }
+  } else {
+    sys_.re.a = Matrix(n_, n_);
+    sys_.im.a = Matrix(n_, n_);
+    sys_.re.sparse = nullptr;
+    sys_.im.sparse = nullptr;
+  }
+  assembled_ = true;
+}
+
+void AcSession::restampValues(double omega) {
+  if (sparse_) {
+    sp_re_.clearValues();
+    sp_im_.clearValues();
+  } else {
+    std::fill(sys_.re.a.data(), sys_.re.a.data() + n_ * n_, 0.0);
+    std::fill(sys_.im.a.data(), sys_.im.a.data() + n_ * n_, 0.0);
+  }
+  sys_.b.assign(n_, Complex(0.0, 0.0));
+  for (const auto& e : circuit_.elements()) e->stampAc(sys_, omega, opt_.x_dc);
+}
+
+const ComplexVector& AcSession::solveAt(double f_hz) {
+  if (f_hz < 0.0) throw std::invalid_argument("AcSession::solveAt: f must be >= 0");
+  const double omega = 2.0 * kPi * f_hz;
+  if (!assembled_) assemblePattern(omega);
+  restampValues(omega);
+  if (sparse_) {
+    if (shared_symbolic_ != nullptr) {
+      slu_.factorWithOrder(sp_re_, sp_im_, shared_symbolic_->rcm_order);
+    } else {
+      // ComplexSparseLu's pattern-version cache still guarantees one RCM
+      // analysis per session: clearValues() keeps the version stamp.
+      slu_.factor(sp_re_, sp_im_);
+    }
+    ++factorizations_;
+    slu_.solve(sys_.b, x_);
+  } else {
+    lu_.factor(sys_.re.a, sys_.im.a);
+    ++factorizations_;
+    lu_.solve(sys_.b, x_);
+  }
+  return x_;
+}
+
+Vector dcOperatingPoint(Circuit& circuit, int max_iter, double tol) {
+  const std::size_t n = circuit.assignUnknowns();
+  if (n == 0) throw std::invalid_argument("dcOperatingPoint: circuit has no unknowns");
+  // Full linearized restamp about the iterate at t = 0 with a nominal
+  // dt = 1 s: capacitor companions are inert before begin() (geq = 0, so
+  // capacitors are DC-open), inductor companions make inductors stiff
+  // near-shorts (branch voltage = i L / theta), and sources sit at their
+  // t = 0 transient value. For linear circuits this converges in one
+  // iteration; nonlinear devices stamp their Newton Jacobian + residual
+  // exactly as in the transient loop.
+  Vector x(n, 0.0);
+  StampSystem sys;
+  LuFactorization lu;
+  for (int it = 0; it < max_iter; ++it) {
+    sys.a = Matrix(n, n);
+    sys.b.assign(n, 0.0);
+    for (const auto& e : circuit.elements()) e->stamp(sys, x, 0.0, 1.0);
+    lu.factor(sys.a);
+    Vector x_new = lu.solve(sys.b);
+    double delta = 0.0;
+    for (std::size_t k = 0; k < n; ++k) delta = std::max(delta, std::abs(x_new[k] - x[k]));
+    x = std::move(x_new);
+    if (delta < tol) return x;
+  }
+  throw std::runtime_error("dcOperatingPoint: Newton did not converge");
+}
+
+}  // namespace fdtdmm

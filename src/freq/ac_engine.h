@@ -1,0 +1,135 @@
+#pragma once
+/// \file ac_engine.h
+/// Frequency-domain (AC small-signal) analysis of a Circuit.
+///
+/// AcSession is the frequency-domain sibling of SolverSession
+/// (circuit/solver_session.h), with the same three-lifetime state split:
+///
+///   - *symbolic* state — the sparse pattern of the complex MNA system and
+///     its RCM ordering. The pattern is a pure function of the circuit
+///     structure (every stampAc writes a frequency-independent entry set),
+///     so all frequency points of a session — and, via SolverSharing, all
+///     corners of one structure class — reuse ONE symbolic analysis.
+///   - per-frequency numeric state — the complex values G + j*omega*B
+///     (plus non-polynomial terms like the ideal line's e^{-j omega Td},
+///     which is why the session re-stamps *values* at every frequency
+///     instead of scaling a fixed B), factored privately per point.
+///   - the solution workspace x(omega).
+///
+/// There is no numeric-base tier: unlike the transient path, where N
+/// corners share one static base factorization, every AC frequency point
+/// has distinct matrix values, so only the symbolic stage is shareable.
+///
+/// Nonlinear circuits are handled the standard SPICE way: compute the DC
+/// operating point with dcOperatingPoint(), pass it as AcOptions::x_dc,
+/// and every nonlinear device stamps the Jacobian of its linearization
+/// about that point (see the stampAc contract in circuit/elements.h).
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/solver_state.h"
+#include "math/complex_lu.h"
+#include "math/sparse_matrix.h"
+
+namespace fdtdmm {
+
+/// Options of one AC session.
+struct AcOptions {
+  enum class Solver { kDense, kSparse };
+
+  /// kSparse (default) assembles into CSR pairs and factors with the
+  /// banded RCM-ordered ComplexSparseLu; kDense uses dense complex LU
+  /// (reference path for tests and tiny circuits).
+  Solver solver = Solver::kSparse;
+
+  /// DC operating point to linearize nonlinear devices about. Empty =
+  /// all unknowns zero (exact for linear circuits). When non-empty its
+  /// size must equal the circuit's unknown count.
+  Vector x_dc;
+
+  /// Cross-session symbolic sharing (sparse mode only; the structure key
+  /// classes circuits by AC matrix pattern). Default: no sharing — the
+  /// session still performs exactly one symbolic analysis of its own.
+  SolverSharing sharing;
+};
+
+/// One frequency-domain analysis of one Circuit. Construction assigns the
+/// unknown layout and validates options; the first solveAt() assembles the
+/// matrix pattern (sparse) or allocates the dense pair, and every call
+/// re-stamps values, factors, and solves.
+///
+/// solveAt() is repeatable at the same or different frequencies, and
+/// element AC excitations (VoltageSource/CurrentSource::setAcValue) may be
+/// changed between calls — the S-parameter extraction runs one session
+/// with forward and reverse port excitations. The session holds a
+/// reference to the circuit; neither the netlist structure nor the
+/// transient state may change while it is alive.
+class AcSession {
+ public:
+  /// \throws std::invalid_argument if the circuit has no unknowns or
+  ///         x_dc is non-empty with the wrong size.
+  AcSession(Circuit& circuit, AcOptions opt);
+
+  /// Solves A(j 2 pi f_hz) x = b and returns the solution phasor vector
+  /// (node voltages then branch currents, the transient unknown layout).
+  /// The reference is valid until the next solveAt() call.
+  /// \throws std::invalid_argument if f_hz < 0; std::runtime_error on a
+  ///         numerically singular system; std::logic_error from an
+  ///         element without an AC model.
+  const ComplexVector& solveAt(double f_hz);
+
+  /// Unknown count (nodes + branches).
+  std::size_t unknowns() const { return n_; }
+
+  /// Number of complex factorizations performed (one per solveAt call).
+  std::size_t factorizations() const { return factorizations_; }
+
+  /// Whether the symbolic analysis was checked out of the sharing
+  /// provider instead of built here (valid after the first solveAt).
+  bool reusedSharedSymbolic() const { return reused_shared_symbolic_; }
+
+ private:
+  void assemblePattern(double omega);
+  void restampValues(double omega);
+
+  Circuit& circuit_;
+  AcOptions opt_;
+  std::size_t n_ = 0;
+  bool sparse_ = false;
+  bool assembled_ = false;
+
+  AcStampSystem sys_;
+  SparseMatrix sp_re_;  ///< CSR target of sys_.re (sparse mode)
+  SparseMatrix sp_im_;  ///< CSR target of sys_.im (same pattern)
+
+  std::shared_ptr<const SolverSymbolic> shared_symbolic_;
+  bool reused_shared_symbolic_ = false;
+
+  ComplexSparseLu slu_;
+  ComplexLu lu_;
+  ComplexVector x_;
+  std::size_t factorizations_ = 0;
+};
+
+/// Computes the DC operating point of `circuit` by dense Newton iteration
+/// on the full MNA stamp at t = 0 (capacitors open — their companion
+/// conductance is zero before begin(); inductors near-shorts; transient
+/// sources at their t = 0 value). The circuit must not have run a
+/// transient (element companion state must be pristine); the circuit is
+/// left untouched for a subsequent AcSession or transient run.
+/// \returns the unknown vector (suitable as AcOptions::x_dc).
+/// \throws std::runtime_error if Newton fails to converge in `max_iter`
+///         iterations or the Jacobian goes singular.
+Vector dcOperatingPoint(Circuit& circuit, int max_iter = 50,
+                        double tol = 1e-9);
+
+/// Phasor of node n in an AC solution vector (ground = 0).
+inline Complex acNodeV(const ComplexVector& x, int n) {
+  return n == 0 ? Complex(0.0, 0.0) : x[static_cast<std::size_t>(n - 1)];
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,111 @@
+#include "freq/rational_fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linear_solve.h"
+#include "math/matrix.h"
+
+namespace fdtdmm {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Re Z of a unit-resistance branch with corner w_b at angular frequency w.
+double branchBasis(double w, double w_b) {
+  const double x = w / w_b;
+  return x * x / (1.0 + x * x);
+}
+}  // namespace
+
+double skinEffectResistance(double rdc, double k_skin, double f_hz) {
+  const double r_skin = k_skin * std::sqrt(f_hz);
+  return std::sqrt(rdc * rdc + r_skin * r_skin);
+}
+
+SkinEffectFit fitSkinEffect(double rdc, double k_skin, double f_min,
+                            double f_max, std::size_t n_branches,
+                            std::size_t n_grid) {
+  if (rdc <= 0.0) throw std::invalid_argument("fitSkinEffect: rdc must be > 0");
+  if (k_skin < 0.0) throw std::invalid_argument("fitSkinEffect: k_skin must be >= 0");
+  if (f_min <= 0.0 || f_max <= f_min)
+    throw std::invalid_argument("fitSkinEffect: need 0 < f_min < f_max");
+  if (n_branches < 1) throw std::invalid_argument("fitSkinEffect: n_branches must be >= 1");
+  if (n_grid < n_branches)
+    throw std::invalid_argument("fitSkinEffect: n_grid must be >= n_branches");
+
+  SkinEffectFit fit;
+  fit.rdc = rdc;
+  fit.f_min = f_min;
+  fit.f_max = f_max;
+  if (k_skin == 0.0) return fit;  // constant-R line: nothing to add
+
+  // Corner frequencies log-spaced across the band, pushed half a spacing
+  // step outward on both ends: the lowest branch must already be partly
+  // "on" at f_min and the highest must still be rising at f_max, otherwise
+  // the staircase sags at the band edges.
+  std::vector<double> w_b(n_branches);
+  const double lo = std::log(2.0 * kPi * f_min);
+  const double hi = std::log(2.0 * kPi * f_max);
+  for (std::size_t b = 0; b < n_branches; ++b) {
+    const double t = (n_branches == 1)
+                         ? 0.5
+                         : static_cast<double>(b) / static_cast<double>(n_branches - 1);
+    w_b[b] = std::exp(lo + t * (hi - lo));
+  }
+
+  // Weighted least squares for the step heights: rows are log-spaced grid
+  // frequencies, each divided by the target so the residual is *relative*
+  // error (a uniform absolute fit would spend all accuracy at the high-f
+  // end where R is largest).
+  Matrix a(n_grid, n_branches);
+  Vector rhs(n_grid);
+  std::vector<double> f_grid(n_grid);
+  for (std::size_t i = 0; i < n_grid; ++i) {
+    const double t = (n_grid == 1)
+                         ? 0.5
+                         : static_cast<double>(i) / static_cast<double>(n_grid - 1);
+    const double f = std::exp(std::log(f_min) + t * (std::log(f_max) - std::log(f_min)));
+    f_grid[i] = f;
+    const double target = skinEffectResistance(rdc, k_skin, f);
+    const double w = 2.0 * kPi * f;
+    for (std::size_t b = 0; b < n_branches; ++b)
+      a(i, b) = branchBasis(w, w_b[b]) / target;
+    rhs[i] = (target - rdc) / target;
+  }
+  Vector weights = solveLeastSquares(a, rhs, 1e-12);
+
+  fit.branches.resize(n_branches);
+  for (std::size_t b = 0; b < n_branches; ++b) {
+    const double r_b = std::max(0.0, weights[b]);
+    fit.branches[b].r = r_b;
+    fit.branches[b].l = r_b / w_b[b];
+  }
+
+  for (std::size_t i = 0; i < n_grid; ++i) {
+    const double target = skinEffectResistance(rdc, k_skin, f_grid[i]);
+    const double model = skinFitImpedance(fit, f_grid[i]).real();
+    const double rel = std::abs(model - target) / target;
+    if (rel > fit.max_rel_error) fit.max_rel_error = rel;
+  }
+  return fit;
+}
+
+std::complex<double> skinFitImpedance(const SkinEffectFit& fit, double f_hz) {
+  std::complex<double> z(fit.rdc, 0.0);
+  const double w = 2.0 * kPi * f_hz;
+  for (const SkinBranch& b : fit.branches) {
+    if (b.r <= 0.0) continue;
+    const std::complex<double> jwl(0.0, w * b.l);
+    z += jwl * b.r / (b.r + jwl);
+  }
+  return z;
+}
+
+double skinFitInductance(const SkinEffectFit& fit) {
+  double l = 0.0;
+  for (const SkinBranch& b : fit.branches) l += b.l;
+  return l;
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,81 @@
+#pragma once
+/// \file rational_fit.h
+/// Rational approximation of sqrt-f skin-effect series resistance.
+///
+/// A conductor's series resistance rises like k * sqrt(f) once the skin
+/// depth falls below the conductor thickness; the constant-R RLGC ladder
+/// (ROADMAP item 2) cannot represent that. sqrt(f) is not rational, but it
+/// is classically well-approximated on a finite band by a low-order
+/// rational function with real poles — the same move the source paper
+/// makes for general tabulated responses, specialized here to the one
+/// response shape the ladder needs.
+///
+/// The circuit realization drives the basis choice: a resistor R_b in
+/// parallel with an inductor L_b has series impedance
+///
+///   Z_b(j w) = j w L_b R_b / (R_b + j w L_b),
+///   Re Z_b   = R_b * x^2 / (1 + x^2),   x = w / w_b,  w_b = R_b / L_b,
+///
+/// i.e. a smooth resistance step from 0 to R_b centered at the branch's
+/// corner frequency — exactly one real-pole term of a vector-fitting
+/// partial-fraction expansion, and directly synthesizable into the ladder
+/// (rlgc_line.h, SeriesRlBranch). A chain of such branches with log-spaced
+/// corners staircases sqrt(f); fitSkinEffect computes the step heights by
+/// relative-error-weighted linear least squares (the pole positions are
+/// fixed, so unlike full vector fitting no iteration is needed).
+///
+/// Everything here is pure math on doubles — no circuit dependencies; the
+/// synthesis into a netlist lives with the ladder builder.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace fdtdmm {
+
+/// One series R parallel L branch of a skin-effect ladder (absolute ohms
+/// and henries at whatever scale the caller fits — the RLGC builder fits
+/// per-unit-length values and scales by segment length).
+struct SkinBranch {
+  double r = 0.0;  ///< branch resistance [ohm]
+  double l = 0.0;  ///< branch inductance [H]
+};
+
+/// Result of fitSkinEffect.
+struct SkinEffectFit {
+  double rdc = 0.0;                 ///< series DC resistance [ohm]
+  std::vector<SkinBranch> branches; ///< R-parallel-L steps, ascending corner f
+  double max_rel_error = 0.0;       ///< max |ReZ - target| / target on the fit grid
+  double f_min = 0.0;               ///< fitted band [Hz]
+  double f_max = 0.0;
+};
+
+/// Target skin-effect resistance sqrt(rdc^2 + (k_skin * sqrt(f))^2): equals
+/// rdc at DC and k_skin * sqrt(f) deep in the skin regime, with a smooth
+/// C1 crossover (the standard interpolation between the two asymptotes).
+double skinEffectResistance(double rdc, double k_skin, double f_hz);
+
+/// Fits `n_branches` R-parallel-L branches so that rdc + sum Re Z_b(f)
+/// matches skinEffectResistance(rdc, k_skin, f) over [f_min, f_max] in
+/// relative error. Corner frequencies are log-spaced over the band;
+/// branch resistances come from weighted least squares (negative solutions
+/// clamped to zero — passivity of the synthesized ladder is uncondition-
+/// al). k_skin == 0 returns a branch-free fit with zero error.
+/// \param n_grid least-squares sample count, log-spaced over the band.
+/// \throws std::invalid_argument if rdc <= 0, k_skin < 0, the band is
+///         empty/non-positive, n_branches < 1, or n_grid < n_branches.
+SkinEffectFit fitSkinEffect(double rdc, double k_skin, double f_min,
+                            double f_max, std::size_t n_branches = 4,
+                            std::size_t n_grid = 48);
+
+/// Series impedance of the fitted network at frequency f:
+/// rdc + sum_b j w L_b R_b / (R_b + j w L_b).
+std::complex<double> skinFitImpedance(const SkinEffectFit& fit, double f_hz);
+
+/// Total series inductance the branches add at low frequency (sum of L_b;
+/// each branch is inductive below its corner). Callers preserving the
+/// line's low-frequency inductance subtract this from the ladder's
+/// per-unit-length L before synthesis.
+double skinFitInductance(const SkinEffectFit& fit);
+
+}  // namespace fdtdmm

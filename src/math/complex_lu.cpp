@@ -1,0 +1,206 @@
+#include "math/complex_lu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/sparse_lu.h"
+
+namespace fdtdmm {
+
+void ComplexLu::factor(const Matrix& re, const Matrix& im) {
+  if (re.rows() != re.cols() || im.rows() != im.cols() ||
+      re.rows() != im.rows() || re.rows() == 0)
+    throw std::invalid_argument("ComplexLu::factor: shape mismatch");
+  factored_ = false;
+  n_ = re.rows();
+  lu_.assign(n_ * n_, Complex(0.0, 0.0));
+  perm_.resize(n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) at(r, c) = Complex(re(r, c), im(r, c));
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    std::size_t ip = j;
+    double p_abs = std::abs(atc(j, j));
+    for (std::size_t i = j + 1; i < n_; ++i) {
+      const double v = std::abs(atc(i, j));
+      if (v > p_abs) {
+        p_abs = v;
+        ip = i;
+      }
+    }
+    if (p_abs == 0.0) throw std::runtime_error("ComplexLu::factor: singular matrix");
+    perm_[j] = ip;
+    if (ip != j) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(at(j, c), at(ip, c));
+    }
+    const Complex pivot = atc(j, j);
+    for (std::size_t i = j + 1; i < n_; ++i) {
+      const Complex l = atc(i, j) / pivot;
+      at(i, j) = l;
+      if (l == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = j + 1; c < n_; ++c) at(i, c) -= l * atc(j, c);
+    }
+  }
+  factored_ = true;
+}
+
+void ComplexLu::solve(const ComplexVector& b, ComplexVector& x) const {
+  if (!factored_) throw std::logic_error("ComplexLu::solve: not factored");
+  if (b.size() != n_) throw std::invalid_argument("ComplexLu::solve: size mismatch");
+  x = b;
+  // factor() swaps full rows (multiplier columns included, the getrf
+  // convention), so the whole permutation must be applied before the
+  // forward sweep — interleaving swaps with elimination would read
+  // multipliers that later pivots have already moved.
+  for (std::size_t j = 0; j < n_; ++j)
+    if (perm_[j] != j) std::swap(x[j], x[perm_[j]]);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const Complex yj = x[j];
+    if (yj == Complex(0.0, 0.0)) continue;
+    for (std::size_t i = j + 1; i < n_; ++i) x[i] -= atc(i, j) * yj;
+  }
+  for (std::size_t j = n_; j-- > 0;) {
+    const Complex yj = x[j] / atc(j, j);
+    x[j] = yj;
+    if (yj == Complex(0.0, 0.0)) continue;
+    for (std::size_t i = 0; i < j; ++i) x[i] -= atc(i, j) * yj;
+  }
+}
+
+ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+  ComplexVector x;
+  solve(b, x);
+  return x;
+}
+
+void ComplexSparseLu::checkPair(const SparseMatrix& re, const SparseMatrix& im) {
+  if (!re.finalized() || !im.finalized())
+    throw std::invalid_argument("ComplexSparseLu::factor: matrix not finalized");
+  if (re.dim() == 0) throw std::invalid_argument("ComplexSparseLu::factor: empty matrix");
+  if (re.dim() != im.dim() || re.rowPtr() != im.rowPtr() || re.colIdx() != im.colIdx())
+    throw std::invalid_argument(
+        "ComplexSparseLu::factor: real/imaginary patterns differ");
+}
+
+void ComplexSparseLu::factor(const SparseMatrix& re, const SparseMatrix& im) {
+  checkPair(re, im);
+  factored_ = false;
+  if (re.dim() != n_ || re.patternVersion() != analyzed_re_version_ ||
+      im.patternVersion() != analyzed_im_version_)
+    analyzeWithOrder(re, im, reverseCuthillMcKee(re));
+  factorNumeric(re, im);
+}
+
+void ComplexSparseLu::factorWithOrder(const SparseMatrix& re, const SparseMatrix& im,
+                                      const std::vector<std::size_t>& order) {
+  checkPair(re, im);
+  if (order.size() != re.dim())
+    throw std::invalid_argument("ComplexSparseLu::factorWithOrder: ordering size mismatch");
+  factored_ = false;
+  if (re.dim() != n_ || re.patternVersion() != analyzed_re_version_ ||
+      im.patternVersion() != analyzed_im_version_ || order_ != order)
+    analyzeWithOrder(re, im, order);
+  factorNumeric(re, im);
+}
+
+void ComplexSparseLu::analyzeWithOrder(const SparseMatrix& re, const SparseMatrix& im,
+                                       std::vector<std::size_t> order) {
+  n_ = re.dim();
+  order_ = std::move(order);
+  pos_.assign(n_, 0);
+  for (std::size_t k = 0; k < n_; ++k) pos_[order_[k]] = k;
+
+  kl_ = ku_ = 0;
+  const auto& row_ptr = re.rowPtr();
+  const auto& col_idx = re.colIdx();
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t i = pos_[r];
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t j = pos_[col_idx[k]];
+      if (i > j) kl_ = std::max(kl_, i - j);
+      if (j > i) ku_ = std::max(ku_, j - i);
+    }
+  }
+  ldab_ = 2 * kl_ + ku_ + 1;  // kl spare superdiagonals absorb pivot growth
+  shift_ = kl_ + ku_;
+  ab_.assign(ldab_ * n_, Complex(0.0, 0.0));
+  piv_.assign(n_, 0);
+  analyzed_re_version_ = re.patternVersion();
+  analyzed_im_version_ = im.patternVersion();
+}
+
+void ComplexSparseLu::factorNumeric(const SparseMatrix& re, const SparseMatrix& im) {
+  std::fill(ab_.begin(), ab_.end(), Complex(0.0, 0.0));
+  const auto& row_ptr = re.rowPtr();
+  const auto& col_idx = re.colIdx();
+  const auto& re_vals = re.values();
+  const auto& im_vals = im.values();
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t i = pos_[r];
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      at(i, pos_[col_idx[k]]) += Complex(re_vals[k], im_vals[k]);
+  }
+
+  // Banded LU with partial pivoting (unblocked gbtrf, complex scalars).
+  // The band-robustness argument is inherited from SparseLu: for column j
+  // every structurally possible pivot candidate lies in rows j..j+kl.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t i_max = std::min(n_ - 1, j + kl_);
+    std::size_t ip = j;
+    double p_abs = std::abs(atc(j, j));
+    for (std::size_t i = j + 1; i <= i_max; ++i) {
+      const double v = std::abs(atc(i, j));
+      if (v > p_abs) {
+        p_abs = v;
+        ip = i;
+      }
+    }
+    if (p_abs == 0.0)
+      throw std::runtime_error("ComplexSparseLu::factor: singular matrix");
+    piv_[j] = ip;
+    const std::size_t c_max = std::min(n_ - 1, j + kl_ + ku_);
+    if (ip != j) {
+      for (std::size_t c = j; c <= c_max; ++c) std::swap(at(j, c), at(ip, c));
+    }
+    const Complex pivot = atc(j, j);
+    for (std::size_t i = j + 1; i <= i_max; ++i) {
+      const Complex l = atc(i, j) / pivot;
+      at(i, j) = l;
+      if (l == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = j + 1; c <= c_max; ++c) at(i, c) -= l * atc(j, c);
+    }
+  }
+  factored_ = true;
+}
+
+void ComplexSparseLu::solve(const ComplexVector& b, ComplexVector& x) const {
+  if (!factored_) throw std::logic_error("ComplexSparseLu::solve: not factored");
+  if (b.size() != n_)
+    throw std::invalid_argument("ComplexSparseLu::solve: size mismatch");
+  work_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) work_[k] = b[order_[k]];
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (piv_[j] != j) std::swap(work_[j], work_[piv_[j]]);
+    const Complex yj = work_[j];
+    if (yj == Complex(0.0, 0.0)) continue;
+    const std::size_t i_max = std::min(n_ - 1, j + kl_);
+    for (std::size_t i = j + 1; i <= i_max; ++i) work_[i] -= atc(i, j) * yj;
+  }
+  for (std::size_t j = n_; j-- > 0;) {
+    const Complex yj = work_[j] / atc(j, j);
+    work_[j] = yj;
+    if (yj == Complex(0.0, 0.0)) continue;
+    const std::size_t i_min = j > kl_ + ku_ ? j - kl_ - ku_ : 0;
+    for (std::size_t i = i_min; i < j; ++i) work_[i] -= atc(i, j) * yj;
+  }
+  x.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[order_[k]] = work_[k];
+}
+
+ComplexVector ComplexSparseLu::solve(const ComplexVector& b) const {
+  ComplexVector x;
+  solve(b, x);
+  return x;
+}
+
+}  // namespace fdtdmm

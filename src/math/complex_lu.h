@@ -1,0 +1,141 @@
+#pragma once
+/// \file complex_lu.h
+/// Complex-valued direct solvers for the frequency-domain MNA path.
+///
+/// The AC system A(omega) = G + j*omega*B is assembled as two real-valued
+/// stamp targets (real and imaginary parts, see circuit/elements.h
+/// AcStampSystem), so both solvers here factor a (re, im) matrix pair
+/// rather than a native complex storage type — the existing dense Matrix
+/// and CSR SparseMatrix stay the only assembly substrates in the codebase.
+///
+/// ComplexLu mirrors LuFactorization (linear_solve.h): dense LU with
+/// partial pivoting, storage reused across re-factorizations.
+///
+/// ComplexSparseLu mirrors SparseLu (sparse_lu.h) entry for entry: the
+/// same RCM ordering, the same gbtrf-style band storage with kl spare
+/// superdiagonals, the same pattern-version-cached symbolic stage — only
+/// the scalars are std::complex<double>. Because the symbolic stage is a
+/// pure function of the (frequency-independent) pattern, an ordering
+/// published by the transient path's SolverStateCache can seed
+/// factorWithOrder here, and every frequency point of an AC sweep reuses
+/// one symbolic analysis (the AcSession economy, src/freq/ac_engine.h).
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/sparse_matrix.h"
+
+namespace fdtdmm {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+/// Dense complex LU with partial pivoting. Factor once, solve many
+/// right-hand sides; re-factoring at an unchanged dimension reuses all
+/// storage (the LuFactorization convention).
+class ComplexLu {
+ public:
+  ComplexLu() = default;
+
+  /// Factors A = re + j*im (both square, same dimension).
+  /// \throws std::invalid_argument on shape mismatch, std::runtime_error
+  ///         if A is numerically singular (the factorization is left
+  ///         empty).
+  void factor(const Matrix& re, const Matrix& im);
+
+  bool factored() const { return factored_; }
+  std::size_t dim() const { return n_; }
+
+  /// Solves A x = b into x (resized; must not alias b).
+  /// \throws std::invalid_argument on size mismatch, std::logic_error if
+  ///         nothing has been factored.
+  void solve(const ComplexVector& b, ComplexVector& x) const;
+
+  /// Convenience allocating overload.
+  ComplexVector solve(const ComplexVector& b) const;
+
+ private:
+  Complex& at(std::size_t r, std::size_t c) { return lu_[r * n_ + c]; }
+  Complex atc(std::size_t r, std::size_t c) const { return lu_[r * n_ + c]; }
+
+  std::size_t n_ = 0;
+  ComplexVector lu_;  ///< row-major
+  std::vector<std::size_t> perm_;
+  bool factored_ = false;
+};
+
+/// Banded complex LU over a CSR matrix pair sharing one pattern. See the
+/// file comment: this is SparseLu with complex scalars, including the
+/// band-robustness argument for partial pivoting (every structurally
+/// possible pivot candidate of column j lies within kl rows of the
+/// diagonal).
+class ComplexSparseLu {
+ public:
+  ComplexSparseLu() = default;
+
+  /// Factors A = re + j*im. Both matrices must be finalized with the SAME
+  /// pattern (equal rowPtr/colIdx — the AcStampSystem writes both targets
+  /// on every add, which guarantees it). Re-runs the symbolic analysis
+  /// (RCM + band extents) only when a pattern version changed.
+  /// \throws std::invalid_argument if either matrix is not finalized, has
+  ///         dimension 0, or the patterns differ; std::runtime_error on
+  ///         numeric singularity.
+  void factor(const SparseMatrix& re, const SparseMatrix& im);
+
+  /// Factors like factor(), but seeds the symbolic stage with a
+  /// precomputed fill-reducing ordering (order[new] = old) instead of
+  /// recomputing RCM — the symbolic-sharing hook: the pattern (and thus
+  /// the ordering) of an AC system does not depend on frequency, so every
+  /// frequency point (and every corner of one structure class) pays for
+  /// RCM once. \throws std::invalid_argument if `order` is not
+  /// dim()-sized, on top of factor()'s errors.
+  void factorWithOrder(const SparseMatrix& re, const SparseMatrix& im,
+                       const std::vector<std::size_t>& order);
+
+  /// Ordering of the last symbolic analysis (order[new] = old; empty until
+  /// the first factor).
+  const std::vector<std::size_t>& ordering() const { return order_; }
+
+  bool factored() const { return factored_; }
+  std::size_t dim() const { return n_; }
+
+  /// Band extents of the RCM-permuted matrix (valid after factor()).
+  std::size_t lowerBandwidth() const { return kl_; }
+  std::size_t upperBandwidth() const { return ku_; }
+
+  /// Solves A x = b into x (resized; must not alias b). Allocation-free
+  /// after the first call at a given dimension. Uses an internal scratch
+  /// vector, so not safe for concurrent calls on one instance — AC
+  /// sessions own their factorization privately (only the symbolic
+  /// ordering is shared), so no caller-workspace overload is needed.
+  void solve(const ComplexVector& b, ComplexVector& x) const;
+
+  /// Convenience allocating overload.
+  ComplexVector solve(const ComplexVector& b) const;
+
+ private:
+  void analyzeWithOrder(const SparseMatrix& re, const SparseMatrix& im,
+                        std::vector<std::size_t> order);
+  void factorNumeric(const SparseMatrix& re, const SparseMatrix& im);
+  static void checkPair(const SparseMatrix& re, const SparseMatrix& im);
+
+  Complex& at(std::size_t i, std::size_t j) { return ab_[j * ldab_ + (i + shift_ - j)]; }
+  Complex atc(std::size_t i, std::size_t j) const { return ab_[j * ldab_ + (i + shift_ - j)]; }
+
+  std::size_t n_ = 0;
+  std::size_t kl_ = 0, ku_ = 0;
+  std::size_t ldab_ = 0;   ///< band-storage column height = 2*kl + ku + 1
+  std::size_t shift_ = 0;  ///< row offset in a storage column = kl + ku
+  std::uint64_t analyzed_re_version_ = 0;
+  std::uint64_t analyzed_im_version_ = 0;
+  std::vector<std::size_t> order_;  ///< order_[new] = old
+  std::vector<std::size_t> pos_;    ///< pos_[old] = new
+  ComplexVector ab_;                ///< band storage, column-major
+  std::vector<std::size_t> piv_;
+  mutable ComplexVector work_;
+  bool factored_ = false;
+};
+
+}  // namespace fdtdmm

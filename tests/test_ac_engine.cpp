@@ -1,0 +1,213 @@
+// Integration tests of the frequency-domain engine (freq/ac_engine.h,
+// freq/ac_family.h) against closed-form circuit theory, the transient
+// engine (DFT cross-validation), and the sweep engine's symbolic-sharing
+// invariant.
+#include "freq/ac_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/transient.h"
+#include "engine/sweep_runner.h"
+#include "engine/typed_axes.h"
+#include "freq/ac_family.h"
+
+namespace fdtdmm {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TimeFn dark() {
+  return [](double) { return 0.0; };
+}
+
+// Single-pole RC low-pass driven by an ideal 1 V source: H = 1/(1 + jwRC),
+// exact for the lumped circuit — the AC engine must hit it to roundoff.
+TEST(AcEngine, RcLowPassMatchesClosedForm) {
+  const double r = 1e3, c = 1e-12, f = 2e8;
+  for (AcOptions::Solver solver :
+       {AcOptions::Solver::kSparse, AcOptions::Solver::kDense}) {
+    Circuit circuit;
+    const int s = circuit.addNode();
+    const int out = circuit.addNode();
+    VoltageSource* src = circuit.addVoltageSource(s, Circuit::kGround, dark());
+    src->setAcValue(Complex(1.0, 0.0));
+    circuit.addResistor(s, out, r);
+    circuit.addCapacitor(out, Circuit::kGround, c);
+
+    AcOptions opt;
+    opt.solver = solver;
+    AcSession session(circuit, opt);
+    const Complex h = acNodeV(session.solveAt(f), out);
+    const Complex h_ref = 1.0 / Complex(1.0, 2.0 * kPi * f * r * c);
+    EXPECT_LT(std::abs(h - h_ref), 1e-12);
+  }
+}
+
+// H and the S-parameters of one frequency point via the "ac" family.
+struct AcPoint {
+  Complex h, s11, s21, s12, s22;
+};
+
+AcPoint acPoint(const AcScenario& cfg) {
+  const TaskWaveforms w = runAcScenario(cfg);
+  auto v = [&](std::size_t k) { return w.victims[k].samples()[0]; };
+  AcPoint p;
+  p.h = Complex(v(0), v(1));
+  p.s11 = Complex(v(2), v(3));
+  p.s21 = Complex(v(4), v(5));
+  p.s12 = Complex(v(6), v(7));
+  p.s22 = Complex(v(8), v(9));
+  return p;
+}
+
+// The acceptance fixture: matched lossless ladder vs the exact line,
+// H = 0.5 e^{-j w Td}. Magnitude within 2%, phase within 3 degrees across
+// the band (well inside the 32-segment ladder's validity bandwidth).
+TEST(AcEngine, MatchedLosslessLadderMatchesClosedForm) {
+  AcScenario cfg;  // 50-ohm 10 cm lossless line, 32 segments
+  const double td =
+      cfg.line.length * std::sqrt(cfg.line.l * cfg.line.c);  // 0.5 ns
+  for (double f : {1e6, 1e7, 1e8, 3e8, 1e9}) {
+    cfg.frequency = f;
+    const AcPoint p = acPoint(cfg);
+    EXPECT_NEAR(std::abs(p.h), 0.5, 0.02 * 0.5) << "f=" << f;
+    // Phase against -w Td, wrap-safe: rotate the expected phase away and
+    // measure the residual angle.
+    const double w = 2.0 * kPi * f;
+    const double phase_err =
+        std::abs(std::arg(p.h * std::exp(Complex(0.0, w * td))));
+    EXPECT_LT(phase_err, 3.0 * kPi / 180.0) << "f=" << f;
+  }
+}
+
+TEST(AcEngine, MatchedLineSParameters) {
+  AcScenario cfg;
+  cfg.frequency = 2.5e8;
+  const AcPoint p = acPoint(cfg);
+  // Matched and lossless: no reflection, |S21| = 1, reciprocal.
+  EXPECT_LT(std::abs(p.s11), 0.02);
+  EXPECT_LT(std::abs(p.s22), 0.02);
+  EXPECT_NEAR(std::abs(p.s21), 1.0, 0.02);
+  EXPECT_LT(std::abs(p.s21 - p.s12), 1e-9);
+  // S21 = 2 H for the 1 V matched-source fixture.
+  EXPECT_LT(std::abs(p.s21 - 2.0 * p.h), 1e-12);
+}
+
+TEST(AcEngine, DenseAndSparseSolversAgree) {
+  AcScenario cfg;
+  cfg.frequency = 3.16e8;
+  cfg.solver = "sparse";
+  const AcPoint sp = acPoint(cfg);
+  cfg.solver = "dense";
+  const AcPoint de = acPoint(cfg);
+  EXPECT_LT(std::abs(sp.h - de.h), 1e-10);
+  EXPECT_LT(std::abs(sp.s11 - de.s11), 1e-10);
+  EXPECT_LT(std::abs(sp.s21 - de.s21), 1e-10);
+}
+
+// Satellite check: the DFT of a sinusoidal steady-state transient must
+// reproduce |H(jf)| — the time- and frequency-domain engines describe the
+// same circuit.
+TEST(AcEngine, TransientDftMatchesAcTransferOnRcFixture) {
+  const double r = 1e3, c = 1e-12, f = 1e8;  // tau = 1 ns, T = 10 ns
+
+  Circuit circuit;
+  const int s = circuit.addNode();
+  const int out = circuit.addNode();
+  VoltageSource* src = circuit.addVoltageSource(
+      s, Circuit::kGround, [f](double t) { return std::sin(2.0 * kPi * f * t); });
+  src->setAcValue(Complex(1.0, 0.0));
+  circuit.addResistor(s, out, r);
+  circuit.addCapacitor(out, Circuit::kGround, c);
+
+  double h_ac;
+  {
+    AcSession session(circuit, AcOptions{});
+    h_ac = std::abs(acNodeV(session.solveAt(f), out));
+  }
+
+  TransientOptions opt;
+  opt.dt = 1e-11;  // 1000 samples per period
+  opt.t_stop = 45e-9;  // 15 tau settling + 3 full periods
+  const auto res = runTransient(circuit, opt, {{"v", out, 0}});
+  ASSERT_TRUE(res.converged);
+  const Waveform& v = res.at("v");
+
+  // Single-bin DFT over an integer number of periods of the settled tail.
+  const double t_start = 15e-9, window = 30e-9;
+  const std::size_t m = 3000;
+  Complex acc(0.0, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double t = t_start + window * static_cast<double>(k) / m;
+    acc += v.value(t) * std::exp(Complex(0.0, -2.0 * kPi * f * t));
+  }
+  const double h_dft = 2.0 * std::abs(acc) / static_cast<double>(m);
+
+  EXPECT_NEAR(h_dft, h_ac, 0.01 * h_ac);
+}
+
+// The tentpole invariant: a linear AC frequency sweep through the sweep
+// engine performs exactly ONE complex symbolic analysis per structure
+// class — frequency only changes matrix values, never the pattern.
+TEST(AcEngine, FrequencySweepSharesOneSymbolicAnalysis) {
+  SweepSpec spec;
+  spec.scenario = "ac";
+  addFrequencyAxis(spec, {1e6, 1e7, 5e7, 1e8, 5e8, 1e9});
+
+  SweepOptions opt;
+  opt.workers = 2;
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(spec);
+
+  EXPECT_EQ(result.okCount(), result.runs.size());
+  EXPECT_EQ(result.solver_cache.symbolic_misses, 1);
+  EXPECT_EQ(result.solver_cache.symbolic_hits, 5);
+}
+
+TEST(AcEngine, DcOperatingPointLinearFixtures) {
+  // Divider: capacitors DC-open, inductors DC-short.
+  Circuit circuit;
+  const int s = circuit.addNode();
+  const int mid = circuit.addNode();
+  const int tail = circuit.addNode();
+  circuit.addVoltageSource(s, Circuit::kGround, [](double) { return 10.0; });
+  circuit.addResistor(s, mid, 1e3);
+  circuit.addResistor(mid, Circuit::kGround, 1e3);
+  circuit.addCapacitor(mid, Circuit::kGround, 1e-12);  // open: no DC load
+  circuit.addResistor(mid, tail, 1e3);
+  circuit.addInductor(tail, Circuit::kGround, 1e-9);  // short: pulls tail to 0
+
+  const Vector x = dcOperatingPoint(circuit);
+  // With the inductor shorting `tail`, mid sees 1k || 1k to ground: 10 V
+  // across (1k + 500) -> v_mid = 10/3.
+  EXPECT_NEAR(x[static_cast<std::size_t>(mid - 1)], 10.0 / 3.0, 1e-6);
+  EXPECT_NEAR(x[static_cast<std::size_t>(tail - 1)], 0.0, 1e-6);
+}
+
+TEST(AcEngine, NonlinearSmallSignalRunsAboutDcPoint) {
+  // Diode biased through a resistor: the AC solve linearizes about the DC
+  // point (finite conductance), so the small-signal response is finite and
+  // smaller than the excitation.
+  Circuit circuit;
+  const int s = circuit.addNode();
+  const int out = circuit.addNode();
+  VoltageSource* src = circuit.addVoltageSource(s, Circuit::kGround,
+                                                [](double) { return 1.0; });
+  src->setAcValue(Complex(1.0, 0.0));
+  circuit.addResistor(s, out, 100.0);
+  circuit.addDiode(out, Circuit::kGround);
+
+  AcOptions opt;
+  opt.x_dc = dcOperatingPoint(circuit);
+  AcSession session(circuit, opt);
+  const Complex v = acNodeV(session.solveAt(1e6), out);
+  EXPECT_TRUE(std::isfinite(std::abs(v)));
+  EXPECT_GT(std::abs(v), 0.0);
+  EXPECT_LT(std::abs(v), 1.0);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,201 @@
+// Unit tests of the complex LU solvers (math/complex_lu.h): the dense
+// reference path against known solutions, and the banded RCM sparse path
+// against the dense one on MNA-shaped systems.
+#include "math/complex_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.h"
+#include "math/sparse_lu.h"
+#include "math/sparse_matrix.h"
+
+namespace fdtdmm {
+namespace {
+
+// Max |x - y| over two complex vectors.
+double maxDiff(const ComplexVector& x, const ComplexVector& y) {
+  double gap = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) gap = std::max(gap, std::abs(x[k] - y[k]));
+  return gap;
+}
+
+// Residual max |A x - b| with A given as a real/imaginary dense pair.
+double residual(const Matrix& re, const Matrix& im, const ComplexVector& x,
+                const ComplexVector& b) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < re.rows(); ++r) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t c = 0; c < re.cols(); ++c) acc += Complex(re(r, c), im(r, c)) * x[c];
+    worst = std::max(worst, std::abs(acc - b[r]));
+  }
+  return worst;
+}
+
+TEST(ComplexLu, SolvesKnownTwoByTwoSystem) {
+  // A = [[1+i, 2], [3, 4-i]], x = [1-i, 2+i]  =>  b = A x.
+  Matrix re(2, 2), im(2, 2);
+  re(0, 0) = 1.0; im(0, 0) = 1.0;
+  re(0, 1) = 2.0;
+  re(1, 0) = 3.0;
+  re(1, 1) = 4.0; im(1, 1) = -1.0;
+  const ComplexVector x_ref = {Complex(1.0, -1.0), Complex(2.0, 1.0)};
+  const ComplexVector b = {Complex(1.0, 1.0) * x_ref[0] + 2.0 * x_ref[1],
+                           3.0 * x_ref[0] + Complex(4.0, -1.0) * x_ref[1]};
+  ComplexLu lu;
+  lu.factor(re, im);
+  EXPECT_LT(maxDiff(lu.solve(b), x_ref), 1e-13);
+}
+
+TEST(ComplexLu, RandomDenseSystemsSolveToRoundoff) {
+  // n >= 4 exercises multi-level pivot permutations (a past bug class:
+  // getrf-style full-row swaps demand the laswp solve order).
+  Rng rng(7);
+  for (std::size_t n : {1, 2, 3, 4, 8, 16, 31}) {
+    Matrix re(n, n), im(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        re(r, c) = rng.uniform() - 0.5;
+        im(r, c) = rng.uniform() - 0.5;
+      }
+    ComplexVector b(n);
+    for (std::size_t k = 0; k < n; ++k) b[k] = Complex(rng.uniform(), rng.uniform());
+    ComplexLu lu;
+    lu.factor(re, im);
+    const ComplexVector x = lu.solve(b);
+    EXPECT_LT(residual(re, im, x, b), 1e-11) << "n=" << n;
+  }
+}
+
+TEST(ComplexLu, RejectsBadShapesAndSingularMatrices) {
+  ComplexLu lu;
+  EXPECT_THROW(lu.factor(Matrix(2, 2), Matrix(3, 3)), std::invalid_argument);
+  EXPECT_THROW(lu.solve(ComplexVector(2)), std::logic_error);  // not factored
+  Matrix z(2, 2);  // all-zero: singular
+  EXPECT_THROW(lu.factor(z, Matrix(2, 2)), std::runtime_error);
+  // A failed factor must not leave the object claiming to be factored.
+  EXPECT_FALSE(lu.factored());
+}
+
+// Builds the CSR pair of a complex tridiagonal system (same pattern on
+// both halves, the AcStampSystem invariant).
+void buildTridiagonal(std::size_t n, SparseMatrix& re, SparseMatrix& im) {
+  re.reset(n);
+  im.reset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    re.add(i, i, 4.0 + 0.1 * static_cast<double>(i));
+    im.add(i, i, 0.7);
+    if (i > 0) {
+      re.add(i, i - 1, -1.0);
+      im.add(i, i - 1, 0.2);
+    }
+    if (i + 1 < n) {
+      re.add(i, i + 1, -1.5);
+      im.add(i, i + 1, -0.3);
+    }
+  }
+  re.finalize();
+  im.finalize();
+}
+
+TEST(ComplexSparseLu, MatchesDenseOnTridiagonalSystem) {
+  const std::size_t n = 50;
+  SparseMatrix re(n), im(n);
+  buildTridiagonal(n, re, im);
+  ComplexVector b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = Complex(std::sin(static_cast<double>(i)), std::cos(static_cast<double>(i)));
+
+  ComplexSparseLu slu;
+  slu.factor(re, im);
+  ComplexLu dense;
+  dense.factor(re.toDense(), im.toDense());
+  EXPECT_LT(maxDiff(slu.solve(b), dense.solve(b)), 1e-12);
+}
+
+TEST(ComplexSparseLu, HandlesMnaZeroDiagonalBranchRow) {
+  // Voltage-source branch row: structurally zero diagonal, so the banded
+  // partial pivoting must engage (cf. the real SparseLu test).
+  SparseMatrix re(3), im(3);
+  re.add(0, 0, 0.1);  im.add(0, 0, 0.05);
+  re.add(0, 2, 1.0);  im.add(0, 2, 0.0);
+  re.add(1, 1, 0.2);  im.add(1, 1, -0.04);
+  re.add(2, 0, 1.0);  im.add(2, 0, 0.0);
+  re.add(2, 2, 0.0);  im.add(2, 2, 0.0);  // explicit structural zero
+  re.finalize();
+  im.finalize();
+  const ComplexVector b = {Complex(0.0, 0.0), Complex(1.0, 0.0), Complex(5.0, 0.0)};
+  ComplexSparseLu slu;
+  slu.factor(re, im);
+  const ComplexVector x = slu.solve(b);
+  EXPECT_LT(std::abs(x[0] - Complex(5.0, 0.0)), 1e-12);  // forced node
+}
+
+TEST(ComplexSparseLu, RejectsMismatchedPatterns) {
+  SparseMatrix re(2), im(2);
+  re.add(0, 0, 1.0);
+  re.add(1, 1, 1.0);
+  re.add(0, 1, 1.0);  // entry the imaginary half does not have
+  im.add(0, 0, 1.0);
+  im.add(1, 1, 1.0);
+  re.finalize();
+  im.finalize();
+  ComplexSparseLu slu;
+  EXPECT_THROW(slu.factor(re, im), std::invalid_argument);
+}
+
+TEST(ComplexSparseLu, FactorWithOrderMatchesPrivateAnalysis) {
+  const std::size_t n = 40;
+  SparseMatrix re(n), im(n);
+  buildTridiagonal(n, re, im);
+  ComplexVector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = Complex(1.0, -0.5);
+
+  ComplexSparseLu private_order;
+  private_order.factor(re, im);
+  // The shared-symbolic path: seed the exact ordering a sibling session
+  // computed (RCM is a pure function of the pattern).
+  ComplexSparseLu shared_order;
+  shared_order.factorWithOrder(re, im, reverseCuthillMcKee(re));
+  EXPECT_LT(maxDiff(private_order.solve(b), shared_order.solve(b)), 1e-13);
+  EXPECT_EQ(private_order.lowerBandwidth(), shared_order.lowerBandwidth());
+
+  ComplexSparseLu bad;
+  EXPECT_THROW(bad.factorWithOrder(re, im, std::vector<std::size_t>(n - 1)),
+               std::invalid_argument);
+}
+
+TEST(ComplexSparseLu, RefactorAfterValueChangeReusesAnalysis) {
+  // clearValues() keeps the pattern version, so the second factor must not
+  // re-run the symbolic analysis — and must still be numerically right.
+  const std::size_t n = 30;
+  SparseMatrix re(n), im(n);
+  buildTridiagonal(n, re, im);
+  ComplexSparseLu slu;
+  slu.factor(re, im);
+
+  re.clearValues();
+  im.clearValues();
+  for (std::size_t i = 0; i < n; ++i) {
+    re.add(i, i, 6.0);
+    im.add(i, i, -1.0);
+    if (i > 0) {
+      re.add(i, i - 1, -2.0);
+      im.add(i, i - 1, 0.0);
+    }
+    if (i + 1 < n) {
+      re.add(i, i + 1, -0.5);
+      im.add(i, i + 1, 0.1);
+    }
+  }
+  slu.factor(re, im);
+  ComplexLu dense;
+  dense.factor(re.toDense(), im.toDense());
+  ComplexVector b(n, Complex(1.0, 0.0));
+  EXPECT_LT(maxDiff(slu.solve(b), dense.solve(b)), 1e-12);
+}
+
+}  // namespace
+}  // namespace fdtdmm

@@ -1,0 +1,165 @@
+// Tests of the sqrt-f skin-effect rational fit (freq/rational_fit.h) and
+// its synthesis into the RLGC ladder: fit accuracy over the band, and
+// time- vs frequency-domain consistency of the synthesized circuit.
+#include "freq/rational_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "circuit/rlgc_line.h"
+#include "circuit/transient.h"
+#include "freq/ac_engine.h"
+#include "freq/ac_family.h"
+
+namespace fdtdmm {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SkinEffect, TargetResistanceHasTheRightAsymptotes) {
+  const double rdc = 1.0, k = 2e-4;
+  EXPECT_NEAR(skinEffectResistance(rdc, k, 0.0), rdc, 1e-15);
+  // Deep skin regime: k sqrt(f) >> rdc.
+  const double f_hi = 1e12;
+  EXPECT_NEAR(skinEffectResistance(rdc, k, f_hi), k * std::sqrt(f_hi),
+              0.01 * k * std::sqrt(f_hi));
+  // Monotone in f.
+  EXPECT_GT(skinEffectResistance(rdc, k, 1e9), skinEffectResistance(rdc, k, 1e8));
+}
+
+// The acceptance criterion: 4 branches hold the fit within 5% relative
+// error over two decades — checked both via the fit's own reported error
+// and independently on a denser grid through skinFitImpedance.
+TEST(SkinEffect, FourBranchFitWithinFivePercentOverTwoDecades) {
+  const double rdc = 1.0, k = 2e-4, f_min = 1e7, f_max = 1e9;
+  const SkinEffectFit fit = fitSkinEffect(rdc, k, f_min, f_max, 4);
+  EXPECT_EQ(fit.branches.size(), 4u);
+  EXPECT_LT(fit.max_rel_error, 0.05);
+
+  double worst = 0.0;
+  const int n = 97;
+  for (int i = 0; i < n; ++i) {
+    const double f =
+        f_min * std::pow(f_max / f_min, static_cast<double>(i) / (n - 1));
+    const double target = skinEffectResistance(rdc, k, f);
+    const double fitted = skinFitImpedance(fit, f).real();
+    worst = std::max(worst, std::abs(fitted - target) / target);
+  }
+  EXPECT_LT(worst, 0.05);
+
+  // Passivity of the synthesis: no negative branch values, ever.
+  for (const SkinBranch& b : fit.branches) {
+    EXPECT_GE(b.r, 0.0);
+    EXPECT_GE(b.l, 0.0);
+  }
+  EXPECT_GT(skinFitInductance(fit), 0.0);
+}
+
+TEST(SkinEffect, ZeroSkinCoefficientIsBranchFreeAndExact) {
+  const SkinEffectFit fit = fitSkinEffect(2.0, 0.0, 1e6, 1e9, 4);
+  EXPECT_TRUE(fit.branches.empty());
+  EXPECT_DOUBLE_EQ(fit.max_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(skinFitImpedance(fit, 1e8).real(), 2.0);
+  EXPECT_DOUBLE_EQ(skinFitInductance(fit), 0.0);
+}
+
+TEST(SkinEffect, FitRejectsInvalidArguments) {
+  EXPECT_THROW(fitSkinEffect(0.0, 1e-4, 1e6, 1e9), std::invalid_argument);
+  EXPECT_THROW(fitSkinEffect(1.0, -1.0, 1e6, 1e9), std::invalid_argument);
+  EXPECT_THROW(fitSkinEffect(1.0, 1e-4, 1e9, 1e6), std::invalid_argument);
+  EXPECT_THROW(fitSkinEffect(1.0, 1e-4, 1e6, 1e9, 0), std::invalid_argument);
+  EXPECT_THROW(fitSkinEffect(1.0, 1e-4, 1e6, 1e9, 8, 4), std::invalid_argument);
+}
+
+// The lossy scenario of the cross-validation below: visible sqrt-f loss
+// (several ohms of series resistance at the test frequencies).
+AcScenario lossyScenario() {
+  AcScenario cfg;
+  cfg.line.r = 50.0;
+  cfg.line.segments = 16;
+  cfg.k_skin = 2e-3;
+  cfg.skin_fmin = 1e7;
+  cfg.skin_fmax = 1e9;
+  cfg.skin_branches = 4;
+  return cfg;
+}
+
+TEST(SkinEffect, SkinLossReducesTransferAboveTheCrossover) {
+  AcScenario cfg = lossyScenario();
+  cfg.frequency = 5e8;
+  const TaskWaveforms lossy = runAcScenario(cfg);
+  cfg.k_skin = 0.0;  // same line, constant R
+  const TaskWaveforms flat = runAcScenario(cfg);
+  // k sqrt(f) = 44.7 ohm/m on top of rdc = 50: the skin model must lose
+  // measurably more than the constant-R line, but not implausibly much.
+  EXPECT_LT(lossy.v_far.samples()[0], 0.99 * flat.v_far.samples()[0]);
+  EXPECT_GT(lossy.v_far.samples()[0], 0.5 * flat.v_far.samples()[0]);
+}
+
+// Acceptance criterion: the synthesized ladder is ONE circuit with two
+// consistent descriptions. Drive it with a steady-state sinusoid in the
+// time domain, DFT the far-end tail, and compare against the AC engine's
+// |H| at the same frequency — within 5% across the band.
+TEST(SkinEffect, SynthesizedLadderTransientMatchesAcSweepInBand) {
+  const AcScenario cfg = lossyScenario();
+
+  // The same synthesis runAcScenario performs (resolveSkin): fit, shave
+  // the branch inductance off the main L, chain the branches per segment.
+  const SkinEffectFit fit = fitSkinEffect(cfg.line.r, cfg.k_skin, cfg.skin_fmin,
+                                          cfg.skin_fmax, cfg.skin_branches);
+  const double l_skin = skinFitInductance(fit);
+  ASSERT_LT(l_skin, cfg.line.l);
+  RlgcParams line = cfg.line;
+  line.l = cfg.line.l - l_skin;
+  std::vector<SeriesRlBranch> branches;
+  for (const SkinBranch& b : fit.branches)
+    if (b.r > 0.0 && b.l > 0.0) branches.push_back({b.r, b.l});
+
+  for (double f : {5e7, 2e8}) {
+    AcScenario point = cfg;
+    point.frequency = f;
+    const double h_ac = runAcScenario(point).v_far.samples()[0];
+
+    Circuit circuit;
+    const int p1 = circuit.addNode();
+    const int p2 = circuit.addNode();
+    const int s1 = circuit.addNode();
+    const int s2 = circuit.addNode();
+    circuit.addVoltageSource(s1, Circuit::kGround, [f](double t) {
+      return std::sin(2.0 * kPi * f * t);
+    });
+    circuit.addResistor(s1, p1, cfg.z0);
+    circuit.addVoltageSource(s2, Circuit::kGround, [](double) { return 0.0; });
+    circuit.addResistor(s2, p2, cfg.z0);
+    buildRlgcLineSegments(circuit, p1, Circuit::kGround, p2, Circuit::kGround,
+                          line, branches);
+
+    // Settle past the slowest skin branch (tau = 1 / w_corner ~ 16 ns at
+    // the 10 MHz corner), then DFT an integer number of periods.
+    const double period = 1.0 / f;
+    const double t_start = 60e-9;
+    const double window = 2.0 * period;
+    TransientOptions opt;
+    opt.dt = period / 250.0;
+    opt.t_stop = t_start + window;
+    const auto res = runTransient(circuit, opt, {{"v", p2, 0}});
+    ASSERT_TRUE(res.converged);
+    const Waveform& v = res.at("v");
+
+    const std::size_t m = 2048;
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double t = t_start + window * static_cast<double>(k) / m;
+      acc += v.value(t) * std::exp(std::complex<double>(0.0, -2.0 * kPi * f * t));
+    }
+    const double h_dft = 2.0 * std::abs(acc) / static_cast<double>(m);
+
+    EXPECT_NEAR(h_dft, h_ac, 0.05 * h_ac) << "f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace fdtdmm
