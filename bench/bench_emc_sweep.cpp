@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   spec.set("pulse_t0", 2e-9);
   spec.axis("theta", {20.0, 40.0, 60.0, 90.0});
   spec.axis("amplitude", {500.0, 1000.0, 2000.0});
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;
   SweepRunner runner(opt);
   const SweepResult sweep = runner.run(spec);

@@ -53,7 +53,7 @@ struct SweepTiming {
 };
 
 SweepTiming runSweep(bool share) {
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 1;  // isolate the factorization economy from parallelism
   opt.share_solver_state = share;
   opt.reuse_results = false;  // time solver work, not result replay

@@ -15,22 +15,29 @@
 #include <vector>
 
 #include "engine/sweep_runner.h"
-#include "engine/typed_axes.h"
 
 int main() {
   using namespace fdtdmm;
 
   std::puts("=== bench_sweep_scaling: 16-point t-line sweep vs worker count ===");
 
-  TlineScenario base;
-  base.pattern = "01011001";
-  base.bit_time = 2e-9;
-  base.t_stop = 20e-9;
-  SweepSpec spec = makeTlineSweep(base, TlineEngine::kFdtd1d);
-  addZcAxis(spec, {90.0, 110.0, 131.0, 150.0});
-  addLoadAxis(spec, {FarEndLoad::kLinearRc});
-  addRcLoadAxis(spec,
-                {{500.0, 1e-12}, {500.0, 5e-12}, {100.0, 1e-12}, {100.0, 5e-12}});
+  SweepSpec spec;
+  spec.scenario = "tline";
+  spec.set("engine", std::string("fdtd1d"));
+  spec.set("pattern", std::string("01011001"));
+  spec.set("bit_time", 2e-9);
+  spec.set("t_stop", 20e-9);
+  spec.set("load", std::string("rc"));
+  spec.axis("zc", {90.0, 110.0, 131.0, 150.0});
+  ParamAxis rc_axis;
+  rc_axis.name = "rc_load";
+  rc_axis.only_when_param = "load";
+  rc_axis.only_when_value = std::string("rc");
+  rc_axis.points = {{{{"load_r", 500.0}, {"load_c", 1e-12}}},
+                    {{{"load_r", 500.0}, {"load_c", 5e-12}}},
+                    {{{"load_r", 100.0}, {"load_c", 1e-12}}},
+                    {{{"load_r", 100.0}, {"load_c", 5e-12}}}};
+  spec.axis(rc_axis);
   std::printf("sweep points: %zu\n", spec.count());
 
   std::puts("identifying the shared driver macromodel (once)...");
@@ -41,9 +48,10 @@ int main() {
   std::puts("\nworkers,wall_s,speedup_vs_1");
   double t1 = 0.0;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
-    SweepRunner runner(opt, cache);
+    opt.model_cache = cache;
+    SweepRunner runner(opt);
     SweepResult res = runner.run(spec);
     if (workers == 1) t1 = res.wall_seconds;
     std::printf("%zu,%.3f,%.2fx\n", workers, res.wall_seconds,

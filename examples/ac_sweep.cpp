@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "engine/sweep_runner.h"
-#include "engine/typed_axes.h"
 #include "sweep_cli.h"
 
 int main(int argc, char** argv) {
@@ -31,11 +30,11 @@ int main(int argc, char** argv) {
 
   SweepSpec spec;
   spec.scenario = "ac";
-  addFrequencyAxis(spec, freqs);
+  spec.axis("frequency", freqs);
   spec.axisStrings("solver", {"sparse", "dense"});
   std::printf("# grid: %zu simulation tasks\n", spec.count());
 
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);

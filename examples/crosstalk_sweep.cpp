@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::printf("# grid: %zu simulation tasks\n", spec.count());
 
   std::puts("# identifying the driver macromodel once (no receiver needed)...");
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);

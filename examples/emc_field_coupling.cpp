@@ -33,7 +33,7 @@ int main() {
   spec.axis("amplitude", {0.0, 2e3});
 
   std::puts("# identifying the driver macromodel once...");
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;
   opt.keep_waveforms = true;  // the pair is differenced below
   SweepRunner runner(opt);

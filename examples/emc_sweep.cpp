@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   spec.axisStrings("solver", {"reuse_lu", "sparse"});
   std::printf("# grid: %zu simulation tasks\n", spec.count());
 
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);

@@ -15,7 +15,6 @@
 #include <cstdio>
 
 #include "engine/sweep_runner.h"
-#include "engine/typed_axes.h"
 #include "sweep_cli.h"
 
 int main(int argc, char** argv) {
@@ -25,9 +24,9 @@ int main(int argc, char** argv) {
 
   std::puts("# scenario sweep: Zc x far-end-load corner analysis (1D FDTD)");
 
-  // Generic form: a registry name, base overrides, and axes. The typed
-  // helpers in engine/typed_axes.h build the same thing from the old
-  // structs (makeTlineSweep / addZcAxis / addRcLoadAxis / ...).
+  // Generic form: a registry name, base overrides, and axes. Multi-param
+  // corners (here the far-end RC load) are a ParamAxis binding several
+  // parameters per point, conditional on the load type being "rc".
   SweepSpec spec;
   spec.scenario = "tline";
   spec.set("engine", std::string("fdtd1d"));
@@ -35,12 +34,19 @@ int main(int argc, char** argv) {
   spec.set("bit_time", 2e-9);
   spec.set("t_stop", 8e-9);
   spec.axis("zc", {90.0, 110.0, 131.0, 150.0});
-  addLoadAxis(spec, {FarEndLoad::kLinearRc, FarEndLoad::kReceiver});
-  addRcLoadAxis(spec, {{500.0, 1e-12}, {100.0, 5e-12}, {50.0, 10e-12}});
+  spec.axisStrings("load", {"rc", "receiver"});
+  ParamAxis rc_axis;
+  rc_axis.name = "rc_load";
+  rc_axis.only_when_param = "load";
+  rc_axis.only_when_value = std::string("rc");
+  rc_axis.points = {{{{"load_r", 500.0}, {"load_c", 1e-12}}},
+                    {{{"load_r", 100.0}, {"load_c", 5e-12}}},
+                    {{{"load_r", 50.0}, {"load_c", 10e-12}}}};
+  spec.axis(rc_axis);
   std::printf("# grid: %zu simulation tasks\n", spec.count());
 
   std::puts("# identifying macromodels once (shared by every task)...");
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);

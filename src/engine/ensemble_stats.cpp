@@ -1,0 +1,221 @@
+#include "engine/ensemble_stats.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+
+namespace {
+
+/// Extracts one named metric from an ok record. Returns false when the
+/// metric is undefined for that run (invalid eye, no delay crossing).
+bool extractMetric(const RunMetrics& m, const std::string& name, double* out) {
+  if (name == "eye_height") {
+    if (!m.eye_valid) return false;
+    *out = m.eye.eye_height;
+  } else if (name == "eye_level_high") {
+    if (!m.eye_valid) return false;
+    *out = m.eye.level_high;
+  } else if (name == "eye_level_low") {
+    if (!m.eye_valid) return false;
+    *out = m.eye.level_low;
+  } else if (name == "v_far_max") {
+    *out = m.v_far_max;
+  } else if (name == "v_far_min") {
+    *out = m.v_far_min;
+  } else if (name == "v_far_abs_peak") {
+    *out = std::max(std::abs(m.v_far_max), std::abs(m.v_far_min));
+  } else if (name == "overshoot") {
+    *out = m.overshoot;
+  } else if (name == "settling_time") {
+    *out = m.settling_time;
+  } else if (name == "far_end_delay") {
+    if (m.far_end_delay < 0.0) return false;
+    *out = m.far_end_delay;
+  } else if (name == "max_newton_iterations") {
+    *out = static_cast<double>(m.max_newton_iterations);
+  } else {
+    throw std::invalid_argument("computeEnsembleStats: unknown metric '" +
+                                name + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ensembleMetricNames() {
+  static const std::vector<std::string> names = {
+      "eye_height",   "eye_level_high", "eye_level_low",
+      "v_far_max",    "v_far_min",      "v_far_abs_peak",
+      "overshoot",    "settling_time",  "far_end_delay",
+      "max_newton_iterations"};
+  return names;
+}
+
+EnsembleStats computeEnsembleStats(const SweepResult& result,
+                                   const ExpandedSweep& expanded,
+                                   const EnsembleOptions& opt) {
+  if (result.runs.size() != expanded.provenance.size())
+    throw std::invalid_argument(
+        "computeEnsembleStats: result has " +
+        std::to_string(result.runs.size()) + " runs but the expansion has " +
+        std::to_string(expanded.provenance.size()) +
+        " tasks — pass the ExpandedSweep the result was run from");
+  for (double q : opt.quantiles)
+    if (!(q >= 0.0 && q <= 1.0))
+      throw std::invalid_argument(
+          "computeEnsembleStats: quantile outside [0, 1]");
+  const std::vector<std::string>& metric_names =
+      opt.metrics.empty() ? ensembleMetricNames() : opt.metrics;
+
+  EnsembleStats stats;
+  stats.quantiles = opt.quantiles;
+  stats.groups.resize(expanded.group_count);
+  for (std::size_t g = 0; g < expanded.group_count; ++g)
+    stats.groups[g].group = g;
+
+  // One pass over the runs: bucket each ok record's metric values.
+  // values[g] holds one vector per metric name (then per exceedance query).
+  const std::size_t n_metrics = metric_names.size();
+  const std::size_t n_exceed = opt.exceedances.size();
+  std::vector<std::vector<std::vector<double>>> values(
+      expanded.group_count,
+      std::vector<std::vector<double>>(n_metrics + n_exceed));
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const TaskProvenance& prov = expanded.provenance[i];
+    GroupEnsemble& group = stats.groups.at(prov.group);
+    if (group.samples == 0) group.label = prov.group_label;
+    ++group.samples;
+    const SweepRunRecord& run = result.runs[i];
+    if (!run.ok) {
+      ++group.failed;
+      continue;
+    }
+    double v = 0.0;
+    for (std::size_t m = 0; m < n_metrics; ++m)
+      if (extractMetric(run.metrics, metric_names[m], &v))
+        values[prov.group][m].push_back(v);
+    for (std::size_t e = 0; e < n_exceed; ++e)
+      if (extractMetric(run.metrics, opt.exceedances[e].metric, &v))
+        values[prov.group][n_metrics + e].push_back(v);
+  }
+
+  for (std::size_t g = 0; g < expanded.group_count; ++g) {
+    GroupEnsemble& group = stats.groups[g];
+    for (std::size_t m = 0; m < n_metrics; ++m) {
+      const std::vector<double>& v = values[g][m];
+      MetricEnsemble me;
+      me.name = metric_names[m];
+      me.count = v.size();
+      if (!v.empty()) {
+        me.mean = mean(v);
+        me.stddev = stddev(v);
+        const MinMax mm = minMax(v);
+        me.min = mm.min;
+        me.max = mm.max;
+        me.quantile_values = quantiles(v, opt.quantiles);
+      } else {
+        me.quantile_values.assign(opt.quantiles.size(), 0.0);
+      }
+      group.metrics.push_back(std::move(me));
+    }
+    for (std::size_t e = 0; e < n_exceed; ++e) {
+      const std::vector<double>& v = values[g][n_metrics + e];
+      ExceedanceEnsemble ee;
+      ee.query = opt.exceedances[e];
+      ee.count = v.size();
+      if (!v.empty())
+        ee.probability = exceedanceProbability(v, ee.query.threshold,
+                                               ee.query.above);
+      group.exceedances.push_back(std::move(ee));
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+std::string exceedanceName(const ExceedanceQuery& q) {
+  return "P[" + q.metric + (q.above ? " > " : " < ") +
+         formatMetricNumber(q.threshold) + "]";
+}
+
+}  // namespace
+
+void writeEnsembleCsv(const EnsembleStats& stats, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("writeEnsembleCsv: cannot open " + path);
+  f << "group,label,samples,failed,kind,name,count,mean,stddev,min,max";
+  for (double q : stats.quantiles) f << ",q" << formatMetricNumber(q);
+  f << '\n';
+  for (const GroupEnsemble& g : stats.groups) {
+    const std::string prefix = std::to_string(g.group) + ',' +
+                               csvQuote(g.label) + ',' +
+                               std::to_string(g.samples) + ',' +
+                               std::to_string(g.failed) + ',';
+    for (const MetricEnsemble& m : g.metrics) {
+      f << prefix << "metric," << m.name << ',' << m.count << ','
+        << formatMetricNumber(m.mean) << ',' << formatMetricNumber(m.stddev)
+        << ',' << formatMetricNumber(m.min) << ','
+        << formatMetricNumber(m.max);
+      for (double qv : m.quantile_values) f << ',' << formatMetricNumber(qv);
+      f << '\n';
+    }
+    for (const ExceedanceEnsemble& e : g.exceedances) {
+      f << prefix << "exceedance," << csvQuote(exceedanceName(e.query)) << ','
+        << e.count << ',' << formatMetricNumber(e.probability) << ",,,";
+      for (std::size_t k = 0; k < stats.quantiles.size(); ++k) f << ',';
+      f << '\n';
+    }
+  }
+  if (!f)
+    throw std::runtime_error("writeEnsembleCsv: write failed for " + path);
+}
+
+void writeEnsembleJson(const EnsembleStats& stats, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("writeEnsembleJson: cannot open " + path);
+  f << "{\n  \"quantiles\": [";
+  for (std::size_t k = 0; k < stats.quantiles.size(); ++k)
+    f << (k ? ", " : "") << formatMetricNumber(stats.quantiles[k]);
+  f << "],\n  \"groups\": [";
+  for (std::size_t gi = 0; gi < stats.groups.size(); ++gi) {
+    const GroupEnsemble& g = stats.groups[gi];
+    f << (gi ? ",\n" : "\n") << "    {\"group\": " << g.group
+      << ", \"label\": " << jsonQuote(g.label)
+      << ", \"samples\": " << g.samples << ", \"failed\": " << g.failed
+      << ",\n     \"metrics\": [";
+    for (std::size_t mi = 0; mi < g.metrics.size(); ++mi) {
+      const MetricEnsemble& m = g.metrics[mi];
+      f << (mi ? ",\n" : "\n") << "       {\"name\": " << jsonQuote(m.name)
+        << ", \"count\": " << m.count
+        << ", \"mean\": " << formatMetricNumber(m.mean)
+        << ", \"stddev\": " << formatMetricNumber(m.stddev)
+        << ", \"min\": " << formatMetricNumber(m.min)
+        << ", \"max\": " << formatMetricNumber(m.max) << ", \"quantiles\": [";
+      for (std::size_t k = 0; k < m.quantile_values.size(); ++k)
+        f << (k ? ", " : "") << formatMetricNumber(m.quantile_values[k]);
+      f << "]}";
+    }
+    f << "\n     ],\n     \"exceedances\": [";
+    for (std::size_t ei = 0; ei < g.exceedances.size(); ++ei) {
+      const ExceedanceEnsemble& e = g.exceedances[ei];
+      f << (ei ? ",\n" : "\n")
+        << "       {\"metric\": " << jsonQuote(e.query.metric)
+        << ", \"above\": " << (e.query.above ? "true" : "false")
+        << ", \"threshold\": " << formatMetricNumber(e.query.threshold)
+        << ", \"count\": " << e.count
+        << ", \"probability\": " << formatMetricNumber(e.probability) << "}";
+    }
+    f << (g.exceedances.empty() ? "]}" : "\n     ]}");
+  }
+  f << "\n  ]\n}\n";
+  if (!f)
+    throw std::runtime_error("writeEnsembleJson: write failed for " + path);
+}
+
+}  // namespace fdtdmm

@@ -1,0 +1,115 @@
+#pragma once
+/// \file ensemble_stats.h
+/// Descriptive statistics over Monte Carlo sweep ensembles. Pairs a
+/// SweepResult with the ExpandedSweep provenance that produced it, groups
+/// the samples by deterministic corner (TaskProvenance::group — one group
+/// per combination of the non-stochastic axes), and reports per metric:
+/// count, mean, sample stddev, min/max, quantiles, and exceedance
+/// probabilities (P[metric > x] / P[metric < x]).
+///
+/// Determinism contract: everything here is a pure function of the
+/// per-run metrics (which are byte-identical across worker counts and
+/// sharing modes), formatted with the same %.9g rule as sweep_result.h —
+/// so the ensemble CSV/JSON exports are byte-identical too.
+///
+/// ## CSV schema (writeEnsembleCsv)
+/// One header line, then one line per (group, metric) and one per
+/// (group, exceedance query), groups in corner order:
+///
+///   group,label,samples,failed,kind,name,count,mean,stddev,min,max,q<Q>...
+///
+///   - group     deterministic-corner ordinal
+///   - label     the corner's deterministic axis bindings ("base" if none)
+///   - samples   ensemble size of the group; failed = runs with ok=false
+///   - kind      "metric" or "exceedance"
+///   - name      metric name, or "P[<metric> < x]" / "P[<metric> > x]"
+///   - count     samples where the value is defined (eye metrics skip
+///               eye_valid=false runs; far_end_delay skips undefined -1s)
+///   - mean      the mean — for exceedance rows, the probability
+///   - stddev..q exceedance rows leave these empty
+///   - q<Q>      one column per requested quantile, e.g. q0.05,q0.5,q0.95
+///
+/// ## JSON schema (writeEnsembleJson)
+///   { "quantiles": [...], "groups": [ { "group": 0, "label": "...",
+///       "samples": N, "failed": 0,
+///       "metrics": [ { "name": "...", "count": N, "mean": ..,
+///           "stddev": .., "min": .., "max": .., "quantiles": [..] }, .. ],
+///       "exceedances": [ { "metric": "...", "above": true,
+///           "threshold": .., "count": N, "probability": .. }, .. ] }, .. ] }
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/sweep_result.h"
+#include "engine/sweep_spec.h"
+
+namespace fdtdmm {
+
+/// One exceedance query: P[metric > threshold] when `above`, else
+/// P[metric < threshold] (both strict).
+struct ExceedanceQuery {
+  std::string metric;
+  double threshold = 0.0;
+  bool above = true;
+};
+
+struct EnsembleOptions {
+  /// Quantiles reported per metric, each in [0, 1].
+  std::vector<double> quantiles = {0.05, 0.5, 0.95};
+  /// Metrics to aggregate; empty = every name in ensembleMetricNames().
+  std::vector<std::string> metrics;
+  std::vector<ExceedanceQuery> exceedances;
+};
+
+/// Aggregate of one metric over one group's ok samples.
+struct MetricEnsemble {
+  std::string name;
+  std::size_t count = 0;  ///< samples where the metric is defined
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> quantile_values;  ///< parallel to EnsembleStats::quantiles
+};
+
+struct ExceedanceEnsemble {
+  ExceedanceQuery query;
+  std::size_t count = 0;  ///< samples where the metric is defined
+  double probability = 0.0;
+};
+
+/// One deterministic corner's ensemble.
+struct GroupEnsemble {
+  std::size_t group = 0;
+  std::string label;
+  std::size_t samples = 0;  ///< tasks in the group
+  std::size_t failed = 0;   ///< tasks with ok=false (excluded from stats)
+  std::vector<MetricEnsemble> metrics;
+  std::vector<ExceedanceEnsemble> exceedances;
+};
+
+struct EnsembleStats {
+  std::vector<double> quantiles;  ///< the quantile levels reported
+  std::vector<GroupEnsemble> groups;  ///< in deterministic-corner order
+};
+
+/// The metric names the aggregator understands: eye_height, eye_level_high,
+/// eye_level_low, v_far_max, v_far_min, v_far_abs_peak (a derived metric:
+/// max(|v_far_max|, |v_far_min|), the natural EMC noise-peak statistic),
+/// overshoot, settling_time, far_end_delay, max_newton_iterations.
+const std::vector<std::string>& ensembleMetricNames();
+
+/// Groups result.runs[i] by expanded.provenance[i].group and aggregates.
+/// \throws std::invalid_argument when result and expansion disagree in
+/// size, on an unknown metric name, or a quantile outside [0, 1].
+EnsembleStats computeEnsembleStats(const SweepResult& result,
+                                   const ExpandedSweep& expanded,
+                                   const EnsembleOptions& opt = {});
+
+/// Write the schemas documented above. \throws std::runtime_error if the
+/// file cannot be opened or written.
+void writeEnsembleCsv(const EnsembleStats& stats, const std::string& path);
+void writeEnsembleJson(const EnsembleStats& stats, const std::string& path);
+
+}  // namespace fdtdmm

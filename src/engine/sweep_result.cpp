@@ -8,13 +8,15 @@
 
 namespace fdtdmm {
 
-namespace {
-
-std::string num(double v) {
+std::string formatMetricNumber(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.9g", v);
   return buf;
 }
+
+namespace {
+
+std::string num(double v) { return formatMetricNumber(v); }
 
 /// First time `w` crosses `level` going up, by linear interpolation;
 /// negative when it never does.
@@ -28,6 +30,8 @@ double risingCrossing(const Waveform& w, double level) {
   }
   return -1.0;
 }
+
+}  // namespace
 
 std::string csvQuote(const std::string& s) {
   std::string out = "\"";
@@ -61,8 +65,6 @@ std::string jsonQuote(const std::string& s) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 RunMetrics computeRunMetrics(const TaskWaveforms& waves, const BitPattern& pattern,
                              const EyeOptions& eye_opt) {

@@ -117,6 +117,13 @@ struct SweepResult {
   std::size_t okCount() const;
 };
 
+/// The %.9g number formatter and CSV/JSON quoting shared by every sweep
+/// exporter (sweep_result, ensemble_stats): one determinism contract, one
+/// implementation.
+std::string formatMetricNumber(double v);
+std::string csvQuote(const std::string& s);
+std::string jsonQuote(const std::string& s);
+
 /// Writes the CSV table described above. \throws std::runtime_error if the
 /// file cannot be opened.
 void writeSweepCsv(const SweepResult& result, const std::string& path);

@@ -14,17 +14,39 @@
 
 namespace fdtdmm {
 
+SweepRunner::SweepRunner(SweepRunnerOptions opt) : opt_(std::move(opt)) {
+  if (!opt_.model_cache) opt_.model_cache = std::make_shared<ModelCache>();
+  if (!opt_.solver_cache)
+    opt_.solver_cache = std::make_shared<SolverStateCache>();
+  if (!opt_.result_cache) opt_.result_cache = std::make_shared<ResultCache>();
+}
+
+namespace {
+
+SweepRunnerOptions foldLegacyOptions(const SweepOptions& opt,
+                                     std::shared_ptr<ModelCache> cache,
+                                     std::shared_ptr<SolverStateCache> solver,
+                                     std::shared_ptr<ResultCache> results) {
+  SweepRunnerOptions folded;
+  folded.workers = opt.workers;
+  folded.keep_waveforms = opt.keep_waveforms;
+  folded.share_solver_state = opt.share_solver_state;
+  folded.reuse_results = opt.reuse_results;
+  folded.eye = opt.eye;
+  folded.model_cache = std::move(cache);
+  folded.solver_cache = std::move(solver);
+  folded.result_cache = std::move(results);
+  return folded;
+}
+
+}  // namespace
+
 SweepRunner::SweepRunner(SweepOptions opt, std::shared_ptr<ModelCache> cache,
                          std::shared_ptr<SolverStateCache> solver_cache,
                          std::shared_ptr<ResultCache> result_cache)
-    : opt_(opt),
-      cache_(std::move(cache)),
-      solver_cache_(std::move(solver_cache)),
-      result_cache_(std::move(result_cache)) {
-  if (!cache_) cache_ = std::make_shared<ModelCache>();
-  if (!solver_cache_) solver_cache_ = std::make_shared<SolverStateCache>();
-  if (!result_cache_) result_cache_ = std::make_shared<ResultCache>();
-}
+    : SweepRunner(foldLegacyOptions(opt, std::move(cache),
+                                    std::move(solver_cache),
+                                    std::move(result_cache))) {}
 
 SweepResult SweepRunner::run(const SweepSpec& spec) { return run(spec.expand()); }
 
@@ -53,10 +75,10 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   // device here instead of stalling (or racing) the workers. Cache counters
   // are cumulative over the cache's lifetime, so snapshot before/after to
   // attribute only this sweep's activity to its telemetry.
-  const ModelCacheStats cache_before = cache_->stats();
-  const SolverStateCacheStats solver_before = solver_cache_->stats();
-  const ResultCacheStats results_before = result_cache_->stats();
-  cache_->preload(tasks);
+  const ModelCacheStats cache_before = opt_.model_cache->stats();
+  const SolverStateCacheStats solver_before = opt_.solver_cache->stats();
+  const ResultCacheStats results_before = opt_.result_cache->stats();
+  opt_.model_cache->preload(tasks);
 
   SweepResult result;
   result.workers = workers;
@@ -85,7 +107,7 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
         std::string models;
         if (task.scenario->needsDriver()) models += "|drv=" + task.driver;
         if (task.scenario->needsReceiver()) models += "|rcv=" + task.receiver;
-        plan.sharing.provider = solver_cache_.get();
+        plan.sharing.provider = opt_.solver_cache.get();
         if (!structure.empty()) plan.sharing.structure_key = structure + models;
         if (!numeric.empty()) plan.sharing.numeric_base_key = numeric + models;
       }
@@ -98,7 +120,7 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   // is replayed under the asking task's index without touching the pool.
   if (use_results) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      if (auto hit = result_cache_->find(plans[i].result_key)) {
+      if (auto hit = opt_.result_cache->find(plans[i].result_key)) {
         SweepRunRecord rec = *hit;
         rec.index = tasks[i].index;
         rec.label = tasks[i].label;
@@ -149,9 +171,9 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
       rec.label = task.label;
       try {
         auto driver =
-            task.scenario->needsDriver() ? cache_->driver(task.driver) : nullptr;
+            task.scenario->needsDriver() ? opt_.model_cache->driver(task.driver) : nullptr;
         auto receiver = task.scenario->needsReceiver()
-                            ? cache_->receiver(task.receiver)
+                            ? opt_.model_cache->receiver(task.receiver)
                             : nullptr;
         TaskWaveforms waves = runSimulationTask(task, driver, receiver, sharing);
         const BitPattern pattern(task.scenario->pattern(),
@@ -180,19 +202,19 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   // Publish freshly computed records for later content-identical corners.
   if (use_results) {
     for (std::size_t slot : order)
-      result_cache_->put(plans[slot].result_key, result.runs[slot]);
+      opt_.result_cache->put(plans[slot].result_key, result.runs[slot]);
   }
 
   // Every future has been collected, so the pool counters are final for
   // this batch even though the pool itself is still alive.
   result.pool = pool.stats();
-  const ModelCacheStats cache_after = cache_->stats();
+  const ModelCacheStats cache_after = opt_.model_cache->stats();
   result.model_cache.hits = cache_after.hits - cache_before.hits;
   result.model_cache.misses = cache_after.misses - cache_before.misses;
   result.model_cache.inserts = cache_after.inserts - cache_before.inserts;
   result.model_cache.preload_seconds =
       cache_after.preload_seconds - cache_before.preload_seconds;
-  const SolverStateCacheStats solver_after = solver_cache_->stats();
+  const SolverStateCacheStats solver_after = opt_.solver_cache->stats();
   result.solver_cache.symbolic_hits = solver_after.symbolic_hits - solver_before.symbolic_hits;
   result.solver_cache.symbolic_misses =
       solver_after.symbolic_misses - solver_before.symbolic_misses;
@@ -202,7 +224,7 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   result.solver_cache.inserts = solver_after.inserts - solver_before.inserts;
   result.solver_cache.refused_inserts =
       solver_after.refused_inserts - solver_before.refused_inserts;
-  const ResultCacheStats results_after = result_cache_->stats();
+  const ResultCacheStats results_after = opt_.result_cache->stats();
   result.result_cache.hits = results_after.hits - results_before.hits;
   result.result_cache.misses = results_after.misses - results_before.misses;
   result.result_cache.inserts = results_after.inserts - results_before.inserts;

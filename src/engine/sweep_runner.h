@@ -25,7 +25,12 @@
 
 namespace fdtdmm {
 
-struct SweepOptions {
+/// The runner's complete configuration: execution knobs and the (optional)
+/// shared cache instances in one struct with named, defaulted fields. This
+/// replaces the pre-consolidation pattern of a flags-only options struct
+/// plus positional shared_ptr constructor arguments, which had grown
+/// unreadable at call sites (`SweepRunner r(opt, nullptr, nullptr, rc)`).
+struct SweepRunnerOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
   std::size_t workers = 0;
   /// Retain each run's waveforms in its SweepRunRecord (memory-heavy for
@@ -44,19 +49,40 @@ struct SweepOptions {
   bool reuse_results = true;
   /// Eye-measurement window for the per-run metrics.
   EyeOptions eye;
+  /// Shared cache instances. Null means "fresh private instance" (a fresh
+  /// ModelCache can still resolve the built-in "default" models). Passing
+  /// shared instances lets several sweeps (e.g. an amplitude sweep and its
+  /// clean-reference sweep) reuse each other's identified models,
+  /// factorizations, and finished corners.
+  std::shared_ptr<ModelCache> model_cache;
+  std::shared_ptr<SolverStateCache> solver_cache;
+  std::shared_ptr<ResultCache> result_cache;
+};
+
+/// Deprecated pre-consolidation execution flags (no cache fields); kept one
+/// release so existing call sites keep compiling through the forwarding
+/// constructor below. New code uses SweepRunnerOptions.
+struct SweepOptions {
+  std::size_t workers = 0;
+  bool keep_waveforms = false;
+  bool share_solver_state = true;
+  bool reuse_results = true;
+  EyeOptions eye;
 };
 
 class SweepRunner {
  public:
-  /// A null cache gets replaced by a fresh empty ModelCache (which can
-  /// still resolve the built-in "default" models); null solver/result
-  /// caches get fresh instances likewise. Passing shared instances lets
-  /// several sweeps (e.g. the amplitude sweep and its clean-reference
-  /// sweep) reuse each other's factorizations and finished corners.
-  explicit SweepRunner(SweepOptions opt = {},
-                       std::shared_ptr<ModelCache> cache = nullptr,
-                       std::shared_ptr<SolverStateCache> solver_cache = nullptr,
-                       std::shared_ptr<ResultCache> result_cache = nullptr);
+  explicit SweepRunner(SweepRunnerOptions opt = {});
+
+  /// Deprecated forwarding constructor (one release): folds the old
+  /// positional cache arguments into SweepRunnerOptions. The ModelCache
+  /// argument is required (pass nullptr for a private one) so that a braced
+  /// `SweepRunner({})` unambiguously selects the new constructor.
+  [[deprecated(
+      "construct from SweepRunnerOptions (caches are named fields now)")]]
+  SweepRunner(SweepOptions opt, std::shared_ptr<ModelCache> cache,
+              std::shared_ptr<SolverStateCache> solver_cache = nullptr,
+              std::shared_ptr<ResultCache> result_cache = nullptr);
 
   /// Expands the spec and runs every task. \throws std::invalid_argument
   /// from expansion; per-task failures are captured in the result instead.
@@ -68,15 +94,17 @@ class SweepRunner {
   /// must be unambiguous.
   SweepResult run(const std::vector<SimulationTask>& tasks);
 
-  const std::shared_ptr<ModelCache>& cache() const { return cache_; }
-  const std::shared_ptr<SolverStateCache>& solverCache() const { return solver_cache_; }
-  const std::shared_ptr<ResultCache>& resultCache() const { return result_cache_; }
+  /// The caches actually in use (never null after construction).
+  const std::shared_ptr<ModelCache>& cache() const { return opt_.model_cache; }
+  const std::shared_ptr<SolverStateCache>& solverCache() const {
+    return opt_.solver_cache;
+  }
+  const std::shared_ptr<ResultCache>& resultCache() const {
+    return opt_.result_cache;
+  }
 
  private:
-  SweepOptions opt_;
-  std::shared_ptr<ModelCache> cache_;
-  std::shared_ptr<SolverStateCache> solver_cache_;
-  std::shared_ptr<ResultCache> result_cache_;
+  SweepRunnerOptions opt_;  ///< caches filled in by the constructor
 };
 
 }  // namespace fdtdmm

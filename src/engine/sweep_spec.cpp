@@ -1,8 +1,12 @@
 #include "engine/sweep_spec.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <stdexcept>
+
+#include "math/rng.h"
+#include "math/stats.h"
 
 namespace fdtdmm {
 
@@ -134,6 +138,139 @@ std::unique_ptr<Scenario> makePrototype(const SweepSpec& spec) {
   return proto;
 }
 
+/// Stream tag separating an LHS axis's stratum-shuffle stream from its
+/// jitter stream. Pinned by the reproducibility tests — never change.
+constexpr std::uint64_t kLhsShuffleTag = 0xa1c9e4f1d3b25f8dULL;
+
+/// Validates the stochastic axes: known double parameters, well-formed
+/// distributions, and no parameter bound twice (by two stochastic axes or
+/// by a stochastic and a deterministic axis at once).
+void checkStochasticAxes(const Scenario& proto, const SweepSpec& spec) {
+  const std::string& family = proto.family();
+  std::set<std::string> det_params;
+  for (const ParamAxis& axis : spec.axes)
+    for (const AxisPoint& point : axis.points)
+      for (const ParamBinding& b : point.bindings) det_params.insert(b.param);
+
+  std::set<std::string> seen;
+  for (const StochasticAxis& ax : spec.stochastic) {
+    if (ax.name.empty())
+      throw std::invalid_argument(
+          "SweepSpec: a stochastic axis needs a name — it identifies the "
+          "axis's draw streams and label tags");
+    if (ax.samples > 0 && ax.params.empty())
+      throw std::invalid_argument("SweepSpec: stochastic axis '" + ax.name +
+                                  "' has samples but no parameters");
+    for (const StochasticParam& p : ax.params) {
+      const ParamDescriptor* desc = proto.findParam(p.param);
+      if (!desc) throwUnknownParam(family, p.param);
+      if (desc->kind != ParamKind::kDouble)
+        throw std::invalid_argument(
+            "SweepSpec: stochastic axis '" + ax.name + "' perturbs '" +
+            p.param + "', which is a " + paramKindName(desc->kind) +
+            " parameter — stochastic axes sample double parameters only");
+      const std::string where =
+          "SweepSpec: stochastic axis '" + ax.name + "', parameter '" +
+          p.param + "': ";
+      switch (p.dist) {
+        case McDistribution::kUniform:
+          if (!(p.a < p.b))
+            throw std::invalid_argument(where +
+                                        "uniform needs lower bound < upper");
+          break;
+        case McDistribution::kNormal:
+          if (!(p.b > 0.0))
+            throw std::invalid_argument(where + "normal needs stddev > 0");
+          break;
+        case McDistribution::kTruncatedNormal: {
+          if (!(p.b > 0.0))
+            throw std::invalid_argument(where +
+                                        "truncated normal needs stddev > 0");
+          if (!(p.lo < p.hi))
+            throw std::invalid_argument(
+                where + "truncation needs lower bound < upper");
+          const double mass = normalCdf((p.hi - p.a) / p.b) -
+                              normalCdf((p.lo - p.a) / p.b);
+          if (!(mass > 0.0))
+            throw std::invalid_argument(
+                where +
+                "truncation interval carries no probability mass (bounds "
+                "are too many stddevs from the mean)");
+          break;
+        }
+      }
+      if (det_params.count(p.param) || !seen.insert(p.param).second)
+        throw std::invalid_argument(
+            "SweepSpec: parameter '" + p.param +
+            "' is bound by more than one axis (stochastic axes may not "
+            "share parameters with each other or with deterministic axes)");
+    }
+  }
+}
+
+/// Inverse-CDF transform: exactly one uniform variate u in (0, 1) per draw,
+/// which is what makes Latin-hypercube stratification exact per parameter.
+double sampleInverseCdf(const StochasticParam& p, double u) {
+  switch (p.dist) {
+    case McDistribution::kUniform:
+      return p.a + (p.b - p.a) * u;
+    case McDistribution::kNormal:
+      return p.a + p.b * normalQuantile(u);
+    case McDistribution::kTruncatedNormal: {
+      const double alpha = normalCdf((p.lo - p.a) / p.b);
+      const double beta = normalCdf((p.hi - p.a) / p.b);
+      const double v =
+          p.a + p.b * normalQuantile(alpha + u * (beta - alpha));
+      // Clamp away the last-ulp leakage of the double round trip; the
+      // descriptor range check downstream must never see a bound overshoot.
+      return std::min(p.hi, std::max(p.lo, v));
+    }
+  }
+  return 0.0;  // unreachable; keeps -Werror=return-type happy
+}
+
+/// All `samples` joint draws of one axis at one sampling context
+/// ([param][sample]). The context is the ordinal of the surrounding
+/// (deterministic corner x outer stochastic samples) combination;
+/// common-random-numbers mode collapses it to 0 so every context reuses
+/// draw sequence 0. Each value is a pure function of
+/// (seed, axis/param name, context, sample) via splitStream — expansion
+/// order and worker count can never reach the draws.
+std::vector<std::vector<double>> drawAxisValues(const StochasticAxis& ax,
+                                                std::uint64_t context) {
+  const std::uint64_t ctx = ax.common_random_numbers ? 0 : context;
+  const std::size_t n = ax.samples;
+  std::vector<std::vector<double>> values(ax.params.size(),
+                                          std::vector<double>(n));
+  for (std::size_t j = 0; j < ax.params.size(); ++j) {
+    const StochasticParam& p = ax.params[j];
+    const std::uint64_t sid = fnv1a64(ax.name + "/" + p.param);
+    if (ax.sampling == McSampling::kLatinHypercube) {
+      // One draw per stratum [k/n, (k+1)/n); the strata order is a
+      // Fisher-Yates shuffle seeded per (param, context) so parameters
+      // pair up randomly instead of rank-correlating.
+      std::vector<std::size_t> perm(n);
+      for (std::size_t s = 0; s < n; ++s) perm[s] = s;
+      Rng shuffler = splitStream(ax.seed, sid ^ kLhsShuffleTag, ctx);
+      for (std::size_t s = n; s > 1; --s)
+        std::swap(perm[s - 1],
+                  perm[static_cast<std::size_t>(shuffler.below(s))]);
+      for (std::size_t s = 0; s < n; ++s) {
+        const double jitter =
+            splitStream(ax.seed, sid, ctx * n + s).uniformOpen();
+        const double u = (static_cast<double>(perm[s]) + jitter) /
+                         static_cast<double>(n);
+        values[j][s] = sampleInverseCdf(p, u);
+      }
+    } else {
+      for (std::size_t s = 0; s < n; ++s)
+        values[j][s] = sampleInverseCdf(
+            p, splitStream(ax.seed, sid, ctx * n + s).uniformOpen());
+    }
+  }
+  return values;
+}
+
 }  // namespace
 
 SweepSpec& SweepSpec::set(const std::string& param, ParamValue value) {
@@ -178,51 +315,170 @@ SweepSpec& SweepSpec::axis(ParamAxis a) {
   return *this;
 }
 
+SweepSpec& SweepSpec::stochasticAxis(StochasticAxis a) {
+  stochastic.push_back(std::move(a));
+  return *this;
+}
+
+StochasticParam uniformParam(std::string param, double lo, double hi) {
+  StochasticParam p;
+  p.param = std::move(param);
+  p.dist = McDistribution::kUniform;
+  p.a = lo;
+  p.b = hi;
+  return p;
+}
+
+StochasticParam normalParam(std::string param, double mean, double stddev) {
+  StochasticParam p;
+  p.param = std::move(param);
+  p.dist = McDistribution::kNormal;
+  p.a = mean;
+  p.b = stddev;
+  return p;
+}
+
+StochasticParam truncatedNormalParam(std::string param, double mean,
+                                     double stddev, double lo, double hi) {
+  StochasticParam p;
+  p.param = std::move(param);
+  p.dist = McDistribution::kTruncatedNormal;
+  p.a = mean;
+  p.b = stddev;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
 std::size_t SweepSpec::count() const {
   const auto proto = makePrototype(*this);
   checkAxes(*proto, axes);
+  checkStochasticAxes(*proto, *this);
   std::size_t n = 0;
   forEachGridPoint(*proto, axes,
                    [&](const std::vector<const ParamBinding*>&) { ++n; });
+  for (const StochasticAxis& ax : stochastic)
+    if (ax.samples > 0) n *= ax.samples;
   return n;
 }
 
 std::vector<SimulationTask> SweepSpec::expand() const {
+  return expandDetailed().tasks;
+}
+
+ExpandedSweep SweepSpec::expandDetailed() const {
   const auto proto = makePrototype(*this);
   checkAxes(*proto, axes);
+  checkStochasticAxes(*proto, *this);
 
-  std::vector<SimulationTask> tasks;
-  std::vector<std::string> point_summaries;  // axis bindings per grid point
-  forEachGridPoint(*proto, axes, [&](const std::vector<const ParamBinding*>& point) {
-    auto scenario = proto->clone();
+  ExpandedSweep out;
+  std::vector<std::string> point_summaries;  // det axis bindings per task
+  // Common-random-numbers draws are context-independent by construction;
+  // compute them once per axis instead of once per corner.
+  std::vector<std::vector<std::vector<double>>> crn_values(stochastic.size());
+  std::vector<bool> crn_ready(stochastic.size(), false);
+
+  std::size_t group = 0;
+  forEachGridPoint(*proto, axes, [&](const std::vector<const ParamBinding*>&
+                                         point) {
     std::string summary;
-    for (const ParamBinding* b : point) {
-      scenario->set(b->param, b->value);
+    for (const ParamBinding* b : point)
       summary += (summary.empty() ? "" : " ") + b->param + "=" +
                  formatParamValue(b->value);
-    }
-    scenario->validate();
 
-    SimulationTask task;
-    task.index = tasks.size();
-    task.label = scenario->label();
-    task.scenario = std::shared_ptr<const Scenario>(std::move(scenario));
-    task.driver = driver;
-    task.receiver = receiver;
-    tasks.push_back(std::move(task));
-    point_summaries.push_back(std::move(summary));
+    // Innermost loops: the stochastic axes, declaration order. `context`
+    // identifies the surrounding (corner x outer samples) combination and
+    // feeds the draw counters, so a task's sampled values depend only on
+    // its own coordinates — never on how many tasks came before it.
+    std::vector<StochasticDraw> draws;
+    std::vector<ParamBinding> sampled;
+    std::function<void(std::size_t, std::uint64_t)> walkStochastic =
+        [&](std::size_t k, std::uint64_t context) {
+          if (k == stochastic.size()) {
+            auto scenario = proto->clone();
+            for (const ParamBinding* b : point)
+              scenario->set(b->param, b->value);
+            for (const ParamBinding& b : sampled) {
+              try {
+                scenario->set(b.param, b.value);
+              } catch (const std::invalid_argument& e) {
+                throw std::invalid_argument(
+                    std::string(e.what()) +
+                    " (drawn by a stochastic axis — bound the draws with "
+                    "truncatedNormalParam / tighter uniform bounds)");
+              }
+            }
+            scenario->validate();
+
+            SimulationTask task;
+            task.index = out.tasks.size();
+            task.label = scenario->label();
+            for (const StochasticDraw& d : draws)
+              task.label += " | " + stochastic[d.axis].name + "#" +
+                            std::to_string(d.draw) + "@" +
+                            std::to_string(d.seed);
+            task.scenario = std::shared_ptr<const Scenario>(std::move(scenario));
+            task.driver = driver;
+            task.receiver = receiver;
+            out.tasks.push_back(std::move(task));
+
+            TaskProvenance prov;
+            prov.group = group;
+            prov.group_label = summary.empty() ? "base" : summary;
+            prov.draws = draws;
+            prov.sampled = sampled;
+            out.provenance.push_back(std::move(prov));
+            point_summaries.push_back(summary);
+            return;
+          }
+          const StochasticAxis& ax = stochastic[k];
+          if (ax.samples == 0) {  // factor 1: keep the base values
+            walkStochastic(k + 1, context);
+            return;
+          }
+          std::vector<std::vector<double>> fresh;
+          const std::vector<std::vector<double>>* values;
+          if (ax.common_random_numbers) {
+            if (!crn_ready[k]) {
+              crn_values[k] = drawAxisValues(ax, 0);
+              crn_ready[k] = true;
+            }
+            values = &crn_values[k];
+          } else {
+            fresh = drawAxisValues(ax, context);
+            values = &fresh;
+          }
+          for (std::size_t s = 0; s < ax.samples; ++s) {
+            StochasticDraw d;
+            d.axis = k;
+            d.seed = ax.seed;
+            d.draw = s;
+            draws.push_back(d);
+            const std::size_t mark = sampled.size();
+            for (std::size_t j = 0; j < ax.params.size(); ++j)
+              sampled.push_back(
+                  {ax.params[j].param, ParamValue{(*values)[j][s]}});
+            walkStochastic(k + 1, context * ax.samples + s);
+            sampled.resize(mark);
+            draws.pop_back();
+          }
+        };
+    walkStochastic(0, group);
+    ++group;
   });
+  out.group_count = group;
 
   // An axis over a parameter the family label omits would export identical
   // labels for distinct corners; disambiguate colliding labels with the
-  // grid point's axis bindings. Sweeps whose labels are already unique
-  // (every pre-redesign sweep) are untouched.
+  // grid point's deterministic axis bindings. (Stochastic tags are already
+  // unique within a corner.) Sweeps whose labels are already unique (every
+  // pre-redesign sweep) are untouched.
   std::map<std::string, std::size_t> label_count;
-  for (const SimulationTask& task : tasks) ++label_count[task.label];
-  for (std::size_t i = 0; i < tasks.size(); ++i)
-    if (label_count.at(tasks[i].label) > 1 && !point_summaries[i].empty())
-      tasks[i].label += " | " + point_summaries[i];
-  return tasks;
+  for (const SimulationTask& task : out.tasks) ++label_count[task.label];
+  for (std::size_t i = 0; i < out.tasks.size(); ++i)
+    if (label_count.at(out.tasks[i].label) > 1 && !point_summaries[i].empty())
+      out.tasks[i].label += " | " + point_summaries[i];
+  return out;
 }
 
 }  // namespace fdtdmm

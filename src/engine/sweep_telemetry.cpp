@@ -14,28 +14,7 @@ std::string num(double v) {
   return buf;
 }
 
-std::string jsonQuote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// jsonQuote comes from engine/sweep_result.h (shared export helper).
 
 /// The RunTelemetry body shared by "totals" and each corner (brace-less;
 /// the caller supplies the enclosing object and any extra keys).

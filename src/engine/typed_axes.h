@@ -1,25 +1,36 @@
 #pragma once
 /// \file typed_axes.h
-/// Migration shims: the pre-redesign typed sweep API (TaskKind + per-family
-/// axis vectors) expressed as thin convenience constructors over the
-/// generic SweepSpec. Each helper appends one generic ParamAxis; nothing
-/// here is load-bearing for the engine, which only sees parameter names.
+/// COMPATIBILITY HEADER — deprecated for new code.
+///
+/// These are the pre-redesign typed sweep helpers (TaskKind + per-family
+/// axis vectors) expressed as thin shims over the generic SweepSpec. They
+/// exist so that (a) pre-redesign call sites keep compiling for one more
+/// release and (b) test_sweep_migration.cpp can pin, byte for byte, that
+/// the generic engine reproduces the old typed expansion. Nothing here is
+/// load-bearing: each helper only appends a generic ParamAxis.
+///
+/// The generic parameter-map API in engine/sweep_spec.h is the ONLY
+/// supported path for new families and new call sites — a new family gets
+/// sweep support by registering descriptors, not by adding helpers here:
+///   spec.set("zc", 75.0)                       base override
+///   spec.axis("zc", {50.0, 75.0})              one-parameter axis
+///   spec.axisStrings("load", {"rc", ...})      string axis
+///   spec.axis(ParamAxis{...})                  multi-param / conditional
+///   spec.stochasticAxis(StochasticAxis{...})   seeded Monte Carlo axis
+///
+/// Old typed API -> generic API mapping kept for migrating stragglers:
+///   spec.kind = TaskKind::kTline   -> spec.scenario = "tline" (+ set(...))
+///   spec.patterns = {...}          -> spec.axisStrings("pattern", {...})
+///   spec.zc_values = {...}         -> spec.axis("zc", {...})
+///   spec.loads = {...}             -> spec.axisStrings("load", {"rc", ...})
+///   spec.rc_loads = {{r, c}, ...}  -> conditional ParamAxis binding load_r
+///                                     + load_c with only_when load == "rc"
+///   spec.incident_field = {...}    -> spec.axisBool("incident_field", {...})
 ///
 /// To reproduce a pre-redesign sweep exactly (labels, task ordering, CSV/
 /// JSON bytes), declare the axes in the old fixed nesting order:
 ///   patterns, bit_times, zc/td/loads/rc_loads (t-line) or incident_field
-///   (PCB) — outermost to innermost. The old rc_loads rule ("applies only
-///   to grid points whose far-end load resolves to the linear RC") is the
-///   generic conditional axis with only_when load == "rc".
-///
-/// Old typed API -> new parameter-map API:
-///   spec.kind = TaskKind::kTline          -> spec = makeTlineSweep(base, engine)
-///   spec.kind = TaskKind::kPcb            -> spec = makePcbSweep(base)
-///   spec.patterns = {...}                 -> addPatternAxis(spec, {...})
-///   spec.zc_values = {...}                -> addZcAxis(spec, {...})
-///   spec.loads = {...}                    -> addLoadAxis(spec, {...})
-///   spec.rc_loads = {{r, c}, ...}         -> addRcLoadAxis(spec, {{r, c}, ...})
-///   spec.incident_field = {...}           -> addIncidentFieldAxis(spec, {...})
+///   (PCB) — outermost to innermost.
 
 #include "core/pcb_family.h"
 #include "core/tline_family.h"

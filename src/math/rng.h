@@ -1,11 +1,25 @@
 #pragma once
 /// \file rng.h
 /// Deterministic pseudo-random generator (SplitMix64). All stochastic parts
-/// of the library (identification excitations, k-means init, property tests)
-/// use this generator so results are reproducible across platforms.
+/// of the library (identification excitations, k-means init, property tests,
+/// Monte Carlo sweep axes) use this generator so results are reproducible
+/// across platforms.
+///
+/// Two usage styles:
+///   - Sequential: construct an Rng from a seed and draw from it. Fine when
+///     one consumer owns the whole stream.
+///   - Splittable (counter-based): splitStream(seed, stream, draw) derives a
+///     statistically independent generator from the triple alone. Stochastic
+///     sweep axes use this so that draw k of parameter p is a pure function
+///     of (seed, p, k) — independent of corner-expansion order, worker
+///     count, or how many other draws happened first.
+///
+/// The splitStream mapping is part of the reproducibility contract: pinned
+/// by test_rng_streams.cpp, do not change it without renaming it.
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 namespace fdtdmm {
 
@@ -25,6 +39,12 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
+  /// Uniform double in the OPEN interval (0, 1): never exactly 0 or 1, so
+  /// inverse-CDF transforms (normalQuantile, log) stay finite.
+  double uniformOpen() {
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
@@ -39,6 +59,40 @@ class Rng {
   bool have_spare_ = false;
   double spare_ = 0.0;
 };
+
+/// SplitMix64's output finalizer as a standalone avalanche hash: every
+/// input bit affects every output bit. Building block for splitStream.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a 64-bit hash of a string: stable, portable stream identifiers from
+/// human-readable names (e.g. "axis/param" for a stochastic sweep axis).
+inline std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Counter-based stream splitting: derives an Rng whose state is a pure
+/// function of (seed, stream, draw). Distinct triples give statistically
+/// independent generators (three rounds of mix64 with distinct odd tweaks —
+/// no (seed, stream, draw) arithmetic coincidence can collide states without
+/// inverting the avalanche). Use one `draw` value per logical random draw
+/// and take a single variate from the returned generator; that makes the
+/// draw independent of evaluation order.
+inline Rng splitStream(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t draw) {
+  std::uint64_t h = mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ stream ^ 0xbf58476d1ce4e5b9ULL);
+  h = mix64(h ^ draw ^ 0x94d049bb133111ebULL);
+  return Rng(h);
+}
 
 inline double Rng::normal() {
   if (have_spare_) {

@@ -50,4 +50,98 @@ MinMax minMax(const Vector& v) {
   return {*lo, *hi};
 }
 
+double stddev(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+namespace {
+
+/// Type-7 quantile of an already-sorted sample.
+double quantileSorted(const Vector& sorted, double q) {
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("quantile: q outside [0, 1]");
+  const std::size_t n = sorted.size();
+  const double h = static_cast<double>(n - 1) * q;
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(const Vector& v, double q) {
+  if (v.empty()) throw std::invalid_argument("quantile: empty input");
+  Vector sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  return quantileSorted(sorted, q);
+}
+
+std::vector<double> quantiles(const Vector& v, const std::vector<double>& qs) {
+  if (v.empty()) throw std::invalid_argument("quantiles: empty input");
+  Vector sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantileSorted(sorted, q));
+  return out;
+}
+
+double exceedanceProbability(const Vector& v, double threshold, bool above) {
+  if (v.empty())
+    throw std::invalid_argument("exceedanceProbability: empty input");
+  std::size_t n = 0;
+  for (double x : v)
+    if (above ? x > threshold : x < threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+double normalCdf(double x) {
+  return 0.5 * std::erfc(-x * 0.7071067811865475244);  // 1/sqrt(2)
+}
+
+double normalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("normalQuantile: p outside (0, 1)");
+  // Acklam's piecewise rational approximation (|rel err| < 1.15e-9).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5, r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement against the machine-precision CDF.
+  const double e = normalCdf(x) - p;
+  const double u = e * 2.506628274631000502 * std::exp(0.5 * x * x);
+  return x - u / (1.0 + 0.5 * x * u);
+}
+
 }  // namespace fdtdmm

@@ -1,7 +1,12 @@
 #pragma once
 /// \file stats.h
 /// Error metrics used to compare waveforms across simulation engines
-/// (Figs. 4, 5 of the paper compare four engines on the same scenario).
+/// (Figs. 4, 5 of the paper compare four engines on the same scenario),
+/// plus the descriptive statistics the ensemble layer (Monte Carlo sweeps)
+/// reports: sample stddev, quantiles, exceedance probabilities, and the
+/// standard normal CDF / quantile pair used for inverse-CDF sampling.
+
+#include <vector>
 
 #include "math/matrix.h"
 
@@ -29,5 +34,33 @@ struct MinMax {
   double max;
 };
 MinMax minMax(const Vector& v);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 when v has fewer
+/// than two elements.
+double stddev(const Vector& v);
+
+/// Quantile q in [0, 1] with linear interpolation between order statistics
+/// (R's default "type 7": h = (n-1)q). quantile(v, 0) = min, quantile(v, 1)
+/// = max, quantile(v, 0.5) = median. Copies and sorts its input.
+/// \throws std::invalid_argument on an empty input or q outside [0, 1].
+double quantile(const Vector& v, double q);
+
+/// Several quantiles of the same sample with one shared sort.
+/// \throws std::invalid_argument on an empty input or any q outside [0, 1].
+std::vector<double> quantiles(const Vector& v, const std::vector<double>& qs);
+
+/// Fraction of samples exceeding `threshold`: P[x > t] when `above`,
+/// P[x < t] otherwise (strict in both directions).
+/// \throws std::invalid_argument on an empty input.
+double exceedanceProbability(const Vector& v, double threshold, bool above);
+
+/// Standard normal CDF Phi(x), accurate to machine precision (via erfc).
+double normalCdf(double x);
+
+/// Standard normal quantile Phi^-1(p) for p in (0, 1): Acklam's rational
+/// approximation refined by one Halley step against normalCdf, accurate to
+/// ~1 ulp. The inverse-CDF sampler for normal/truncated-normal stochastic
+/// axes. \throws std::invalid_argument for p outside the open interval.
+double normalQuantile(double p);
 
 }  // namespace fdtdmm

@@ -11,7 +11,6 @@
 
 #include "circuit/transient.h"
 #include "engine/sweep_runner.h"
-#include "engine/typed_axes.h"
 #include "freq/ac_family.h"
 
 namespace fdtdmm {
@@ -155,9 +154,9 @@ TEST(AcEngine, TransientDftMatchesAcTransferOnRcFixture) {
 TEST(AcEngine, FrequencySweepSharesOneSymbolicAnalysis) {
   SweepSpec spec;
   spec.scenario = "ac";
-  addFrequencyAxis(spec, {1e6, 1e7, 5e7, 1e8, 5e8, 1e9});
+  spec.axis("frequency", {1e6, 1e7, 5e7, 1e8, 5e8, 1e9});
 
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);

@@ -141,11 +141,12 @@ TEST(CrosstalkFamily, SweepsOverCouplingAndTerminationDeterministically) {
 
   std::vector<SweepResult> results;
   for (std::size_t workers : {1u, 4u}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
     auto cache = std::make_shared<ModelCache>();
     cache->putDriver("tinydrv", tinyDriver());
-    SweepRunner runner(opt, cache);
+    opt.model_cache = cache;
+    SweepRunner runner(opt);
     results.push_back(runner.run(spec));
     EXPECT_EQ(results.back().okCount(), 6u);
   }
@@ -192,9 +193,10 @@ TEST(CrosstalkFamily, SweepsOverInductiveCouplingFraction) {
 
   auto cache = std::make_shared<ModelCache>();
   cache->putDriver("tinydrv", tinyDriver());
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 1;
-  SweepRunner runner(opt, cache);
+  opt.model_cache = cache;
+  SweepRunner runner(opt);
   const auto result = runner.run(spec);
   ASSERT_EQ(result.okCount(), 3u);
   EXPECT_NE(result.runs[1].label.find("kl=0.2"), std::string::npos);
@@ -240,9 +242,10 @@ TEST(CrosstalkFamily, SweepsOverSolverModes) {
 
   auto cache = std::make_shared<ModelCache>();
   cache->putDriver("tinydrv", tinyDriver());
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 1;
-  SweepRunner runner(opt, cache);
+  opt.model_cache = cache;
+  SweepRunner runner(opt);
   const auto result = runner.run(spec);
   ASSERT_EQ(result.okCount(), 3u);
 

@@ -132,9 +132,10 @@ TEST(EmcFamily, SweepsImmunityGridDeterministically) {
 
   std::vector<SweepResult> results;
   for (std::size_t workers : {1u, 4u}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
-    SweepRunner runner(opt, tinyCache());
+    opt.model_cache = tinyCache();
+    SweepRunner runner(opt);
     results.push_back(runner.run(spec));
     EXPECT_EQ(results.back().okCount(), 16u);
   }
@@ -168,9 +169,10 @@ TEST(EmcFamily, SweepsOverSolverModes) {
   spec.axisStrings("solver", {"reuse_lu", "full_restamp", "sparse"});
   EXPECT_EQ(spec.count(), 3u);
 
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 1;
-  SweepRunner runner(opt, tinyCache());
+  opt.model_cache = tinyCache();
+  SweepRunner runner(opt);
   const auto result = runner.run(spec);
   ASSERT_EQ(result.okCount(), 3u);
 

@@ -71,7 +71,7 @@ long long totalLu(const SweepResult& result) {
 TEST(FactorizationSharing, LinearSweepFactorsOncePerNumericClass) {
   const SweepSpec spec = rhsOnlyEmcSpec();
   for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
     SweepRunner runner(opt);
     const SweepResult result = runner.run(spec);
@@ -101,7 +101,7 @@ TEST(FactorizationSharing, LinearSweepFactorsOncePerNumericClass) {
 // linear (emc) and nonlinear (crosstalk) families alike.
 TEST(FactorizationSharing, MetricsByteIdenticalSharingOnOrOff) {
   auto runExports = [](const SweepSpec& spec, std::size_t workers, bool share) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
     opt.share_solver_state = share;
     opt.reuse_results = share;  // exercise both caches together
@@ -147,7 +147,7 @@ TEST(FactorizationSharing, MetricsByteIdenticalSharingOnOrOff) {
 // exported bytes.
 TEST(FactorizationSharing, RepeatedSweepReplaysFromResultCache) {
   const SweepSpec spec = rhsOnlyEmcSpec();
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
   SweepRunner runner(opt);
 
@@ -172,10 +172,11 @@ TEST(FactorizationSharing, RepeatedSweepReplaysFromResultCache) {
   EXPECT_EQ(a.json, b.json);
 
   // keep_waveforms bypasses the cache (cached records carry no waves).
-  SweepOptions wopt;
+  SweepRunnerOptions wopt;
   wopt.workers = 1;
   wopt.keep_waveforms = true;
-  SweepRunner wrunner(wopt, nullptr, nullptr, runner.resultCache());
+  wopt.result_cache = runner.resultCache();
+  SweepRunner wrunner(wopt);
   const SweepResult waved = wrunner.run(spec);
   ASSERT_EQ(waved.okCount(), waved.runs.size());
   EXPECT_EQ(waved.result_cache.hits, 0);

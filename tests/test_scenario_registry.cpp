@@ -11,10 +11,27 @@
 #include <set>
 
 #include "engine/sweep_runner.h"
-#include "engine/typed_axes.h"
 
 namespace fdtdmm {
 namespace {
+
+/// Bare "tline" spec on family defaults (the generic spelling of the old
+/// tlineSpec() shim).
+SweepSpec tlineSpec() {
+  SweepSpec spec;
+  spec.scenario = "tline";
+  return spec;
+}
+
+/// The conditional RC-load corner axis, spelled generically.
+ParamAxis rcLoadAxis(double r, double c) {
+  ParamAxis axis;
+  axis.name = "rc_load";
+  axis.only_when_param = "load";
+  axis.only_when_value = std::string("rc");
+  axis.points.push_back({{{"load_r", r}, {"load_c", c}}});
+  return axis;
+}
 
 // --- A synthetic scenario family: fabricates waveforms analytically (an
 // exponential charge toward an "amplitude" level), so it exercises the
@@ -159,32 +176,32 @@ TEST(ScenarioParams, SetGetAndValidationErrors) {
 
 TEST(SweepAxes, ErrorPathsFailAtExpandTimeNotMidSweep) {
   // Unknown axis parameter.
-  SweepSpec unknown = makeTlineSweep();
+  SweepSpec unknown = tlineSpec();
   unknown.axis("warp_factor", {9.0});
   EXPECT_THROW(unknown.count(), std::invalid_argument);
   EXPECT_THROW(unknown.expand(), std::invalid_argument);
 
   // Out-of-range axis value: caught by the descriptor check up front even
   // though a run with zc=131 (the first point) would have succeeded.
-  SweepSpec range = makeTlineSweep();
+  SweepSpec range = tlineSpec();
   range.axis("zc", {131.0, -5.0});
   EXPECT_THROW(range.count(), std::invalid_argument);
   EXPECT_THROW(range.expand(), std::invalid_argument);
 
   // Kind mismatch on an axis value.
-  SweepSpec kind = makeTlineSweep();
+  SweepSpec kind = tlineSpec();
   kind.axisStrings("zc", {"fast"});
   EXPECT_THROW(kind.expand(), std::invalid_argument);
 
   // A conditional axis whose condition is bound by a *later* axis would
   // resolve against stale values; rejected up front.
-  SweepSpec order = makeTlineSweep();
-  addRcLoadAxis(order, {{500.0, 1e-12}});
-  addLoadAxis(order, {FarEndLoad::kLinearRc, FarEndLoad::kReceiver});
+  SweepSpec order = tlineSpec();
+  order.axis(rcLoadAxis(500.0, 1e-12));
+  order.axisStrings("load", {"rc", "receiver"});
   EXPECT_THROW(order.expand(), std::invalid_argument);
 
   // A conditional axis on an unknown parameter.
-  SweepSpec cond = makeTlineSweep();
+  SweepSpec cond = tlineSpec();
   ParamAxis bad;
   bad.name = "bad";
   bad.only_when_param = "no_such_param";
@@ -194,7 +211,7 @@ TEST(SweepAxes, ErrorPathsFailAtExpandTimeNotMidSweep) {
   EXPECT_THROW(cond.expand(), std::invalid_argument);
 
   // An axis point with no bindings is meaningless.
-  SweepSpec hollow = makeTlineSweep();
+  SweepSpec hollow = tlineSpec();
   ParamAxis empty_point;
   empty_point.name = "hollow";
   empty_point.points.push_back({});
@@ -202,26 +219,26 @@ TEST(SweepAxes, ErrorPathsFailAtExpandTimeNotMidSweep) {
   EXPECT_THROW(hollow.expand(), std::invalid_argument);
 
   // Base overrides are validated too.
-  SweepSpec bad_base = makeTlineSweep();
+  SweepSpec bad_base = tlineSpec();
   bad_base.set("bit_time", -1.0);
   EXPECT_THROW(bad_base.expand(), std::invalid_argument);
 
   // The same parameter bound by two axes would just have the inner axis
   // overwrite the outer, multiplying the grid with duplicate tasks.
-  SweepSpec twice = makeTlineSweep();
+  SweepSpec twice = tlineSpec();
   twice.axis("zc", {90.0, 110.0});
   twice.axis("zc", {100.0, 131.0});
   EXPECT_THROW(twice.expand(), std::invalid_argument);
-  SweepSpec rc_twice = makeTlineSweep();
-  addRcLoadAxis(rc_twice, {{500.0, 1e-12}});
-  addRcLoadAxis(rc_twice, {{100.0, 5e-12}});
+  SweepSpec rc_twice = tlineSpec();
+  rc_twice.axis(rcLoadAxis(500.0, 1e-12));
+  rc_twice.axis(rcLoadAxis(100.0, 5e-12));
   EXPECT_THROW(rc_twice.count(), std::invalid_argument);
 }
 
 TEST(SweepAxes, LabelsStayDistinguishableForLabelOmittedParameters) {
   // t_stop is not part of the tline label; without disambiguation both
   // corners would export byte-identical labels.
-  SweepSpec spec = makeTlineSweep();
+  SweepSpec spec = tlineSpec();
   spec.axis("t_stop", {1e-9, 2e-9});
   spec.axis("zc", {100.0, 131.0});
   const auto tasks = spec.expand();
@@ -234,7 +251,7 @@ TEST(SweepAxes, LabelsStayDistinguishableForLabelOmittedParameters) {
 
   // A sweep whose labels are already unique keeps the family label as-is
   // (no suffix) — the migration goldens depend on this.
-  SweepSpec plain = makeTlineSweep();
+  SweepSpec plain = tlineSpec();
   plain.axis("zc", {100.0, 131.0});
   for (const auto& task : plain.expand())
     EXPECT_EQ(task.label.find(" | "), std::string::npos);
@@ -250,7 +267,7 @@ TEST(ScenarioRegistry, SyntheticFamilySweepsEndToEndWithoutEngineChanges) {
   spec.axis("tau", {0.1e-9, 0.2e-9});
   EXPECT_EQ(spec.count(), 6u);
 
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
   SweepRunner runner(opt);
   const auto result = runner.run(spec);

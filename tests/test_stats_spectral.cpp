@@ -37,6 +37,53 @@ TEST(Stats, MaxAbsErrorAndMinMax) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
 }
 
+TEST(Stats, StddevIsSampleStddev) {
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);  // n < 2: undefined, reported as 0
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolatesType7) {
+  const Vector v{1.0, 2.0, 3.0, 4.0};  // h = q * (n - 1)
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+  // Input order must not matter (quantile sorts a copy).
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.25), 1.75);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, QuantilesMatchesScalarQuantile) {
+  const Vector v{5.0, 1.0, 4.0, 2.0, 3.0};
+  const auto qs = quantiles(v, {0.05, 0.5, 0.95});
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], quantile(v, 0.05));
+  EXPECT_DOUBLE_EQ(qs[1], 3.0);
+  EXPECT_DOUBLE_EQ(qs[2], quantile(v, 0.95));
+}
+
+TEST(Stats, ExceedanceProbabilityIsStrict) {
+  const Vector v{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(exceedanceProbability(v, 2.0, /*above=*/true), 0.25);
+  EXPECT_DOUBLE_EQ(exceedanceProbability(v, 2.0, /*above=*/false), 0.25);
+  EXPECT_DOUBLE_EQ(exceedanceProbability(v, 0.0, true), 1.0);
+  EXPECT_DOUBLE_EQ(exceedanceProbability(v, 10.0, true), 0.0);
+  EXPECT_THROW(exceedanceProbability({}, 0.0, true), std::invalid_argument);
+}
+
+TEST(Stats, NormalCdfAndQuantileRoundTrip) {
+  EXPECT_DOUBLE_EQ(normalCdf(0.0), 0.5);
+  EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_DOUBLE_EQ(normalQuantile(0.5), 0.0);
+  for (double p : {1e-8, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-8})
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-12) << "p=" << p;
+}
+
 TEST(Spectral, DiagonalMatrix) {
   Matrix a{{0.5, 0.0}, {0.0, -0.9}};
   EXPECT_NEAR(spectralRadius(a), 0.9, 1e-6);

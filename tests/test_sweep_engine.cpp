@@ -12,7 +12,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "engine/typed_axes.h"
+#include "core/pcb_family.h"
+#include "core/tline_family.h"
 #include "tiny_models.h"
 
 namespace fdtdmm {
@@ -22,19 +23,34 @@ using testmodels::tinyCache;
 using testmodels::tinyDriver;
 using testmodels::tinyReceiver;
 
+/// The conditional RC-load corner axis, spelled generically: each point
+/// binds load_r and load_c together, and the axis only applies where the
+/// far-end load resolves to the linear RC.
+ParamAxis rcLoadAxis(const std::vector<std::pair<double, double>>& corners) {
+  ParamAxis axis;
+  axis.name = "rc_load";
+  axis.only_when_param = "load";
+  axis.only_when_value = std::string("rc");
+  axis.points.reserve(corners.size());
+  for (const auto& rc : corners)
+    axis.points.push_back({{{"load_r", rc.first}, {"load_c", rc.second}}});
+  return axis;
+}
+
 /// A fast 1D-FDTD sweep: 2 patterns x 2 zc x (2 rc corners + receiver).
 SweepSpec testSpec() {
-  TlineScenario base;
-  base.t_stop = 2e-9;
-  base.strip_len = 24;  // 1D cells: keeps each run tiny
-  SweepSpec spec = makeTlineSweep(base, TlineEngine::kFdtd1d);
+  SweepSpec spec;
+  spec.scenario = "tline";
+  spec.set("engine", std::string("fdtd1d"));
+  spec.set("t_stop", 2e-9);
+  spec.set("strip_len", 24.0);  // 1D cells: keeps each run tiny
   spec.driver = "tinydrv";
   spec.receiver = "tinyrcv";
-  addPatternAxis(spec, {"010", "0110"});
-  addBitTimeAxis(spec, {0.5e-9});
-  addZcAxis(spec, {100.0, 131.0});
-  addLoadAxis(spec, {FarEndLoad::kLinearRc, FarEndLoad::kReceiver});
-  addRcLoadAxis(spec, {{500.0, 1e-12}, {50.0, 2e-12}});
+  spec.axisStrings("pattern", {"010", "0110"});
+  spec.axis("bit_time", {0.5e-9});
+  spec.axis("zc", {100.0, 131.0});
+  spec.axisStrings("load", {"rc", "receiver"});
+  spec.axis(rcLoadAxis({{500.0, 1e-12}, {50.0, 2e-12}}));
   return spec;
 }
 
@@ -67,33 +83,37 @@ TEST(SweepSpec, CountsAndExpandsTheGrid) {
 }
 
 TEST(SweepSpec, EmptyAxesKeepBaseValues) {
-  TlineScenario base;
-  base.t_stop = 1e-9;
-  SweepSpec spec = makeTlineSweep(base);
+  const TlineScenario base;  // the family defaults mirror the typed config
+  SweepSpec spec;
+  spec.scenario = "tline";
+  spec.set("t_stop", 1e-9);
   EXPECT_EQ(spec.count(), 1u);
   const auto tasks = spec.expand();
   ASSERT_EQ(tasks.size(), 1u);
   EXPECT_EQ(asTline(tasks[0]).config().pattern, base.pattern);
   EXPECT_EQ(asTline(tasks[0]).config().zc, base.zc);
   // An axis with no points also contributes a factor of 1.
-  SweepSpec with_empty = makeTlineSweep(base);
-  addZcAxis(with_empty, {});
+  SweepSpec with_empty = spec;
+  with_empty.axis("zc", {});
   EXPECT_EQ(with_empty.count(), 1u);
   EXPECT_EQ(with_empty.expand().size(), 1u);
 }
 
 TEST(SweepSpec, RejectsMisappliedAndInvalidAxes) {
   // A t-line-only parameter on a PCB sweep is simply unknown to the family.
-  SweepSpec pcb = makePcbSweep();
-  addZcAxis(pcb, {100.0});
+  SweepSpec pcb;
+  pcb.scenario = "pcb";
+  pcb.axis("zc", {100.0});
   EXPECT_THROW(pcb.expand(), std::invalid_argument);
 
-  SweepSpec tline = makeTlineSweep();
-  addIncidentFieldAxis(tline, {true});
+  SweepSpec tline;
+  tline.scenario = "tline";
+  tline.axisBool("with_incident", {true});
   EXPECT_THROW(tline.expand(), std::invalid_argument);
 
-  SweepSpec bad_bt = makeTlineSweep();
-  addBitTimeAxis(bad_bt, {-1.0});
+  SweepSpec bad_bt;
+  bad_bt.scenario = "tline";
+  bad_bt.axis("bit_time", {-1.0});
   EXPECT_THROW(bad_bt.count(), std::invalid_argument);
 
   SweepSpec bad_base;
@@ -103,9 +123,10 @@ TEST(SweepSpec, RejectsMisappliedAndInvalidAxes) {
 }
 
 TEST(SweepSpec, PcbGridExpands) {
-  SweepSpec spec = makePcbSweep();
-  addPatternAxis(spec, {"01", "010"});
-  addIncidentFieldAxis(spec, {false, true});
+  SweepSpec spec;
+  spec.scenario = "pcb";
+  spec.axisStrings("pattern", {"01", "010"});
+  spec.axisBool("with_incident", {false, true});
   const auto tasks = spec.expand();
   ASSERT_EQ(tasks.size(), 4u);
   EXPECT_EQ(spec.count(), 4u);
@@ -128,23 +149,24 @@ TEST(SweepSpec, CountMatchesExpandAcrossAxisCombinations) {
   const std::vector<std::string> pattern_axis = {"010", "0110", "01"};
   const std::vector<double> bt_axis = {0.5e-9, 1e-9};
   const std::vector<double> zc_axis = {90.0, 131.0};
-  const std::vector<std::vector<FarEndLoad>> load_axes = {
-      {},  // keep base (kLinearRc): rc axis applies everywhere
-      {FarEndLoad::kReceiver},  // rc axis applies nowhere
-      {FarEndLoad::kLinearRc, FarEndLoad::kReceiver},
+  const std::vector<std::vector<std::string>> load_axes = {
+      {},  // keep base ("rc"): rc axis applies everywhere
+      {"receiver"},  // rc axis applies nowhere
+      {"rc", "receiver"},
   };
-  const std::vector<RcLoad> rc_axis = {{500.0, 1e-12}, {50.0, 2e-12}};
+  const std::vector<std::pair<double, double>> rc_axis = {{500.0, 1e-12},
+                                                          {50.0, 2e-12}};
 
-  TlineScenario base;
-  base.t_stop = 1e-9;
   for (unsigned mask = 0; mask < 16; ++mask) {
     for (std::size_t li = 0; li < load_axes.size(); ++li) {
-      SweepSpec spec = makeTlineSweep(base);
-      if (mask & 1) addPatternAxis(spec, pattern_axis);
-      if (mask & 2) addBitTimeAxis(spec, bt_axis);
-      if (mask & 4) addZcAxis(spec, zc_axis);
-      addLoadAxis(spec, load_axes[li]);
-      if (mask & 8) addRcLoadAxis(spec, rc_axis);
+      SweepSpec spec;
+      spec.scenario = "tline";
+      spec.set("t_stop", 1e-9);
+      if (mask & 1) spec.axisStrings("pattern", pattern_axis);
+      if (mask & 2) spec.axis("bit_time", bt_axis);
+      if (mask & 4) spec.axis("zc", zc_axis);
+      spec.axisStrings("load", load_axes[li]);
+      if (mask & 8) spec.axis(rcLoadAxis(rc_axis));
       SCOPED_TRACE("mask=" + std::to_string(mask) + " loads=" + std::to_string(li));
       const auto tasks = spec.expand();
       EXPECT_EQ(spec.count(), tasks.size());
@@ -170,9 +192,10 @@ TEST(SweepRunner, MetricsMatchSerialReferenceForAnyWorkerCount) {
   }
 
   for (std::size_t workers : {1u, 2u, 4u}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
-    SweepRunner runner(opt, tinyCache());
+    opt.model_cache = tinyCache();
+    SweepRunner runner(opt);
     const auto result = runner.run(spec);
     ASSERT_EQ(result.runs.size(), reference.size());
     EXPECT_EQ(result.workers, workers);
@@ -202,9 +225,10 @@ TEST(SweepRunner, ExportsAreByteIdenticalAcrossWorkerCounts) {
   const std::string dir = testing::TempDir();
   std::string csv1, csv4, json_runs1, json_runs4;
   for (std::size_t workers : {1u, 4u}) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
-    SweepRunner runner(opt, tinyCache());
+    opt.model_cache = tinyCache();
+    SweepRunner runner(opt);
     const auto result = runner.run(spec);
     const std::string csv_path = dir + "sweep_w" + std::to_string(workers) + ".csv";
     const std::string json_path = dir + "sweep_w" + std::to_string(workers) + ".json";
@@ -232,9 +256,10 @@ TEST(SweepRunner, ExportsAreByteIdenticalAcrossWorkerCounts) {
 TEST(SweepRunner, CapturesPerTaskFailuresWithoutAbortingTheSweep) {
   SweepSpec spec = testSpec();
   spec.receiver = "missing";  // receiver-load tasks will fail to resolve
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
-  SweepRunner runner(opt, tinyCache());
+  opt.model_cache = tinyCache();
+  SweepRunner runner(opt);
   const auto result = runner.run(spec);
   ASSERT_EQ(result.runs.size(), 12u);
   EXPECT_EQ(result.okCount(), 8u);  // 4 receiver-load corners fail
@@ -256,7 +281,9 @@ TEST(SweepRunner, RejectsDuplicateTaskIndices) {
   SweepSpec spec = testSpec();
   auto tasks = spec.expand();
   tasks[3].index = tasks[7].index;  // now two rows would share a CSV key
-  SweepRunner runner({}, tinyCache());
+  SweepRunnerOptions opt;
+  opt.model_cache = tinyCache();
+  SweepRunner runner(opt);
   EXPECT_THROW(runner.run(tasks), std::invalid_argument);
 
   SimulationTask empty;  // no scenario attached
@@ -264,17 +291,18 @@ TEST(SweepRunner, RejectsDuplicateTaskIndices) {
 }
 
 TEST(SweepRunner, KeepWaveformsRetainsRuns) {
-  TlineScenario base;
-  base.t_stop = 2e-9;
-  base.strip_len = 24;
-  SweepSpec spec = makeTlineSweep(base);
+  SweepSpec spec;
+  spec.scenario = "tline";
+  spec.set("t_stop", 2e-9);
+  spec.set("strip_len", 24.0);
   spec.driver = "tinydrv";
   spec.receiver = "tinyrcv";
-  addRcLoadAxis(spec, {{500.0, 1e-12}});
-  SweepOptions opt;
+  spec.axis(rcLoadAxis({{500.0, 1e-12}}));
+  SweepRunnerOptions opt;
   opt.workers = 2;
   opt.keep_waveforms = true;
-  SweepRunner runner(opt, tinyCache());
+  opt.model_cache = tinyCache();
+  SweepRunner runner(opt);
   const auto result = runner.run(spec);
   ASSERT_EQ(result.runs.size(), 1u);
   ASSERT_TRUE(result.runs[0].ok);

@@ -14,6 +14,12 @@
 #include "engine/typed_axes.h"
 #include "tiny_models.h"
 
+// This test exists to exercise the deprecated compatibility surface, so
+// silence the deprecation warnings it deliberately triggers.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace fdtdmm {
 namespace {
 

@@ -70,7 +70,7 @@ TEST(SweepTelemetry, MetricsBytesIdenticalAcrossWorkersAndTracing) {
   const SweepSpec spec = smallCrosstalkSpec();
 
   auto runWith = [&](std::size_t workers, bool traced) {
-    SweepOptions opt;
+    SweepRunnerOptions opt;
     opt.workers = workers;
     SweepRunner runner(opt);
     if (!traced) return exportMetrics(runner.run(spec));
@@ -106,7 +106,7 @@ TEST(SweepTelemetry, WaveformsBitIdenticalWithTelemetryAttached) {
   // The solver records waveforms identically whether or not the phase
   // timers run; compare a traced against an untraced sweep sample-level.
   const SweepSpec spec = smallCrosstalkSpec();
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 1;
   opt.keep_waveforms = true;
 
@@ -130,7 +130,7 @@ TEST(SweepTelemetry, WaveformsBitIdenticalWithTelemetryAttached) {
 }
 
 TEST(SweepTelemetry, CrosstalkCornersReportSolverCounters) {
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
   SweepRunner runner(opt);
   const SweepResult result = runner.run(smallCrosstalkSpec());
@@ -175,7 +175,7 @@ TEST(SweepTelemetry, CrosstalkCornersReportSolverCounters) {
 }
 
 TEST(SweepTelemetry, EmcSweepTelemetryAndJsonExport) {
-  SweepOptions opt;
+  SweepRunnerOptions opt;
   opt.workers = 2;
   SweepRunner runner(opt);
   const SweepResult result = runner.run(smallEmcSpec());
