@@ -80,7 +80,7 @@ SweepTiming runSweep(bool share) {
 
 int main(int argc, char** argv) {
   std::puts("=== bench_factorization_reuse: shared vs per-corner base LU ===");
-  obs::initTraceFromArgs(argc, argv);
+  const obs::ScopedTrace trace = obs::initTraceFromArgs(argc, argv);
   const double min_speedup =
       benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_REUSE_SPEEDUP", 2.0);
   int failures = 0;
@@ -147,10 +147,11 @@ int main(int argc, char** argv) {
       "  \"speedup\": " + num(speedup) + ",\n" +
       "  \"metrics_byte_identical\": " + (on.csv == off.csv ? "true" : "false") +
       ",\n" +
+      "  \"sweep_observability\": " +
+      benchutil::sweepObservabilityJson(on.result) + ",\n" +
       "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
   if (!benchutil::writeFile("BENCH_reuse.json", json)) ++failures;
   std::puts("\nwrote BENCH_reuse.json");
-  obs::shutdownTrace();
 
   if (failures == 0) std::puts("all checks passed");
   return failures == 0 ? 0 : 1;

@@ -8,8 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
+#include "engine/sweep_telemetry.h"
+#include "obs/histogram.h"
 #include "obs/telemetry.h"
 
 namespace benchutil {
@@ -69,6 +72,33 @@ inline std::string telemetryJson(const fdtdmm::obs::RunTelemetry& t) {
          ", \"steps\": " + std::to_string(t.steps) +
          ", \"pattern_realignments\": " + std::to_string(t.pattern_realignments) +
          "}";
+}
+
+/// Percentile summary of a sweep's latency histograms (SweepResult::
+/// histograms): count + p50/p95/p99 per distribution, compact enough for
+/// the BENCH_*.json artifacts CI archives per run.
+inline std::string histogramsJson(
+    const std::map<std::string, fdtdmm::obs::Histogram>& hists) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, h] : hists) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"count\": " + std::to_string(h.count()) +
+           ", \"p50\": " + num(h.percentile(0.50)) +
+           ", \"p95\": " + num(h.percentile(0.95)) +
+           ", \"p99\": " + num(h.percentile(0.99)) + "}";
+  }
+  return out + "}";
+}
+
+/// One sweep's observability block for BENCH_*.json: the canonical counter
+/// document (the same obs::countersJson slots as the telemetry export and
+/// the examples' footers) plus the histogram percentile summary.
+inline std::string sweepObservabilityJson(const fdtdmm::SweepResult& r) {
+  return std::string("{\"counters\": ") +
+         fdtdmm::obs::countersJson(fdtdmm::sweepCounters(r)) +
+         ", \"histograms\": " + histogramsJson(r.histograms) + "}";
 }
 
 inline const char* buildKind() {

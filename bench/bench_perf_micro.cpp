@@ -10,6 +10,7 @@
 #include "circuit/transient.h"
 #include "fdtd/solver.h"
 #include "math/newton.h"
+#include "obs/histogram.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rbf/resampling.h"
@@ -191,6 +192,65 @@ void BM_MnaTelemetryOverhead(benchmark::State& state) {
       benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_MnaTelemetryOverhead)->Arg(0)->Arg(1);
+
+void BM_MnaHealthOverhead(benchmark::State& state) {
+  // The numerical-health overhead claim, measured: the same ladder with
+  // telemetry on in both variants, health collection off (Arg 0) vs on
+  // (Arg 1). Off must be indistinguishable from plain telemetry (every
+  // health site is one branch); on adds the per-factorization pivot
+  // copies, the Newton trajectories, and the end-of-run residual +
+  // condition estimate.
+  const bool collect = state.range(0) != 0;
+  obs::RunTelemetry tel;
+  for (auto _ : state) {
+    Circuit c;
+    const int src = c.addNode();
+    const int in = c.addNode();
+    const int out = c.addNode();
+    c.addVoltageSource(src, Circuit::kGround, [](double t) { return t >= 0.0 ? 1.8 : 0.0; });
+    c.addResistor(src, in, 60.0);
+    RlgcParams p;
+    p.r = 4.0;
+    p.segments = 24;
+    buildRlgcLine(c, in, Circuit::kGround, out, Circuit::kGround, p);
+    c.addResistor(out, Circuit::kGround, 500.0);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 200e-12;
+    opt.solver_mode = TransientSolverMode::kReuseFactorization;
+    opt.telemetry = &tel;
+    opt.health.collect = collect;
+    benchmark::DoNotOptimize(runTransient(c, opt, {{"v", out, 0}}));
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(100, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MnaHealthOverhead)->Arg(0)->Arg(1);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // One log-bucket increment: ln, scale, bucket add. This is the per-sample
+  // cost of the sweep latency histograms.
+  obs::Histogram h;
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1.0 ? v * 1.0001 : 1e-6;
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramRegistryRecord(benchmark::State& state) {
+  // The registry path the sweep workers use: thread-shard lookup + named
+  // histogram lookup + record.
+  obs::HistogramRegistry reg;
+  double v = 1e-6;
+  for (auto _ : state) {
+    reg.record("corner_wall_seconds", v);
+    v = v < 1.0 ? v * 1.0001 : 1e-6;
+  }
+}
+BENCHMARK(BM_HistogramRegistryRecord);
 
 void BM_DisabledTraceSpan(benchmark::State& state) {
   // Cost of a TraceSpan in the no-writer case: one atomic load and a

@@ -85,7 +85,7 @@ double maxAbsDiff(const Waveform& a, const Waveform& b) {
 
 int main(int argc, char** argv) {
   std::puts("=== bench_sparse_solver: sparse CSR+banded-LU vs dense cached LU ===");
-  obs::initTraceFromArgs(argc, argv);
+  const obs::ScopedTrace trace = obs::initTraceFromArgs(argc, argv);
   const double min_speedup =
       benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_SPARSE_SPEEDUP", 5.0);
   const std::size_t gate_segments = 200;
@@ -147,7 +147,6 @@ int main(int argc, char** argv) {
       "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
   if (!benchutil::writeFile("BENCH_sparse.json", json)) ++failures;
   std::puts("\nwrote BENCH_sparse.json");
-  obs::shutdownTrace();
 
   if (failures == 0) std::puts("all checks passed");
   return failures == 0 ? 0 : 1;

@@ -119,7 +119,7 @@ std::string caseJson(const char* name, const RunStats& ref, const RunStats& fast
 
 int main(int argc, char** argv) {
   std::puts("=== bench_transient_solver: cached-LU stamp split vs full restamp ===");
-  obs::initTraceFromArgs(argc, argv);
+  const obs::ScopedTrace trace = obs::initTraceFromArgs(argc, argv);
   const double min_speedup =
       benchutil::minSpeedup(argc, argv, "FDTDMM_BENCH_MIN_SPEEDUP", 3.0);
   int failures = 0;
@@ -187,7 +187,6 @@ int main(int argc, char** argv) {
       "  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
   if (!benchutil::writeFile("BENCH_transient.json", json)) ++failures;
   std::puts("\nwrote BENCH_transient.json");
-  obs::shutdownTrace();
 
   if (failures == 0) std::puts("all checks passed");
   return failures == 0 ? 0 : 1;

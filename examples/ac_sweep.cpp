@@ -5,7 +5,7 @@
 // 0.5 across the band — and because frequency only changes matrix VALUES,
 // all corners of one line share a single complex symbolic analysis.
 //
-// Build & run:  ./example_ac_sweep [--trace=trace.json]
+// Build & run:  ./example_ac_sweep [--trace=trace.json] [--progress] [--health]
 // Outputs:      ac_results.csv, ac_results.json, ac_telemetry.json
 //               (+ optional Chrome trace)
 
@@ -19,7 +19,7 @@
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = sweepcli::initTracing(argc, argv);
+  sweepcli::Cli cli = sweepcli::init(argc, argv);
 
   std::puts("# ac sweep: log-spaced frequency axis, matched 50-ohm line");
 
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
 
   SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
+  cli.apply(opt);
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);
 
@@ -60,6 +61,6 @@ int main(int argc, char** argv) {
   std::printf("# solver cache: %lld symbolic analyses shared across %lld reuses\n",
               result.solver_cache.symbolic_misses, result.solver_cache.symbolic_hits);
 
-  sweepcli::exportAndFinish(result, "ac", trace_path);
+  sweepcli::exportAndFinish(result, "ac", cli);
   return 0;
 }

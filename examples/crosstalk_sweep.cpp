@@ -6,7 +6,7 @@
 // far-end crosstalk peak, far_end_delay the coupling delay) through the
 // standard SweepResult CSV/JSON path.
 //
-// Build & run:  ./example_crosstalk_sweep [--trace=trace.json]
+// Build & run:  ./example_crosstalk_sweep [--trace=trace.json] [--progress] [--health]
 // Outputs:      crosstalk_results.csv, crosstalk_results.json,
 //               crosstalk_telemetry.json (+ optional Chrome trace)
 
@@ -19,7 +19,7 @@
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = sweepcli::initTracing(argc, argv);
+  sweepcli::Cli cli = sweepcli::init(argc, argv);
 
   std::puts("# crosstalk sweep: coupling x victim termination (MNA engine)");
 
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   std::puts("# identifying the driver macromodel once (no receiver needed)...");
   SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
+  cli.apply(opt);
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);
 
@@ -53,6 +54,6 @@ int main(int argc, char** argv) {
                 run.metrics.far_end_delay * 1e9, run.label.c_str());
   }
 
-  sweepcli::exportAndFinish(result, "crosstalk", trace_path);
+  sweepcli::exportAndFinish(result, "crosstalk", cli);
   return 0;
 }

@@ -5,7 +5,7 @@
 // grid at MNA speed (a quiescent victim trace needs no macromodels at
 // all, so every corner is a pure field-coupled transient).
 //
-// Build & run:  ./example_emc_sweep [--trace=trace.json]
+// Build & run:  ./example_emc_sweep [--trace=trace.json] [--progress] [--health]
 // Outputs:      emc_results.csv, emc_results.json, emc_telemetry.json
 //               (+ optional Chrome trace)
 
@@ -18,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = sweepcli::initTracing(argc, argv);
+  sweepcli::Cli cli = sweepcli::init(argc, argv);
 
   std::puts("# emc sweep: incidence angle x amplitude (quiescent victim trace)");
 
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
 
   SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
+  cli.apply(opt);
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);
 
@@ -51,28 +52,17 @@ int main(int argc, char** argv) {
     std::printf("%zu,%.2f,\"%s\"\n", run.index, peak, run.label.c_str());
   }
 
-  // Where the solver time went, per corner: assemble is static + dynamic
-  // stamping, factor the LU work, solve the substitutions. These are
+  // Where the solver time went, per corner (shared exporter): these are
   // linear runs, and amplitude/theta only reach the RHS — so with solver-
   // state sharing (default-on) each solver mode factors its base exactly
   // once for the whole grid: one corner per mode shows lu=1, every other
   // corner shows lu=0 and rides the shared factorization.
-  std::puts("# per-corner solver phases");
-  std::puts("index,assemble_ms,factor_ms,solve_ms,lu,steps,label");
-  for (const SweepRunRecord& run : result.runs) {
-    if (!run.ok) continue;
-    const obs::TransientPhases& p = run.telemetry.phases;
-    std::printf("%zu,%.3f,%.3f,%.3f,%lld,%lld,\"%s\"\n", run.index,
-                1e3 * (p.stamp_static_seconds + p.rhs_stamp_seconds),
-                1e3 * p.factor_seconds, 1e3 * p.solve_seconds,
-                run.telemetry.lu_factorizations, run.telemetry.steps,
-                run.label.c_str());
-  }
+  sweepcli::printPhaseTable(result);
 
   // The sweep-wide view of the same economy.
   std::printf("# solver cache: %lld base factorizations shared across %lld reuses\n",
               result.solver_cache.numeric_misses, result.solver_cache.numeric_hits);
 
-  sweepcli::exportAndFinish(result, "emc", trace_path);
+  sweepcli::exportAndFinish(result, "emc", cli);
   return 0;
 }

@@ -17,7 +17,7 @@
 //     through RHS sources only, so the WHOLE ensemble reuses one base LU
 //     factorization — the run fails if more than one is performed.
 //
-// Build & run:  ./example_mc_tolerance_sweep [--trace=trace.json]
+// Build & run:  ./example_mc_tolerance_sweep [--trace=trace.json] [--progress] [--health]
 // Outputs:      mc_results.csv, mc_results.json, mc_telemetry.json,
 //               mc_ensemble.csv, mc_ensemble.json,
 //               mc_emc_ensemble.csv, mc_emc_ensemble.json
@@ -32,7 +32,7 @@
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = sweepcli::initTracing(argc, argv);
+  sweepcli::Cli cli = sweepcli::init(argc, argv);
 
   // --- Part 1: crosstalk manufacturing-tolerance ensemble ---------------
   std::puts("# mc sweep 1: crosstalk yield under manufacturing tolerance");
@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   std::puts("# identifying the driver macromodel once (shared)...");
   SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
+  cli.apply(opt);
   SweepRunner runner(opt);
   const SweepResult result = runner.run(expanded.tasks);
   std::printf("# %zu/%zu runs ok on %zu workers in %.2f s\n", result.okCount(),
@@ -121,6 +122,7 @@ int main(int argc, char** argv) {
   SweepRunnerOptions emc_opt;
   emc_opt.workers = 0;
   emc_opt.model_cache = runner.cache();  // share the identified models
+  cli.apply(emc_opt);
   SweepRunner emc_runner(emc_opt);
   const SweepResult emc_result = emc_runner.run(emc_expanded.tasks);
   std::printf("# %zu/%zu runs ok on %zu workers in %.2f s\n",
@@ -154,6 +156,6 @@ int main(int argc, char** argv) {
   if (!one_factorization)
     std::puts("# ERROR: illumination ensemble re-factored the base matrix");
 
-  sweepcli::exportAndFinish(result, "mc", trace_path);
+  sweepcli::exportAndFinish(result, "mc", cli);
   return one_factorization ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 // metrics. The "tline" family comes from ScenarioRegistry::global(); any
 // family registered there sweeps the same way.
 //
-// Build & run:  ./example_scenario_sweep [--trace=trace.json]
+// Build & run:  ./example_scenario_sweep [--trace=trace.json] [--progress] [--health]
 // Outputs:      sweep_results.csv, sweep_results.json (schema documented in
 //               src/engine/sweep_result.h), sweep_telemetry.json (schema in
 //               src/engine/sweep_telemetry.h), and — with --trace= or
@@ -20,7 +20,7 @@
 int main(int argc, char** argv) {
   using namespace fdtdmm;
 
-  const std::string trace_path = sweepcli::initTracing(argc, argv);
+  sweepcli::Cli cli = sweepcli::init(argc, argv);
 
   std::puts("# scenario sweep: Zc x far-end-load corner analysis (1D FDTD)");
 
@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   std::puts("# identifying macromodels once (shared by every task)...");
   SweepRunnerOptions opt;
   opt.workers = 0;  // all hardware threads
+  cli.apply(opt);
   SweepRunner runner(opt);
   const SweepResult result = runner.run(spec);
 
@@ -64,6 +65,6 @@ int main(int argc, char** argv) {
                 run.metrics.far_end_delay * 1e9, run.label.c_str());
   }
 
-  sweepcli::exportAndFinish(result, "sweep", trace_path);
+  sweepcli::exportAndFinish(result, "sweep", cli);
   return 0;
 }

@@ -1,57 +1,105 @@
 #pragma once
 // Shared CLI plumbing for the sweep example programs (scenario_sweep,
-// crosstalk_sweep, emc_sweep). Every sweep example speaks the same
-// protocol — an optional --trace=PATH flag, three export files named
-// <prefix>_results.csv / <prefix>_results.json / <prefix>_telemetry.json,
-// and "# wrote ..." announcements the CI smoke steps grep for — so the
-// protocol lives here once instead of being copy-pasted per example.
+// crosstalk_sweep, emc_sweep, mc_tolerance_sweep, ac_sweep). Every sweep
+// example speaks the same protocol — optional --trace=PATH / --progress /
+// --health flags, three export files named <prefix>_results.csv /
+// <prefix>_results.json / <prefix>_telemetry.json, and "# wrote ..."
+// announcements the CI smoke steps grep for — so the protocol lives here
+// once instead of being copy-pasted per example.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "engine/sweep_result.h"
+#include "engine/sweep_runner.h"
 #include "engine/sweep_telemetry.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
 
 namespace sweepcli {
 
-// Parses --trace=PATH from argv, activates Chrome-trace capture when
-// present, and announces it. Returns the trace path ("" when tracing is
-// off) for the matching exportAndFinish call.
-inline std::string initTracing(int argc, char** argv) {
-  const std::string trace_path = fdtdmm::obs::initTraceFromArgs(argc, argv);
-  if (!trace_path.empty())
-    std::printf("# tracing to %s\n", trace_path.c_str());
-  return trace_path;
+// Parsed shared CLI state. `trace` is the RAII handle to the optional
+// Chrome-trace session: its destructor flushes and tears the session down,
+// so an example that exits early (error path, uncaught exception unwind)
+// still leaves a complete, Perfetto-loadable trace behind.
+struct Cli {
+  fdtdmm::obs::ScopedTrace trace;
+  bool progress = false;  ///< --progress: live `# progress:` stream on stderr
+  bool health = false;    ///< --health: per-corner numerical-health records
+
+  // Applies the observability flags to a runner configuration. --progress
+  // implies health collection: the live stream's warn/critical counts are
+  // only meaningful when corners are actually graded.
+  void apply(fdtdmm::SweepRunnerOptions& opt) const {
+    if (progress) opt.progress.enabled = true;
+    if (progress || health) opt.health.collect = true;
+  }
+};
+
+// Parses the shared flags, activates Chrome-trace capture when requested,
+// and announces it.
+inline Cli init(int argc, char** argv) {
+  Cli cli;
+  cli.trace = fdtdmm::obs::initTraceFromArgs(argc, argv);
+  if (cli.trace.enabled())
+    std::printf("# tracing to %s\n", cli.trace.path().c_str());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) cli.progress = true;
+    if (std::strcmp(argv[i], "--health") == 0) cli.health = true;
+  }
+  return cli;
 }
 
-// Human-readable cache/pool effectiveness footer: the headline numbers a
-// user scans after a sweep without opening the telemetry JSON. Stats are
-// the per-sweep deltas SweepRunner already computed.
+// Human-readable effectiveness footer: one summary line plus the canonical
+// counters document (obs::countersJson over sweepCounters — the same slots
+// and formatting as the telemetry JSON's "counters" section and the bench
+// summaries), plus a health roll-up line when collection was on.
 inline void printStatsFooter(const fdtdmm::SweepResult& result) {
-  const fdtdmm::SolverStateCacheStats& sc = result.solver_cache;
-  const fdtdmm::ResultCacheStats& rc = result.result_cache;
-  const fdtdmm::ThreadPoolStats& pool = result.pool;
-  std::printf("# solver_cache: symbolic %lld hit / %lld miss, numeric %lld hit / %lld miss",
-              sc.symbolic_hits, sc.symbolic_misses, sc.numeric_hits, sc.numeric_misses);
-  if (sc.refused_inserts) std::printf(", %lld refused", sc.refused_inserts);
-  std::printf("\n");
-  std::printf("# result_cache: %lld hit / %lld miss, %lld stored", rc.hits,
-              rc.misses, rc.inserts);
-  if (rc.refused_inserts) std::printf(", %lld refused", rc.refused_inserts);
-  std::printf("\n");
-  std::printf("# pool: %zu workers, %lld tasks, queue high-water %zu, "
-              "%.3f s queued, %.3f s wall\n",
-              result.workers, pool.submitted, pool.queue_high_water,
-              pool.queue_wait_seconds, result.wall_seconds);
+  std::printf("# pool: %zu workers, %lld tasks, queue high-water %zu, %.3f s wall\n",
+              result.workers, result.pool.submitted, result.pool.queue_high_water,
+              result.wall_seconds);
+  std::printf("# counters: %s\n",
+              fdtdmm::obs::countersJson(fdtdmm::sweepCounters(result)).c_str());
+  const fdtdmm::SweepResult::HealthSummary hs = result.healthSummary();
+  if (hs.collected_corners > 0) {
+    std::printf("# health: %zu corner(s) graded, %zu warn, %zu critical, "
+                "overall %s",
+                hs.collected_corners, hs.warn_corners, hs.critical_corners,
+                fdtdmm::obs::healthSeverityName(hs.severity));
+    if (hs.worst_residual_corner != static_cast<std::size_t>(-1))
+      std::printf(", worst residual %.3g (corner %zu)", hs.worst_residual,
+                  hs.worst_residual_corner);
+    if (hs.worst_condition_corner != static_cast<std::size_t>(-1))
+      std::printf(", worst condition %.3g (corner %zu)", hs.worst_condition,
+                  hs.worst_condition_corner);
+    std::printf("\n");
+  }
+}
+
+// Per-corner solver-phase table on stdout (assemble/factor/solve split, LU
+// and step counts): the quick "where did each corner's time go" view that
+// used to be hand-rolled inside emc_sweep, now shared by any example that
+// wants it. Skips failed corners.
+inline void printPhaseTable(const fdtdmm::SweepResult& result) {
+  std::puts("# per-corner solver phases");
+  std::puts("index,assemble_ms,factor_ms,solve_ms,lu,steps,label");
+  for (const fdtdmm::SweepRunRecord& run : result.runs) {
+    if (!run.ok) continue;
+    const fdtdmm::obs::TransientPhases& p = run.telemetry.phases;
+    std::printf("%zu,%.3f,%.3f,%.3f,%lld,%lld,\"%s\"\n", run.index,
+                1e3 * (p.stamp_static_seconds + p.rhs_stamp_seconds),
+                1e3 * p.factor_seconds, 1e3 * p.solve_seconds,
+                run.telemetry.lu_factorizations, run.telemetry.steps,
+                run.label.c_str());
+  }
 }
 
 // Writes the three standard export files for `prefix`, announces them,
-// prints the stats footer, and finalizes the optional trace started by
-// initTracing.
+// prints the stats footer, and flushes the optional trace now (the handle's
+// destructor remains as the crash safety net).
 inline void exportAndFinish(const fdtdmm::SweepResult& result,
-                            const std::string& prefix,
-                            const std::string& trace_path) {
+                            const std::string& prefix, Cli& cli) {
   const std::string csv = prefix + "_results.csv";
   const std::string json = prefix + "_results.json";
   const std::string telemetry = prefix + "_telemetry.json";
@@ -61,8 +109,10 @@ inline void exportAndFinish(const fdtdmm::SweepResult& result,
   std::printf("# wrote %s, %s, %s\n", csv.c_str(), json.c_str(),
               telemetry.c_str());
   printStatsFooter(result);
-  if (!fdtdmm::obs::shutdownTrace().empty())
-    std::printf("# wrote trace %s\n", trace_path.c_str());
+  if (cli.trace.enabled()) {
+    cli.trace.flush();
+    std::printf("# wrote trace %s\n", cli.trace.path().c_str());
+  }
 }
 
 }  // namespace sweepcli

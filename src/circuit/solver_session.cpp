@@ -199,6 +199,81 @@ bool SolverSession::ensureBaseFactoredSparse(double* t_factor, obs::RunTelemetry
   return true;
 }
 
+void SolverSession::collectEndOfRunHealth(const obs::HealthOptions& hopt,
+                                          obs::NumericalHealth& h, bool any_solve) {
+  // Relative residual of the last solve: x_new_ is the raw solution of the
+  // final Newton iteration (before damping clamps), and sys_.b / the
+  // current matrix are exactly the system it solved — sys_.a holds base or
+  // dirtied values matching whichever factorization ran, work_sp_ likewise.
+  if (any_solve) {
+    double b_inf = 0.0;
+    for (double v : sys_.b) b_inf = std::max(b_inf, std::abs(v));
+    double r_inf = 0.0;
+    if (sparse_) {
+      const auto& row_ptr = work_sp_.rowPtr();
+      const auto& col_idx = work_sp_.colIdx();
+      const auto& values = work_sp_.values();
+      for (std::size_t r = 0; r < n_unknowns_; ++r) {
+        double acc = -sys_.b[r];
+        for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+          acc += values[k] * x_new_[col_idx[k]];
+        r_inf = std::max(r_inf, std::abs(acc));
+      }
+    } else {
+      for (std::size_t r = 0; r < n_unknowns_; ++r) {
+        double acc = -sys_.b[r];
+        for (std::size_t c = 0; c < n_unknowns_; ++c) acc += sys_.a(r, c) * x_new_[c];
+        r_inf = std::max(r_inf, std::abs(acc));
+      }
+    }
+    h.collected = true;
+    ++h.residual_checks;
+    h.max_relative_residual =
+        std::max(h.max_relative_residual, r_inf / (b_inf > 0.0 ? b_inf : 1.0));
+  }
+
+  // Hager 1-norm condition estimate on whichever factorization is cached —
+  // a handful of O(n)/O(n b) substitutions, never a refactorization. The
+  // base factorization is preferred (it is the matrix the run solved with
+  // on every clean iteration); a run that never factored a base — full
+  // restamp, or every iteration dirtied — estimates on its last private
+  // work factorization instead.
+  if (!hopt.condition_estimate) return;
+  double norm_a = 0.0;
+  obs::SolveFn solve, solve_t;
+  if (sparse_) {
+    const SparseLu* slu = nullptr;
+    if (base_factored_ && baseSlu().factored()) {
+      slu = &baseSlu();
+      norm_a = obs::matrixNorm1(base_sp_);
+    } else if (work_slu_.factored()) {
+      slu = &work_slu_;
+      norm_a = obs::matrixNorm1(work_sp_);
+    }
+    if (slu == nullptr) return;
+    solve = [this, slu](const Vector& b, Vector& x) { slu->solve(b, x, slu_scratch_); };
+    solve_t = [this, slu](const Vector& b, Vector& x) {
+      slu->solveTranspose(b, x, slu_scratch_);
+    };
+  } else {
+    const LuFactorization* lu = nullptr;
+    if (base_factored_ && baseLu().factored()) {
+      lu = &baseLu();
+      norm_a = obs::matrixNorm1(base_.a);
+    } else if (work_lu_.factored()) {
+      lu = &work_lu_;
+      norm_a = obs::matrixNorm1(sys_.a);
+    }
+    if (lu == nullptr) return;
+    solve = [lu](const Vector& b, Vector& x) { lu->solve(b, x); };
+    solve_t = [lu](const Vector& b, Vector& x) { lu->solveTranspose(b, x); };
+  }
+  const double inv_norm = obs::estimateInverseNorm1(n_unknowns_, solve, solve_t);
+  h.collected = true;
+  ++h.condition_estimates;
+  h.max_condition_estimate = std::max(h.max_condition_estimate, norm_a * inv_norm);
+}
+
 TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
                                    const std::vector<BranchProbe>& branch_probes) {
   validateProbes(probes, branch_probes);
@@ -212,6 +287,17 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
   // contract of obs/counters.h). The trace span brackets the whole run and
   // is independently gated on an active TraceWriter.
   obs::RunTelemetry* const tel = opt_.telemetry;
+  // Health collection (obs/health.h): the per-run options win when their
+  // collect flag is set; otherwise a sweep-wide block pointed at by
+  // sharing.health applies. The record lives inside the telemetry sink, so
+  // collection additionally requires telemetry — `health` is null (one
+  // branch per site) in every other case.
+  const obs::HealthOptions* h_opt =
+      opt_.health.collect
+          ? &opt_.health
+          : (opt_.sharing.health && opt_.sharing.health->collect ? opt_.sharing.health
+                                                                 : nullptr);
+  obs::NumericalHealth* const health = tel && h_opt ? &tel->health : nullptr;
   double* const t_static = tel ? &tel->phases.stamp_static_seconds : nullptr;
   double* const t_factor = tel ? &tel->phases.factor_seconds : nullptr;
   double* const t_rhs = tel ? &tel->phases.rhs_stamp_seconds : nullptr;
@@ -238,6 +324,10 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
   const auto n_settle = static_cast<long long>(std::ceil(opt_.settle_time / opt_.dt));
   const auto n_run = static_cast<long long>(std::ceil(opt_.t_stop / opt_.dt));
 
+  // |dx| per Newton iteration of the current step, kept only under health
+  // collection (cleared per step, storage reused across the run).
+  std::vector<double> newton_traj;
+
   auto record = [&](const Vector& sol) {
     for (std::size_t p = 0; p < probes.size(); ++p) {
       probe_data[p].push_back(nodeVoltage(sol, probes[p].n1) -
@@ -257,6 +347,7 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
     // run's residual time, not part of any phase).
     int it = 0;
     bool step_converged = false;
+    if (health) newton_traj.clear();
     const auto newton_begin =
         t_newton ? obs::ScopedTimer::Clock::now() : obs::ScopedTimer::Clock::time_point{};
     for (; it < opt_.max_newton_iterations; ++it) {
@@ -275,11 +366,17 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
             work_lu_.factor(sys_.a);
           }
           ++result.lu_factorizations;
+          if (health)
+            health->recordFactorization(work_lu_.minAbsPivot(), work_lu_.pivotGrowth());
           obs::ScopedTimer solve_timer(t_solve);
           work_lu_.solve(sys_.b, x_new_);
         } else {
           if (!base_factored_) {
             if (ensureBaseFactoredDense(t_factor, tel)) ++result.lu_factorizations;
+            // Shared checkouts record too: the stats live on the
+            // factorization object, computed by whichever session built it.
+            if (health)
+              health->recordFactorization(baseLu().minAbsPivot(), baseLu().pivotGrowth());
           }
           obs::ScopedTimer solve_timer(t_solve);
           baseLu().solve(sys_.b, x_new_);
@@ -309,11 +406,15 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
             work_slu_.factor(work_sp_);
           }
           ++result.lu_factorizations;
+          if (health)
+            health->recordFactorization(work_slu_.minAbsPivot(), work_slu_.pivotGrowth());
           obs::ScopedTimer solve_timer(t_solve);
           work_slu_.solve(sys_.b, x_new_);
         } else {
           if (!base_factored_) {
             if (ensureBaseFactoredSparse(t_factor, tel)) ++result.lu_factorizations;
+            if (health)
+              health->recordFactorization(baseSlu().minAbsPivot(), baseSlu().pivotGrowth());
           }
           obs::ScopedTimer solve_timer(t_solve);
           // Caller-workspace solve: the factorization may be shared with
@@ -332,6 +433,8 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
           work_lu_.factor(sys_.a);
         }
         ++result.lu_factorizations;
+        if (health)
+          health->recordFactorization(work_lu_.minAbsPivot(), work_lu_.pivotGrowth());
         obs::ScopedTimer solve_timer(t_solve);
         work_lu_.solve(sys_.b, x_new_);
       }
@@ -345,6 +448,7 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
         x_[k] += dxk;
         max_dx = std::max(max_dx, std::abs(dxk));
       }
+      if (health) newton_traj.push_back(max_dx);
       if (max_dx <= opt_.v_tolerance) {
         step_converged = true;
         ++it;
@@ -357,6 +461,17 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
                        .count();
     }
     if (!step_converged) result.converged = false;
+    if (health) {
+      // Cap hit with a still-shrinking update = stagnated (limped, warn);
+      // with a growing update = diverged-in-slow-motion (critical; the
+      // fast kind threw non-finite above).
+      const obs::NewtonOutcome outcome =
+          step_converged ? obs::NewtonOutcome::kConverged
+          : (newton_traj.size() >= 2 && newton_traj.back() > newton_traj.front())
+              ? obs::NewtonOutcome::kDiverged
+              : obs::NewtonOutcome::kStagnated;
+      health->recordNewtonStep(newton_traj, outcome);
+    }
     result.max_newton_iterations = std::max(result.max_newton_iterations, it);
     result.total_newton_iterations += it;
 
@@ -382,6 +497,10 @@ TransientResult SolverSession::run(const std::vector<NodeProbe>& probes,
         std::max(tel->max_newton_iterations, result.max_newton_iterations);
     tel->steps += static_cast<long long>(result.steps);
     ++tel->transient_runs;
+  }
+  if (health) {
+    collectEndOfRunHealth(*h_opt, *health, result.total_newton_iterations > 0);
+    obs::gradeHealth(*health, h_opt->thresholds);
   }
   run_span.setArgs("\"mode\": \"" + std::string(transientSolverModeName(opt_.solver_mode)) +
                    "\", \"unknowns\": " + std::to_string(n_unknowns_) +

@@ -73,6 +73,13 @@ class SolverSession {
   /// reads work_sp_ — both hold untouched base values at the call sites.
   bool ensureBaseFactoredDense(double* t_factor, obs::RunTelemetry* tel);
   bool ensureBaseFactoredSparse(double* t_factor, obs::RunTelemetry* tel);
+  /// End-of-run health probes (obs/health.h): one relative residual of the
+  /// final solve against the current system, and (optionally) one Hager
+  /// condition estimate on whichever factorization is cached — never a
+  /// refactorization. `any_solve` gates the residual (x_new_ is garbage if
+  /// no Newton iteration ever solved).
+  void collectEndOfRunHealth(const obs::HealthOptions& hopt, obs::NumericalHealth& h,
+                             bool any_solve);
   /// The base factorization to solve with (shared or private).
   const LuFactorization& baseLu() const {
     return shared_base_ ? shared_base_->dense : base_lu_;

@@ -40,6 +40,7 @@
 
 #include "math/linear_solve.h"
 #include "math/sparse_lu.h"
+#include "obs/health.h"
 
 namespace fdtdmm {
 
@@ -91,6 +92,13 @@ struct SolverSharing {
   SolverStateProvider* provider = nullptr;
   std::string structure_key;     ///< symbolic-state class; "" = don't share
   std::string numeric_base_key;  ///< base-factorization class; "" = don't share
+  /// Optional sweep-wide numerical-health switches (obs/health.h): the
+  /// runner points every corner at one HealthOptions so collection is
+  /// configured in exactly one place (not owned; must outlive the run).
+  /// A run's own TransientOptions::health wins when its collect flag is
+  /// set. Rides SolverSharing because it is the existing runner-to-solver
+  /// configuration channel, although it shares no state itself.
+  const obs::HealthOptions* health = nullptr;
 
   bool shareSymbolic() const { return provider != nullptr && !structure_key.empty(); }
   bool shareNumericBase() const {

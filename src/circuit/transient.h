@@ -100,6 +100,16 @@ struct TransientOptions {
   /// branch. Timings never influence results — waveforms are bit-identical
   /// with telemetry on or off.
   obs::RunTelemetry* telemetry = nullptr;
+  /// Numerical-health collection (obs/health.h). With health.collect set
+  /// AND telemetry attached, the run records factorization pivot stats, a
+  /// Hager condition estimate on the cached factors, one post-run relative
+  /// residual, and per-step Newton convergence quality into
+  /// telemetry->health, then grades it against health.thresholds. Off (the
+  /// default) the solver pays one branch per site and — as with telemetry —
+  /// results are bit-identical either way. Sweeps enable collection for
+  /// every corner via sharing.health instead; this per-run field wins when
+  /// its collect flag is set.
+  obs::HealthOptions health;
   /// Optional cross-run solver-state sharing (see circuit/solver_state.h).
   /// Default-constructed (null provider) = no sharing, the historical
   /// behavior. With a provider and non-empty keys, the run checks its

@@ -125,6 +125,32 @@ std::size_t SweepResult::okCount() const {
   return n;
 }
 
+SweepResult::HealthSummary SweepResult::healthSummary() const {
+  HealthSummary s;
+  for (const SweepRunRecord& r : runs) {
+    const obs::NumericalHealth& h = r.telemetry.health;
+    if (!h.collected) continue;
+    ++s.collected_corners;
+    if (h.severity == obs::HealthSeverity::kWarn) ++s.warn_corners;
+    if (h.severity == obs::HealthSeverity::kCritical) ++s.critical_corners;
+    if (static_cast<int>(h.severity) > static_cast<int>(s.severity))
+      s.severity = h.severity;
+    if (h.residual_checks > 0 &&
+        (s.worst_residual_corner == static_cast<std::size_t>(-1) ||
+         h.max_relative_residual > s.worst_residual)) {
+      s.worst_residual = h.max_relative_residual;
+      s.worst_residual_corner = r.index;
+    }
+    if (h.condition_estimates > 0 &&
+        (s.worst_condition_corner == static_cast<std::size_t>(-1) ||
+         h.max_condition_estimate > s.worst_condition)) {
+      s.worst_condition = h.max_condition_estimate;
+      s.worst_condition_corner = r.index;
+    }
+  }
+  return s;
+}
+
 void writeSweepCsv(const SweepResult& result, const std::string& path) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("writeSweepCsv: cannot open " + path);

@@ -47,6 +47,7 @@
 /// machines.
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,8 @@
 #include "engine/result_cache.h"
 #include "engine/solver_state_cache.h"
 #include "engine/thread_pool.h"
+#include "obs/health.h"
+#include "obs/histogram.h"
 #include "signal/eye.h"
 
 namespace fdtdmm {
@@ -113,8 +116,36 @@ struct SweepResult {
   /// ResultCache effectiveness delta over this sweep (zero when result
   /// reuse is disabled or waveforms were requested).
   ResultCacheStats result_cache;
+  /// Sweep-level latency distributions (per-corner wall/phase times, Newton
+  /// iteration counts, pool queue wait), merged across workers after the
+  /// sweep drains. Empty when SweepRunnerOptions::collect_histograms is
+  /// off. Keys: corner_wall_seconds, corner_solve_seconds,
+  /// corner_factor_seconds, corner_rhs_stamp_seconds,
+  /// corner_newton_iterations, pool.queue_wait_seconds.
+  std::map<std::string, obs::Histogram> histograms;
 
   std::size_t okCount() const;
+
+  /// Health roll-up over runs[*].telemetry.health (see healthSummary()).
+  struct HealthSummary {
+    std::size_t collected_corners = 0;  ///< corners that carried health data
+    std::size_t warn_corners = 0;
+    std::size_t critical_corners = 0;
+    /// Corner index with the largest relative residual / condition
+    /// estimate; npos when no corner reported one.
+    std::size_t worst_residual_corner = static_cast<std::size_t>(-1);
+    std::size_t worst_condition_corner = static_cast<std::size_t>(-1);
+    double worst_residual = 0.0;
+    double worst_condition = 0.0;
+    /// Worst per-corner grade seen (kOk when nothing was collected).
+    obs::HealthSeverity severity = obs::HealthSeverity::kOk;
+  };
+
+  /// Aggregates per-corner numerical health into the sweep-level summary
+  /// the telemetry export and progress surface report. Cheap (one pass
+  /// over runs); returns an all-zero summary when health collection was
+  /// off.
+  HealthSummary healthSummary() const;
 };
 
 /// The %.9g number formatter and CSV/JSON quoting shared by every sweep

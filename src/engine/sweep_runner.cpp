@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "engine/thread_pool.h"
+#include "obs/histogram.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "signal/bit_pattern.h"
 
@@ -100,6 +102,9 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
     const SimulationTask& task = tasks[i];
     TaskPlan& plan = plans[i];
     plan.slot = i;
+    // Health collection rides the sharing struct into every corner's
+    // solver session (independent of whether solver *state* is shared).
+    if (opt_.health.collect) plan.sharing.health = &opt_.health;
     if (opt_.share_solver_state) {
       std::string structure = task.scenario->structureKey();
       std::string numeric = task.scenario->numericBaseKey();
@@ -114,6 +119,34 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
     }
     if (use_results) plan.result_key = resultCacheKey(task, opt_.eye);
   }
+
+  // Live progress surface. The stats hook runs at emission time (under the
+  // reporter's throttle) and fills the rate fields the reporter cannot know
+  // itself: worker utilization from the pool's busy-seconds counter and
+  // cache hit rates from the same before/after deltas the telemetry export
+  // uses. `pool_ptr` is null until the pool exists (replay-pre-pass
+  // emissions simply omit utilization).
+  ThreadPool* pool_ptr = nullptr;
+  obs::ProgressReporter progress(
+      opt_.progress, tasks.size(),
+      [&pool_ptr, workers, use_results, this,
+       &solver_before](obs::ProgressSnapshot& s) {
+        if (pool_ptr != nullptr && s.elapsed_seconds > 0.0) {
+          const ThreadPoolStats ps = pool_ptr->stats();
+          s.worker_utilization =
+              std::min(1.0, ps.busy_seconds /
+                                (static_cast<double>(workers) * s.elapsed_seconds));
+        }
+        const SolverStateCacheStats sc = opt_.solver_cache->stats();
+        const long long nh = sc.numeric_hits - solver_before.numeric_hits;
+        const long long nm = sc.numeric_misses - solver_before.numeric_misses;
+        if (nh + nm > 0)
+          s.solver_cache_hit_rate =
+              static_cast<double>(nh) / static_cast<double>(nh + nm);
+        if (use_results && s.total > 0)
+          s.result_cache_hit_rate =
+              static_cast<double>(s.replayed) / static_cast<double>(s.total);
+      });
 
   // Result-cache pre-pass, serial: a corner already computed (this sweep
   // has a content-identical predecessor, or a shared cache across sweeps)
@@ -132,6 +165,10 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
         rec.wall_seconds = 0.0;
         result.runs[i] = std::move(rec);
         plans[i].done = true;
+        // Replays did no numerical work in this sweep, so they carry no
+        // health grade (kOk keeps the stream consistent with
+        // healthSummary(), which only counts collected corners).
+        progress.taskReplayed(obs::HealthSeverity::kOk);
       }
     }
   }
@@ -156,13 +193,21 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
     return sa.numeric_base_key < sb.numeric_base_key;
   });
 
+  // The histogram registry outlives the pool (declared first, destroyed
+  // last): workers record into it until the last future resolves.
+  obs::HistogramRegistry hist;
+  obs::HistogramRegistry* hist_ptr = opt_.collect_histograms ? &hist : nullptr;
+
   ThreadPool pool(workers);
+  pool_ptr = &pool;
+  if (hist_ptr != nullptr) pool.setQueueWaitRecorder(hist_ptr);
   std::vector<std::future<SweepRunRecord>> futures;
   futures.reserve(order.size());
   for (std::size_t slot : order) {
     const SimulationTask& task = tasks[slot];
     const SolverSharing& sharing = plans[slot].sharing;
-    futures.push_back(pool.submit([this, &task, &sharing]() -> SweepRunRecord {
+    futures.push_back(pool.submit([this, &task, &sharing, hist_ptr,
+                                   &progress]() -> SweepRunRecord {
       // One span per corner, on the worker's thread: in the trace viewer
       // the per-thread tracks show exactly how the pool packed the sweep.
       obs::TraceSpan task_span(std::string("task:") + task.label, "sweep");
@@ -185,10 +230,20 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
         rec.telemetry.wall_seconds = waves.wall_seconds;
         if (opt_.keep_waveforms) rec.waves = std::move(waves);
         rec.ok = true;
+        if (hist_ptr != nullptr) {
+          const obs::TransientPhases& ph = rec.telemetry.phases;
+          hist_ptr->record("corner_wall_seconds", rec.wall_seconds);
+          hist_ptr->record("corner_factor_seconds", ph.factor_seconds);
+          hist_ptr->record("corner_rhs_stamp_seconds", ph.rhs_stamp_seconds);
+          hist_ptr->record("corner_solve_seconds", ph.solve_seconds);
+          hist_ptr->record("corner_newton_iterations",
+                           static_cast<double>(rec.telemetry.newton_iterations));
+        }
       } catch (const std::exception& e) {
         rec.ok = false;
         rec.error = e.what();
       }
+      progress.taskDone(rec.ok, rec.telemetry.health.severity);
       return rec;
     }));
   }
@@ -208,6 +263,9 @@ SweepResult SweepRunner::run(const std::vector<SimulationTask>& tasks) {
   // Every future has been collected, so the pool counters are final for
   // this batch even though the pool itself is still alive.
   result.pool = pool.stats();
+  pool.setQueueWaitRecorder(nullptr);
+  if (hist_ptr != nullptr) result.histograms = hist_ptr->snapshot();
+  progress.finish();
   const ModelCacheStats cache_after = opt_.model_cache->stats();
   result.model_cache.hits = cache_after.hits - cache_before.hits;
   result.model_cache.misses = cache_after.misses - cache_before.misses;

@@ -21,6 +21,8 @@
 #include "engine/solver_state_cache.h"
 #include "engine/sweep_result.h"
 #include "engine/sweep_spec.h"
+#include "obs/health.h"
+#include "obs/progress.h"
 #include "signal/eye.h"
 
 namespace fdtdmm {
@@ -49,6 +51,22 @@ struct SweepRunnerOptions {
   bool reuse_results = true;
   /// Eye-measurement window for the per-run metrics.
   EyeOptions eye;
+  /// Numerical-health collection for every corner (obs/health.h; off by
+  /// default). When health.collect is set the runner points each corner's
+  /// SolverSharing at this struct, the per-corner records land in
+  /// SweepRunRecord::telemetry.health, and SweepResult::healthSummary() /
+  /// the telemetry JSON report the roll-up. Metric exports are
+  /// byte-identical on or off.
+  obs::HealthOptions health;
+  /// Live progress stream (obs/progress.h; off by default). Corners report
+  /// as they finish; the runner fills worker utilization and cache hit
+  /// rates into each snapshot.
+  obs::ProgressOptions progress;
+  /// Collect per-corner latency histograms (wall/phase times, Newton
+  /// iteration counts, pool queue wait) into SweepResult::histograms. On
+  /// by default — a handful of log-bucket increments per corner,
+  /// invisible next to a transient solve. Metric exports are unaffected.
+  bool collect_histograms = true;
   /// Shared cache instances. Null means "fresh private instance" (a fresh
   /// ModelCache can still resolve the built-in "default" models). Passing
   /// shared instances lets several sweeps (e.g. an amplitude sweep and its

@@ -1,5 +1,6 @@
 #include "engine/sweep_telemetry.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -9,12 +10,55 @@ namespace fdtdmm {
 namespace {
 
 std::string num(double v) {
+  // Clamp non-finite values (a singular corner's condition estimate can be
+  // inf) so the document always parses: %.9g would print "inf"/"nan".
+  if (std::isnan(v)) v = 0.0;
+  if (std::isinf(v)) v = v > 0.0 ? 1e308 : -1e308;
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.9g", v);
   return buf;
 }
 
 // jsonQuote comes from engine/sweep_result.h (shared export helper).
+
+/// The NumericalHealth object (with braces) embedded in "totals" and each
+/// corner. Always emitted, all-zero with "collected": false when health
+/// collection was off, so consumers never need an existence check.
+std::string healthJson(const obs::NumericalHealth& h) {
+  std::string out = "{";
+  out += std::string("\"collected\": ") + (h.collected ? "true" : "false");
+  out += std::string(", \"severity\": \"") + obs::healthSeverityName(h.severity) + "\"";
+  out += ", \"factorizations\": " + std::to_string(h.factorizations);
+  out += ", \"min_abs_pivot\": " + num(h.min_abs_pivot);
+  out += ", \"max_pivot_growth\": " + num(h.max_pivot_growth);
+  out += ", \"condition_estimates\": " + std::to_string(h.condition_estimates);
+  out += ", \"max_condition_estimate\": " + num(h.max_condition_estimate);
+  out += ", \"residual_checks\": " + std::to_string(h.residual_checks);
+  out += ", \"max_relative_residual\": " + num(h.max_relative_residual);
+  out += ", \"newton_steps_converged\": " + std::to_string(h.newton_steps_converged);
+  out += ", \"newton_steps_stagnated\": " + std::to_string(h.newton_steps_stagnated);
+  out += ", \"newton_steps_diverged\": " + std::to_string(h.newton_steps_diverged);
+  out += ", \"worst_newton_trajectory\": [";
+  for (std::size_t i = 0; i < h.worst_newton_trajectory.size(); ++i)
+    out += (i ? ", " : "") + num(h.worst_newton_trajectory[i]);
+  out += "]}";
+  return out;
+}
+
+/// One histogram's summary object (with braces).
+std::string histogramJson(const obs::Histogram& h) {
+  std::string out = "{";
+  out += "\"count\": " + std::to_string(h.count());
+  out += ", \"sum\": " + num(h.sum());
+  out += ", \"min\": " + num(h.min());
+  out += ", \"max\": " + num(h.max());
+  out += ", \"mean\": " + num(h.mean());
+  out += ", \"p50\": " + num(h.percentile(0.50));
+  out += ", \"p90\": " + num(h.percentile(0.90));
+  out += ", \"p95\": " + num(h.percentile(0.95));
+  out += ", \"p99\": " + num(h.percentile(0.99)) + "}";
+  return out;
+}
 
 /// The RunTelemetry body shared by "totals" and each corner (brace-less;
 /// the caller supplies the enclosing object and any extra keys).
@@ -36,10 +80,39 @@ std::string telemetryBody(const obs::RunTelemetry& t) {
   out += ", \"shared_base_reuses\": " + std::to_string(t.shared_base_reuses);
   out += ", \"shared_symbolic_builds\": " + std::to_string(t.shared_symbolic_builds);
   out += ", \"shared_symbolic_reuses\": " + std::to_string(t.shared_symbolic_reuses);
+  out += ", \"health\": " + healthJson(t.health);
   return out;
 }
 
 }  // namespace
+
+obs::Counters sweepCounters(const SweepResult& result) {
+  obs::Counters c;
+  const SweepResult::HealthSummary hs = result.healthSummary();
+  const std::size_t ok = result.okCount();
+  c.add("corners.ok", static_cast<long long>(ok));
+  c.add("corners.failed", static_cast<long long>(result.runs.size() - ok));
+  c.add("corners.replayed", result.result_cache.hits);
+  c.addSeconds("pool.tasks", result.pool.queue_wait_seconds, result.pool.submitted);
+  c.addSeconds("pool.busy", result.pool.busy_seconds, 0);
+  c.add("model_cache.hits", result.model_cache.hits);
+  c.add("model_cache.misses", result.model_cache.misses);
+  c.add("model_cache.inserts", result.model_cache.inserts);
+  c.addSeconds("model_cache.preload", result.model_cache.preload_seconds, 0);
+  c.add("solver_cache.symbolic_hits", result.solver_cache.symbolic_hits);
+  c.add("solver_cache.symbolic_misses", result.solver_cache.symbolic_misses);
+  c.add("solver_cache.numeric_hits", result.solver_cache.numeric_hits);
+  c.add("solver_cache.numeric_misses", result.solver_cache.numeric_misses);
+  c.add("solver_cache.inserts", result.solver_cache.inserts);
+  c.add("solver_cache.refused_inserts", result.solver_cache.refused_inserts);
+  c.add("result_cache.hits", result.result_cache.hits);
+  c.add("result_cache.misses", result.result_cache.misses);
+  c.add("result_cache.inserts", result.result_cache.inserts);
+  c.add("result_cache.refused_inserts", result.result_cache.refused_inserts);
+  c.add("health.warn_corners", static_cast<long long>(hs.warn_corners));
+  c.add("health.critical_corners", static_cast<long long>(hs.critical_corners));
+  return c;
+}
 
 std::string sweepTelemetryJson(const SweepResult& result) {
   obs::RunTelemetry totals;
@@ -56,7 +129,8 @@ std::string sweepTelemetryJson(const SweepResult& result) {
   out += ", \"tasks_per_worker\": [";
   for (std::size_t i = 0; i < pool.tasks_per_worker.size(); ++i)
     out += (i ? ", " : "") + std::to_string(pool.tasks_per_worker[i]);
-  out += "], \"queue_wait_seconds\": " + num(pool.queue_wait_seconds) + "},\n";
+  out += "], \"queue_wait_seconds\": " + num(pool.queue_wait_seconds);
+  out += ", \"busy_seconds\": " + num(pool.busy_seconds) + "},\n";
 
   const ModelCacheStats& mc = result.model_cache;
   out += "  \"model_cache\": {\"hits\": " + std::to_string(mc.hits);
@@ -77,6 +151,31 @@ std::string sweepTelemetryJson(const SweepResult& result) {
   out += ", \"misses\": " + std::to_string(rc.misses);
   out += ", \"inserts\": " + std::to_string(rc.inserts);
   out += ", \"refused_inserts\": " + std::to_string(rc.refused_inserts) + "},\n";
+
+  const SweepResult::HealthSummary hs = result.healthSummary();
+  const auto corner_index = [](std::size_t i) {
+    return i == static_cast<std::size_t>(-1) ? std::string("-1") : std::to_string(i);
+  };
+  out += "  \"health_summary\": {\"collected_corners\": " +
+         std::to_string(hs.collected_corners);
+  out += ", \"warn_corners\": " + std::to_string(hs.warn_corners);
+  out += ", \"critical_corners\": " + std::to_string(hs.critical_corners);
+  out += std::string(", \"severity\": \"") + obs::healthSeverityName(hs.severity) + "\"";
+  out += ", \"worst_residual_corner\": " + corner_index(hs.worst_residual_corner);
+  out += ", \"worst_residual\": " + num(hs.worst_residual);
+  out += ", \"worst_condition_corner\": " + corner_index(hs.worst_condition_corner);
+  out += ", \"worst_condition\": " + num(hs.worst_condition) + "},\n";
+
+  out += "  \"histograms\": {";
+  bool first_hist = true;
+  for (const auto& [name, hist] : result.histograms) {
+    out += (first_hist ? "" : ", ");
+    first_hist = false;
+    out += jsonQuote(name) + ": " + histogramJson(hist);
+  }
+  out += "},\n";
+
+  out += "  \"counters\": " + obs::countersJson(sweepCounters(result)) + ",\n";
 
   out += "  \"totals\": {" + telemetryBody(totals) +
          ", \"wall_seconds\": " + num(totals.wall_seconds) + "},\n";

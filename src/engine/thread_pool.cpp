@@ -42,9 +42,16 @@ ThreadPoolStats ThreadPool::stats() const {
   return stats_;
 }
 
+void ThreadPool::setQueueWaitRecorder(obs::HistogramRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_wait_recorder_ = registry;
+}
+
 void ThreadPool::workerLoop(std::size_t worker_id) {
   for (;;) {
     std::function<void()> task;
+    obs::HistogramRegistry* recorder = nullptr;
+    double wait_seconds = 0.0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -56,12 +63,25 @@ void ThreadPool::workerLoop(std::size_t worker_id) {
       // count is per worker (the task body runs outside the lock, so
       // "completed" means "dispatched to this worker" — equal once the
       // future is collected).
-      stats_.queue_wait_seconds +=
+      wait_seconds =
           std::chrono::duration<double>(Clock::now() - qt.enqueued).count();
+      stats_.queue_wait_seconds += wait_seconds;
       ++stats_.tasks_per_worker[worker_id];
+      recorder = queue_wait_recorder_;
       task = std::move(qt.fn);
     }
+    // The histogram sample lands outside the queue lock: the registry has
+    // its own per-thread sharding, so recording never stalls submitters.
+    if (recorder != nullptr)
+      recorder->record("pool.queue_wait_seconds", wait_seconds);
+    const Clock::time_point run_begin = Clock::now();
     task();  // packaged_task: exceptions land in the future
+    const double run_seconds =
+        std::chrono::duration<double>(Clock::now() - run_begin).count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.busy_seconds += run_seconds;
+    }
   }
 }
 

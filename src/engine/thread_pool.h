@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace fdtdmm {
 
 /// Utilization snapshot of a ThreadPool (see stats()).
@@ -41,6 +43,10 @@ struct ThreadPoolStats {
   /// Sum over dequeued tasks of (dequeue time - enqueue time): total time
   /// tasks spent waiting behind the queue rather than running.
   double queue_wait_seconds = 0.0;
+  /// Sum over completed tasks of their body's wall time: total time the
+  /// workers spent *running* rather than idle. busy / (workers * sweep
+  /// wall) is the utilization the live progress surface reports.
+  double busy_seconds = 0.0;
 };
 
 class ThreadPool {
@@ -93,6 +99,13 @@ class ThreadPool {
   /// (values of in-flight tasks keep moving underneath).
   ThreadPoolStats stats() const;
 
+  /// Installs (or clears, with null) a histogram registry into which each
+  /// dequeue records its task's queue wait as "pool.queue_wait_seconds" —
+  /// the distribution behind stats().queue_wait_seconds' total. The
+  /// registry must outlive the pool or be cleared first; recording happens
+  /// outside the queue lock, so it adds no contention to submit/dequeue.
+  void setQueueWaitRecorder(obs::HistogramRegistry* registry);
+
  private:
   using Clock = std::chrono::steady_clock;
   struct QueuedTask {
@@ -108,6 +121,7 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
   ThreadPoolStats stats_;  // guarded by mu_
+  obs::HistogramRegistry* queue_wait_recorder_ = nullptr;  // guarded by mu_
 };
 
 }  // namespace fdtdmm

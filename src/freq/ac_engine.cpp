@@ -6,6 +6,7 @@
 
 #include "math/linear_solve.h"
 #include "math/sparse_lu.h"
+#include "obs/counters.h"
 
 namespace fdtdmm {
 
@@ -86,22 +87,75 @@ const ComplexVector& AcSession::solveAt(double f_hz) {
   const double omega = 2.0 * kPi * f_hz;
   if (!assembled_) assemblePattern(omega);
   restampValues(omega);
+  obs::RunTelemetry* const tel = opt_.telemetry;
+  const obs::HealthOptions* h_opt =
+      opt_.health.collect
+          ? &opt_.health
+          : (opt_.sharing.health && opt_.sharing.health->collect ? opt_.sharing.health
+                                                                 : nullptr);
+  obs::NumericalHealth* const health = tel && h_opt ? &tel->health : nullptr;
+  double* const t_factor = tel ? &tel->phases.factor_seconds : nullptr;
+  double* const t_solve = tel ? &tel->phases.solve_seconds : nullptr;
   if (sparse_) {
-    if (shared_symbolic_ != nullptr) {
-      slu_.factorWithOrder(sp_re_, sp_im_, shared_symbolic_->rcm_order);
-    } else {
-      // ComplexSparseLu's pattern-version cache still guarantees one RCM
-      // analysis per session: clearValues() keeps the version stamp.
-      slu_.factor(sp_re_, sp_im_);
+    {
+      obs::ScopedTimer factor_timer(t_factor);
+      if (shared_symbolic_ != nullptr) {
+        slu_.factorWithOrder(sp_re_, sp_im_, shared_symbolic_->rcm_order);
+      } else {
+        // ComplexSparseLu's pattern-version cache still guarantees one RCM
+        // analysis per session: clearValues() keeps the version stamp.
+        slu_.factor(sp_re_, sp_im_);
+      }
     }
     ++factorizations_;
+    if (health) health->recordFactorization(slu_.minAbsPivot(), slu_.pivotGrowth());
+    obs::ScopedTimer solve_timer(t_solve);
     slu_.solve(sys_.b, x_);
   } else {
-    lu_.factor(sys_.re.a, sys_.im.a);
+    {
+      obs::ScopedTimer factor_timer(t_factor);
+      lu_.factor(sys_.re.a, sys_.im.a);
+    }
     ++factorizations_;
+    if (health) health->recordFactorization(lu_.minAbsPivot(), lu_.pivotGrowth());
+    obs::ScopedTimer solve_timer(t_solve);
     lu_.solve(sys_.b, x_);
   }
+  if (tel) ++tel->lu_factorizations;
+  if (health) recordResidual(*health);
   return x_;
+}
+
+void AcSession::recordResidual(obs::NumericalHealth& h) const {
+  // Complex relative residual ||Ax - b||inf / ||b||inf of the solve that
+  // just ran, with A = re + j*im recomposed from the assembly targets (the
+  // factorizations hold permuted band/LU forms, not A itself).
+  double b_inf = 0.0;
+  for (const Complex& v : sys_.b) b_inf = std::max(b_inf, std::abs(v));
+  double r_inf = 0.0;
+  if (sparse_) {
+    const auto& row_ptr = sp_re_.rowPtr();
+    const auto& col_idx = sp_re_.colIdx();
+    const auto& re_vals = sp_re_.values();
+    const auto& im_vals = sp_im_.values();
+    for (std::size_t r = 0; r < n_; ++r) {
+      Complex acc = -sys_.b[r];
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+        acc += Complex(re_vals[k], im_vals[k]) * x_[col_idx[k]];
+      r_inf = std::max(r_inf, std::abs(acc));
+    }
+  } else {
+    for (std::size_t r = 0; r < n_; ++r) {
+      Complex acc = -sys_.b[r];
+      for (std::size_t c = 0; c < n_; ++c)
+        acc += Complex(sys_.re.a(r, c), sys_.im.a(r, c)) * x_[c];
+      r_inf = std::max(r_inf, std::abs(acc));
+    }
+  }
+  h.collected = true;
+  ++h.residual_checks;
+  h.max_relative_residual =
+      std::max(h.max_relative_residual, r_inf / (b_inf > 0.0 ? b_inf : 1.0));
 }
 
 Vector dcOperatingPoint(Circuit& circuit, int max_iter, double tol) {

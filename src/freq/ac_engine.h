@@ -34,6 +34,7 @@
 #include "circuit/solver_state.h"
 #include "math/complex_lu.h"
 #include "math/sparse_matrix.h"
+#include "obs/telemetry.h"
 
 namespace fdtdmm {
 
@@ -55,6 +56,20 @@ struct AcOptions {
   /// classes circuits by AC matrix pattern). Default: no sharing — the
   /// session still performs exactly one symbolic analysis of its own.
   SolverSharing sharing;
+
+  /// Optional telemetry sink, the TransientOptions convention: when
+  /// non-null every solveAt() accumulates its factor/solve wall time and
+  /// factorization count (+=, one sink may aggregate a whole frequency
+  /// grid). Null keeps solveAt clock-free.
+  obs::RunTelemetry* telemetry = nullptr;
+  /// Numerical-health collection (obs/health.h): with health.collect set
+  /// (directly or via sharing.health, which per-option collect overrides)
+  /// AND telemetry attached, every solveAt records the factorization's
+  /// pivot stats and one complex relative residual ||Ax-b||inf/||b||inf
+  /// into telemetry->health. No condition estimate on this path (the
+  /// complex factorizations expose no transpose solve); grading happens in
+  /// the scenario layer after the last solve.
+  obs::HealthOptions health;
 };
 
 /// One frequency-domain analysis of one Circuit. Construction assigns the
@@ -95,6 +110,9 @@ class AcSession {
  private:
   void assemblePattern(double omega);
   void restampValues(double omega);
+  /// Records the complex relative residual of the last solve (health
+  /// collection; see AcOptions::health).
+  void recordResidual(obs::NumericalHealth& h) const;
 
   Circuit& circuit_;
   AcOptions opt_;

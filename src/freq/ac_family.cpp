@@ -96,9 +96,14 @@ TaskWaveforms runAcScenario(const AcScenario& cfg, const SolverSharing& sharing)
   buildRlgcLineSegments(circuit, p1, Circuit::kGround, p2, Circuit::kGround,
                         line, branches);
 
+  TaskWaveforms out;
   AcOptions opt;
   opt.solver = acSolverFromName(cfg.solver);
   opt.sharing = sharing;
+  // Telemetry/health ride the same channels as the transient families:
+  // phase times and factorization counts always land in out.telemetry;
+  // health collection follows the sweep-wide switches (sharing.health).
+  opt.telemetry = &out.telemetry;
   AcSession session(circuit, opt);
 
   // Forward excitation: port 1 at 1 V, port 2 dark.
@@ -118,7 +123,11 @@ TaskWaveforms runAcScenario(const AcScenario& cfg, const SolverSharing& sharing)
   const Complex s22 = 2.0 * acNodeV(xr, p2) - 1.0;
   const Complex s12 = 2.0 * acNodeV(xr, p1);
 
-  TaskWaveforms out;
+  if (out.telemetry.health.collected)
+    obs::gradeHealth(out.telemetry.health,
+                     sharing.health ? sharing.health->thresholds
+                                    : obs::HealthThresholds{});
+
   out.v_near = scalarWave(1.0);
   out.v_far = scalarWave(std::abs(h));
   out.victims = {scalarWave(h.real()),   scalarWave(h.imag()),

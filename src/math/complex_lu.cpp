@@ -18,6 +18,14 @@ void ComplexLu::factor(const Matrix& re, const Matrix& im) {
   for (std::size_t r = 0; r < n_; ++r)
     for (std::size_t c = 0; c < n_; ++c) at(r, c) = Complex(re(r, c), im(r, c));
 
+  // Health probes (minAbsPivot/pivotGrowth): max|A| before elimination,
+  // pivot minimum from the search below, max|U| scanned afterwards —
+  // O(n^2) beside the O(n^3) factorization.
+  max_abs_a_ = 0.0;
+  for (const Complex& v : lu_) max_abs_a_ = std::max(max_abs_a_, std::abs(v));
+  min_abs_pivot_ = 0.0;
+  max_abs_u_ = 0.0;
+
   for (std::size_t j = 0; j < n_; ++j) {
     std::size_t ip = j;
     double p_abs = std::abs(atc(j, j));
@@ -29,6 +37,7 @@ void ComplexLu::factor(const Matrix& re, const Matrix& im) {
       }
     }
     if (p_abs == 0.0) throw std::runtime_error("ComplexLu::factor: singular matrix");
+    min_abs_pivot_ = j == 0 ? p_abs : std::min(min_abs_pivot_, p_abs);
     perm_[j] = ip;
     if (ip != j) {
       for (std::size_t c = 0; c < n_; ++c) std::swap(at(j, c), at(ip, c));
@@ -41,6 +50,9 @@ void ComplexLu::factor(const Matrix& re, const Matrix& im) {
       for (std::size_t c = j + 1; c < n_; ++c) at(i, c) -= l * atc(j, c);
     }
   }
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i; j < n_; ++j)
+      max_abs_u_ = std::max(max_abs_u_, std::abs(atc(i, j)));
   factored_ = true;
 }
 
@@ -141,6 +153,13 @@ void ComplexSparseLu::factorNumeric(const SparseMatrix& re, const SparseMatrix& 
       at(i, pos_[col_idx[k]]) += Complex(re_vals[k], im_vals[k]);
   }
 
+  // Health probes, as in SparseLu: the band holds exactly the permuted A
+  // after the scatter, so one pass gives max|A|.
+  max_abs_a_ = 0.0;
+  for (const Complex& v : ab_) max_abs_a_ = std::max(max_abs_a_, std::abs(v));
+  min_abs_pivot_ = 0.0;
+  max_abs_u_ = 0.0;
+
   // Banded LU with partial pivoting (unblocked gbtrf, complex scalars).
   // The band-robustness argument is inherited from SparseLu: for column j
   // every structurally possible pivot candidate lies in rows j..j+kl.
@@ -157,6 +176,7 @@ void ComplexSparseLu::factorNumeric(const SparseMatrix& re, const SparseMatrix& 
     }
     if (p_abs == 0.0)
       throw std::runtime_error("ComplexSparseLu::factor: singular matrix");
+    min_abs_pivot_ = j == 0 ? p_abs : std::min(min_abs_pivot_, p_abs);
     piv_[j] = ip;
     const std::size_t c_max = std::min(n_ - 1, j + kl_ + ku_);
     if (ip != j) {
@@ -169,6 +189,11 @@ void ComplexSparseLu::factorNumeric(const SparseMatrix& re, const SparseMatrix& 
       if (l == Complex(0.0, 0.0)) continue;
       for (std::size_t c = j + 1; c <= c_max; ++c) at(i, c) -= l * atc(j, c);
     }
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t i_min = j > kl_ + ku_ ? j - kl_ - ku_ : 0;
+    for (std::size_t i = i_min; i <= j; ++i)
+      max_abs_u_ = std::max(max_abs_u_, std::abs(atc(i, j)));
   }
   factored_ = true;
 }

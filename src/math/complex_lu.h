@@ -56,6 +56,15 @@ class ComplexLu {
   /// Convenience allocating overload.
   ComplexVector solve(const ComplexVector& b) const;
 
+  /// Numerical-health probes of the last successful factorization
+  /// (obs/health.h), magnitudes taken as std::abs of the complex entries:
+  /// smallest selected pivot modulus and element growth max|U| / max|A|.
+  /// Both 0 before the first factor().
+  double minAbsPivot() const { return min_abs_pivot_; }
+  double pivotGrowth() const {
+    return max_abs_a_ > 0.0 ? max_abs_u_ / max_abs_a_ : 0.0;
+  }
+
  private:
   Complex& at(std::size_t r, std::size_t c) { return lu_[r * n_ + c]; }
   Complex atc(std::size_t r, std::size_t c) const { return lu_[r * n_ + c]; }
@@ -64,6 +73,9 @@ class ComplexLu {
   ComplexVector lu_;  ///< row-major
   std::vector<std::size_t> perm_;
   bool factored_ = false;
+  double min_abs_pivot_ = 0.0;
+  double max_abs_a_ = 0.0;
+  double max_abs_u_ = 0.0;
 };
 
 /// Banded complex LU over a CSR matrix pair sharing one pattern. See the
@@ -115,6 +127,13 @@ class ComplexSparseLu {
   /// Convenience allocating overload.
   ComplexVector solve(const ComplexVector& b) const;
 
+  /// Numerical-health probes of the last successful factorization, as in
+  /// ComplexLu (moduli via std::abs). Both 0 before the first factor().
+  double minAbsPivot() const { return min_abs_pivot_; }
+  double pivotGrowth() const {
+    return max_abs_a_ > 0.0 ? max_abs_u_ / max_abs_a_ : 0.0;
+  }
+
  private:
   void analyzeWithOrder(const SparseMatrix& re, const SparseMatrix& im,
                         std::vector<std::size_t> order);
@@ -136,6 +155,9 @@ class ComplexSparseLu {
   std::vector<std::size_t> piv_;
   mutable ComplexVector work_;
   bool factored_ = false;
+  double min_abs_pivot_ = 0.0;
+  double max_abs_a_ = 0.0;
+  double max_abs_u_ = 0.0;
 };
 
 }  // namespace fdtdmm

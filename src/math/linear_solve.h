@@ -38,11 +38,29 @@ class LuFactorization {
   /// `x` may not alias `b`). Same error behavior as solve(b).
   void solve(const Vector& b, Vector& x) const;
 
+  /// Solves A^T x = b into `x` (resized; may not alias `b`): the same
+  /// factorization run backwards (U^T forward, L^T backward, then the
+  /// inverse row permutation). Const (scratch is call-local), so any
+  /// number of threads may transpose-solve one shared factorization —
+  /// this is what the Hager condition estimator (obs/health.h) calls on
+  /// the already-cached base LU instead of refactorizing.
+  void solveTranspose(const Vector& b, Vector& x) const;
+
   std::size_t dim() const { return lu_.rows(); }
 
   /// |det(A)| growth indicator: product of |U_ii|. Useful for
   /// conditioning diagnostics in tests.
   double absDeterminant() const;
+
+  /// Numerical-health probes of the last successful factorization
+  /// (obs/health.h): the smallest pivot magnitude selected by partial
+  /// pivoting, and the element-growth factor max|U| / max|A| (close to 1
+  /// for well-behaved systems; large growth flags instability). Both are
+  /// 0 before the first factor().
+  double minAbsPivot() const { return min_abs_pivot_; }
+  double pivotGrowth() const {
+    return max_abs_a_ > 0.0 ? max_abs_u_ / max_abs_a_ : 0.0;
+  }
 
  private:
   void factorInPlace();
@@ -50,6 +68,9 @@ class LuFactorization {
   Matrix lu_;
   std::vector<std::size_t> perm_;
   bool factored_ = false;
+  double min_abs_pivot_ = 0.0;
+  double max_abs_a_ = 0.0;
+  double max_abs_u_ = 0.0;
 };
 
 /// Solves the square system A x = b by LU with partial pivoting.

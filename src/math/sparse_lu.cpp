@@ -123,6 +123,16 @@ void SparseLu::factorNumeric(const SparseMatrix& a) {
       at(i, pos_[col_idx[k]]) += values[k];
   }
 
+  // Health probes (minAbsPivot/pivotGrowth): the band holds exactly the
+  // permuted A right after the scatter, so one pass gives max|A|; the
+  // pivot minimum rides the pivot search below and max|U| is scanned from
+  // the upper band afterwards. O(n * band) — free next to the O(n b^2)
+  // elimination.
+  max_abs_a_ = 0.0;
+  for (double v : ab_) max_abs_a_ = std::max(max_abs_a_, std::abs(v));
+  min_abs_pivot_ = 0.0;
+  max_abs_u_ = 0.0;
+
   // Banded LU with partial pivoting (unblocked gbtrf). For column j the
   // pivot search spans rows j..j+kl — by construction of kl every
   // structurally nonzero candidate — and row swaps touch only columns
@@ -139,6 +149,7 @@ void SparseLu::factorNumeric(const SparseMatrix& a) {
       }
     }
     if (p_abs == 0.0) throw std::runtime_error("SparseLu::factor: singular matrix");
+    min_abs_pivot_ = j == 0 ? p_abs : std::min(min_abs_pivot_, p_abs);
     piv_[j] = ip;
     const std::size_t c_max = std::min(n_ - 1, j + kl_ + ku_);
     if (ip != j) {
@@ -151,6 +162,11 @@ void SparseLu::factorNumeric(const SparseMatrix& a) {
       if (l == 0.0) continue;
       for (std::size_t c = j + 1; c <= c_max; ++c) at(i, c) -= l * at(j, c);
     }
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t i_min = j > kl_ + ku_ ? j - kl_ - ku_ : 0;
+    for (std::size_t i = i_min; i <= j; ++i)
+      max_abs_u_ = std::max(max_abs_u_, std::abs(atc(i, j)));
   }
   factored_ = true;
 }
@@ -186,6 +202,41 @@ Vector SparseLu::solve(const Vector& b) const {
   Vector x;
   solve(b, x);
   return x;
+}
+
+void SparseLu::solveTranspose(const Vector& b, Vector& x) const {
+  solveTranspose(b, x, work_);
+}
+
+void SparseLu::solveTranspose(const Vector& b, Vector& x, Vector& work) const {
+  if (!factored_) throw std::logic_error("SparseLu::solveTranspose: not factored");
+  if (b.size() != n_)
+    throw std::invalid_argument("SparseLu::solveTranspose: size mismatch");
+  // The RCM permutation is symmetric (rows and columns reordered alike),
+  // so the transpose of the permuted matrix is the permuted transpose:
+  // the same order_ wrapping as solve() applies.
+  work.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) work[k] = b[order_[k]];
+  // U^T z = b: U's band column j reaches up to kl + ku rows above the
+  // diagonal, so U^T's forward substitution gathers from that range.
+  for (std::size_t j = 0; j < n_; ++j) {
+    double acc = work[j];
+    const std::size_t i_min = j > kl_ + ku_ ? j - kl_ - ku_ : 0;
+    for (std::size_t i = i_min; i < j; ++i) acc -= atc(i, j) * work[i];
+    work[j] = acc / atc(j, j);
+  }
+  // Undo the interleaved L_j / P_j factors in reverse (gbtrs TRANS='T'):
+  // apply L_j^T's inverse (gather the multipliers of column j), then the
+  // row interchange of step j.
+  for (std::size_t j = n_; j-- > 0;) {
+    const std::size_t i_max = std::min(n_ - 1, j + kl_);
+    double acc = work[j];
+    for (std::size_t i = j + 1; i <= i_max; ++i) acc -= atc(i, j) * work[i];
+    work[j] = acc;
+    if (piv_[j] != j) std::swap(work[j], work[piv_[j]]);
+  }
+  x.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[order_[k]] = work[k];
 }
 
 }  // namespace fdtdmm

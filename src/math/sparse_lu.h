@@ -83,6 +83,25 @@ class SparseLu {
   /// Convenience allocating overload.
   Vector solve(const Vector& b) const;
 
+  /// Solves A^T x = b into x: the banded factorization applied backwards
+  /// (U^T forward, then the L columns and row interchanges in reverse —
+  /// the gbtrs TRANS='T' order), wrapped in the same RCM permutation as
+  /// solve() (transposing commutes with the symmetric reordering). Used by
+  /// the Hager condition estimator (obs/health.h) against already-cached
+  /// factorizations. Same aliasing/threading contract as solve(): the
+  /// two-argument form uses the internal scratch, the `work` overload is
+  /// safe against a concurrently shared factorization.
+  void solveTranspose(const Vector& b, Vector& x) const;
+  void solveTranspose(const Vector& b, Vector& x, Vector& work) const;
+
+  /// Numerical-health probes of the last successful factorization (see
+  /// LuFactorization): smallest selected pivot magnitude and band element
+  /// growth max|U| / max|A|. Both 0 before the first factor().
+  double minAbsPivot() const { return min_abs_pivot_; }
+  double pivotGrowth() const {
+    return max_abs_a_ > 0.0 ? max_abs_u_ / max_abs_a_ : 0.0;
+  }
+
  private:
   void analyze(const SparseMatrix& a);
   void analyzeWithOrder(const SparseMatrix& a, std::vector<std::size_t> order);
@@ -102,6 +121,9 @@ class SparseLu {
   std::vector<std::size_t> piv_;
   mutable Vector work_;
   bool factored_ = false;
+  double min_abs_pivot_ = 0.0;
+  double max_abs_a_ = 0.0;
+  double max_abs_u_ = 0.0;
 };
 
 }  // namespace fdtdmm

@@ -1,5 +1,7 @@
 #include "obs/counters.h"
 
+#include <cstdio>
+
 namespace fdtdmm {
 namespace obs {
 
@@ -55,6 +57,23 @@ void Counters::merge(const Counters& other) {
 void Counters::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   metrics_.clear();
+}
+
+std::string countersJson(const Counters& counters) {
+  // Names are produced by this codebase (plain identifiers with dots), so
+  // plain quoting suffices; %.9g matches the telemetry exporters.
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, m] : counters.snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", m.seconds);
+    out += "\"" + name + "\": {\"count\": " + std::to_string(m.count) +
+           ", \"seconds\": " + buf + "}";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace obs

@@ -64,6 +64,14 @@ class Counters {
   std::map<std::string, Metric> metrics_;
 };
 
+/// Canonical JSON form of a Counters snapshot: one object keyed by metric
+/// name (sorted), each slot rendered as {"count": N, "seconds": S} with
+/// seconds in %.9g. Every exporter embeds counters through this one
+/// function — sweep telemetry JSON ("counters"), the bench telemetryJson
+/// summaries, and the examples' stats footers — so slot keys and number
+/// formatting cannot drift between them.
+std::string countersJson(const Counters& counters);
+
 /// RAII wall-time span. See the file comment for the disabled-cost
 /// contract. Not copyable; intended for block scope only.
 class ScopedTimer {

@@ -1,0 +1,190 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+namespace fdtdmm {
+namespace obs {
+
+namespace {
+constexpr double kLn10 = 2.302585092994046;
+}  // namespace
+
+Histogram::Histogram(const HistogramSpec& spec) : spec_(spec) {
+  if (!(spec_.min_value > 0.0) || !(spec_.max_value > spec_.min_value) ||
+      spec_.buckets_per_decade <= 0)
+    throw std::invalid_argument("Histogram: invalid spec");
+  log_min_ = std::log(spec_.min_value);
+  inv_log_step_ = static_cast<double>(spec_.buckets_per_decade) / kLn10;
+  const double decades = std::log10(spec_.max_value / spec_.min_value);
+  const std::size_t interior = static_cast<std::size_t>(
+      std::ceil(decades * spec_.buckets_per_decade - 1e-9));
+  counts_.assign(interior + 2, 0);  // [underflow, interior..., overflow]
+}
+
+double Histogram::bucketLow(std::size_t b) const {
+  // Interior bucket b (1-based within counts_) starts at
+  // min_value * 10^((b-1)/per_decade).
+  return std::exp(log_min_ + static_cast<double>(b - 1) / inv_log_step_);
+}
+
+double Histogram::bucketHigh(std::size_t b) const {
+  if (b + 1 == counts_.size() - 1)  // last interior bucket ends at max
+    return spec_.max_value;
+  return std::exp(log_min_ + static_cast<double>(b) / inv_log_step_);
+}
+
+void Histogram::record(double value) {
+  if (std::isnan(value) || value < 0.0) value = 0.0;
+  std::size_t b;
+  if (value < spec_.min_value) {
+    b = 0;
+  } else if (value >= spec_.max_value) {
+    b = counts_.size() - 1;
+  } else {
+    const double off = (std::log(value) - log_min_) * inv_log_step_;
+    b = 1 + static_cast<std::size_t>(off < 0.0 ? 0.0 : off);
+    if (b > counts_.size() - 2) b = counts_.size() - 2;
+  }
+  ++counts_[b];
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = count_ == 0 ? value : std::max(max_, value);
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.counts_.size() != counts_.size() ||
+      o.spec_.min_value != spec_.min_value || o.spec_.max_value != spec_.max_value ||
+      o.spec_.buckets_per_decade != spec_.buckets_per_decade)
+    throw std::invalid_argument("Histogram::merge: bucket layout mismatch");
+  if (o.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+  max_ = count_ == 0 ? o.max_ : std::max(max_, o.max_);
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Type-7: the quantile sits at fractional order-statistic index
+  // h = (n-1) q; interpolate between the estimated order statistics at
+  // floor(h) and ceil(h).
+  const double h = static_cast<double>(count_ - 1) * q;
+  const std::uint64_t k_lo = static_cast<std::uint64_t>(h);
+  const double frac = h - static_cast<double>(k_lo);
+
+  // Estimates the k-th (0-based) order statistic from the bucket counts:
+  // samples within a bucket are assumed evenly spread, each occupying the
+  // center of its 1/c slice of the bucket span.
+  auto orderStat = [this](std::uint64_t k) {
+    if (k == 0) return min_;                 // exact at the extremes
+    if (k == count_ - 1) return max_;
+    std::uint64_t c0 = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      const std::uint64_t c = counts_[b];
+      if (c == 0) continue;
+      if (k < c0 + c) {
+        const double within =
+            (static_cast<double>(k - c0) + 0.5) / static_cast<double>(c);
+        double lo, hi;
+        if (b == 0) {  // underflow: interpolate over [0, min_value)
+          lo = 0.0;
+          hi = spec_.min_value;
+        } else if (b == counts_.size() - 1) {  // overflow: pinned at max
+          return max_;
+        } else {
+          lo = bucketLow(b);
+          hi = bucketHigh(b);
+        }
+        const double v = lo + (hi - lo) * within;
+        return std::min(max_, std::max(min_, v));  // never outside the data
+      }
+      c0 += c;
+    }
+    return max_;  // unreachable: counts_ sums to count_
+  };
+
+  const double lo = orderStat(k_lo);
+  if (frac == 0.0) return lo;
+  return lo + (orderStat(k_lo + 1) - lo) * frac;
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// Per-thread shard cache, keyed by registry id (the TraceWriter
+/// thread-buffer pattern): one entry per thread, revalidated by id so a
+/// thread recording into a second registry transparently re-registers.
+struct ShardCache {
+  std::uint64_t id = 0;
+  void* shard = nullptr;
+};
+thread_local ShardCache t_shard_cache;
+
+}  // namespace
+
+HistogramRegistry::HistogramRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+HistogramRegistry::~HistogramRegistry() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Shard* s : shards_) delete s;
+  shards_.clear();
+  // A stale t_shard_cache entry in some thread still carries this id_;
+  // ids are process-unique, so it can never be revalidated — the next
+  // record() from that thread registers a fresh shard with the next
+  // registry. (Recording into a *destroyed* registry is a caller bug,
+  // same as for Counters.)
+}
+
+HistogramRegistry::Shard* HistogramRegistry::threadShard() const {
+  ShardCache& cache = t_shard_cache;
+  if (cache.id == id_) return static_cast<Shard*>(cache.shard);
+  Shard* s = new Shard();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shards_.push_back(s);
+  }
+  cache.id = id_;
+  cache.shard = s;
+  return s;
+}
+
+void HistogramRegistry::record(const std::string& name, double value,
+                               const HistogramSpec& spec) {
+  Shard* s = threadShard();
+  std::lock_guard<std::mutex> lk(s->mu);  // uncontended except vs snapshot()
+  auto it = s->histograms.find(name);
+  if (it == s->histograms.end())
+    it = s->histograms.emplace(name, Histogram(spec)).first;
+  it->second.record(value);
+}
+
+std::map<std::string, Histogram> HistogramRegistry::snapshot() const {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shards = shards_;
+  }
+  std::map<std::string, Histogram> out;
+  for (Shard* s : shards) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    for (const auto& [name, h] : s->histograms) {
+      auto it = out.find(name);
+      if (it == out.end())
+        out.emplace(name, h);
+      else
+        it->second.merge(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fdtdmm

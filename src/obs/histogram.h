@@ -1,0 +1,124 @@
+#pragma once
+/// \file histogram.h
+/// Mergeable log-bucketed latency/size histograms with percentile queries.
+///
+/// Counters (obs/counters.h) answer "how many / how long in total"; this
+/// module answers "how is it *distributed*" — p50/p95/p99 corner wall
+/// time, solve latency, Newton iteration counts, ThreadPool queue wait —
+/// without storing individual samples. Buckets are logarithmic (a fixed
+/// number per decade over [min_value, max_value], plus underflow and
+/// overflow buckets), so relative error of a percentile estimate is
+/// bounded by the bucket ratio (~12% at the default 20 buckets/decade)
+/// across twelve decades of dynamic range, in O(decades * per_decade)
+/// space.
+///
+/// Percentile queries use the type-7 quantile convention (h = (n-1) q,
+/// linear interpolation) to match math/stats.h percentile(): a Histogram
+/// percentile and a percentile() over the raw sorted samples agree to
+/// within one bucket's width (pinned by tests/test_obs_histogram.cpp).
+///
+/// Threading model mirrors TraceWriter's buffer cache: a
+/// HistogramRegistry hands each thread its own shard keyed by a
+/// process-unique registry id, so record() is uncontended on the hot
+/// path; snapshot() merges all shards under the registry mutex. Merging
+/// is exact (bucket counts add), which is what makes per-thread sharding
+/// deterministic: counts, min, max, and percentile results do not depend
+/// on which thread recorded which sample. (The running `sum` merges in
+/// floating point, so mean() can differ in the last ulps across merge
+/// orders — telemetry JSON is not byte-pinned on histogram content.)
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fdtdmm {
+namespace obs {
+
+/// Bucket layout of a Histogram. The defaults span 1 ns .. ~31.7 years in
+/// seconds (or 1e-9 .. 1e9 of any unit) — wide enough that the under/
+/// overflow buckets only catch true outliers.
+struct HistogramSpec {
+  double min_value = 1e-9;
+  double max_value = 1e9;
+  int buckets_per_decade = 20;
+};
+
+/// One log-bucketed histogram. Not internally synchronized — use a
+/// HistogramRegistry for concurrent recording.
+class Histogram {
+ public:
+  Histogram() : Histogram(HistogramSpec{}) {}
+  explicit Histogram(const HistogramSpec& spec);
+
+  /// Records one sample. Negative and NaN samples are clamped into the
+  /// underflow bucket (they never occur for durations/counts; clamping
+  /// keeps record() total).
+  void record(double value);
+
+  /// Adds another histogram's contents. \throws std::invalid_argument on
+  /// mismatched bucket layouts.
+  void merge(const Histogram& o);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Exact smallest/largest recorded sample (0 when empty).
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Type-7 quantile estimate (q in [0,1]; see file comment). Returns 0
+  /// when empty. Exact at the extremes (q touching the first/last sample
+  /// returns min()/max()); elsewhere accurate to one bucket's width.
+  double percentile(double q) const;
+
+  const HistogramSpec& spec() const { return spec_; }
+
+ private:
+  double bucketLow(std::size_t b) const;
+  double bucketHigh(std::size_t b) const;
+
+  HistogramSpec spec_;
+  double log_min_ = 0.0;
+  double inv_log_step_ = 0.0;  ///< buckets_per_decade / ln(10)
+  std::vector<std::uint64_t> counts_;  ///< [underflow, decades..., overflow]
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named histograms with per-thread shards; see the file comment for the
+/// threading model. Typical use: a SweepRunner-local registry records
+/// from worker threads, then snapshot() once at end of sweep.
+class HistogramRegistry {
+ public:
+  HistogramRegistry();
+  ~HistogramRegistry();
+  HistogramRegistry(const HistogramRegistry&) = delete;
+  HistogramRegistry& operator=(const HistogramRegistry&) = delete;
+
+  /// Records into this thread's shard of `name` (created on first use
+  /// with `spec`). Uncontended with other threads except on shard
+  /// creation.
+  void record(const std::string& name, double value,
+              const HistogramSpec& spec = HistogramSpec{});
+
+  /// Merged view of every thread's shards.
+  std::map<std::string, Histogram> snapshot() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;  ///< guards map growth vs a concurrent snapshot()
+    std::map<std::string, Histogram> histograms;
+  };
+  Shard* threadShard() const;
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  mutable std::mutex mu_;   ///< guards shards_
+  mutable std::vector<Shard*> shards_;
+};
+
+}  // namespace obs
+}  // namespace fdtdmm

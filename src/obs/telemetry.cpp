@@ -18,6 +18,7 @@ void RunTelemetry::merge(const RunTelemetry& o) {
   shared_symbolic_builds += o.shared_symbolic_builds;
   shared_symbolic_reuses += o.shared_symbolic_reuses;
   wall_seconds += o.wall_seconds;
+  health.merge(o.health);
 }
 
 }  // namespace obs

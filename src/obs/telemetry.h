@@ -49,10 +49,17 @@
 ///                              layer; the deliberately-unexported
 ///                              wall_seconds of sweep_result.h lands here)
 ///
+///   - health                   NumericalHealth (obs/health.h): pivot /
+///                              conditioning / residual / Newton-quality
+///                              record, exported as the "health" object
+///                              when collected (HealthOptions::collect)
+///
 /// Collection is opt-in per run (TransientOptions::telemetry); a null
 /// pointer keeps the solver loops clock-free (one branch per span — see
 /// obs/counters.h). The struct is plain data: merging is field-wise
 /// addition so multi-transient scenarios aggregate naturally.
+
+#include "obs/health.h"
 
 namespace fdtdmm {
 namespace obs {
@@ -89,6 +96,7 @@ struct RunTelemetry {
   long long shared_symbolic_builds = 0;
   long long shared_symbolic_reuses = 0;
   double wall_seconds = 0.0;
+  NumericalHealth health;
 
   /// Field-wise aggregation (wall_seconds adds too: it is "time spent",
   /// not "span of time", for a scenario that runs several transients).

@@ -57,6 +57,16 @@ TraceWriter::~TraceWriter() {
   // destruction. This covers the "forgot to reset" case.
   TraceWriter* self = this;
   g_active.compare_exchange_strong(self, nullptr);
+  // Best-effort final flush: whatever tears this writer down — normal
+  // shutdown, early return, exception unwind — the events recorded so far
+  // reach disk as a complete document. I/O errors are swallowed
+  // (destructors must not throw); an explicit flush() is the checked path.
+  if (!path_.empty()) {
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
 }
 
 TraceWriter* TraceWriter::active() { return g_active.load(std::memory_order_acquire); }
@@ -166,10 +176,21 @@ std::string TraceWriter::toJson() const {
 
 void TraceWriter::flush() {
   if (path_.empty()) return;
-  std::ofstream f(path_);
-  if (!f) throw std::runtime_error("TraceWriter: cannot open " + path_);
-  f << toJson();
-  if (!f) throw std::runtime_error("TraceWriter: write failed for " + path_);
+  // Write-then-rename: the published path only ever holds a complete
+  // document, so a crash mid-write (or a concurrent reader) sees either
+  // the previous flush or this one, never a truncated JSON fragment.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) throw std::runtime_error("TraceWriter: cannot open " + tmp);
+    f << toJson();
+    f.flush();
+    if (!f) throw std::runtime_error("TraceWriter: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("TraceWriter: cannot rename " + tmp + " to " + path_);
+  }
 }
 
 std::size_t TraceWriter::eventCount() const {
@@ -193,8 +214,35 @@ namespace {
 std::unique_ptr<TraceWriter> g_cli_writer;
 }  // namespace
 
-std::string initTraceFromArgs(int argc, char** argv) {
-  if (g_cli_writer) return g_cli_writer->path();
+ScopedTrace::ScopedTrace(ScopedTrace&& o) noexcept
+    : path_(std::move(o.path_)), owns_(o.owns_) {
+  o.owns_ = false;
+  o.path_.clear();
+}
+
+ScopedTrace& ScopedTrace::operator=(ScopedTrace&& o) noexcept {
+  if (this != &o) {
+    if (owns_) shutdownTrace();
+    path_ = std::move(o.path_);
+    owns_ = o.owns_;
+    o.owns_ = false;
+    o.path_.clear();
+  }
+  return *this;
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (owns_) shutdownTrace();  // flush inside is best-effort, never throws
+}
+
+void ScopedTrace::flush() {
+  if (g_cli_writer) g_cli_writer->flush();
+}
+
+ScopedTrace initTraceFromArgs(int argc, char** argv) {
+  // A second call while the session is live returns a NON-owning handle:
+  // exactly one destructor tears the session down.
+  if (g_cli_writer) return ScopedTrace(g_cli_writer->path(), false);
   std::string path;
   if (const char* env = std::getenv("FDTDMM_TRACE")) path = env;
   const char* prefix = "--trace=";
@@ -205,15 +253,14 @@ std::string initTraceFromArgs(int argc, char** argv) {
   if (path.empty()) return {};
   g_cli_writer = std::make_unique<TraceWriter>(path);
   TraceWriter::setActive(g_cli_writer.get());
-  return path;
+  return ScopedTrace(path, true);
 }
 
 std::string shutdownTrace() {
   if (!g_cli_writer) return {};
   TraceWriter::setActive(nullptr);
   std::string path = g_cli_writer->path();
-  g_cli_writer->flush();
-  g_cli_writer.reset();
+  g_cli_writer.reset();  // ~TraceWriter performs the final best-effort flush
   return path;
 }
 

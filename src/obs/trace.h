@@ -53,6 +53,10 @@ class TraceWriter {
   /// `path` is where flush() writes; may be empty for in-memory use
   /// (tests), in which case flush() is a no-op and toJson() reads back.
   explicit TraceWriter(std::string path);
+  /// Best-effort final flush (silently swallowed on I/O failure — a
+  /// destructor must not throw), then deactivates itself if still the
+  /// active writer. The flush means a writer that goes out of scope on an
+  /// early exit still leaves a complete, loadable trace file behind.
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
@@ -74,9 +78,11 @@ class TraceWriter {
   /// Merged, ts-sorted trace document (see the file comment's schema).
   std::string toJson() const;
 
-  /// Writes toJson() to the constructor path (whole-file rewrite, so it is
-  /// safe to call after every sweep). \throws std::runtime_error if the
-  /// file cannot be written.
+  /// Writes toJson() to the constructor path. Atomic: the document goes to
+  /// `<path>.tmp` first and is renamed into place, so a reader (or a crash
+  /// mid-write) never observes a truncated JSON fragment — every published
+  /// file loads in Perfetto. Safe to call repeatedly (whole-file rewrite).
+  /// \throws std::runtime_error if the file cannot be written.
   void flush();
 
   std::size_t eventCount() const;
@@ -163,13 +169,52 @@ class TraceSpan {
 void traceInstant(const char* name, const char* cat,
                   std::string args_json = {});
 
+/// Scoped handle to the process-global CLI trace session. Returned by
+/// initTraceFromArgs: the handle that enabled tracing owns the session and
+/// its destructor flushes + tears the writer down, so a `return` or an
+/// exception anywhere in main() still leaves a complete trace file — the
+/// RAII fix for the historical "crash mid-sweep leaves an unterminated
+/// fragment" failure (TraceWriter::flush is additionally atomic, covering
+/// hard crashes). Movable, not copyable; a disabled handle (tracing off)
+/// is inert.
+class [[nodiscard]] ScopedTrace {
+ public:
+  ScopedTrace() = default;
+  ScopedTrace(ScopedTrace&& o) noexcept;
+  ScopedTrace& operator=(ScopedTrace&& o) noexcept;
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  /// Owning handle: shutdownTrace() (best-effort; never throws).
+  ~ScopedTrace();
+
+  /// True when tracing is active (path non-empty).
+  bool enabled() const { return !path_.empty(); }
+  /// The trace file path ("" when disabled).
+  const std::string& path() const { return path_; }
+
+  /// Flushes the trace to disk now (e.g. right after a sweep, before the
+  /// process does unrelated work). \throws like TraceWriter::flush.
+  void flush();
+
+ private:
+  friend ScopedTrace initTraceFromArgs(int argc, char** argv);
+  ScopedTrace(std::string path, bool owns) : path_(std::move(path)), owns_(owns) {}
+
+  std::string path_;
+  bool owns_ = false;
+};
+
 /// Enables process-global tracing if `--trace=<file>` appears in argv or
-/// the FDTDMM_TRACE env var names a file (flag wins). Returns the trace
-/// path, or "" when tracing stays disabled. Idempotent per process.
-std::string initTraceFromArgs(int argc, char** argv);
+/// the FDTDMM_TRACE env var names a file (flag wins). Returns a handle
+/// whose path() is the trace file ("" when tracing stays disabled) and
+/// whose destructor flushes + shuts the session down. Idempotent per
+/// process: only the first enabling call returns an owning handle.
+ScopedTrace initTraceFromArgs(int argc, char** argv);
 
 /// Flushes and tears down the writer installed by initTraceFromArgs.
-/// Returns the path written, or "" if tracing was not enabled.
+/// Returns the path written, or "" if tracing was not enabled. Usually
+/// invoked via ~ScopedTrace; calling it directly is harmless (the handle's
+/// destructor then finds nothing to do).
 std::string shutdownTrace();
 
 }  // namespace obs

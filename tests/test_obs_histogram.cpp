@@ -1,0 +1,307 @@
+// Tests for the log-bucketed mergeable histograms (obs/histogram.h):
+// percentile accuracy against the sorted-sample type-7 reference across
+// bucket boundaries, exactness at the extremes, under/overflow clamping,
+// layout-checked merging, and the concurrent record-then-merge determinism
+// of HistogramRegistry. Determinism is pinned on counts, min, max, and
+// percentiles — NOT on mean(): the running sum merges in floating point,
+// so the header explicitly leaves it merge-order-dependent in the last
+// ulps.
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "math/stats.h"
+
+namespace fdtdmm {
+namespace obs {
+namespace {
+
+// One interior bucket spans a factor of 10^(1/buckets_per_decade); the
+// percentile contract is "within one bucket's width of the sorted-sample
+// reference", so that width (evaluated at the reference value) is the
+// tolerance scale of every accuracy check here.
+double bucketRatio(const HistogramSpec& spec) {
+  return std::pow(10.0, 1.0 / spec.buckets_per_decade);
+}
+
+void expectWithinOneBucket(double estimate, double reference,
+                           const HistogramSpec& spec, const char* what) {
+  const double width = reference * (bucketRatio(spec) - 1.0);
+  EXPECT_NEAR(estimate, reference, width + 1e-300) << what;
+}
+
+const double kQuantiles[] = {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99};
+
+TEST(Histogram, EmptyReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, InvalidSpecThrows) {
+  HistogramSpec bad;
+  bad.min_value = 0.0;  // log buckets need a positive floor
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+  bad = HistogramSpec{};
+  bad.max_value = bad.min_value;  // empty range
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+  bad = HistogramSpec{};
+  bad.buckets_per_decade = 0;
+  EXPECT_THROW(Histogram{bad}, std::invalid_argument);
+}
+
+TEST(Histogram, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.record(3.7e-3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.7e-3);
+  for (double q : kQuantiles) EXPECT_DOUBLE_EQ(h.percentile(q), 3.7e-3);
+}
+
+TEST(Histogram, ExtremesAreExact) {
+  Histogram h;
+  Vector v;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-6.0, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const double x = std::pow(10.0, u(rng));
+    h.record(x);
+    v.push_back(x);
+  }
+  // q touching the first/last order statistic returns the exact recorded
+  // extremum, not a bucket edge.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+  EXPECT_DOUBLE_EQ(h.min(), quantile(v, 0.0));
+  EXPECT_DOUBLE_EQ(h.max(), quantile(v, 1.0));
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), h.max());
+}
+
+// The headline accuracy contract: on a sample spanning many decades (so
+// every percentile lands in a different bucket), the histogram percentile
+// tracks the type-7 quantile of the raw sorted samples to one bucket.
+TEST(Histogram, PercentileMatchesSortedReference) {
+  const HistogramSpec spec;  // defaults: 1e-9..1e9, 20 buckets/decade
+  Histogram h(spec);
+  Vector v;
+  std::mt19937 rng(2026);
+  std::uniform_real_distribution<double> u(-8.0, 2.0);  // log-uniform decade
+  for (int i = 0; i < 4000; ++i) {
+    const double x = std::pow(10.0, u(rng));
+    h.record(x);
+    v.push_back(x);
+  }
+  for (double q : kQuantiles) {
+    expectWithinOneBucket(h.percentile(q), quantile(v, q), spec, "log-uniform");
+  }
+}
+
+// Samples sitting exactly ON bucket boundaries are the rounding-sensitive
+// case (log() of an exact power of the ratio can land a hair either side
+// of the edge); the one-bucket contract must hold there too.
+TEST(Histogram, PercentileAcrossBucketBoundaries) {
+  const HistogramSpec spec;
+  Histogram h(spec);
+  Vector v;
+  const double ratio = bucketRatio(spec);
+  for (int k = 0; k < 120; ++k) {  // 6 decades of exact bucket edges
+    const double x = spec.min_value * std::pow(ratio, k);
+    for (int rep = 0; rep < 3; ++rep) {
+      h.record(x);
+      v.push_back(x);
+    }
+  }
+  for (double q : kQuantiles) {
+    expectWithinOneBucket(h.percentile(q), quantile(v, q), spec, "edges");
+  }
+}
+
+// A narrow distribution (all mass in one or two buckets) must not smear
+// beyond the recorded data: estimates are clamped to [min, max].
+TEST(Histogram, PercentileNeverLeavesTheDataRange) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1.0e-3 * (1.0 + 1e-4 * i));
+  for (double q : kQuantiles) {
+    EXPECT_GE(h.percentile(q), h.min());
+    EXPECT_LE(h.percentile(q), h.max());
+  }
+}
+
+TEST(Histogram, NegativeAndNanClampIntoUnderflow) {
+  Histogram h;
+  h.record(-3.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2u);  // record() is total: nothing is dropped
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, UnderAndOverflowKeepExactExtrema) {
+  const HistogramSpec spec;
+  Histogram h(spec);
+  h.record(1e-12);  // below min_value: underflow bucket
+  h.record(1e12);   // above max_value: overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-12);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e12);
+}
+
+TEST(Histogram, MergeAddsContents) {
+  Histogram a, b, all;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-6.0, 0.0);
+  for (int i = 0; i < 300; ++i) {
+    const double x = std::pow(10.0, u(rng));
+    (i % 2 == 0 ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  // Bucket counts add exactly, so percentiles of the merged histogram are
+  // bit-identical to recording everything into one histogram.
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q));
+  }
+}
+
+TEST(Histogram, MergeEmptyIsANoOp) {
+  Histogram a, empty;
+  a.record(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  empty.merge(a);  // merging INTO an empty one adopts the contents
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a;
+  HistogramSpec other;
+  other.buckets_per_decade = 10;
+  Histogram b(other);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  HistogramSpec narrower;
+  narrower.min_value = 1e-6;
+  narrower.max_value = 1e6;
+  Histogram c(narrower);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+// Merging the same shards in any order yields identical counts/extrema/
+// percentiles — the property that makes per-thread sharding deterministic.
+TEST(Histogram, MergeOrderDoesNotChangePercentiles) {
+  std::vector<Histogram> shards(3);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(-9.0, 1.0);
+  for (int i = 0; i < 900; ++i)
+    shards[static_cast<std::size_t>(i % 3)].record(std::pow(10.0, u(rng)));
+
+  Histogram fwd, rev;
+  for (int i = 0; i < 3; ++i) fwd.merge(shards[static_cast<std::size_t>(i)]);
+  for (int i = 2; i >= 0; --i) rev.merge(shards[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(fwd.count(), rev.count());
+  EXPECT_DOUBLE_EQ(fwd.min(), rev.min());
+  EXPECT_DOUBLE_EQ(fwd.max(), rev.max());
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(fwd.percentile(q), rev.percentile(q));
+  }
+}
+
+// The registry's concurrency contract: N threads hammering their own
+// shards, then one snapshot() merge, must reproduce EXACTLY the counts,
+// extrema, and percentiles of recording the same samples serially —
+// regardless of thread scheduling.
+TEST(HistogramRegistry, ConcurrentRecordThenMergeIsDeterministic) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  // Deterministic per-(thread, i) sample so the serial reference sees the
+  // identical multiset no matter how the threads interleave.
+  auto sample = [](int t, int i) {
+    std::mt19937 rng(static_cast<std::mt19937::result_type>(1000 * t + i));
+    std::uniform_real_distribution<double> u(-7.0, 1.0);
+    return std::pow(10.0, u(rng));
+  };
+
+  HistogramRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &reg, &sample] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const double x = sample(t, i);
+        reg.record("wall", x);
+        if (i % 4 == 0) reg.record("iters", static_cast<double>(i % 13));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  Histogram ref_wall, ref_iters;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ref_wall.record(sample(t, i));
+      if (i % 4 == 0) ref_iters.record(static_cast<double>(i % 13));
+    }
+  }
+
+  const std::map<std::string, Histogram> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  const Histogram& wall = snap.at("wall");
+  const Histogram& iters = snap.at("iters");
+  EXPECT_EQ(wall.count(), ref_wall.count());
+  EXPECT_DOUBLE_EQ(wall.min(), ref_wall.min());
+  EXPECT_DOUBLE_EQ(wall.max(), ref_wall.max());
+  EXPECT_EQ(iters.count(), ref_iters.count());
+  EXPECT_DOUBLE_EQ(iters.min(), ref_iters.min());
+  EXPECT_DOUBLE_EQ(iters.max(), ref_iters.max());
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(wall.percentile(q), ref_wall.percentile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(iters.percentile(q), ref_iters.percentile(q)) << "q=" << q;
+  }
+  // mean() deliberately unpinned (floating-point merge order); it must
+  // still agree to normal roundoff.
+  EXPECT_NEAR(wall.mean(), ref_wall.mean(), 1e-9 * ref_wall.mean());
+}
+
+TEST(HistogramRegistry, FirstUseSpecSticks) {
+  HistogramRegistry reg;
+  HistogramSpec coarse;
+  coarse.min_value = 1e-3;
+  coarse.max_value = 1e3;
+  coarse.buckets_per_decade = 4;
+  reg.record("coarse", 2.5, coarse);
+  reg.record("coarse", 7.0, coarse);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("coarse").spec().buckets_per_decade, 4);
+  EXPECT_EQ(snap.at("coarse").count(), 2u);
+}
+
+TEST(HistogramRegistry, SnapshotOfEmptyRegistryIsEmpty) {
+  HistogramRegistry reg;
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fdtdmm

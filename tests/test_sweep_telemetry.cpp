@@ -224,6 +224,122 @@ TEST(SweepTelemetry, EmcSweepTelemetryAndJsonExport) {
   std::remove(path.c_str());
 }
 
+TEST(SweepTelemetry, MetricsBytesIdenticalWithObservabilityOnVsOff) {
+  // The second-generation observability contract: numerical health,
+  // latency histograms, AND live progress all ride the telemetry channel —
+  // none of them may perturb a single exported metric byte.
+  const SweepSpec spec = smallCrosstalkSpec();
+
+  auto runWith = [&](bool observed) {
+    SweepRunnerOptions opt;
+    opt.workers = 2;
+    if (observed) {
+      opt.health.collect = true;
+      opt.progress.enabled = true;
+      opt.progress.min_interval_seconds = 0.0;  // emit on every corner
+      opt.progress.sink = [](const obs::ProgressSnapshot&) {};  // keep quiet
+      opt.collect_histograms = true;
+    } else {
+      opt.collect_histograms = false;
+    }
+    SweepRunner runner(opt);
+    return exportMetrics(runner.run(spec));
+  };
+
+  const Exports off = runWith(false);
+  const Exports on = runWith(true);
+  EXPECT_FALSE(off.csv.empty());
+  EXPECT_EQ(on.csv, off.csv);
+  EXPECT_EQ(on.json, off.json);
+}
+
+TEST(SweepTelemetry, HealthAndHistogramsFlowIntoTelemetryJson) {
+  SweepRunnerOptions opt;
+  opt.workers = 2;
+  opt.health.collect = true;
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(smallEmcSpec());
+  ASSERT_EQ(result.okCount(), result.runs.size());
+
+  // Every corner carried a graded health record...
+  for (const SweepRunRecord& r : result.runs) {
+    const obs::NumericalHealth& h = r.telemetry.health;
+    EXPECT_TRUE(h.collected) << r.label;
+    EXPECT_EQ(h.residual_checks, 1) << r.label;
+    EXPECT_LT(h.max_relative_residual, 1e-8) << r.label;
+    EXPECT_EQ(h.severity, obs::HealthSeverity::kOk) << r.label;
+  }
+  // ...which the summary aggregates with worst-corner pointers.
+  const SweepResult::HealthSummary summary = result.healthSummary();
+  EXPECT_EQ(summary.collected_corners, result.runs.size());
+  EXPECT_EQ(summary.warn_corners, 0u);
+  EXPECT_EQ(summary.critical_corners, 0u);
+  EXPECT_EQ(summary.severity, obs::HealthSeverity::kOk);
+  EXPECT_LT(summary.worst_residual_corner, result.runs.size());
+  EXPECT_GT(summary.worst_residual, 0.0);
+
+  // Latency histograms recorded one sample per corner (default-on).
+  ASSERT_EQ(result.histograms.count("corner_wall_seconds"), 1u);
+  EXPECT_EQ(result.histograms.at("corner_wall_seconds").count(),
+            result.runs.size());
+  EXPECT_EQ(result.histograms.at("corner_newton_iterations").count(),
+            result.runs.size());
+  EXPECT_GT(result.histograms.at("corner_wall_seconds").percentile(0.5), 0.0);
+  // Pool busy time is the utilization numerator: bounded by wall * workers.
+  EXPECT_GT(result.pool.busy_seconds, 0.0);
+
+  // The telemetry JSON carries every new section and still lints.
+  const std::string json = sweepTelemetryJson(result);
+  std::string err;
+  ASSERT_TRUE(jsonlint::valid(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"health_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"corner_wall_seconds\""), std::string::npos);
+
+  // The canonical counter document agrees with the result's own stats —
+  // the same slots the examples' footers and BENCH_*.json print.
+  const obs::Counters counters = sweepCounters(result);
+  EXPECT_EQ(counters.count("corners.ok"),
+            static_cast<long long>(result.okCount()));
+  EXPECT_EQ(counters.count("corners.failed"), 0);
+  EXPECT_EQ(counters.count("solver_cache.numeric_misses"),
+            result.solver_cache.numeric_misses);
+  EXPECT_EQ(counters.count("result_cache.inserts"), result.result_cache.inserts);
+  EXPECT_EQ(counters.count("pool.tasks"), result.pool.submitted);
+  EXPECT_EQ(counters.count("health.warn_corners"), 0);
+  EXPECT_EQ(counters.count("health.critical_corners"), 0);
+}
+
+TEST(SweepTelemetry, HealthOffLeavesSummaryEmptyAndJsonValid) {
+  SweepRunnerOptions opt;
+  opt.workers = 1;
+  opt.collect_histograms = false;
+  SweepRunner runner(opt);
+  const SweepResult result = runner.run(smallEmcSpec());
+  ASSERT_EQ(result.okCount(), result.runs.size());
+
+  for (const SweepRunRecord& r : result.runs)
+    EXPECT_FALSE(r.telemetry.health.collected) << r.label;
+  const SweepResult::HealthSummary summary = result.healthSummary();
+  EXPECT_EQ(summary.collected_corners, 0u);
+  EXPECT_EQ(summary.worst_residual_corner, static_cast<std::size_t>(-1));
+  EXPECT_TRUE(result.histograms.empty());
+
+  // The schema is stable: health/histogram sections still present (zeroed
+  // / empty), the document still lints, and worst-corner pointers are -1.
+  const std::string json = sweepTelemetryJson(result);
+  std::string err;
+  ASSERT_TRUE(jsonlint::valid(json, &err)) << err << "\n" << json;
+  EXPECT_NE(json.find("\"health_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"collected\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_residual_corner\": -1"), std::string::npos);
+}
+
 TEST(SweepTelemetry, FailedCornerGetsZeroedTelemetry) {
   SweepResult result;
   result.workers = 1;
